@@ -1,0 +1,19 @@
+//! Comparator tracers for the Pilgrim evaluation.
+//!
+//! * [`RawTracer`] — records every call verbatim with no compression;
+//!   its size is the "uncompressed trace" yardstick.
+//! * [`ScalaTraceTracer`] — an honest model of ScalaTrace V4's behaviour
+//!   as characterized in the paper (Table 1 and §5): it records only its
+//!   supported function subset (notably *not* the `MPI_Test*` family and
+//!   not memory pointers), keeps ranks/tags absolute (no relative-rank
+//!   encoding), compresses loops intra-process with RSD-style
+//!   region descriptors, and merges across ranks only when two ranks'
+//!   entire compressed traces are identical.
+
+pub mod raw;
+pub mod rsd;
+pub mod scalatrace;
+
+pub use raw::RawTracer;
+pub use rsd::RsdSequence;
+pub use scalatrace::ScalaTraceTracer;

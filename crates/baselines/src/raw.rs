@@ -1,0 +1,108 @@
+//! The uncompressed reference tracer: every call, every argument, flat
+//! binary records. Only the byte count is accumulated (storing multi-GB
+//! raw traces in memory would defeat the point).
+
+use mpi_sim::hooks::{Arg, CallRec, TraceCtx, Tracer};
+
+/// Length of a varint for `v` (LEB128).
+fn vlen(v: u64) -> u64 {
+    pilgrim_sequitur::varint_len(v) as u64
+}
+
+fn zz(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Encoded length of one argument in the flat record format.
+fn arg_len(a: &Arg) -> u64 {
+    1 + match a {
+        Arg::Int(v) => vlen(zz(*v)),
+        Arg::Rank(r) => vlen(zz(*r as i64)),
+        Arg::Tag(t) => vlen(zz(*t as i64)),
+        Arg::Comm(h) => vlen(*h as u64),
+        Arg::Datatype(h) => vlen(*h as u64),
+        Arg::Op(o) => vlen(*o as u64),
+        Arg::Group(g) => vlen(*g as u64),
+        Arg::Request(r) => vlen(*r),
+        Arg::RequestArr(v) => vlen(v.len() as u64) + v.iter().map(|&r| vlen(r)).sum::<u64>(),
+        Arg::Ptr(p) => vlen(*p),
+        Arg::Status { source, tag } => vlen(zz(*source as i64)) + vlen(zz(*tag as i64)),
+        Arg::StatusArr(v) => {
+            vlen(v.len() as u64)
+                + v.iter()
+                    .map(|&(s, t)| vlen(zz(s as i64)) + vlen(zz(t as i64)))
+                    .sum::<u64>()
+        }
+        Arg::IntArr(v) => vlen(v.len() as u64) + v.iter().map(|&x| vlen(zz(x))).sum::<u64>(),
+        Arg::Color(c) => vlen(zz(*c as i64)),
+        Arg::Key(k) => vlen(zz(*k as i64)),
+        Arg::Str(s) => vlen(s.len() as u64) + s.len() as u64,
+    }
+}
+
+/// Counts the bytes an uncompressed trace would occupy: per record a
+/// function id, a timestamp pair, and all arguments.
+#[derive(Debug, Default)]
+pub struct RawTracer {
+    bytes: u64,
+    calls: u64,
+}
+
+impl RawTracer {
+    pub fn new(_rank: usize) -> Self {
+        RawTracer::default()
+    }
+
+    /// Uncompressed bytes this rank would have written.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Calls recorded.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+impl Tracer for RawTracer {
+    fn on_call(&mut self, _ctx: &TraceCtx<'_>, rec: &CallRec, t_start: u64, t_end: u64) {
+        self.calls += 1;
+        self.bytes += vlen(rec.func.id() as u64);
+        self.bytes += vlen(t_start) + vlen(t_end - t_start);
+        for a in &rec.args {
+            self.bytes += arg_len(a);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::datatype::BasicType;
+    use mpi_sim::{World, WorldConfig};
+
+    #[test]
+    fn raw_size_grows_linearly_with_calls() {
+        let run = |iters: usize| -> u64 {
+            let tracers = World::run(&WorldConfig::new(2), RawTracer::new, move |env| {
+                let world = env.comm_world();
+                let dt = env.basic(BasicType::Double);
+                let buf = env.malloc(8);
+                for _ in 0..iters {
+                    env.bcast(buf, 1, dt, 0, world);
+                }
+            });
+            tracers.iter().map(|t| t.bytes()).sum()
+        };
+        let small = run(10);
+        let large = run(1000);
+        assert!(large > small * 50, "raw traces grow linearly: {small} -> {large}");
+    }
+
+    #[test]
+    fn arg_lengths_are_positive() {
+        assert!(arg_len(&Arg::Int(0)) >= 2);
+        assert!(arg_len(&Arg::Str("x".into())) >= 3);
+        assert!(arg_len(&Arg::RequestArr(vec![1, 2, 3])) >= 5);
+    }
+}

@@ -1,0 +1,287 @@
+//! RSD-style loop compression: a sequence of event ids stored as a list of
+//! `(body, count)` regular-section descriptors, folded greedily online.
+//!
+//! This models ScalaTrace's intra-process compression: repeating blocks of
+//! events collapse into counted regions (`<count, events...>` RSDs).
+//! Folding is lossless — expansion reproduces the input exactly — which the
+//! property tests assert.
+
+use pilgrim_sequitur::{read_varint, write_varint};
+
+/// One region descriptor: `body` repeated `count` times.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rsd {
+    pub body: Vec<u32>,
+    pub count: u64,
+}
+
+/// Maximum number of tail items considered for a fold.
+const MAX_FOLD: usize = 96;
+/// Blocks longer than this are not folded further (bounds per-push cost).
+const MAX_BODY: usize = 4096;
+
+/// An online RSD-compressed sequence.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RsdSequence {
+    items: Vec<Rsd>,
+    len: u64,
+}
+
+impl RsdSequence {
+    pub fn new() -> Self {
+        RsdSequence::default()
+    }
+
+    /// Uncompressed length.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of descriptors currently held.
+    pub fn num_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Appends one event and re-folds the tail.
+    pub fn push(&mut self, event: u32) {
+        self.len += 1;
+        self.items.push(Rsd { body: vec![event], count: 1 });
+        self.fold_tail();
+    }
+
+    fn fold_tail(&mut self) {
+        loop {
+            let n = self.items.len();
+            // Rule 1: two adjacent identical-body items merge counts.
+            if n >= 2 && self.items[n - 1].body == self.items[n - 2].body {
+                let c = self.items.pop().expect("n >= 2").count;
+                self.items[n - 2].count += c;
+                continue;
+            }
+            // Rule 2: the tail items (count 1 each) concatenate to the
+            // previous item's body -> increment its count.
+            if let Some(k) = self.absorb_candidate() {
+                let n = self.items.len();
+                self.items.truncate(n - k);
+                self.items.last_mut().expect("absorb target").count += 1;
+                continue;
+            }
+            // Rule 3: the last k items equal the k before them -> wrap
+            // into one flattened region of count 2.
+            if let Some(k) = self.pair_candidate() {
+                let n = self.items.len();
+                let mut body = Vec::new();
+                for item in &self.items[n - k..] {
+                    for _ in 0..item.count {
+                        body.extend_from_slice(&item.body);
+                    }
+                }
+                self.items.truncate(n - 2 * k);
+                self.items.push(Rsd { body, count: 2 });
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Finds k such that the last k single-count items' concatenated bodies
+    /// equal the body of the item right before them.
+    fn absorb_candidate(&self) -> Option<usize> {
+        let n = self.items.len();
+        let mut concat_len = 0usize;
+        for k in 1..=MAX_FOLD.min(n.saturating_sub(1)) {
+            let item = &self.items[n - k];
+            if item.count != 1 {
+                return None;
+            }
+            concat_len += item.body.len();
+            let target = &self.items[n - k - 1];
+            if target.body.len() < concat_len {
+                return None;
+            }
+            if target.body.len() == concat_len {
+                // Compare the concatenation against the target body.
+                let mut pos = 0usize;
+                let ok = self.items[n - k..].iter().all(|it| {
+                    let m = &target.body[pos..pos + it.body.len()];
+                    pos += it.body.len();
+                    m == it.body.as_slice()
+                });
+                return ok.then_some(k);
+            }
+        }
+        None
+    }
+
+    /// Finds k such that `items[n-2k..n-k] == items[n-k..]`.
+    fn pair_candidate(&self) -> Option<usize> {
+        let n = self.items.len();
+        for k in 1..=MAX_FOLD {
+            if n < 2 * k {
+                return None;
+            }
+            let a = &self.items[n - 2 * k..n - k];
+            let b = &self.items[n - k..];
+            if a == b {
+                let flat: usize = b.iter().map(|i| i.body.len() * i.count as usize).sum();
+                if flat <= MAX_BODY {
+                    return Some(k);
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Expands back to the raw event sequence.
+    pub fn expand(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.len as usize);
+        for item in &self.items {
+            for _ in 0..item.count {
+                out.extend_from_slice(&item.body);
+            }
+        }
+        out
+    }
+
+    /// Serializes the descriptor list.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.items.len() as u64);
+        for item in &self.items {
+            write_varint(out, item.count);
+            write_varint(out, item.body.len() as u64);
+            for &e in &item.body {
+                write_varint(out, e as u64);
+            }
+        }
+    }
+
+    /// Deserializes a descriptor list.
+    pub fn deserialize(buf: &[u8], pos: &mut usize) -> Option<RsdSequence> {
+        let n = read_varint(buf, pos)? as usize;
+        let mut seq = RsdSequence::new();
+        for _ in 0..n {
+            let count = read_varint(buf, pos)?;
+            let blen = read_varint(buf, pos)? as usize;
+            let mut body = Vec::with_capacity(blen);
+            for _ in 0..blen {
+                body.push(read_varint(buf, pos)? as u32);
+            }
+            seq.len += count * body.len() as u64;
+            seq.items.push(Rsd { body, count });
+        }
+        Some(seq)
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_size(&self) -> usize {
+        let mut buf = Vec::new();
+        self.serialize(&mut buf);
+        buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compress(seq: &[u32]) -> RsdSequence {
+        let mut s = RsdSequence::new();
+        for &e in seq {
+            s.push(e);
+        }
+        assert_eq!(s.expand(), seq, "RSD folding must be lossless");
+        s
+    }
+
+    #[test]
+    fn simple_loop_folds_to_one_item() {
+        let mut seq = Vec::new();
+        for _ in 0..100 {
+            seq.extend_from_slice(&[1, 2, 3]);
+        }
+        let s = compress(&seq);
+        assert_eq!(s.num_items(), 1);
+        assert_eq!(s.len(), 300);
+    }
+
+    #[test]
+    fn run_of_identical_events() {
+        let seq = vec![7; 5000];
+        let s = compress(&seq);
+        assert_eq!(s.num_items(), 1);
+    }
+
+    #[test]
+    fn nested_loop_stays_compact() {
+        // ((a b)^3 c)^50
+        let mut seq = Vec::new();
+        for _ in 0..50 {
+            for _ in 0..3 {
+                seq.extend_from_slice(&[1, 2]);
+            }
+            seq.push(3);
+        }
+        let s = compress(&seq);
+        assert!(s.num_items() <= 4, "got {} items", s.num_items());
+    }
+
+    #[test]
+    fn irregular_sequence_is_lossless() {
+        let mut state = 41u64;
+        let mut seq = Vec::new();
+        for _ in 0..2000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            seq.push(((state >> 33) % 6) as u32);
+        }
+        compress(&seq);
+    }
+
+    #[test]
+    fn loop_with_prologue_and_epilogue() {
+        let mut seq = vec![100, 101];
+        for _ in 0..40 {
+            seq.extend_from_slice(&[1, 2, 3, 4]);
+        }
+        seq.push(102);
+        let s = compress(&seq);
+        assert!(s.num_items() <= 5, "got {}", s.num_items());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut seq = Vec::new();
+        for i in 0..30 {
+            seq.extend_from_slice(&[i % 4, (i + 1) % 4]);
+        }
+        let s = compress(&seq);
+        let mut buf = Vec::new();
+        s.serialize(&mut buf);
+        assert_eq!(buf.len(), s.byte_size());
+        let mut pos = 0;
+        let back = RsdSequence::deserialize(&buf, &mut pos).unwrap();
+        assert_eq!(back.expand(), s.expand());
+        assert_eq!(back.len(), s.len());
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = RsdSequence::new();
+        assert!(s.is_empty());
+        assert_eq!(s.expand(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn alternating_two_loops() {
+        // (a)^20 (b)^20 (a)^20
+        let mut seq = vec![1; 20];
+        seq.extend(vec![2; 20]);
+        seq.extend(vec![1; 20]);
+        let s = compress(&seq);
+        assert!(s.num_items() <= 3);
+    }
+}

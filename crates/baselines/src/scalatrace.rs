@@ -1,0 +1,329 @@
+//! A ScalaTrace-V4-like comparator tracer.
+//!
+//! Behavioral model, matching the paper's characterization:
+//!
+//! * Records only the ~125 functions ScalaTrace wraps (Table 1): the
+//!   `MPI_Test*` family and memory-pointer arguments are **not** recorded.
+//! * Argument values are kept **absolute** — no relative-rank encoding —
+//!   so a stencil's `send(rank+1)` produces a different event on every
+//!   rank.
+//! * Intra-process compression is RSD loop folding over an event table.
+//! * Inter-process compression merges two ranks only when their entire
+//!   `(event table, RSD list)` pair is byte-identical (ScalaTrace's
+//!   cross-rank merge requires matching sequences; with absolute ranks it
+//!   rarely fires, which is why its trace sizes grow ~linearly in P —
+//!   Fig 5).
+
+use std::time::{Duration, Instant};
+
+use mpi_sim::funcs::{FunctionRegistry, ToolSupport};
+use mpi_sim::hooks::{Arg, CallRec, TraceCtx, Tracer};
+use pilgrim_sequitur::write_varint;
+use std::collections::HashMap;
+
+use crate::rsd::RsdSequence;
+
+fn zz(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Encodes the argument subset ScalaTrace keeps (absolute values, no
+/// pointers).
+fn encode_event(rec: &CallRec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(24);
+    write_varint(&mut out, rec.func.id() as u64);
+    for a in &rec.args {
+        match a {
+            // Memory pointers are not recorded (Table 1).
+            Arg::Ptr(_) => {}
+            Arg::Int(v) => write_varint(&mut out, zz(*v)),
+            Arg::Rank(r) => write_varint(&mut out, zz(*r as i64)),
+            Arg::Tag(t) => write_varint(&mut out, zz(*t as i64)),
+            Arg::Comm(h) => write_varint(&mut out, *h as u64),
+            Arg::Datatype(h) => write_varint(&mut out, *h as u64),
+            Arg::Op(o) => write_varint(&mut out, *o as u64),
+            Arg::Group(g) => write_varint(&mut out, *g as u64),
+            Arg::Request(r) => write_varint(&mut out, *r),
+            Arg::RequestArr(v) => {
+                write_varint(&mut out, v.len() as u64);
+                for &r in v {
+                    write_varint(&mut out, r);
+                }
+            }
+            Arg::Status { source, tag } => {
+                write_varint(&mut out, zz(*source as i64));
+                write_varint(&mut out, zz(*tag as i64));
+            }
+            Arg::StatusArr(v) => {
+                write_varint(&mut out, v.len() as u64);
+                for &(s, t) in v {
+                    write_varint(&mut out, zz(s as i64));
+                    write_varint(&mut out, zz(t as i64));
+                }
+            }
+            Arg::IntArr(v) => {
+                write_varint(&mut out, v.len() as u64);
+                for &x in v {
+                    write_varint(&mut out, zz(x));
+                }
+            }
+            Arg::Color(c) => write_varint(&mut out, zz(*c as i64)),
+            Arg::Key(k) => write_varint(&mut out, zz(*k as i64)),
+            Arg::Str(s) => {
+                write_varint(&mut out, s.len() as u64);
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// The merged result held by rank 0 after finalize.
+#[derive(Debug, Default, Clone)]
+pub struct ScalaTraceGlobal {
+    /// Distinct per-rank traces: serialized bytes + the ranks sharing them.
+    pub groups: Vec<(Vec<u8>, Vec<u64>)>,
+    pub nranks: usize,
+}
+
+impl ScalaTraceGlobal {
+    /// Total trace file size: every distinct group's payload plus its
+    /// rank list.
+    pub fn size_bytes(&self) -> usize {
+        let mut total = 0;
+        for (payload, ranks) in &self.groups {
+            total += payload.len();
+            let mut buf = Vec::new();
+            write_varint(&mut buf, ranks.len() as u64);
+            for &r in ranks {
+                write_varint(&mut buf, r);
+            }
+            total += buf.len();
+        }
+        total
+    }
+}
+
+/// The comparator tracer for one rank.
+pub struct ScalaTraceTracer {
+    rank: usize,
+    registry: FunctionRegistry,
+    event_table: HashMap<Vec<u8>, u32>,
+    events: Vec<Vec<u8>>,
+    seq: RsdSequence,
+    dropped: u64,
+    intra: Duration,
+    inter: Duration,
+    result: Option<ScalaTraceGlobal>,
+}
+
+impl ScalaTraceTracer {
+    pub fn new(rank: usize) -> Self {
+        ScalaTraceTracer {
+            rank,
+            registry: FunctionRegistry::mpi40(),
+            event_table: HashMap::new(),
+            events: Vec::new(),
+            seq: RsdSequence::new(),
+            dropped: 0,
+            intra: Duration::ZERO,
+            inter: Duration::ZERO,
+            result: None,
+        }
+    }
+
+    /// Serialized local trace: event table + RSD list.
+    fn local_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        write_varint(&mut out, self.events.len() as u64);
+        for e in &self.events {
+            write_varint(&mut out, e.len() as u64);
+            out.extend_from_slice(e);
+        }
+        self.seq.serialize(&mut out);
+        out
+    }
+
+    /// Local (pre-merge) size in bytes.
+    pub fn local_size_bytes(&self) -> usize {
+        self.local_bytes().len()
+    }
+
+    /// Calls recorded (after filtering).
+    pub fn recorded(&self) -> u64 {
+        self.seq.len()
+    }
+
+    /// Calls dropped because ScalaTrace does not wrap the function.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Rank 0's merged result.
+    pub fn global(&self) -> Option<&ScalaTraceGlobal> {
+        self.result.as_ref()
+    }
+
+    /// Wall-clock overhead spent tracing (intra + inter).
+    pub fn overhead(&self) -> Duration {
+        self.intra + self.inter
+    }
+}
+
+impl Tracer for ScalaTraceTracer {
+    fn on_call(&mut self, _ctx: &TraceCtx<'_>, rec: &CallRec, _t0: u64, _t1: u64) {
+        let timer = Instant::now();
+        if !self.registry.supports(ToolSupport::ScalaTrace, rec.func.name()) {
+            self.dropped += 1;
+            self.intra += timer.elapsed();
+            return;
+        }
+        let bytes = encode_event(rec);
+        let id = match self.event_table.get(&bytes) {
+            Some(&id) => id,
+            None => {
+                let id = self.events.len() as u32;
+                self.event_table.insert(bytes.clone(), id);
+                self.events.push(bytes);
+                id
+            }
+        };
+        self.seq.push(id);
+        self.intra += timer.elapsed();
+    }
+
+    fn on_finalize(&mut self, ctx: &TraceCtx<'_>) {
+        let timer = Instant::now();
+        // Binomial gather toward rank 0; identical traces merge.
+        const TAG: i32 = 2_000_001;
+        let mut groups: Vec<(Vec<u8>, Vec<u64>)> =
+            vec![(self.local_bytes(), vec![self.rank as u64])];
+        let rank = ctx.world_rank;
+        let p = ctx.world_size;
+        let mut step = 1;
+        let mut at_root = true;
+        while step < p {
+            if rank % (2 * step) == step {
+                let mut out = Vec::new();
+                write_varint(&mut out, groups.len() as u64);
+                for (payload, ranks) in &groups {
+                    write_varint(&mut out, payload.len() as u64);
+                    out.extend_from_slice(payload);
+                    write_varint(&mut out, ranks.len() as u64);
+                    for &r in ranks {
+                        write_varint(&mut out, r);
+                    }
+                }
+                ctx.tool_send(rank - step, TAG, out);
+                at_root = false;
+                break;
+            }
+            if rank.is_multiple_of(2 * step) {
+                let partner = rank + step;
+                if partner < p {
+                    let buf = ctx.tool_recv(partner, TAG);
+                    let mut pos = 0usize;
+                    let n = pilgrim_sequitur::read_varint(&buf, &mut pos).expect("count") as usize;
+                    for _ in 0..n {
+                        let plen =
+                            pilgrim_sequitur::read_varint(&buf, &mut pos).expect("len") as usize;
+                        let payload = buf[pos..pos + plen].to_vec();
+                        pos += plen;
+                        let rn =
+                            pilgrim_sequitur::read_varint(&buf, &mut pos).expect("ranks") as usize;
+                        let mut ranks = Vec::with_capacity(rn);
+                        for _ in 0..rn {
+                            ranks.push(pilgrim_sequitur::read_varint(&buf, &mut pos).expect("rank"));
+                        }
+                        if let Some((_, rs)) = groups.iter_mut().find(|(pld, _)| *pld == payload) {
+                            rs.extend(ranks);
+                        } else {
+                            groups.push((payload, ranks));
+                        }
+                    }
+                }
+            }
+            step *= 2;
+        }
+        if at_root && rank == 0 {
+            self.result = Some(ScalaTraceGlobal { groups, nranks: p });
+        }
+        self.inter += timer.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::datatype::BasicType;
+    use mpi_sim::{World, WorldConfig};
+
+    #[test]
+    fn test_family_is_dropped() {
+        let tracers = World::run(&WorldConfig::new(2), ScalaTraceTracer::new, |env| {
+            let me = env.world_rank();
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::LongLong);
+            let buf = env.malloc(8);
+            if me == 0 {
+                let mut req = env.irecv(buf, 1, dt, 1, 0, world);
+                while env.test(&mut req).is_none() {}
+            } else {
+                env.send(buf, 1, dt, 0, 0, world);
+            }
+        });
+        assert!(tracers[0].dropped() > 0, "MPI_Test must be dropped");
+        assert!(tracers[1].dropped() == 0);
+    }
+
+    #[test]
+    fn identical_ranks_merge_into_one_group() {
+        let tracers = World::run(&WorldConfig::new(4), ScalaTraceTracer::new, |env| {
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::Double);
+            let buf = env.malloc(8);
+            for _ in 0..20 {
+                env.bcast(buf, 1, dt, 0, world);
+            }
+        });
+        let g = tracers[0].global().expect("rank 0 result");
+        assert_eq!(g.groups.len(), 1, "identical SPMD traces merge");
+        assert_eq!(g.nranks, 4);
+    }
+
+    #[test]
+    fn absolute_ranks_prevent_merging() {
+        // A shift pattern: every rank's events differ -> ~P groups.
+        let tracers = World::run(&WorldConfig::new(6), ScalaTraceTracer::new, |env| {
+            let me = env.world_rank() as i32;
+            let n = env.world_size() as i32;
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::LongLong);
+            let sbuf = env.malloc(8);
+            let rbuf = env.malloc(8);
+            for _ in 0..10 {
+                let right = (me + 1) % n;
+                let left = (me + n - 1) % n;
+                env.sendrecv(sbuf, 1, dt, right, 0, rbuf, 1, dt, left, 0, world);
+            }
+        });
+        let g = tracers[0].global().expect("rank 0 result");
+        assert_eq!(g.groups.len(), 6, "absolute ranks keep all groups distinct");
+    }
+
+    #[test]
+    fn loops_compress_intra_process() {
+        let tracers = World::run(&WorldConfig::new(1), ScalaTraceTracer::new, |env| {
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::Double);
+            let buf = env.malloc(8);
+            for _ in 0..5000 {
+                env.bcast(buf, 1, dt, 0, world);
+                env.barrier(world);
+            }
+        });
+        // 10k calls compress into a tiny RSD list.
+        assert!(tracers[0].local_size_bytes() < 200);
+        assert_eq!(tracers[0].recorded(), 10_002);
+    }
+}

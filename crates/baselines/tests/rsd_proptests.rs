@@ -1,0 +1,84 @@
+//! Property tests for the RSD loop compressor: folding must be lossless
+//! on every input, and compression effective on loopy inputs.
+
+use proptest::prelude::*;
+use trace_baselines::RsdSequence;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn folding_is_lossless(seq in proptest::collection::vec(0u32..8, 0..500)) {
+        let mut s = RsdSequence::new();
+        for &e in &seq {
+            s.push(e);
+        }
+        prop_assert_eq!(s.expand(), seq.clone());
+        prop_assert_eq!(s.len(), seq.len() as u64);
+    }
+
+    #[test]
+    fn folding_is_lossless_on_loops(
+        body in proptest::collection::vec(0u32..6, 1..8),
+        reps in 1usize..60,
+        prefix in proptest::collection::vec(0u32..6, 0..4),
+        suffix in proptest::collection::vec(0u32..6, 0..4),
+    ) {
+        let mut seq = prefix.clone();
+        for _ in 0..reps {
+            seq.extend_from_slice(&body);
+        }
+        seq.extend_from_slice(&suffix);
+        let mut s = RsdSequence::new();
+        for &e in &seq {
+            s.push(e);
+        }
+        prop_assert_eq!(s.expand(), seq);
+        // A repeated body must compress far below the raw length. Bodies
+        // whose first/last elements collide fold into slightly different
+        // region shapes, so allow a small constant-factor slack — the key
+        // property is that the item count is independent of `reps`.
+        if reps >= 20 && prefix.is_empty() && suffix.is_empty() {
+            prop_assert!(
+                s.num_items() <= 2 * body.len() + 2,
+                "{} items for a {}-element body repeated {reps}x",
+                s.num_items(),
+                body.len()
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_roundtrips(seq in proptest::collection::vec(0u32..10, 0..300)) {
+        let mut s = RsdSequence::new();
+        for &e in &seq {
+            s.push(e);
+        }
+        let mut buf = Vec::new();
+        s.serialize(&mut buf);
+        let mut pos = 0;
+        let back = RsdSequence::deserialize(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back.expand(), seq);
+    }
+
+    #[test]
+    fn nested_loops_are_lossless(
+        inner_reps in 1usize..5,
+        outer_reps in 1usize..20,
+    ) {
+        // ((a b)^inner c)^outer
+        let mut seq = Vec::new();
+        for _ in 0..outer_reps {
+            for _ in 0..inner_reps {
+                seq.extend_from_slice(&[1, 2]);
+            }
+            seq.push(3);
+        }
+        let mut s = RsdSequence::new();
+        for &e in &seq {
+            s.push(e);
+        }
+        prop_assert_eq!(s.expand(), seq);
+    }
+}

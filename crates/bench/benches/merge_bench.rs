@@ -1,0 +1,66 @@
+//! Criterion benchmarks for inter-process compression primitives:
+//! grammar identity checks, hash-consing + final Sequitur pass, and the
+//! trace (de)serialization used between ranks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pilgrim::merge::combine_grammars;
+use pilgrim_sequitur::Grammar;
+
+fn grammar_of(seq: &[u32]) -> pilgrim_sequitur::FlatGrammar {
+    let mut g = Grammar::new();
+    for &t in seq {
+        g.push(t);
+    }
+    g.to_flat()
+}
+
+fn workload_grammar(variant: u32) -> pilgrim_sequitur::FlatGrammar {
+    let mut seq = Vec::new();
+    for _ in 0..500 {
+        seq.extend_from_slice(&[1, 2, 3, variant, 5, 6]);
+    }
+    grammar_of(&seq)
+}
+
+fn bench_identity(c: &mut Criterion) {
+    let a = workload_grammar(4);
+    let b = workload_grammar(4);
+    let d = workload_grammar(9);
+    c.bench_function("grammar_identity_equal", |bch| bch.iter(|| a == b));
+    c.bench_function("grammar_identity_differs", |bch| bch.iter(|| a == d));
+    c.bench_function("grammar_to_ints", |bch| bch.iter(|| a.to_ints()));
+}
+
+fn bench_combine(c: &mut Criterion) {
+    // 256 ranks, 8 unique grammar classes: the rank-0 final pass.
+    let set: Vec<_> = (0..8u32)
+        .map(|v| {
+            let g = workload_grammar(100 + v);
+            let len = g.expanded_len();
+            let ranks: Vec<(u64, u64)> =
+                (0..256u64).filter(|r| r % 8 == v as u64).map(|r| (r, len)).collect();
+            (g, ranks)
+        })
+        .collect();
+    c.bench_function("combine_grammars_256ranks_8unique", |b| {
+        b.iter(|| combine_grammars(&set, 256))
+    });
+    // Worst case: every rank distinct.
+    let set_distinct: Vec<_> = (0..64u32)
+        .map(|v| {
+            let g = workload_grammar(1000 + v);
+            let len = g.expanded_len();
+            (g, vec![(v as u64, len)])
+        })
+        .collect();
+    c.bench_function("combine_grammars_64ranks_all_unique", |b| {
+        b.iter(|| combine_grammars(&set_distinct, 64))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_identity, bench_combine
+}
+criterion_main!(benches);

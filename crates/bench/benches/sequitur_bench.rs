@@ -1,0 +1,98 @@
+//! Criterion microbenchmarks for the Sequitur core: append throughput on
+//! the pattern classes that matter for MPI traces (tight loops, nested
+//! loops, irregular tails), plus expansion and serialization.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use pilgrim_sequitur::{FlatGrammar, Grammar};
+
+fn loop_sequence(iters: usize) -> Vec<u32> {
+    let mut seq = Vec::with_capacity(iters * 4);
+    for _ in 0..iters {
+        seq.extend_from_slice(&[1, 2, 3, 4]);
+    }
+    seq
+}
+
+fn irregular_sequence(n: usize) -> Vec<u32> {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 12) as u32
+        })
+        .collect()
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequitur_push");
+    for (name, seq) in [
+        ("regular_loop_40k", loop_sequence(10_000)),
+        ("irregular_40k", irregular_sequence(40_000)),
+        ("mixed_40k", {
+            let mut s = loop_sequence(8_000);
+            s.extend(irregular_sequence(8_000));
+            s
+        }),
+    ] {
+        g.throughput(Throughput::Elements(seq.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                Grammar::new,
+                |mut gr| {
+                    for &t in &seq {
+                        gr.push(t);
+                    }
+                    gr
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_push_run(c: &mut Criterion) {
+    c.bench_function("sequitur_push_run_counted_1m", |b| {
+        b.iter_batched(
+            Grammar::new,
+            |mut gr| {
+                // A counted run of one million identical terminals: O(1).
+                gr.push_run(7, 1_000_000);
+                gr
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_flat(c: &mut Criterion) {
+    let mut gr = Grammar::new();
+    for &t in &loop_sequence(10_000) {
+        gr.push(t);
+    }
+    for &t in &irregular_sequence(5_000) {
+        gr.push(t);
+    }
+    let flat = gr.to_flat();
+    c.bench_function("sequitur_to_flat", |b| b.iter(|| gr.to_flat()));
+    c.bench_function("sequitur_expand_45k", |b| b.iter(|| flat.expand()));
+    c.bench_function("sequitur_serialize", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            flat.serialize(&mut buf);
+            buf
+        })
+    });
+    let mut buf = Vec::new();
+    flat.serialize(&mut buf);
+    c.bench_function("sequitur_deserialize", |b| {
+        b.iter(|| FlatGrammar::deserialize(&buf).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_push, bench_push_run, bench_flat
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the Pilgrim tracer hot path: per-call cost of
+//! signature encoding + CST + CFG growth, across workload shapes, and the
+//! cost of the comparator tracers on the same streams.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mpi_sim::{World, WorldConfig};
+use mpi_workloads::by_name;
+use pilgrim::{PilgrimConfig, PilgrimTracer, TimingMode};
+use trace_baselines::{RawTracer, ScalaTraceTracer};
+
+fn bench_tracers(c: &mut Criterion) {
+    // Per-call tracing cost: run a fixed workload under each tracer.
+    // Criterion measures the whole world run; the untraced run is the
+    // subtraction baseline.
+    let mut g = c.benchmark_group("trace_workload_stirturb_8x20");
+    let calls = {
+        let tracers = World::run(
+            &WorldConfig::new(8),
+            PilgrimTracer::with_defaults,
+            |env| {
+                let body = by_name("stirturb", 20);
+                body(env)
+            },
+        );
+        tracers.iter().map(|t| t.call_count()).sum::<u64>()
+    };
+    g.throughput(Throughput::Elements(calls));
+    g.sample_size(10);
+    g.bench_function("untraced", |b| {
+        b.iter(|| {
+            World::run(&WorldConfig::new(8), |_| mpi_sim::NullTracer, |env| {
+                by_name("stirturb", 20)(env)
+            })
+        })
+    });
+    g.bench_function("pilgrim", |b| {
+        b.iter(|| {
+            World::run(&WorldConfig::new(8), PilgrimTracer::with_defaults, |env| {
+                by_name("stirturb", 20)(env)
+            })
+        })
+    });
+    g.bench_function("pilgrim_lossy_timing", |b| {
+        let cfg = PilgrimConfig {
+            timing: TimingMode::Lossy { base: 1.2 },
+            ..Default::default()
+        };
+        b.iter(|| {
+            World::run(&WorldConfig::new(8), move |r| PilgrimTracer::new(r, cfg), |env| {
+                by_name("stirturb", 20)(env)
+            })
+        })
+    });
+    g.bench_function("scalatrace", |b| {
+        b.iter(|| {
+            World::run(&WorldConfig::new(8), ScalaTraceTracer::new, |env| {
+                by_name("stirturb", 20)(env)
+            })
+        })
+    });
+    g.bench_function("raw", |b| {
+        b.iter(|| {
+            World::run(&WorldConfig::new(8), RawTracer::new, |env| {
+                by_name("stirturb", 20)(env)
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tracers
+}
+criterion_main!(benches);

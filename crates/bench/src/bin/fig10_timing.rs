@@ -1,0 +1,47 @@
+//! Figure 10: space required for non-aggregated timing (§3.2, §4.4):
+//! interval-grammar and duration-grammar sizes for the NPB benchmarks
+//! with relative error 20% (b = 1.2).
+//!
+//! Paper shape: timing grammars grow ~linearly in ranks (inter-process
+//! compression is far less effective for timing than for calls), with
+//! interval grammars larger than duration grammars.
+
+use mpi_workloads::by_name;
+use pilgrim::{PilgrimConfig, TimingMode};
+use pilgrim_bench::{iters, kb, max_procs, run_pilgrim, square_sweep, sweep};
+
+fn main() {
+    let max = max_procs(32);
+    let its = iters(40);
+    let cfg = PilgrimConfig {
+        timing: TimingMode::Lossy { base: 1.2 },
+        ..Default::default()
+    };
+    println!("== Figure 10: timing grammar sizes, b = 1.2 ({its} iterations) ==");
+    for bench in ["is", "mg", "cg", "lu", "sp", "bt"] {
+        let procs = if bench == "sp" || bench == "bt" {
+            square_sweep(max)
+        } else {
+            sweep(8, max)
+        };
+        println!("\n-- {} --", bench.to_uppercase());
+        println!(
+            "{:<8}{:>18}{:>18}{:>14}{:>12}",
+            "procs", "interval (KB)", "duration (KB)", "calls", "call trace"
+        );
+        for p in procs {
+            let run = run_pilgrim(p, cfg, by_name(bench, its));
+            let r = run.trace.size_report();
+            println!(
+                "{:<8}{:>18}{:>18}{:>14}{:>12}",
+                p,
+                kb(r.interval_bytes),
+                kb(r.duration_bytes),
+                run.total_calls,
+                kb(r.core_total())
+            );
+        }
+    }
+    println!("\nExpected shape: timing grammars ~linear in procs (weak inter-process sharing),");
+    println!("much larger than the call trace, yet still far below 16B x calls (raw timestamps).");
+}

@@ -1,0 +1,57 @@
+//! Figure 5: NPB trace file sizes, Pilgrim vs ScalaTrace, for increasing
+//! process counts. Six panels: LU, MG, IS, CG, SP, BT (SP/BT require
+//! square process counts).
+//!
+//! We reproduce the *shape*: Pilgrim smaller everywhere; ScalaTrace
+//! growing ~linearly in ranks (except where it can merge), Pilgrim
+//! sublinear with plateaus (LU plateaus once all mesh-position classes
+//! exist).
+
+use mpi_workloads::by_name;
+use pilgrim::PilgrimConfig;
+use pilgrim_bench::{iters, kb, max_procs, run_pilgrim, run_scalatrace, square_sweep, sweep};
+
+fn main() {
+    let max = max_procs(64);
+    let its = iters(40);
+    println!("== Figure 5: NPB trace size (KB), Pilgrim vs ScalaTrace ({its} iterations) ==");
+    for bench in ["lu", "mg", "is", "cg"] {
+        println!("\n-- {} --", bench.to_uppercase());
+        println!(
+            "{:<8}{:>16}{:>14}{:>10}{:>12}",
+            "procs", "ScalaTrace", "Pilgrim", "ratio", "unique CFGs"
+        );
+        for p in sweep(8, max) {
+            let pr = run_pilgrim(p, PilgrimConfig::default(), by_name(bench, its));
+            let (st, _, _) = run_scalatrace(p, by_name(bench, its));
+            println!(
+                "{:<8}{:>16}{:>14}{:>9.1}x{:>12}",
+                p,
+                kb(st),
+                kb(pr.trace.size_bytes()),
+                st as f64 / pr.trace.size_bytes() as f64,
+                pr.trace.unique_grammars
+            );
+        }
+    }
+    for bench in ["sp", "bt"] {
+        println!("\n-- {} (square process counts) --", bench.to_uppercase());
+        println!(
+            "{:<8}{:>16}{:>14}{:>10}{:>12}",
+            "procs", "ScalaTrace", "Pilgrim", "ratio", "unique CFGs"
+        );
+        for p in square_sweep(max) {
+            let pr = run_pilgrim(p, PilgrimConfig::default(), by_name(bench, its));
+            let (st, _, _) = run_scalatrace(p, by_name(bench, its));
+            println!(
+                "{:<8}{:>16}{:>14}{:>9.1}x{:>12}",
+                p,
+                kb(st),
+                kb(pr.trace.size_bytes()),
+                st as f64 / pr.trace.size_bytes() as f64,
+                pr.trace.unique_grammars
+            );
+        }
+    }
+    println!("\nExpected shape: Pilgrim < ScalaTrace in every cell; ScalaTrace ~linear in procs.");
+}

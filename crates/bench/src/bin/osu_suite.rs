@@ -1,0 +1,31 @@
+//! §4.1: OSU micro-benchmarks — every kernel compresses to a few
+//! kilobytes regardless of iterations ("most programs result in a trace
+//! file size of a few kilobytes").
+
+use std::sync::Arc;
+
+use pilgrim::PilgrimConfig;
+use pilgrim_bench::{iters, kb, max_procs, run_pilgrim, run_raw};
+
+fn main() {
+    let its = iters(50);
+    let p = max_procs(8);
+    println!("== §4.1: OSU micro-benchmark trace sizes ({p} procs, {its} iterations/size) ==\n");
+    println!(
+        "{:<16}{:>12}{:>14}{:>14}{:>12}",
+        "benchmark", "calls", "raw (KB)", "Pilgrim (KB)", "ratio"
+    );
+    for &(name, f) in mpi_workloads::osu::OSU_BENCHES {
+        let run = run_pilgrim(p, PilgrimConfig::default(), Arc::new(move |env| f(env, its)));
+        let raw = run_raw(p, Arc::new(move |env| f(env, its)));
+        println!(
+            "{:<16}{:>12}{:>14}{:>14}{:>11.0}x",
+            name,
+            run.total_calls,
+            kb(raw as usize),
+            kb(run.trace.size_bytes()),
+            raw as f64 / run.trace.size_bytes() as f64
+        );
+    }
+    println!("\nExpected shape: every kernel a few KB, independent of iteration count.");
+}

@@ -1,0 +1,44 @@
+//! §4.1: stencil benchmarks — the trace file size stops growing beyond
+//! 9 ranks (2D 5-point, non-periodic) / 27 ranks (3D 7-point, periodic),
+//! and is independent of the iteration count.
+
+use mpi_workloads::by_name;
+use pilgrim::PilgrimConfig;
+use pilgrim_bench::{iters, kb, max_procs, run_pilgrim};
+
+fn main() {
+    let max = max_procs(64);
+    let its = iters(100);
+
+    println!("== §4.1: stencil trace size vs number of processes ({its} iterations) ==\n");
+    println!("{:<10}{:>12}{:>12}{:>18}", "procs", "2D (KB)", "3D (KB)", "unique grammars");
+    let mut procs: Vec<usize> = vec![4, 9, 16, 25, 27, 36, 64];
+    procs.retain(|&p| p <= max);
+    for p in procs {
+        let r2 = run_pilgrim(p, PilgrimConfig::default(), by_name("stencil2d", its));
+        let r3 = run_pilgrim(p, PilgrimConfig::default(), by_name("stencil3d", its));
+        println!(
+            "{:<10}{:>12}{:>12}{:>11} / {}",
+            p,
+            kb(r2.trace.size_bytes()),
+            kb(r3.trace.size_bytes()),
+            r2.trace.unique_grammars,
+            r3.trace.unique_grammars
+        );
+    }
+
+    println!("\n== trace size vs iterations (9 procs 2D / 27 procs 3D, capped by --max-procs) ==\n");
+    println!("{:<12}{:>12}{:>12}", "iterations", "2D (KB)", "3D (KB)");
+    let p3 = 27.min(max);
+    for its in [10, 100, 1000] {
+        let r2 = run_pilgrim(9.min(max), PilgrimConfig::default(), by_name("stencil2d", its));
+        let r3 = run_pilgrim(p3, PilgrimConfig::default(), by_name("stencil3d", its));
+        println!(
+            "{:<12}{:>12}{:>12}",
+            its,
+            kb(r2.trace.size_bytes()),
+            kb(r3.trace.size_bytes())
+        );
+    }
+    println!("\nExpected shape: sizes flat beyond 9 (2D) / 27 (3D) ranks and flat in iterations.");
+}

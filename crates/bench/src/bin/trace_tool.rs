@@ -1,0 +1,128 @@
+//! `trace_tool` — record, inspect, verify, export, and replay Pilgrim
+//! trace files from the command line.
+//!
+//! ```text
+//! trace_tool record <workload> <ranks> <iters> <out.pilgrim>
+//! trace_tool inspect <trace.pilgrim>
+//! trace_tool signatures <trace.pilgrim>
+//! trace_tool export <trace.pilgrim> [out.txt]
+//! trace_tool decode <trace.pilgrim> <rank> [limit]
+//! trace_tool replay <trace.pilgrim>
+//! ```
+
+use std::fs;
+use std::process::exit;
+
+use mpi_sim::FuncId;
+use pilgrim::{decode_rank_calls, GlobalTrace, PilgrimConfig};
+use pilgrim_bench::run_pilgrim;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tool record <workload> <ranks> <iters> <out.pilgrim>\n  \
+         trace_tool inspect <trace.pilgrim>\n  \
+         trace_tool signatures <trace.pilgrim>\n  \
+         trace_tool export <trace.pilgrim> [out.txt]\n  \
+         trace_tool decode <trace.pilgrim> <rank> [limit]\n  \
+         trace_tool replay <trace.pilgrim>\n\nworkloads: {}",
+        mpi_workloads::ALL_WORKLOADS.join(", ")
+    );
+    exit(2)
+}
+
+fn load(path: &str) -> GlobalTrace {
+    let bytes = fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    GlobalTrace::deserialize(&bytes).unwrap_or_else(|| {
+        eprintln!("{path} is not a valid pilgrim trace");
+        exit(1)
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() == 5 => {
+            let workload = &args[1];
+            let ranks: usize = args[2].parse().unwrap_or_else(|_| usage());
+            let iters: usize = args[3].parse().unwrap_or_else(|_| usage());
+            let body = mpi_workloads::by_name(workload, iters);
+            let run = run_pilgrim(ranks, PilgrimConfig::default(), body);
+            let bytes = run.trace.serialize();
+            fs::write(&args[4], &bytes).expect("write trace file");
+            println!(
+                "recorded {workload}: {} calls on {ranks} ranks -> {} ({} bytes)",
+                run.total_calls,
+                args[4],
+                bytes.len()
+            );
+        }
+        Some("inspect") if args.len() == 2 => {
+            let trace = load(&args[1]);
+            let report = trace.size_report();
+            println!("ranks:            {}", trace.nranks);
+            println!("calls:            {}", trace.rank_lengths.iter().sum::<u64>());
+            println!("signatures (CST): {}", trace.cst.len());
+            println!("unique grammars:  {}", trace.unique_grammars);
+            println!("grammar rules:    {}", trace.grammar.num_rules());
+            println!("size:             {} bytes", report.full_total());
+            println!("  CST             {} bytes", report.cst_bytes);
+            println!("  grammar         {} bytes", report.grammar_bytes);
+            println!("  duration gram.  {} bytes", report.duration_bytes);
+            println!("  interval gram.  {} bytes", report.interval_bytes);
+            println!("  metadata        {} bytes", report.meta_bytes);
+            // Function histogram from the CST.
+            let mut counts: std::collections::HashMap<&str, u64> = Default::default();
+            for (_, sig, stats) in trace.cst.iter() {
+                if let Some(call) = pilgrim::decode_signature(sig) {
+                    let name = FuncId::from_id(call.func).map_or("?", |f| f.name());
+                    *counts.entry(name).or_default() += stats.count;
+                }
+            }
+            let mut rows: Vec<_> = counts.into_iter().collect();
+            rows.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            println!("\ntop functions:");
+            for (name, c) in rows.into_iter().take(12) {
+                println!("  {name:<28}{c:>12}");
+            }
+        }
+        Some("signatures") if args.len() == 2 => {
+            print!("{}", pilgrim::to_signature_listing(&load(&args[1])));
+        }
+        Some("export") if args.len() >= 2 => {
+            let text = pilgrim::to_text(&load(&args[1]));
+            match args.get(2) {
+                Some(out) => {
+                    fs::write(out, &text).expect("write export");
+                    println!("exported {} lines to {out}", text.lines().count());
+                }
+                None => print!("{text}"),
+            }
+        }
+        Some("decode") if args.len() >= 3 => {
+            let trace = load(&args[1]);
+            let rank: usize = args[2].parse().unwrap_or_else(|_| usage());
+            let limit: usize = args
+                .get(3)
+                .map(|l| l.parse().unwrap_or_else(|_| usage()))
+                .unwrap_or(50);
+            for (i, call) in decode_rank_calls(&trace, rank).iter().take(limit).enumerate() {
+                let name = FuncId::from_id(call.func).map_or("?", |f| f.name());
+                println!("{i:>6}  {name}  {} args", call.args.len());
+            }
+        }
+        Some("replay") if args.len() == 2 => {
+            let trace = load(&args[1]);
+            let replayed = pilgrim::replay(&trace);
+            let same = replayed.decode_all_ranks() == trace.decode_all_ranks();
+            println!(
+                "replayed {} calls on {} ranks; re-trace identical: {same}",
+                replayed.rank_lengths.iter().sum::<u64>(),
+                replayed.nranks
+            );
+        }
+        _ => usage(),
+    }
+}

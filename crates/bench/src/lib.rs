@@ -1,0 +1,179 @@
+//! Shared harness for the paper-reproduction benchmark binaries.
+//!
+//! Every binary regenerates one table or figure of the paper; this module
+//! provides the common runners (trace a workload under Pilgrim /
+//! ScalaTrace / raw / untraced) and scale handling for a single-node
+//! environment. The paper's largest runs used 4K–16K cluster processors;
+//! rank counts here default to laptop-friendly sweeps and can be raised
+//! with `--max-procs N` (or `PILGRIM_MAX_PROCS`).
+
+use std::time::{Duration, Instant};
+
+use mpi_sim::{NullTracer, World, WorldConfig};
+use mpi_workloads::Body;
+use pilgrim::{GlobalTrace, OverheadStats, PilgrimConfig, PilgrimTracer};
+use trace_baselines::{RawTracer, ScalaTraceTracer};
+
+/// Result of one traced Pilgrim run.
+pub struct PilgrimRun {
+    pub trace: GlobalTrace,
+    pub wall: Duration,
+    pub stats: OverheadStats,
+    /// Rank 0's own stats: the rank that performs the final merge work.
+    pub stats_rank0: OverheadStats,
+    /// Sum of per-rank local (pre-merge) sizes.
+    pub local_bytes: usize,
+    pub total_calls: u64,
+}
+
+/// Runs a workload under the Pilgrim tracer.
+pub fn run_pilgrim(nranks: usize, cfg: PilgrimConfig, body: Body) -> PilgrimRun {
+    run_pilgrim_world(&WorldConfig::new(nranks), cfg, body)
+}
+
+/// [`run_pilgrim`] with a custom world configuration (overhead
+/// experiments enable compute spinning).
+pub fn run_pilgrim_world(wcfg: &WorldConfig, cfg: PilgrimConfig, body: Body) -> PilgrimRun {
+    let start = Instant::now();
+    let mut tracers = World::run(
+        wcfg,
+        |rank| PilgrimTracer::new(rank, cfg),
+        move |env| body(env),
+    );
+    let wall = start.elapsed();
+    let mut stats = OverheadStats::default();
+    let mut local_bytes = 0;
+    let mut total_calls = 0;
+    for t in &tracers {
+        stats.merge(&t.stats());
+        local_bytes += t.local_size_bytes();
+        total_calls += t.call_count();
+    }
+    PilgrimRun {
+        stats_rank0: tracers[0].stats(),
+        trace: tracers[0].take_global_trace().expect("rank 0 trace"),
+        wall,
+        stats,
+        local_bytes,
+        total_calls,
+    }
+}
+
+/// Runs a workload under the ScalaTrace model; returns
+/// (size, wall time, distinct groups).
+pub fn run_scalatrace(nranks: usize, body: Body) -> (usize, Duration, usize) {
+    run_scalatrace_world(&WorldConfig::new(nranks), body)
+}
+
+/// [`run_scalatrace`] with a custom world configuration.
+pub fn run_scalatrace_world(wcfg: &WorldConfig, body: Body) -> (usize, Duration, usize) {
+    let start = Instant::now();
+    let tracers = World::run(wcfg, ScalaTraceTracer::new, move |env| {
+        body(env)
+    });
+    let wall = start.elapsed();
+    let g = tracers[0].global().expect("rank 0 result");
+    (g.size_bytes(), wall, g.groups.len())
+}
+
+/// Runs a workload with no tracer; returns wall time.
+pub fn run_untraced(nranks: usize, body: Body) -> Duration {
+    run_untraced_world(&WorldConfig::new(nranks), body)
+}
+
+/// [`run_untraced`] with a custom world configuration.
+pub fn run_untraced_world(wcfg: &WorldConfig, body: Body) -> Duration {
+    let start = Instant::now();
+    World::run(wcfg, |_| NullTracer, move |env| body(env));
+    start.elapsed()
+}
+
+/// Runs a workload under the raw tracer; returns total bytes.
+pub fn run_raw(nranks: usize, body: Body) -> u64 {
+    let tracers = World::run(&WorldConfig::new(nranks), RawTracer::new, move |env| body(env));
+    tracers.iter().map(|t| t.bytes()).sum()
+}
+
+/// `--max-procs` / `PILGRIM_MAX_PROCS`, with a default.
+pub fn max_procs(default: usize) -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--max-procs" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    std::env::var("PILGRIM_MAX_PROCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `--iters` / `PILGRIM_ITERS` override for run length.
+pub fn iters(default: usize) -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--iters" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    std::env::var("PILGRIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Pretty byte counts, KB with one decimal like the paper's plots.
+pub fn kb(bytes: usize) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+/// Doubling sweep `start..=max`.
+pub fn sweep(start: usize, max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut p = start;
+    while p <= max {
+        v.push(p);
+        p *= 2;
+    }
+    v
+}
+
+/// Square process counts `(k*k) <= max`, starting at 4.
+pub fn square_sweep(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut k = 2;
+    while k * k <= max {
+        v.push(k * k);
+        k *= 2;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps() {
+        assert_eq!(sweep(8, 64), vec![8, 16, 32, 64]);
+        assert_eq!(square_sweep(64), vec![4, 16, 64]);
+        assert_eq!(kb(2048), "2.0");
+    }
+
+    #[test]
+    fn runners_work_end_to_end() {
+        let body = mpi_workloads::by_name("stirturb", 5);
+        let run = run_pilgrim(4, PilgrimConfig::default(), body.clone());
+        assert!(run.trace.size_bytes() > 0);
+        assert!(run.total_calls > 0);
+        let (st_size, _, groups) = run_scalatrace(4, body.clone());
+        assert!(st_size > 0 && groups >= 1);
+        let raw = run_raw(4, body.clone());
+        assert!(raw > run.trace.size_bytes() as u64);
+        let _ = run_untraced(4, body);
+    }
+}

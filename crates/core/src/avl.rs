@@ -1,0 +1,354 @@
+//! An AVL tree keyed by segment start address, used to track live memory
+//! segments (paper §3.3.3): lookups find the segment *containing* a given
+//! address in O(log N).
+
+/// Arena-based AVL tree mapping `start -> (size, payload)`.
+#[derive(Debug, Clone)]
+pub struct AvlTree<T> {
+    nodes: Vec<AvlNode<T>>,
+    free: Vec<usize>,
+    root: Option<usize>,
+    len: usize,
+}
+
+#[derive(Debug, Clone)]
+struct AvlNode<T> {
+    start: u64,
+    size: u64,
+    value: T,
+    left: Option<usize>,
+    right: Option<usize>,
+    height: i32,
+}
+
+impl<T> Default for AvlTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> AvlTree<T> {
+    pub fn new() -> Self {
+        AvlTree { nodes: Vec::new(), free: Vec::new(), root: None, len: 0 }
+    }
+
+    /// Number of live segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn height(&self, n: Option<usize>) -> i32 {
+        n.map_or(0, |i| self.nodes[i].height)
+    }
+
+    fn update(&mut self, i: usize) {
+        let h = 1 + self.height(self.nodes[i].left).max(self.height(self.nodes[i].right));
+        self.nodes[i].height = h;
+    }
+
+    fn balance_factor(&self, i: usize) -> i32 {
+        self.height(self.nodes[i].left) - self.height(self.nodes[i].right)
+    }
+
+    fn rotate_right(&mut self, y: usize) -> usize {
+        let x = self.nodes[y].left.expect("rotate_right without left child");
+        self.nodes[y].left = self.nodes[x].right;
+        self.nodes[x].right = Some(y);
+        self.update(y);
+        self.update(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: usize) -> usize {
+        let y = self.nodes[x].right.expect("rotate_left without right child");
+        self.nodes[x].right = self.nodes[y].left;
+        self.nodes[y].left = Some(x);
+        self.update(x);
+        self.update(y);
+        y
+    }
+
+    fn rebalance(&mut self, i: usize) -> usize {
+        self.update(i);
+        let bf = self.balance_factor(i);
+        if bf > 1 {
+            if self.balance_factor(self.nodes[i].left.unwrap()) < 0 {
+                let l = self.nodes[i].left.unwrap();
+                let nl = self.rotate_left(l);
+                self.nodes[i].left = Some(nl);
+            }
+            self.rotate_right(i)
+        } else if bf < -1 {
+            if self.balance_factor(self.nodes[i].right.unwrap()) > 0 {
+                let r = self.nodes[i].right.unwrap();
+                let nr = self.rotate_right(r);
+                self.nodes[i].right = Some(nr);
+            }
+            self.rotate_left(i)
+        } else {
+            i
+        }
+    }
+
+    /// Inserts a segment `[start, start+size)`. Panics on duplicate starts
+    /// (the allocator never hands out the same live address twice).
+    pub fn insert(&mut self, start: u64, size: u64, value: T) {
+        let node = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = AvlNode { start, size, value, left: None, right: None, height: 1 };
+                i
+            }
+            None => {
+                self.nodes.push(AvlNode { start, size, value, left: None, right: None, height: 1 });
+                self.nodes.len() - 1
+            }
+        };
+        self.root = Some(self.insert_at(self.root, node));
+        self.len += 1;
+    }
+
+    fn insert_at(&mut self, at: Option<usize>, node: usize) -> usize {
+        let Some(i) = at else { return node };
+        let key = self.nodes[node].start;
+        if key < self.nodes[i].start {
+            let child = self.insert_at(self.nodes[i].left, node);
+            self.nodes[i].left = Some(child);
+        } else if key > self.nodes[i].start {
+            let child = self.insert_at(self.nodes[i].right, node);
+            self.nodes[i].right = Some(child);
+        } else {
+            panic!("duplicate segment start {key:#x}");
+        }
+        self.rebalance(i)
+    }
+
+    /// Finds the segment containing `addr`, returning
+    /// `(start, size, &value)`.
+    pub fn find_containing(&self, addr: u64) -> Option<(u64, u64, &T)> {
+        let mut cur = self.root;
+        let mut best: Option<usize> = None;
+        while let Some(i) = cur {
+            if self.nodes[i].start <= addr {
+                best = Some(i);
+                cur = self.nodes[i].right;
+            } else {
+                cur = self.nodes[i].left;
+            }
+        }
+        let i = best?;
+        let n = &self.nodes[i];
+        (addr < n.start + n.size).then_some((n.start, n.size, &n.value))
+    }
+
+    /// Removes the segment starting exactly at `start`, returning its value.
+    pub fn remove(&mut self, start: u64) -> Option<T>
+    where
+        T: Clone,
+    {
+        let (root, removed) = self.remove_at(self.root, start);
+        self.root = root;
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(&mut self, at: Option<usize>, key: u64) -> (Option<usize>, Option<T>)
+    where
+        T: Clone,
+    {
+        let Some(i) = at else { return (None, None) };
+        let removed;
+        let mut node = i;
+        if key < self.nodes[i].start {
+            let (child, r) = self.remove_at(self.nodes[i].left, key);
+            self.nodes[i].left = child;
+            removed = r;
+        } else if key > self.nodes[i].start {
+            let (child, r) = self.remove_at(self.nodes[i].right, key);
+            self.nodes[i].right = child;
+            removed = r;
+        } else {
+            removed = Some(self.nodes[i].value.clone());
+            match (self.nodes[i].left, self.nodes[i].right) {
+                (None, None) => {
+                    self.free.push(i);
+                    return (None, removed);
+                }
+                (Some(c), None) | (None, Some(c)) => {
+                    self.free.push(i);
+                    return (Some(c), removed);
+                }
+                (Some(_), Some(r)) => {
+                    // Replace with in-order successor.
+                    let mut s = r;
+                    while let Some(l) = self.nodes[s].left {
+                        s = l;
+                    }
+                    let (succ_start, succ_size) = (self.nodes[s].start, self.nodes[s].size);
+                    let succ_val = self.nodes[s].value.clone();
+                    let (child, _) = self.remove_at(self.nodes[i].right, succ_start);
+                    self.nodes[i].right = child;
+                    self.nodes[i].start = succ_start;
+                    self.nodes[i].size = succ_size;
+                    self.nodes[i].value = succ_val;
+                }
+            }
+        }
+        node = self.rebalance(node);
+        (Some(node), removed)
+    }
+
+    /// In-order traversal (ascending start address).
+    pub fn iter(&self) -> Vec<(u64, u64, &T)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.walk(self.root, &mut out);
+        out
+    }
+
+    fn walk<'a>(&'a self, at: Option<usize>, out: &mut Vec<(u64, u64, &'a T)>) {
+        if let Some(i) = at {
+            self.walk(self.nodes[i].left, out);
+            out.push((self.nodes[i].start, self.nodes[i].size, &self.nodes[i].value));
+            self.walk(self.nodes[i].right, out);
+        }
+    }
+
+    /// Validates AVL invariants (tests only).
+    #[doc(hidden)]
+    pub fn validate(&self) {
+        fn check<T>(t: &AvlTree<T>, at: Option<usize>, lo: Option<u64>, hi: Option<u64>) -> i32 {
+            let Some(i) = at else { return 0 };
+            let n = &t.nodes[i];
+            if let Some(lo) = lo {
+                assert!(n.start > lo, "BST order violated");
+            }
+            if let Some(hi) = hi {
+                assert!(n.start < hi, "BST order violated");
+            }
+            let hl = check(t, n.left, lo, Some(n.start));
+            let hr = check(t, n.right, Some(n.start), hi);
+            assert!((hl - hr).abs() <= 1, "AVL balance violated at {:#x}", n.start);
+            let h = 1 + hl.max(hr);
+            assert_eq!(h, n.height, "stale height at {:#x}", n.start);
+            h
+        }
+        check(self, self.root, None, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_find_remove_basic() {
+        let mut t = AvlTree::new();
+        t.insert(100, 50, "a");
+        t.insert(200, 10, "b");
+        t.validate();
+        assert_eq!(t.find_containing(100), Some((100, 50, &"a")));
+        assert_eq!(t.find_containing(149), Some((100, 50, &"a")));
+        assert_eq!(t.find_containing(150), None);
+        assert_eq!(t.find_containing(205), Some((200, 10, &"b")));
+        assert_eq!(t.remove(100), Some("a"));
+        t.validate();
+        assert_eq!(t.find_containing(120), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn stays_balanced_under_sequential_insert() {
+        let mut t = AvlTree::new();
+        for i in 0..1000u64 {
+            t.insert(i * 16, 16, i);
+        }
+        t.validate();
+        for i in 0..1000u64 {
+            assert_eq!(t.find_containing(i * 16 + 7), Some((i * 16, 16, &i)));
+        }
+    }
+
+    #[test]
+    fn matches_btreemap_model_under_random_ops() {
+        // Deterministic pseudo-random insert/remove/query mix.
+        let mut t = AvlTree::new();
+        let mut model: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let mut state = 0xabcdefu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for step in 0..3000 {
+            let op = next() % 3;
+            if op == 0 || model.len() < 4 {
+                let start = (next() % 1000) * 64;
+                let size = 16 + next() % 48;
+                model.entry(start).or_insert_with(|| {
+                    t.insert(start, size, step as u64);
+                    (size, step as u64)
+                });
+            } else if op == 1 {
+                let keys: Vec<u64> = model.keys().copied().collect();
+                let k = keys[(next() as usize) % keys.len()];
+                let expect = model.remove(&k).map(|(_, v)| v);
+                assert_eq!(t.remove(k), expect);
+            } else {
+                let addr = next() % 64_000;
+                let expect = model
+                    .range(..=addr)
+                    .next_back()
+                    .filter(|(s, (sz, _))| addr < *s + *sz)
+                    .map(|(s, (sz, v))| (*s, *sz, v));
+                let got = t.find_containing(addr);
+                assert_eq!(got.map(|(s, sz, &v)| (s, sz, v)), expect.map(|(s, sz, &v)| (s, sz, v)));
+            }
+            if step % 100 == 0 {
+                t.validate();
+            }
+        }
+        t.validate();
+        assert_eq!(t.len(), model.len());
+    }
+
+    #[test]
+    fn remove_missing_returns_none() {
+        let mut t: AvlTree<u32> = AvlTree::new();
+        assert_eq!(t.remove(5), None);
+        t.insert(10, 5, 1);
+        assert_eq!(t.remove(11), None, "remove requires exact start");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_ordered() {
+        let mut t = AvlTree::new();
+        for &s in &[50u64, 10, 90, 30, 70] {
+            t.insert(s, 5, ());
+        }
+        let starts: Vec<u64> = t.iter().iter().map(|&(s, _, _)| s).collect();
+        assert_eq!(starts, vec![10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn node_reuse_after_remove() {
+        let mut t = AvlTree::new();
+        for i in 0..100u64 {
+            t.insert(i * 8, 8, i);
+        }
+        for i in 0..100u64 {
+            t.remove(i * 8);
+        }
+        assert!(t.is_empty());
+        for i in 0..100u64 {
+            t.insert(i * 8, 8, i);
+        }
+        t.validate();
+        assert_eq!(t.nodes.len(), 100, "arena slots must be reused");
+    }
+}

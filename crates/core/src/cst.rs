@@ -1,0 +1,215 @@
+//! The call signature table (CST, paper §2.1).
+//!
+//! Maps each distinct call signature to a grammar terminal and keeps
+//! per-signature aggregate timing (the default timing mode: average call
+//! duration, §3.2).
+
+use std::collections::HashMap;
+
+use pilgrim_sequitur::{read_varint, write_varint};
+
+/// Aggregate statistics kept per signature.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SigStats {
+    /// Number of calls with this signature.
+    pub count: u64,
+    /// Sum of call durations (simulated ns).
+    pub dur_sum: u64,
+}
+
+impl SigStats {
+    /// Average duration of calls with this signature.
+    pub fn avg_duration(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.dur_sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A per-rank (or merged) call signature table.
+#[derive(Debug, Default, Clone)]
+pub struct Cst {
+    map: HashMap<Vec<u8>, u32>,
+    entries: Vec<(Vec<u8>, SigStats)>,
+}
+
+impl Cst {
+    pub fn new() -> Self {
+        Cst::default()
+    }
+
+    /// Interns a signature, returning its terminal and recording one call
+    /// of `duration`.
+    pub fn observe(&mut self, sig: &[u8], duration: u64) -> u32 {
+        let term = match self.map.get(sig) {
+            Some(&t) => t,
+            None => {
+                let t = self.entries.len() as u32;
+                self.map.insert(sig.to_vec(), t);
+                self.entries.push((sig.to_vec(), SigStats::default()));
+                t
+            }
+        };
+        let stats = &mut self.entries[term as usize].1;
+        stats.count += 1;
+        stats.dur_sum += duration;
+        term
+    }
+
+    /// Interns a signature without timing (used during merges).
+    pub fn intern(&mut self, sig: &[u8], stats: SigStats) -> u32 {
+        match self.map.get(sig) {
+            Some(&t) => {
+                let s = &mut self.entries[t as usize].1;
+                s.count += stats.count;
+                s.dur_sum += stats.dur_sum;
+                t
+            }
+            None => {
+                let t = self.entries.len() as u32;
+                self.map.insert(sig.to_vec(), t);
+                self.entries.push((sig.to_vec(), stats));
+                t
+            }
+        }
+    }
+
+    /// Looks up a signature's terminal without inserting.
+    pub fn lookup(&self, sig: &[u8]) -> Option<u32> {
+        self.map.get(sig).copied()
+    }
+
+    /// Number of distinct signatures.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The signature bytes for a terminal.
+    pub fn signature(&self, term: u32) -> &[u8] {
+        &self.entries[term as usize].0
+    }
+
+    /// The aggregate stats for a terminal.
+    pub fn stats(&self, term: u32) -> SigStats {
+        self.entries[term as usize].1
+    }
+
+    /// Iterates `(terminal, signature, stats)` in terminal order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u8], SigStats)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, (sig, st))| (i as u32, sig.as_slice(), *st))
+    }
+
+    /// Serialized size in bytes (what the trace-size experiments count).
+    pub fn byte_size(&self) -> usize {
+        let mut buf = Vec::new();
+        self.serialize(&mut buf);
+        buf.len()
+    }
+
+    /// Serializes the table: count, then per entry (len, bytes, stats).
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.entries.len() as u64);
+        for (sig, stats) in &self.entries {
+            write_varint(out, sig.len() as u64);
+            out.extend_from_slice(sig);
+            write_varint(out, stats.count);
+            write_varint(out, stats.dur_sum);
+        }
+    }
+
+    /// Deserializes a table written by [`Cst::serialize`].
+    pub fn deserialize(buf: &[u8], pos: &mut usize) -> Option<Cst> {
+        let n = read_varint(buf, pos)? as usize;
+        let mut cst = Cst::new();
+        for _ in 0..n {
+            let len = read_varint(buf, pos)? as usize;
+            let sig = buf.get(*pos..*pos + len)?.to_vec();
+            *pos += len;
+            let count = read_varint(buf, pos)?;
+            let dur_sum = read_varint(buf, pos)?;
+            cst.intern(&sig, SigStats { count, dur_sum });
+        }
+        Some(cst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_signatures_get_one_terminal() {
+        let mut c = Cst::new();
+        let a1 = c.observe(b"send:1", 100);
+        let b = c.observe(b"recv:0", 150);
+        let a2 = c.observe(b"send:1", 120);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(c.len(), 2);
+        let st = c.stats(a1);
+        assert_eq!(st.count, 2);
+        assert_eq!(st.dur_sum, 220);
+        assert!((st.avg_duration() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn terminals_are_dense_and_ordered() {
+        let mut c = Cst::new();
+        for i in 0..10u8 {
+            assert_eq!(c.observe(&[i], 1), i as u32);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut c = Cst::new();
+        assert_eq!(c.lookup(b"x"), None);
+        c.observe(b"x", 1);
+        assert_eq!(c.lookup(b"x"), Some(0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let mut c = Cst::new();
+        c.observe(b"alpha", 10);
+        c.observe(b"beta", 20);
+        c.observe(b"alpha", 30);
+        let mut buf = Vec::new();
+        c.serialize(&mut buf);
+        assert_eq!(buf.len(), c.byte_size());
+        let mut pos = 0;
+        let back = Cst::deserialize(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.signature(0), b"alpha");
+        assert_eq!(back.stats(0), SigStats { count: 2, dur_sum: 40 });
+    }
+
+    #[test]
+    fn intern_merges_stats() {
+        let mut c = Cst::new();
+        c.intern(b"s", SigStats { count: 3, dur_sum: 30 });
+        c.intern(b"s", SigStats { count: 2, dur_sum: 20 });
+        assert_eq!(c.stats(0), SigStats { count: 5, dur_sum: 50 });
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let c = Cst::new();
+        let mut buf = Vec::new();
+        c.serialize(&mut buf);
+        let mut pos = 0;
+        let back = Cst::deserialize(&buf, &mut pos).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,294 @@
+//! Trace decoding and lossless verification.
+//!
+//! The paper validates Pilgrim by decompressing traces and comparing them
+//! against the uncompressed record stream ("we can check correctness by
+//! comparing uncompressed traces to compressed next decompressed traces",
+//! §4). [`decode_rank_calls`] expands a merged trace back into per-call
+//! argument lists; [`verify_lossless`] checks a trace against a reference
+//! capture taken during tracing.
+
+use std::collections::{HashMap, HashSet};
+
+use mpi_sim::hooks::Arg;
+use mpi_sim::FuncId;
+
+use crate::encode::{decode_signature, EncodedArg, EncodedCall};
+use crate::trace::GlobalTrace;
+use crate::tracer::CapturedCall;
+
+/// Decodes one rank's full call sequence from a merged trace.
+pub fn decode_rank_calls(trace: &GlobalTrace, rank: usize) -> Vec<EncodedCall> {
+    trace
+        .decode_rank(rank)
+        .into_iter()
+        .map(|term| {
+            decode_signature(trace.cst.signature(term))
+                .expect("stored signatures are well-formed")
+        })
+        .collect()
+}
+
+/// Verification statistics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct VerifyReport {
+    pub calls_checked: u64,
+    pub args_checked: u64,
+}
+
+/// Verifies that the merged trace reproduces the reference capture for
+/// every rank: same call sequence, same function ids, and every
+/// non-opaque argument recoverable exactly (ranks via relative decoding);
+/// opaque communicator references must be referentially consistent.
+pub fn verify_lossless(
+    trace: &GlobalTrace,
+    refs: &[Vec<CapturedCall>],
+) -> Result<VerifyReport, String> {
+    if refs.len() != trace.nranks {
+        return Err(format!(
+            "trace has {} ranks, reference has {}",
+            trace.nranks,
+            refs.len()
+        ));
+    }
+    let mut report = VerifyReport::default();
+    let decoded_ranks = trace.decode_all_ranks();
+    for (rank, (terms, reference)) in decoded_ranks.iter().zip(refs).enumerate() {
+        if terms.len() != reference.len() {
+            return Err(format!(
+                "rank {rank}: decoded {} calls, reference has {}",
+                terms.len(),
+                reference.len()
+            ));
+        }
+        // Referential consistency for communicator symbols, plus the
+        // per-request relative bases the tracer used for statuses.
+        let mut comm_map: HashMap<u64, u32> = HashMap::new();
+        let mut freed_comms: HashSet<u32> = HashSet::new();
+        let mut req_base: HashMap<u64, i64> = HashMap::new();
+        for (i, (&term, cap)) in terms.iter().zip(reference).enumerate() {
+            let sig = trace.cst.signature(term);
+            let call = decode_signature(sig)
+                .ok_or_else(|| format!("rank {rank} call {i}: undecodable signature"))?;
+            if call.func != cap.rec.func.id() {
+                return Err(format!(
+                    "rank {rank} call {i}: func {} != expected {}",
+                    call.func,
+                    cap.rec.func.id()
+                ));
+            }
+            if call.args.len() != cap.rec.args.len() {
+                return Err(format!(
+                    "rank {rank} call {i} ({:?}): {} args decoded, {} expected",
+                    cap.rec.func,
+                    call.args.len(),
+                    cap.rec.args.len()
+                ));
+            }
+            let bases = status_bases(&cap.rec, cap.caller_rank, &req_base);
+            let mut status_idx = 0usize;
+            for (j, (dec, raw)) in call.args.iter().zip(&cap.rec.args).enumerate() {
+                check_arg(
+                    dec, raw, cap, rank, i, j,
+                    &mut comm_map, &mut freed_comms, &cap.rec.func,
+                    &bases, &mut status_idx,
+                )?;
+                report.args_checked += 1;
+            }
+            track_requests(&cap.rec, cap.caller_rank, &mut req_base);
+            report.calls_checked += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Mirrors the tracer's per-request status bases using the reference
+/// capture's raw request ids.
+fn status_bases(rec: &mpi_sim::CallRec, caller_rank: i64, req_base: &HashMap<u64, i64>) -> Vec<i64> {
+    let look = |raw: u64| -> i64 { req_base.get(&raw).copied().unwrap_or(caller_rank) };
+    let arr = |a: &Arg| -> Vec<u64> {
+        match a {
+            Arg::RequestArr(v) => v.clone(),
+            _ => Vec::new(),
+        }
+    };
+    let int = |a: &Arg| -> i64 {
+        match a {
+            Arg::Int(v) => *v,
+            _ => 0,
+        }
+    };
+    match rec.func {
+        FuncId::Wait | FuncId::Test => match rec.args.first() {
+            Some(Arg::Request(r)) if *r != u64::MAX => vec![look(*r)],
+            _ => vec![caller_rank],
+        },
+        FuncId::Waitall | FuncId::Testall => arr(&rec.args[1])
+            .into_iter()
+            .map(|r| if r == u64::MAX { caller_rank } else { look(r) })
+            .collect(),
+        FuncId::Waitany => {
+            let idx = int(&rec.args[2]);
+            if idx >= 0 {
+                vec![look(arr(&rec.args[1])[idx as usize])]
+            } else {
+                vec![caller_rank]
+            }
+        }
+        FuncId::Testany => {
+            let idx = int(&rec.args[2]);
+            if int(&rec.args[3]) == 1 && idx >= 0 {
+                vec![look(arr(&rec.args[1])[idx as usize])]
+            } else {
+                vec![caller_rank]
+            }
+        }
+        FuncId::Waitsome | FuncId::Testsome => {
+            let reqs = arr(&rec.args[1]);
+            match &rec.args[3] {
+                Arg::IntArr(idx) => idx.iter().map(|&i| look(reqs[i as usize])).collect(),
+                _ => vec![],
+            }
+        }
+        _ => vec![],
+    }
+}
+
+/// Tracks request creation so later statuses use the right base.
+fn track_requests(rec: &mpi_sim::CallRec, caller_rank: i64, req_base: &mut HashMap<u64, i64>) {
+    let creates = matches!(
+        rec.func,
+        FuncId::Isend
+            | FuncId::Ibsend
+            | FuncId::Issend
+            | FuncId::Irsend
+            | FuncId::Irecv
+            | FuncId::Ibarrier
+            | FuncId::Iallreduce
+            | FuncId::CommIdup
+    );
+    if creates {
+        if let Some(Arg::Request(raw)) = rec.args.iter().rev().find(|a| matches!(a, Arg::Request(_))) {
+            req_base.insert(*raw, caller_rank);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_arg(
+    dec: &EncodedArg,
+    raw: &Arg,
+    cap: &CapturedCall,
+    rank: usize,
+    call: usize,
+    argi: usize,
+    comm_map: &mut HashMap<u64, u32>,
+    freed_comms: &mut HashSet<u32>,
+    func: &FuncId,
+    bases: &[i64],
+    status_idx: &mut usize,
+) -> Result<(), String> {
+    let fail = |msg: String| Err(format!("rank {rank} call {call} ({func:?}) arg {argi}: {msg}"));
+    match (dec, raw) {
+        (EncodedArg::Int(d), Arg::Int(r)) => {
+            if d != r {
+                return fail(format!("int {d} != {r}"));
+            }
+        }
+        (EncodedArg::Rank(code), Arg::Rank(r)) => {
+            let abs = code.absolutize(cap.caller_rank);
+            if abs != *r as i64 {
+                return fail(format!("rank {abs} != {r}"));
+            }
+        }
+        (EncodedArg::Tag(d), Arg::Tag(r)) => {
+            // Relative-aux tags decode back through the caller rank.
+            if *d != *r as i64 && *d + cap.caller_rank != *r as i64 {
+                return fail(format!("tag {d} != {r}"));
+            }
+        }
+        (EncodedArg::Comm(sym), Arg::Comm(h)) => {
+            // Deferred (idup) and undefined markers are exempt.
+            if *sym == u64::MAX || *sym == u64::MAX - 2 {
+                return Ok(());
+            }
+            match comm_map.get(sym) {
+                Some(&prev) if prev == *h => {}
+                Some(&prev) if freed_comms.contains(&prev) => {
+                    comm_map.insert(*sym, *h);
+                }
+                Some(&prev) => {
+                    return fail(format!("comm sym {sym} maps to {prev} and {h}"));
+                }
+                None => {
+                    comm_map.insert(*sym, *h);
+                }
+            }
+            if *func == FuncId::CommFree {
+                freed_comms.insert(*h);
+            }
+        }
+        (EncodedArg::Datatype(_), Arg::Datatype(_)) => {}
+        (EncodedArg::Op(d), Arg::Op(r)) => {
+            if d != r {
+                return fail(format!("op {d} != {r}"));
+            }
+        }
+        (EncodedArg::Group(_), Arg::Group(_)) => {}
+        (EncodedArg::Request(_), Arg::Request(_)) => {}
+        (EncodedArg::RequestArr(d), Arg::RequestArr(r)) => {
+            if d.len() != r.len() {
+                return fail(format!("request array {} != {}", d.len(), r.len()));
+            }
+            for (ds, rs) in d.iter().zip(r) {
+                if ds.is_none() != (*rs == u64::MAX) {
+                    return fail("request-null pattern mismatch".into());
+                }
+            }
+        }
+        (EncodedArg::Ptr { .. }, Arg::Ptr(_)) => {}
+        (EncodedArg::Status { source, tag }, Arg::Status { source: rs, tag: rt }) => {
+            let base = bases.get(*status_idx).copied().unwrap_or(cap.caller_rank);
+            *status_idx += 1;
+            if source.absolutize(base) != *rs as i64 {
+                return fail(format!("status source {source:?} != {rs}"));
+            }
+            if *tag != *rt as i64 {
+                return fail(format!("status tag {tag} != {rt}"));
+            }
+        }
+        (EncodedArg::StatusArr(d), Arg::StatusArr(r)) => {
+            if d.len() != r.len() {
+                return fail(format!("status array {} != {}", d.len(), r.len()));
+            }
+            for ((src, tag), (rs, rt)) in d.iter().zip(r) {
+                let base = bases.get(*status_idx).copied().unwrap_or(cap.caller_rank);
+                *status_idx += 1;
+                if src.absolutize(base) != *rs as i64 || *tag != *rt as i64 {
+                    return fail("status array entry mismatch".into());
+                }
+            }
+        }
+        (EncodedArg::IntArr(d), Arg::IntArr(r)) => {
+            if d != r {
+                return fail(format!("int array {d:?} != {r:?}"));
+            }
+        }
+        (EncodedArg::Color(d), Arg::Color(r)) => {
+            if *d != *r as i64 && *d + cap.caller_rank != *r as i64 {
+                return fail(format!("color {d} != {r}"));
+            }
+        }
+        (EncodedArg::Key(d), Arg::Key(r)) => {
+            if *d != *r as i64 && *d + cap.caller_rank != *r as i64 {
+                return fail(format!("key {d} != {r}"));
+            }
+        }
+        (EncodedArg::Str(d), Arg::Str(r)) => {
+            if d != r {
+                return fail(format!("string {d:?} != {r:?}"));
+            }
+        }
+        (d, r) => return fail(format!("kind mismatch: decoded {d:?}, raw {r:?}")),
+    }
+    Ok(())
+}

@@ -1,0 +1,188 @@
+//! Trace export to a human-readable, OTF-inspired text format.
+//!
+//! The paper notes that Pilgrim's own format keeps existing post-
+//! processing tools from reading its traces, and lists a converter "into
+//! some existing trace formats (e.g., OTF)" as future work. This module
+//! implements that direction: a line-oriented event format in the spirit
+//! of OTF's ASCII representation — a definitions preamble (functions,
+//! signatures) followed by per-rank event records — which downstream
+//! text tooling can consume directly.
+
+use std::fmt::Write;
+
+use mpi_sim::FuncId;
+
+use crate::encode::{decode_signature, EncodedArg, RankCode};
+use crate::trace::GlobalTrace;
+
+fn fmt_rank(code: RankCode) -> String {
+    match code {
+        RankCode::Relative(d) => format!("rel({d:+})"),
+        RankCode::Absolute(r) => format!("{r}"),
+        RankCode::AnySource => "ANY_SOURCE".into(),
+        RankCode::ProcNull => "PROC_NULL".into(),
+    }
+}
+
+fn fmt_arg(arg: &EncodedArg) -> String {
+    match arg {
+        EncodedArg::Int(v) => format!("{v}"),
+        EncodedArg::Rank(c) => fmt_rank(*c),
+        EncodedArg::Tag(t) => format!("tag={t}"),
+        EncodedArg::Comm(c) => {
+            if *c == u64::MAX {
+                "comm=UNDEFINED".into()
+            } else if *c == u64::MAX - 2 {
+                "comm=<deferred>".into()
+            } else {
+                format!("comm={c}")
+            }
+        }
+        EncodedArg::Datatype(d) => format!("dtype={d}"),
+        EncodedArg::Op(o) => format!("op={o}"),
+        EncodedArg::Group(g) => format!("group={g}"),
+        EncodedArg::Request(r) => {
+            if *r == u64::MAX {
+                "req=NULL".into()
+            } else {
+                format!("req={r}")
+            }
+        }
+        EncodedArg::RequestArr(v) => {
+            let items: Vec<String> = v
+                .iter()
+                .map(|r| r.map_or("NULL".into(), |x| x.to_string()))
+                .collect();
+            format!("reqs=[{}]", items.join(","))
+        }
+        EncodedArg::Ptr { segment, offset } => format!("buf=seg{segment}+{offset}"),
+        EncodedArg::Status { source, tag } => {
+            format!("status=({},{})", fmt_rank(*source), tag)
+        }
+        EncodedArg::StatusArr(v) => {
+            let items: Vec<String> = v
+                .iter()
+                .map(|(s, t)| format!("({},{t})", fmt_rank(*s)))
+                .collect();
+            format!("statuses=[{}]", items.join(","))
+        }
+        EncodedArg::IntArr(v) => format!("{v:?}"),
+        EncodedArg::Color(c) => format!("color={c}"),
+        EncodedArg::Key(k) => format!("key={k}"),
+        EncodedArg::Str(s) => format!("{s:?}"),
+    }
+}
+
+/// Exports the whole trace as text: a `DEF` section mapping signature ids
+/// to decoded calls, then one `EVT <rank> <signature-id>` line per call.
+/// Event bodies live in the definition table, so the export stays compact
+/// for repetitive traces.
+pub fn to_text(trace: &GlobalTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# pilgrim trace export (OTF-style text)");
+    let _ = writeln!(out, "# ranks {}", trace.nranks);
+    let _ = writeln!(out, "# calls {}", trace.rank_lengths.iter().sum::<u64>());
+    let _ = writeln!(out, "# signatures {}", trace.cst.len());
+    for (term, sig, stats) in trace.cst.iter() {
+        let call = decode_signature(sig).expect("stored signatures decode");
+        let name = FuncId::from_id(call.func).map_or("MPI_<unknown>", |f| f.name());
+        let args: Vec<String> = call.args.iter().map(fmt_arg).collect();
+        let _ = writeln!(
+            out,
+            "DEF {term} {name}({}) count={} avg_ns={:.0}",
+            args.join(", "),
+            stats.count,
+            stats.avg_duration()
+        );
+    }
+    for (rank, terms) in trace.decode_all_ranks().into_iter().enumerate() {
+        for t in terms {
+            let _ = writeln!(out, "EVT {rank} {t}");
+        }
+    }
+    out
+}
+
+/// Exports only the definitions (the per-signature view of the program).
+pub fn to_signature_listing(trace: &GlobalTrace) -> String {
+    let mut out = String::new();
+    for (term, sig, stats) in trace.cst.iter() {
+        let call = decode_signature(sig).expect("stored signatures decode");
+        let name = FuncId::from_id(call.func).map_or("MPI_<unknown>", |f| f.name());
+        let args: Vec<String> = call.args.iter().map(fmt_arg).collect();
+        let _ = writeln!(
+            out,
+            "{term:>6}  {name}({})  x{}",
+            args.join(", "),
+            stats.count
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpi_sim::datatype::BasicType;
+    use mpi_sim::{World, WorldConfig};
+    use crate::tracer::PilgrimTracer;
+
+    fn sample_trace() -> GlobalTrace {
+        let mut tracers = World::run(
+            &WorldConfig::new(2),
+            PilgrimTracer::with_defaults,
+            |env| {
+                let me = env.world_rank();
+                let world = env.comm_world();
+                let dt = env.basic(BasicType::LongLong);
+                let buf = env.malloc(8);
+                for _ in 0..5 {
+                    if me == 0 {
+                        env.send(buf, 1, dt, 1, 9, world);
+                    } else {
+                        env.recv(buf, 1, dt, 0, 9, world);
+                    }
+                    env.barrier(world);
+                }
+            },
+        );
+        tracers[0].take_global_trace().unwrap()
+    }
+
+    #[test]
+    fn export_contains_defs_and_events() {
+        let trace = sample_trace();
+        let text = to_text(&trace);
+        assert!(text.contains("DEF"));
+        assert!(text.contains("MPI_Send"));
+        assert!(text.contains("MPI_Recv"));
+        assert!(text.contains("MPI_Barrier"));
+        assert!(text.contains("tag=9"));
+        // One EVT line per call.
+        let evts = text.lines().filter(|l| l.starts_with("EVT ")).count() as u64;
+        assert_eq!(evts, trace.rank_lengths.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn events_reference_defined_signatures() {
+        let trace = sample_trace();
+        let text = to_text(&trace);
+        let defs: std::collections::HashSet<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("DEF "))
+            .map(|l| l.split_whitespace().nth(1).unwrap())
+            .collect();
+        for l in text.lines().filter(|l| l.starts_with("EVT ")) {
+            let term = l.split_whitespace().nth(2).unwrap();
+            assert!(defs.contains(term), "event references undefined signature {term}");
+        }
+    }
+
+    #[test]
+    fn signature_listing_is_compact() {
+        let trace = sample_trace();
+        let listing = to_signature_listing(&trace);
+        assert_eq!(listing.lines().count(), trace.cst.len());
+        assert!(listing.contains("x5"), "counts are shown");
+    }
+}

@@ -1,0 +1,132 @@
+//! Live memory-segment tracking (paper §3.3.3).
+//!
+//! Heap allocations observed through the interposed allocator are kept in
+//! an AVL tree ordered by start address; each segment carries a symbolic id
+//! drawn from a reusable pool. A buffer pointer used in an MPI call is
+//! encoded as `(segment id, offset)`, which both strips the meaningless
+//! absolute address and lets post-processing match calls operating on the
+//! same buffer. Addresses not covered by any tracked segment (stack or
+//! static buffers) are registered lazily as one-byte segments.
+
+use crate::avl::AvlTree;
+use crate::idpool::IdPool;
+
+/// Encoded form of a memory pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtrCode {
+    /// Symbolic id of the containing segment.
+    pub segment: u64,
+    /// Byte offset of the pointer within the segment.
+    pub offset: u64,
+}
+
+/// Tracks live heap segments and their symbolic ids.
+#[derive(Debug, Default)]
+pub struct MemTracker {
+    tree: AvlTree<u64>,
+    pool: IdPool,
+}
+
+impl MemTracker {
+    pub fn new() -> Self {
+        MemTracker::default()
+    }
+
+    /// A segment was allocated.
+    pub fn on_alloc(&mut self, addr: u64, size: u64) {
+        let id = self.pool.acquire();
+        self.tree.insert(addr, size.max(1), id);
+    }
+
+    /// A segment was freed; its id returns to the pool.
+    pub fn on_free(&mut self, addr: u64) {
+        if let Some(id) = self.tree.remove(addr) {
+            self.pool.release(id);
+        }
+    }
+
+    /// Encodes a pointer. Unknown addresses get a fresh conservative
+    /// one-byte segment (stack variables, §3.3.3).
+    pub fn encode_ptr(&mut self, addr: u64) -> PtrCode {
+        if let Some((start, _, &id)) = self.tree.find_containing(addr) {
+            return PtrCode { segment: id, offset: addr - start };
+        }
+        let id = self.pool.acquire();
+        self.tree.insert(addr, 1, id);
+        PtrCode { segment: id, offset: 0 }
+    }
+
+    /// Number of live tracked segments.
+    pub fn live_segments(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Footprint of the id space.
+    pub fn id_high_water(&self) -> u64 {
+        self.pool.high_water()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointers_resolve_to_segment_and_offset() {
+        let mut m = MemTracker::new();
+        m.on_alloc(0x1000, 256);
+        m.on_alloc(0x2000, 64);
+        assert_eq!(m.encode_ptr(0x1000), PtrCode { segment: 0, offset: 0 });
+        assert_eq!(m.encode_ptr(0x1080), PtrCode { segment: 0, offset: 0x80 });
+        assert_eq!(m.encode_ptr(0x2010), PtrCode { segment: 1, offset: 0x10 });
+    }
+
+    #[test]
+    fn freed_ids_are_reused_for_new_segments() {
+        let mut m = MemTracker::new();
+        m.on_alloc(0x1000, 16);
+        m.on_free(0x1000);
+        m.on_alloc(0x9000, 16);
+        // Same symbolic id 0, even at a different address — programs that
+        // free and reallocate per iteration produce identical signatures.
+        assert_eq!(m.encode_ptr(0x9000).segment, 0);
+        assert_eq!(m.id_high_water(), 1);
+    }
+
+    #[test]
+    fn unknown_address_becomes_stack_segment() {
+        let mut m = MemTracker::new();
+        let c1 = m.encode_ptr(0x7fff_0000);
+        assert_eq!(c1.offset, 0);
+        // The same address hits the same lazy segment afterwards.
+        let c2 = m.encode_ptr(0x7fff_0000);
+        assert_eq!(c1, c2);
+        assert_eq!(m.live_segments(), 1);
+    }
+
+    #[test]
+    fn free_of_untracked_address_is_ignored() {
+        let mut m = MemTracker::new();
+        m.on_free(0x4444);
+        assert_eq!(m.live_segments(), 0);
+    }
+
+    #[test]
+    fn interleaved_alloc_free_keeps_ids_stable_per_iteration() {
+        let mut m = MemTracker::new();
+        let mut first: Option<Vec<u64>> = None;
+        for iter in 0..5 {
+            let base = 0x1000 * (iter + 1) as u64;
+            m.on_alloc(base, 128);
+            m.on_alloc(base + 0x10000, 128);
+            let ids = vec![m.encode_ptr(base).segment, m.encode_ptr(base + 0x10000).segment];
+            if let Some(f) = &first {
+                assert_eq!(&ids, f);
+            } else {
+                first = Some(ids);
+            }
+            m.on_free(base);
+            m.on_free(base + 0x10000);
+        }
+    }
+}

@@ -1,0 +1,579 @@
+//! Inter-process compression (paper §3.5).
+//!
+//! At `MPI_Finalize`, ranks merge their CSTs pairwise in `log2(P)` phases;
+//! rank 0 broadcasts the merged table and every rank renumbers its grammar
+//! terminals to the global ids. Grammars are then gathered the same way
+//! with an *identity check* first — identical grammars (the common case
+//! for SPMD codes) are kept once with a rank list instead of being
+//! concatenated. Rank 0 hash-conses structurally identical rules across
+//! the surviving unique grammars (Fig 4's dedup), concatenates the
+//! per-rank top rules, and runs a final Sequitur pass over that top-level
+//! sequence. Timing grammars are deduplicated the same way.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mpi_sim::TraceCtx;
+use pilgrim_sequitur::{
+    compress_runs, read_varint, write_varint, FlatGrammar, FlatRule, Symbol,
+};
+
+use crate::cst::Cst;
+use crate::encode::EncoderConfig;
+use crate::stats::OverheadStats;
+use crate::trace::GlobalTrace;
+
+const TAG_CST_GATHER: i32 = 1_000_001;
+const TAG_CST_BCAST: i32 = 1_000_002;
+const TAG_CFG_GATHER: i32 = 1_000_003;
+const TAG_DUR_GATHER: i32 = 1_000_004;
+const TAG_INT_GATHER: i32 = 1_000_005;
+
+/// One rank's compressed trace, ready for merging.
+#[derive(Debug, Clone)]
+pub struct LocalPiece {
+    pub rank: usize,
+    pub cst: Cst,
+    pub grammar: FlatGrammar,
+    pub call_count: u64,
+    pub duration: Option<FlatGrammar>,
+    pub interval: Option<FlatGrammar>,
+    pub encoder_cfg: EncoderConfig,
+}
+
+impl LocalPiece {
+    /// Serialized size of this rank's *local* (pre-merge) trace — what the
+    /// trace size would be without inter-process compression.
+    pub fn local_size_bytes(&self) -> usize {
+        let mut buf = Vec::new();
+        self.cst.serialize(&mut buf);
+        self.grammar.serialize(&mut buf);
+        buf.len()
+    }
+}
+
+/// A set of unique grammars, each tagged with the `(rank, call_count)`
+/// pairs that produced it.
+type GrammarSet = Vec<(FlatGrammar, Vec<(u64, u64)>)>;
+
+fn ser_grammar_set(set: &GrammarSet) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, set.len() as u64);
+    for (g, ranks) in set {
+        g.serialize(&mut out);
+        write_varint(&mut out, ranks.len() as u64);
+        for &(r, l) in ranks {
+            write_varint(&mut out, r);
+            write_varint(&mut out, l);
+        }
+    }
+    out
+}
+
+fn deser_grammar_set(buf: &[u8]) -> Option<GrammarSet> {
+    let mut pos = 0usize;
+    let n = read_varint(buf, &mut pos)? as usize;
+    let mut set = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (g, used) = FlatGrammar::deserialize(&buf[pos..])?;
+        pos += used;
+        let m = read_varint(buf, &mut pos)? as usize;
+        let mut ranks = Vec::with_capacity(m);
+        for _ in 0..m {
+            let r = read_varint(buf, &mut pos)?;
+            let l = read_varint(buf, &mut pos)?;
+            ranks.push((r, l));
+        }
+        set.push((g, ranks));
+    }
+    Some(set)
+}
+
+/// Merges an incoming grammar set into `mine`, using the identity check
+/// before any structural work (§3.5.2).
+fn merge_sets(mine: &mut GrammarSet, incoming: GrammarSet) {
+    for (g, ranks) in incoming {
+        if let Some((_, existing)) = mine.iter_mut().find(|(mg, _)| *mg == g) {
+            existing.extend(ranks);
+        } else {
+            mine.push((g, ranks));
+        }
+    }
+}
+
+/// Binomial-tree gather-merge toward rank 0. `merge_in` folds a received
+/// partner payload into the local state; `payload` serializes it for the
+/// parent. Returns true on rank 0.
+fn gather<T>(
+    ctx: &TraceCtx<'_>,
+    tag: i32,
+    state: &mut T,
+    merge_in: impl Fn(&mut T, Vec<u8>),
+    payload: impl Fn(&T) -> Vec<u8>,
+) -> bool {
+    let rank = ctx.world_rank;
+    let p = ctx.world_size;
+    let mut step = 1;
+    while step < p {
+        if rank % (2 * step) == step {
+            ctx.tool_send(rank - step, tag, payload(state));
+            return false;
+        }
+        if rank.is_multiple_of(2 * step) {
+            let partner = rank + step;
+            if partner < p {
+                let bytes = ctx.tool_recv(partner, tag);
+                merge_in(state, bytes);
+            }
+        }
+        step *= 2;
+    }
+    rank == 0
+}
+
+/// Binomial-tree broadcast of `data` from rank 0; returns the data.
+fn bcast(ctx: &TraceCtx<'_>, tag: i32, data: Option<Vec<u8>>) -> Vec<u8> {
+    let rank = ctx.world_rank;
+    let p = ctx.world_size;
+    let data = if rank == 0 {
+        data.expect("rank 0 provides bcast payload")
+    } else {
+        let lsb = rank & rank.wrapping_neg();
+        ctx.tool_recv(rank - lsb, tag)
+    };
+    // My subtree spans steps below my lsb (unbounded for rank 0).
+    let limit = if rank == 0 { p.next_power_of_two() } else { rank & rank.wrapping_neg() };
+    let mut s = limit / 2;
+    while s >= 1 {
+        let child = rank + s;
+        if child < p {
+            ctx.tool_send(child, tag, data.clone());
+        }
+        if s == 0 {
+            break;
+        }
+        s /= 2;
+    }
+    data
+}
+
+/// Runs the full inter-process compression. Every rank participates;
+/// rank 0 returns the merged [`GlobalTrace`].
+pub fn merge(ctx: &TraceCtx<'_>, piece: LocalPiece, stats: &mut OverheadStats) -> Option<GlobalTrace> {
+    merge_with_options(ctx, piece, stats, true)
+}
+
+/// [`merge`] with the grammar identity check switchable (ablation: without
+/// it every rank's grammar is kept distinct, § 3.5.2's motivation).
+pub fn merge_with_options(
+    ctx: &TraceCtx<'_>,
+    piece: LocalPiece,
+    stats: &mut OverheadStats,
+    identity_check: bool,
+) -> Option<GlobalTrace> {
+    // Synchronize before timing: rank threads reach finalize at skewed
+    // times (they timeshare host cores); without a barrier the first
+    // merge phase would absorb all the skew as apparent CST time.
+    ctx.tool_barrier();
+    // ---- Phase 1: CST merge + broadcast + terminal renumbering ----
+    let t_cst = Instant::now();
+    let mut merged_cst = piece.cst.clone();
+    gather(
+        ctx,
+        TAG_CST_GATHER,
+        &mut merged_cst,
+        |mine, bytes| {
+            let mut pos = 0;
+            let incoming = Cst::deserialize(&bytes, &mut pos).expect("valid CST payload");
+            for (_, sig, st) in incoming.iter() {
+                mine.intern(sig, st);
+            }
+        },
+        |mine| {
+            let mut buf = Vec::new();
+            mine.serialize(&mut buf);
+            buf
+        },
+    );
+    let cst_bytes = bcast(
+        ctx,
+        TAG_CST_BCAST,
+        (ctx.world_rank == 0).then(|| {
+            let mut buf = Vec::new();
+            merged_cst.serialize(&mut buf);
+            buf
+        }),
+    );
+    let mut pos = 0;
+    let global_cst = Cst::deserialize(&cst_bytes, &mut pos).expect("valid CST bcast");
+    // Renumber this rank's grammar terminals to the global terminal space.
+    let remap: Vec<u32> = piece
+        .cst
+        .iter()
+        .map(|(_, sig, _)| global_cst.lookup(sig).expect("merged CST covers local sigs"))
+        .collect();
+    let grammar = map_terminals(&piece.grammar, &remap);
+    stats.inter_cst += t_cst.elapsed();
+
+    // ---- Phase 2: CFG gather with identity check ----
+    ctx.tool_barrier();
+    let t_cfg = Instant::now();
+    let mut set: GrammarSet = vec![(grammar, vec![(piece.rank as u64, piece.call_count)])];
+    let at_root = gather(
+        ctx,
+        TAG_CFG_GATHER,
+        &mut set,
+        |mine, bytes| {
+            let incoming = deser_grammar_set(&bytes).expect("valid grammar set");
+            if identity_check {
+                merge_sets(mine, incoming);
+            } else {
+                mine.extend(incoming);
+            }
+        },
+        ser_grammar_set,
+    );
+
+    // ---- Phase 2b: timing grammar gather (dedup only) ----
+    let mut dur_set: GrammarSet = Vec::new();
+    let mut int_set: GrammarSet = Vec::new();
+    if let Some(d) = &piece.duration {
+        dur_set.push((d.clone(), vec![(piece.rank as u64, 0)]));
+        gather(
+            ctx,
+            TAG_DUR_GATHER,
+            &mut dur_set,
+            |mine, bytes| merge_sets(mine, deser_grammar_set(&bytes).expect("valid set")),
+            ser_grammar_set,
+        );
+    }
+    if let Some(i) = &piece.interval {
+        int_set.push((i.clone(), vec![(piece.rank as u64, 0)]));
+        gather(
+            ctx,
+            TAG_INT_GATHER,
+            &mut int_set,
+            |mine, bytes| merge_sets(mine, deser_grammar_set(&bytes).expect("valid set")),
+            ser_grammar_set,
+        );
+    }
+
+    if !at_root {
+        stats.inter_cfg += t_cfg.elapsed();
+        return None;
+    }
+
+    // ---- Phase 3 (rank 0): hash-cons, concatenate, final Sequitur pass ----
+    let nranks = ctx.world_size;
+    let unique_grammars = set.len();
+    let (grammar, rank_lengths) = combine_grammars(&set, nranks);
+    let (duration_grammars, duration_rank_map) = split_timing(dur_set, nranks);
+    let (interval_grammars, interval_rank_map) = split_timing(int_set, nranks);
+    stats.inter_cfg += t_cfg.elapsed();
+
+    Some(GlobalTrace {
+        nranks,
+        encoder_cfg: piece.encoder_cfg,
+        cst: global_cst,
+        grammar,
+        rank_lengths,
+        unique_grammars,
+        duration_grammars,
+        interval_grammars,
+        duration_rank_map,
+        interval_rank_map,
+    })
+}
+
+/// Applies a terminal renumbering to a grammar.
+pub fn map_terminals(g: &FlatGrammar, remap: &[u32]) -> FlatGrammar {
+    FlatGrammar {
+        rules: g
+            .rules
+            .iter()
+            .map(|r| FlatRule {
+                symbols: r
+                    .symbols
+                    .iter()
+                    .map(|&(s, e)| match s {
+                        Symbol::Terminal(t) => (Symbol::Terminal(remap[t as usize]), e),
+                        rule => (rule, e),
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+fn split_timing(set: GrammarSet, nranks: usize) -> (Vec<FlatGrammar>, Vec<u32>) {
+    if set.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let mut rank_map = vec![u32::MAX; nranks];
+    let mut grammars = Vec::with_capacity(set.len());
+    for (i, (g, ranks)) in set.into_iter().enumerate() {
+        for (r, _) in ranks {
+            rank_map[r as usize] = i as u32;
+        }
+        grammars.push(g);
+    }
+    (grammars, rank_map)
+}
+
+/// Rank-0 combination: hash-cons rules across unique grammars, build the
+/// per-rank top-level sequence, re-compress it with Sequitur, and graft.
+pub fn combine_grammars(set: &GrammarSet, nranks: usize) -> (FlatGrammar, Vec<u64>) {
+    // Collect all rules into one space; remember each grammar's top rule.
+    let mut all_rules: Vec<FlatRule> = Vec::new();
+    let mut tops: Vec<u32> = Vec::with_capacity(set.len());
+    for (g, _) in set {
+        let offset = all_rules.len() as u32;
+        tops.push(offset);
+        for r in &g.rules {
+            all_rules.push(FlatRule {
+                symbols: r
+                    .symbols
+                    .iter()
+                    .map(|&(s, e)| match s {
+                        Symbol::Rule(q) => (Symbol::Rule(q + offset), e),
+                        t => (t, e),
+                    })
+                    .collect(),
+            });
+        }
+    }
+    // Hash-cons: structurally identical rules collapse (Fig 4's shared X).
+    let (consed_rules, root_map) = hash_cons(&all_rules, &tops);
+    // Per-rank top-rule sequence in rank order.
+    let mut rank_root = vec![0u32; nranks];
+    let mut rank_lengths = vec![0u64; nranks];
+    for (i, (g, ranks)) in set.iter().enumerate() {
+        let root = root_map[tops[i] as usize];
+        let len = g.expanded_len();
+        for &(r, _) in ranks {
+            rank_root[r as usize] = root;
+            rank_lengths[r as usize] = len;
+        }
+    }
+    // Collapse into runs and intern roots as temporary terminals.
+    let mut distinct: Vec<u32> = Vec::new();
+    let mut index: HashMap<u32, u32> = HashMap::new();
+    let mut runs: Vec<(u32, u64)> = Vec::new();
+    for &root in &rank_root {
+        let k = *index.entry(root).or_insert_with(|| {
+            distinct.push(root);
+            (distinct.len() - 1) as u32
+        });
+        match runs.last_mut() {
+            Some((last, n)) if *last == k => *n += 1,
+            _ => runs.push((k, 1)),
+        }
+    }
+    // Final Sequitur pass over the top-level sequence (§3.5.2).
+    let top = compress_runs(&runs);
+    // Graft: the pass's rules come first; consed rules follow with offset.
+    let base = top.rules.len() as u32;
+    let mut rules: Vec<FlatRule> = top
+        .rules
+        .iter()
+        .map(|r| FlatRule {
+            symbols: r
+                .symbols
+                .iter()
+                .map(|&(s, e)| match s {
+                    Symbol::Terminal(k) => (Symbol::Rule(base + distinct[k as usize]), e),
+                    rule => (rule, e),
+                })
+                .collect(),
+        })
+        .collect();
+    for r in &consed_rules {
+        rules.push(FlatRule {
+            symbols: r
+                .symbols
+                .iter()
+                .map(|&(s, e)| match s {
+                    Symbol::Rule(q) => (Symbol::Rule(base + q), e),
+                    t => (t, e),
+                })
+                .collect(),
+        });
+    }
+    let combined = FlatGrammar { rules };
+    debug_assert_eq!(
+        combined.expanded_len(),
+        rank_lengths.iter().sum::<u64>(),
+        "combined grammar must generate all ranks' calls"
+    );
+    (combined, rank_lengths)
+}
+
+/// Iterative hash-consing of a rule forest: returns the deduplicated rule
+/// list and the old-index -> new-index map. (Iterative: rank threads run
+/// on small stacks.)
+fn hash_cons(rules: &[FlatRule], roots: &[u32]) -> (Vec<FlatRule>, Vec<u32>) {
+    let mut new_id: Vec<Option<u32>> = vec![None; rules.len()];
+    let mut canon: HashMap<FlatRule, u32> = HashMap::new();
+    let mut out: Vec<FlatRule> = Vec::new();
+    for &root in roots {
+        // Explicit DFS with a visit stack: process children first.
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if new_id[id as usize].is_some() {
+                continue;
+            }
+            if !expanded {
+                stack.push((id, true));
+                for &(s, _) in &rules[id as usize].symbols {
+                    if let Symbol::Rule(q) = s {
+                        if new_id[q as usize].is_none() {
+                            stack.push((q, false));
+                        }
+                    }
+                }
+            } else {
+                let fr = FlatRule {
+                    symbols: rules[id as usize]
+                        .symbols
+                        .iter()
+                        .map(|&(s, e)| match s {
+                            Symbol::Rule(q) => {
+                                (Symbol::Rule(new_id[q as usize].expect("child consed")), e)
+                            }
+                            t => (t, e),
+                        })
+                        .collect(),
+                };
+                let nid = *canon.entry(fr.clone()).or_insert_with(|| {
+                    out.push(fr);
+                    (out.len() - 1) as u32
+                });
+                new_id[id as usize] = Some(nid);
+            }
+        }
+    }
+    let map = new_id.into_iter().map(|n| n.unwrap_or(0)).collect();
+    (out, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilgrim_sequitur::Grammar;
+
+    fn grammar_of(seq: &[u32]) -> FlatGrammar {
+        let mut g = Grammar::new();
+        for &t in seq {
+            g.push(t);
+        }
+        g.to_flat()
+    }
+
+    #[test]
+    fn identical_grammars_dedup_in_sets() {
+        let g = grammar_of(&[1, 2, 1, 2]);
+        let mut mine: GrammarSet = vec![(g.clone(), vec![(0, 4)])];
+        merge_sets(&mut mine, vec![(g.clone(), vec![(1, 4)])]);
+        assert_eq!(mine.len(), 1);
+        assert_eq!(mine[0].1, vec![(0, 4), (1, 4)]);
+        merge_sets(&mut mine, vec![(grammar_of(&[9]), vec![(2, 1)])]);
+        assert_eq!(mine.len(), 2);
+    }
+
+    #[test]
+    fn grammar_set_serialization_roundtrip() {
+        let set: GrammarSet = vec![
+            (grammar_of(&[1, 2, 3]), vec![(0, 3), (2, 3)]),
+            (grammar_of(&[7]), vec![(1, 1)]),
+        ];
+        let bytes = ser_grammar_set(&set);
+        let back = deser_grammar_set(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].0, set[0].0);
+        assert_eq!(back[1].1, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn combine_identical_ranks_is_compact() {
+        // 8 ranks, all with the same grammar: top level becomes one
+        // counted reference (paper: constant-size inter-process merge).
+        let g = grammar_of(&[5, 6, 5, 6, 5, 6]);
+        let set: GrammarSet = vec![(g, (0..8).map(|r| (r, 6)).collect())];
+        let (combined, lens) = combine_grammars(&set, 8);
+        assert_eq!(lens, vec![6; 8]);
+        assert_eq!(combined.expanded_len(), 48);
+        let expanded = combined.expand();
+        assert_eq!(&expanded[..6], &[5, 6, 5, 6, 5, 6]);
+        assert_eq!(&expanded[42..], &[5, 6, 5, 6, 5, 6]);
+        // Adding ranks must not add rules: the top is a counted run.
+        let g2 = grammar_of(&[5, 6, 5, 6, 5, 6]);
+        let set2: GrammarSet = vec![(g2, (0..64).map(|r| (r, 6)).collect())];
+        let (combined2, _) = combine_grammars(&set2, 64);
+        assert_eq!(combined2.num_rules(), combined.num_rules());
+    }
+
+    #[test]
+    fn combine_shares_rules_across_grammars() {
+        // Figure 4: two grammar shapes sharing sub-structure.
+        let a = grammar_of(&[1, 2, 1, 2, 3, 3]);
+        let b = grammar_of(&[1, 2, 1, 2, 9, 9]);
+        let set: GrammarSet = vec![
+            (a.clone(), vec![(0, 6), (1, 6)]),
+            (b.clone(), vec![(2, 6), (3, 6)]),
+        ];
+        let (combined, lens) = combine_grammars(&set, 4);
+        assert_eq!(lens, vec![6; 4]);
+        let expanded = combined.expand();
+        assert_eq!(&expanded[..6], &[1, 2, 1, 2, 3, 3]);
+        assert_eq!(&expanded[12..18], &[1, 2, 1, 2, 9, 9]);
+    }
+
+    #[test]
+    fn interleaved_rank_assignment_preserves_order() {
+        // Odd ranks have one grammar, even ranks another.
+        let a = grammar_of(&[1]);
+        let b = grammar_of(&[2]);
+        let set: GrammarSet = vec![
+            (a, vec![(0, 1), (2, 1)]),
+            (b, vec![(1, 1), (3, 1)]),
+        ];
+        let (combined, _) = combine_grammars(&set, 4);
+        assert_eq!(combined.expand(), vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn map_terminals_renumbers() {
+        let g = grammar_of(&[0, 1, 0, 1]);
+        let m = map_terminals(&g, &[10, 20]);
+        assert_eq!(m.expand(), vec![10, 20, 10, 20]);
+    }
+
+    #[test]
+    fn hash_cons_collapses_identical_rules() {
+        // Two copies of the same two-rule grammar.
+        let g = grammar_of(&[4, 5, 4, 5, 4, 5, 4, 5]);
+        assert!(g.num_rules() >= 2, "test needs a sub-rule");
+        let mut all = Vec::new();
+        let mut roots = Vec::new();
+        for copy in 0..2u32 {
+            let off = all.len() as u32;
+            roots.push(off);
+            for r in &g.rules {
+                all.push(FlatRule {
+                    symbols: r
+                        .symbols
+                        .iter()
+                        .map(|&(s, e)| match s {
+                            Symbol::Rule(q) => (Symbol::Rule(q + off), e),
+                            t => (t, e),
+                        })
+                        .collect(),
+                });
+            }
+            let _ = copy;
+        }
+        let (consed, map) = hash_cons(&all, &roots);
+        assert_eq!(consed.len(), g.num_rules(), "duplicate rules must collapse");
+        assert_eq!(map[roots[0] as usize], map[roots[1] as usize]);
+    }
+}

@@ -1,0 +1,760 @@
+//! Mini-app generation: replaying a Pilgrim trace as a live program.
+//!
+//! The paper's conclusion sketches this as future work: "a mini-app
+//! generator that could automatically generate a proxy MPI program that
+//! has the same communication patterns as captured in the traces". This
+//! module implements it against the simulator: [`replay`] decodes every
+//! rank's call sequence from a merged trace and re-issues the calls,
+//! resolving symbolic ids back to live objects:
+//!
+//! * communicator symbols are rebuilt by re-executing the recorded
+//!   creation calls (dup/split/create/idup/intercomm) in order;
+//! * datatype symbols are rebuilt from the recorded constructors;
+//! * memory segments are materialized as fresh allocations, sized from
+//!   the transfers that use them;
+//! * request symbols map to live requests; because completion order is
+//!   nondeterministic, a replay reproduces the *pattern* (which calls,
+//!   which partners, which sizes), not the original completion order —
+//!   the wait/test family is re-driven live.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use mpi_sim::comm::{CommHandle, GroupHandle};
+use mpi_sim::datatype::DatatypeHandle;
+use mpi_sim::request::{RequestHandle, REQUEST_NULL};
+use mpi_sim::types::ReduceOp;
+use mpi_sim::{Env, FuncId, World, WorldConfig};
+
+use crate::encode::{EncodedArg, EncodedCall, RankCode};
+use crate::trace::GlobalTrace;
+use crate::tracer::{PilgrimConfig, PilgrimTracer};
+
+/// Replays `trace` as a fresh world and re-traces it with Pilgrim,
+/// returning the trace of the replay. A faithful replay produces a trace
+/// with the same shape (signature count, per-rank call counts for
+/// deterministic programs).
+pub fn replay_and_retrace(trace: &GlobalTrace, cfg: PilgrimConfig) -> GlobalTrace {
+    let per_rank: Arc<Vec<Vec<EncodedCall>>> = Arc::new(
+        (0..trace.nranks)
+            .map(|r| crate::decode::decode_rank_calls(trace, r))
+            .collect(),
+    );
+    let mut tracers = World::run(
+        &WorldConfig::new(trace.nranks),
+        |rank| PilgrimTracer::new(rank, cfg),
+        move |env| {
+            let calls = &per_rank[env.world_rank()];
+            let mut rp = Replayer::new();
+            for call in calls {
+                rp.step(env, call);
+            }
+            rp.drain(env);
+        },
+    );
+    tracers[0].take_global_trace().expect("replay trace")
+}
+
+/// Per-rank replay state: symbolic id -> live object maps.
+struct Replayer {
+    comms: HashMap<u64, CommHandle>,
+    /// Handles of idup'd communicators whose symbolic id is not yet known
+    /// (the trace carries a deferred marker at the idup itself).
+    pending_idups: Vec<CommHandle>,
+    dtypes: HashMap<u64, DatatypeHandle>,
+    groups: HashMap<u64, GroupHandle>,
+    /// Symbolic request ids are unique only within their (per-signature)
+    /// pool, so several live requests can share a symbol: keep a FIFO of
+    /// live handles per symbol.
+    reqs: HashMap<u64, Vec<RequestHandle>>,
+    segs: HashMap<u64, (u64, u64)>, // seg sym -> (addr, size)
+}
+
+impl Replayer {
+    fn new() -> Self {
+        let mut comms = HashMap::new();
+        comms.insert(0u64, CommHandle(0));
+        Replayer {
+            comms,
+            pending_idups: Vec::new(),
+            dtypes: HashMap::new(),
+            groups: HashMap::new(),
+            reqs: HashMap::new(),
+            segs: HashMap::new(),
+        }
+    }
+
+    fn comm(&mut self, sym: u64) -> CommHandle {
+        if let Some(&h) = self.comms.get(&sym) {
+            return h;
+        }
+        // First use of an unknown communicator: it must be the oldest
+        // idup whose id was deferred at creation time.
+        if !self.pending_idups.is_empty() {
+            let h = self.pending_idups.remove(0);
+            self.comms.insert(sym, h);
+            return h;
+        }
+        panic!("replay references unknown communicator symbol {sym}");
+    }
+
+    fn dtype(&self, sym: u64) -> DatatypeHandle {
+        if sym < 16 {
+            return DatatypeHandle(sym as u32);
+        }
+        *self
+            .dtypes
+            .get(&sym)
+            .unwrap_or_else(|| panic!("unknown datatype symbol {sym}"))
+    }
+
+    /// Materializes a buffer for `(segment, offset)` covering `need`
+    /// bytes past the offset, growing the backing segment if required.
+    fn ptr(&mut self, env: &mut Env, seg: u64, offset: u64, need: u64) -> u64 {
+        let required = offset + need.max(1);
+        match self.segs.get(&seg) {
+            Some(&(addr, size)) if size >= required => addr + offset,
+            _ => {
+                let size = required.next_power_of_two().max(64);
+                let addr = env.malloc(size);
+                self.segs.insert(seg, (addr, size));
+                addr + offset
+            }
+        }
+    }
+
+    fn push_req(&mut self, sym: u64, h: RequestHandle) {
+        self.reqs.entry(sym).or_default().push(h);
+    }
+
+    /// Takes one live handle for a symbol out of the map (FIFO).
+    fn pop_req(&mut self, sym: u64) -> RequestHandle {
+        match self.reqs.get_mut(&sym) {
+            Some(v) if !v.is_empty() => v.remove(0),
+            _ => REQUEST_NULL,
+        }
+    }
+
+    /// Takes the handles for a completion call's request array.
+    fn req_arr(&mut self, syms: &[Option<u64>]) -> (Vec<RequestHandle>, Vec<Option<u64>>) {
+        let handles = syms
+            .iter()
+            .map(|s| s.map_or(REQUEST_NULL, |v| self.pop_req(v)))
+            .collect();
+        (handles, syms.to_vec())
+    }
+
+    /// Returns still-live handles (not completed by the call) to the map.
+    fn sync_reqs(&mut self, handles: &[RequestHandle], syms: &[Option<u64>]) {
+        for (h, s) in handles.iter().zip(syms) {
+            if *h != REQUEST_NULL {
+                if let Some(sym) = s {
+                    self.push_req(*sym, *h);
+                }
+            }
+        }
+    }
+
+    /// Issues one decoded call against the live environment.
+    fn step(&mut self, env: &mut Env, call: &EncodedCall) {
+        use EncodedArg as A;
+        let func = FuncId::from_id(call.func).expect("known function id");
+        let a = &call.args;
+        // Helper projections.
+        let int = |i: usize| -> i64 {
+            match &a[i] {
+                A::Int(v) => *v,
+                other => panic!("expected Int at {i}, got {other:?}"),
+            }
+        };
+        match func {
+            FuncId::Init | FuncId::Finalize => {} // driven by the world
+            FuncId::CommRank => {
+                let c = self.arg_comm(0, a);
+                let _ = env.comm_rank(c);
+            }
+            FuncId::CommSize => {
+                let c = self.arg_comm(0, a);
+                let _ = env.comm_size(c);
+            }
+            FuncId::CommSetName => {
+                let c = self.arg_comm(0, a);
+                if let A::Str(s) = &a[1] {
+                    env.comm_set_name(c, s);
+                }
+            }
+            FuncId::CommDup => {
+                let c = self.arg_comm(0, a);
+                let new = env.comm_dup(c);
+                if let A::Comm(sym) = a[1] {
+                    self.comms.insert(sym, new);
+                }
+            }
+            FuncId::CommIdup => {
+                let c = self.arg_comm(0, a);
+                let (new, req) = env.comm_idup(c);
+                self.pending_idups.push(new);
+                if let A::Request(sym) = a[2] {
+                    self.push_req(sym, req);
+                }
+            }
+            FuncId::CommSplit => {
+                let c = self.arg_comm(0, a);
+                let me = env.comm_rank_untraced(c) as i64;
+                let color = match &a[1] {
+                    A::Color(v) => *v,
+                    other => panic!("expected Color, got {other:?}"),
+                };
+                let key = match &a[2] {
+                    A::Key(v) => *v,
+                    other => panic!("expected Key, got {other:?}"),
+                };
+                // Relative-aux encoding stores color/key as deltas; the
+                // default config stores them raw. Both decode the same
+                // way here because the trace header says which was used.
+                let _ = me;
+                let new = env.comm_split(c, color as i32, key as i32);
+                if let (Some(new), A::Comm(sym)) = (new, a[3].clone()) {
+                    if sym != u64::MAX {
+                        self.comms.insert(sym, new);
+                    }
+                }
+            }
+            FuncId::CommCreate => {
+                let c = self.arg_comm(0, a);
+                let g = match a[1] {
+                    A::Group(sym) => *self.groups.get(&sym).expect("known group"),
+                    _ => panic!("expected Group"),
+                };
+                let new = env.comm_create(c, g);
+                if let (Some(new), A::Comm(sym)) = (new, a[2].clone()) {
+                    if sym != u64::MAX {
+                        self.comms.insert(sym, new);
+                    }
+                }
+            }
+            FuncId::CommFree => {
+                if let A::Comm(sym) = a[0] {
+                    let h = self.comm(sym);
+                    env.comm_free(h);
+                    self.comms.remove(&sym);
+                }
+            }
+            FuncId::CommGroup => {
+                let c = self.arg_comm(0, a);
+                let g = env.comm_group(c);
+                if let A::Group(sym) = a[1] {
+                    self.groups.insert(sym, g);
+                }
+            }
+            FuncId::GroupIncl => {
+                let base = match a[0] {
+                    A::Group(sym) => *self.groups.get(&sym).expect("known group"),
+                    _ => panic!("expected Group"),
+                };
+                let ranks: Vec<usize> = match &a[2] {
+                    A::IntArr(v) => v.iter().map(|&x| x as usize).collect(),
+                    _ => panic!("expected IntArr"),
+                };
+                let g = env.group_incl(base, &ranks);
+                if let A::Group(sym) = a[3] {
+                    self.groups.insert(sym, g);
+                }
+            }
+            FuncId::GroupFree => {
+                if let A::Group(sym) = a[0] {
+                    if let Some(g) = self.groups.remove(&sym) {
+                        env.group_free(g);
+                    }
+                }
+            }
+            FuncId::IntercommCreate => {
+                let local = self.arg_comm(0, a);
+                let local_leader = self.arg_rank(1, a, env, local);
+                let peer = self.arg_comm(2, a);
+                let remote_leader = self.arg_rank(3, a, env, peer);
+                let tag = match &a[4] {
+                    A::Tag(t) => *t as i32,
+                    _ => panic!("expected Tag"),
+                };
+                let new = env.intercomm_create(local, local_leader as usize, peer, remote_leader, tag);
+                if let A::Comm(sym) = a[5] {
+                    self.comms.insert(sym, new);
+                }
+            }
+            FuncId::IntercommMerge => {
+                let inter = self.arg_comm(0, a);
+                let high = int(1) != 0;
+                let new = env.intercomm_merge(inter, high);
+                if let A::Comm(sym) = a[2] {
+                    self.comms.insert(sym, new);
+                }
+            }
+            FuncId::TypeContiguous => {
+                let base = self.dtype(self.arg_dtype_sym(1, a));
+                let new = env.type_contiguous(int(0) as u64, base);
+                self.dtypes.insert(self.arg_dtype_sym(2, a), new);
+            }
+            FuncId::TypeVector => {
+                let base = self.dtype(self.arg_dtype_sym(3, a));
+                let new = env.type_vector(int(0) as u64, int(1) as u64, int(2), base);
+                self.dtypes.insert(self.arg_dtype_sym(4, a), new);
+            }
+            FuncId::TypeIndexed => {
+                let (blocklens, displs) = match (&a[1], &a[2]) {
+                    (A::IntArr(b), A::IntArr(d)) => {
+                        (b.iter().map(|&x| x as u64).collect::<Vec<_>>(), d.clone())
+                    }
+                    _ => panic!("expected IntArr pair"),
+                };
+                let base = self.dtype(self.arg_dtype_sym(3, a));
+                let new = env.type_indexed(&blocklens, &displs, base);
+                self.dtypes.insert(self.arg_dtype_sym(4, a), new);
+            }
+            FuncId::TypeCreateStruct => {
+                let (blocklens, displs, types) = match (&a[1], &a[2], &a[3]) {
+                    (A::IntArr(b), A::IntArr(d), A::IntArr(t)) => (
+                        b.iter().map(|&x| x as u64).collect::<Vec<_>>(),
+                        d.clone(),
+                        t.iter().map(|&x| DatatypeHandle(x as u32)).collect::<Vec<_>>(),
+                    ),
+                    _ => panic!("expected IntArr triple"),
+                };
+                let new = env.type_create_struct(&blocklens, &displs, &types);
+                self.dtypes.insert(self.arg_dtype_sym(4, a), new);
+            }
+            FuncId::TypeCommit => env.type_commit(self.dtype(self.arg_dtype_sym(0, a))),
+            FuncId::TypeFree => {
+                let sym = self.arg_dtype_sym(0, a);
+                let h = self.dtype(sym);
+                env.type_free(h);
+                self.dtypes.remove(&sym);
+            }
+            FuncId::DimsCreate => {
+                let _ = env.dims_create(int(0) as usize, int(1) as usize);
+            }
+            FuncId::CartCreate => {
+                let c = self.arg_comm(0, a);
+                let (dims, periods) = self.arg_varr(2, 3, a);
+                let dims: Vec<usize> = dims.iter().map(|&d| d as usize).collect();
+                let periods: Vec<bool> = periods.iter().map(|&p| p != 0).collect();
+                let new = env.cart_create(c, &dims, &periods, false);
+                if let (Some(new), A::Comm(sym)) = (new, a[5].clone()) {
+                    if sym != u64::MAX {
+                        self.comms.insert(sym, new);
+                    }
+                }
+            }
+            FuncId::CartRank => {
+                let c = self.arg_comm(0, a);
+                if let A::IntArr(coords) = &a[1] {
+                    let coords: Vec<usize> = coords.iter().map(|&x| x as usize).collect();
+                    let _ = env.cart_rank(c, &coords);
+                }
+            }
+            FuncId::CartCoords => {
+                let c = self.arg_comm(0, a);
+                let _ = env.cart_coords(c, int(1) as usize);
+            }
+            FuncId::CartShift => {
+                let c = self.arg_comm(0, a);
+                let _ = env.cart_shift(c, int(1) as usize, int(2));
+            }
+            FuncId::SendInit | FuncId::BsendInit | FuncId::SsendInit | FuncId::RsendInit
+            | FuncId::RecvInit => {
+                let comm = self.arg_comm(5, a);
+                let count = int(1) as u64;
+                let dt = self.dtype(self.arg_dtype_sym(2, a));
+                let bytes = count * env.type_size(dt).max(1) * 2;
+                let buf = self.arg_ptr(0, a, env, bytes);
+                let peer = self.arg_rank(3, a, env, comm);
+                let tag = self.arg_tag(4, a, env, comm);
+                let req = match func {
+                    FuncId::SendInit => env.send_init(buf, count, dt, peer, tag, comm),
+                    FuncId::BsendInit => env.bsend_init(buf, count, dt, peer, tag, comm),
+                    FuncId::SsendInit => env.ssend_init(buf, count, dt, peer, tag, comm),
+                    FuncId::RsendInit => env.rsend_init(buf, count, dt, peer, tag, comm),
+                    _ => env.recv_init(buf, count, dt, peer, tag, comm),
+                };
+                if let A::Request(sym) = a[6] {
+                    self.push_req(sym, req);
+                }
+            }
+            FuncId::Start => {
+                if let A::Request(sym) = a[0] {
+                    let h = self.pop_req(sym);
+                    if h != REQUEST_NULL {
+                        env.start(h);
+                        self.push_req(sym, h);
+                    }
+                }
+            }
+            FuncId::Startall => {
+                if let A::RequestArr(syms) = &a[1] {
+                    let (handles, syms) = self.req_arr(syms);
+                    let live: Vec<_> =
+                        handles.iter().copied().filter(|&h| h != REQUEST_NULL).collect();
+                    env.startall(&live);
+                    self.sync_reqs(&handles, &syms);
+                }
+            }
+            FuncId::Send | FuncId::Bsend | FuncId::Ssend | FuncId::Rsend => {
+                let comm = self.arg_comm(5, a);
+                let count = int(1) as u64;
+                let dt = self.dtype(self.arg_dtype_sym(2, a));
+                let bytes = count * env.type_size(dt).max(1) * 2;
+                let buf = self.arg_ptr(0, a, env, bytes);
+                let dest = self.arg_rank(1 + 2, a, env, comm);
+                let tag = self.arg_tag(4, a, env, comm);
+                match func {
+                    FuncId::Send => env.send(buf, count, dt, dest, tag, comm),
+                    FuncId::Bsend => env.bsend(buf, count, dt, dest, tag, comm),
+                    FuncId::Ssend => env.ssend(buf, count, dt, dest, tag, comm),
+                    _ => env.rsend(buf, count, dt, dest, tag, comm),
+                }
+            }
+            FuncId::Recv => {
+                let comm = self.arg_comm(5, a);
+                let count = int(1) as u64;
+                let dt = self.dtype(self.arg_dtype_sym(2, a));
+                let bytes = count * env.type_size(dt).max(1) * 2;
+                let buf = self.arg_ptr(0, a, env, bytes);
+                let src = self.arg_rank(3, a, env, comm);
+                let tag = self.arg_tag(4, a, env, comm);
+                env.recv(buf, count, dt, src, tag, comm);
+            }
+            FuncId::Isend | FuncId::Ibsend | FuncId::Issend | FuncId::Irsend | FuncId::Irecv => {
+                let comm = self.arg_comm(5, a);
+                let count = int(1) as u64;
+                let dt = self.dtype(self.arg_dtype_sym(2, a));
+                let bytes = count * env.type_size(dt).max(1) * 2;
+                let buf = self.arg_ptr(0, a, env, bytes);
+                let peer = self.arg_rank(3, a, env, comm);
+                let tag = self.arg_tag(4, a, env, comm);
+                let req = match func {
+                    FuncId::Isend => env.isend(buf, count, dt, peer, tag, comm),
+                    FuncId::Ibsend => env.ibsend(buf, count, dt, peer, tag, comm),
+                    FuncId::Issend => env.issend(buf, count, dt, peer, tag, comm),
+                    FuncId::Irsend => env.irsend(buf, count, dt, peer, tag, comm),
+                    _ => env.irecv(buf, count, dt, peer, tag, comm),
+                };
+                if let A::Request(sym) = a[6] {
+                    self.push_req(sym, req);
+                }
+            }
+            FuncId::Sendrecv => {
+                let comm = self.arg_comm(10, a);
+                let scount = int(1) as u64;
+                let sdt = self.dtype(self.arg_dtype_sym(2, a));
+                let sbytes = scount * env.type_size(sdt).max(1) * 2;
+                let sbuf = self.arg_ptr(0, a, env, sbytes);
+                let dest = self.arg_rank(3, a, env, comm);
+                let stag = self.arg_tag(4, a, env, comm);
+                let rcount = int(6) as u64;
+                let rdt = self.dtype(self.arg_dtype_sym(7, a));
+                let rbytes = rcount * env.type_size(rdt).max(1) * 2;
+                let rbuf = self.arg_ptr(5, a, env, rbytes);
+                let src = self.arg_rank(8, a, env, comm);
+                let rtag = self.arg_tag(9, a, env, comm);
+                env.sendrecv(sbuf, scount, sdt, dest, stag, rbuf, rcount, rdt, src, rtag, comm);
+            }
+            FuncId::SendrecvReplace => {
+                let comm = self.arg_comm(7, a);
+                let count = int(1) as u64;
+                let dt = self.dtype(self.arg_dtype_sym(2, a));
+                let bytes = count * env.type_size(dt).max(1) * 2;
+                let buf = self.arg_ptr(0, a, env, bytes);
+                let dest = self.arg_rank(3, a, env, comm);
+                let stag = self.arg_tag(4, a, env, comm);
+                let src = self.arg_rank(5, a, env, comm);
+                let rtag = self.arg_tag(6, a, env, comm);
+                env.sendrecv_replace(buf, count, dt, dest, stag, src, rtag, comm);
+            }
+            FuncId::Probe | FuncId::Iprobe => {
+                // Probes are timing-sensitive: replay as non-blocking so a
+                // different interleaving cannot deadlock.
+                let comm = self.arg_comm(2, a);
+                let src = self.arg_rank(0, a, env, comm);
+                let tag = self.arg_tag(1, a, env, comm);
+                let _ = env.iprobe(src, tag, comm);
+            }
+            FuncId::Wait => {
+                if let A::Request(sym) = a[0] {
+                    let mut h = self.pop_req(sym);
+                    env.wait(&mut h);
+                    if h != REQUEST_NULL {
+                        // Persistent requests stay valid after completion.
+                        self.push_req(sym, h);
+                    }
+                }
+            }
+            FuncId::Waitall => {
+                if let A::RequestArr(syms) = &a[1] {
+                    let (mut handles, syms) = self.req_arr(syms);
+                    env.waitall(&mut handles);
+                    self.sync_reqs(&handles, &syms);
+                }
+            }
+            FuncId::Waitany => {
+                if let A::RequestArr(syms) = &a[1] {
+                    let (mut handles, syms) = self.req_arr(syms);
+                    env.waitany(&mut handles);
+                    self.sync_reqs(&handles, &syms);
+                }
+            }
+            FuncId::Waitsome => {
+                if let A::RequestArr(syms) = &a[1] {
+                    let (mut handles, syms) = self.req_arr(syms);
+                    env.waitsome(&mut handles);
+                    self.sync_reqs(&handles, &syms);
+                }
+            }
+            FuncId::Test | FuncId::Testall | FuncId::Testany | FuncId::Testsome => {
+                // Re-drive the test nondeterministically.
+                match &a[0..2] {
+                    [A::Request(sym), _] => {
+                        let mut h = self.pop_req(*sym);
+                        env.test(&mut h);
+                        if h != REQUEST_NULL {
+                            self.push_req(*sym, h);
+                        }
+                    }
+                    [_, A::RequestArr(syms)] => {
+                        let (mut handles, syms) = self.req_arr(syms);
+                        match func {
+                            FuncId::Testall => {
+                                env.testall(&mut handles);
+                            }
+                            FuncId::Testany => {
+                                env.testany(&mut handles);
+                            }
+                            _ => {
+                                env.testsome(&mut handles);
+                            }
+                        }
+                        self.sync_reqs(&handles, &syms);
+                    }
+                    _ => {}
+                }
+            }
+            FuncId::RequestFree => {
+                if let A::Request(sym) = a[0] {
+                    let mut h = self.pop_req(sym);
+                    if h != REQUEST_NULL {
+                        env.request_free(&mut h);
+                    }
+                }
+            }
+            FuncId::Barrier => env.barrier(self.arg_comm(0, a)),
+            FuncId::Ibarrier => {
+                let req = env.ibarrier(self.arg_comm(0, a));
+                if let A::Request(sym) = a[1] {
+                    self.push_req(sym, req);
+                }
+            }
+            FuncId::Bcast => {
+                let comm = self.arg_comm(4, a);
+                let count = int(1) as u64;
+                let dt = self.dtype(self.arg_dtype_sym(2, a));
+                let bytes = count * env.type_size(dt).max(1) * 2;
+                let buf = self.arg_ptr(0, a, env, bytes);
+                let root = self.arg_rank(3, a, env, comm);
+                env.bcast(buf, count, dt, root, comm);
+            }
+            FuncId::Reduce | FuncId::Allreduce | FuncId::Iallreduce | FuncId::Scan | FuncId::Exscan => {
+                let (comm_idx, has_root) = match func {
+                    FuncId::Reduce => (6, true),
+                    FuncId::Iallreduce => (5, false),
+                    _ => (5, false),
+                };
+                let comm = self.arg_comm(comm_idx, a);
+                let count = int(2) as u64;
+                let dt = self.dtype(self.arg_dtype_sym(3, a));
+                let bytes = count * env.type_size(dt).max(8) * 2;
+                let sbuf = self.arg_ptr(0, a, env, bytes);
+                let rbuf = self.arg_ptr(1, a, env, bytes);
+                let op = match a[4] {
+                    A::Op(o) => ReduceOp::from_id(o).expect("known op"),
+                    _ => panic!("expected Op"),
+                };
+                match func {
+                    FuncId::Reduce => {
+                        let root = self.arg_rank(5, a, env, comm);
+                        let _ = has_root;
+                        env.reduce(sbuf, rbuf, count, dt, op, root, comm);
+                    }
+                    FuncId::Allreduce => env.allreduce(sbuf, rbuf, count, dt, op, comm),
+                    FuncId::Iallreduce => {
+                        let req = env.iallreduce(sbuf, rbuf, count, dt, op, comm);
+                        if let A::Request(sym) = a[6] {
+                            self.push_req(sym, req);
+                        }
+                    }
+                    FuncId::Scan => env.scan(sbuf, rbuf, count, dt, op, comm),
+                    _ => env.exscan(sbuf, rbuf, count, dt, op, comm),
+                }
+            }
+            FuncId::Gather | FuncId::Scatter | FuncId::Allgather | FuncId::Alltoall => {
+                let (comm_idx, root_idx) = match func {
+                    FuncId::Gather | FuncId::Scatter => (7usize, Some(6usize)),
+                    _ => (6, None),
+                };
+                let comm = self.arg_comm(comm_idx, a);
+                let n = env.comm_size_untraced(comm) as u64;
+                let scount = int(1) as u64;
+                let sdt = self.dtype(self.arg_dtype_sym(2, a));
+                let rcount = int(4) as u64;
+                let rdt = self.dtype(self.arg_dtype_sym(5, a));
+                let sbytes = scount * env.type_size(sdt).max(1) * n * 2;
+                let rbytes = rcount * env.type_size(rdt).max(1) * n * 2;
+                let sbuf = self.arg_ptr(0, a, env, sbytes);
+                let rbuf = self.arg_ptr(3, a, env, rbytes);
+                match func {
+                    FuncId::Gather => {
+                        let root = self.arg_rank(root_idx.expect("gather root"), a, env, comm);
+                        env.gather(sbuf, scount, sdt, rbuf, rcount, rdt, root, comm);
+                    }
+                    FuncId::Scatter => {
+                        let root = self.arg_rank(root_idx.expect("scatter root"), a, env, comm);
+                        env.scatter(sbuf, scount, sdt, rbuf, rcount, rdt, root, comm);
+                    }
+                    FuncId::Allgather => env.allgather(sbuf, scount, sdt, rbuf, rcount, rdt, comm),
+                    _ => env.alltoall(sbuf, scount, sdt, rbuf, rcount, rdt, comm),
+                }
+            }
+            FuncId::Gatherv => {
+                let comm = self.arg_comm(8, a);
+                let scount = int(1) as u64;
+                let sdt = self.dtype(self.arg_dtype_sym(2, a));
+                let rdt = self.dtype(self.arg_dtype_sym(6, a));
+                let (rcounts, displs) = self.arg_varr(4, 5, a);
+                let total: u64 = rcounts.iter().sum::<u64>().max(1);
+                let sbuf = self.arg_ptr(0, a, env, scount * env.type_size(sdt).max(1) * 2);
+                let rbuf = self.arg_ptr(3, a, env, total * env.type_size(rdt).max(1) * 4);
+                let root = self.arg_rank(7, a, env, comm);
+                env.gatherv(sbuf, scount, sdt, rbuf, &rcounts, &displs, rdt, root, comm);
+            }
+            FuncId::Scatterv => {
+                let comm = self.arg_comm(8, a);
+                let (scounts, displs) = self.arg_varr(1, 2, a);
+                let sdt = self.dtype(self.arg_dtype_sym(3, a));
+                let rcount = int(5) as u64;
+                let rdt = self.dtype(self.arg_dtype_sym(6, a));
+                let total: u64 = scounts.iter().sum::<u64>().max(1);
+                let sbuf = self.arg_ptr(0, a, env, total * env.type_size(sdt).max(1) * 4);
+                let rbuf = self.arg_ptr(4, a, env, rcount * env.type_size(rdt).max(1) * 2);
+                let root = self.arg_rank(7, a, env, comm);
+                env.scatterv(sbuf, &scounts, &displs, sdt, rbuf, rcount, rdt, root, comm);
+            }
+            FuncId::Allgatherv => {
+                let comm = self.arg_comm(7, a);
+                let scount = int(1) as u64;
+                let sdt = self.dtype(self.arg_dtype_sym(2, a));
+                let (rcounts, displs) = self.arg_varr(4, 5, a);
+                let rdt = self.dtype(self.arg_dtype_sym(6, a));
+                let total: u64 = rcounts.iter().sum::<u64>().max(1);
+                let sbuf = self.arg_ptr(0, a, env, scount * env.type_size(sdt).max(1) * 2);
+                let rbuf = self.arg_ptr(3, a, env, total * env.type_size(rdt).max(1) * 4);
+                env.allgatherv(sbuf, scount, sdt, rbuf, &rcounts, &displs, rdt, comm);
+            }
+            FuncId::Alltoallv => {
+                let comm = self.arg_comm(8, a);
+                let (scounts, sdispls) = self.arg_varr(1, 2, a);
+                let sdt = self.dtype(self.arg_dtype_sym(3, a));
+                let (rcounts, rdispls) = self.arg_varr(5, 6, a);
+                let rdt = self.dtype(self.arg_dtype_sym(7, a));
+                let stotal: u64 = scounts.iter().sum::<u64>().max(1);
+                let rtotal: u64 = rcounts.iter().sum::<u64>().max(1);
+                let sbuf = self.arg_ptr(0, a, env, stotal * env.type_size(sdt).max(1) * 4);
+                let rbuf = self.arg_ptr(4, a, env, rtotal * env.type_size(rdt).max(1) * 4);
+                env.alltoallv(sbuf, &scounts, &sdispls, sdt, rbuf, &rcounts, &rdispls, rdt, comm);
+            }
+            FuncId::ReduceScatterBlock => {
+                let comm = self.arg_comm(5, a);
+                let n = env.comm_size_untraced(comm) as u64;
+                let count = int(2) as u64;
+                let dt = self.dtype(self.arg_dtype_sym(3, a));
+                let sbuf = self.arg_ptr(0, a, env, count * n * env.type_size(dt).max(8) * 2);
+                let rbuf = self.arg_ptr(1, a, env, count * env.type_size(dt).max(8) * 2);
+                let op = match a[4] {
+                    A::Op(o) => ReduceOp::from_id(o).expect("known op"),
+                    _ => panic!("expected Op"),
+                };
+                env.reduce_scatter_block(sbuf, rbuf, count, dt, op, comm);
+            }
+        }
+    }
+
+    /// Completes any still-pending requests (a replay may leave requests
+    /// live when the recorded nondeterministic outcome differed).
+    fn drain(&mut self, env: &mut Env) {
+        let mut handles: Vec<RequestHandle> =
+            self.reqs.values().flatten().copied().collect();
+        if !handles.is_empty() {
+            env.waitall(&mut handles);
+        }
+        self.reqs.clear();
+    }
+
+    // -- argument projections --------------------------------------------
+
+    fn arg_comm(&mut self, i: usize, a: &[EncodedArg]) -> CommHandle {
+        match a[i] {
+            EncodedArg::Comm(sym) => self.comm(sym),
+            ref other => panic!("expected Comm at {i}, got {other:?}"),
+        }
+    }
+
+    fn arg_dtype_sym(&self, i: usize, a: &[EncodedArg]) -> u64 {
+        match a[i] {
+            EncodedArg::Datatype(sym) => sym,
+            ref other => panic!("expected Datatype at {i}, got {other:?}"),
+        }
+    }
+
+    fn arg_rank(&self, i: usize, a: &[EncodedArg], env: &Env, comm: CommHandle) -> i32 {
+        match a[i] {
+            EncodedArg::Rank(code) => {
+                code.absolutize(env.comm_rank_untraced(comm) as i64) as i32
+            }
+            ref other => panic!("expected Rank at {i}, got {other:?}"),
+        }
+    }
+
+    fn arg_tag(&self, i: usize, a: &[EncodedArg], env: &Env, comm: CommHandle) -> i32 {
+        match &a[i] {
+            EncodedArg::Tag(t) => {
+                // Tags are stored raw under the default config.
+                let _ = env;
+                let _ = comm;
+                *t as i32
+            }
+            other => panic!("expected Tag at {i}, got {other:?}"),
+        }
+    }
+
+    fn arg_ptr(&mut self, i: usize, a: &[EncodedArg], env: &mut Env, need: u64) -> u64 {
+        match a[i] {
+            EncodedArg::Ptr { segment, offset } => self.ptr(env, segment, offset, need),
+            ref other => panic!("expected Ptr at {i}, got {other:?}"),
+        }
+    }
+
+    fn arg_varr(&self, ci: usize, di: usize, a: &[EncodedArg]) -> (Vec<u64>, Vec<i64>) {
+        match (&a[ci], &a[di]) {
+            (EncodedArg::IntArr(c), EncodedArg::IntArr(d)) => {
+                (c.iter().map(|&x| x as u64).collect(), d.clone())
+            }
+            _ => panic!("expected count/displ arrays"),
+        }
+    }
+}
+
+/// Convenience wrapper: replay with a default Pilgrim re-trace.
+pub fn replay(trace: &GlobalTrace) -> GlobalTrace {
+    replay_and_retrace(trace, PilgrimConfig::default())
+}
+
+// Ranks in `RankCode` wildcards pass through `absolutize`.
+#[allow(unused_imports)]
+use RankCode as _RankCodeUsed;

@@ -1,0 +1,81 @@
+//! Overhead accounting (paper Fig 7/8): wall-clock time spent in
+//! intra-process compression and in the two inter-process phases.
+
+use std::time::Duration;
+
+/// Wall-clock overhead decomposition for one rank.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OverheadStats {
+    /// Time in `on_call` (signature encoding, CST, CFG growth).
+    pub intra: Duration,
+    /// Time merging CSTs at finalize.
+    pub inter_cst: Duration,
+    /// Time merging CFGs (including the final Sequitur pass).
+    pub inter_cfg: Duration,
+}
+
+impl OverheadStats {
+    /// Total tracing overhead.
+    pub fn total(&self) -> Duration {
+        self.intra + self.inter_cst + self.inter_cfg
+    }
+
+    /// Percentage decomposition `(intra, cst, cfg)`; zeros if untraced.
+    pub fn decomposition(&self) -> (f64, f64, f64) {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.intra.as_secs_f64() / total * 100.0,
+            self.inter_cst.as_secs_f64() / total * 100.0,
+            self.inter_cfg.as_secs_f64() / total * 100.0,
+        )
+    }
+
+    /// Accumulates another rank's stats (for whole-run summaries).
+    pub fn merge(&mut self, other: &OverheadStats) {
+        self.intra += other.intra;
+        self.inter_cst += other.inter_cst;
+        self.inter_cfg += other.inter_cfg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_sums_to_hundred() {
+        let s = OverheadStats {
+            intra: Duration::from_millis(60),
+            inter_cst: Duration::from_millis(10),
+            inter_cfg: Duration::from_millis(30),
+        };
+        let (a, b, c) = s.decomposition();
+        assert!((a + b + c - 100.0).abs() < 1e-9);
+        assert!(a > c && c > b);
+    }
+
+    #[test]
+    fn empty_stats_decompose_to_zero() {
+        let s = OverheadStats::default();
+        assert_eq!(s.decomposition(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = OverheadStats {
+            intra: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = OverheadStats {
+            intra: Duration::from_millis(7),
+            inter_cfg: Duration::from_millis(1),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.intra, Duration::from_millis(12));
+        assert_eq!(a.inter_cfg, Duration::from_millis(1));
+    }
+}

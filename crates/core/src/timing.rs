@@ -1,0 +1,193 @@
+//! Non-aggregated lossy timing compression (paper §3.2).
+//!
+//! Durations are binned exponentially: a duration `d` is stored as
+//! `ceil(log_b(d))`, giving a user-tunable relative error of at most
+//! `b - 1`. Intervals between calls with the same signature are stored the
+//! same way, with the *reconstructed* (binned) previous intervals
+//! subtracted so the error in absolute wall-clock positions stays bounded
+//! instead of accumulating. Both bin streams are compressed with their own
+//! Sequitur grammars.
+
+use std::collections::HashMap;
+
+use pilgrim_sequitur::{FlatGrammar, Grammar};
+
+/// Lossy timing compressor for one rank.
+#[derive(Debug)]
+pub struct TimingCompressor {
+    base: f64,
+    ln_base: f64,
+    duration_grammar: Grammar,
+    interval_grammar: Grammar,
+    /// Per-signature-terminal: sum of reconstructed interval values, i.e.
+    /// the reconstructed entry time of the next expected call.
+    recon_entry: HashMap<u32, f64>,
+}
+
+impl TimingCompressor {
+    /// Creates a compressor with relative error bound `base - 1`
+    /// (the paper's evaluation uses `b = 1.2`, a 20% bound).
+    pub fn new(base: f64) -> Self {
+        assert!(base > 1.0, "binning base must exceed 1");
+        TimingCompressor {
+            base,
+            ln_base: base.ln(),
+            duration_grammar: Grammar::new(),
+            interval_grammar: Grammar::new(),
+            recon_entry: HashMap::new(),
+        }
+    }
+
+    /// Exponential bin index for a value (0 for values <= 1).
+    pub fn bin(&self, v: f64) -> u32 {
+        if v <= 1.0 {
+            return 0;
+        }
+        (v.ln() / self.ln_base).ceil() as u32
+    }
+
+    /// The representative (upper-bound) value of a bin.
+    pub fn unbin(&self, bin: u32) -> f64 {
+        if bin == 0 {
+            return 1.0;
+        }
+        self.base.powi(bin as i32)
+    }
+
+    /// Records one call: signature terminal `term`, entry time `t_start`,
+    /// duration `dur` (both simulated ns).
+    pub fn record(&mut self, term: u32, t_start: u64, dur: u64) {
+        let dbin = self.bin(dur as f64);
+        self.duration_grammar.push(dbin);
+        // Adjusted interval: wall-clock entry minus the sum of previously
+        // reconstructed intervals for this signature (paper §3.2).
+        let recon = *self.recon_entry.get(&term).unwrap_or(&0.0);
+        let interval = (t_start as f64 - recon).max(0.0);
+        let ibin = self.bin(interval);
+        self.interval_grammar.push(ibin);
+        self.recon_entry.insert(term, recon + self.unbin(ibin));
+    }
+
+    /// Snapshot of the duration-bin grammar.
+    pub fn duration_grammar(&self) -> FlatGrammar {
+        self.duration_grammar.to_flat()
+    }
+
+    /// Snapshot of the interval-bin grammar.
+    pub fn interval_grammar(&self) -> FlatGrammar {
+        self.interval_grammar.to_flat()
+    }
+
+    /// Relative error bound of this compressor.
+    pub fn error_bound(&self) -> f64 {
+        self.base - 1.0
+    }
+
+    /// Number of calls recorded.
+    pub fn recorded(&self) -> u64 {
+        self.duration_grammar.input_len()
+    }
+}
+
+/// Reconstructs per-call `(t_start, t_end)` estimates from decompressed
+/// duration/interval bin streams (post-processing side of §3.2). The
+/// caller supplies the per-call signature terminals in call order.
+pub fn reconstruct_times(
+    base: f64,
+    terms: &[u32],
+    duration_bins: &[u32],
+    interval_bins: &[u32],
+) -> Vec<(f64, f64)> {
+    assert_eq!(terms.len(), duration_bins.len());
+    assert_eq!(terms.len(), interval_bins.len());
+    let unbin = |b: u32| if b == 0 { 1.0 } else { base.powi(b as i32) };
+    let mut recon_entry: HashMap<u32, f64> = HashMap::new();
+    let mut out = Vec::with_capacity(terms.len());
+    for i in 0..terms.len() {
+        let entry = recon_entry.entry(terms[i]).or_insert(0.0);
+        let t_start = *entry + unbin(interval_bins[i]);
+        *entry = t_start;
+        let t_end = t_start + unbin(duration_bins[i]);
+        out.push((t_start, t_end));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_error_is_bounded() {
+        let t = TimingCompressor::new(1.2);
+        for &v in &[1.5f64, 10.0, 1234.0, 9.9e6, 3.7e9] {
+            let rep = t.unbin(t.bin(v));
+            let rel = (rep - v).abs() / v;
+            assert!(rel <= 0.2 + 1e-9, "value {v}: representative {rep}, error {rel}");
+            assert!(rep >= v - 1e-9, "ceil binning over-approximates");
+        }
+    }
+
+    #[test]
+    fn tiny_values_map_to_bin_zero() {
+        let t = TimingCompressor::new(1.2);
+        assert_eq!(t.bin(0.0), 0);
+        assert_eq!(t.bin(1.0), 0);
+        assert_eq!(t.unbin(0), 1.0);
+    }
+
+    #[test]
+    fn identical_loop_timings_compress_to_constant_space() {
+        let mut t = TimingCompressor::new(1.2);
+        // A perfectly regular loop: same duration, same interval.
+        for i in 0..10_000u64 {
+            t.record(0, i * 1000, 800);
+        }
+        let dg = t.duration_grammar();
+        assert!(dg.total_symbols() <= 2, "regular durations: {} symbols", dg.total_symbols());
+        assert_eq!(t.recorded(), 10_000);
+    }
+
+    #[test]
+    fn noisy_timings_still_roundtrip_within_bound() {
+        let mut t = TimingCompressor::new(1.2);
+        let mut starts = Vec::new();
+        let mut state = 7u64;
+        let mut now = 0u64;
+        for _ in 0..500 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let dur = 900 + (state >> 40) % 200;
+            now += 1000 + (state >> 50) % 64;
+            starts.push((now, dur));
+            t.record(3, now, dur);
+        }
+        let dbins = t.duration_grammar().expand();
+        let ibins = t.interval_grammar().expand();
+        let terms = vec![3u32; 500];
+        let times = reconstruct_times(1.2, &terms, &dbins, &ibins);
+        // Reconstructed entry times stay within the relative error bound.
+        for ((t_start, _), &(orig_start, _)) in times.iter().zip(&starts) {
+            let rel = (t_start - orig_start as f64).abs() / orig_start as f64;
+            assert!(rel <= 0.2 + 1e-6, "entry time drifted: {rel}");
+        }
+    }
+
+    #[test]
+    fn intervals_tracked_per_signature() {
+        let mut t = TimingCompressor::new(2.0);
+        // Two interleaved signatures with different periods.
+        t.record(0, 1000, 10);
+        t.record(1, 1500, 10);
+        t.record(0, 2000, 10);
+        t.record(1, 3000, 10);
+        assert_eq!(t.recorded(), 4);
+        let ibins = t.interval_grammar().expand();
+        assert_eq!(ibins.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed 1")]
+    fn base_must_exceed_one() {
+        TimingCompressor::new(1.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The merged trace format: a globally merged CST, one grammar generating
+//! the concatenation of all ranks' terminal sequences, and (optionally)
+//! deduplicated timing grammars. This is what Pilgrim writes to disk; its
+//! serialized size is the "trace file size" of every experiment.
+
+use pilgrim_sequitur::{read_varint, write_varint, FlatGrammar};
+
+use crate::cst::Cst;
+use crate::encode::EncoderConfig;
+
+/// Size breakdown of a serialized trace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SizeReport {
+    pub cst_bytes: usize,
+    pub grammar_bytes: usize,
+    pub duration_bytes: usize,
+    pub interval_bytes: usize,
+    pub meta_bytes: usize,
+}
+
+impl SizeReport {
+    /// Total trace size excluding non-aggregated timing (the paper reports
+    /// timing grammar sizes separately, Fig 10).
+    pub fn core_total(&self) -> usize {
+        self.cst_bytes + self.grammar_bytes + self.meta_bytes
+    }
+
+    /// Total including timing grammars.
+    pub fn full_total(&self) -> usize {
+        self.core_total() + self.duration_bytes + self.interval_bytes
+    }
+}
+
+/// The merged, serializable trace.
+#[derive(Debug, Clone)]
+pub struct GlobalTrace {
+    pub nranks: usize,
+    pub encoder_cfg: EncoderConfig,
+    /// Globally merged call signature table.
+    pub cst: Cst,
+    /// Grammar generating rank 0's terminals, then rank 1's, etc.
+    pub grammar: FlatGrammar,
+    /// Number of calls per rank (to split the expansion).
+    pub rank_lengths: Vec<u64>,
+    /// How many structurally distinct per-rank grammars were observed
+    /// before merging (the paper tracks this as its key scaling metric).
+    pub unique_grammars: usize,
+    /// Deduplicated non-aggregated timing grammars (empty in aggregate
+    /// timing mode), plus the rank -> grammar-index maps.
+    pub duration_grammars: Vec<FlatGrammar>,
+    pub interval_grammars: Vec<FlatGrammar>,
+    pub duration_rank_map: Vec<u32>,
+    pub interval_rank_map: Vec<u32>,
+}
+
+impl GlobalTrace {
+    /// Expands the merged grammar and splits it into per-rank terminal
+    /// sequences.
+    pub fn decode_all_ranks(&self) -> Vec<Vec<u32>> {
+        let all = self.grammar.expand();
+        let mut out = Vec::with_capacity(self.nranks);
+        let mut pos = 0usize;
+        for &len in &self.rank_lengths {
+            let len = len as usize;
+            out.push(all[pos..pos + len].to_vec());
+            pos += len;
+        }
+        assert_eq!(pos, all.len(), "grammar length mismatch vs rank lengths");
+        out
+    }
+
+    /// Expands a single rank's terminal sequence.
+    pub fn decode_rank(&self, rank: usize) -> Vec<u32> {
+        self.decode_all_ranks().swap_remove(rank)
+    }
+
+    /// Serializes the trace; the returned buffer's length is the trace
+    /// file size.
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(self.encoder_cfg.to_byte());
+        write_varint(&mut out, self.nranks as u64);
+        write_varint(&mut out, self.unique_grammars as u64);
+        for &l in &self.rank_lengths {
+            write_varint(&mut out, l);
+        }
+        self.cst.serialize(&mut out);
+        self.grammar.serialize(&mut out);
+        write_varint(&mut out, self.duration_grammars.len() as u64);
+        for g in &self.duration_grammars {
+            g.serialize(&mut out);
+        }
+        write_varint(&mut out, self.interval_grammars.len() as u64);
+        for g in &self.interval_grammars {
+            g.serialize(&mut out);
+        }
+        for &m in &self.duration_rank_map {
+            write_varint(&mut out, m as u64 + 1);
+        }
+        for &m in &self.interval_rank_map {
+            write_varint(&mut out, m as u64 + 1);
+        }
+        out
+    }
+
+    /// Deserializes a trace written by [`GlobalTrace::serialize`].
+    pub fn deserialize(buf: &[u8]) -> Option<GlobalTrace> {
+        let mut pos = 0usize;
+        let encoder_cfg = EncoderConfig::from_byte(*buf.first()?);
+        pos += 1;
+        let nranks = read_varint(buf, &mut pos)? as usize;
+        let unique_grammars = read_varint(buf, &mut pos)? as usize;
+        let mut rank_lengths = Vec::with_capacity(nranks);
+        for _ in 0..nranks {
+            rank_lengths.push(read_varint(buf, &mut pos)?);
+        }
+        let cst = Cst::deserialize(buf, &mut pos)?;
+        let (grammar, used) = FlatGrammar::deserialize(&buf[pos..])?;
+        pos += used;
+        let nd = read_varint(buf, &mut pos)? as usize;
+        let mut duration_grammars = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            let (g, used) = FlatGrammar::deserialize(&buf[pos..])?;
+            pos += used;
+            duration_grammars.push(g);
+        }
+        let ni = read_varint(buf, &mut pos)? as usize;
+        let mut interval_grammars = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            let (g, used) = FlatGrammar::deserialize(&buf[pos..])?;
+            pos += used;
+            interval_grammars.push(g);
+        }
+        let mut duration_rank_map = Vec::with_capacity(nranks);
+        let mut interval_rank_map = Vec::with_capacity(nranks);
+        if nd > 0 || ni > 0 {
+            for _ in 0..nranks {
+                duration_rank_map.push((read_varint(buf, &mut pos)? - 1) as u32);
+            }
+            for _ in 0..nranks {
+                interval_rank_map.push((read_varint(buf, &mut pos)? - 1) as u32);
+            }
+        }
+        Some(GlobalTrace {
+            nranks,
+            encoder_cfg,
+            cst,
+            grammar,
+            rank_lengths,
+            unique_grammars,
+            duration_grammars,
+            interval_grammars,
+            duration_rank_map,
+            interval_rank_map,
+        })
+    }
+
+    /// Component size breakdown.
+    pub fn size_report(&self) -> SizeReport {
+        let cst_bytes = self.cst.byte_size();
+        let grammar_bytes = self.grammar.byte_size();
+        let duration_bytes: usize = self.duration_grammars.iter().map(|g| g.byte_size()).sum();
+        let interval_bytes: usize = self.interval_grammars.iter().map(|g| g.byte_size()).sum();
+        let total = self.serialize().len();
+        SizeReport {
+            cst_bytes,
+            grammar_bytes,
+            duration_bytes,
+            interval_bytes,
+            meta_bytes: total - cst_bytes - grammar_bytes - duration_bytes - interval_bytes,
+        }
+    }
+
+    /// Trace file size in bytes (core trace, timing reported separately).
+    pub fn size_bytes(&self) -> usize {
+        self.size_report().core_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pilgrim_sequitur::Grammar;
+
+    fn tiny_trace() -> GlobalTrace {
+        let mut cst = Cst::new();
+        cst.observe(b"a", 10);
+        cst.observe(b"b", 20);
+        let mut g = Grammar::new();
+        for _ in 0..3 {
+            g.push(0);
+            g.push(1);
+        }
+        GlobalTrace {
+            nranks: 2,
+            encoder_cfg: EncoderConfig::default(),
+            cst,
+            grammar: g.to_flat(),
+            rank_lengths: vec![4, 2],
+            unique_grammars: 1,
+            duration_grammars: vec![],
+            interval_grammars: vec![],
+            duration_rank_map: vec![],
+            interval_rank_map: vec![],
+        }
+    }
+
+    #[test]
+    fn decode_splits_by_rank_lengths() {
+        let t = tiny_trace();
+        let ranks = t.decode_all_ranks();
+        assert_eq!(ranks[0], vec![0, 1, 0, 1]);
+        assert_eq!(ranks[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let t = tiny_trace();
+        let bytes = t.serialize();
+        let back = GlobalTrace::deserialize(&bytes).expect("deserializable");
+        assert_eq!(back.nranks, 2);
+        assert_eq!(back.rank_lengths, vec![4, 2]);
+        assert_eq!(back.unique_grammars, 1);
+        assert_eq!(back.decode_all_ranks(), t.decode_all_ranks());
+        assert_eq!(back.cst.len(), 2);
+    }
+
+    #[test]
+    fn size_report_components_sum() {
+        let t = tiny_trace();
+        let r = t.size_report();
+        assert_eq!(r.full_total(), t.serialize().len());
+        assert!(r.cst_bytes > 0 && r.grammar_bytes > 0);
+    }
+
+    #[test]
+    fn timing_grammars_roundtrip() {
+        let mut t = tiny_trace();
+        let mut dg = Grammar::new();
+        dg.push_run(5, 10);
+        t.duration_grammars = vec![dg.to_flat()];
+        t.interval_grammars = vec![dg.to_flat()];
+        t.duration_rank_map = vec![0, 0];
+        t.interval_rank_map = vec![0, 0];
+        let back = GlobalTrace::deserialize(&t.serialize()).unwrap();
+        assert_eq!(back.duration_grammars.len(), 1);
+        assert_eq!(back.duration_rank_map, vec![0, 0]);
+        assert_eq!(back.duration_grammars[0].expanded_len(), 10);
+    }
+}

@@ -1,0 +1,682 @@
+//! The Pilgrim tracer: the per-rank PMPI-side state machine that encodes
+//! every intercepted call into a signature, grows the CST and CFG online,
+//! assigns symbolic ids to every MPI object, and runs the inter-process
+//! merge at finalize.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use mpi_sim::funcs::FuncId;
+use mpi_sim::hooks::{Arg, CallRec, ToolRequest, TraceCtx, Tracer};
+use pilgrim_sequitur::Grammar;
+
+use crate::cst::Cst;
+use crate::encode::{EncoderConfig, SigWriter};
+use crate::idpool::{IdPool, SigPools};
+use crate::memtracker::MemTracker;
+use crate::merge::{self, LocalPiece};
+use crate::stats::OverheadStats;
+use crate::timing::TimingCompressor;
+use crate::trace::GlobalTrace;
+
+/// Timing collection mode (§3.2).
+#[derive(Debug, Clone, Copy)]
+pub enum TimingMode {
+    /// Keep only per-signature average durations in the CST (default).
+    Aggregate,
+    /// Additionally keep lossy per-call durations and intervals, binned
+    /// exponentially with the given base (relative error `base - 1`).
+    Lossy { base: f64 },
+}
+
+/// Tracer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PilgrimConfig {
+    pub encoder: EncoderConfig,
+    pub timing: TimingMode,
+    /// Keep raw records and the terminal sequence for lossless
+    /// verification (testing only; costs memory).
+    pub capture_reference: bool,
+    /// Ablation: use one shared request-id pool instead of the paper's
+    /// per-signature pools (§3.4.3) — nondeterministic completion order
+    /// then churns ids and breaks signature repetition.
+    pub shared_request_pool: bool,
+    /// Ablation: skip the identity check before grammar merges (§3.5.2).
+    pub merge_identity_check: bool,
+}
+
+impl Default for PilgrimConfig {
+    fn default() -> Self {
+        PilgrimConfig {
+            encoder: EncoderConfig::default(),
+            timing: TimingMode::Aggregate,
+            capture_reference: false,
+            shared_request_pool: false,
+            merge_identity_check: true,
+        }
+    }
+}
+
+/// A reference capture entry for verification.
+#[derive(Debug, Clone)]
+pub struct CapturedCall {
+    pub rec: CallRec,
+    /// The caller's rank in the call's communicator at encode time.
+    pub caller_rank: i64,
+    /// The grammar terminal the call was mapped to.
+    pub term: u32,
+}
+
+/// Bookkeeping for a live request's symbolic id.
+#[derive(Debug, Clone)]
+struct ReqEntry {
+    sym: u64,
+    pool_sig: Vec<u8>,
+    comm_rank: i64,
+    /// Persistent requests keep their id across completions; only
+    /// `MPI_Request_free` releases it.
+    persistent: bool,
+}
+
+/// The Pilgrim tracer for one rank.
+pub struct PilgrimTracer {
+    cfg: PilgrimConfig,
+    rank: usize,
+    cst: Cst,
+    grammar: Grammar,
+    /// Raw comm handle -> globally consistent symbolic id (§3.3.1).
+    comm_ids: HashMap<u32, u64>,
+    /// Highest comm symbolic id assigned locally (monotonic).
+    comm_high_water: u64,
+    /// Pending `MPI_Comm_idup` id all-reduces: (new handle, request).
+    pending_idups: Vec<(u32, ToolRequest)>,
+    dtype_ids: HashMap<u32, u64>,
+    dtype_pool: IdPool,
+    group_ids: HashMap<u32, u64>,
+    group_pool: IdPool,
+    /// Raw request id -> symbolic id bookkeeping (§3.4.3).
+    reqs: HashMap<u64, ReqEntry>,
+    req_pools: SigPools,
+    mem: MemTracker,
+    timing: Option<TimingCompressor>,
+    stats: OverheadStats,
+    captured: Vec<CapturedCall>,
+    result: Option<GlobalTrace>,
+    local_size: usize,
+    finalized: bool,
+}
+
+/// Symbolic-id offset for derived datatypes (predefined handles keep
+/// their values, matching the paper's "only the size" contrast: we keep
+/// identity for built-ins and pool ids for deriveds).
+const DERIVED_DTYPE_BASE: u64 = 16;
+
+impl PilgrimTracer {
+    pub fn new(rank: usize, cfg: PilgrimConfig) -> Self {
+        let timing = match cfg.timing {
+            TimingMode::Aggregate => None,
+            TimingMode::Lossy { base } => Some(TimingCompressor::new(base)),
+        };
+        let mut comm_ids = HashMap::new();
+        comm_ids.insert(0, 0); // MPI_COMM_WORLD is id 0 everywhere.
+        PilgrimTracer {
+            cfg,
+            rank,
+            cst: Cst::new(),
+            grammar: Grammar::new(),
+            comm_ids,
+            comm_high_water: 0,
+            pending_idups: Vec::new(),
+            dtype_ids: HashMap::new(),
+            dtype_pool: IdPool::new(),
+            group_ids: HashMap::new(),
+            group_pool: IdPool::new(),
+            reqs: HashMap::new(),
+            req_pools: SigPools::new(),
+            mem: MemTracker::new(),
+            timing,
+            stats: OverheadStats::default(),
+            captured: Vec::new(),
+            result: None,
+            local_size: 0,
+            finalized: false,
+        }
+    }
+
+    /// Default-configured tracer.
+    pub fn with_defaults(rank: usize) -> Self {
+        PilgrimTracer::new(rank, PilgrimConfig::default())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (harness / tests)
+    // ------------------------------------------------------------------
+
+    /// The merged trace; `Some` only on rank 0 after finalize.
+    pub fn global_trace(&self) -> Option<&GlobalTrace> {
+        self.result.as_ref()
+    }
+
+    /// Takes ownership of the merged trace.
+    pub fn take_global_trace(&mut self) -> Option<GlobalTrace> {
+        self.result.take()
+    }
+
+    /// This rank's local CST size (signatures).
+    pub fn cst_len(&self) -> usize {
+        self.cst.len()
+    }
+
+    /// This rank's local (pre-merge) trace size in bytes.
+    pub fn local_size_bytes(&self) -> usize {
+        self.local_size
+    }
+
+    /// Overhead decomposition for this rank.
+    pub fn stats(&self) -> OverheadStats {
+        self.stats
+    }
+
+    /// Reference capture (only populated with `capture_reference`).
+    pub fn captured(&self) -> &[CapturedCall] {
+        &self.captured
+    }
+
+    /// Number of calls traced.
+    pub fn call_count(&self) -> u64 {
+        self.grammar.input_len()
+    }
+
+    // ------------------------------------------------------------------
+    // Symbolic ids
+    // ------------------------------------------------------------------
+
+    fn comm_sym(&mut self, handle: u32) -> u64 {
+        if let Some(&id) = self.comm_ids.get(&handle) {
+            return id;
+        }
+        // A communicator used before its id arrived can only be a pending
+        // idup (§3.3.1); resolve it now, blocking if necessary — by the
+        // time the app uses the comm, every member has deposited.
+        if let Some(i) = self.pending_idups.iter().position(|&(h, _)| h == handle) {
+            let (h, req) = self.pending_idups.remove(i);
+            let max = loop {
+                if let Some(v) = req.try_complete() {
+                    break v;
+                }
+                std::thread::yield_now();
+            };
+            let sym = max + 1;
+            self.comm_high_water = self.comm_high_water.max(sym);
+            self.comm_ids.insert(h, sym);
+            return sym;
+        }
+        panic!("communicator handle {handle} has no symbolic id (rank {})", self.rank);
+    }
+
+    fn poll_pending_idups(&mut self) {
+        let mut i = 0;
+        while i < self.pending_idups.len() {
+            if let Some(max) = self.pending_idups[i].1.try_complete() {
+                let (h, _) = self.pending_idups.remove(i);
+                let sym = max + 1;
+                self.comm_high_water = self.comm_high_water.max(sym);
+                self.comm_ids.insert(h, sym);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn assign_comm_id(&mut self, ctx: &TraceCtx<'_>, handle: u32) {
+        // Paper §3.3.1: all-reduce the local maxima over the new
+        // communicator's members; everyone adopts max + 1.
+        let max = ctx.tool_allreduce_max(handle, self.comm_high_water);
+        let sym = max + 1;
+        self.comm_high_water = sym;
+        self.comm_ids.insert(handle, sym);
+    }
+
+    fn dtype_sym(&mut self, handle: u32) -> u64 {
+        if (handle as u64) < DERIVED_DTYPE_BASE {
+            return handle as u64;
+        }
+        match self.dtype_ids.get(&handle) {
+            Some(&id) => id,
+            None => {
+                let id = DERIVED_DTYPE_BASE + self.dtype_pool.acquire();
+                self.dtype_ids.insert(handle, id);
+                id
+            }
+        }
+    }
+
+    fn group_sym(&mut self, handle: u32) -> u64 {
+        match self.group_ids.get(&handle) {
+            Some(&id) => id,
+            None => {
+                let id = self.group_pool.acquire();
+                self.group_ids.insert(handle, id);
+                id
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Request completion semantics
+    // ------------------------------------------------------------------
+
+    /// Raw request ids whose completion this record reports.
+    fn completed_requests(rec: &CallRec) -> Vec<u64> {
+        let arr = |a: &Arg| -> Vec<u64> {
+            match a {
+                Arg::RequestArr(v) => v.clone(),
+                _ => Vec::new(),
+            }
+        };
+        let int = |a: &Arg| -> i64 {
+            match a {
+                Arg::Int(v) => *v,
+                _ => 0,
+            }
+        };
+        match rec.func {
+            FuncId::Wait | FuncId::RequestFree => match rec.args.first() {
+                Some(Arg::Request(r)) if *r != u64::MAX => vec![*r],
+                _ => vec![],
+            },
+            FuncId::Waitall => arr(&rec.args[1]).into_iter().filter(|&r| r != u64::MAX).collect(),
+            FuncId::Waitany => {
+                let idx = int(&rec.args[2]);
+                if idx < 0 {
+                    vec![]
+                } else {
+                    vec![arr(&rec.args[1])[idx as usize]]
+                }
+            }
+            FuncId::Waitsome | FuncId::Testsome => {
+                let reqs = arr(&rec.args[1]);
+                match &rec.args[3] {
+                    Arg::IntArr(idx) => idx.iter().map(|&i| reqs[i as usize]).collect(),
+                    _ => vec![],
+                }
+            }
+            FuncId::Test => match (&rec.args[0], int(&rec.args[1])) {
+                (Arg::Request(r), 1) if *r != u64::MAX => vec![*r],
+                _ => vec![],
+            },
+            FuncId::Testall => {
+                if int(&rec.args[2]) == 1 {
+                    arr(&rec.args[1]).into_iter().filter(|&r| r != u64::MAX).collect()
+                } else {
+                    vec![]
+                }
+            }
+            FuncId::Testany => {
+                let idx = int(&rec.args[2]);
+                if int(&rec.args[3]) == 1 && idx >= 0 {
+                    vec![arr(&rec.args[1])[idx as usize]]
+                } else {
+                    vec![]
+                }
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Is this a call whose trailing `Request` argument *creates* a request?
+    fn creates_request(func: FuncId) -> bool {
+        matches!(
+            func,
+            FuncId::Isend
+                | FuncId::Ibsend
+                | FuncId::Issend
+                | FuncId::Irsend
+                | FuncId::Irecv
+                | FuncId::Ibarrier
+                | FuncId::Iallreduce
+                | FuncId::CommIdup
+        ) || Self::creates_persistent(func)
+    }
+
+    /// Persistent-request constructors (`MPI_*_init`).
+    fn creates_persistent(func: FuncId) -> bool {
+        matches!(
+            func,
+            FuncId::SendInit
+                | FuncId::BsendInit
+                | FuncId::SsendInit
+                | FuncId::RsendInit
+                | FuncId::RecvInit
+        )
+    }
+
+    /// Caller ranks to use when encoding the statuses of a completion
+    /// record: each status belongs to a specific request, whose creation
+    /// communicator determines the relative-rank base. Falls back to
+    /// `caller_rank` when the request is unknown.
+    fn status_ranks(&self, rec: &CallRec, caller_rank: i64) -> Vec<i64> {
+        let look = |raw: u64| -> i64 {
+            self.reqs.get(&raw).map_or(caller_rank, |e| e.comm_rank)
+        };
+        let arr = |a: &Arg| -> Vec<u64> {
+            match a {
+                Arg::RequestArr(v) => v.clone(),
+                _ => Vec::new(),
+            }
+        };
+        let int = |a: &Arg| -> i64 {
+            match a {
+                Arg::Int(v) => *v,
+                _ => 0,
+            }
+        };
+        match rec.func {
+            FuncId::Wait | FuncId::Test => match rec.args.first() {
+                Some(Arg::Request(r)) if *r != u64::MAX => vec![look(*r)],
+                _ => vec![caller_rank],
+            },
+            FuncId::Waitall | FuncId::Testall => arr(&rec.args[1])
+                .into_iter()
+                .map(|r| if r == u64::MAX { caller_rank } else { look(r) })
+                .collect(),
+            FuncId::Waitany => {
+                let idx = int(&rec.args[2]);
+                if idx >= 0 {
+                    vec![look(arr(&rec.args[1])[idx as usize])]
+                } else {
+                    vec![caller_rank]
+                }
+            }
+            FuncId::Testany => {
+                let idx = int(&rec.args[2]);
+                if int(&rec.args[3]) == 1 && idx >= 0 {
+                    vec![look(arr(&rec.args[1])[idx as usize])]
+                } else {
+                    vec![caller_rank]
+                }
+            }
+            FuncId::Waitsome | FuncId::Testsome => {
+                let reqs = arr(&rec.args[1]);
+                match &rec.args[3] {
+                    Arg::IntArr(idx) => idx.iter().map(|&i| look(reqs[i as usize])).collect(),
+                    _ => vec![],
+                }
+            }
+            _ => vec![],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Signature encoding
+    // ------------------------------------------------------------------
+
+    fn encode(&mut self, ctx: &TraceCtx<'_>, rec: &CallRec) -> (Vec<u8>, i64) {
+        let mut cfg = self.cfg.encoder;
+        // Relative-rank encoding applies to point-to-point src/dst ranks
+        // (§3.4.2). Collective roots and leader ranks are the same value on
+        // every rank already; encoding them relative would *destroy*
+        // cross-rank signature sharing.
+        if !matches!(
+            rec.func,
+            FuncId::Send
+                | FuncId::Bsend
+                | FuncId::Ssend
+                | FuncId::Rsend
+                | FuncId::Recv
+                | FuncId::Isend
+                | FuncId::Ibsend
+                | FuncId::Issend
+                | FuncId::Irsend
+                | FuncId::Irecv
+                | FuncId::Sendrecv
+                | FuncId::SendrecvReplace
+                | FuncId::Probe
+                | FuncId::Iprobe
+                | FuncId::Wait
+                | FuncId::Waitall
+                | FuncId::Waitany
+                | FuncId::Waitsome
+                | FuncId::Test
+                | FuncId::Testall
+                | FuncId::Testany
+                | FuncId::Testsome
+        ) {
+            cfg.relative_ranks = false;
+        }
+        // The caller's rank in the call's (first) communicator argument;
+        // world rank when the record carries no communicator.
+        let caller_rank = rec
+            .args
+            .iter()
+            .find_map(|a| match a {
+                Arg::Comm(h) if *h != u32::MAX => ctx.comm_rank(*h).map(|r| r as i64),
+                _ => None,
+            })
+            .unwrap_or(self.rank as i64);
+        let creates = Self::creates_request(rec.func);
+        let status_ranks = self.status_ranks(rec, caller_rank);
+        let mut status_idx = 0usize;
+        let next_status_rank =
+            |n: usize| -> i64 { status_ranks.get(n).copied().unwrap_or(caller_rank) };
+        let mut w = SigWriter::new(rec.func.id());
+        for arg in &rec.args {
+            match arg {
+                Arg::Int(v) => w.int(*v),
+                Arg::Rank(r) => w.rank(*r, caller_rank, &cfg),
+                Arg::Tag(t) => w.msg_tag(*t, caller_rank, &cfg),
+                Arg::Comm(h) => {
+                    // The new communicator of MPI_Comm_idup has no id yet —
+                    // blocking here could deadlock the application, so its
+                    // own record carries a "deferred" marker; the id is
+                    // resolved by the time the communicator is used.
+                    let sym = if *h == u32::MAX {
+                        u64::MAX
+                    } else if rec.func == FuncId::CommIdup
+                        && self.pending_idups.iter().any(|&(p, _)| p == *h)
+                    {
+                        u64::MAX - 2
+                    } else {
+                        self.comm_sym(*h)
+                    };
+                    w.comm(sym);
+                }
+                Arg::Datatype(h) => {
+                    let sym = self.dtype_sym(*h);
+                    w.datatype(sym);
+                }
+                Arg::Op(o) => w.op(*o),
+                Arg::Group(h) => {
+                    let sym = self.group_sym(*h);
+                    w.group(sym);
+                }
+                Arg::Request(raw) => {
+                    if creates {
+                        // The request argument is excluded from the pool
+                        // signature (§3.4.3): use the bytes written so far.
+                        // (Ablation: one shared pool uses an empty key.)
+                        let pool_sig = if self.cfg.shared_request_pool {
+                            Vec::new()
+                        } else {
+                            w.bytes().to_vec()
+                        };
+                        let sym = self.req_pools.acquire(&pool_sig);
+                        self.reqs.insert(
+                            *raw,
+                            ReqEntry {
+                                sym,
+                                pool_sig,
+                                comm_rank: caller_rank,
+                                persistent: Self::creates_persistent(rec.func),
+                            },
+                        );
+                        w.request(sym);
+                    } else if *raw == u64::MAX {
+                        w.request(u64::MAX);
+                    } else {
+                        let sym = self.reqs.get(raw).map_or(u64::MAX - 1, |e| e.sym);
+                        w.request(sym);
+                    }
+                }
+                Arg::RequestArr(raws) => {
+                    let syms: Vec<Option<u64>> = raws
+                        .iter()
+                        .map(|&r| {
+                            if r == u64::MAX {
+                                None
+                            } else {
+                                Some(self.reqs.get(&r).map_or(u64::MAX - 1, |e| e.sym))
+                            }
+                        })
+                        .collect();
+                    w.request_arr(&syms);
+                }
+                Arg::Ptr(addr) => {
+                    let code = self.mem.encode_ptr(*addr);
+                    w.ptr(code.segment, code.offset, &cfg);
+                }
+                Arg::Status { source, tag } => {
+                    let base = next_status_rank(status_idx);
+                    status_idx += 1;
+                    w.status(*source, *tag, base, &cfg);
+                }
+                Arg::StatusArr(sts) => {
+                    let bases: Vec<i64> = (0..sts.len())
+                        .map(|k| next_status_rank(status_idx + k))
+                        .collect();
+                    status_idx += sts.len();
+                    w.status_arr_with_bases(sts, &bases, &cfg);
+                }
+                Arg::IntArr(v) => w.int_arr(v),
+                Arg::Color(c) => w.color(*c, caller_rank, &cfg),
+                Arg::Key(k) => w.key(*k, caller_rank, &cfg),
+                Arg::Str(s) => w.str(s),
+            }
+        }
+        (w.into_bytes(), caller_rank)
+    }
+}
+
+impl Tracer for PilgrimTracer {
+    fn on_call(&mut self, ctx: &TraceCtx<'_>, rec: &CallRec, t_start: u64, t_end: u64) {
+        let timer = Instant::now();
+        self.poll_pending_idups();
+
+        // Object lifecycle — communicator creation needs its id assigned
+        // before (or as part of) encoding.
+        match rec.func {
+            FuncId::CommDup
+            | FuncId::CommSplit
+            | FuncId::CommCreate
+            | FuncId::CartCreate
+            | FuncId::IntercommCreate
+            | FuncId::IntercommMerge => {
+                // The new communicator is the last Comm argument.
+                if let Some(Arg::Comm(h)) = rec
+                    .args
+                    .iter()
+                    .rev()
+                    .find(|a| matches!(a, Arg::Comm(_)))
+                {
+                    if *h != u32::MAX {
+                        self.assign_comm_id(ctx, *h);
+                    }
+                }
+            }
+            FuncId::CommIdup => {
+                // Non-blocking: start the tool-lane all-reduce over the
+                // parent (same group as the duplicate) and resolve later.
+                if let (Some(Arg::Comm(parent)), Some(Arg::Comm(new))) =
+                    (rec.args.first(), rec.args.get(1))
+                {
+                    let req = ctx.tool_iallreduce_max(*parent, self.comm_high_water);
+                    self.pending_idups.push((*new, req));
+                }
+            }
+            _ => {}
+        }
+
+        // Encode the signature (assigns request/datatype/group ids).
+        let (sig, caller_rank) = self.encode(ctx, rec);
+
+        // Post-encoding lifecycle: release ids of completed/freed objects.
+        // Persistent requests keep their symbolic id across completions
+        // and release it only at MPI_Request_free.
+        let freeing = rec.func == FuncId::RequestFree;
+        for raw in Self::completed_requests(rec) {
+            let persistent = self.reqs.get(&raw).is_some_and(|e| e.persistent);
+            if !persistent || freeing {
+                if let Some(entry) = self.reqs.remove(&raw) {
+                    self.req_pools.release(&entry.pool_sig, entry.sym);
+                }
+            }
+        }
+        match rec.func {
+            FuncId::TypeFree => {
+                if let Some(Arg::Datatype(h)) = rec.args.first() {
+                    if let Some(sym) = self.dtype_ids.remove(h) {
+                        self.dtype_pool.release(sym - DERIVED_DTYPE_BASE);
+                    }
+                }
+            }
+            FuncId::GroupFree => {
+                if let Some(Arg::Group(h)) = rec.args.first() {
+                    if let Some(sym) = self.group_ids.remove(h) {
+                        self.group_pool.release(sym);
+                    }
+                }
+            }
+            FuncId::CommFree => {
+                if let Some(Arg::Comm(h)) = rec.args.first() {
+                    // Comm ids are monotonic (never pooled): global
+                    // consistency relies on max+1 assignment.
+                    self.comm_ids.remove(h);
+                }
+            }
+            _ => {}
+        }
+
+        // CST + CFG growth.
+        let duration = t_end - t_start;
+        let term = self.cst.observe(&sig, duration);
+        self.grammar.push(term);
+        if let Some(t) = &mut self.timing {
+            t.record(term, t_start, duration);
+        }
+        if self.cfg.capture_reference {
+            self.captured.push(CapturedCall { rec: rec.clone(), caller_rank, term });
+        }
+        self.stats.intra += timer.elapsed();
+    }
+
+    fn on_alloc(&mut self, addr: u64, size: u64) {
+        self.mem.on_alloc(addr, size);
+    }
+
+    fn on_free(&mut self, addr: u64) {
+        self.mem.on_free(addr);
+    }
+
+    fn on_finalize(&mut self, ctx: &TraceCtx<'_>) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        let piece = LocalPiece {
+            rank: self.rank,
+            cst: self.cst.clone(),
+            grammar: self.grammar.to_flat(),
+            call_count: self.grammar.input_len(),
+            duration: self.timing.as_ref().map(|t| t.duration_grammar()),
+            interval: self.timing.as_ref().map(|t| t.interval_grammar()),
+            encoder_cfg: self.cfg.encoder,
+        };
+        self.local_size = piece.local_size_bytes();
+        self.result = merge::merge_with_options(
+            ctx,
+            piece,
+            &mut self.stats,
+            self.cfg.merge_identity_check,
+        );
+    }
+}

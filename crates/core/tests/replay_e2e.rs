@@ -1,0 +1,269 @@
+//! Mini-app replay tests: a trace replayed as a live program must
+//! reproduce the original communication pattern — same call counts and,
+//! for deterministic programs, an identical re-trace.
+
+use mpi_sim::{World, WorldConfig};
+use pilgrim::{replay, PilgrimConfig, PilgrimTracer};
+
+fn trace_workload(name: &str, nranks: usize, iters: usize) -> pilgrim::GlobalTrace {
+    let body = mpi_workloads_body(name, iters);
+    let mut tracers = World::run(
+        &WorldConfig::new(nranks),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    tracers[0].take_global_trace().unwrap()
+}
+
+fn mpi_workloads_body(name: &str, iters: usize) -> TestBody {
+    use mpi_sim::datatype::BasicType;
+    use mpi_sim::types::ReduceOp;
+    match name {
+        "collectives" => std::sync::Arc::new(move |env: &mut mpi_sim::Env| {
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::Double);
+            let n = env.world_size() as u64;
+            let buf = env.malloc(8 * n);
+            let out = env.malloc(8 * n);
+            for _ in 0..iters {
+                env.bcast(buf, 1, dt, 0, world);
+                env.allreduce(buf, out, 1, dt, ReduceOp::Sum, world);
+                env.allgather(buf, 1, dt, out, 1, dt, world);
+                env.alltoall(buf, 1, dt, out, 1, dt, world);
+                env.barrier(world);
+            }
+        }),
+        "ring" => std::sync::Arc::new(move |env: &mut mpi_sim::Env| {
+            let me = env.world_rank();
+            let n = env.world_size();
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::LongLong);
+            let sbuf = env.malloc(8);
+            let rbuf = env.malloc(8);
+            for _ in 0..iters {
+                let left = ((me + n - 1) % n) as i32;
+                let right = ((me + 1) % n) as i32;
+                let mut reqs = vec![
+                    env.irecv(rbuf, 1, dt, left, 3, world),
+                    env.isend(sbuf, 1, dt, right, 3, world),
+                ];
+                env.waitall(&mut reqs);
+            }
+        }),
+        "comms" => std::sync::Arc::new(move |env: &mut mpi_sim::Env| {
+            let me = env.world_rank();
+            let world = env.comm_world();
+            let dup = env.comm_dup(world);
+            let sub = env.comm_split(dup, (me % 2) as i32, 0).unwrap();
+            for _ in 0..iters {
+                env.barrier(sub);
+                env.barrier(dup);
+            }
+            env.comm_free(sub);
+            env.comm_free(dup);
+        }),
+        "types" => std::sync::Arc::new(move |env: &mut mpi_sim::Env| {
+            use mpi_sim::datatype::BasicType;
+            let world = env.comm_world();
+            let int = env.basic(BasicType::Int);
+            let v = env.type_vector(4, 1, 2, int);
+            env.type_commit(v);
+            let buf = env.malloc(64);
+            for _ in 0..iters {
+                env.bcast(buf, 1, v, 0, world);
+            }
+            env.type_free(v);
+        }),
+        other => mpi_workloads::by_name(other, iters),
+    }
+}
+
+type TestBody = std::sync::Arc<dyn Fn(&mut mpi_sim::Env) + Send + Sync>;
+
+/// For a deterministic program, a replay re-traced with Pilgrim is
+/// byte-identical to the original trace (same signatures, same grammar).
+fn assert_replay_faithful(name: &str, nranks: usize, iters: usize) {
+    let original = trace_workload(name, nranks, iters);
+    let replayed = replay(&original);
+    assert_eq!(replayed.nranks, original.nranks);
+    assert_eq!(
+        replayed.rank_lengths, original.rank_lengths,
+        "{name}: replay must issue the same number of calls per rank"
+    );
+    assert_eq!(
+        replayed.cst.len(),
+        original.cst.len(),
+        "{name}: replay must produce the same signature set"
+    );
+    assert_eq!(
+        replayed.decode_all_ranks(),
+        original.decode_all_ranks(),
+        "{name}: replay terminal streams must match"
+    );
+}
+
+#[test]
+fn replay_collectives_faithful() {
+    assert_replay_faithful("collectives", 4, 20);
+}
+
+#[test]
+fn replay_ring_faithful() {
+    assert_replay_faithful("ring", 6, 15);
+}
+
+#[test]
+fn replay_comm_management_faithful() {
+    assert_replay_faithful("comms", 4, 10);
+}
+
+#[test]
+fn replay_derived_types_faithful() {
+    assert_replay_faithful("types", 3, 12);
+}
+
+#[test]
+fn replay_stencil_faithful() {
+    assert_replay_faithful("stencil2d", 9, 15);
+}
+
+#[test]
+fn replay_npb_skeletons_faithful() {
+    assert_replay_faithful("lu", 4, 10);
+    assert_replay_faithful("mg", 8, 5);
+    assert_replay_faithful("is", 4, 8);
+}
+
+#[test]
+fn replay_milc_faithful() {
+    assert_replay_faithful("milc", 8, 2);
+}
+
+#[test]
+fn replay_nondeterministic_program_completes() {
+    // Waitany/ANY_SOURCE programs replay the *pattern*; completion order
+    // may differ, but the replay must run to completion and issue the
+    // same number of non-test calls.
+    use mpi_sim::datatype::BasicType;
+    use mpi_sim::{ANY_SOURCE, ANY_TAG};
+    let body: TestBody = std::sync::Arc::new(|env: &mut mpi_sim::Env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        if me == 0 {
+            let bufs: Vec<_> = (0..3).map(|_| env.malloc(8)).collect();
+            for _ in 0..10 {
+                let mut reqs: Vec<_> = bufs
+                    .iter()
+                    .map(|&b| env.irecv(b, 1, dt, ANY_SOURCE, ANY_TAG, world))
+                    .collect();
+                while env.waitany(&mut reqs).is_some() {}
+            }
+        } else {
+            let buf = env.malloc(8);
+            for _ in 0..10 {
+                env.send(buf, 1, dt, 0, me as i32, world);
+            }
+        }
+    });
+    let mut tracers = World::run(
+        &WorldConfig::new(4),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    let original = tracers[0].take_global_trace().unwrap();
+    let replayed = pilgrim::replay_and_retrace(&original, PilgrimConfig::default());
+    assert_eq!(replayed.nranks, 4);
+    assert_eq!(replayed.rank_lengths, original.rank_lengths);
+}
+
+#[test]
+fn replay_persistent_requests_faithful() {
+    let body: TestBody = std::sync::Arc::new(|env: &mut mpi_sim::Env| {
+        use mpi_sim::datatype::BasicType;
+        let me = env.world_rank();
+        let n = env.world_size();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let sbuf = env.malloc(8);
+        let rbuf = env.malloc(8);
+        let left = ((me + n - 1) % n) as i32;
+        let right = ((me + 1) % n) as i32;
+        let reqs = vec![
+            env.recv_init(rbuf, 1, dt, left, 0, world),
+            env.send_init(sbuf, 1, dt, right, 0, world),
+        ];
+        for _ in 0..8 {
+            env.startall(&reqs);
+            let mut active = reqs.clone();
+            env.waitall(&mut active);
+        }
+        for mut r in reqs {
+            env.request_free(&mut r);
+        }
+    });
+    let mut tracers = World::run(
+        &WorldConfig::new(4),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    let original = tracers[0].take_global_trace().unwrap();
+    let replayed = replay(&original);
+    assert_eq!(replayed.rank_lengths, original.rank_lengths);
+    assert_eq!(replayed.decode_all_ranks(), original.decode_all_ranks());
+}
+
+#[test]
+fn replay_cart_topology_faithful() {
+    let body: TestBody = std::sync::Arc::new(|env: &mut mpi_sim::Env| {
+        use mpi_sim::datatype::BasicType;
+        let world = env.comm_world();
+        let n = env.world_size();
+        let dims = env.dims_create(n, 2);
+        let cart = env.cart_create(world, &dims, &[true, true], false).unwrap();
+        let dt = env.basic(BasicType::Double);
+        let sbuf = env.malloc(64);
+        let rbuf = env.malloc(64);
+        for dim in 0..2 {
+            let (src, dst) = env.cart_shift(cart, dim, 1);
+            for _ in 0..6 {
+                env.sendrecv(sbuf, 8, dt, dst, dim as i32, rbuf, 8, dt, src, dim as i32, cart);
+            }
+        }
+        env.comm_free(cart);
+    });
+    let mut tracers = World::run(
+        &WorldConfig::new(6),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    let original = tracers[0].take_global_trace().unwrap();
+    let replayed = replay(&original);
+    assert_eq!(replayed.rank_lengths, original.rank_lengths);
+    assert_eq!(replayed.decode_all_ranks(), original.decode_all_ranks());
+}
+
+#[test]
+fn replay_sendrecv_replace_faithful() {
+    let body: TestBody = std::sync::Arc::new(|env: &mut mpi_sim::Env| {
+        use mpi_sim::datatype::BasicType;
+        let me = env.world_rank();
+        let n = env.world_size();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(8);
+        for _ in 0..12 {
+            let right = ((me + 1) % n) as i32;
+            let left = ((me + n - 1) % n) as i32;
+            env.sendrecv_replace(buf, 1, dt, right, 0, left, 0, world);
+        }
+    });
+    let mut tracers = World::run(
+        &WorldConfig::new(5),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    let original = tracers[0].take_global_trace().unwrap();
+    let replayed = replay(&original);
+    assert_eq!(replayed.decode_all_ranks(), original.decode_all_ranks());
+}

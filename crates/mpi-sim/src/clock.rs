@@ -1,0 +1,169 @@
+//! Deterministic simulated clock with a latency/bandwidth cost model.
+//!
+//! Each rank owns a logical clock in simulated nanoseconds. MPI calls
+//! advance it according to a simple cost model (base software overhead +
+//! per-byte transfer cost + seeded noise), and synchronizing operations
+//! (message receipt, collectives) propagate time between ranks the way
+//! causality does on a real machine: a receive cannot complete before the
+//! matching send plus the network latency.
+//!
+//! The paper's timing-compression experiments (§3.2, Fig 10) depend only on
+//! durations/intervals being *similar but noisy* across loop iterations;
+//! the seeded noise reproduces that regime deterministically.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost-model parameters, all in simulated nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockModel {
+    /// Software overhead charged to every MPI call.
+    pub call_overhead: u64,
+    /// One-way network latency for point-to-point messages.
+    pub latency: u64,
+    /// Transfer cost per byte (inverse bandwidth).
+    pub per_byte_milli: u64,
+    /// Maximum multiplicative noise in parts-per-thousand (0 = none).
+    pub noise_ppm: u64,
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        ClockModel {
+            call_overhead: 500,
+            latency: 1_500,
+            per_byte_milli: 350, // ~0.35 ns/byte ≈ 2.8 GB/s
+            noise_ppm: 80_000,   // up to 8% jitter
+        }
+    }
+}
+
+/// Per-rank simulated clock.
+#[derive(Debug)]
+pub struct SimClock {
+    now: u64,
+    model: ClockModel,
+    rng: SmallRng,
+}
+
+impl SimClock {
+    /// Creates a clock for `rank`, seeded deterministically.
+    pub fn new(model: ClockModel, seed: u64, rank: usize) -> Self {
+        SimClock {
+            now: 0,
+            model,
+            rng: SmallRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+        }
+    }
+
+    /// Current simulated time in nanoseconds.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Applies the seeded jitter to a base cost.
+    fn jitter(&mut self, base: u64) -> u64 {
+        if self.model.noise_ppm == 0 {
+            return base;
+        }
+        let f = self.rng.gen_range(0..=self.model.noise_ppm);
+        base + base * f / 1_000_000
+    }
+
+    /// Advances past a local compute region of roughly `ns` nanoseconds.
+    pub fn compute(&mut self, ns: u64) {
+        let cost = self.jitter(ns);
+        self.now += cost;
+    }
+
+    /// Charges the fixed software overhead of entering an MPI call.
+    pub fn call_entry(&mut self) {
+        let cost = self.jitter(self.model.call_overhead);
+        self.now += cost;
+    }
+
+    /// Cost of transferring `bytes` point-to-point.
+    pub fn transfer_cost(&mut self, bytes: u64) -> u64 {
+        self.jitter(self.model.latency + bytes * self.model.per_byte_milli / 1000)
+    }
+
+    /// A message sent at `send_time` carrying `bytes` becomes visible at the
+    /// receiver at this time; receipt pulls the local clock forward.
+    pub fn absorb_message(&mut self, send_time: u64, bytes: u64) {
+        let arrival = send_time + self.transfer_cost(bytes);
+        self.now = self.now.max(arrival);
+    }
+
+    /// Synchronizes with a collective whose last participant arrived at
+    /// `sync_time`, then charges the collective's own cost for `bytes`.
+    pub fn absorb_collective(&mut self, sync_time: u64, bytes: u64) {
+        self.now = self.now.max(sync_time);
+        let cost = self.transfer_cost(bytes);
+        self.now += cost;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet() -> ClockModel {
+        ClockModel {
+            noise_ppm: 0,
+            ..ClockModel::default()
+        }
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = SimClock::new(ClockModel::default(), 42, 3);
+        let mut last = c.now();
+        for i in 0..100 {
+            c.call_entry();
+            c.compute(i * 10);
+            assert!(c.now() >= last);
+            last = c.now();
+        }
+    }
+
+    #[test]
+    fn absorb_message_respects_causality() {
+        let mut c = SimClock::new(quiet(), 1, 0);
+        c.absorb_message(1_000_000, 1000);
+        assert!(c.now() >= 1_000_000 + 1_500);
+    }
+
+    #[test]
+    fn absorb_message_never_rewinds() {
+        let mut c = SimClock::new(quiet(), 1, 0);
+        c.compute(10_000_000);
+        let before = c.now();
+        c.absorb_message(0, 0);
+        assert_eq!(c.now(), before);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_rank() {
+        let mut a = SimClock::new(ClockModel::default(), 7, 2);
+        let mut b = SimClock::new(ClockModel::default(), 7, 2);
+        for _ in 0..50 {
+            a.call_entry();
+            b.call_entry();
+        }
+        assert_eq!(a.now(), b.now());
+        let mut c = SimClock::new(ClockModel::default(), 7, 3);
+        for _ in 0..50 {
+            c.call_entry();
+        }
+        assert_ne!(a.now(), c.now(), "different ranks should jitter differently");
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_bytes() {
+        let mut c = SimClock::new(quiet(), 0, 0);
+        let small = c.transfer_cost(1);
+        let big = c.transfer_cost(1_000_000);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,343 @@
+//! Rank-local communicator and group tables.
+//!
+//! Handles are local indices, mirroring MPI where `MPI_Comm` values are
+//! process-local and carry no global meaning — which is precisely why
+//! Pilgrim must assign its own globally consistent symbolic ids (§3.3.1).
+
+use std::cell::Cell;
+
+use crate::fabric::{ContextId, WorldRank, WORLD_CONTEXT};
+
+/// Rank-local handle to a communicator. Handle 0 is `MPI_COMM_WORLD`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CommHandle(pub u32);
+
+/// `MPI_COMM_WORLD`.
+pub const COMM_WORLD: CommHandle = CommHandle(0);
+
+/// Rank-local handle to a process group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroupHandle(pub u32);
+
+/// Cartesian topology information (`MPI_Cart_create`).
+#[derive(Debug, Clone)]
+pub struct CartTopology {
+    pub dims: Vec<usize>,
+    pub periods: Vec<bool>,
+}
+
+impl CartTopology {
+    /// Comm rank -> coordinates (row-major, as MPI specifies).
+    pub fn coords(&self, rank: usize) -> Vec<usize> {
+        let mut c = vec![0; self.dims.len()];
+        let mut r = rank;
+        for i in (0..self.dims.len()).rev() {
+            c[i] = r % self.dims[i];
+            r /= self.dims[i];
+        }
+        c
+    }
+
+    /// Coordinates -> comm rank.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        let mut r = 0;
+        for (i, &d) in self.dims.iter().enumerate() {
+            r = r * d + coords[i];
+        }
+        r
+    }
+
+    /// Shifted neighbor along `dim` by `disp`; `None` maps to
+    /// `MPI_PROC_NULL` at non-periodic boundaries.
+    pub fn shift(&self, rank: usize, dim: usize, disp: i64) -> Option<usize> {
+        let mut c = self.coords(rank);
+        let extent = self.dims[dim] as i64;
+        let pos = c[dim] as i64 + disp;
+        if self.periods[dim] {
+            c[dim] = ((pos % extent + extent) % extent) as usize;
+            Some(self.rank_of(&c))
+        } else if (0..extent).contains(&pos) {
+            c[dim] = pos as usize;
+            Some(self.rank_of(&c))
+        } else {
+            None
+        }
+    }
+}
+
+/// A communicator as seen by one rank.
+#[derive(Debug)]
+pub struct CommInfo {
+    /// Matching context shared by all members.
+    pub ctx: ContextId,
+    /// Local group: comm rank -> world rank.
+    pub group: Vec<WorldRank>,
+    /// This rank's position in `group`.
+    pub my_rank: usize,
+    /// For inter-communicators: the remote group.
+    pub remote_group: Option<Vec<WorldRank>>,
+    /// Offset of the local group within the union ordering used for
+    /// collective lanes (0 for intra-communicators).
+    pub union_offset: usize,
+    /// Per-rank collective round counters (Cell: advanced through shared
+    /// references during tracing callbacks; each Env is single-threaded).
+    pub app_round: Cell<u64>,
+    pub tool_round: Cell<u64>,
+    /// Name set by `MPI_Comm_set_name`.
+    pub name: Option<String>,
+    /// Cartesian topology attached by `MPI_Cart_create`.
+    pub cart: Option<CartTopology>,
+}
+
+impl CommInfo {
+    /// Size of the local group.
+    pub fn size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// Total participants in the collective lane (union size for inter).
+    pub fn lane_size(&self) -> usize {
+        self.group.len() + self.remote_group.as_ref().map_or(0, |g| g.len())
+    }
+
+    /// This rank's slot in the collective lane.
+    pub fn lane_rank(&self) -> usize {
+        self.union_offset + self.my_rank
+    }
+
+    /// Resolves a peer rank to a world rank: via the remote group on an
+    /// inter-communicator, the local group otherwise.
+    pub fn peer_world(&self, rank: i32) -> WorldRank {
+        let g = self.remote_group.as_ref().unwrap_or(&self.group);
+        *g.get(rank as usize)
+            .unwrap_or_else(|| panic!("rank {rank} out of range for communicator"))
+    }
+
+    pub fn is_inter(&self) -> bool {
+        self.remote_group.is_some()
+    }
+}
+
+/// Per-rank communicator table.
+#[derive(Debug)]
+pub struct CommTable {
+    slots: Vec<Option<CommInfo>>,
+    free: Vec<u32>,
+}
+
+impl CommTable {
+    /// Creates the table with `MPI_COMM_WORLD` installed as handle 0.
+    pub fn new(world_size: usize, my_world_rank: WorldRank) -> Self {
+        let world = CommInfo {
+            ctx: WORLD_CONTEXT,
+            group: (0..world_size).collect(),
+            my_rank: my_world_rank,
+            remote_group: None,
+            union_offset: 0,
+            app_round: Cell::new(0),
+            tool_round: Cell::new(0),
+            name: None,
+            cart: None,
+        };
+        CommTable {
+            slots: vec![Some(world)],
+            free: Vec::new(),
+        }
+    }
+
+    pub fn get(&self, h: CommHandle) -> &CommInfo {
+        self.slots
+            .get(h.0 as usize)
+            .and_then(|c| c.as_ref())
+            .unwrap_or_else(|| panic!("use of invalid communicator handle {}", h.0))
+    }
+
+    pub fn get_mut(&mut self, h: CommHandle) -> &mut CommInfo {
+        self.slots
+            .get_mut(h.0 as usize)
+            .and_then(|c| c.as_mut())
+            .unwrap_or_else(|| panic!("use of invalid communicator handle {}", h.0))
+    }
+
+    /// Looks up a communicator, returning `None` for dangling handles.
+    pub fn try_get(&self, h: CommHandle) -> Option<&CommInfo> {
+        self.slots.get(h.0 as usize).and_then(|c| c.as_ref())
+    }
+
+    /// Installs a communicator, reusing freed handle slots as MPI
+    /// implementations do.
+    pub fn insert(&mut self, info: CommInfo) -> CommHandle {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(info);
+            return CommHandle(i);
+        }
+        self.slots.push(Some(info));
+        CommHandle((self.slots.len() - 1) as u32)
+    }
+
+    /// Reserves an empty slot (for `MPI_Comm_idup`, whose handle exists
+    /// before the communicator is usable).
+    pub fn reserve(&mut self) -> CommHandle {
+        if let Some(i) = self.free.pop() {
+            return CommHandle(i);
+        }
+        self.slots.push(None);
+        CommHandle((self.slots.len() - 1) as u32)
+    }
+
+    /// Fills a reserved slot.
+    pub fn fill(&mut self, h: CommHandle, info: CommInfo) {
+        let slot = &mut self.slots[h.0 as usize];
+        debug_assert!(slot.is_none(), "fill of occupied comm slot");
+        *slot = Some(info);
+    }
+
+    /// `MPI_Comm_free`.
+    pub fn remove(&mut self, h: CommHandle) {
+        assert_ne!(h, COMM_WORLD, "cannot free MPI_COMM_WORLD");
+        let slot = self
+            .slots
+            .get_mut(h.0 as usize)
+            .unwrap_or_else(|| panic!("free of invalid communicator handle {}", h.0));
+        assert!(slot.is_some(), "double free of communicator handle {}", h.0);
+        *slot = None;
+        self.free.push(h.0);
+    }
+}
+
+/// Per-rank group table.
+#[derive(Debug, Default)]
+pub struct GroupTable {
+    slots: Vec<Option<Vec<WorldRank>>>,
+    free: Vec<u32>,
+}
+
+impl GroupTable {
+    pub fn new() -> Self {
+        GroupTable::default()
+    }
+
+    pub fn insert(&mut self, members: Vec<WorldRank>) -> GroupHandle {
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(members);
+            return GroupHandle(i);
+        }
+        self.slots.push(Some(members));
+        GroupHandle((self.slots.len() - 1) as u32)
+    }
+
+    pub fn get(&self, h: GroupHandle) -> &[WorldRank] {
+        self.slots
+            .get(h.0 as usize)
+            .and_then(|g| g.as_ref())
+            .map(|g| g.as_slice())
+            .unwrap_or_else(|| panic!("use of invalid group handle {}", h.0))
+    }
+
+    pub fn remove(&mut self, h: GroupHandle) {
+        let slot = self
+            .slots
+            .get_mut(h.0 as usize)
+            .unwrap_or_else(|| panic!("free of invalid group handle {}", h.0));
+        assert!(slot.is_some(), "double free of group handle {}", h.0);
+        *slot = None;
+        self.free.push(h.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_comm_is_handle_zero() {
+        let t = CommTable::new(4, 2);
+        let w = t.get(COMM_WORLD);
+        assert_eq!(w.size(), 4);
+        assert_eq!(w.my_rank, 2);
+        assert_eq!(w.ctx, WORLD_CONTEXT);
+        assert!(!w.is_inter());
+    }
+
+    #[test]
+    fn handle_reuse_after_free() {
+        let mut t = CommTable::new(2, 0);
+        let info = CommInfo {
+            ctx: 5,
+            group: vec![0, 1],
+            my_rank: 0,
+            remote_group: None,
+            union_offset: 0,
+            app_round: Cell::new(0),
+            tool_round: Cell::new(0),
+            name: None,
+            cart: None,
+        };
+        let h = t.insert(info);
+        t.remove(h);
+        let info2 = CommInfo {
+            ctx: 6,
+            group: vec![0],
+            my_rank: 0,
+            remote_group: None,
+            union_offset: 0,
+            app_round: Cell::new(0),
+            tool_round: Cell::new(0),
+            name: None,
+            cart: None,
+        };
+        let h2 = t.insert(info2);
+        assert_eq!(h, h2, "freed handle slots are reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot free MPI_COMM_WORLD")]
+    fn freeing_world_panics() {
+        let mut t = CommTable::new(2, 0);
+        t.remove(COMM_WORLD);
+    }
+
+    #[test]
+    fn intercomm_peer_resolution() {
+        let info = CommInfo {
+            ctx: 9,
+            group: vec![0, 1],
+            my_rank: 1,
+            remote_group: Some(vec![5, 6, 7]),
+            union_offset: 0,
+            app_round: Cell::new(0),
+            tool_round: Cell::new(0),
+            name: None,
+            cart: None,
+        };
+        assert_eq!(info.peer_world(2), 7, "inter p2p resolves via remote group");
+        assert_eq!(info.lane_size(), 5);
+        assert!(info.is_inter());
+    }
+
+    #[test]
+    fn union_lane_rank_offsets() {
+        let info = CommInfo {
+            ctx: 9,
+            group: vec![5, 6],
+            my_rank: 1,
+            remote_group: Some(vec![0, 1]),
+            union_offset: 2,
+            app_round: Cell::new(0),
+            tool_round: Cell::new(0),
+            name: None,
+            cart: None,
+        };
+        assert_eq!(info.lane_rank(), 3);
+    }
+
+    #[test]
+    fn group_table_lifecycle() {
+        let mut g = GroupTable::new();
+        let h = g.insert(vec![3, 1, 4]);
+        assert_eq!(g.get(h), &[3, 1, 4]);
+        g.remove(h);
+        let h2 = g.insert(vec![2]);
+        assert_eq!(h.0, h2.0);
+    }
+}

@@ -1,0 +1,435 @@
+//! MPI datatypes: predefined basic types and derived types
+//! (contiguous / vector / indexed / struct), with the type-map machinery
+//! needed to pack and unpack non-contiguous buffers.
+
+/// Rank-local handle to a datatype, as a PMPI layer would observe it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DatatypeHandle(pub u32);
+
+/// Predefined basic datatypes (a representative subset of the MPI set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasicType {
+    Byte,
+    Char,
+    Int,
+    Unsigned,
+    Long,
+    Float,
+    Double,
+    LongLong,
+    DoubleInt,
+}
+
+impl BasicType {
+    /// Size in bytes.
+    pub fn size(self) -> u64 {
+        match self {
+            BasicType::Byte | BasicType::Char => 1,
+            BasicType::Int | BasicType::Unsigned | BasicType::Float => 4,
+            BasicType::Long | BasicType::Double | BasicType::LongLong => 8,
+            BasicType::DoubleInt => 12,
+        }
+    }
+
+    /// Handle value: predefined types occupy the low handle space, exactly
+    /// as implementations reserve handles for built-ins.
+    pub fn handle(self) -> DatatypeHandle {
+        DatatypeHandle(match self {
+            BasicType::Byte => 0,
+            BasicType::Char => 1,
+            BasicType::Int => 2,
+            BasicType::Unsigned => 3,
+            BasicType::Long => 4,
+            BasicType::Float => 5,
+            BasicType::Double => 6,
+            BasicType::LongLong => 7,
+            BasicType::DoubleInt => 8,
+        })
+    }
+}
+
+/// Number of predefined handles; derived types are numbered after these.
+pub const NUM_BASIC_TYPES: u32 = 9;
+
+/// How a derived datatype was constructed — kept so that tracers can record
+/// the constructor arguments and so the layout can be recreated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeDef {
+    Basic(BasicType),
+    /// `count` consecutive copies of the base type.
+    Contiguous { count: u64, base: DatatypeHandle },
+    /// `count` blocks of `blocklen` elements, strided by `stride` elements.
+    Vector {
+        count: u64,
+        blocklen: u64,
+        stride: i64,
+        base: DatatypeHandle,
+    },
+    /// Explicit (blocklen, displacement-in-elements) pairs.
+    Indexed {
+        blocklens: Vec<u64>,
+        displs: Vec<i64>,
+        base: DatatypeHandle,
+    },
+    /// Heterogeneous struct: per-block (len, byte displacement, type).
+    Struct {
+        blocklens: Vec<u64>,
+        displs: Vec<i64>,
+        types: Vec<DatatypeHandle>,
+    },
+}
+
+/// A registered datatype: its definition plus derived properties.
+#[derive(Debug, Clone)]
+pub struct Datatype {
+    pub def: TypeDef,
+    pub committed: bool,
+    /// Total payload bytes one element of this type carries.
+    pub size: u64,
+    /// Span in memory from the lowest to one past the highest byte touched.
+    pub extent: u64,
+    /// Byte ranges (offset, len) relative to the element start, contiguous
+    /// runs coalesced; used for pack/unpack.
+    pub blocks: Vec<(i64, u64)>,
+}
+
+/// Per-rank datatype table. Handles are local, matching MPI semantics
+/// (the same derived type may get different handles on different ranks —
+/// which is exactly why Pilgrim re-encodes them symbolically).
+#[derive(Debug)]
+pub struct TypeTable {
+    types: Vec<Option<Datatype>>,
+}
+
+impl Default for TypeTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TypeTable {
+    /// Creates a table pre-populated with the predefined types.
+    pub fn new() -> Self {
+        let mut types = Vec::new();
+        for b in [
+            BasicType::Byte,
+            BasicType::Char,
+            BasicType::Int,
+            BasicType::Unsigned,
+            BasicType::Long,
+            BasicType::Float,
+            BasicType::Double,
+            BasicType::LongLong,
+            BasicType::DoubleInt,
+        ] {
+            let size = b.size();
+            types.push(Some(Datatype {
+                def: TypeDef::Basic(b),
+                committed: true,
+                size,
+                extent: size,
+                blocks: vec![(0, size)],
+            }));
+        }
+        TypeTable { types }
+    }
+
+    /// Looks up a datatype; panics on a dangling handle (a program error in
+    /// the simulated application, as in MPI).
+    pub fn get(&self, h: DatatypeHandle) -> &Datatype {
+        self.types
+            .get(h.0 as usize)
+            .and_then(|t| t.as_ref())
+            .unwrap_or_else(|| panic!("use of invalid datatype handle {}", h.0))
+    }
+
+    fn insert(&mut self, dt: Datatype) -> DatatypeHandle {
+        // Reuse freed slots after the predefined range, as MPI libraries do.
+        for (i, slot) in self.types.iter_mut().enumerate().skip(NUM_BASIC_TYPES as usize) {
+            if slot.is_none() {
+                *slot = Some(dt);
+                return DatatypeHandle(i as u32);
+            }
+        }
+        self.types.push(Some(dt));
+        DatatypeHandle((self.types.len() - 1) as u32)
+    }
+
+    /// `MPI_Type_contiguous`.
+    pub fn contiguous(&mut self, count: u64, base: DatatypeHandle) -> DatatypeHandle {
+        let b = self.get(base).clone();
+        let blocks = replicate_blocks(&b.blocks, count, b.extent as i64);
+        let dt = Datatype {
+            size: b.size * count,
+            extent: b.extent * count,
+            blocks,
+            committed: false,
+            def: TypeDef::Contiguous { count, base },
+        };
+        self.insert(dt)
+    }
+
+    /// `MPI_Type_vector` (stride in elements of the base type).
+    pub fn vector(
+        &mut self,
+        count: u64,
+        blocklen: u64,
+        stride: i64,
+        base: DatatypeHandle,
+    ) -> DatatypeHandle {
+        let b = self.get(base).clone();
+        let mut blocks = Vec::new();
+        for i in 0..count {
+            let disp = i as i64 * stride * b.extent as i64;
+            let one = replicate_blocks(&b.blocks, blocklen, b.extent as i64);
+            for (off, len) in one {
+                blocks.push((off + disp, len));
+            }
+        }
+        let blocks = coalesce(blocks);
+        let dt = Datatype {
+            size: b.size * blocklen * count,
+            extent: span(&blocks),
+            blocks,
+            committed: false,
+            def: TypeDef::Vector {
+                count,
+                blocklen,
+                stride,
+                base,
+            },
+        };
+        self.insert(dt)
+    }
+
+    /// `MPI_Type_indexed` (displacements in elements of the base type).
+    pub fn indexed(
+        &mut self,
+        blocklens: &[u64],
+        displs: &[i64],
+        base: DatatypeHandle,
+    ) -> DatatypeHandle {
+        assert_eq!(blocklens.len(), displs.len(), "indexed arity mismatch");
+        let b = self.get(base).clone();
+        let mut blocks = Vec::new();
+        for (&len, &disp) in blocklens.iter().zip(displs) {
+            let start = disp * b.extent as i64;
+            let one = replicate_blocks(&b.blocks, len, b.extent as i64);
+            for (off, l) in one {
+                blocks.push((off + start, l));
+            }
+        }
+        let blocks = coalesce(blocks);
+        let size: u64 = blocklens.iter().map(|&l| l * b.size).sum();
+        let dt = Datatype {
+            size,
+            extent: span(&blocks),
+            blocks,
+            committed: false,
+            def: TypeDef::Indexed {
+                blocklens: blocklens.to_vec(),
+                displs: displs.to_vec(),
+                base,
+            },
+        };
+        self.insert(dt)
+    }
+
+    /// `MPI_Type_create_struct` (displacements in bytes).
+    pub fn structured(
+        &mut self,
+        blocklens: &[u64],
+        displs: &[i64],
+        types: &[DatatypeHandle],
+    ) -> DatatypeHandle {
+        assert!(
+            blocklens.len() == displs.len() && displs.len() == types.len(),
+            "struct arity mismatch"
+        );
+        let mut blocks = Vec::new();
+        let mut size = 0;
+        for ((&len, &disp), &ty) in blocklens.iter().zip(displs).zip(types) {
+            let b = self.get(ty).clone();
+            size += b.size * len;
+            let one = replicate_blocks(&b.blocks, len, b.extent as i64);
+            for (off, l) in one {
+                blocks.push((off + disp, l));
+            }
+        }
+        let blocks = coalesce(blocks);
+        let dt = Datatype {
+            size,
+            extent: span(&blocks),
+            blocks,
+            committed: false,
+            def: TypeDef::Struct {
+                blocklens: blocklens.to_vec(),
+                displs: displs.to_vec(),
+                types: types.to_vec(),
+            },
+        };
+        self.insert(dt)
+    }
+
+    /// `MPI_Type_commit`.
+    pub fn commit(&mut self, h: DatatypeHandle) {
+        let dt = self
+            .types
+            .get_mut(h.0 as usize)
+            .and_then(|t| t.as_mut())
+            .unwrap_or_else(|| panic!("commit of invalid datatype handle {}", h.0));
+        dt.committed = true;
+    }
+
+    /// `MPI_Type_free`; predefined types cannot be freed.
+    pub fn free(&mut self, h: DatatypeHandle) {
+        assert!(
+            h.0 >= NUM_BASIC_TYPES,
+            "cannot free predefined datatype {}",
+            h.0
+        );
+        let slot = self
+            .types
+            .get_mut(h.0 as usize)
+            .unwrap_or_else(|| panic!("free of invalid datatype handle {}", h.0));
+        assert!(slot.is_some(), "double free of datatype handle {}", h.0);
+        *slot = None;
+    }
+}
+
+/// Replicates a block list `count` times at `extent`-byte intervals.
+fn replicate_blocks(blocks: &[(i64, u64)], count: u64, extent: i64) -> Vec<(i64, u64)> {
+    let mut out = Vec::with_capacity(blocks.len() * count as usize);
+    for i in 0..count as i64 {
+        for &(off, len) in blocks {
+            out.push((off + i * extent, len));
+        }
+    }
+    coalesce(out)
+}
+
+/// Sorts blocks and merges adjacent runs.
+fn coalesce(mut blocks: Vec<(i64, u64)>) -> Vec<(i64, u64)> {
+    blocks.sort_unstable();
+    let mut out: Vec<(i64, u64)> = Vec::with_capacity(blocks.len());
+    for (off, len) in blocks {
+        if len == 0 {
+            continue;
+        }
+        if let Some(last) = out.last_mut() {
+            if last.0 + last.1 as i64 == off {
+                last.1 += len;
+                continue;
+            }
+        }
+        out.push((off, len));
+    }
+    out
+}
+
+/// Memory span covered by a block list.
+fn span(blocks: &[(i64, u64)]) -> u64 {
+    if blocks.is_empty() {
+        return 0;
+    }
+    let lo = blocks.iter().map(|&(o, _)| o).min().unwrap();
+    let hi = blocks.iter().map(|&(o, l)| o + l as i64).max().unwrap();
+    (hi - lo) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_sizes() {
+        let t = TypeTable::new();
+        assert_eq!(t.get(BasicType::Int.handle()).size, 4);
+        assert_eq!(t.get(BasicType::Double.handle()).size, 8);
+        assert_eq!(t.get(BasicType::Byte.handle()).size, 1);
+    }
+
+    #[test]
+    fn contiguous_type() {
+        let mut t = TypeTable::new();
+        let h = t.contiguous(5, BasicType::Int.handle());
+        let dt = t.get(h);
+        assert_eq!(dt.size, 20);
+        assert_eq!(dt.extent, 20);
+        assert_eq!(dt.blocks, vec![(0, 20)]);
+    }
+
+    #[test]
+    fn vector_type_layout() {
+        let mut t = TypeTable::new();
+        // 3 blocks of 2 ints, stride 4 ints: bytes [0,8) [16,24) [32,40)
+        let h = t.vector(3, 2, 4, BasicType::Int.handle());
+        let dt = t.get(h);
+        assert_eq!(dt.size, 24);
+        assert_eq!(dt.blocks, vec![(0, 8), (16, 8), (32, 8)]);
+        assert_eq!(dt.extent, 40);
+    }
+
+    #[test]
+    fn indexed_type_layout() {
+        let mut t = TypeTable::new();
+        let h = t.indexed(&[1, 3], &[0, 2], BasicType::Double.handle());
+        let dt = t.get(h);
+        assert_eq!(dt.size, 32);
+        assert_eq!(dt.blocks, vec![(0, 8), (16, 24)]);
+    }
+
+    #[test]
+    fn struct_type_layout() {
+        let mut t = TypeTable::new();
+        let h = t.structured(
+            &[1, 2],
+            &[0, 8],
+            &[BasicType::Int.handle(), BasicType::Double.handle()],
+        );
+        let dt = t.get(h);
+        assert_eq!(dt.size, 4 + 16);
+        assert_eq!(dt.blocks, vec![(0, 4), (8, 16)]);
+    }
+
+    #[test]
+    fn nested_derived_types() {
+        let mut t = TypeTable::new();
+        let row = t.contiguous(4, BasicType::Int.handle());
+        let col = t.vector(3, 1, 2, row);
+        let dt = t.get(col);
+        assert_eq!(dt.size, 3 * 16);
+    }
+
+    #[test]
+    fn commit_and_free_cycle() {
+        let mut t = TypeTable::new();
+        let h = t.contiguous(2, BasicType::Int.handle());
+        assert!(!t.get(h).committed);
+        t.commit(h);
+        assert!(t.get(h).committed);
+        t.free(h);
+        // Slot is reused for the next derived type.
+        let h2 = t.contiguous(3, BasicType::Int.handle());
+        assert_eq!(h.0, h2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot free predefined")]
+    fn freeing_predefined_panics() {
+        let mut t = TypeTable::new();
+        t.free(BasicType::Int.handle());
+    }
+
+    #[test]
+    fn contiguous_of_vector_gap_preserved() {
+        let mut t = TypeTable::new();
+        let v = t.vector(2, 1, 2, BasicType::Int.handle()); // [0,4) [8,12)
+        let c = t.contiguous(2, v);
+        let dt = t.get(c);
+        // extent of v = 12, replicated at 12-byte interval:
+        // [0,4) [8,12)+[12,16) merge => [8,16), [20,24)
+        assert_eq!(dt.blocks, vec![(0, 4), (8, 8), (20, 4)]);
+        assert_eq!(dt.size, 16);
+    }
+}

@@ -1,0 +1,1403 @@
+//! The per-rank MPI API surface.
+//!
+//! An [`Env`] is handed to each rank's body closure and exposes the MPI
+//! operations the simulator implements. Every operation is executed against
+//! the shared fabric, advances the rank's simulated clock, and is then
+//! reported to the attached tracer as a [`CallRec`] carrying all input and
+//! output arguments — the PMPI wrapper contract of the paper (§3.1):
+//! prologue (timestamp), `PMPI_*` body, epilogue (record + tracer steps).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::clock::{ClockModel, SimClock};
+use crate::comm::{CommHandle, CommInfo, CommTable, GroupHandle, GroupTable, COMM_WORLD};
+use crate::datatype::{BasicType, DatatypeHandle, TypeTable};
+use crate::fabric::{Fabric, Lane, Message, WorldRank};
+use crate::heap::{Addr, SimHeap};
+use crate::hooks::{Arg, BoxedTracer, CallRec, TraceCtx};
+use crate::request::{NbOp, ReqKind, RequestHandle, RequestTable, REQUEST_NULL};
+use crate::types::{Status, ANY_TAG, PROC_NULL};
+use crate::FuncId;
+
+/// The rank-local MPI environment.
+pub struct Env {
+    rank: WorldRank,
+    size: usize,
+    fabric: Arc<Fabric>,
+    pub(crate) comms: CommTable,
+    groups: GroupTable,
+    types: TypeTable,
+    heap: SimHeap,
+    reqs: RequestTable,
+    clock: SimClock,
+    tracer: Option<BoxedTracer>,
+    compute_spin: f64,
+    finalized: bool,
+    /// Count of MPI calls made (paper plots total call counts in Fig 6).
+    calls: u64,
+}
+
+impl Env {
+    pub(crate) fn new(
+        rank: WorldRank,
+        fabric: Arc<Fabric>,
+        clock_model: ClockModel,
+        seed: u64,
+        tracer: Option<BoxedTracer>,
+    ) -> Self {
+        let size = fabric.n_ranks();
+        Env {
+            rank,
+            size,
+            comms: CommTable::new(size, rank),
+            groups: GroupTable::new(),
+            types: TypeTable::new(),
+            heap: SimHeap::new(),
+            reqs: RequestTable::new(),
+            clock: SimClock::new(clock_model, seed, rank),
+            fabric,
+            tracer,
+            compute_spin: 0.0,
+            finalized: false,
+            calls: 0,
+        }
+    }
+
+    /// World rank of this process.
+    pub fn world_rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn world_size(&self) -> usize {
+        self.size
+    }
+
+    /// `MPI_COMM_WORLD`.
+    pub fn comm_world(&self) -> CommHandle {
+        COMM_WORLD
+    }
+
+    /// This rank's rank within a communicator, *without* recording an
+    /// `MPI_Comm_rank` call (tool-side introspection, used by the trace
+    /// replayer).
+    pub fn comm_rank_untraced(&self, comm: CommHandle) -> usize {
+        self.comms.get(comm).my_rank
+    }
+
+    /// A communicator's local size, untraced.
+    pub fn comm_size_untraced(&self, comm: CommHandle) -> usize {
+        self.comms.get(comm).size()
+    }
+
+    /// Handle for a predefined basic datatype.
+    pub fn basic(&self, b: BasicType) -> DatatypeHandle {
+        b.handle()
+    }
+
+    /// Total MPI calls made by this rank so far.
+    pub fn call_count(&self) -> u64 {
+        self.calls
+    }
+
+    /// Current simulated time (ns).
+    pub fn sim_time(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Advances the simulated clock past a compute phase. When the world
+    /// was configured with a compute-spin factor, also burns proportional
+    /// real CPU time so tracing overhead can be measured against a
+    /// realistic compute budget.
+    pub fn compute(&mut self, ns: u64) {
+        self.clock.compute(ns);
+        if self.compute_spin > 0.0 {
+            let budget = std::time::Duration::from_nanos((ns as f64 * self.compute_spin) as u64);
+            let start = std::time::Instant::now();
+            while start.elapsed() < budget {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    pub(crate) fn set_compute_spin(&mut self, factor: f64) {
+        self.compute_spin = factor;
+    }
+
+    // ------------------------------------------------------------------
+    // Tracer dispatch
+    // ------------------------------------------------------------------
+
+    /// Clock helpers for submodules: entry timestamp with call overhead.
+    pub(crate) fn clock_now_entry(&mut self) -> u64 {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        t0
+    }
+
+    pub(crate) fn clock_now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    pub(crate) fn emit_rec(&mut self, rec: CallRec, t0: u64, t1: u64) {
+        self.emit(rec, t0, t1);
+    }
+
+    fn emit(&mut self, rec: CallRec, t0: u64, t1: u64) {
+        self.calls += 1;
+        if let Some(mut tr) = self.tracer.take() {
+            let ctx = TraceCtx {
+                world_rank: self.rank,
+                world_size: self.size,
+                fabric: &self.fabric,
+                comms: &self.comms,
+            };
+            tr.on_call(&ctx, &rec, t0, t1);
+            self.tracer = Some(tr);
+        }
+    }
+
+    pub(crate) fn run_finalize_hook(&mut self) {
+        if let Some(mut tr) = self.tracer.take() {
+            let ctx = TraceCtx {
+                world_rank: self.rank,
+                world_size: self.size,
+                fabric: &self.fabric,
+                comms: &self.comms,
+            };
+            tr.on_finalize(&ctx);
+            self.tracer = Some(tr);
+        }
+    }
+
+    pub(crate) fn take_tracer(&mut self) -> Option<BoxedTracer> {
+        self.tracer.take()
+    }
+
+    pub(crate) fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management (observed by tracers, not MPI calls)
+    // ------------------------------------------------------------------
+
+    /// Simulated `malloc`; the tracer observes the allocation.
+    pub fn malloc(&mut self, size: u64) -> Addr {
+        let addr = self.heap.malloc(size);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_alloc(addr, size.max(1));
+        }
+        addr
+    }
+
+    /// Simulated `free`; the tracer observes the release.
+    pub fn free(&mut self, addr: Addr) {
+        self.heap.free(addr);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_free(addr);
+        }
+    }
+
+    /// Writes raw bytes into the simulated heap.
+    pub fn heap_write(&mut self, addr: Addr, bytes: &[u8]) {
+        self.heap.write(addr, bytes);
+    }
+
+    /// Reads raw bytes from the simulated heap.
+    pub fn heap_read(&self, addr: Addr, len: u64) -> Vec<u8> {
+        self.heap.read(addr, len).to_vec()
+    }
+
+    /// Writes u64 values into the simulated heap.
+    pub fn heap_write_u64s(&mut self, addr: Addr, vals: &[u64]) {
+        self.heap.write_u64s(addr, vals);
+    }
+
+    /// Reads u64 values from the simulated heap.
+    pub fn heap_read_u64s(&self, addr: Addr, count: usize) -> Vec<u64> {
+        self.heap.read_u64s(addr, count)
+    }
+
+    // ------------------------------------------------------------------
+    // Init / finalize
+    // ------------------------------------------------------------------
+
+    pub(crate) fn init(&mut self) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let t1 = self.clock.now();
+        self.emit(CallRec::new(FuncId::Init, vec![]), t0, t1);
+    }
+
+    /// `MPI_Finalize`: records the call, then runs the tracer's finalize
+    /// hook (where Pilgrim performs inter-process compression).
+    pub fn finalize(&mut self) {
+        assert!(!self.finalized, "MPI_Finalize called twice");
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let t1 = self.clock.now();
+        self.emit(CallRec::new(FuncId::Finalize, vec![]), t0, t1);
+        self.run_finalize_hook();
+        self.finalized = true;
+    }
+
+    // ------------------------------------------------------------------
+    // Communicator queries
+    // ------------------------------------------------------------------
+
+    /// `MPI_Comm_rank`.
+    pub fn comm_rank(&mut self, comm: CommHandle) -> usize {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let rank = self.comms.get(comm).my_rank;
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(FuncId::CommRank, vec![Arg::Comm(comm.0), Arg::Int(rank as i64)]),
+            t0,
+            t1,
+        );
+        rank
+    }
+
+    /// `MPI_Comm_size` (local group size).
+    pub fn comm_size(&mut self, comm: CommHandle) -> usize {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let size = self.comms.get(comm).size();
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(FuncId::CommSize, vec![Arg::Comm(comm.0), Arg::Int(size as i64)]),
+            t0,
+            t1,
+        );
+        size
+    }
+
+    /// `MPI_Comm_set_name`.
+    pub fn comm_set_name(&mut self, comm: CommHandle, name: &str) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        self.comms.get_mut(comm).name = Some(name.to_string());
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::CommSetName,
+                vec![Arg::Comm(comm.0), Arg::Str(name.to_string())],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Comm_group`.
+    pub fn comm_group(&mut self, comm: CommHandle) -> GroupHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let members = self.comms.get(comm).group.clone();
+        let g = self.groups.insert(members);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(FuncId::CommGroup, vec![Arg::Comm(comm.0), Arg::Group(g.0)]),
+            t0,
+            t1,
+        );
+        g
+    }
+
+    /// `MPI_Group_incl`: group from the listed ranks of an existing group.
+    pub fn group_incl(&mut self, group: GroupHandle, ranks: &[usize]) -> GroupHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let base = self.groups.get(group).to_vec();
+        let members: Vec<WorldRank> = ranks.iter().map(|&r| base[r]).collect();
+        let g = self.groups.insert(members);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::GroupIncl,
+                vec![
+                    Arg::Group(group.0),
+                    Arg::Int(ranks.len() as i64),
+                    Arg::IntArr(ranks.iter().map(|&r| r as i64).collect()),
+                    Arg::Group(g.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        g
+    }
+
+    /// World ranks of a group (helper, untraced).
+    pub fn group_members(&self, group: GroupHandle) -> Vec<WorldRank> {
+        self.groups.get(group).to_vec()
+    }
+
+    /// `MPI_Group_free`.
+    pub fn group_free(&mut self, group: GroupHandle) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        self.groups.remove(group);
+        let t1 = self.clock.now();
+        self.emit(CallRec::new(FuncId::GroupFree, vec![Arg::Group(group.0)]), t0, t1);
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    fn pack_buf(&self, buf: Addr, count: u64, dt: DatatypeHandle) -> Vec<u8> {
+        let d = self.types.get(dt);
+        self.heap.pack(buf, &d.blocks, d.extent, count)
+    }
+
+    fn unpack_buf(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, data: &[u8]) {
+        let d = self.types.get(dt).clone();
+        self.heap.unpack(buf, &d.blocks, d.extent, count, data);
+    }
+
+    fn do_send(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+        if dest == PROC_NULL {
+            return;
+        }
+        let data = self.pack_buf(buf, count, dt);
+        let info = self.comms.get(comm);
+        let msg = Message {
+            ctx: info.ctx,
+            src_comm_rank: info.my_rank as i32,
+            tag,
+            data,
+            send_time: self.clock.now(),
+        };
+        let dest_world = info.peer_world(dest);
+        self.fabric.send(dest_world, msg);
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI C signature
+    fn send_like(
+        &mut self,
+        func: FuncId,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        self.do_send(buf, count, dt, dest, tag, comm);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                func,
+                vec![
+                    Arg::Ptr(buf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Rank(dest),
+                    Arg::Tag(tag),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Send`. (Buffered/synchronous/ready variants share the eager
+    /// delivery semantics of the simulator but are traced distinctly.)
+    pub fn send(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+        self.send_like(FuncId::Send, buf, count, dt, dest, tag, comm);
+    }
+
+    /// `MPI_Bsend`.
+    pub fn bsend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+        self.send_like(FuncId::Bsend, buf, count, dt, dest, tag, comm);
+    }
+
+    /// `MPI_Ssend`.
+    pub fn ssend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+        self.send_like(FuncId::Ssend, buf, count, dt, dest, tag, comm);
+    }
+
+    /// `MPI_Rsend`.
+    pub fn rsend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+        self.send_like(FuncId::Rsend, buf, count, dt, dest, tag, comm);
+    }
+
+    /// `MPI_Recv`.
+    pub fn recv(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> Status {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let status = if src == PROC_NULL {
+            Status::proc_null()
+        } else {
+            let info = self.comms.get(comm);
+            let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag);
+            let msg = slot.wait_take(&self.fabric);
+            self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
+            let status = Status {
+                source: msg.src_comm_rank,
+                tag: msg.tag,
+                count: msg.data.len() as u64,
+            };
+            self.unpack_buf(buf, count, dt, &msg.data);
+            status
+        };
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Recv,
+                vec![
+                    Arg::Ptr(buf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Rank(src),
+                    Arg::Tag(tag),
+                    Arg::Comm(comm.0),
+                    Arg::Status { source: status.source, tag: status.tag },
+                ],
+            ),
+            t0,
+            t1,
+        );
+        status
+    }
+
+    /// `MPI_Sendrecv`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sendrecv(
+        &mut self,
+        sendbuf: Addr,
+        sendcount: u64,
+        sendtype: DatatypeHandle,
+        dest: i32,
+        sendtag: i32,
+        recvbuf: Addr,
+        recvcount: u64,
+        recvtype: DatatypeHandle,
+        src: i32,
+        recvtag: i32,
+        comm: CommHandle,
+    ) -> Status {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        // Post the receive first so an incoming eager message matches, then
+        // send, then complete the receive — deadlock-free for exchanges.
+        let slot = if src == PROC_NULL {
+            None
+        } else {
+            let info = self.comms.get(comm);
+            Some(self.fabric.post_recv(self.rank, info.ctx, src, recvtag))
+        };
+        self.do_send(sendbuf, sendcount, sendtype, dest, sendtag, comm);
+        let status = match slot {
+            None => Status::proc_null(),
+            Some(slot) => {
+                let msg = slot.wait_take(&self.fabric);
+                self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
+                let status = Status {
+                    source: msg.src_comm_rank,
+                    tag: msg.tag,
+                    count: msg.data.len() as u64,
+                };
+                self.unpack_buf(recvbuf, recvcount, recvtype, &msg.data);
+                status
+            }
+        };
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Sendrecv,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Int(sendcount as i64),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Rank(dest),
+                    Arg::Tag(sendtag),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(recvcount as i64),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Rank(src),
+                    Arg::Tag(recvtag),
+                    Arg::Comm(comm.0),
+                    Arg::Status { source: status.source, tag: status.tag },
+                ],
+            ),
+            t0,
+            t1,
+        );
+        status
+    }
+
+    /// `MPI_Sendrecv_replace`: exchange using a single buffer.
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI C signature
+    pub fn sendrecv_replace(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        sendtag: i32,
+        src: i32,
+        recvtag: i32,
+        comm: CommHandle,
+    ) -> Status {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let slot = if src == PROC_NULL {
+            None
+        } else {
+            let info = self.comms.get(comm);
+            Some(self.fabric.post_recv(self.rank, info.ctx, src, recvtag))
+        };
+        // Send first (the outgoing data is snapshot before replacement).
+        self.do_send(buf, count, dt, dest, sendtag, comm);
+        let status = match slot {
+            None => Status::proc_null(),
+            Some(slot) => {
+                let msg = slot.wait_take(&self.fabric);
+                self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
+                let status = Status {
+                    source: msg.src_comm_rank,
+                    tag: msg.tag,
+                    count: msg.data.len() as u64,
+                };
+                self.unpack_buf(buf, count, dt, &msg.data);
+                status
+            }
+        };
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::SendrecvReplace,
+                vec![
+                    Arg::Ptr(buf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Rank(dest),
+                    Arg::Tag(sendtag),
+                    Arg::Rank(src),
+                    Arg::Tag(recvtag),
+                    Arg::Comm(comm.0),
+                    Arg::Status { source: status.source, tag: status.tag },
+                ],
+            ),
+            t0,
+            t1,
+        );
+        status
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI C signature
+    fn isend_like(
+        &mut self,
+        func: FuncId,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        self.do_send(buf, count, dt, dest, tag, comm);
+        let req = self.reqs.insert(ReqKind::Send);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                func,
+                vec![
+                    Arg::Ptr(buf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Rank(dest),
+                    Arg::Tag(tag),
+                    Arg::Comm(comm.0),
+                    Arg::Request(req.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        req
+    }
+
+    /// `MPI_Isend`.
+    pub fn isend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        self.isend_like(FuncId::Isend, buf, count, dt, dest, tag, comm)
+    }
+
+    /// `MPI_Ibsend`.
+    pub fn ibsend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        self.isend_like(FuncId::Ibsend, buf, count, dt, dest, tag, comm)
+    }
+
+    /// `MPI_Issend`.
+    pub fn issend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        self.isend_like(FuncId::Issend, buf, count, dt, dest, tag, comm)
+    }
+
+    /// `MPI_Irsend`.
+    pub fn irsend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        self.isend_like(FuncId::Irsend, buf, count, dt, dest, tag, comm)
+    }
+
+    /// `MPI_Irecv`.
+    pub fn irecv(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let req = if src == PROC_NULL {
+            self.reqs.insert(ReqKind::Send)
+        } else {
+            let info = self.comms.get(comm);
+            let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag);
+            let d = self.types.get(dt);
+            self.reqs.insert(ReqKind::Recv {
+                slot,
+                buf,
+                blocks: d.blocks.clone(),
+                extent: d.extent,
+                count,
+            })
+        };
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Irecv,
+                vec![
+                    Arg::Ptr(buf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Rank(src),
+                    Arg::Tag(tag),
+                    Arg::Comm(comm.0),
+                    Arg::Request(req.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        req
+    }
+
+    /// `MPI_Probe`.
+    pub fn probe(&mut self, src: i32, tag: i32, comm: CommHandle) -> Status {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let ctx = self.comms.get(comm).ctx;
+        let (s, t, count) = self.fabric.probe(self.rank, ctx, src, tag);
+        let status = Status { source: s, tag: t, count };
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Probe,
+                vec![
+                    Arg::Rank(src),
+                    Arg::Tag(tag),
+                    Arg::Comm(comm.0),
+                    Arg::Status { source: s, tag: t },
+                ],
+            ),
+            t0,
+            t1,
+        );
+        status
+    }
+
+    /// `MPI_Iprobe`.
+    pub fn iprobe(&mut self, src: i32, tag: i32, comm: CommHandle) -> Option<Status> {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let ctx = self.comms.get(comm).ctx;
+        let found = self.fabric.iprobe(self.rank, ctx, src, tag);
+        let status = found.map(|(s, t, count)| Status { source: s, tag: t, count });
+        let t1 = self.clock.now();
+        let (flag, s, t) = match status {
+            Some(st) => (1, st.source, st.tag),
+            None => (0, PROC_NULL, ANY_TAG),
+        };
+        self.emit(
+            CallRec::new(
+                FuncId::Iprobe,
+                vec![
+                    Arg::Rank(src),
+                    Arg::Tag(tag),
+                    Arg::Comm(comm.0),
+                    Arg::Int(flag),
+                    Arg::Status { source: s, tag: t },
+                ],
+            ),
+            t0,
+            t1,
+        );
+        status
+    }
+
+    // ------------------------------------------------------------------
+    // Request completion
+    // ------------------------------------------------------------------
+
+    /// Is the request *active* (null and inactive-persistent requests are
+    /// ignored by the any/some/all selection rules)?
+    fn req_active(&self, h: RequestHandle) -> bool {
+        if h == REQUEST_NULL {
+            return false;
+        }
+        match self.reqs.get(h) {
+            ReqKind::PersistentSend { active, .. } => *active,
+            ReqKind::PersistentRecv { pending, .. } => pending.is_some(),
+            _ => true,
+        }
+    }
+
+    /// Is the request ready to complete without blocking?
+    fn req_ready(&self, h: RequestHandle) -> bool {
+        match self.reqs.get(h) {
+            ReqKind::Send => true,
+            ReqKind::Recv { slot, .. } => slot.is_ready(),
+            ReqKind::Coll { coll, round, .. } => coll.is_ready(*round),
+            // Inactive persistent requests complete immediately; active
+            // sends are eager, active receives wait on their slot.
+            ReqKind::PersistentSend { .. } => true,
+            ReqKind::PersistentRecv { pending, .. } => {
+                pending.as_ref().is_none_or(|(slot, _, _)| slot.is_ready())
+            }
+        }
+    }
+
+    /// Completes a ready (or send-type) request, producing its status.
+    /// Persistent requests become inactive instead of being freed.
+    fn complete(&mut self, h: RequestHandle) -> Status {
+        if self.reqs.is_persistent(h) {
+            let taken = match self.reqs.get_mut(h) {
+                ReqKind::PersistentSend { active, .. } => {
+                    *active = false;
+                    None
+                }
+                ReqKind::PersistentRecv { pending, .. } => pending.take(),
+                _ => unreachable!(),
+            };
+            return match taken {
+                None => Status::proc_null(),
+                Some((slot, blocks, extent)) => {
+                    let msg = slot.wait_take(&self.fabric);
+                    self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
+                    let status = Status {
+                        source: msg.src_comm_rank,
+                        tag: msg.tag,
+                        count: msg.data.len() as u64,
+                    };
+                    let (buf, count) = match self.reqs.get(h) {
+                        ReqKind::PersistentRecv { buf, count, .. } => (*buf, *count),
+                        _ => unreachable!(),
+                    };
+                    self.heap.unpack(buf, &blocks, extent, count, &msg.data);
+                    status
+                }
+            };
+        }
+        let kind = self.reqs.remove(h);
+        match kind {
+            ReqKind::PersistentSend { .. } | ReqKind::PersistentRecv { .. } => unreachable!(),
+            ReqKind::Send => Status::proc_null(),
+            ReqKind::Recv { slot, buf, blocks, extent, count } => {
+                let msg = slot.wait_take(&self.fabric);
+                self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
+                let status = Status {
+                    source: msg.src_comm_rank,
+                    tag: msg.tag,
+                    count: msg.data.len() as u64,
+                };
+                self.heap.unpack(buf, &blocks, extent, count, &msg.data);
+                status
+            }
+            ReqKind::Coll { coll, round, lane_rank: _, op } => {
+                let (contribs, sync) = coll.wait_collect(&self.fabric, round);
+                let bytes: u64 = contribs.iter().map(|c| c.len() as u64).sum();
+                self.clock.absorb_collective(sync, bytes.min(1 << 16));
+                match op {
+                    NbOp::Barrier => {}
+                    NbOp::Allreduce { recv, lanes, op } => {
+                        let mut acc = bytes_to_u64s(&contribs[0]);
+                        for c in contribs.iter().skip(1) {
+                            let next = bytes_to_u64s(c);
+                            op.combine(&mut acc, &next);
+                        }
+                        debug_assert_eq!(acc.len(), lanes);
+                        self.heap.write_u64s(recv, &acc);
+                    }
+                    NbOp::Idup { parent, new_handle } => {
+                        let ctx = u64::from_le_bytes(
+                            contribs[0].as_slice().try_into().expect("ctx bytes"),
+                        );
+                        let p = self.comms.get(parent);
+                        let info = CommInfo {
+                            ctx,
+                            group: p.group.clone(),
+                            my_rank: p.my_rank,
+                            remote_group: None,
+                            union_offset: 0,
+                            app_round: std::cell::Cell::new(0),
+                            tool_round: std::cell::Cell::new(0),
+                            name: None,
+                            cart: None,
+                        };
+                        let size = info.size();
+                        self.fabric.ensure_coll(ctx, Lane::App, size);
+                        self.fabric.ensure_coll(ctx, Lane::Tool, size);
+                        self.comms.fill(new_handle, info);
+                    }
+                }
+                Status::proc_null()
+            }
+        }
+    }
+
+    /// Spin-waits until `pred` holds, yielding and checking for aborts.
+    fn poll_until<F: FnMut(&Self) -> bool>(&self, mut pred: F) {
+        let mut spins = 0u32;
+        while !pred(self) {
+            if spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+                self.fabric.check_abort();
+            }
+            spins += 1;
+        }
+    }
+
+    fn raw_reqs(reqs: &[RequestHandle]) -> Vec<u64> {
+        reqs.iter().map(|r| r.0).collect()
+    }
+
+    /// `MPI_Wait`. The request is consumed and set to `REQUEST_NULL`.
+    pub fn wait(&mut self, req: &mut RequestHandle) -> Status {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raw = req.0;
+        let status = if *req == REQUEST_NULL {
+            Status::proc_null()
+        } else {
+            let persistent = self.reqs.is_persistent(*req);
+            let s = self.complete(*req);
+            if !persistent {
+                *req = REQUEST_NULL;
+            }
+            s
+        };
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Wait,
+                vec![Arg::Request(raw), Arg::Status { source: status.source, tag: status.tag }],
+            ),
+            t0,
+            t1,
+        );
+        status
+    }
+
+    /// `MPI_Waitall`.
+    pub fn waitall(&mut self, reqs: &mut [RequestHandle]) -> Vec<Status> {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raws = Self::raw_reqs(reqs);
+        let mut statuses = Vec::with_capacity(reqs.len());
+        for r in reqs.iter_mut() {
+            if *r == REQUEST_NULL {
+                statuses.push(Status::proc_null());
+            } else {
+                let persistent = self.reqs.is_persistent(*r);
+                statuses.push(self.complete(*r));
+                if !persistent {
+                    *r = REQUEST_NULL;
+                }
+            }
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Waitall,
+                vec![
+                    Arg::Int(raws.len() as i64),
+                    Arg::RequestArr(raws),
+                    Arg::StatusArr(statuses.iter().map(|s| (s.source, s.tag)).collect()),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        statuses
+    }
+
+    /// `MPI_Waitany`: blocks until one live request completes; returns its
+    /// index, or `None` if every entry is `REQUEST_NULL`.
+    pub fn waitany(&mut self, reqs: &mut [RequestHandle]) -> Option<(usize, Status)> {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raws = Self::raw_reqs(reqs);
+        if !reqs.iter().any(|&r| self.req_active(r)) {
+            let t1 = self.clock.now();
+            self.emit(
+                CallRec::new(
+                    FuncId::Waitany,
+                    vec![
+                        Arg::Int(raws.len() as i64),
+                        Arg::RequestArr(raws),
+                        Arg::Int(-1),
+                        Arg::Status { source: PROC_NULL, tag: ANY_TAG },
+                    ],
+                ),
+                t0,
+                t1,
+            );
+            return None;
+        }
+        let mut idx = usize::MAX;
+        self.poll_until(|me| {
+            for (i, r) in reqs.iter().enumerate() {
+                if me.req_active(*r) && me.req_ready(*r) {
+                    idx = i;
+                    return true;
+                }
+            }
+            false
+        });
+        let persistent = self.reqs.is_persistent(reqs[idx]);
+        let status = self.complete(reqs[idx]);
+        if !persistent {
+            reqs[idx] = REQUEST_NULL;
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Waitany,
+                vec![
+                    Arg::Int(raws.len() as i64),
+                    Arg::RequestArr(raws),
+                    Arg::Int(idx as i64),
+                    Arg::Status { source: status.source, tag: status.tag },
+                ],
+            ),
+            t0,
+            t1,
+        );
+        Some((idx, status))
+    }
+
+    /// `MPI_Waitsome`: blocks until at least one completes; completes all
+    /// that are ready. Returns (index, status) pairs.
+    #[allow(clippy::needless_range_loop)] // indices mutate `reqs` in place
+    pub fn waitsome(&mut self, reqs: &mut [RequestHandle]) -> Vec<(usize, Status)> {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raws = Self::raw_reqs(reqs);
+        let mut out = Vec::new();
+        if reqs.iter().any(|&r| self.req_active(r)) {
+            self.poll_until(|me| {
+                reqs.iter().any(|&r| me.req_active(r) && me.req_ready(r))
+            });
+            for i in 0..reqs.len() {
+                if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
+                    let persistent = self.reqs.is_persistent(reqs[i]);
+                    let status = self.complete(reqs[i]);
+                    if !persistent {
+                        reqs[i] = REQUEST_NULL;
+                    }
+                    out.push((i, status));
+                }
+            }
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Waitsome,
+                vec![
+                    Arg::Int(raws.len() as i64),
+                    Arg::RequestArr(raws),
+                    Arg::Int(out.len() as i64),
+                    Arg::IntArr(out.iter().map(|&(i, _)| i as i64).collect()),
+                    Arg::StatusArr(out.iter().map(|&(_, s)| (s.source, s.tag)).collect()),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        out
+    }
+
+    /// `MPI_Test`.
+    pub fn test(&mut self, req: &mut RequestHandle) -> Option<Status> {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raw = req.0;
+        let result = if *req == REQUEST_NULL {
+            Some(Status::proc_null())
+        } else if self.req_ready(*req) {
+            let persistent = self.reqs.is_persistent(*req);
+            let s = self.complete(*req);
+            if !persistent {
+                *req = REQUEST_NULL;
+            }
+            Some(s)
+        } else {
+            None
+        };
+        let t1 = self.clock.now();
+        let (flag, s, t) = match result {
+            Some(st) => (1, st.source, st.tag),
+            None => (0, PROC_NULL, ANY_TAG),
+        };
+        self.emit(
+            CallRec::new(
+                FuncId::Test,
+                vec![Arg::Request(raw), Arg::Int(flag), Arg::Status { source: s, tag: t }],
+            ),
+            t0,
+            t1,
+        );
+        result
+    }
+
+    /// `MPI_Testall`: completes all iff all are ready.
+    #[allow(clippy::needless_range_loop)] // indices mutate `reqs` in place
+    pub fn testall(&mut self, reqs: &mut [RequestHandle]) -> Option<Vec<Status>> {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raws = Self::raw_reqs(reqs);
+        let all_ready = reqs
+            .iter()
+            .all(|&r| !self.req_active(r) || self.req_ready(r));
+        let result = if all_ready {
+            let mut statuses = Vec::with_capacity(reqs.len());
+            for r in reqs.iter_mut() {
+                if *r == REQUEST_NULL || !self.req_active(*r) {
+                    statuses.push(Status::proc_null());
+                } else {
+                    let persistent = self.reqs.is_persistent(*r);
+                    statuses.push(self.complete(*r));
+                    if !persistent {
+                        *r = REQUEST_NULL;
+                    }
+                }
+            }
+            Some(statuses)
+        } else {
+            None
+        };
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Testall,
+                vec![
+                    Arg::Int(raws.len() as i64),
+                    Arg::RequestArr(raws),
+                    Arg::Int(result.is_some() as i64),
+                    Arg::StatusArr(
+                        result
+                            .as_deref()
+                            .unwrap_or(&[])
+                            .iter()
+                            .map(|s| (s.source, s.tag))
+                            .collect(),
+                    ),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        result
+    }
+
+    /// `MPI_Testany`.
+    #[allow(clippy::needless_range_loop)] // indices mutate `reqs` in place
+    pub fn testany(&mut self, reqs: &mut [RequestHandle]) -> Option<(usize, Status)> {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raws = Self::raw_reqs(reqs);
+        let mut result = None;
+        for i in 0..reqs.len() {
+            if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
+                let persistent = self.reqs.is_persistent(reqs[i]);
+                let status = self.complete(reqs[i]);
+                if !persistent {
+                    reqs[i] = REQUEST_NULL;
+                }
+                result = Some((i, status));
+                break;
+            }
+        }
+        let t1 = self.clock.now();
+        let (flag, idx, s, t) = match result {
+            Some((i, st)) => (1, i as i64, st.source, st.tag),
+            None => (0, -1, PROC_NULL, ANY_TAG),
+        };
+        self.emit(
+            CallRec::new(
+                FuncId::Testany,
+                vec![
+                    Arg::Int(raws.len() as i64),
+                    Arg::RequestArr(raws),
+                    Arg::Int(idx),
+                    Arg::Int(flag),
+                    Arg::Status { source: s, tag: t },
+                ],
+            ),
+            t0,
+            t1,
+        );
+        result
+    }
+
+    /// `MPI_Testsome` — the paper's §1 example: completes whatever subset
+    /// is ready right now, in nondeterministic order across iterations.
+    #[allow(clippy::needless_range_loop)] // indices mutate `reqs` in place
+    pub fn testsome(&mut self, reqs: &mut [RequestHandle]) -> Vec<(usize, Status)> {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raws = Self::raw_reqs(reqs);
+        let mut out = Vec::new();
+        for i in 0..reqs.len() {
+            if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
+                let persistent = self.reqs.is_persistent(reqs[i]);
+                let status = self.complete(reqs[i]);
+                if !persistent {
+                    reqs[i] = REQUEST_NULL;
+                }
+                out.push((i, status));
+            }
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Testsome,
+                vec![
+                    Arg::Int(raws.len() as i64),
+                    Arg::RequestArr(raws),
+                    Arg::Int(out.len() as i64),
+                    Arg::IntArr(out.iter().map(|&(i, _)| i as i64).collect()),
+                    Arg::StatusArr(out.iter().map(|&(_, s)| (s.source, s.tag)).collect()),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        out
+    }
+
+    /// `MPI_Request_free`: releases a request without completing it. (For
+    /// pending receives the transfer still happens; the simulator simply
+    /// stops tracking it, as MPI permits.)
+    pub fn request_free(&mut self, req: &mut RequestHandle) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let raw = req.0;
+        if *req != REQUEST_NULL {
+            let _ = self.reqs.remove(*req);
+            *req = REQUEST_NULL;
+        }
+        let t1 = self.clock.now();
+        self.emit(CallRec::new(FuncId::RequestFree, vec![Arg::Request(raw)]), t0, t1);
+    }
+}
+
+impl Env {
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI C signature
+    fn persistent_send_like(
+        &mut self,
+        func: FuncId,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let req = self.reqs.insert(ReqKind::PersistentSend {
+            buf,
+            count,
+            dtype: dt.0,
+            dest,
+            tag,
+            comm,
+            active: false,
+        });
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                func,
+                vec![
+                    Arg::Ptr(buf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Rank(dest),
+                    Arg::Tag(tag),
+                    Arg::Comm(comm.0),
+                    Arg::Request(req.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        req
+    }
+
+    /// `MPI_Send_init`: creates an inactive persistent send request.
+    pub fn send_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        self.persistent_send_like(FuncId::SendInit, buf, count, dt, dest, tag, comm)
+    }
+
+    /// `MPI_Bsend_init`.
+    pub fn bsend_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        self.persistent_send_like(FuncId::BsendInit, buf, count, dt, dest, tag, comm)
+    }
+
+    /// `MPI_Ssend_init`.
+    pub fn ssend_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        self.persistent_send_like(FuncId::SsendInit, buf, count, dt, dest, tag, comm)
+    }
+
+    /// `MPI_Rsend_init`.
+    pub fn rsend_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        self.persistent_send_like(FuncId::RsendInit, buf, count, dt, dest, tag, comm)
+    }
+
+    /// `MPI_Recv_init`: creates an inactive persistent receive request.
+    pub fn recv_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, src: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let req = self.reqs.insert(ReqKind::PersistentRecv {
+            buf,
+            count,
+            dtype: dt.0,
+            src,
+            tag,
+            comm,
+            pending: None,
+        });
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::RecvInit,
+                vec![
+                    Arg::Ptr(buf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Rank(src),
+                    Arg::Tag(tag),
+                    Arg::Comm(comm.0),
+                    Arg::Request(req.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        req
+    }
+
+    /// Activates one persistent request (untraced inner operation).
+    fn do_start(&mut self, h: RequestHandle) {
+        match self.reqs.get(h) {
+            ReqKind::PersistentSend { buf, count, dtype, dest, tag, comm, active } => {
+                assert!(!active, "MPI_Start on an active request");
+                let (buf, count, dt, dest, tag, comm) =
+                    (*buf, *count, DatatypeHandle(*dtype), *dest, *tag, *comm);
+                self.do_send(buf, count, dt, dest, tag, comm);
+                match self.reqs.get_mut(h) {
+                    ReqKind::PersistentSend { active, .. } => *active = true,
+                    _ => unreachable!(),
+                }
+            }
+            ReqKind::PersistentRecv { dtype, src, tag, comm, pending, .. } => {
+                assert!(pending.is_none(), "MPI_Start on an active request");
+                let (dt, src, tag, comm) = (DatatypeHandle(*dtype), *src, *tag, *comm);
+                if src == PROC_NULL {
+                    return;
+                }
+                let info = self.comms.get(comm);
+                let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag);
+                let d = self.types.get(dt);
+                let entry = (slot, d.blocks.clone(), d.extent);
+                match self.reqs.get_mut(h) {
+                    ReqKind::PersistentRecv { pending, .. } => *pending = Some(entry),
+                    _ => unreachable!(),
+                }
+            }
+            _ => panic!("MPI_Start on a non-persistent request"),
+        }
+    }
+
+    /// `MPI_Start`.
+    pub fn start(&mut self, req: RequestHandle) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        self.do_start(req);
+        let t1 = self.clock.now();
+        self.emit(CallRec::new(FuncId::Start, vec![Arg::Request(req.0)]), t0, t1);
+    }
+
+    /// `MPI_Startall`.
+    pub fn startall(&mut self, reqs: &[RequestHandle]) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        for &r in reqs {
+            self.do_start(r);
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Startall,
+                vec![
+                    Arg::Int(reqs.len() as i64),
+                    Arg::RequestArr(reqs.iter().map(|r| r.0).collect()),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+}
+
+/// Interprets a byte buffer as little-endian u64 lanes.
+pub(crate) fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
+    b.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Serializes u64 lanes to bytes.
+pub(crate) fn u64s_to_bytes(v: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(v.len() * 8);
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+    out
+}
+
+mod collectives;
+pub mod comm_mgmt;
+mod type_mgmt;

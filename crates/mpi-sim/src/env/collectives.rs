@@ -1,0 +1,716 @@
+//! Collective operations, implemented over the fabric's generation-counted
+//! exchange lanes: every member deposits its contribution for the round and
+//! reads back the full set, then computes its own result locally.
+
+use std::sync::Arc;
+
+use crate::comm::CommHandle;
+use crate::datatype::DatatypeHandle;
+use crate::fabric::Lane;
+use crate::heap::Addr;
+use crate::hooks::{Arg, CallRec};
+use crate::request::{NbOp, ReqKind, RequestHandle};
+use crate::types::ReduceOp;
+use crate::FuncId;
+
+use super::{bytes_to_u64s, u64s_to_bytes, Env};
+
+impl Env {
+    /// One blocking exchange round on the communicator's app lane: deposits
+    /// `contrib`, returns all contributions (indexed by lane rank) plus the
+    /// synchronization time.
+    pub(crate) fn exchange_raw(&mut self, comm: CommHandle, contrib: Vec<u8>) -> (Arc<Vec<Vec<u8>>>, u64) {
+        let info = self.comms.get(comm);
+        let coll = self.fabric.ensure_coll(info.ctx, Lane::App, info.lane_size());
+        let round = info.app_round.get();
+        info.app_round.set(round + 1);
+        let lane_rank = info.lane_rank();
+        let bytes = contrib.len() as u64;
+        coll.deposit(round, lane_rank, contrib, self.clock.now());
+        let (res, sync) = coll.wait_collect(&self.fabric, round);
+        // Charge the synchronization wait plus a size-dependent cost.
+        self.clock.absorb_collective(sync, bytes);
+        (res, sync)
+    }
+
+    /// Starts a non-blocking exchange; completion via the request machinery.
+    pub(crate) fn exchange_nb_raw(&mut self, comm: CommHandle, contrib: Vec<u8>, op: NbOp) -> RequestHandle {
+        let info = self.comms.get(comm);
+        let coll = self.fabric.ensure_coll(info.ctx, Lane::App, info.lane_size());
+        let round = info.app_round.get();
+        info.app_round.set(round + 1);
+        let lane_rank = info.lane_rank();
+        coll.deposit(round, lane_rank, contrib, self.clock.now());
+        self.reqs.insert(ReqKind::Coll { coll, round, lane_rank, op })
+    }
+
+    /// `MPI_Barrier`.
+    pub fn barrier(&mut self, comm: CommHandle) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        self.exchange_raw(comm, Vec::new());
+        let t1 = self.clock.now();
+        self.emit(CallRec::new(FuncId::Barrier, vec![Arg::Comm(comm.0)]), t0, t1);
+    }
+
+    /// `MPI_Ibarrier`.
+    pub fn ibarrier(&mut self, comm: CommHandle) -> RequestHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let req = self.exchange_nb_raw(comm, Vec::new(), NbOp::Barrier);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(FuncId::Ibarrier, vec![Arg::Comm(comm.0), Arg::Request(req.0)]),
+            t0,
+            t1,
+        );
+        req
+    }
+
+    /// `MPI_Bcast`.
+    pub fn bcast(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, root: i32, comm: CommHandle) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let my_rank = self.comms.get(comm).my_rank;
+        let contrib = if my_rank == root as usize {
+            self.pack_buf(buf, count, dt)
+        } else {
+            Vec::new()
+        };
+        let (res, _) = self.exchange_raw(comm, contrib);
+        if my_rank != root as usize {
+            let data = res[root as usize].clone();
+            self.unpack_buf(buf, count, dt, &data);
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Bcast,
+                vec![
+                    Arg::Ptr(buf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Rank(root),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    fn reduce_contribs(contribs: &[Vec<u8>], op: ReduceOp) -> Vec<u64> {
+        let mut acc = bytes_to_u64s(&contribs[0]);
+        for c in &contribs[1..] {
+            let next = bytes_to_u64s(c);
+            op.combine(&mut acc, &next);
+        }
+        acc
+    }
+
+    /// `MPI_Reduce` (u64 lanes; `count` is the number of 8-byte elements).
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce(
+        &mut self,
+        sendbuf: Addr,
+        recvbuf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        op: ReduceOp,
+        root: i32,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let contrib = self.pack_buf(sendbuf, count, dt);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let my_rank = self.comms.get(comm).my_rank;
+        if my_rank == root as usize {
+            let acc = Self::reduce_contribs(&res, op);
+            self.heap.write_u64s(recvbuf, &acc);
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Reduce,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Op(op.id()),
+                    Arg::Rank(root),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Allreduce`.
+    pub fn allreduce(
+        &mut self,
+        sendbuf: Addr,
+        recvbuf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let contrib = self.pack_buf(sendbuf, count, dt);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let acc = Self::reduce_contribs(&res, op);
+        self.heap.write_u64s(recvbuf, &acc);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Allreduce,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Op(op.id()),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Iallreduce`.
+    pub fn iallreduce(
+        &mut self,
+        sendbuf: Addr,
+        recvbuf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) -> RequestHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let contrib = self.pack_buf(sendbuf, count, dt);
+        let lanes = contrib.len() / 8;
+        let req = self.exchange_nb_raw(comm, contrib, NbOp::Allreduce { recv: recvbuf, lanes, op });
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Iallreduce,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Op(op.id()),
+                    Arg::Comm(comm.0),
+                    Arg::Request(req.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        req
+    }
+
+    /// `MPI_Gather`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather(
+        &mut self,
+        sendbuf: Addr,
+        sendcount: u64,
+        sendtype: DatatypeHandle,
+        recvbuf: Addr,
+        recvcount: u64,
+        recvtype: DatatypeHandle,
+        root: i32,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let contrib = self.pack_buf(sendbuf, sendcount, sendtype);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let my_rank = self.comms.get(comm).my_rank;
+        if my_rank == root as usize {
+            let extent = self.types.get(recvtype).extent;
+            for (i, data) in res.iter().enumerate() {
+                let dst = recvbuf + (i as u64) * recvcount * extent;
+                self.unpack_buf(dst, recvcount, recvtype, data);
+            }
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Gather,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Int(sendcount as i64),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(recvcount as i64),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Rank(root),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Gatherv` (displacements in elements of the receive type).
+    #[allow(clippy::too_many_arguments)]
+    pub fn gatherv(
+        &mut self,
+        sendbuf: Addr,
+        sendcount: u64,
+        sendtype: DatatypeHandle,
+        recvbuf: Addr,
+        recvcounts: &[u64],
+        displs: &[i64],
+        recvtype: DatatypeHandle,
+        root: i32,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let contrib = self.pack_buf(sendbuf, sendcount, sendtype);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let my_rank = self.comms.get(comm).my_rank;
+        if my_rank == root as usize {
+            let extent = self.types.get(recvtype).extent;
+            for (i, data) in res.iter().enumerate() {
+                let dst = (recvbuf as i64 + displs[i] * extent as i64) as Addr;
+                self.unpack_buf(dst, recvcounts[i], recvtype, data);
+            }
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Gatherv,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Int(sendcount as i64),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Ptr(recvbuf),
+                    Arg::IntArr(recvcounts.iter().map(|&c| c as i64).collect()),
+                    Arg::IntArr(displs.to_vec()),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Rank(root),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Scatter`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatter(
+        &mut self,
+        sendbuf: Addr,
+        sendcount: u64,
+        sendtype: DatatypeHandle,
+        recvbuf: Addr,
+        recvcount: u64,
+        recvtype: DatatypeHandle,
+        root: i32,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let my_rank = self.comms.get(comm).my_rank;
+        let comm_size = self.comms.get(comm).size();
+        let contrib = if my_rank == root as usize {
+            self.pack_buf(sendbuf, sendcount * comm_size as u64, sendtype)
+        } else {
+            Vec::new()
+        };
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let full = &res[root as usize];
+        let elem = self.types.get(sendtype).size;
+        let chunk = (sendcount * elem) as usize;
+        let mine = &full[my_rank * chunk..(my_rank + 1) * chunk];
+        let mine = mine.to_vec();
+        self.unpack_buf(recvbuf, recvcount, recvtype, &mine);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Scatter,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Int(sendcount as i64),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(recvcount as i64),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Rank(root),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Scatterv` (send displacements in elements of the send type).
+    #[allow(clippy::too_many_arguments)]
+    pub fn scatterv(
+        &mut self,
+        sendbuf: Addr,
+        sendcounts: &[u64],
+        displs: &[i64],
+        sendtype: DatatypeHandle,
+        recvbuf: Addr,
+        recvcount: u64,
+        recvtype: DatatypeHandle,
+        root: i32,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let my_rank = self.comms.get(comm).my_rank;
+        let contrib = if my_rank == root as usize {
+            // Pack each rank's chunk separately, concatenated with a length
+            // prefix so chunks can be recovered.
+            let mut out = Vec::new();
+            for (i, &cnt) in sendcounts.iter().enumerate() {
+                let extent = self.types.get(sendtype).extent;
+                let src = (sendbuf as i64 + displs[i] * extent as i64) as Addr;
+                let chunk = self.pack_buf(src, cnt, sendtype);
+                out.extend_from_slice(&(chunk.len() as u64).to_le_bytes());
+                out.extend_from_slice(&chunk);
+            }
+            out
+        } else {
+            Vec::new()
+        };
+        let (res, _) = self.exchange_raw(comm, contrib);
+        // Recover my chunk from the root's contribution.
+        let full = &res[root as usize];
+        let mut pos = 0usize;
+        let mut mine = Vec::new();
+        for i in 0..self.comms.get(comm).size() {
+            let len = u64::from_le_bytes(full[pos..pos + 8].try_into().unwrap()) as usize;
+            pos += 8;
+            if i == my_rank {
+                mine = full[pos..pos + len].to_vec();
+            }
+            pos += len;
+        }
+        self.unpack_buf(recvbuf, recvcount, recvtype, &mine);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Scatterv,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::IntArr(sendcounts.iter().map(|&c| c as i64).collect()),
+                    Arg::IntArr(displs.to_vec()),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(recvcount as i64),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Rank(root),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Allgather`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allgather(
+        &mut self,
+        sendbuf: Addr,
+        sendcount: u64,
+        sendtype: DatatypeHandle,
+        recvbuf: Addr,
+        recvcount: u64,
+        recvtype: DatatypeHandle,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let contrib = self.pack_buf(sendbuf, sendcount, sendtype);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let extent = self.types.get(recvtype).extent;
+        for (i, data) in res.iter().enumerate() {
+            let dst = recvbuf + (i as u64) * recvcount * extent;
+            let data = data.clone();
+            self.unpack_buf(dst, recvcount, recvtype, &data);
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Allgather,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Int(sendcount as i64),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(recvcount as i64),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Allgatherv`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn allgatherv(
+        &mut self,
+        sendbuf: Addr,
+        sendcount: u64,
+        sendtype: DatatypeHandle,
+        recvbuf: Addr,
+        recvcounts: &[u64],
+        displs: &[i64],
+        recvtype: DatatypeHandle,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let contrib = self.pack_buf(sendbuf, sendcount, sendtype);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let extent = self.types.get(recvtype).extent;
+        for (i, data) in res.iter().enumerate() {
+            let dst = (recvbuf as i64 + displs[i] * extent as i64) as Addr;
+            let data = data.clone();
+            self.unpack_buf(dst, recvcounts[i], recvtype, &data);
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Allgatherv,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Int(sendcount as i64),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Ptr(recvbuf),
+                    Arg::IntArr(recvcounts.iter().map(|&c| c as i64).collect()),
+                    Arg::IntArr(displs.to_vec()),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Alltoall`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alltoall(
+        &mut self,
+        sendbuf: Addr,
+        sendcount: u64,
+        sendtype: DatatypeHandle,
+        recvbuf: Addr,
+        recvcount: u64,
+        recvtype: DatatypeHandle,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let comm_size = self.comms.get(comm).size();
+        let my_rank = self.comms.get(comm).my_rank;
+        let contrib = self.pack_buf(sendbuf, sendcount * comm_size as u64, sendtype);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let elem = self.types.get(sendtype).size;
+        let chunk = (sendcount * elem) as usize;
+        let extent = self.types.get(recvtype).extent;
+        for (i, data) in res.iter().enumerate() {
+            let piece = data[my_rank * chunk..(my_rank + 1) * chunk].to_vec();
+            let dst = recvbuf + (i as u64) * recvcount * extent;
+            self.unpack_buf(dst, recvcount, recvtype, &piece);
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Alltoall,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Int(sendcount as i64),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(recvcount as i64),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Alltoallv`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alltoallv(
+        &mut self,
+        sendbuf: Addr,
+        sendcounts: &[u64],
+        sdispls: &[i64],
+        sendtype: DatatypeHandle,
+        recvbuf: Addr,
+        recvcounts: &[u64],
+        rdispls: &[i64],
+        recvtype: DatatypeHandle,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let my_rank = self.comms.get(comm).my_rank;
+        // Length-prefixed per-destination chunks.
+        let mut contrib = Vec::new();
+        for (i, &cnt) in sendcounts.iter().enumerate() {
+            let extent = self.types.get(sendtype).extent;
+            let src = (sendbuf as i64 + sdispls[i] * extent as i64) as Addr;
+            let chunk = self.pack_buf(src, cnt, sendtype);
+            contrib.extend_from_slice(&(chunk.len() as u64).to_le_bytes());
+            contrib.extend_from_slice(&chunk);
+        }
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let extent = self.types.get(recvtype).extent;
+        for (i, data) in res.iter().enumerate() {
+            // Extract chunk destined to my_rank from sender i.
+            let mut pos = 0usize;
+            let mut mine: Option<Vec<u8>> = None;
+            for j in 0..res.len() {
+                let len = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap()) as usize;
+                pos += 8;
+                if j == my_rank {
+                    mine = Some(data[pos..pos + len].to_vec());
+                    break;
+                }
+                pos += len;
+            }
+            let mine = mine.expect("alltoallv chunk present");
+            let dst = (recvbuf as i64 + rdispls[i] * extent as i64) as Addr;
+            self.unpack_buf(dst, recvcounts[i], recvtype, &mine);
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::Alltoallv,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::IntArr(sendcounts.iter().map(|&c| c as i64).collect()),
+                    Arg::IntArr(sdispls.to_vec()),
+                    Arg::Datatype(sendtype.0),
+                    Arg::Ptr(recvbuf),
+                    Arg::IntArr(recvcounts.iter().map(|&c| c as i64).collect()),
+                    Arg::IntArr(rdispls.to_vec()),
+                    Arg::Datatype(recvtype.0),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Reduce_scatter_block`.
+    pub fn reduce_scatter_block(
+        &mut self,
+        sendbuf: Addr,
+        recvbuf: Addr,
+        recvcount: u64,
+        dt: DatatypeHandle,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let comm_size = self.comms.get(comm).size();
+        let my_rank = self.comms.get(comm).my_rank;
+        let contrib = self.pack_buf(sendbuf, recvcount * comm_size as u64, dt);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let acc = Self::reduce_contribs(&res, op);
+        let lanes_per_rank = acc.len() / comm_size;
+        let mine = &acc[my_rank * lanes_per_rank..(my_rank + 1) * lanes_per_rank];
+        self.heap.write_u64s(recvbuf, mine);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::ReduceScatterBlock,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(recvcount as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Op(op.id()),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the MPI C signature
+    fn scan_like(
+        &mut self,
+        func: FuncId,
+        sendbuf: Addr,
+        recvbuf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        op: ReduceOp,
+        comm: CommHandle,
+        exclusive: bool,
+    ) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let contrib = self.pack_buf(sendbuf, count, dt);
+        let (res, _) = self.exchange_raw(comm, contrib);
+        let my_rank = self.comms.get(comm).my_rank;
+        let upto = if exclusive { my_rank } else { my_rank + 1 };
+        if upto > 0 {
+            let acc = Self::reduce_contribs(&res[..upto], op);
+            self.heap.write_u64s(recvbuf, &acc);
+        }
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                func,
+                vec![
+                    Arg::Ptr(sendbuf),
+                    Arg::Ptr(recvbuf),
+                    Arg::Int(count as i64),
+                    Arg::Datatype(dt.0),
+                    Arg::Op(op.id()),
+                    Arg::Comm(comm.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+    }
+
+    /// `MPI_Scan`.
+    pub fn scan(&mut self, sendbuf: Addr, recvbuf: Addr, count: u64, dt: DatatypeHandle, op: ReduceOp, comm: CommHandle) {
+        self.scan_like(FuncId::Scan, sendbuf, recvbuf, count, dt, op, comm, false);
+    }
+
+    /// `MPI_Exscan`.
+    pub fn exscan(&mut self, sendbuf: Addr, recvbuf: Addr, count: u64, dt: DatatypeHandle, op: ReduceOp, comm: CommHandle) {
+        self.scan_like(FuncId::Exscan, sendbuf, recvbuf, count, dt, op, comm, true);
+    }
+
+    /// Serializes reduce lanes (test helper for collectives).
+    #[doc(hidden)]
+    pub fn lanes(vals: &[u64]) -> Vec<u8> {
+        u64s_to_bytes(vals)
+    }
+}

@@ -1,0 +1,134 @@
+//! Derived datatype construction calls.
+
+use crate::datatype::DatatypeHandle;
+use crate::hooks::{Arg, CallRec};
+use crate::FuncId;
+
+use super::Env;
+
+impl Env {
+    /// `MPI_Type_contiguous`.
+    pub fn type_contiguous(&mut self, count: u64, base: DatatypeHandle) -> DatatypeHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let new = self.types.contiguous(count, base);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::TypeContiguous,
+                vec![Arg::Int(count as i64), Arg::Datatype(base.0), Arg::Datatype(new.0)],
+            ),
+            t0,
+            t1,
+        );
+        new
+    }
+
+    /// `MPI_Type_vector`.
+    pub fn type_vector(
+        &mut self,
+        count: u64,
+        blocklen: u64,
+        stride: i64,
+        base: DatatypeHandle,
+    ) -> DatatypeHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let new = self.types.vector(count, blocklen, stride, base);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::TypeVector,
+                vec![
+                    Arg::Int(count as i64),
+                    Arg::Int(blocklen as i64),
+                    Arg::Int(stride),
+                    Arg::Datatype(base.0),
+                    Arg::Datatype(new.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        new
+    }
+
+    /// `MPI_Type_indexed`.
+    pub fn type_indexed(
+        &mut self,
+        blocklens: &[u64],
+        displs: &[i64],
+        base: DatatypeHandle,
+    ) -> DatatypeHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let new = self.types.indexed(blocklens, displs, base);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::TypeIndexed,
+                vec![
+                    Arg::Int(blocklens.len() as i64),
+                    Arg::IntArr(blocklens.iter().map(|&b| b as i64).collect()),
+                    Arg::IntArr(displs.to_vec()),
+                    Arg::Datatype(base.0),
+                    Arg::Datatype(new.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        new
+    }
+
+    /// `MPI_Type_create_struct`.
+    pub fn type_create_struct(
+        &mut self,
+        blocklens: &[u64],
+        displs: &[i64],
+        types: &[DatatypeHandle],
+    ) -> DatatypeHandle {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        let new = self.types.structured(blocklens, displs, types);
+        let t1 = self.clock.now();
+        self.emit(
+            CallRec::new(
+                FuncId::TypeCreateStruct,
+                vec![
+                    Arg::Int(blocklens.len() as i64),
+                    Arg::IntArr(blocklens.iter().map(|&b| b as i64).collect()),
+                    Arg::IntArr(displs.to_vec()),
+                    Arg::IntArr(types.iter().map(|t| t.0 as i64).collect()),
+                    Arg::Datatype(new.0),
+                ],
+            ),
+            t0,
+            t1,
+        );
+        new
+    }
+
+    /// `MPI_Type_commit`.
+    pub fn type_commit(&mut self, dt: DatatypeHandle) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        self.types.commit(dt);
+        let t1 = self.clock.now();
+        self.emit(CallRec::new(FuncId::TypeCommit, vec![Arg::Datatype(dt.0)]), t0, t1);
+    }
+
+    /// `MPI_Type_free`.
+    pub fn type_free(&mut self, dt: DatatypeHandle) {
+        let t0 = self.clock.now();
+        self.clock.call_entry();
+        self.types.free(dt);
+        let t1 = self.clock.now();
+        self.emit(CallRec::new(FuncId::TypeFree, vec![Arg::Datatype(dt.0)]), t0, t1);
+    }
+
+    /// Size in bytes of one element of a datatype (helper, untraced).
+    pub fn type_size(&self, dt: DatatypeHandle) -> u64 {
+        self.types.get(dt).size
+    }
+}

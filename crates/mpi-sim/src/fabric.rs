@@ -1,0 +1,538 @@
+//! The shared interconnect: point-to-point matching with MPI semantics,
+//! generation-counted collective exchange lanes, context-id allocation, and
+//! the untraced tool side-channel.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::types::{ANY_SOURCE, ANY_TAG};
+
+/// Rank within the world (thread index).
+pub type WorldRank = usize;
+/// Communicator context id: the matching domain of a communicator.
+pub type ContextId = u64;
+
+/// Context id of `MPI_COMM_WORLD`.
+pub const WORLD_CONTEXT: ContextId = 0;
+
+/// Exchange lanes: application collectives and tracer-internal traffic are
+/// kept in separate matching domains so tracing never perturbs matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    App,
+    Tool,
+}
+
+/// An in-flight point-to-point message.
+#[derive(Debug, Clone)]
+pub struct Message {
+    pub ctx: ContextId,
+    /// Sender's rank within the communicator (what `MPI_SOURCE` reports).
+    pub src_comm_rank: i32,
+    pub tag: i32,
+    pub data: Vec<u8>,
+    /// Simulated time at which the sender issued the message.
+    pub send_time: u64,
+}
+
+/// Completion slot for a posted receive, filled by the matching sender.
+#[derive(Debug, Default)]
+pub struct RecvSlot {
+    filled: Mutex<Option<Message>>,
+    cond: Condvar,
+}
+
+impl RecvSlot {
+    /// Non-blocking poll; takes the message if present.
+    pub fn try_take(&self) -> Option<Message> {
+        self.filled.lock().take()
+    }
+
+    /// Whether a message has arrived (without consuming it).
+    pub fn is_ready(&self) -> bool {
+        self.filled.lock().is_some()
+    }
+
+    /// Blocks until the message arrives (with abort checking).
+    pub fn wait_take(&self, fabric: &Fabric) -> Message {
+        let mut guard = self.filled.lock();
+        loop {
+            if let Some(m) = guard.take() {
+                return m;
+            }
+            self.cond.wait_for(&mut guard, Duration::from_millis(50));
+            fabric.check_abort();
+        }
+    }
+
+    fn fill(&self, m: Message) {
+        let mut guard = self.filled.lock();
+        debug_assert!(guard.is_none(), "recv slot filled twice");
+        *guard = Some(m);
+        self.cond.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct PostedRecv {
+    ctx: ContextId,
+    src: i32,
+    tag: i32,
+    slot: Arc<RecvSlot>,
+}
+
+fn matches(ctx: ContextId, src: i32, tag: i32, m: &Message) -> bool {
+    m.ctx == ctx
+        && (src == ANY_SOURCE || src == m.src_comm_rank)
+        && (tag == ANY_TAG || tag == m.tag)
+}
+
+#[derive(Debug, Default)]
+struct MailboxInner {
+    unexpected: VecDeque<Message>,
+    posted: VecDeque<PostedRecv>,
+}
+
+#[derive(Debug, Default)]
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    /// Signaled when a message lands in the unexpected queue (for probes).
+    arrived: Condvar,
+}
+
+/// One round of a collective exchange: contributions by comm rank, the
+/// published result, and a reader count for cleanup.
+#[derive(Debug, Default)]
+struct CollRound {
+    contribs: Vec<Option<Vec<u8>>>,
+    max_time: u64,
+    deposited: usize,
+    result: Option<Arc<Vec<Vec<u8>>>>,
+    readers: usize,
+}
+
+/// Per-(context, lane) collective state. Rounds are numbered by each rank's
+/// own collective-call count on the communicator, which MPI ordering rules
+/// keep consistent across ranks.
+#[derive(Debug)]
+pub struct CollCtx {
+    size: usize,
+    m: Mutex<HashMap<u64, CollRound>>,
+    cv: Condvar,
+}
+
+impl CollCtx {
+    fn new(size: usize) -> Self {
+        CollCtx {
+            size,
+            m: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Deposits `contrib` for `round`; does not wait.
+    pub fn deposit(&self, round: u64, comm_rank: usize, contrib: Vec<u8>, time: u64) {
+        let mut rounds = self.m.lock();
+        let r = rounds.entry(round).or_default();
+        if r.contribs.is_empty() {
+            r.contribs.resize(self.size, None);
+        }
+        debug_assert!(
+            r.contribs[comm_rank].is_none(),
+            "double deposit by rank {comm_rank} in round {round}"
+        );
+        r.contribs[comm_rank] = Some(contrib);
+        r.max_time = r.max_time.max(time);
+        r.deposited += 1;
+        if r.deposited == self.size {
+            let contribs = std::mem::take(&mut r.contribs);
+            r.result = Some(Arc::new(
+                contribs.into_iter().map(|c| c.expect("missing contrib")).collect(),
+            ));
+            self.cv.notify_all();
+        }
+    }
+
+    /// Polls for the result of `round`; consumes this rank's read.
+    pub fn try_collect(&self, round: u64) -> Option<(Arc<Vec<Vec<u8>>>, u64)> {
+        let mut rounds = self.m.lock();
+        let r = rounds.get_mut(&round)?;
+        let result = r.result.clone()?;
+        let time = r.max_time;
+        r.readers += 1;
+        if r.readers == self.size {
+            rounds.remove(&round);
+        }
+        Some((result, time))
+    }
+
+    /// Whether `round` has completed (without consuming the read).
+    pub fn is_ready(&self, round: u64) -> bool {
+        let rounds = self.m.lock();
+        rounds.get(&round).is_some_and(|r| r.result.is_some())
+    }
+
+    /// Blocks until `round` completes, then collects.
+    pub fn wait_collect(&self, fabric: &Fabric, round: u64) -> (Arc<Vec<Vec<u8>>>, u64) {
+        let mut rounds = self.m.lock();
+        loop {
+            if let Some(r) = rounds.get_mut(&round) {
+                if let Some(result) = r.result.clone() {
+                    let time = r.max_time;
+                    r.readers += 1;
+                    if r.readers == self.size {
+                        rounds.remove(&round);
+                    }
+                    return (result, time);
+                }
+            }
+            self.cv.wait_for(&mut rounds, Duration::from_millis(50));
+            fabric.check_abort();
+        }
+    }
+}
+
+/// The world-wide interconnect shared by all rank threads.
+pub struct Fabric {
+    n_ranks: usize,
+    mailboxes: Vec<Mailbox>,
+    tool_mailboxes: Vec<Mailbox>,
+    colls: Mutex<HashMap<(ContextId, Lane), Arc<CollCtx>>>,
+    next_context: AtomicU64,
+    aborted: AtomicBool,
+}
+
+impl Fabric {
+    pub fn new(n_ranks: usize) -> Arc<Fabric> {
+        let f = Fabric {
+            n_ranks,
+            mailboxes: (0..n_ranks).map(|_| Mailbox::default()).collect(),
+            tool_mailboxes: (0..n_ranks).map(|_| Mailbox::default()).collect(),
+            colls: Mutex::new(HashMap::new()),
+            next_context: AtomicU64::new(WORLD_CONTEXT + 1),
+            aborted: AtomicBool::new(false),
+        };
+        // Register the world communicator's collective lanes.
+        f.ensure_coll(WORLD_CONTEXT, Lane::App, n_ranks);
+        f.ensure_coll(WORLD_CONTEXT, Lane::Tool, n_ranks);
+        Arc::new(f)
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    /// Marks the world as failed (called when a rank panics) so blocked
+    /// peers unblock with a panic instead of hanging forever.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
+    /// Panics if the world has been aborted.
+    pub fn check_abort(&self) {
+        if self.aborted.load(Ordering::SeqCst) {
+            panic!("mpi-sim world aborted: another rank panicked");
+        }
+    }
+
+    /// Allocates a fresh communicator context id.
+    pub fn alloc_context(&self) -> ContextId {
+        self.next_context.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Idempotently registers the collective lane for a communicator.
+    pub fn ensure_coll(&self, ctx: ContextId, lane: Lane, size: usize) -> Arc<CollCtx> {
+        let mut colls = self.colls.lock();
+        let c = colls
+            .entry((ctx, lane))
+            .or_insert_with(|| Arc::new(CollCtx::new(size)));
+        assert_eq!(c.size, size, "collective lane re-registered with new size");
+        c.clone()
+    }
+
+    /// Looks up a registered collective lane.
+    pub fn coll(&self, ctx: ContextId, lane: Lane) -> Arc<CollCtx> {
+        self.colls
+            .lock()
+            .get(&(ctx, lane))
+            .cloned()
+            .unwrap_or_else(|| panic!("no collective lane for context {ctx} {lane:?}"))
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Delivers a message to `dest`'s mailbox, matching a posted receive if
+    /// one exists (in post order: MPI's non-overtaking rule).
+    pub fn send(&self, dest_world: WorldRank, msg: Message) {
+        let mb = &self.mailboxes[dest_world];
+        let mut inner = mb.inner.lock();
+        if let Some(i) = inner
+            .posted
+            .iter()
+            .position(|p| matches(p.ctx, p.src, p.tag, &msg))
+        {
+            let posted = inner.posted.remove(i).expect("index in range");
+            drop(inner);
+            posted.slot.fill(msg);
+        } else {
+            inner.unexpected.push_back(msg);
+            mb.arrived.notify_all();
+        }
+    }
+
+    /// Posts a receive at `me`; returns a slot completed by the matching
+    /// sender. An already-arrived unexpected message matches immediately
+    /// (earliest first, preserving arrival order per source).
+    pub fn post_recv(&self, me: WorldRank, ctx: ContextId, src: i32, tag: i32) -> Arc<RecvSlot> {
+        let slot = Arc::new(RecvSlot::default());
+        let mb = &self.mailboxes[me];
+        let mut inner = mb.inner.lock();
+        if let Some(i) = inner
+            .unexpected
+            .iter()
+            .position(|m| matches(ctx, src, tag, m))
+        {
+            let msg = inner.unexpected.remove(i).expect("index in range");
+            drop(inner);
+            slot.fill(msg);
+        } else {
+            inner.posted.push_back(PostedRecv { ctx, src, tag, slot: slot.clone() });
+        }
+        slot
+    }
+
+    /// Non-blocking probe: peeks the unexpected queue.
+    pub fn iprobe(&self, me: WorldRank, ctx: ContextId, src: i32, tag: i32) -> Option<(i32, i32, u64)> {
+        let inner = self.mailboxes[me].inner.lock();
+        inner
+            .unexpected
+            .iter()
+            .find(|m| matches(ctx, src, tag, m))
+            .map(|m| (m.src_comm_rank, m.tag, m.data.len() as u64))
+    }
+
+    /// Blocking probe: waits until a matching message is enqueued.
+    pub fn probe(&self, me: WorldRank, ctx: ContextId, src: i32, tag: i32) -> (i32, i32, u64) {
+        let mb = &self.mailboxes[me];
+        let mut inner = mb.inner.lock();
+        loop {
+            if let Some(m) = inner.unexpected.iter().find(|m| matches(ctx, src, tag, m)) {
+                return (m.src_comm_rank, m.tag, m.data.len() as u64);
+            }
+            mb.arrived.wait_for(&mut inner, Duration::from_millis(50));
+            self.check_abort();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tool side-channel (untraced)
+    // ------------------------------------------------------------------
+
+    /// Sends raw bytes on the tool channel (used by tracers for merges).
+    pub fn tool_send(&self, dest_world: WorldRank, src_world: WorldRank, tag: i32, data: Vec<u8>) {
+        let msg = Message {
+            ctx: u64::MAX,
+            src_comm_rank: src_world as i32,
+            tag,
+            data,
+            send_time: 0,
+        };
+        let mb = &self.tool_mailboxes[dest_world];
+        let mut inner = mb.inner.lock();
+        if let Some(i) = inner
+            .posted
+            .iter()
+            .position(|p| matches(p.ctx, p.src, p.tag, &msg))
+        {
+            let posted = inner.posted.remove(i).expect("index in range");
+            drop(inner);
+            posted.slot.fill(msg);
+        } else {
+            inner.unexpected.push_back(msg);
+            mb.arrived.notify_all();
+        }
+    }
+
+    /// Blocking receive on the tool channel.
+    pub fn tool_recv(&self, me: WorldRank, src_world: WorldRank, tag: i32) -> Vec<u8> {
+        let slot = {
+            let mb = &self.tool_mailboxes[me];
+            let mut inner = mb.inner.lock();
+            let slot = Arc::new(RecvSlot::default());
+            if let Some(i) = inner
+                .unexpected
+                .iter()
+                .position(|m| m.src_comm_rank == src_world as i32 && m.tag == tag)
+            {
+                let msg = inner.unexpected.remove(i).expect("index in range");
+                drop(inner);
+                slot.fill(msg);
+            } else {
+                inner.posted.push_back(PostedRecv {
+                    ctx: u64::MAX,
+                    src: src_world as i32,
+                    tag,
+                    slot: slot.clone(),
+                });
+            }
+            slot
+        };
+        slot.wait_take(self).data
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric").field("n_ranks", &self.n_ranks).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_then_recv_matches() {
+        let f = Fabric::new(2);
+        f.send(1, Message { ctx: 0, src_comm_rank: 0, tag: 7, data: vec![1, 2], send_time: 5 });
+        let slot = f.post_recv(1, 0, 0, 7);
+        let m = slot.try_take().expect("unexpected message should match");
+        assert_eq!(m.data, vec![1, 2]);
+        assert_eq!(m.send_time, 5);
+    }
+
+    #[test]
+    fn recv_then_send_matches() {
+        let f = Fabric::new(2);
+        let slot = f.post_recv(1, 0, ANY_SOURCE, ANY_TAG);
+        assert!(!slot.is_ready());
+        f.send(1, Message { ctx: 0, src_comm_rank: 0, tag: 3, data: vec![9], send_time: 0 });
+        assert!(slot.is_ready());
+        assert_eq!(slot.try_take().unwrap().tag, 3);
+    }
+
+    #[test]
+    fn wildcard_does_not_match_wrong_context() {
+        let f = Fabric::new(2);
+        f.send(1, Message { ctx: 42, src_comm_rank: 0, tag: 1, data: vec![], send_time: 0 });
+        let slot = f.post_recv(1, 0, ANY_SOURCE, ANY_TAG);
+        assert!(!slot.is_ready(), "message in ctx 42 must not match ctx 0 recv");
+    }
+
+    #[test]
+    fn tag_matching_is_exact_without_wildcard() {
+        let f = Fabric::new(2);
+        f.send(1, Message { ctx: 0, src_comm_rank: 0, tag: 5, data: vec![], send_time: 0 });
+        let slot = f.post_recv(1, 0, 0, 6);
+        assert!(!slot.is_ready());
+        let slot2 = f.post_recv(1, 0, 0, 5);
+        assert!(slot2.is_ready());
+    }
+
+    #[test]
+    fn non_overtaking_same_source() {
+        let f = Fabric::new(2);
+        for i in 0..3u8 {
+            f.send(1, Message { ctx: 0, src_comm_rank: 0, tag: 1, data: vec![i], send_time: 0 });
+        }
+        for i in 0..3u8 {
+            let m = f.post_recv(1, 0, 0, 1).try_take().unwrap();
+            assert_eq!(m.data, vec![i], "messages must arrive in send order");
+        }
+    }
+
+    #[test]
+    fn posted_recvs_match_in_post_order() {
+        let f = Fabric::new(2);
+        let a = f.post_recv(1, 0, ANY_SOURCE, 1);
+        let b = f.post_recv(1, 0, ANY_SOURCE, 1);
+        f.send(1, Message { ctx: 0, src_comm_rank: 0, tag: 1, data: vec![1], send_time: 0 });
+        assert!(a.is_ready());
+        assert!(!b.is_ready());
+    }
+
+    #[test]
+    fn probe_sees_without_consuming() {
+        let f = Fabric::new(1);
+        assert!(f.iprobe(0, 0, ANY_SOURCE, ANY_TAG).is_none());
+        f.send(0, Message { ctx: 0, src_comm_rank: 0, tag: 9, data: vec![0; 16], send_time: 0 });
+        let (src, tag, count) = f.iprobe(0, 0, ANY_SOURCE, ANY_TAG).unwrap();
+        assert_eq!((src, tag, count), (0, 9, 16));
+        // Still receivable afterwards.
+        assert!(f.post_recv(0, 0, 0, 9).is_ready());
+    }
+
+    #[test]
+    fn coll_round_exchange() {
+        let f = Fabric::new(3);
+        let c = f.coll(WORLD_CONTEXT, Lane::App);
+        c.deposit(0, 0, vec![0], 10);
+        c.deposit(0, 2, vec![2], 30);
+        assert!(!c.is_ready(0));
+        c.deposit(0, 1, vec![1], 20);
+        assert!(c.is_ready(0));
+        let (res, time) = c.try_collect(0).unwrap();
+        assert_eq!(*res, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(time, 30);
+        // Two more readers drain the round.
+        assert!(c.try_collect(0).is_some());
+        assert!(c.try_collect(0).is_some());
+        assert!(c.try_collect(0).is_none(), "round must be cleaned up");
+    }
+
+    #[test]
+    fn coll_rounds_are_independent() {
+        let f = Fabric::new(2);
+        let c = f.coll(WORLD_CONTEXT, Lane::App);
+        // Rank 0 races ahead into round 1 before rank 1 finishes round 0.
+        c.deposit(0, 0, vec![], 0);
+        c.deposit(1, 0, vec![], 0);
+        assert!(!c.is_ready(0));
+        assert!(!c.is_ready(1));
+        c.deposit(0, 1, vec![], 0);
+        assert!(c.is_ready(0));
+        c.deposit(1, 1, vec![], 0);
+        assert!(c.is_ready(1));
+    }
+
+    #[test]
+    fn tool_channel_roundtrip_threads() {
+        let f = Fabric::new(2);
+        let f2 = f.clone();
+        let t = thread::spawn(move || f2.tool_recv(1, 0, 77));
+        f.tool_send(1, 0, 77, vec![5, 6, 7]);
+        assert_eq!(t.join().unwrap(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn context_ids_are_unique() {
+        let f = Fabric::new(1);
+        let a = f.alloc_context();
+        let b = f.alloc_context();
+        assert_ne!(a, b);
+        assert_ne!(a, WORLD_CONTEXT);
+    }
+
+    #[test]
+    fn blocking_collect_across_threads() {
+        let f = Fabric::new(2);
+        let c = f.coll(WORLD_CONTEXT, Lane::App);
+        let (f2, c2) = (f.clone(), c.clone());
+        let t = thread::spawn(move || {
+            c2.deposit(0, 1, vec![1], 4);
+            c2.wait_collect(&f2, 0)
+        });
+        c.deposit(0, 0, vec![0], 9);
+        let (mine, time) = c.wait_collect(&f, 0);
+        let (theirs, _) = t.join().unwrap();
+        assert_eq!(*mine, *theirs);
+        assert_eq!(time, 9);
+    }
+}

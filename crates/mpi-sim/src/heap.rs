@@ -1,0 +1,262 @@
+//! Simulated per-rank heap.
+//!
+//! Workloads allocate communication buffers from this heap and pass the
+//! resulting addresses to MPI calls, giving tracers the same observable
+//! they get on a real system by interposing `malloc`/`free`: a stream of
+//! (address, size) allocation events plus raw pointer arguments that must
+//! be resolved to the segment containing them (paper §3.3.3).
+//!
+//! Addresses are virtual offsets into one growable byte arena. A free-list
+//! allocator reuses freed segments (first fit), so address reuse patterns —
+//! the reason Pilgrim needs live segment tracking rather than a static map
+//! — occur just as they do under a real allocator.
+
+/// A simulated heap address.
+pub type Addr = u64;
+
+/// Base address of the simulated heap; nonzero so that address arithmetic
+/// bugs surface as obvious mismatches rather than zero-offsets.
+pub const HEAP_BASE: Addr = 0x1000_0000;
+
+#[derive(Debug, Clone, Copy)]
+struct FreeBlock {
+    addr: Addr,
+    size: u64,
+}
+
+/// Per-rank simulated heap with real backing storage.
+#[derive(Debug, Default)]
+pub struct SimHeap {
+    data: Vec<u8>,
+    free: Vec<FreeBlock>,
+    live: Vec<(Addr, u64)>,
+}
+
+impl SimHeap {
+    pub fn new() -> Self {
+        SimHeap::default()
+    }
+
+    /// Allocates `size` bytes (1 minimum), returning the segment address.
+    pub fn malloc(&mut self, size: u64) -> Addr {
+        let size = size.max(1);
+        // First-fit over the free list.
+        if let Some(i) = self.free.iter().position(|b| b.size >= size) {
+            let block = self.free[i];
+            if block.size == size {
+                self.free.swap_remove(i);
+            } else {
+                self.free[i] = FreeBlock {
+                    addr: block.addr + size,
+                    size: block.size - size,
+                };
+            }
+            self.live.push((block.addr, size));
+            return block.addr;
+        }
+        let addr = HEAP_BASE + self.data.len() as u64;
+        self.data.resize(self.data.len() + size as usize, 0);
+        self.live.push((addr, size));
+        addr
+    }
+
+    /// `calloc`-style zeroing allocation.
+    pub fn calloc(&mut self, count: u64, elem: u64) -> Addr {
+        let size = count * elem;
+        let addr = self.malloc(size);
+        let off = self.offset(addr);
+        self.data[off..off + size.max(1) as usize].fill(0);
+        addr
+    }
+
+    /// Frees a segment by its exact start address. Returns the freed size.
+    pub fn free(&mut self, addr: Addr) -> u64 {
+        let i = self
+            .live
+            .iter()
+            .position(|&(a, _)| a == addr)
+            .unwrap_or_else(|| panic!("free of unallocated address {addr:#x}"));
+        let (_, size) = self.live.swap_remove(i);
+        self.free.push(FreeBlock { addr, size });
+        size
+    }
+
+    /// Number of live segments.
+    pub fn live_segments(&self) -> usize {
+        self.live.len()
+    }
+
+    fn offset(&self, addr: Addr) -> usize {
+        assert!(addr >= HEAP_BASE, "address {addr:#x} below heap base");
+        let off = (addr - HEAP_BASE) as usize;
+        assert!(off <= self.data.len(), "address {addr:#x} beyond heap end");
+        off
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read(&self, addr: Addr, len: u64) -> &[u8] {
+        let off = self.offset(addr);
+        &self.data[off..off + len as usize]
+    }
+
+    /// Writes bytes starting at `addr`.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8]) {
+        let off = self.offset(addr);
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Gathers a non-contiguous element layout (`blocks` are (offset, len)
+    /// pairs relative to `addr`) repeated `count` times every `extent`
+    /// bytes, into a packed buffer — the pack half of datatype handling.
+    pub fn pack(&self, addr: Addr, blocks: &[(i64, u64)], extent: u64, count: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        for i in 0..count {
+            let base = addr as i64 + (i * extent) as i64;
+            for &(off, len) in blocks {
+                out.extend_from_slice(self.read((base + off) as Addr, len));
+            }
+        }
+        out
+    }
+
+    /// Scatters a packed buffer back into the element layout (unpack half).
+    pub fn unpack(
+        &mut self,
+        addr: Addr,
+        blocks: &[(i64, u64)],
+        extent: u64,
+        count: u64,
+        data: &[u8],
+    ) {
+        let mut pos = 0usize;
+        for i in 0..count {
+            let base = addr as i64 + (i * extent) as i64;
+            for &(off, len) in blocks {
+                let take = (len as usize).min(data.len() - pos);
+                let chunk = &data[pos..pos + take];
+                self.write((base + off) as Addr, chunk);
+                pos += take;
+                if pos >= data.len() {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Convenience: write a `u64` array at `addr`.
+    pub fn write_u64s(&mut self, addr: Addr, vals: &[u64]) {
+        let mut bytes = Vec::with_capacity(vals.len() * 8);
+        for v in vals {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write(addr, &bytes);
+    }
+
+    /// Convenience: read a `u64` array from `addr`.
+    pub fn read_u64s(&self, addr: Addr, count: usize) -> Vec<u64> {
+        let bytes = self.read(addr, (count * 8) as u64);
+        bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malloc_returns_distinct_addresses() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(100);
+        let b = h.malloc(100);
+        assert_ne!(a, b);
+        assert!(a >= HEAP_BASE);
+    }
+
+    #[test]
+    fn free_list_reuses_addresses() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(64);
+        h.free(a);
+        let b = h.malloc(64);
+        assert_eq!(a, b, "first-fit should reuse the freed block");
+    }
+
+    #[test]
+    fn free_splits_blocks() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(128);
+        h.free(a);
+        let b = h.malloc(32);
+        let c = h.malloc(32);
+        assert_eq!(b, a);
+        assert_eq!(c, a + 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unallocated")]
+    fn double_free_panics() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(8);
+        h.free(a);
+        h.free(a);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(16);
+        h.write(a, &[1, 2, 3, 4]);
+        assert_eq!(h.read(a, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn u64_helpers_roundtrip() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(32);
+        h.write_u64s(a, &[7, 8, 9, u64::MAX]);
+        assert_eq!(h.read_u64s(a, 4), vec![7, 8, 9, u64::MAX]);
+    }
+
+    #[test]
+    fn calloc_zeroes_reused_memory() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(8);
+        h.write(a, &[0xff; 8]);
+        h.free(a);
+        let b = h.calloc(2, 4);
+        assert_eq!(b, a);
+        assert_eq!(h.read(b, 8), &[0u8; 8]);
+    }
+
+    #[test]
+    fn pack_unpack_strided_layout() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(64);
+        for i in 0..64u8 {
+            h.write(a + i as u64, &[i]);
+        }
+        // Two blocks [0,2) and [4,6) per element, extent 8, 2 elements.
+        let blocks = [(0i64, 2u64), (4, 2)];
+        let packed = h.pack(a, &blocks, 8, 2);
+        assert_eq!(packed, vec![0, 1, 4, 5, 8, 9, 12, 13]);
+        let b = h.malloc(64);
+        h.unpack(b, &blocks, 8, 2, &packed);
+        assert_eq!(h.read(b, 2), &[0, 1]);
+        assert_eq!(h.read(b + 4, 2), &[4, 5]);
+        assert_eq!(h.read(b + 8, 2), &[8, 9]);
+        assert_eq!(h.read(b + 12, 2), &[12, 13]);
+    }
+
+    #[test]
+    fn live_segment_count_tracks() {
+        let mut h = SimHeap::new();
+        let a = h.malloc(4);
+        let _b = h.malloc(4);
+        assert_eq!(h.live_segments(), 2);
+        h.free(a);
+        assert_eq!(h.live_segments(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! The tracing seam: what a PMPI interposition layer observes.
+//!
+//! Every MPI call executed by a rank produces a [`CallRec`] — the function
+//! id plus *all* of its arguments, input and output — delivered to the
+//! rank's [`Tracer`] together with entry/exit timestamps. Tracers also see
+//! heap allocation events, and get a [`TraceCtx`] side-channel for their
+//! own coordination (globally consistent communicator ids require an
+//! all-reduce among the new communicator's members; the inter-process
+//! merge at finalize needs point-to-point exchanges). Tool traffic runs on
+//! dedicated fabric lanes and is never traced.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use crate::comm::{CommHandle, CommTable};
+use crate::fabric::{CollCtx, Fabric, Lane};
+use crate::funcs::FuncId;
+
+/// One observed argument value. Raw handle values are reported exactly as
+/// the application passed them; symbolic re-encoding is the tracer's job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// Plain integer (counts, flags, roots, ...).
+    Int(i64),
+    /// A source/destination rank — candidate for relative-rank encoding.
+    Rank(i32),
+    /// A message tag.
+    Tag(i32),
+    /// Raw communicator handle.
+    Comm(u32),
+    /// Raw datatype handle.
+    Datatype(u32),
+    /// Raw reduce-op handle.
+    Op(u32),
+    /// Raw group handle.
+    Group(u32),
+    /// Raw request handle (output of nonblocking calls).
+    Request(u64),
+    /// Array of raw request handles (wait/test families).
+    RequestArr(Vec<u64>),
+    /// Raw memory address passed as a buffer pointer.
+    Ptr(u64),
+    /// Returned `MPI_Status` (the fields Pilgrim keeps: source and tag).
+    Status { source: i32, tag: i32 },
+    /// Array of returned statuses.
+    StatusArr(Vec<(i32, i32)>),
+    /// Integer array (counts/displacements/indices).
+    IntArr(Vec<i64>),
+    /// Split color (candidate for relative encoding).
+    Color(i32),
+    /// Split key (candidate for relative encoding).
+    Key(i32),
+    /// A string argument (names).
+    Str(String),
+}
+
+/// A fully recorded MPI call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallRec {
+    pub func: FuncId,
+    pub args: Vec<Arg>,
+}
+
+impl CallRec {
+    pub fn new(func: FuncId, args: Vec<Arg>) -> Self {
+        CallRec { func, args }
+    }
+}
+
+/// Introspection and tool communication available to tracers during a
+/// callback — the equivalent of the MPI calls a PMPI tool may itself issue.
+pub struct TraceCtx<'a> {
+    pub world_rank: usize,
+    pub world_size: usize,
+    pub(crate) fabric: &'a Arc<Fabric>,
+    pub(crate) comms: &'a CommTable,
+}
+
+impl<'a> TraceCtx<'a> {
+    /// The local group (comm rank -> world rank) of a live communicator.
+    pub fn comm_group(&self, handle: u32) -> Option<&[usize]> {
+        self.comms.try_get(CommHandle(handle)).map(|c| c.group.as_slice())
+    }
+
+    /// This rank's rank within the communicator.
+    pub fn comm_rank(&self, handle: u32) -> Option<usize> {
+        self.comms.try_get(CommHandle(handle)).map(|c| c.my_rank)
+    }
+
+    /// The remote group of an inter-communicator.
+    pub fn comm_remote_group(&self, handle: u32) -> Option<&[usize]> {
+        self.comms
+            .try_get(CommHandle(handle))
+            .and_then(|c| c.remote_group.as_deref())
+    }
+
+    /// Blocking all-reduce (max) over the communicator's members on the
+    /// tool lane. Every member's tracer must call this in the same
+    /// callback, which holds because tracers intercept the same collective
+    /// call on every member (paper §3.3.1).
+    pub fn tool_allreduce_max(&self, handle: u32, value: u64) -> u64 {
+        let info = self.comms.get(CommHandle(handle));
+        let coll = self
+            .fabric
+            .ensure_coll(info.ctx, Lane::Tool, info.lane_size());
+        let round = info.tool_round.get();
+        info.tool_round.set(round + 1);
+        coll.deposit(round, info.lane_rank(), value.to_le_bytes().to_vec(), 0);
+        let (contribs, _) = coll.wait_collect(self.fabric, round);
+        contribs
+            .iter()
+            .map(|c| u64::from_le_bytes(c.as_slice().try_into().expect("8-byte contrib")))
+            .max()
+            .expect("non-empty communicator")
+    }
+
+    /// Non-blocking variant for `MPI_Comm_idup` interception: deposits now,
+    /// result polled later via [`ToolRequest::try_complete`].
+    pub fn tool_iallreduce_max(&self, handle: u32, value: u64) -> ToolRequest {
+        let info = self.comms.get(CommHandle(handle));
+        let coll = self
+            .fabric
+            .ensure_coll(info.ctx, Lane::Tool, info.lane_size());
+        let round = info.tool_round.get();
+        info.tool_round.set(round + 1);
+        coll.deposit(round, info.lane_rank(), value.to_le_bytes().to_vec(), 0);
+        ToolRequest { coll, round }
+    }
+
+    /// Untraced point-to-point send to another rank's tracer.
+    pub fn tool_send(&self, dest_world: usize, tag: i32, data: Vec<u8>) {
+        self.fabric.tool_send(dest_world, self.world_rank, tag, data);
+    }
+
+    /// Untraced blocking point-to-point receive from another rank's tracer.
+    pub fn tool_recv(&self, src_world: usize, tag: i32) -> Vec<u8> {
+        self.fabric.tool_recv(self.world_rank, src_world, tag)
+    }
+
+    /// World-wide tool barrier (used around merge phases).
+    pub fn tool_barrier(&self) {
+        self.tool_allreduce_max(0, 0);
+    }
+}
+
+/// Handle to a pending tool-lane non-blocking all-reduce.
+pub struct ToolRequest {
+    coll: Arc<CollCtx>,
+    round: u64,
+}
+
+impl ToolRequest {
+    /// Polls for completion; returns the group max when done. Must be
+    /// called at most once after it returns `Some`.
+    pub fn try_complete(&self) -> Option<u64> {
+        let (contribs, _) = self.coll.try_collect(self.round)?;
+        Some(
+            contribs
+                .iter()
+                .map(|c| u64::from_le_bytes(c.as_slice().try_into().expect("8-byte contrib")))
+                .max()
+                .expect("non-empty group"),
+        )
+    }
+}
+
+/// A per-rank tracer: the PMPI-equivalent observer. `Any` is a supertrait
+/// so harnesses can downcast the boxed tracers [`crate::World::run`]
+/// returns back to their concrete type.
+pub trait Tracer: Any + Send {
+    /// Called after each MPI call completes, with the full record and the
+    /// simulated entry/exit times.
+    fn on_call(&mut self, ctx: &TraceCtx<'_>, rec: &CallRec, t_start: u64, t_end: u64);
+
+    /// A heap segment was allocated.
+    fn on_alloc(&mut self, _addr: u64, _size: u64) {}
+
+    /// A heap segment was freed.
+    fn on_free(&mut self, _addr: u64) {}
+
+    /// Called inside `MPI_Finalize`, before the world shuts down; this is
+    /// where Pilgrim runs its inter-process compression.
+    fn on_finalize(&mut self, _ctx: &TraceCtx<'_>) {}
+}
+
+/// The no-op tracer (used for untraced baseline timing runs).
+#[derive(Debug, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn on_call(&mut self, _ctx: &TraceCtx<'_>, _rec: &CallRec, _t0: u64, _t1: u64) {}
+}
+
+/// An alias used by dispatch code.
+pub type BoxedTracer = Box<dyn Tracer>;

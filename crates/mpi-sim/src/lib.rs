@@ -1,0 +1,43 @@
+//! `mpi-sim` — an in-process MPI runtime used as the substrate for the
+//! Pilgrim tracer reproduction.
+//!
+//! The real Pilgrim intercepts MPI calls through the PMPI profiling
+//! interface of a production MPI library running on a cluster. This crate
+//! provides the equivalent seam without external MPI: a *world* of ranks,
+//! each an OS thread, exchanging messages through a shared fabric that
+//! implements MPI matching semantics (source/tag wildcards, non-overtaking
+//! order, communicator contexts), collectives, communicator management
+//! (split/dup/idup, inter-communicators, merge), derived datatypes, request
+//! objects with the full wait/test family, a simulated heap whose
+//! allocations are observable by tracers, and a deterministic simulated
+//! clock with a latency/bandwidth cost model.
+//!
+//! Every MPI-level call made by a rank is reported to an attached
+//! [`Tracer`] with its full argument list and timing — exactly the
+//! information a PMPI wrapper sees — plus an untraced [`TraceCtx`]
+//! side-channel that tracers use for their own coordination (Pilgrim
+//! assigns globally consistent communicator ids with an all-reduce, and
+//! runs its inter-process merge at finalize time).
+
+pub mod clock;
+pub mod comm;
+pub mod datatype;
+pub mod env;
+pub mod fabric;
+pub mod funcs;
+pub mod heap;
+pub mod hooks;
+pub mod request;
+pub mod types;
+pub mod world;
+
+pub use clock::ClockModel;
+pub use comm::CommHandle;
+pub use datatype::DatatypeHandle;
+pub use env::comm_mgmt::COLOR_UNDEFINED;
+pub use env::Env;
+pub use funcs::{FuncId, FunctionRegistry, ToolSupport};
+pub use hooks::{Arg, CallRec, NullTracer, ToolRequest, TraceCtx, Tracer};
+pub use request::RequestHandle;
+pub use types::{ReduceOp, Status, ANY_SOURCE, ANY_TAG, PROC_NULL};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,178 @@
+//! Request objects and their rank-local table.
+//!
+//! Raw request ids are slab indices and are therefore *reused* after
+//! completion — the same behavior as pointer-valued `MPI_Request` handles
+//! in real MPI libraries. This reuse, combined with nondeterministic
+//! completion order, is exactly what defeats naive symbolic-id assignment
+//! and motivates Pilgrim's per-signature request-id pools (paper §3.4.3).
+
+use std::sync::Arc;
+
+use crate::comm::CommHandle;
+use crate::fabric::{CollCtx, RecvSlot};
+use crate::heap::Addr;
+
+/// Raw request id as observed by tracers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestHandle(pub u64);
+
+/// The null request: ignored by wait/test families.
+pub const REQUEST_NULL: RequestHandle = RequestHandle(u64::MAX);
+
+/// Non-blocking collective operations.
+#[derive(Debug)]
+pub enum NbOp {
+    Barrier,
+    /// Non-blocking allreduce: apply `op` over all packed contributions
+    /// and store to `recv` (count u64 lanes).
+    Allreduce {
+        recv: Addr,
+        lanes: usize,
+        op: crate::types::ReduceOp,
+    },
+    /// `MPI_Comm_idup`: completion installs the duplicated communicator
+    /// into the reserved handle.
+    Idup {
+        parent: CommHandle,
+        new_handle: CommHandle,
+    },
+}
+
+/// What a live request is waiting on.
+#[derive(Debug)]
+pub enum ReqKind {
+    /// A persistent send (`MPI_Send_init` family): stores the call so
+    /// `MPI_Start` can re-issue it; `active` while started and pending.
+    PersistentSend {
+        buf: Addr,
+        count: u64,
+        dtype: u32,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+        active: bool,
+    },
+    /// A persistent receive (`MPI_Recv_init`): `pending` holds the live
+    /// slot and unpack layout while started.
+    PersistentRecv {
+        buf: Addr,
+        count: u64,
+        dtype: u32,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+        #[allow(clippy::type_complexity)] // (slot, unpack blocks, extent)
+        pending: Option<(Arc<RecvSlot>, Vec<(i64, u64)>, u64)>,
+    },
+    /// An eager non-blocking send: already complete.
+    Send,
+    /// A pending non-blocking receive.
+    Recv {
+        slot: Arc<RecvSlot>,
+        buf: Addr,
+        blocks: Vec<(i64, u64)>,
+        extent: u64,
+        count: u64,
+    },
+    /// A non-blocking collective.
+    Coll {
+        coll: Arc<CollCtx>,
+        round: u64,
+        lane_rank: usize,
+        op: NbOp,
+    },
+}
+
+/// Rank-local request table (slab with free-list reuse).
+#[derive(Debug, Default)]
+pub struct RequestTable {
+    slots: Vec<Option<ReqKind>>,
+    free: Vec<usize>,
+}
+
+impl RequestTable {
+    pub fn new() -> Self {
+        RequestTable::default()
+    }
+
+    pub fn insert(&mut self, kind: ReqKind) -> RequestHandle {
+        if let Some(i) = self.free.pop() {
+            self.slots[i] = Some(kind);
+            return RequestHandle(i as u64);
+        }
+        self.slots.push(Some(kind));
+        RequestHandle((self.slots.len() - 1) as u64)
+    }
+
+    pub fn get(&self, h: RequestHandle) -> &ReqKind {
+        self.slots
+            .get(h.0 as usize)
+            .and_then(|r| r.as_ref())
+            .unwrap_or_else(|| panic!("use of invalid request handle {}", h.0))
+    }
+
+    /// Mutable access to a live request (persistent request state).
+    pub fn get_mut(&mut self, h: RequestHandle) -> &mut ReqKind {
+        self.slots
+            .get_mut(h.0 as usize)
+            .and_then(|r| r.as_mut())
+            .unwrap_or_else(|| panic!("use of invalid request handle {}", h.0))
+    }
+
+    /// Whether this request is persistent (survives completion).
+    pub fn is_persistent(&self, h: RequestHandle) -> bool {
+        matches!(
+            self.get(h),
+            ReqKind::PersistentSend { .. } | ReqKind::PersistentRecv { .. }
+        )
+    }
+
+    /// Removes a completed request, freeing its id for reuse.
+    pub fn remove(&mut self, h: RequestHandle) -> ReqKind {
+        let slot = self
+            .slots
+            .get_mut(h.0 as usize)
+            .unwrap_or_else(|| panic!("free of invalid request handle {}", h.0));
+        let kind = slot.take().unwrap_or_else(|| panic!("double completion of request {}", h.0));
+        self.free.push(h.0 as usize);
+        kind
+    }
+
+    /// Number of live requests (used by leak checks in tests).
+    pub fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_reused_after_completion() {
+        let mut t = RequestTable::new();
+        let a = t.insert(ReqKind::Send);
+        let b = t.insert(ReqKind::Send);
+        assert_ne!(a, b);
+        t.remove(a);
+        let c = t.insert(ReqKind::Send);
+        assert_eq!(a, c, "slab ids must be reused, mimicking pointer reuse");
+        assert_eq!(t.live(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double completion")]
+    fn double_completion_panics() {
+        let mut t = RequestTable::new();
+        let a = t.insert(ReqKind::Send);
+        t.remove(a);
+        t.remove(a);
+    }
+
+    #[test]
+    fn null_request_is_distinct() {
+        let mut t = RequestTable::new();
+        let a = t.insert(ReqKind::Send);
+        assert_ne!(a, REQUEST_NULL);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fundamental MPI-like constants and value types.
+
+/// Wildcard source rank: match a message from any source.
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag: match a message with any tag.
+pub const ANY_TAG: i32 = -1;
+/// Null process: communication with it completes immediately and moves no
+/// data, exactly as in MPI.
+pub const PROC_NULL: i32 = -2;
+
+/// Completion status of a receive-like operation — the subset of
+/// `MPI_Status` fields the simulator produces. (Pilgrim keeps `MPI_SOURCE`
+/// and `MPI_TAG` and reconstructs `count`/`cancelled` in post-processing;
+/// `MPI_ERROR` is almost always zero — paper §3.3.2.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank (within the matching communicator) the message came from.
+    pub source: i32,
+    /// Tag the message was sent with.
+    pub tag: i32,
+    /// Number of bytes received.
+    pub count: u64,
+}
+
+impl Status {
+    /// Status returned by operations on [`PROC_NULL`].
+    pub fn proc_null() -> Status {
+        Status {
+            source: PROC_NULL,
+            tag: ANY_TAG,
+            count: 0,
+        }
+    }
+}
+
+/// Predefined reduction operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+    Prod,
+    Land,
+    Lor,
+    Band,
+    Bor,
+    MaxLoc,
+    MinLoc,
+}
+
+impl ReduceOp {
+    /// Stable numeric id used in call records (the "handle" a PMPI layer
+    /// would observe for a predefined op).
+    pub fn id(self) -> u32 {
+        match self {
+            ReduceOp::Sum => 0,
+            ReduceOp::Max => 1,
+            ReduceOp::Min => 2,
+            ReduceOp::Prod => 3,
+            ReduceOp::Land => 4,
+            ReduceOp::Lor => 5,
+            ReduceOp::Band => 6,
+            ReduceOp::Bor => 7,
+            ReduceOp::MaxLoc => 8,
+            ReduceOp::MinLoc => 9,
+        }
+    }
+
+    /// Inverse of [`ReduceOp::id`].
+    pub fn from_id(id: u32) -> Option<ReduceOp> {
+        Some(match id {
+            0 => ReduceOp::Sum,
+            1 => ReduceOp::Max,
+            2 => ReduceOp::Min,
+            3 => ReduceOp::Prod,
+            4 => ReduceOp::Land,
+            5 => ReduceOp::Lor,
+            6 => ReduceOp::Band,
+            7 => ReduceOp::Bor,
+            8 => ReduceOp::MaxLoc,
+            9 => ReduceOp::MinLoc,
+            _ => return None,
+        })
+    }
+
+    /// Applies the op elementwise over `u64` lanes (the simulator reduces
+    /// payloads in 8-byte lanes; MAXLOC/MINLOC use (value, index) pairs).
+    pub fn combine(self, acc: &mut [u64], next: &[u64]) {
+        assert_eq!(acc.len(), next.len(), "reduce length mismatch");
+        match self {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(next) {
+                    *a = a.wrapping_add(*b);
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(next) {
+                    *a = (*a).max(*b);
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.iter_mut().zip(next) {
+                    *a = (*a).min(*b);
+                }
+            }
+            ReduceOp::Prod => {
+                for (a, b) in acc.iter_mut().zip(next) {
+                    *a = a.wrapping_mul(*b);
+                }
+            }
+            ReduceOp::Land => {
+                for (a, b) in acc.iter_mut().zip(next) {
+                    *a = u64::from(*a != 0 && *b != 0);
+                }
+            }
+            ReduceOp::Lor => {
+                for (a, b) in acc.iter_mut().zip(next) {
+                    *a = u64::from(*a != 0 || *b != 0);
+                }
+            }
+            ReduceOp::Band => {
+                for (a, b) in acc.iter_mut().zip(next) {
+                    *a &= *b;
+                }
+            }
+            ReduceOp::Bor => {
+                for (a, b) in acc.iter_mut().zip(next) {
+                    *a |= *b;
+                }
+            }
+            ReduceOp::MaxLoc | ReduceOp::MinLoc => {
+                // Pairs of (value, location); ties keep the lower location.
+                let take_max = matches!(self, ReduceOp::MaxLoc);
+                for (a, b) in acc.chunks_exact_mut(2).zip(next.chunks_exact(2)) {
+                    let better = if take_max {
+                        b[0] > a[0] || (b[0] == a[0] && b[1] < a[1])
+                    } else {
+                        b[0] < a[0] || (b[0] == a[0] && b[1] < a[1])
+                    };
+                    if better {
+                        a[0] = b[0];
+                        a[1] = b[1];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sum_and_max() {
+        let mut acc = vec![1u64, 10];
+        ReduceOp::Sum.combine(&mut acc, &[2, 3]);
+        assert_eq!(acc, vec![3, 13]);
+        ReduceOp::Max.combine(&mut acc, &[100, 1]);
+        assert_eq!(acc, vec![100, 13]);
+    }
+
+    #[test]
+    fn reduce_minloc_prefers_lower_index_on_tie() {
+        let mut acc = vec![5u64, 3]; // value 5 at rank 3
+        ReduceOp::MinLoc.combine(&mut acc, &[5, 1]);
+        assert_eq!(acc, vec![5, 1]);
+        ReduceOp::MinLoc.combine(&mut acc, &[4, 7]);
+        assert_eq!(acc, vec![4, 7]);
+    }
+
+    #[test]
+    fn reduce_logical_ops() {
+        let mut acc = vec![1u64, 0];
+        ReduceOp::Land.combine(&mut acc, &[1, 1]);
+        assert_eq!(acc, vec![1, 0]);
+        let mut acc = vec![0u64, 0];
+        ReduceOp::Lor.combine(&mut acc, &[0, 1]);
+        assert_eq!(acc, vec![0, 1]);
+    }
+
+    #[test]
+    fn proc_null_status() {
+        let s = Status::proc_null();
+        assert_eq!(s.source, PROC_NULL);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn op_ids_are_distinct() {
+        let ops = [
+            ReduceOp::Sum,
+            ReduceOp::Max,
+            ReduceOp::Min,
+            ReduceOp::Prod,
+            ReduceOp::Land,
+            ReduceOp::Lor,
+            ReduceOp::Band,
+            ReduceOp::Bor,
+            ReduceOp::MaxLoc,
+            ReduceOp::MinLoc,
+        ];
+        let mut ids: Vec<u32> = ops.iter().map(|o| o.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), ops.len());
+    }
+}

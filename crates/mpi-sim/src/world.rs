@@ -1,0 +1,120 @@
+//! World construction: spawns one OS thread per rank, each with its own
+//! [`Env`], attaches tracers, runs the application body, and collects the
+//! tracers back when all ranks have finalized.
+
+use std::sync::Arc;
+
+use crate::clock::ClockModel;
+use crate::env::Env;
+use crate::fabric::Fabric;
+use crate::hooks::Tracer;
+
+/// World parameters.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of ranks (threads).
+    pub n_ranks: usize,
+    /// Seed for the deterministic clock jitter.
+    pub seed: u64,
+    /// Clock cost model.
+    pub clock: ClockModel,
+    /// Stack size per rank thread. Workloads are shallow; small stacks let
+    /// a single machine host thousands of ranks.
+    pub stack_size: usize,
+    /// Real busy-spin per simulated compute nanosecond (0.0 = off).
+    /// Overhead experiments set this so the untraced baseline carries
+    /// compute work proportional to the simulated application, the way a
+    /// real code would.
+    pub compute_spin: f64,
+}
+
+impl WorldConfig {
+    pub fn new(n_ranks: usize) -> Self {
+        WorldConfig {
+            n_ranks,
+            seed: 0x5EED,
+            clock: ClockModel::default(),
+            stack_size: 256 * 1024,
+            compute_spin: 0.0,
+        }
+    }
+}
+
+/// Entry point for running simulated MPI programs.
+pub struct World;
+
+impl World {
+    /// Runs `body` on `cfg.n_ranks` ranks with a tracer built per rank by
+    /// `tracer_factory`. `MPI_Init` is recorded before the body runs and
+    /// `MPI_Finalize` after it returns (if the body did not call
+    /// [`Env::finalize`] itself). Returns the tracers in rank order.
+    ///
+    /// Panics in any rank abort the whole world (all blocked ranks unblock
+    /// and panic) and the panic is propagated to the caller.
+    pub fn run<T, F, B>(cfg: &WorldConfig, tracer_factory: F, body: B) -> Vec<T>
+    where
+        T: Tracer,
+        F: Fn(usize) -> T,
+        B: Fn(&mut Env) + Send + Sync + 'static,
+    {
+        let fabric = Fabric::new(cfg.n_ranks);
+        let body = Arc::new(body);
+        let mut handles = Vec::with_capacity(cfg.n_ranks);
+        for rank in 0..cfg.n_ranks {
+            let fabric = fabric.clone();
+            let body = body.clone();
+            let tracer: Box<dyn Tracer> = Box::new(tracer_factory(rank));
+            let clock = cfg.clock;
+            let seed = cfg.seed;
+            let spin = cfg.compute_spin;
+            let handle = std::thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(cfg.stack_size)
+                .spawn(move || {
+                    // Any rank panic aborts the world so peers unblock.
+                    let guard = AbortOnPanic(fabric.clone());
+                    let mut env = Env::new(rank, fabric, clock, seed, Some(tracer));
+                    env.set_compute_spin(spin);
+                    env.init();
+                    body(&mut env);
+                    if !env.is_finalized() {
+                        env.finalize();
+                    }
+                    std::mem::forget(guard);
+                    env.take_tracer().expect("tracer present at world end")
+                })
+                .expect("spawn rank thread");
+            handles.push(handle);
+        }
+        let mut tracers: Vec<T> = Vec::with_capacity(cfg.n_ranks);
+        let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(boxed) => {
+                    let any: Box<dyn std::any::Any> = boxed;
+                    let t = any
+                        .downcast::<T>()
+                        .expect("tracer type mismatch at collection");
+                    tracers.push(*t);
+                }
+                Err(e) => {
+                    fabric.abort();
+                    panic_payload = Some(e);
+                }
+            }
+        }
+        if let Some(e) = panic_payload {
+            std::panic::resume_unwind(e);
+        }
+        tracers
+    }
+}
+
+/// Aborts the fabric if the owning thread unwinds.
+struct AbortOnPanic(Arc<Fabric>);
+
+impl Drop for AbortOnPanic {
+    fn drop(&mut self) {
+        self.0.abort();
+    }
+}

@@ -1,0 +1,169 @@
+//! Property tests for the simulator substrate: datatype layout algebra
+//! against a direct model, heap pack/unpack inverses, and fabric matching
+//! against a reference implementation.
+
+use mpi_sim::datatype::{BasicType, TypeTable};
+use mpi_sim::fabric::{Fabric, Message};
+use mpi_sim::heap::SimHeap;
+use proptest::prelude::*;
+
+/// Model of a datatype layout: explicit byte offsets of the payload.
+fn model_offsets(blocks: &[(i64, u64)]) -> Vec<i64> {
+    let mut out = Vec::new();
+    for &(off, len) in blocks {
+        for b in 0..len as i64 {
+            out.push(off + b);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn vector_layout_matches_model(
+        count in 1u64..6,
+        blocklen in 1u64..5,
+        stride in 1i64..8,
+    ) {
+        let mut t = TypeTable::new();
+        let h = t.vector(count, blocklen, stride, BasicType::Int.handle());
+        let dt = t.get(h);
+        // Model: for block i, ints at (i*stride .. i*stride+blocklen).
+        let mut want = Vec::new();
+        for i in 0..count as i64 {
+            for e in 0..blocklen as i64 {
+                let base = (i * stride + e) * 4;
+                want.extend(base..base + 4);
+            }
+        }
+        want.sort_unstable();
+        let mut got = model_offsets(&dt.blocks);
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(dt.size, count * blocklen * 4);
+    }
+
+    #[test]
+    fn indexed_layout_matches_model(
+        spec in proptest::collection::vec((1u64..4, 0i64..12), 1..5),
+    ) {
+        // Build non-overlapping displacements by spacing them out.
+        let mut blocklens = Vec::new();
+        let mut displs = Vec::new();
+        let mut cursor = 0i64;
+        for (len, gap) in &spec {
+            cursor += *gap;
+            displs.push(cursor);
+            blocklens.push(*len);
+            cursor += *len as i64;
+        }
+        let mut t = TypeTable::new();
+        let h = t.indexed(&blocklens, &displs, BasicType::Double.handle());
+        let dt = t.get(h);
+        let mut want = Vec::new();
+        for (len, disp) in blocklens.iter().zip(&displs) {
+            let start = disp * 8;
+            want.extend(start..start + (*len as i64) * 8);
+        }
+        want.sort_unstable();
+        let mut got = model_offsets(&dt.blocks);
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pack_unpack_is_identity_on_payload(
+        count in 1u64..4,
+        blocklen in 1u64..4,
+        stride in 1i64..6,
+        seed in any::<u64>(),
+    ) {
+        let stride = stride.max(blocklen as i64);
+        let mut t = TypeTable::new();
+        let h = t.vector(count, blocklen, stride, BasicType::Byte.handle());
+        let dt = t.get(h).clone();
+        let mut heap = SimHeap::new();
+        let span = (count as i64 * stride) as u64 + 16;
+        let src = heap.malloc(span);
+        let dst = heap.malloc(span);
+        // Deterministic fill.
+        let mut state = seed | 1;
+        for i in 0..span {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            heap.write(src + i, &[(state >> 33) as u8]);
+        }
+        let packed = heap.pack(src, &dt.blocks, dt.extent, 1);
+        prop_assert_eq!(packed.len() as u64, dt.size);
+        heap.unpack(dst, &dt.blocks, dt.extent, 1, &packed);
+        // Every payload byte must have moved; gaps stay zero.
+        for &(off, len) in &dt.blocks {
+            for b in 0..len {
+                let at = (off as u64) + b;
+                prop_assert_eq!(heap.read(src + at, 1), heap.read(dst + at, 1));
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_matching_agrees_with_model(
+        msgs in proptest::collection::vec((0i32..3, 0i32..3), 1..12),
+        recvs in proptest::collection::vec((-1i32..3, -1i32..3), 1..12),
+    ) {
+        // Deliver all messages first, then post receives; compare against
+        // a straightforward queue model.
+        let f = Fabric::new(1);
+        let mut model: Vec<(i32, i32, u8)> = Vec::new();
+        for (i, &(src, tag)) in msgs.iter().enumerate() {
+            f.send(0, Message {
+                ctx: 0,
+                src_comm_rank: src,
+                tag,
+                data: vec![i as u8],
+                send_time: 0,
+            });
+            model.push((src, tag, i as u8));
+        }
+        for &(src, tag) in &recvs {
+            let slot = f.post_recv(0, 0, src, tag);
+            // Model: earliest message matching (src|ANY, tag|ANY).
+            let pos = model.iter().position(|&(ms, mt, _)| {
+                (src == -1 || src == ms) && (tag == -1 || tag == mt)
+            });
+            match pos {
+                Some(p) => {
+                    let (ms, mt, payload) = model.remove(p);
+                    let got = slot.try_take().expect("fabric must match like the model");
+                    prop_assert_eq!(got.src_comm_rank, ms);
+                    prop_assert_eq!(got.tag, mt);
+                    prop_assert_eq!(got.data, vec![payload]);
+                }
+                None => prop_assert!(slot.try_take().is_none(), "fabric matched, model did not"),
+            }
+        }
+    }
+
+    #[test]
+    fn heap_alloc_free_never_overlaps(ops in proptest::collection::vec((1u64..128, any::<bool>()), 1..64)) {
+        let mut h = SimHeap::new();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (size, free_one) in ops {
+            if free_one && !live.is_empty() {
+                let (addr, _) = live.swap_remove(0);
+                h.free(addr);
+            } else {
+                let addr = h.malloc(size);
+                for &(a, s) in &live {
+                    prop_assert!(
+                        addr + size <= a || a + s <= addr,
+                        "overlap: [{addr},{}) vs [{a},{})",
+                        addr + size,
+                        a + s
+                    );
+                }
+                live.push((addr, size));
+            }
+        }
+    }
+}

@@ -1,0 +1,669 @@
+//! End-to-end simulator tests: multi-rank worlds exercising p2p,
+//! collectives, communicator management, requests, and the tracer seam.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mpi_sim::datatype::BasicType;
+use mpi_sim::hooks::{CallRec, TraceCtx, Tracer};
+use mpi_sim::types::ReduceOp;
+use mpi_sim::{Env, FuncId, NullTracer, World, WorldConfig, ANY_SOURCE, ANY_TAG, PROC_NULL};
+
+fn run<B: Fn(&mut Env) + Send + Sync + 'static>(n: usize, body: B) {
+    World::run(&WorldConfig::new(n), |_| NullTracer, body);
+}
+
+#[test]
+fn ring_pass_u64() {
+    run(4, |env| {
+        let me = env.world_rank();
+        let n = env.world_size();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(8);
+        if me == 0 {
+            env.heap_write_u64s(buf, &[100]);
+            env.send(buf, 1, dt, 1, 0, world);
+            env.recv(buf, 1, dt, (n - 1) as i32, 0, world);
+            assert_eq!(env.heap_read_u64s(buf, 1), vec![100 + n as u64 - 1]);
+        } else {
+            env.recv(buf, 1, dt, (me - 1) as i32, 0, world);
+            let v = env.heap_read_u64s(buf, 1)[0];
+            env.heap_write_u64s(buf, &[v + 1]);
+            env.send(buf, 1, dt, ((me + 1) % n) as i32, 0, world);
+        }
+    });
+}
+
+#[test]
+fn any_source_recv() {
+    run(3, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(8);
+        if me == 0 {
+            let mut seen = Vec::new();
+            for _ in 0..2 {
+                let st = env.recv(buf, 1, dt, ANY_SOURCE, ANY_TAG, world);
+                assert_eq!(env.heap_read_u64s(buf, 1)[0], st.source as u64 * 7);
+                seen.push(st.source);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, vec![1, 2]);
+        } else {
+            env.heap_write_u64s(buf, &[me as u64 * 7]);
+            env.send(buf, 1, dt, 0, me as i32, world);
+        }
+    });
+}
+
+#[test]
+fn proc_null_communication_is_noop() {
+    run(2, |env| {
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::Int);
+        let buf = env.malloc(4);
+        env.send(buf, 1, dt, PROC_NULL, 5, world);
+        let st = env.recv(buf, 1, dt, PROC_NULL, 5, world);
+        assert_eq!(st.source, PROC_NULL);
+        assert_eq!(st.count, 0);
+        let mut r = env.irecv(buf, 1, dt, PROC_NULL, 5, world);
+        env.wait(&mut r);
+    });
+}
+
+#[test]
+fn isend_irecv_waitall_exchange() {
+    run(4, |env| {
+        let me = env.world_rank();
+        let n = env.world_size();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let left = ((me + n - 1) % n) as i32;
+        let right = ((me + 1) % n) as i32;
+        let sbuf = env.malloc(8);
+        let rbuf_l = env.malloc(8);
+        let rbuf_r = env.malloc(8);
+        env.heap_write_u64s(sbuf, &[me as u64]);
+        let mut reqs = vec![
+            env.irecv(rbuf_l, 1, dt, left, 1, world),
+            env.irecv(rbuf_r, 1, dt, right, 2, world),
+            env.isend(sbuf, 1, dt, right, 1, world),
+            env.isend(sbuf, 1, dt, left, 2, world),
+        ];
+        env.waitall(&mut reqs);
+        assert_eq!(env.heap_read_u64s(rbuf_l, 1)[0], left as u64);
+        assert_eq!(env.heap_read_u64s(rbuf_r, 1)[0], right as u64);
+    });
+}
+
+#[test]
+fn waitany_completes_everything() {
+    run(3, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        if me == 0 {
+            let bufs: Vec<_> = (0..4).map(|_| env.malloc(8)).collect();
+            let mut reqs: Vec<_> = bufs
+                .iter()
+                .map(|&b| env.irecv(b, 1, dt, ANY_SOURCE, ANY_TAG, world))
+                .collect();
+            let mut done = 0;
+            while let Some((_idx, st)) = env.waitany(&mut reqs) {
+                assert!(st.source == 1 || st.source == 2);
+                done += 1;
+            }
+            assert_eq!(done, 4);
+        } else {
+            let buf = env.malloc(8);
+            env.heap_write_u64s(buf, &[me as u64]);
+            env.send(buf, 1, dt, 0, 0, world);
+            env.send(buf, 1, dt, 0, 1, world);
+        }
+    });
+}
+
+#[test]
+fn testsome_loop_drains_requests() {
+    run(3, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        if me == 0 {
+            let bufs: Vec<_> = (0..2).map(|_| env.malloc(8)).collect();
+            let mut reqs: Vec<_> = bufs
+                .iter()
+                .zip([1, 2])
+                .map(|(&b, src)| env.irecv(b, 1, dt, src, 9, world))
+                .collect();
+            let mut completed = 0;
+            while completed < 2 {
+                completed += env.testsome(&mut reqs).len();
+            }
+        } else {
+            let buf = env.malloc(8);
+            env.send(buf, 1, dt, 0, 9, world);
+        }
+    });
+}
+
+#[test]
+fn collectives_compute_correct_results() {
+    run(4, |env| {
+        let me = env.world_rank() as u64;
+        let n = env.world_size() as u64;
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let sbuf = env.malloc(8);
+        let rbuf = env.malloc(8 * n);
+        env.heap_write_u64s(sbuf, &[me + 1]);
+
+        env.allreduce(sbuf, rbuf, 1, dt, ReduceOp::Sum, world);
+        assert_eq!(env.heap_read_u64s(rbuf, 1)[0], n * (n + 1) / 2);
+
+        env.allreduce(sbuf, rbuf, 1, dt, ReduceOp::Max, world);
+        assert_eq!(env.heap_read_u64s(rbuf, 1)[0], n);
+
+        env.reduce(sbuf, rbuf, 1, dt, ReduceOp::Min, 0, world);
+        if me == 0 {
+            assert_eq!(env.heap_read_u64s(rbuf, 1)[0], 1);
+        }
+
+        env.allgather(sbuf, 1, dt, rbuf, 1, dt, world);
+        assert_eq!(env.heap_read_u64s(rbuf, n as usize), (1..=n).collect::<Vec<_>>());
+
+        env.scan(sbuf, rbuf, 1, dt, ReduceOp::Sum, world);
+        assert_eq!(env.heap_read_u64s(rbuf, 1)[0], (me + 1) * (me + 2) / 2);
+
+        env.barrier(world);
+
+        // Bcast from rank 2.
+        if me == 2 {
+            env.heap_write_u64s(sbuf, &[4242]);
+        }
+        env.bcast(sbuf, 1, dt, 2, world);
+        assert_eq!(env.heap_read_u64s(sbuf, 1)[0], 4242);
+    });
+}
+
+#[test]
+fn alltoall_transpose() {
+    run(3, |env| {
+        let me = env.world_rank() as u64;
+        let n = env.world_size() as u64;
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let sbuf = env.malloc(8 * n);
+        let rbuf = env.malloc(8 * n);
+        let vals: Vec<u64> = (0..n).map(|j| me * 10 + j).collect();
+        env.heap_write_u64s(sbuf, &vals);
+        env.alltoall(sbuf, 1, dt, rbuf, 1, dt, world);
+        let got = env.heap_read_u64s(rbuf, n as usize);
+        let want: Vec<u64> = (0..n).map(|j| j * 10 + me).collect();
+        assert_eq!(got, want);
+    });
+}
+
+#[test]
+fn gather_scatter_roundtrip() {
+    run(4, |env| {
+        let me = env.world_rank() as u64;
+        let n = env.world_size() as u64;
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let one = env.malloc(8);
+        let all = env.malloc(8 * n);
+        env.heap_write_u64s(one, &[me * me]);
+        env.gather(one, 1, dt, all, 1, dt, 0, world);
+        if me == 0 {
+            assert_eq!(env.heap_read_u64s(all, n as usize), (0..n).map(|i| i * i).collect::<Vec<_>>());
+        }
+        env.scatter(all, 1, dt, one, 1, dt, 0, world);
+        assert_eq!(env.heap_read_u64s(one, 1)[0], me * me);
+    });
+}
+
+#[test]
+fn alltoallv_variable_chunks() {
+    run(3, |env| {
+        let me = env.world_rank() as u64;
+        let n = env.world_size();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        // Rank r sends (j+1) values of r*100+j to rank j.
+        let total_send: u64 = (1..=n as u64).sum();
+        let sbuf = env.malloc(8 * total_send);
+        let mut sendcounts = Vec::new();
+        let mut sdispls = Vec::new();
+        let mut vals = Vec::new();
+        for j in 0..n as u64 {
+            sdispls.push(vals.len() as i64);
+            sendcounts.push(j + 1);
+            for _ in 0..=j {
+                vals.push(me * 100 + j);
+            }
+        }
+        env.heap_write_u64s(sbuf, &vals);
+        // Everyone receives (me+1) values from each rank.
+        let per = me + 1;
+        let rbuf = env.malloc(8 * per * n as u64);
+        let recvcounts = vec![per; n];
+        let rdispls: Vec<i64> = (0..n as i64).map(|i| i * per as i64).collect();
+        env.alltoallv(sbuf, &sendcounts, &sdispls, dt, rbuf, &recvcounts, &rdispls, dt, world);
+        let got = env.heap_read_u64s(rbuf, (per as usize) * n);
+        for (i, chunk) in got.chunks(per as usize).enumerate() {
+            assert!(chunk.iter().all(|&v| v == i as u64 * 100 + me));
+        }
+    });
+}
+
+#[test]
+fn comm_split_even_odd() {
+    run(4, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let color = (me % 2) as i32;
+        let sub = env.comm_split(world, color, me as i32).expect("defined color");
+        assert_eq!(env.comm_size(sub), 2);
+        assert_eq!(env.comm_rank(sub), me / 2);
+        // Exchange within the subcomm.
+        let dt = env.basic(BasicType::LongLong);
+        let sbuf = env.malloc(8);
+        let rbuf = env.malloc(16);
+        env.heap_write_u64s(sbuf, &[me as u64]);
+        env.allgather(sbuf, 1, dt, rbuf, 1, dt, sub);
+        let got = env.heap_read_u64s(rbuf, 2);
+        assert_eq!(got, vec![color as u64, color as u64 + 2]);
+        env.comm_free(sub);
+    });
+}
+
+#[test]
+fn comm_split_undefined_color() {
+    run(3, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let color = if me == 0 { -3 } else { 0 };
+        let sub = env.comm_split(world, color, 0);
+        if me == 0 {
+            assert!(sub.is_none());
+        } else {
+            let sub = sub.expect("members get a communicator");
+            assert_eq!(env.comm_size(sub), 2);
+        }
+    });
+}
+
+#[test]
+fn comm_dup_isolates_traffic() {
+    run(2, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dup = env.comm_dup(world);
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(8);
+        // Same tag on two communicators must not cross-match.
+        if me == 0 {
+            env.heap_write_u64s(buf, &[111]);
+            env.send(buf, 1, dt, 1, 7, world);
+            env.heap_write_u64s(buf, &[222]);
+            env.send(buf, 1, dt, 1, 7, dup);
+        } else {
+            env.recv(buf, 1, dt, 0, 7, dup);
+            assert_eq!(env.heap_read_u64s(buf, 1)[0], 222);
+            env.recv(buf, 1, dt, 0, 7, world);
+            assert_eq!(env.heap_read_u64s(buf, 1)[0], 111);
+        }
+    });
+}
+
+#[test]
+fn comm_idup_completes_via_wait() {
+    run(3, |env| {
+        let world = env.comm_world();
+        let (newcomm, mut req) = env.comm_idup(world);
+        env.wait(&mut req);
+        assert_eq!(env.comm_size(newcomm), 3);
+        env.barrier(newcomm);
+        env.comm_free(newcomm);
+    });
+}
+
+#[test]
+fn comm_idup_completes_via_test_loop() {
+    run(2, |env| {
+        let world = env.comm_world();
+        let (newcomm, mut req) = env.comm_idup(world);
+        while env.test(&mut req).is_none() {}
+        env.barrier(newcomm);
+    });
+}
+
+#[test]
+fn comm_create_subset() {
+    run(4, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let wg = env.comm_group(world);
+        let sub_g = env.group_incl(wg, &[1, 3]);
+        let sub = env.comm_create(world, sub_g);
+        if me == 1 || me == 3 {
+            let sub = sub.expect("group member");
+            assert_eq!(env.comm_size(sub), 2);
+            env.barrier(sub);
+        } else {
+            assert!(sub.is_none());
+        }
+        env.group_free(sub_g);
+        env.group_free(wg);
+    });
+}
+
+#[test]
+fn intercomm_create_and_merge() {
+    run(4, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        // Split into low {0,1} and high {2,3} halves.
+        let color = (me >= 2) as i32;
+        let local = env.comm_split(world, color, me as i32).unwrap();
+        let remote_leader = if color == 0 { 2 } else { 0 };
+        let inter = env.intercomm_create(local, 0, world, remote_leader, 42);
+        // P2p across the intercomm: rank i talks to remote rank i.
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(8);
+        let peer = (me % 2) as i32;
+        env.heap_write_u64s(buf, &[me as u64]);
+        let mut sreq = env.isend(buf, 1, dt, peer, 3, inter);
+        let rbuf = env.malloc(8);
+        env.recv(rbuf, 1, dt, peer, 3, inter);
+        env.wait(&mut sreq);
+        let expected = if me >= 2 { me - 2 } else { me + 2 };
+        assert_eq!(env.heap_read_u64s(rbuf, 1)[0], expected as u64);
+        // Merge: low group first.
+        let merged = env.intercomm_merge(inter, color == 1);
+        assert_eq!(env.comm_size(merged), 4);
+        assert_eq!(env.comm_rank(merged), me, "low-first merge preserves world order here");
+        env.barrier(merged);
+    });
+}
+
+#[test]
+fn derived_datatype_vector_transfer() {
+    run(2, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let int = env.basic(BasicType::Int);
+        // Every other int out of 8.
+        let vec_t = env.type_vector(4, 1, 2, int);
+        env.type_commit(vec_t);
+        let buf = env.malloc(32);
+        if me == 0 {
+            let vals: Vec<u8> = (0..32).collect();
+            env.heap_write(buf, &vals);
+            env.send(buf, 1, vec_t, 1, 0, world);
+        } else {
+            let st = env.recv(buf, 1, vec_t, 0, 0, world);
+            assert_eq!(st.count, 16, "vector of 4 ints sends 16 bytes");
+            // Strided unpack: elements land at offsets 0, 8, 16, 24.
+            assert_eq!(env.heap_read(buf, 4), vec![0, 1, 2, 3]);
+            assert_eq!(env.heap_read(buf + 8, 4), vec![8, 9, 10, 11]);
+        }
+        env.type_free(vec_t);
+    });
+}
+
+#[test]
+fn probe_then_recv() {
+    run(2, |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(24);
+        if me == 0 {
+            env.heap_write_u64s(buf, &[1, 2, 3]);
+            env.send(buf, 3, dt, 1, 13, world);
+        } else {
+            let st = env.probe(ANY_SOURCE, ANY_TAG, world);
+            assert_eq!(st.tag, 13);
+            assert_eq!(st.count, 24);
+            env.recv(buf, 3, dt, st.source, st.tag, world);
+            assert_eq!(env.heap_read_u64s(buf, 3), vec![1, 2, 3]);
+        }
+    });
+}
+
+#[test]
+fn ibarrier_and_iallreduce() {
+    run(3, |env| {
+        let me = env.world_rank() as u64;
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let sbuf = env.malloc(8);
+        let rbuf = env.malloc(8);
+        env.heap_write_u64s(sbuf, &[me + 1]);
+        let mut r1 = env.iallreduce(sbuf, rbuf, 1, dt, ReduceOp::Prod, world);
+        let mut r2 = env.ibarrier(world);
+        env.wait(&mut r1);
+        env.wait(&mut r2);
+        assert_eq!(env.heap_read_u64s(rbuf, 1)[0], 6);
+    });
+}
+
+#[test]
+fn sendrecv_shift() {
+    run(4, |env| {
+        let me = env.world_rank();
+        let n = env.world_size();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let sbuf = env.malloc(8);
+        let rbuf = env.malloc(8);
+        env.heap_write_u64s(sbuf, &[me as u64]);
+        let right = ((me + 1) % n) as i32;
+        let left = ((me + n - 1) % n) as i32;
+        let st = env.sendrecv(sbuf, 1, dt, right, 0, rbuf, 1, dt, left, 0, world);
+        assert_eq!(st.source, left);
+        assert_eq!(env.heap_read_u64s(rbuf, 1)[0], left as u64);
+    });
+}
+
+/// A tracer that counts calls per function and checks timestamps.
+#[derive(Default)]
+struct CountingTracer {
+    calls: Vec<(FuncId, u64, u64)>,
+    allocs: usize,
+    frees: usize,
+    finalized: bool,
+}
+
+impl Tracer for CountingTracer {
+    fn on_call(&mut self, _ctx: &TraceCtx<'_>, rec: &CallRec, t0: u64, t1: u64) {
+        assert!(t1 >= t0, "exit before entry");
+        self.calls.push((rec.func, t0, t1));
+    }
+    fn on_alloc(&mut self, _addr: u64, _size: u64) {
+        self.allocs += 1;
+    }
+    fn on_free(&mut self, _addr: u64) {
+        self.frees += 1;
+    }
+    fn on_finalize(&mut self, _ctx: &TraceCtx<'_>) {
+        self.finalized = true;
+    }
+}
+
+#[test]
+fn tracer_observes_all_calls_and_allocs() {
+    let tracers = World::run(&WorldConfig::new(2), |_| CountingTracer::default(), |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::Int);
+        let buf = env.malloc(4);
+        if me == 0 {
+            env.send(buf, 1, dt, 1, 0, world);
+        } else {
+            env.recv(buf, 1, dt, 0, 0, world);
+        }
+        env.barrier(world);
+        env.free(buf);
+    });
+    assert_eq!(tracers.len(), 2);
+    for (rank, t) in tracers.iter().enumerate() {
+        assert!(t.finalized, "finalize hook must run");
+        assert_eq!(t.allocs, 1);
+        assert_eq!(t.frees, 1);
+        let funcs: Vec<FuncId> = t.calls.iter().map(|&(f, _, _)| f).collect();
+        assert_eq!(funcs[0], FuncId::Init);
+        assert_eq!(*funcs.last().unwrap(), FuncId::Finalize);
+        assert!(funcs.contains(&FuncId::Barrier));
+        if rank == 0 {
+            assert!(funcs.contains(&FuncId::Send));
+        } else {
+            assert!(funcs.contains(&FuncId::Recv));
+        }
+        // Timestamps are non-decreasing across calls.
+        for w in t.calls.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}
+
+#[test]
+fn tool_allreduce_assigns_consistent_ids() {
+    // A tracer that mimics Pilgrim's communicator id assignment.
+    #[derive(Default)]
+    struct IdTracer {
+        ids: Vec<u64>,
+        next: u64,
+    }
+    impl Tracer for IdTracer {
+        fn on_call(&mut self, ctx: &TraceCtx<'_>, rec: &CallRec, _t0: u64, _t1: u64) {
+            if rec.func == FuncId::CommDup {
+                if let mpi_sim::Arg::Comm(new) = rec.args[1] {
+                    let id = ctx.tool_allreduce_max(new, self.next) + 1;
+                    self.next = id;
+                    self.ids.push(id);
+                }
+            }
+        }
+    }
+    let tracers = World::run(&WorldConfig::new(3), |_| IdTracer::default(), |env| {
+        let world = env.comm_world();
+        let a = env.comm_dup(world);
+        let _b = env.comm_dup(a);
+    });
+    // All ranks computed the same id sequence.
+    let first = &tracers[0].ids;
+    assert_eq!(first.len(), 2);
+    for t in &tracers[1..] {
+        assert_eq!(&t.ids, first);
+    }
+}
+
+#[test]
+fn world_scales_to_many_ranks() {
+    let counter = Arc::new(AtomicU64::new(0));
+    let c2 = counter.clone();
+    run(64, move |env| {
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let sbuf = env.malloc(8);
+        let rbuf = env.malloc(8);
+        env.heap_write_u64s(sbuf, &[1]);
+        env.allreduce(sbuf, rbuf, 1, dt, ReduceOp::Sum, world);
+        assert_eq!(env.heap_read_u64s(rbuf, 1)[0], 64);
+        c2.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(counter.load(Ordering::Relaxed), 64);
+}
+
+#[test]
+fn simulated_clock_advances_through_communication() {
+    let tracers = World::run(&WorldConfig::new(2), |_| CountingTracer::default(), |env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(800);
+        env.compute(50_000);
+        if me == 0 {
+            env.send(buf, 100, dt, 1, 0, world);
+        } else {
+            env.recv(buf, 100, dt, 0, 0, world);
+        }
+    });
+    // The receiver's recv must end after the sender's send began plus the
+    // modeled network latency.
+    let send = tracers[0].calls.iter().find(|c| c.0 == FuncId::Send).unwrap();
+    let recv = tracers[1].calls.iter().find(|c| c.0 == FuncId::Recv).unwrap();
+    assert!(recv.2 > send.1, "recv exit after send entry (causality)");
+}
+
+#[test]
+fn cart_topology_stencil() {
+    run(6, |env| {
+        let world = env.comm_world();
+        let dims = env.dims_create(6, 2);
+        assert_eq!(dims, vec![3, 2]);
+        let cart = env
+            .cart_create(world, &dims, &[false, true], false)
+            .expect("all ranks fit the grid");
+        let me = env.comm_rank(cart);
+        let coords = env.cart_coords(cart, me);
+        assert_eq!(env.cart_rank(cart, &coords), me);
+        // Shift along dim 0 (non-periodic) and dim 1 (periodic).
+        let (src0, dst0) = env.cart_shift(cart, 0, 1);
+        let (src1, dst1) = env.cart_shift(cart, 1, 1);
+        if coords[0] == 0 {
+            assert_eq!(src0, PROC_NULL);
+        }
+        assert_ne!(src1, PROC_NULL, "periodic dim always has neighbors");
+        assert_ne!(dst1, PROC_NULL);
+        // Use the shift results in a real exchange.
+        let dt = env.basic(BasicType::LongLong);
+        let sbuf = env.malloc(8);
+        let rbuf = env.malloc(8);
+        env.heap_write_u64s(sbuf, &[me as u64]);
+        env.sendrecv(sbuf, 1, dt, dst0, 0, rbuf, 1, dt, src0, 0, cart);
+        if src0 != PROC_NULL {
+            assert_eq!(env.heap_read_u64s(rbuf, 1)[0], src0 as u64);
+        }
+        env.sendrecv(sbuf, 1, dt, dst1, 1, rbuf, 1, dt, src1, 1, cart);
+        assert_eq!(env.heap_read_u64s(rbuf, 1)[0], src1 as u64);
+    });
+}
+
+#[test]
+fn cart_create_excess_ranks_get_null() {
+    run(5, |env| {
+        let world = env.comm_world();
+        // 2x2 grid on 5 ranks: rank 4 gets MPI_COMM_NULL.
+        let cart = env.cart_create(world, &[2, 2], &[false, false], false);
+        if env.world_rank() < 4 {
+            let cart = cart.expect("grid member");
+            assert_eq!(env.comm_size(cart), 4);
+            env.barrier(cart);
+        } else {
+            assert!(cart.is_none());
+        }
+    });
+}
+
+#[test]
+fn sendrecv_replace_rotates_values() {
+    run(4, |env| {
+        let me = env.world_rank();
+        let n = env.world_size();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(8);
+        env.heap_write_u64s(buf, &[me as u64 * 11]);
+        let right = ((me + 1) % n) as i32;
+        let left = ((me + n - 1) % n) as i32;
+        let st = env.sendrecv_replace(buf, 1, dt, right, 2, left, 2, world);
+        assert_eq!(st.source, left);
+        assert_eq!(env.heap_read_u64s(buf, 1)[0], left as u64 * 11);
+    });
+}

@@ -1,0 +1,216 @@
+//! Plain-data grammar snapshot: serialization, identity comparison, and
+//! expansion (decompression).
+
+use serde::{Deserialize, Serialize};
+
+use crate::symbol::{Symbol, TOP_RULE};
+
+/// One production rule: the right-hand side as `(symbol, exponent)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlatRule {
+    pub symbols: Vec<(Symbol, u64)>,
+}
+
+/// A complete grammar in plain-data form. `rules[0]` is the start rule `S`;
+/// `Symbol::Rule(i)` refers to `rules[i]`.
+///
+/// Two grammars are *identical* (the paper's fast `memcmp` check before an
+/// inter-process merge) iff their [`FlatGrammar::to_ints`] arrays are equal,
+/// which `PartialEq` implements structurally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FlatGrammar {
+    pub rules: Vec<FlatRule>,
+}
+
+impl FlatGrammar {
+    /// An empty grammar generating the empty sequence.
+    pub fn empty() -> Self {
+        FlatGrammar {
+            rules: vec![FlatRule { symbols: Vec::new() }],
+        }
+    }
+
+    /// Number of rules, including the start rule.
+    #[inline]
+    pub fn num_rules(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Total number of RHS symbol slots across all rules.
+    pub fn total_symbols(&self) -> usize {
+        self.rules.iter().map(|r| r.symbols.len()).sum()
+    }
+
+    /// The grammar as a flat array of integers — the internal storage format
+    /// the paper uses so that grammar identity can be tested with a single
+    /// memory comparison.
+    pub fn to_ints(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(1 + self.total_symbols() * 2 + self.rules.len());
+        out.push(self.rules.len() as u64);
+        for rule in &self.rules {
+            out.push(rule.symbols.len() as u64);
+            for &(sym, exp) in &rule.symbols {
+                out.push(sym.to_int());
+                out.push(exp);
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a grammar from its integer-array form.
+    pub fn from_ints(ints: &[u64]) -> Option<Self> {
+        let mut it = ints.iter().copied();
+        let nrules = it.next()? as usize;
+        let mut rules = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let len = it.next()? as usize;
+            let mut symbols = Vec::with_capacity(len);
+            for _ in 0..len {
+                let sym = Symbol::from_int(it.next()?);
+                let exp = it.next()?;
+                symbols.push((sym, exp));
+            }
+            rules.push(FlatRule { symbols });
+        }
+        Some(FlatGrammar { rules })
+    }
+
+    /// Serializes the grammar with LEB128 varints; this is the on-disk form
+    /// whose length the trace-size experiments measure.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        for v in self.to_ints() {
+            write_varint(out, v);
+        }
+    }
+
+    /// Serialized size in bytes without materializing the buffer.
+    pub fn byte_size(&self) -> usize {
+        self.to_ints().iter().map(|&v| varint_len(v)).sum()
+    }
+
+    /// Deserializes a grammar previously written by [`FlatGrammar::serialize`].
+    /// Returns the grammar and the number of bytes consumed.
+    pub fn deserialize(buf: &[u8]) -> Option<(Self, usize)> {
+        let mut pos = 0;
+        let nrules = read_varint(buf, &mut pos)? as usize;
+        let mut rules = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            let len = read_varint(buf, &mut pos)? as usize;
+            let mut symbols = Vec::with_capacity(len);
+            for _ in 0..len {
+                let sym = Symbol::from_int(read_varint(buf, &mut pos)?);
+                let exp = read_varint(buf, &mut pos)?;
+                symbols.push((sym, exp));
+            }
+            rules.push(FlatRule { symbols });
+        }
+        Some((FlatGrammar { rules }, pos))
+    }
+
+    /// Length of the generated terminal sequence, without expanding it.
+    pub fn expanded_len(&self) -> u64 {
+        let mut memo: Vec<Option<u64>> = vec![None; self.rules.len()];
+        self.rule_len(TOP_RULE as usize, &mut memo)
+    }
+
+    fn rule_len(&self, rid: usize, memo: &mut Vec<Option<u64>>) -> u64 {
+        if let Some(len) = memo[rid] {
+            return len;
+        }
+        // Acyclic by construction, so plain recursion terminates.
+        let mut total = 0u64;
+        for &(sym, exp) in &self.rules[rid].symbols {
+            let unit = match sym {
+                Symbol::Terminal(_) => 1,
+                Symbol::Rule(r) => self.rule_len(r as usize, memo),
+            };
+            total += unit * exp;
+        }
+        memo[rid] = Some(total);
+        total
+    }
+
+    /// Fully expands the grammar back into the original terminal sequence.
+    pub fn expand(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.expanded_len() as usize);
+        self.expand_rule(TOP_RULE as usize, &mut out);
+        out
+    }
+
+    /// Streams the expansion of the grammar through a callback, terminal by
+    /// terminal with run lengths, without materializing the sequence.
+    pub fn expand_runs(&self, f: &mut impl FnMut(u32, u64)) {
+        self.expand_rule_runs(TOP_RULE as usize, 1, f);
+    }
+
+    fn expand_rule(&self, rid: usize, out: &mut Vec<u32>) {
+        for &(sym, exp) in &self.rules[rid].symbols {
+            for _ in 0..exp {
+                match sym {
+                    Symbol::Terminal(t) => out.push(t),
+                    Symbol::Rule(r) => self.expand_rule(r as usize, out),
+                }
+            }
+        }
+    }
+
+    fn expand_rule_runs(&self, rid: usize, mult: u64, f: &mut impl FnMut(u32, u64)) {
+        for &(sym, exp) in &self.rules[rid].symbols {
+            match sym {
+                // Runs repeated by an enclosing rule with a single-symbol
+                // body multiply through; otherwise replay per repetition.
+                Symbol::Terminal(t) => f(t, exp * mult),
+                Symbol::Rule(r) => {
+                    let body = &self.rules[r as usize].symbols;
+                    if body.len() == 1 {
+                        self.expand_rule_runs(r as usize, mult * exp, f);
+                    } else {
+                        for _ in 0..exp * mult {
+                            self.expand_rule_runs(r as usize, 1, f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// LEB128 unsigned varint encoding.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes [`write_varint`] produces for `v`.
+pub fn varint_len(v: u64) -> usize {
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+/// LEB128 unsigned varint decoding; advances `pos`.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Grammar symbols: terminals and rule (non-terminal) references.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of the start rule `S` of every grammar.
+pub const TOP_RULE: u32 = 0;
+
+/// A grammar symbol: either a terminal drawn from the input alphabet or a
+/// reference to another production rule (a non-terminal).
+///
+/// Terminals are plain `u32`s; in Pilgrim each terminal is the index of a
+/// call signature in the call signature table (CST).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Symbol {
+    /// A terminal symbol from the input alphabet.
+    Terminal(u32),
+    /// A reference to the rule with the given id.
+    Rule(u32),
+}
+
+impl Symbol {
+    /// Returns `true` if this symbol references a rule.
+    #[inline]
+    pub fn is_rule(self) -> bool {
+        matches!(self, Symbol::Rule(_))
+    }
+
+    /// Returns the referenced rule id, if any.
+    #[inline]
+    pub fn rule_id(self) -> Option<u32> {
+        match self {
+            Symbol::Rule(r) => Some(r),
+            Symbol::Terminal(_) => None,
+        }
+    }
+
+    /// Packs the symbol into a single integer for the integer-array grammar
+    /// encoding: terminals map to even values, rule references to odd ones.
+    #[inline]
+    pub fn to_int(self) -> u64 {
+        match self {
+            Symbol::Terminal(t) => (t as u64) << 1,
+            Symbol::Rule(r) => ((r as u64) << 1) | 1,
+        }
+    }
+
+    /// Inverse of [`Symbol::to_int`].
+    #[inline]
+    pub fn from_int(v: u64) -> Symbol {
+        if v & 1 == 0 {
+            Symbol::Terminal((v >> 1) as u32)
+        } else {
+            Symbol::Rule((v >> 1) as u32)
+        }
+    }
+}

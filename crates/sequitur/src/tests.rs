@@ -1,0 +1,319 @@
+//! Unit tests for Sequitur construction, invariants, and flat-form codecs.
+
+use crate::flat::{read_varint, varint_len, write_varint};
+use crate::{compress_runs, FlatGrammar, FlatRule, Grammar, Symbol};
+
+fn build(seq: &[u32]) -> Grammar {
+    let mut g = Grammar::new();
+    for &t in seq {
+        g.push(t);
+    }
+    g.validate();
+    g
+}
+
+fn roundtrip(seq: &[u32]) -> Grammar {
+    let g = build(seq);
+    let flat = g.to_flat();
+    assert_eq!(flat.expand(), seq, "expansion mismatch for {seq:?}");
+    assert_eq!(flat.expanded_len(), seq.len() as u64);
+    g
+}
+
+#[test]
+fn empty_grammar() {
+    let g = Grammar::new();
+    let flat = g.to_flat();
+    assert_eq!(flat.expand(), Vec::<u32>::new());
+    assert_eq!(flat.expanded_len(), 0);
+    assert_eq!(g.num_rules(), 1);
+}
+
+#[test]
+fn single_symbol() {
+    roundtrip(&[42]);
+}
+
+#[test]
+fn two_distinct_symbols() {
+    roundtrip(&[1, 2]);
+}
+
+#[test]
+fn run_of_identical_symbols_is_constant_space() {
+    let seq: Vec<u32> = std::iter::repeat_n(7, 100_000).collect();
+    let g = roundtrip(&seq);
+    assert_eq!(g.num_rules(), 1, "a^n must stay in the top rule");
+    assert_eq!(g.num_symbols(), 1, "a^n must be one counted node");
+}
+
+#[test]
+fn classic_sequitur_example() {
+    // "abcdbcabcd" from the Sequitur literature.
+    let seq: Vec<u32> = "abcdbcabcd".bytes().map(u32::from).collect();
+    roundtrip(&seq);
+}
+
+#[test]
+fn repeated_loop_body_is_constant_space() {
+    // N identical iterations of (a b c) compress to O(1) with counts.
+    let mut seq = Vec::new();
+    for _ in 0..10_000 {
+        seq.extend_from_slice(&[1, 2, 3]);
+    }
+    let g = roundtrip(&seq);
+    assert!(
+        g.num_symbols() <= 6,
+        "loop body should compress to a counted rule, got {} symbols",
+        g.num_symbols()
+    );
+}
+
+#[test]
+fn nested_loops_compress() {
+    // (a b (c d)*3 )*500
+    let mut seq = Vec::new();
+    for _ in 0..500 {
+        seq.extend_from_slice(&[1, 2]);
+        for _ in 0..3 {
+            seq.extend_from_slice(&[3, 4]);
+        }
+    }
+    let g = roundtrip(&seq);
+    assert!(g.num_symbols() <= 12, "got {} symbols", g.num_symbols());
+}
+
+#[test]
+fn push_run_matches_individual_pushes() {
+    let mut a = Grammar::new();
+    for _ in 0..37 {
+        a.push(5);
+    }
+    a.push(9);
+    let mut b = Grammar::new();
+    b.push_run(5, 37);
+    b.push_run(9, 1);
+    // Construction order may yield different grammars; expansions agree.
+    assert_eq!(a.to_flat().expand(), b.to_flat().expand());
+}
+
+#[test]
+fn push_run_zero_is_noop() {
+    let mut g = Grammar::new();
+    g.push_run(3, 0);
+    assert_eq!(g.to_flat().expanded_len(), 0);
+}
+
+#[test]
+fn input_len_tracks_terminals() {
+    let mut g = Grammar::new();
+    g.push_run(1, 10);
+    g.push(2);
+    assert_eq!(g.input_len(), 11);
+}
+
+#[test]
+fn alternating_symbols() {
+    let seq: Vec<u32> = (0..2000).map(|i| i % 2).collect();
+    let g = roundtrip(&seq);
+    // (ab)^1000 should become a counted rule: tiny grammar.
+    assert!(g.num_symbols() <= 4, "got {} symbols", g.num_symbols());
+}
+
+#[test]
+fn random_sequence_roundtrips() {
+    // Deterministic LCG so the test is reproducible.
+    let mut state = 0x12345678u64;
+    let mut seq = Vec::with_capacity(5000);
+    for _ in 0..5000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seq.push(((state >> 33) % 16) as u32);
+    }
+    roundtrip(&seq);
+}
+
+#[test]
+fn random_small_alphabet_roundtrips() {
+    let mut state = 0xdeadbeefu64;
+    let mut seq = Vec::with_capacity(3000);
+    for _ in 0..3000 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seq.push(((state >> 33) % 3) as u32);
+    }
+    roundtrip(&seq);
+}
+
+#[test]
+fn worst_case_distinct_symbols_linear() {
+    let seq: Vec<u32> = (0..1000).collect();
+    let g = roundtrip(&seq);
+    assert_eq!(g.num_rules(), 1);
+    assert_eq!(g.num_symbols(), 1000);
+}
+
+#[test]
+fn doubling_pattern() {
+    // a^(2^k) style growth exercised through repeated doubling of a phrase.
+    let mut seq = vec![1, 2];
+    for _ in 0..8 {
+        let copy = seq.clone();
+        seq.extend(copy);
+    }
+    let g = roundtrip(&seq);
+    assert!(g.num_symbols() <= 8, "got {} symbols", g.num_symbols());
+}
+
+#[test]
+fn rule_utility_inlines_single_use_rules() {
+    // After compression no rule (except counted survivors) may be used once
+    // with exponent one; validate() checks refcounts, here we check overall
+    // structure stays small and correct on a pattern known to trigger
+    // rule creation + deletion churn.
+    let seq: Vec<u32> = "abcdbcabcdbcabcd".bytes().map(u32::from).collect();
+    roundtrip(&seq);
+}
+
+#[test]
+fn flat_serialize_roundtrip() {
+    let seq: Vec<u32> = "the quick brown fox the quick brown fox jumps"
+        .bytes()
+        .map(u32::from)
+        .collect();
+    let flat = build(&seq).to_flat();
+    let mut buf = Vec::new();
+    flat.serialize(&mut buf);
+    assert_eq!(buf.len(), flat.byte_size());
+    let (back, used) = FlatGrammar::deserialize(&buf).unwrap();
+    assert_eq!(used, buf.len());
+    assert_eq!(back, flat);
+    assert_eq!(back.expand(), seq);
+}
+
+#[test]
+fn flat_int_array_roundtrip() {
+    let seq: Vec<u32> = (0..100).map(|i| i % 7).collect();
+    let flat = build(&seq).to_flat();
+    let ints = flat.to_ints();
+    let back = FlatGrammar::from_ints(&ints).unwrap();
+    assert_eq!(back, flat);
+}
+
+#[test]
+fn identical_grammars_compare_equal() {
+    let a = build(&[1, 2, 3, 1, 2, 3, 1, 2, 3]).to_flat();
+    let b = build(&[1, 2, 3, 1, 2, 3, 1, 2, 3]).to_flat();
+    let c = build(&[1, 2, 3, 1, 2, 4, 1, 2, 3]).to_flat();
+    assert_eq!(a, b);
+    assert_ne!(a, c);
+    assert_eq!(a.to_ints(), b.to_ints());
+}
+
+#[test]
+fn expand_runs_streams_correct_counts() {
+    let mut seq = Vec::new();
+    for _ in 0..50 {
+        seq.extend_from_slice(&[4, 4, 4, 9]);
+    }
+    let flat = build(&seq).to_flat();
+    let mut rebuilt = Vec::new();
+    flat.expand_runs(&mut |t, n| {
+        for _ in 0..n {
+            rebuilt.push(t);
+        }
+    });
+    assert_eq!(rebuilt, seq);
+}
+
+#[test]
+fn compress_runs_roundtrips() {
+    let runs = [(1u32, 5u64), (2, 1), (1, 5), (2, 1), (1, 5), (2, 1)];
+    let flat = compress_runs(&runs);
+    let mut rebuilt = Vec::new();
+    flat.expand_runs(&mut |t, n| rebuilt.push((t, n)));
+    let total: u64 = runs.iter().map(|&(_, n)| n).sum();
+    assert_eq!(flat.expanded_len(), total);
+    let flatten = |rs: &[(u32, u64)]| -> Vec<u32> {
+        rs.iter()
+            .flat_map(|&(t, n)| std::iter::repeat_n(t, n as usize))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(flatten(&rebuilt), flatten(&runs));
+}
+
+#[test]
+fn varint_roundtrip_edges() {
+    for v in [0u64, 1, 127, 128, 129, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, v);
+        assert_eq!(buf.len(), varint_len(v), "len mismatch for {v}");
+        let mut pos = 0;
+        assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        assert_eq!(pos, buf.len());
+    }
+}
+
+#[test]
+fn varint_rejects_truncated_input() {
+    let mut buf = Vec::new();
+    write_varint(&mut buf, u64::MAX);
+    buf.pop();
+    let mut pos = 0;
+    assert_eq!(read_varint(&buf, &mut pos), None);
+}
+
+#[test]
+fn deserialize_rejects_garbage() {
+    assert!(FlatGrammar::deserialize(&[]).is_none());
+}
+
+#[test]
+fn empty_flat_grammar() {
+    let e = FlatGrammar::empty();
+    assert_eq!(e.expand(), Vec::<u32>::new());
+    assert_eq!(e.expanded_len(), 0);
+    let mut buf = Vec::new();
+    e.serialize(&mut buf);
+    let (back, _) = FlatGrammar::deserialize(&buf).unwrap();
+    assert_eq!(back, e);
+}
+
+#[test]
+fn symbol_int_encoding_roundtrip() {
+    for s in [
+        Symbol::Terminal(0),
+        Symbol::Terminal(u32::MAX),
+        Symbol::Rule(0),
+        Symbol::Rule(12345),
+    ] {
+        assert_eq!(Symbol::from_int(s.to_int()), s);
+    }
+}
+
+#[test]
+fn flat_rule_access() {
+    let flat = build(&[1, 2, 1, 2, 1, 2, 1, 2]).to_flat();
+    assert!(flat.num_rules() >= 1);
+    assert!(flat.total_symbols() >= 1);
+    // Rule 0 must be the start rule generating the whole input.
+    assert_eq!(flat.expanded_len(), 8);
+    let _ = FlatRule { symbols: vec![(Symbol::Terminal(1), 2)] };
+}
+
+#[test]
+fn long_mixed_workload_like_sequence() {
+    // Simulates an MPI-ish trace: setup prefix, many loop iterations with a
+    // nondeterministic tail call, teardown suffix.
+    let mut state = 99u64;
+    let mut seq = vec![100, 101, 102];
+    for _ in 0..2000 {
+        seq.extend_from_slice(&[1, 2, 3, 4]);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        if (state >> 40).is_multiple_of(10) {
+            seq.push(5); // occasional extra Test call
+        }
+    }
+    seq.extend_from_slice(&[103, 104]);
+    let g = roundtrip(&seq);
+    // Far smaller than the input even with irregularities.
+    assert!(g.num_symbols() < seq.len() / 10);
+}

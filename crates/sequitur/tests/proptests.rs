@@ -1,0 +1,99 @@
+//! Property-based tests: for any input sequence, the grammar must expand to
+//! exactly that sequence, satisfy its structural invariants, and survive
+//! serialization.
+
+use pilgrim_sequitur::{FlatGrammar, Grammar};
+use proptest::prelude::*;
+
+fn build_validated(seq: &[u32]) -> FlatGrammar {
+    let mut g = Grammar::new();
+    for &t in seq {
+        g.push(t);
+    }
+    g.validate();
+    g.to_flat()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn expand_is_inverse_of_build(seq in proptest::collection::vec(0u32..8, 0..400)) {
+        let flat = build_validated(&seq);
+        prop_assert_eq!(flat.expand(), seq);
+    }
+
+    #[test]
+    fn expand_is_inverse_large_alphabet(seq in proptest::collection::vec(0u32..1000, 0..300)) {
+        let flat = build_validated(&seq);
+        prop_assert_eq!(flat.expand(), seq);
+    }
+
+    #[test]
+    fn repetitive_input_roundtrips(
+        body in proptest::collection::vec(0u32..5, 1..6),
+        reps in 1usize..50,
+        noise in proptest::collection::vec(0u32..5, 0..5),
+    ) {
+        let mut seq = Vec::new();
+        for _ in 0..reps {
+            seq.extend_from_slice(&body);
+        }
+        seq.extend_from_slice(&noise);
+        for _ in 0..reps {
+            seq.extend_from_slice(&body);
+        }
+        let flat = build_validated(&seq);
+        prop_assert_eq!(flat.expand(), seq);
+    }
+
+    #[test]
+    fn serialization_roundtrips(seq in proptest::collection::vec(0u32..16, 0..200)) {
+        let flat = build_validated(&seq);
+        let mut buf = Vec::new();
+        flat.serialize(&mut buf);
+        prop_assert_eq!(buf.len(), flat.byte_size());
+        let (back, used) = FlatGrammar::deserialize(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back, flat);
+    }
+
+    #[test]
+    fn push_run_equivalent_to_pushes(runs in proptest::collection::vec((0u32..4, 1u64..20), 0..40)) {
+        // Run-grouped and one-at-a-time construction may produce different
+        // (but equally valid) grammars, because digram keys include
+        // exponents; only the expansions must agree.
+        let mut a = Grammar::new();
+        let mut b = Grammar::new();
+        for &(t, n) in &runs {
+            a.push_run(t, n);
+            for _ in 0..n {
+                b.push(t);
+            }
+        }
+        a.validate();
+        b.validate();
+        prop_assert_eq!(a.to_flat().expand(), b.to_flat().expand());
+    }
+
+    #[test]
+    fn grammar_size_never_exceeds_input(seq in proptest::collection::vec(0u32..6, 1..300)) {
+        let mut g = Grammar::new();
+        for &t in &seq {
+            g.push(t);
+        }
+        // Each symbol node encodes at least one input position; digram
+        // uniqueness guarantees we never store more nodes than inputs.
+        prop_assert!(g.num_symbols() <= seq.len());
+    }
+
+    #[test]
+    fn expanded_len_matches_input_len(seq in proptest::collection::vec(0u32..4, 0..250)) {
+        let mut g = Grammar::new();
+        for &t in &seq {
+            g.push(t);
+        }
+        prop_assert_eq!(g.input_len(), seq.len() as u64);
+        prop_assert_eq!(g.to_flat().expanded_len(), seq.len() as u64);
+    }
+}

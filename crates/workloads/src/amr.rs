@@ -1,0 +1,239 @@
+//! A PARAMESH-like adaptive-mesh-refinement substrate (paper §4.3).
+//!
+//! FLASH's Cellular simulation uses PARAMESH: the compute domain is a
+//! hierarchy of sub-grid blocks kept in Morton order; refinement adds
+//! child blocks, after which blocks are re-partitioned contiguously over
+//! ranks for load balance and moved with point-to-point messages. The
+//! communication pattern therefore *changes at every refinement*, which
+//! is exactly why Cellular's trace keeps growing with iterations (Fig 6e)
+//! while static codes stay flat.
+//!
+//! The tree is evolved identically (deterministically) on every rank, so
+//! no metadata exchange is needed — only the data movement, which is what
+//! the tracer observes.
+
+/// Maximum refinement depth.
+pub const MAX_LEVEL: u32 = 6;
+
+/// A block: Morton key plus refinement level. A block at level `l` covers
+/// the key range `[key, key + span(l))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Block {
+    pub key: u64,
+    pub level: u32,
+}
+
+/// `(from_rank, to_rank)` data movements caused by a refinement.
+pub type Moves = Vec<(usize, usize)>;
+
+/// Key-space span of a block at `level`.
+pub fn span(level: u32) -> u64 {
+    8u64.pow(MAX_LEVEL - level)
+}
+
+/// The replicated block tree.
+#[derive(Debug, Clone)]
+pub struct BlockTree {
+    pub blocks: Vec<Block>,
+    nranks: usize,
+}
+
+impl BlockTree {
+    /// A uniform level-1 grid of eight root children.
+    pub fn new(nranks: usize) -> Self {
+        let blocks = (0..8)
+            .map(|i| Block { key: i * span(1), level: 1 })
+            .collect();
+        BlockTree { blocks, nranks }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Owner of block index `i`: contiguous Morton-order partition.
+    pub fn owner(&self, i: usize) -> usize {
+        i * self.nranks / self.blocks.len()
+    }
+
+    /// Block indices owned by `rank`.
+    pub fn local_range(&self, rank: usize) -> std::ops::Range<usize> {
+        let n = self.blocks.len();
+        let lo = (rank * n).div_ceil(self.nranks);
+        let hi = ((rank + 1) * n).div_ceil(self.nranks);
+        lo..hi.min(n)
+    }
+
+    /// Deterministically refines ~`permille`/1000 of the blocks (seeded by
+    /// `round`), keeping Morton order. Returns `(moves, new_children)`:
+    /// `moves` are `(old_owner, new_owner)` pairs for surviving blocks that
+    /// changed rank; `new_children` are `(parent_owner, child_owner)` pairs
+    /// for created blocks.
+    pub fn refine(&mut self, round: u64, permille: u64) -> (Moves, Moves) {
+        let old = self.clone();
+        let mut new_blocks = Vec::with_capacity(self.blocks.len() + 8);
+        let mut children_of: Vec<(Block, usize)> = Vec::new(); // (child, old parent idx)
+        for (i, b) in self.blocks.iter().enumerate() {
+            let h = hash2(b.key, round);
+            if b.level < MAX_LEVEL && h % 1000 < permille {
+                for c in 0..8u64 {
+                    let child = Block {
+                        key: b.key + c * span(b.level + 1),
+                        level: b.level + 1,
+                    };
+                    new_blocks.push(child);
+                    children_of.push((child, i));
+                }
+            } else {
+                new_blocks.push(*b);
+            }
+        }
+        self.blocks = new_blocks;
+        // Surviving blocks that changed owners.
+        let mut moves = Vec::new();
+        let mut new_idx = 0usize;
+        for (old_idx, b) in old.blocks.iter().enumerate() {
+            while new_idx < self.blocks.len() && self.blocks[new_idx].key < b.key {
+                new_idx += 1;
+            }
+            if new_idx < self.blocks.len()
+                && self.blocks[new_idx] == *b
+            {
+                let from = old.owner(old_idx);
+                let to = self.owner(new_idx);
+                if from != to {
+                    moves.push((from, to));
+                }
+            }
+        }
+        // New children: parent's old owner sends initial data to the
+        // child's new owner.
+        let mut child_moves = Vec::new();
+        for (child, parent_idx) in children_of {
+            let from = old.owner(parent_idx);
+            let to = self
+                .blocks
+                .binary_search_by_key(&(child.key, child.level), |b| (b.key, b.level))
+                .map(|i| self.owner(i))
+                .expect("child present");
+            if from != to {
+                child_moves.push((from, to));
+            }
+        }
+        (moves, child_moves)
+    }
+
+    /// Ranks adjacent to `rank` in Morton order (halo-exchange partners).
+    pub fn halo_partners(&self, rank: usize) -> Vec<usize> {
+        let range = self.local_range(rank);
+        let mut partners = Vec::new();
+        if range.is_empty() {
+            return partners;
+        }
+        if range.start > 0 {
+            let p = self.owner(range.start - 1);
+            if p != rank {
+                partners.push(p);
+            }
+        }
+        if range.end < self.blocks.len() {
+            let p = self.owner(range.end);
+            if p != rank {
+                partners.push(p);
+            }
+        }
+        partners.dedup();
+        partners
+    }
+}
+
+/// Deterministic 2-word hash (splitmix-style).
+fn hash2(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E3779B97F4A7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_tree_is_uniform() {
+        let t = BlockTree::new(4);
+        assert_eq!(t.len(), 8);
+        assert!(t.blocks.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn owners_partition_contiguously() {
+        let t = BlockTree::new(3);
+        let owners: Vec<usize> = (0..t.len()).map(|i| t.owner(i)).collect();
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(owners[0], 0);
+        assert_eq!(*owners.last().unwrap(), 2);
+        // local_range agrees with owner().
+        for r in 0..3 {
+            for i in t.local_range(r) {
+                assert_eq!(t.owner(i), r);
+            }
+        }
+    }
+
+    #[test]
+    fn refinement_keeps_morton_order_and_grows() {
+        let mut t = BlockTree::new(4);
+        let before = t.len();
+        for round in 0..10 {
+            t.refine(round, 300);
+            assert!(t.blocks.windows(2).all(|w| w[0].key < w[1].key), "order violated");
+        }
+        assert!(t.len() > before, "refinement must add blocks");
+        assert!(t.blocks.iter().all(|b| b.level <= MAX_LEVEL));
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let mut a = BlockTree::new(4);
+        let mut b = BlockTree::new(4);
+        for round in 0..5 {
+            let ma = a.refine(round, 250);
+            let mb = b.refine(round, 250);
+            assert_eq!(ma, mb);
+        }
+        assert_eq!(a.blocks, b.blocks);
+    }
+
+    #[test]
+    fn moves_are_cross_rank_only() {
+        let mut t = BlockTree::new(4);
+        let (moves, children) = t.refine(1, 500);
+        for (from, to) in moves.iter().chain(&children) {
+            assert_ne!(from, to);
+            assert!(*from < 4 && *to < 4);
+        }
+    }
+
+    #[test]
+    fn halo_partners_are_neighbors() {
+        let t = BlockTree::new(4);
+        assert_eq!(t.halo_partners(0), vec![1]);
+        let mid = t.halo_partners(1);
+        assert!(mid.contains(&0) && mid.contains(&2));
+        assert_eq!(t.halo_partners(3), vec![2]);
+    }
+
+    #[test]
+    fn single_rank_has_no_partners() {
+        let t = BlockTree::new(1);
+        assert!(t.halo_partners(0).is_empty());
+    }
+}

@@ -1,0 +1,134 @@
+//! FLASH simulation proxies (paper §4.3, Fig 6–8).
+//!
+//! Three regimes, matching the paper's observations:
+//!
+//! * **StirTurb** (AMR disabled): a fully static halo-exchange pattern —
+//!   the trace stops growing immediately (4 KB at any scale in the paper).
+//! * **Sedov** (AMR disabled): static halos plus an output probe where
+//!   rank 0 learns the owner of the minimum time step; that owner drifts
+//!   every ~100 iterations, adding a new receive signature each time — the
+//!   trace grows slowly with iterations.
+//! * **Cellular** (AMR enabled): PARAMESH refinement every few steps
+//!   changes the point-to-point pattern, so the trace grows steadily with
+//!   iterations and rank count.
+
+use mpi_sim::datatype::BasicType;
+use mpi_sim::types::ReduceOp;
+use mpi_sim::{Env, PROC_NULL};
+
+use crate::amr::BlockTree;
+use crate::grid::{dims_create, neighbor};
+
+/// Static 3D halo exchange shared by the non-AMR proxies.
+fn static_halo(env: &mut Env, dims: &[usize], bufs: &(Vec<u64>, Vec<u64>), count: u64, periodic: bool) {
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::Double);
+    let mut reqs = Vec::with_capacity(12);
+    let mut slot = 0;
+    for dim in 0..3 {
+        for dir in [-1i64, 1] {
+            let peer = neighbor(me, dims, dim, dir, periodic).map_or(PROC_NULL, |r| r as i32);
+            reqs.push(env.irecv(bufs.1[slot], count, dt, peer, dim as i32, world));
+            reqs.push(env.isend(bufs.0[slot], count, dt, peer, dim as i32, world));
+            slot += 1;
+        }
+    }
+    env.waitall(&mut reqs);
+}
+
+fn halo_buffers(env: &mut Env, count: u64) -> (Vec<u64>, Vec<u64>) {
+    let s = (0..6).map(|_| env.malloc(count * 8)).collect();
+    let r = (0..6).map(|_| env.malloc(count * 8)).collect();
+    (s, r)
+}
+
+/// Sedov blast wave, AMR disabled.
+pub fn sedov(env: &mut Env, iters: usize) {
+    let n = env.world_size();
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dims = dims_create(n, 3);
+    let dt64 = env.basic(BasicType::Double);
+    let pair = env.basic(BasicType::LongLong);
+    let bufs = halo_buffers(env, 16);
+    let dtbuf = env.malloc(16);
+    let minloc = env.malloc(16);
+    for it in 0..iters {
+        env.compute(30_000);
+        // Hydro sweep halo exchanges (two per step: flux + guard cells).
+        static_halo(env, &dims, &bufs, 16, false);
+        static_halo(env, &dims, &bufs, 16, false);
+        // Global dt: MINLOC allreduce of (dt, rank).
+        env.allreduce(dtbuf, minloc, 2, pair, ReduceOp::MinLoc, world);
+        // Output: rank 0 asks the dt owner for the datum; the owner drifts
+        // every ~100 iterations (paper: "the source of that datum changes
+        // every few hundred iterations").
+        let owner = ((it / 100) * 7 + 3) % n;
+        if owner != 0 {
+            if me == owner {
+                env.send(dtbuf, 1, dt64, 0, 99, world);
+            } else if me == 0 {
+                env.recv(dtbuf, 1, dt64, owner as i32, 99, world);
+            }
+        }
+    }
+}
+
+/// Cellular detonation, AMR enabled (PARAMESH proxy).
+pub fn cellular(env: &mut Env, iters: usize) {
+    let n = env.world_size();
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dt64 = env.basic(BasicType::Double);
+    let pair = env.basic(BasicType::LongLong);
+    let mut tree = BlockTree::new(n);
+    let block_buf = env.malloc(64 * 8);
+    let halo_buf = env.malloc(16 * 8);
+    let dtbuf = env.malloc(16);
+    let refine_every = 10usize;
+    for it in 0..iters {
+        env.compute(25_000);
+        // Guard-cell fill: exchange with Morton-adjacent owners.
+        let partners = tree.halo_partners(me);
+        let mut reqs = Vec::with_capacity(partners.len() * 2);
+        for &p in &partners {
+            reqs.push(env.irecv(halo_buf, 16, dt64, p as i32, 5, world));
+            reqs.push(env.isend(halo_buf, 16, dt64, p as i32, 5, world));
+        }
+        env.waitall(&mut reqs);
+        env.allreduce(dtbuf, dtbuf, 2, pair, ReduceOp::MinLoc, world);
+        // Refinement + Morton re-balance every few steps.
+        if it % refine_every == refine_every - 1 {
+            let (moves, children) = tree.refine(it as u64, 120);
+            let mut reqs = Vec::new();
+            for &(from, to) in moves.iter().chain(&children) {
+                if from == me {
+                    reqs.push(env.isend(block_buf, 64, dt64, to as i32, 6, world));
+                }
+                if to == me {
+                    reqs.push(env.irecv(block_buf, 64, dt64, from as i32, 6, world));
+                }
+            }
+            env.waitall(&mut reqs);
+            env.barrier(world);
+        }
+    }
+}
+
+/// Stirred turbulence, AMR disabled: fully static pattern.
+pub fn stirturb(env: &mut Env, iters: usize) {
+    let n = env.world_size();
+    let world = env.comm_world();
+    let dims = dims_create(n, 3);
+    let dt64 = env.basic(BasicType::Double);
+    let bufs = halo_buffers(env, 16);
+    let scratch = env.malloc(16);
+    for _ in 0..iters {
+        env.compute(35_000);
+        static_halo(env, &dims, &bufs, 16, true);
+        // Forcing-term reduction and dt reduction.
+        env.allreduce(scratch, scratch, 2, dt64, ReduceOp::Sum, world);
+        env.allreduce(scratch, scratch, 1, dt64, ReduceOp::Min, world);
+    }
+}

@@ -1,0 +1,137 @@
+//! Process-grid helpers (the `MPI_Dims_create` role): factor a rank count
+//! into near-cubic process meshes and map ranks to coordinates.
+
+/// Factors `n` into `d` dimensions, as balanced as possible
+/// (largest factors first, like `MPI_Dims_create`).
+pub fn dims_create(n: usize, d: usize) -> Vec<usize> {
+    assert!(d >= 1 && n >= 1);
+    let mut dims = vec![1usize; d];
+    let mut rem = n;
+    // Repeatedly peel the smallest prime factor onto the smallest dim.
+    let mut factors = Vec::new();
+    let mut f = 2;
+    while f * f <= rem {
+        while rem.is_multiple_of(f) {
+            factors.push(f);
+            rem /= f;
+        }
+        f += 1;
+    }
+    if rem > 1 {
+        factors.push(rem);
+    }
+    // Assign large factors first to the currently smallest dimension.
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let i = (0..d).min_by_key(|&i| dims[i]).expect("d >= 1");
+        dims[i] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+/// Rank -> coordinates in a row-major mesh.
+pub fn coords(rank: usize, dims: &[usize]) -> Vec<usize> {
+    let mut c = vec![0; dims.len()];
+    let mut r = rank;
+    for i in (0..dims.len()).rev() {
+        c[i] = r % dims[i];
+        r /= dims[i];
+    }
+    c
+}
+
+/// Coordinates -> rank in a row-major mesh.
+pub fn rank_of(c: &[usize], dims: &[usize]) -> usize {
+    let mut r = 0;
+    for i in 0..dims.len() {
+        r = r * dims[i] + c[i];
+    }
+    r
+}
+
+/// Neighbor along `dim` in direction `dir` (+1/-1). Returns `None` at a
+/// non-periodic boundary; wraps when `periodic`.
+pub fn neighbor(rank: usize, dims: &[usize], dim: usize, dir: i64, periodic: bool) -> Option<usize> {
+    let mut c = coords(rank, dims);
+    let extent = dims[dim] as i64;
+    let pos = c[dim] as i64 + dir;
+    if periodic {
+        c[dim] = ((pos % extent + extent) % extent) as usize;
+        Some(rank_of(&c, dims))
+    } else if (0..extent).contains(&pos) {
+        c[dim] = pos as usize;
+        Some(rank_of(&c, dims))
+    } else {
+        None
+    }
+}
+
+/// Largest integer square root.
+pub fn isqrt(n: usize) -> usize {
+    let mut r = (n as f64).sqrt() as usize;
+    while (r + 1) * (r + 1) <= n {
+        r += 1;
+    }
+    while r * r > n {
+        r -= 1;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_create_balances() {
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(8, 3), vec![2, 2, 2]);
+        assert_eq!(dims_create(1, 3), vec![1, 1, 1]);
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+        assert_eq!(dims_create(64, 3), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn dims_product_is_n() {
+        for n in 1..200 {
+            for d in 1..=4 {
+                assert_eq!(dims_create(n, d).iter().product::<usize>(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let dims = vec![3, 4, 5];
+        for r in 0..60 {
+            assert_eq!(rank_of(&coords(r, &dims), &dims), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_nonperiodic_boundaries() {
+        let dims = vec![3, 3];
+        // Rank 0 is (0,0): no north/west neighbor.
+        assert_eq!(neighbor(0, &dims, 0, -1, false), None);
+        assert_eq!(neighbor(0, &dims, 1, -1, false), None);
+        assert_eq!(neighbor(0, &dims, 0, 1, false), Some(3));
+        assert_eq!(neighbor(0, &dims, 1, 1, false), Some(1));
+    }
+
+    #[test]
+    fn neighbors_periodic_wrap() {
+        let dims = vec![3, 3];
+        assert_eq!(neighbor(0, &dims, 0, -1, true), Some(6));
+        assert_eq!(neighbor(8, &dims, 1, 1, true), Some(6));
+    }
+
+    #[test]
+    fn isqrt_exact_and_floor() {
+        assert_eq!(isqrt(16), 4);
+        assert_eq!(isqrt(17), 4);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(1024), 32);
+    }
+}

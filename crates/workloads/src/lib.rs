@@ -1,0 +1,64 @@
+//! Evaluation workloads for the Pilgrim reproduction (paper Table 2).
+//!
+//! Each workload is a function producing a rank body closure for
+//! `mpi_sim::World::run`. The closures reproduce the *communication
+//! skeletons* of the paper's codes — the sequence and arguments of MPI
+//! calls — not their numerics, which trace compression never sees:
+//!
+//! * [`stencil`] — 2D 5-point (non-periodic) and 3D 7-point (periodic)
+//!   halo exchanges (§4.1).
+//! * [`npb`] — NAS Parallel Benchmark skeletons: LU, MG, IS, CG, SP, BT
+//!   (Fig 5, Fig 10).
+//! * [`osu`] — OSU micro-benchmark loops (§4.1).
+//! * [`flash`] — FLASH proxies: Sedov, Cellular (AMR), StirTurb
+//!   (Fig 6–8), on the [`amr`] block-tree substrate.
+//! * [`milc`] — MILC su3_rmd lattice proxy (Fig 9).
+
+pub mod amr;
+pub mod flash;
+pub mod grid;
+pub mod milc;
+pub mod npb;
+pub mod osu;
+pub mod stencil;
+
+use mpi_sim::Env;
+
+/// A boxed rank body, as `World::run` expects.
+pub type Body = std::sync::Arc<dyn Fn(&mut Env) + Send + Sync>;
+
+/// Looks up a workload body by name (used by the bench binaries).
+/// `iters` scales the main loop; panics on unknown names.
+pub fn by_name(name: &str, iters: usize) -> Body {
+    match name {
+        "stencil2d" => std::sync::Arc::new(move |env: &mut Env| stencil::stencil2d(env, iters, 8)),
+        "stencil3d" => std::sync::Arc::new(move |env: &mut Env| stencil::stencil3d(env, iters, 4)),
+        "lu" => std::sync::Arc::new(move |env: &mut Env| npb::lu(env, iters)),
+        "mg" => std::sync::Arc::new(move |env: &mut Env| npb::mg(env, iters)),
+        "is" => std::sync::Arc::new(move |env: &mut Env| npb::is(env, iters)),
+        "cg" => std::sync::Arc::new(move |env: &mut Env| npb::cg(env, iters)),
+        "sp" => std::sync::Arc::new(move |env: &mut Env| npb::sp(env, iters)),
+        "bt" => std::sync::Arc::new(move |env: &mut Env| npb::bt(env, iters)),
+        "sedov" => std::sync::Arc::new(move |env: &mut Env| flash::sedov(env, iters)),
+        "cellular" => std::sync::Arc::new(move |env: &mut Env| flash::cellular(env, iters)),
+        "stirturb" => std::sync::Arc::new(move |env: &mut Env| flash::stirturb(env, iters)),
+        "milc" => std::sync::Arc::new(move |env: &mut Env| milc::su3_rmd(env, iters, 16)),
+        _ => panic!("unknown workload {name:?}"),
+    }
+}
+
+/// All workload names `by_name` accepts.
+pub const ALL_WORKLOADS: &[&str] = &[
+    "stencil2d",
+    "stencil3d",
+    "lu",
+    "mg",
+    "is",
+    "cg",
+    "sp",
+    "bt",
+    "sedov",
+    "cellular",
+    "stirturb",
+    "milc",
+];

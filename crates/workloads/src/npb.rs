@@ -1,0 +1,225 @@
+//! NAS Parallel Benchmark communication skeletons (Fig 5, Fig 10).
+//!
+//! Each skeleton reproduces the documented communication structure of the
+//! class-C benchmark: the functions called, their argument patterns, and
+//! their per-iteration shape. Numerics are replaced by `Env::compute`
+//! delays; trace size depends only on the call stream.
+
+use mpi_sim::datatype::BasicType;
+use mpi_sim::types::ReduceOp;
+use mpi_sim::{Env, PROC_NULL};
+
+use crate::grid::{coords, dims_create, isqrt, neighbor, rank_of};
+
+/// LU: 2D pipelined wavefront (SSOR). Per iteration two triangular sweeps:
+/// receive from north/west, compute, send to south/east, then the reverse;
+/// residual allreduce every few steps. The wavefront pattern is
+/// rank-position dependent but only through the *presence* of neighbors —
+/// exactly 9 patterns on a 2D mesh, which is why the paper sees LU's trace
+/// plateau at 16 ranks.
+pub fn lu(env: &mut Env, iters: usize) {
+    let n = env.world_size();
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dims = dims_create(n, 2);
+    let dt = env.basic(BasicType::Double);
+    let buf = env.malloc(40 * 8);
+    let scratch = env.malloc(5 * 8);
+    let north = neighbor(me, &dims, 0, -1, false).map_or(PROC_NULL, |r| r as i32);
+    let south = neighbor(me, &dims, 0, 1, false).map_or(PROC_NULL, |r| r as i32);
+    let west = neighbor(me, &dims, 1, -1, false).map_or(PROC_NULL, |r| r as i32);
+    let east = neighbor(me, &dims, 1, 1, false).map_or(PROC_NULL, |r| r as i32);
+    for it in 0..iters {
+        // Lower-triangular sweep: NW -> SE.
+        env.recv(buf, 40, dt, north, 10, world);
+        env.recv(buf, 40, dt, west, 11, world);
+        env.compute(30_000);
+        env.send(buf, 40, dt, south, 10, world);
+        env.send(buf, 40, dt, east, 11, world);
+        // Upper-triangular sweep: SE -> NW.
+        env.recv(buf, 40, dt, south, 12, world);
+        env.recv(buf, 40, dt, east, 13, world);
+        env.compute(30_000);
+        env.send(buf, 40, dt, north, 12, world);
+        env.send(buf, 40, dt, west, 13, world);
+        if it % 5 == 4 {
+            env.allreduce(scratch, scratch, 5, dt, ReduceOp::Sum, world);
+        }
+    }
+}
+
+/// MG: V-cycle multigrid. Halo exchange at every level of a 3D mesh
+/// (coarser levels involve fewer active ranks, modeled by scaling the
+/// message size), with a norm allreduce per cycle.
+pub fn mg(env: &mut Env, iters: usize) {
+    let n = env.world_size();
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dims = dims_create(n, 3);
+    let dt = env.basic(BasicType::Double);
+    let levels = 4usize;
+    let buf = env.malloc(64 * 8);
+    let scratch = env.malloc(8);
+    let exchange = |env: &mut Env, count: u64, tag_base: i32| {
+        let mut reqs = Vec::with_capacity(12);
+        for dim in 0..3 {
+            for dir in [-1i64, 1] {
+                let peer = neighbor(me, &dims, dim, dir, true).expect("periodic") as i32;
+                reqs.push(env.irecv(buf, count, dt, peer, tag_base + dim as i32, world));
+                reqs.push(env.isend(buf, count, dt, peer, tag_base + dim as i32, world));
+            }
+        }
+        env.waitall(&mut reqs);
+    };
+    for _ in 0..iters {
+        // Down-sweep: restrict through levels (message sizes shrink).
+        for l in 0..levels {
+            exchange(env, 32 >> l, 100 + l as i32 * 10);
+            env.compute(10_000);
+        }
+        // Up-sweep: prolongate back.
+        for l in (0..levels).rev() {
+            exchange(env, 32 >> l, 200 + l as i32 * 10);
+            env.compute(10_000);
+        }
+        env.allreduce(scratch, scratch, 1, dt, ReduceOp::Sum, world);
+    }
+}
+
+/// IS: integer sort. Per iteration: key-extent allreduce, bucket-size
+/// alltoall, then the key alltoallv whose counts vary per rank pair —
+/// the variable counts are what makes IS traces large for tools without
+/// signature sharing.
+pub fn is(env: &mut Env, iters: usize) {
+    let n = env.world_size();
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::LongLong);
+    let stats = env.malloc(8 * 4);
+    let sizes_s = env.malloc(8 * n as u64);
+    let sizes_r = env.malloc(8 * n as u64);
+    // Bucket counts for a uniform key distribution: the same array on
+    // every rank and every iteration (IS ranks the same key set), which
+    // is why Pilgrim stores the big alltoallv argument vectors only once.
+    let mut counts = Vec::with_capacity(n);
+    let mut displs = Vec::with_capacity(n);
+    let mut total = 0i64;
+    for j in 0..n as u64 {
+        let c = 4 + (j * 3) % 5;
+        counts.push(c);
+        displs.push(total);
+        total += c as i64;
+    }
+    let sbuf = env.malloc(8 * total as u64);
+    let rbuf = env.malloc(8 * total as u64);
+    let boundary = env.malloc(8);
+    for _it in 0..iters as u64 {
+        env.allreduce(stats, stats, 4, dt, ReduceOp::Max, world);
+        env.alltoall(sizes_s, 1, dt, sizes_r, 1, dt, world);
+        env.alltoallv(sbuf, &counts, &displs, dt, rbuf, &counts, &displs, dt, world);
+        // Boundary-key shift to the successor rank (IS's partial
+        // verification): absolute ranks here are what defeats
+        // ScalaTrace's cross-rank merging.
+        let succ = if me + 1 < n { (me + 1) as i32 } else { PROC_NULL };
+        let pred = if me > 0 { (me - 1) as i32 } else { PROC_NULL };
+        env.send(boundary, 1, dt, succ, 77, world);
+        env.recv(boundary, 1, dt, pred, 77, world);
+        env.compute(15_000);
+    }
+    // Full-sort verification reduction, as IS does once at the end.
+    env.allreduce(stats, stats, 1, dt, ReduceOp::Sum, world);
+}
+
+/// CG: conjugate gradient on a 2D processor layout. Per CG step: halo
+/// exchanges with the transpose partner set (butterfly over the row) and
+/// two dot-product allreduces.
+pub fn cg(env: &mut Env, iters: usize) {
+    let n = env.world_size();
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::Double);
+    let vbuf = env.malloc(128 * 8);
+    let dot = env.malloc(8);
+    // Butterfly partners within the power-of-two neighborhood.
+    let stages = (usize::BITS - n.leading_zeros() - 1).max(1) as usize;
+    for _ in 0..iters {
+        for k in 0..stages {
+            let partner = me ^ (1 << k);
+            if partner < n {
+                env.sendrecv(vbuf, 64, dt, partner as i32, 20 + k as i32, vbuf, 64, dt, partner as i32, 20 + k as i32, world);
+            }
+        }
+        env.allreduce(dot, dot, 1, dt, ReduceOp::Sum, world);
+        env.compute(25_000);
+        env.allreduce(dot, dot, 1, dt, ReduceOp::Sum, world);
+    }
+}
+
+/// SP/BT common structure: multi-partition ADI on a square process grid.
+/// Per iteration and per dimension, a staged pipeline along rows/columns,
+/// then a face exchange with the four mesh neighbors.
+fn adi(env: &mut Env, iters: usize, stages_per_dim: usize, face_count: u64) {
+    let n = env.world_size();
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let q = isqrt(n);
+    assert_eq!(q * q, n, "SP/BT require a square number of processes");
+    let dims = vec![q, q];
+    let dt = env.basic(BasicType::Double);
+    let line = env.malloc(32 * 8);
+    let face: Vec<_> = (0..4).map(|_| env.malloc(face_count * 8)).collect();
+    let c = coords(me, &dims);
+    for _ in 0..iters {
+        // Three ADI directions; the third is modeled along rows again
+        // (multi-partition assigns cells so every direction is a row or
+        // column pipeline).
+        for d in 0..3usize {
+            let dim = d % 2;
+            for s in 0..stages_per_dim {
+                // Pipeline: receive from predecessor, send to successor.
+                let pred = if c[dim] > 0 {
+                    let mut pc = c.clone();
+                    pc[dim] -= 1;
+                    rank_of(&pc, &dims) as i32
+                } else {
+                    PROC_NULL
+                };
+                let succ = if c[dim] + 1 < dims[dim] {
+                    let mut sc = c.clone();
+                    sc[dim] += 1;
+                    rank_of(&sc, &dims) as i32
+                } else {
+                    PROC_NULL
+                };
+                env.recv(line, 32, dt, pred, 30 + (d * 8 + s) as i32, world);
+                env.compute(8_000);
+                env.send(line, 32, dt, succ, 30 + (d * 8 + s) as i32, world);
+            }
+        }
+        // copy_faces: exchange with all four neighbors.
+        let mut reqs = Vec::with_capacity(8);
+        for dim in 0..2 {
+            for dir in [-1i64, 1] {
+                let peer = neighbor(me, &dims, dim, dir, false).map_or(PROC_NULL, |r| r as i32);
+                let slot = dim * 2 + usize::from(dir > 0);
+                reqs.push(env.irecv(face[slot], face_count, dt, peer, 60 + dim as i32, world));
+                reqs.push(env.isend(face[slot], face_count, dt, peer, 60 + dim as i32, world));
+            }
+        }
+        env.waitall(&mut reqs);
+        env.compute(20_000);
+    }
+    // Final verification norm.
+    let scratch = env.malloc(5 * 8);
+    env.reduce(scratch, scratch, 5, dt, ReduceOp::Sum, 0, world);
+}
+
+/// SP: scalar pentadiagonal ADI.
+pub fn sp(env: &mut Env, iters: usize) {
+    adi(env, iters, 2, 24);
+}
+
+/// BT: block tridiagonal ADI (heavier per-stage faces than SP).
+pub fn bt(env: &mut Env, iters: usize) {
+    adi(env, iters, 3, 40);
+}

@@ -1,0 +1,152 @@
+//! OSU micro-benchmark loops (§4.1): tiny fixed communication kernels
+//! swept over message sizes. The paper reports that Pilgrim compresses
+//! every OSU benchmark (except the multi-threaded one, unsupported) to a
+//! few kilobytes regardless of iterations.
+
+use mpi_sim::datatype::BasicType;
+use mpi_sim::types::ReduceOp;
+use mpi_sim::Env;
+
+/// Message sizes swept by the OSU loops (bytes, powers of four).
+pub const OSU_SIZES: &[u64] = &[1, 4, 16, 64, 256, 1024, 4096];
+
+/// osu_latency: ping-pong between ranks 0 and 1.
+pub fn latency(env: &mut Env, iters: usize) {
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::Byte);
+    let buf = env.malloc(*OSU_SIZES.last().unwrap());
+    for &size in OSU_SIZES {
+        for _ in 0..iters {
+            if me == 0 {
+                env.send(buf, size, dt, 1, 1, world);
+                env.recv(buf, size, dt, 1, 1, world);
+            } else if me == 1 {
+                env.recv(buf, size, dt, 0, 1, world);
+                env.send(buf, size, dt, 0, 1, world);
+            }
+        }
+        env.barrier(world);
+    }
+}
+
+/// osu_bw: windowed one-way bandwidth.
+pub fn bandwidth(env: &mut Env, iters: usize) {
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::Byte);
+    let window = 8usize;
+    let buf = env.malloc(*OSU_SIZES.last().unwrap());
+    let ack = env.malloc(1);
+    for &size in OSU_SIZES {
+        for _ in 0..iters {
+            if me == 0 {
+                let mut reqs: Vec<_> =
+                    (0..window).map(|_| env.isend(buf, size, dt, 1, 2, world)).collect();
+                env.waitall(&mut reqs);
+                env.recv(ack, 1, dt, 1, 3, world);
+            } else if me == 1 {
+                let mut reqs: Vec<_> =
+                    (0..window).map(|_| env.irecv(buf, size, dt, 0, 2, world)).collect();
+                env.waitall(&mut reqs);
+                env.send(ack, 1, dt, 0, 3, world);
+            }
+        }
+        env.barrier(world);
+    }
+}
+
+/// osu_bibw: bidirectional bandwidth.
+pub fn bibw(env: &mut Env, iters: usize) {
+    let me = env.world_rank();
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::Byte);
+    let window = 8usize;
+    let buf = env.malloc(*OSU_SIZES.last().unwrap());
+    for &size in OSU_SIZES {
+        for _ in 0..iters {
+            if me <= 1 {
+                let peer = (1 - me) as i32;
+                let mut reqs = Vec::with_capacity(window * 2);
+                for _ in 0..window {
+                    reqs.push(env.irecv(buf, size, dt, peer, 4, world));
+                }
+                for _ in 0..window {
+                    reqs.push(env.isend(buf, size, dt, peer, 4, world));
+                }
+                env.waitall(&mut reqs);
+            }
+        }
+        env.barrier(world);
+    }
+}
+
+/// Generic collective micro-benchmark over the size sweep.
+macro_rules! osu_coll {
+    ($name:ident, $doc:literal, |$env:ident, $buf:ident, $rbuf:ident, $count:ident, $dt:ident, $world:ident| $call:expr) => {
+        #[doc = $doc]
+        pub fn $name($env: &mut Env, iters: usize) {
+            let $world = $env.comm_world();
+            let $dt = $env.basic(BasicType::LongLong);
+            let n = $env.world_size() as u64;
+            let max = *OSU_SIZES.last().unwrap();
+            let $buf = $env.malloc(max * 8 * n);
+            let $rbuf = $env.malloc(max * 8 * n);
+            for &size in OSU_SIZES {
+                let $count = size;
+                for _ in 0..iters {
+                    $call;
+                }
+                $env.barrier($world);
+            }
+        }
+    };
+}
+
+osu_coll!(allreduce, "osu_allreduce.", |env, buf, rbuf, count, dt, world| {
+    env.allreduce(buf, rbuf, count, dt, ReduceOp::Sum, world)
+});
+osu_coll!(bcast, "osu_bcast.", |env, buf, _rbuf, count, dt, world| {
+    env.bcast(buf, count, dt, 0, world)
+});
+osu_coll!(reduce, "osu_reduce.", |env, buf, rbuf, count, dt, world| {
+    env.reduce(buf, rbuf, count, dt, ReduceOp::Sum, 0, world)
+});
+osu_coll!(allgather, "osu_allgather.", |env, buf, rbuf, count, dt, world| {
+    env.allgather(buf, count, dt, rbuf, count, dt, world)
+});
+osu_coll!(alltoall, "osu_alltoall.", |env, buf, rbuf, count, dt, world| {
+    env.alltoall(buf, count, dt, rbuf, count, dt, world)
+});
+osu_coll!(gather, "osu_gather.", |env, buf, rbuf, count, dt, world| {
+    env.gather(buf, count, dt, rbuf, count, dt, 0, world)
+});
+osu_coll!(scatter, "osu_scatter.", |env, buf, rbuf, count, dt, world| {
+    env.scatter(buf, count, dt, rbuf, count, dt, 0, world)
+});
+
+/// osu_barrier.
+pub fn barrier(env: &mut Env, iters: usize) {
+    let world = env.comm_world();
+    for _ in 0..iters {
+        env.barrier(world);
+    }
+}
+
+/// An OSU kernel entry point.
+pub type OsuKernel = fn(&mut Env, usize);
+
+/// Every OSU kernel, by name.
+pub const OSU_BENCHES: &[(&str, OsuKernel)] = &[
+    ("osu_latency", latency),
+    ("osu_bw", bandwidth),
+    ("osu_bibw", bibw),
+    ("osu_allreduce", allreduce),
+    ("osu_bcast", bcast),
+    ("osu_reduce", reduce),
+    ("osu_allgather", allgather),
+    ("osu_alltoall", alltoall),
+    ("osu_gather", gather),
+    ("osu_scatter", scatter),
+    ("osu_barrier", barrier),
+];

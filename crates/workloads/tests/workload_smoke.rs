@@ -1,0 +1,163 @@
+//! Workload structural tests: every evaluation code runs to completion at
+//! several rank counts, issues the expected call mix, and is deterministic
+//! in its per-rank call counts.
+
+
+use mpi_sim::hooks::{CallRec, TraceCtx, Tracer};
+use mpi_sim::{FuncId, World, WorldConfig};
+use mpi_workloads::by_name;
+
+/// Counts calls per function id.
+#[derive(Default)]
+struct Counter {
+    counts: std::collections::HashMap<FuncId, u64>,
+    total: u64,
+}
+
+impl Tracer for Counter {
+    fn on_call(&mut self, _ctx: &TraceCtx<'_>, rec: &CallRec, _t0: u64, _t1: u64) {
+        *self.counts.entry(rec.func).or_default() += 1;
+        self.total += 1;
+    }
+}
+
+fn run_counted(name: &str, nranks: usize, iters: usize) -> Vec<Counter> {
+    let body = by_name(name, iters);
+    World::run(&WorldConfig::new(nranks), |_| Counter::default(), move |env| body(env))
+}
+
+fn totals(counters: &[Counter]) -> Vec<u64> {
+    counters.iter().map(|c| c.total).collect()
+}
+
+#[test]
+fn every_workload_runs_at_multiple_scales() {
+    for name in mpi_workloads::ALL_WORKLOADS {
+        // SP/BT need square counts; 4 works for everything.
+        let counters = run_counted(name, 4, 3);
+        for (rank, c) in counters.iter().enumerate() {
+            assert!(
+                c.total > 2,
+                "{name} rank {rank} made only {} calls",
+                c.total
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_call_counts_are_deterministic() {
+    for name in ["stencil2d", "lu", "mg", "is", "cg", "stirturb", "milc"] {
+        let a = totals(&run_counted(name, 4, 4));
+        let b = totals(&run_counted(name, 4, 4));
+        assert_eq!(a, b, "{name} call counts must be reproducible");
+    }
+}
+
+#[test]
+fn stencil2d_uses_nonblocking_halo_calls() {
+    let counters = run_counted("stencil2d", 9, 10);
+    for c in &counters {
+        // 4 directions x (isend + irecv) x 10 iterations.
+        assert_eq!(c.counts[&FuncId::Isend], 40);
+        assert_eq!(c.counts[&FuncId::Irecv], 40);
+        assert_eq!(c.counts[&FuncId::Waitall], 10);
+        assert_eq!(c.counts[&FuncId::Allreduce], 1, "residual check every 10 iters");
+    }
+}
+
+#[test]
+fn stencil3d_has_six_directions() {
+    let counters = run_counted("stencil3d", 8, 5);
+    for c in &counters {
+        assert_eq!(c.counts[&FuncId::Isend], 30);
+        assert_eq!(c.counts[&FuncId::Irecv], 30);
+    }
+}
+
+#[test]
+fn lu_is_send_recv_wavefront() {
+    let counters = run_counted("lu", 4, 5);
+    for c in &counters {
+        // Two sweeps x two directions x 5 iterations (PROC_NULL included).
+        assert_eq!(c.counts[&FuncId::Send], 20);
+        assert_eq!(c.counts[&FuncId::Recv], 20);
+        assert_eq!(c.counts[&FuncId::Allreduce], 1);
+    }
+}
+
+#[test]
+fn is_uses_alltoallv_and_boundary_shift() {
+    let counters = run_counted("is", 4, 6);
+    for c in &counters {
+        assert_eq!(c.counts[&FuncId::Alltoallv], 6);
+        assert_eq!(c.counts[&FuncId::Alltoall], 6);
+        assert_eq!(c.counts[&FuncId::Send], 6, "boundary shift each iteration");
+        // Per-iter max allreduce + final sum.
+        assert_eq!(c.counts[&FuncId::Allreduce], 7);
+    }
+}
+
+#[test]
+fn cg_reduces_twice_per_iteration() {
+    let counters = run_counted("cg", 8, 7);
+    for c in &counters {
+        assert_eq!(c.counts[&FuncId::Allreduce], 14);
+        assert!(c.counts[&FuncId::Sendrecv] > 0);
+    }
+}
+
+#[test]
+fn milc_gathers_in_eight_directions() {
+    let counters = run_counted("milc", 16, 1);
+    for c in &counters {
+        // Per trajectory: 2 steps x (5 CG + 1 force) gathers, 8 dirs each,
+        // isend+irecv per dir.
+        assert_eq!(c.counts[&FuncId::Isend], 2 * 6 * 8);
+        assert_eq!(c.counts[&FuncId::Irecv], 2 * 6 * 8);
+        assert_eq!(c.counts[&FuncId::Waitall], 12);
+    }
+}
+
+#[test]
+fn cellular_communication_changes_with_refinement() {
+    // The AMR proxy's point-to-point partners change over time; early and
+    // late windows of the run must not have identical per-rank call mixes
+    // forever (the redistribution sends fire on refinement steps).
+    let counters = run_counted("cellular", 6, 40);
+    let total_sends: u64 = counters
+        .iter()
+        .map(|c| c.counts.get(&FuncId::Isend).copied().unwrap_or(0))
+        .sum();
+    // Halo exchanges plus redistribution moves: strictly more than the
+    // static halo-only count (2 partners x 40 iters x 6 ranks = 480 max).
+    assert!(total_sends > 0);
+    let barriers: u64 = counters
+        .iter()
+        .map(|c| c.counts.get(&FuncId::Barrier).copied().unwrap_or(0))
+        .sum();
+    assert_eq!(barriers, 6 * 4, "one barrier per refinement step per rank");
+}
+
+#[test]
+fn sedov_probe_source_changes_over_time() {
+    // Run long enough to cross two probe-source epochs (every 100 iters).
+    let counters = run_counted("sedov", 8, 250);
+    let rank0_recvs = counters[0].counts.get(&FuncId::Recv).copied().unwrap_or(0);
+    // Rank 0 receives the min-dt datum whenever the owner isn't rank 0.
+    assert!(rank0_recvs > 0, "the dt probe must reach rank 0");
+}
+
+#[test]
+fn osu_kernels_run_on_two_and_eight_ranks() {
+    for &(name, f) in mpi_workloads::osu::OSU_BENCHES {
+        for n in [2usize, 8] {
+            let counters =
+                World::run(&WorldConfig::new(n), |_| Counter::default(), move |env| f(env, 2));
+            assert!(
+                counters.iter().all(|c| c.total >= 2),
+                "{name} at {n} ranks made too few calls"
+            );
+        }
+    }
+}

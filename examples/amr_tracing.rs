@@ -1,0 +1,54 @@
+//! Tracing an adaptive application: the FLASH-Cellular proxy refines its
+//! PARAMESH-style block tree every few steps, so its communication
+//! pattern — and therefore its trace — keeps growing, unlike static
+//! codes. This example contrasts the three FLASH regimes (paper Fig 6)
+//! and shows where the bytes go.
+//!
+//! Run with: `cargo run -p pilgrim-examples --bin amr_tracing`
+
+use mpi_sim::{World, WorldConfig};
+use mpi_workloads::by_name;
+use pilgrim::PilgrimTracer;
+
+fn run(app: &'static str, iters: usize) -> pilgrim::GlobalTrace {
+    let body = by_name(app, iters);
+    let mut tracers = World::run(
+        &WorldConfig::new(8),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    tracers[0].take_global_trace().unwrap()
+}
+
+fn main() {
+    println!("FLASH proxies on 8 ranks — trace size vs iterations (bytes):\n");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>12}",
+        "iterations", "stirturb", "sedov", "cellular", ""
+    );
+    for iters in [50, 100, 200, 400] {
+        let st = run("stirturb", iters);
+        let se = run("sedov", iters);
+        let ce = run("cellular", iters);
+        println!(
+            "{:<12}{:>12}{:>12}{:>12}",
+            iters,
+            st.size_bytes(),
+            se.size_bytes(),
+            ce.size_bytes()
+        );
+    }
+
+    println!("\nWhy Cellular grows — its trace at 200 iterations:");
+    let trace = run("cellular", 200);
+    let report = trace.size_report();
+    println!("  CST entries:     {} (every refinement adds new partners)", trace.cst.len());
+    println!("  unique grammars: {} of {} ranks", trace.unique_grammars, trace.nranks);
+    println!(
+        "  bytes:           CST {} + grammar {} + meta {}",
+        report.cst_bytes, report.grammar_bytes, report.meta_bytes
+    );
+    println!("\nStirTurb's pattern never changes: its trace is constant (the paper");
+    println!("stores a multi-minute 4K-rank StirTurb run in 4 KB). Sedov sits in");
+    println!("between: only its dt-probe source drifts every ~100 iterations.");
+}

@@ -1,0 +1,40 @@
+//! The paper's §4.1 headline in miniature: a 2D stencil's trace stays the
+//! same size no matter how many ranks or iterations you run, because the
+//! relative-rank encoding collapses every interior rank to one signature
+//! set and counted Sequitur rules absorb the loop.
+//!
+//! Run with: `cargo run -p pilgrim-examples --bin stencil_trace`
+
+use mpi_sim::{World, WorldConfig};
+use mpi_workloads::by_name;
+use pilgrim::PilgrimTracer;
+
+fn trace_size(nranks: usize, iters: usize) -> (usize, usize) {
+    let body = by_name("stencil2d", iters);
+    let mut tracers = World::run(
+        &WorldConfig::new(nranks),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    let trace = tracers[0].take_global_trace().unwrap();
+    (trace.size_bytes(), trace.unique_grammars)
+}
+
+fn main() {
+    println!("2D 5-point stencil (non-periodic), 50 iterations:\n");
+    println!("{:<8}{:>14}{:>18}", "ranks", "trace bytes", "unique grammars");
+    for n in [4, 9, 16, 25, 36, 49] {
+        let (size, uniq) = trace_size(n, 50);
+        println!("{n:<8}{size:>14}{uniq:>18}");
+    }
+    println!("\nAll nine position classes (4 corners, 4 edges, interior) exist on a");
+    println!("3x3 mesh, so the trace stops growing at 9 ranks — the paper's result.\n");
+
+    println!("{:<12}{:>14}", "iterations", "trace bytes");
+    for iters in [10, 100, 1000, 10_000] {
+        let (size, _) = trace_size(9, iters);
+        println!("{iters:<12}{size:>14}");
+    }
+    println!("\nCounted grammar rules store a loop of N iterations in O(1) space:");
+    println!("10,000 iterations cost only a few more counter bytes than 10.");
+}

@@ -1,0 +1,67 @@
+//! Non-aggregated timing (§3.2): collect lossy per-call durations and
+//! intervals with a 20% error bound (b = 1.2), decompress them, and
+//! reconstruct per-call entry/exit times.
+//!
+//! Run with: `cargo run -p pilgrim-examples --bin timing_analysis`
+
+use mpi_sim::datatype::BasicType;
+use mpi_sim::types::ReduceOp;
+use mpi_sim::{World, WorldConfig};
+use pilgrim::timing::reconstruct_times;
+use pilgrim::{PilgrimConfig, PilgrimTracer, TimingMode};
+
+fn main() {
+    let base = 1.2;
+    let cfg = PilgrimConfig {
+        timing: TimingMode::Lossy { base },
+        ..Default::default()
+    };
+    let mut tracers = World::run(
+        &WorldConfig::new(4),
+        |rank| PilgrimTracer::new(rank, cfg),
+        |env| {
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::Double);
+            let buf = env.malloc(8);
+            for _ in 0..500 {
+                env.compute(20_000);
+                env.allreduce(buf, buf, 1, dt, ReduceOp::Max, world);
+            }
+        },
+    );
+    let trace = tracers[0].take_global_trace().unwrap();
+    let report = trace.size_report();
+
+    println!("timing mode: lossy, b = {base} (relative error <= {:.0}%)\n", (base - 1.0) * 100.0);
+    println!("call trace:        {} bytes", report.core_total());
+    println!("duration grammars: {} bytes ({} unique)", report.duration_bytes, trace.duration_grammars.len());
+    println!("interval grammars: {} bytes ({} unique)", report.interval_bytes, trace.interval_grammars.len());
+
+    // Reconstruct rank 1's timeline from the compressed streams.
+    let rank = 1usize;
+    let terms = trace.decode_rank(rank);
+    let dg = &trace.duration_grammars[trace.duration_rank_map[rank] as usize];
+    let ig = &trace.interval_grammars[trace.interval_rank_map[rank] as usize];
+    let times = reconstruct_times(base, &terms, &dg.expand(), &ig.expand());
+
+    println!("\nreconstructed timeline of rank {rank} (simulated ns):");
+    println!("{:<8}{:>16}{:>16}{:>12}", "call", "t_start", "t_end", "duration");
+    for (i, (t0, t1)) in times.iter().enumerate().take(6) {
+        println!("{i:<8}{t0:>16.0}{t1:>16.0}{:>12.0}", t1 - t0);
+    }
+    println!("...");
+    let last = times.len() - 1;
+    let (t0, t1) = times[last];
+    println!("{last:<8}{t0:>16.0}{t1:>16.0}{:>12.0}", t1 - t0);
+
+    // Compressed timing vs raw 16-byte timestamps per call.
+    let raw = terms.len() * 16;
+    let comp = report.duration_bytes + report.interval_bytes;
+    println!(
+        "\ncompression: {} calls x 16 B raw = {} B  ->  {} B ({:.1}x)",
+        terms.len(),
+        raw * trace.nranks,
+        comp,
+        (raw * trace.nranks) as f64 / comp as f64
+    );
+}

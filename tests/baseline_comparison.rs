@@ -1,0 +1,125 @@
+//! Integration: Pilgrim vs the comparators, on the paper's axes.
+//!
+//! * Pilgrim records more information (all functions incl. `MPI_Test*`)
+//!   yet produces smaller traces than the ScalaTrace model (Fig 5).
+//! * The raw trace is orders of magnitude larger than either.
+//! * ScalaTrace's scaling in ranks is worse than Pilgrim's for codes with
+//!   rank-dependent arguments.
+
+use mpi_sim::{World, WorldConfig};
+use mpi_workloads::by_name;
+use pilgrim::PilgrimTracer;
+use trace_baselines::{RawTracer, ScalaTraceTracer};
+
+fn pilgrim_size(name: &str, nranks: usize, iters: usize) -> usize {
+    let body = by_name(name, iters);
+    let mut tracers = World::run(
+        &WorldConfig::new(nranks),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    tracers[0].take_global_trace().unwrap().size_bytes()
+}
+
+fn scalatrace_size(name: &str, nranks: usize, iters: usize) -> usize {
+    let body = by_name(name, iters);
+    let tracers = World::run(
+        &WorldConfig::new(nranks),
+        ScalaTraceTracer::new,
+        move |env| body(env),
+    );
+    tracers[0].global().unwrap().size_bytes()
+}
+
+fn raw_size(name: &str, nranks: usize, iters: usize) -> u64 {
+    let body = by_name(name, iters);
+    let tracers = World::run(&WorldConfig::new(nranks), RawTracer::new, move |env| body(env));
+    tracers.iter().map(|t| t.bytes()).sum()
+}
+
+#[test]
+fn pilgrim_beats_scalatrace_on_npb() {
+    for name in ["lu", "mg", "cg"] {
+        let p = pilgrim_size(name, 16, 20);
+        let s = scalatrace_size(name, 16, 20);
+        assert!(
+            p < s,
+            "{name}: Pilgrim ({p} B) must beat ScalaTrace ({s} B)"
+        );
+    }
+}
+
+#[test]
+fn both_beat_raw_by_orders_of_magnitude() {
+    let p = pilgrim_size("stirturb", 8, 100);
+    let s = scalatrace_size("stirturb", 8, 100);
+    let r = raw_size("stirturb", 8, 100);
+    assert!(r > 100 * p as u64, "raw {r} vs pilgrim {p}");
+    assert!(r > 10 * s as u64, "raw {r} vs scalatrace {s}");
+}
+
+#[test]
+fn scalatrace_scales_linearly_where_pilgrim_plateaus() {
+    // The 2D stencil: rank-dependent src/dst. Pilgrim's relative encoding
+    // collapses signatures; ScalaTrace keeps absolute ranks and cannot
+    // merge across ranks.
+    let p_small = pilgrim_size("stencil2d", 9, 20);
+    let p_large = pilgrim_size("stencil2d", 36, 20);
+    let s_small = scalatrace_size("stencil2d", 9, 20);
+    let s_large = scalatrace_size("stencil2d", 36, 20);
+    let p_growth = p_large as f64 / p_small as f64;
+    let s_growth = s_large as f64 / s_small as f64;
+    assert!(
+        p_growth < 1.3,
+        "Pilgrim must plateau: {p_small} -> {p_large}"
+    );
+    assert!(
+        s_growth > 2.5,
+        "ScalaTrace must grow ~linearly: {s_small} -> {s_large}"
+    );
+}
+
+#[test]
+fn scalatrace_drops_testsome_pilgrim_keeps_it() {
+    use mpi_sim::datatype::BasicType;
+    let body = move |env: &mut mpi_sim::Env| {
+        let me = env.world_rank();
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::LongLong);
+        let buf = env.malloc(8);
+        if me == 0 {
+            let mut reqs = vec![env.irecv(buf, 1, dt, 1, 0, world)];
+            let mut done = 0;
+            while done == 0 {
+                done = env.testsome(&mut reqs).len();
+            }
+        } else {
+            env.send(buf, 1, dt, 0, 0, world);
+        }
+    };
+    let st = World::run(&WorldConfig::new(2), ScalaTraceTracer::new, body);
+    assert!(st[0].dropped() > 0, "ScalaTrace drops Testsome");
+
+    let cfg = pilgrim::PilgrimConfig { capture_reference: true, ..Default::default() };
+    let mut pt = World::run(&WorldConfig::new(2), |r| PilgrimTracer::new(r, cfg), body);
+    let trace = pt[0].take_global_trace().unwrap();
+    let calls = pilgrim::decode_rank_calls(&trace, 0);
+    assert!(calls.iter().any(|c| c.func == mpi_sim::FuncId::Testsome.id()));
+}
+
+#[test]
+fn pilgrim_overhead_stats_cover_all_phases() {
+    let body = by_name("mg", 10);
+    let tracers = World::run(
+        &WorldConfig::new(8),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    let mut total = pilgrim::OverheadStats::default();
+    for t in &tracers {
+        total.merge(&t.stats());
+    }
+    let (intra, cst, cfg) = total.decomposition();
+    assert!(intra > 0.0);
+    assert!((intra + cst + cfg - 100.0).abs() < 1e-6);
+}

@@ -1,0 +1,109 @@
+//! Integration: the paper's scaling claims, checked as properties.
+//!
+//! * §4.1 — stencil traces stop growing beyond 9 (2D) / 27 (3D) ranks.
+//! * Fig 6 — StirTurb is constant in iterations; Sedov grows slowly;
+//!   Cellular grows with refinement.
+//! * §2.2 — iteration count does not grow any regular trace.
+
+use mpi_sim::{World, WorldConfig};
+use mpi_workloads::by_name;
+use pilgrim::PilgrimTracer;
+
+fn trace_size(name: &str, nranks: usize, iters: usize) -> (usize, usize) {
+    let body = by_name(name, iters);
+    let mut tracers = World::run(
+        &WorldConfig::new(nranks),
+        PilgrimTracer::with_defaults,
+        move |env| body(env),
+    );
+    let trace = tracers[0].take_global_trace().expect("rank 0 trace");
+    (trace.size_bytes(), trace.unique_grammars)
+}
+
+#[test]
+fn stencil2d_plateaus_at_nine_ranks() {
+    // All 9 position classes (4 corners, 4 edges, interior) exist on a
+    // 3x3 mesh; beyond that no new patterns appear.
+    let (s9, u9) = trace_size("stencil2d", 9, 20);
+    let (s16, u16) = trace_size("stencil2d", 16, 20);
+    let (s36, u36) = trace_size("stencil2d", 36, 20);
+    assert!(u9 <= 9 && u16 <= 9 && u36 <= 9, "at most 9 patterns: {u9} {u16} {u36}");
+    // Size stays flat (within metadata jitter from rank-length varints).
+    assert!(s36 <= s16 + 64, "2D stencil must plateau: {s9} {s16} {s36}");
+}
+
+#[test]
+fn stencil3d_plateaus_at_twentyseven_ranks() {
+    let (_, u8) = trace_size("stencil3d", 8, 10);
+    let (s27, u27) = trace_size("stencil3d", 27, 10);
+    let (s64, u64_) = trace_size("stencil3d", 64, 10);
+    assert!(u8 <= 27 && u27 <= 27 && u64_ <= 27);
+    assert!(s64 <= s27 + 128, "3D stencil must plateau: {s27} {s64}");
+}
+
+#[test]
+fn stencil_constant_in_iterations() {
+    let (s20, _) = trace_size("stencil2d", 9, 20);
+    let (s2000, _) = trace_size("stencil2d", 9, 2000);
+    // Counted repetition makes the grammar O(1) in iterations; only
+    // varint-width metadata (call counts, duration sums) widens, so the
+    // growth across 100x more iterations must stay within a few percent.
+    assert!(
+        s2000 <= s20 + s20 / 8 + 64,
+        "stencil trace must not grow with iterations: {s20} -> {s2000}"
+    );
+}
+
+#[test]
+fn stirturb_constant_in_iterations() {
+    let (s_small, _) = trace_size("stirturb", 8, 20);
+    let (s_large, _) = trace_size("stirturb", 8, 500);
+    assert!(
+        s_large <= s_small + 64,
+        "StirTurb (no AMR) must be constant: {s_small} -> {s_large}"
+    );
+}
+
+#[test]
+fn sedov_grows_slowly_with_iterations() {
+    // The rank-0 min-dt probe adds a new source every ~100 iterations.
+    let (s100, _) = trace_size("sedov", 8, 100);
+    let (s400, _) = trace_size("sedov", 8, 400);
+    assert!(s400 > s100, "the drifting probe must add signatures");
+    // ...but growth is a few signatures, not proportional to calls.
+    assert!(
+        s400 < s100 * 3,
+        "Sedov growth must be slow: {s100} -> {s400}"
+    );
+}
+
+#[test]
+fn cellular_grows_with_refinement() {
+    let (s40, _) = trace_size("cellular", 6, 40);
+    let (s200, _) = trace_size("cellular", 6, 200);
+    assert!(
+        s200 > s40,
+        "AMR refinement must grow the trace: {s40} -> {s200}"
+    );
+}
+
+#[test]
+fn lu_unique_grammars_plateau() {
+    let (_, u4) = trace_size("lu", 4, 20);
+    let (_, u16) = trace_size("lu", 16, 20);
+    let (_, u36) = trace_size("lu", 36, 20);
+    assert!(u16 <= 9 && u36 <= 9, "LU has at most 9 position classes: {u4} {u16} {u36}");
+}
+
+#[test]
+fn milc_weak_scaling_constant_patterns() {
+    let (s16, u16) = trace_size("milc", 16, 2);
+    let (s32, u32_) = trace_size("milc", 32, 2);
+    // Same per-rank problem, torus pattern: pattern count must not grow
+    // between sizes with the same grid shape classes.
+    assert!(u16 <= 16 && u32_ <= 32);
+    assert!(
+        s32 < s16 * 3,
+        "MILC weak scaling must be near-flat: {s16} -> {s32}"
+    );
+}
