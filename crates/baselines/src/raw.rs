@@ -29,9 +29,7 @@ fn arg_len(a: &Arg) -> u64 {
         Arg::Status { source, tag } => vlen(zz(*source as i64)) + vlen(zz(*tag as i64)),
         Arg::StatusArr(v) => {
             vlen(v.len() as u64)
-                + v.iter()
-                    .map(|&(s, t)| vlen(zz(s as i64)) + vlen(zz(t as i64)))
-                    .sum::<u64>()
+                + v.iter().map(|&(s, t)| vlen(zz(s as i64)) + vlen(zz(t as i64))).sum::<u64>()
         }
         Arg::IntArr(v) => vlen(v.len() as u64) + v.iter().map(|&x| vlen(zz(x))).sum::<u64>(),
         Arg::Color(c) => vlen(zz(*c as i64)),

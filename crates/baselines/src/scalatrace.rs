@@ -233,7 +233,8 @@ impl Tracer for ScalaTraceTracer {
                             pilgrim_sequitur::read_varint(&buf, &mut pos).expect("ranks") as usize;
                         let mut ranks = Vec::with_capacity(rn);
                         for _ in 0..rn {
-                            ranks.push(pilgrim_sequitur::read_varint(&buf, &mut pos).expect("rank"));
+                            ranks
+                                .push(pilgrim_sequitur::read_varint(&buf, &mut pos).expect("rank"));
                         }
                         if let Some((_, rs)) = groups.iter_mut().find(|(pld, _)| *pld == payload) {
                             rs.extend(ranks);

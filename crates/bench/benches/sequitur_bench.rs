@@ -85,9 +85,7 @@ fn bench_flat(c: &mut Criterion) {
     });
     let mut buf = Vec::new();
     flat.serialize(&mut buf);
-    c.bench_function("sequitur_deserialize", |b| {
-        b.iter(|| FlatGrammar::deserialize(&buf).unwrap())
-    });
+    c.bench_function("sequitur_deserialize", |b| b.iter(|| FlatGrammar::decode(&buf).unwrap()));
 }
 
 criterion_group! {

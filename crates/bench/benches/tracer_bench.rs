@@ -14,23 +14,21 @@ fn bench_tracers(c: &mut Criterion) {
     // subtraction baseline.
     let mut g = c.benchmark_group("trace_workload_stirturb_8x20");
     let calls = {
-        let tracers = World::run(
-            &WorldConfig::new(8),
-            PilgrimTracer::with_defaults,
-            |env| {
-                let body = by_name("stirturb", 20);
-                body(env)
-            },
-        );
+        let tracers = World::run(&WorldConfig::new(8), PilgrimTracer::with_defaults, |env| {
+            let body = by_name("stirturb", 20);
+            body(env)
+        });
         tracers.iter().map(|t| t.call_count()).sum::<u64>()
     };
     g.throughput(Throughput::Elements(calls));
     g.sample_size(10);
     g.bench_function("untraced", |b| {
         b.iter(|| {
-            World::run(&WorldConfig::new(8), |_| mpi_sim::NullTracer, |env| {
-                by_name("stirturb", 20)(env)
-            })
+            World::run(
+                &WorldConfig::new(8),
+                |_| mpi_sim::NullTracer,
+                |env| by_name("stirturb", 20)(env),
+            )
         })
     });
     g.bench_function("pilgrim", |b| {
@@ -41,14 +39,13 @@ fn bench_tracers(c: &mut Criterion) {
         })
     });
     g.bench_function("pilgrim_lossy_timing", |b| {
-        let cfg = PilgrimConfig {
-            timing: TimingMode::Lossy { base: 1.2 },
-            ..Default::default()
-        };
+        let cfg = PilgrimConfig::new().timing(TimingMode::Lossy { base: 1.2 });
         b.iter(|| {
-            World::run(&WorldConfig::new(8), move |r| PilgrimTracer::new(r, cfg), |env| {
-                by_name("stirturb", 20)(env)
-            })
+            World::run(
+                &WorldConfig::new(8),
+                move |r| PilgrimTracer::new(r, cfg),
+                |env| by_name("stirturb", 20)(env),
+            )
         })
     });
     g.bench_function("scalatrace", |b| {
@@ -60,9 +57,7 @@ fn bench_tracers(c: &mut Criterion) {
     });
     g.bench_function("raw", |b| {
         b.iter(|| {
-            World::run(&WorldConfig::new(8), RawTracer::new, |env| {
-                by_name("stirturb", 20)(env)
-            })
+            World::run(&WorldConfig::new(8), RawTracer::new, |env| by_name("stirturb", 20)(env))
         })
     });
     g.finish();

@@ -19,16 +19,16 @@ fn main() {
     let its = iters(50);
 
     println!("== Ablation 1: relative-rank encoding (2D stencil, {its} iters) ==\n");
-    println!("{:<8}{:>16}{:>16}{:>14}{:>14}", "procs", "relative (KB)", "absolute (KB)", "CST rel", "CST abs");
+    println!(
+        "{:<8}{:>16}{:>16}{:>14}{:>14}",
+        "procs", "relative (KB)", "absolute (KB)", "CST rel", "CST abs"
+    );
     for p in [9, 16, 25, 36] {
         if p > max {
             break;
         }
         let rel = run_pilgrim(p, PilgrimConfig::default(), by_name("stencil2d", its));
-        let abs_cfg = PilgrimConfig {
-            encoder: EncoderConfig { relative_ranks: false, ..Default::default() },
-            ..Default::default()
-        };
+        let abs_cfg = PilgrimConfig::new().encoder(EncoderConfig::new().relative_ranks(false));
         let abs = run_pilgrim(p, abs_cfg, by_name("stencil2d", its));
         println!(
             "{:<8}{:>16}{:>16}{:>14}{:>14}",
@@ -83,11 +83,7 @@ fn main() {
         }
     };
     let per_sig = run_pilgrim(4, PilgrimConfig::default(), Arc::new(churn));
-    let shared = run_pilgrim(
-        4,
-        PilgrimConfig { shared_request_pool: true, ..Default::default() },
-        Arc::new(churn),
-    );
+    let shared = run_pilgrim(4, PilgrimConfig::new().shared_request_pool(true), Arc::new(churn));
     println!("{:<24}{:>14}{:>12}{:>16}", "pools", "trace (KB)", "CST size", "grammar bytes");
     println!(
         "{:<24}{:>14}{:>12}{:>16}",
@@ -110,12 +106,12 @@ fn main() {
     println!("== Ablation 3: grammar identity check in the merge ==\n");
     let p = 32.min(max);
     let with = run_pilgrim(p, PilgrimConfig::default(), by_name("stirturb", its));
-    let without = run_pilgrim(
-        p,
-        PilgrimConfig { merge_identity_check: false, ..Default::default() },
-        by_name("stirturb", its),
+    let without =
+        run_pilgrim(p, PilgrimConfig::new().merge_identity_check(false), by_name("stirturb", its));
+    println!(
+        "{:<18}{:>16}{:>16}{:>16}",
+        "identity check", "trace (KB)", "unique CFGs", "CFG merge (us)"
     );
-    println!("{:<18}{:>16}{:>16}{:>16}", "identity check", "trace (KB)", "unique CFGs", "CFG merge (us)");
     println!(
         "{:<18}{:>16}{:>16}{:>16}",
         "on (paper)",
@@ -154,10 +150,7 @@ fn main() {
     let with_off = run_pilgrim(2, PilgrimConfig::default(), Arc::new(offsets));
     let no_off = run_pilgrim(
         2,
-        PilgrimConfig {
-            encoder: EncoderConfig { pointer_offsets: false, ..Default::default() },
-            ..Default::default()
-        },
+        PilgrimConfig::new().encoder(EncoderConfig::new().pointer_offsets(false)),
         Arc::new(offsets),
     );
     println!("{:<18}{:>16}{:>12}", "offsets", "trace (KB)", "CST size");

@@ -13,17 +13,10 @@ use pilgrim_bench::{iters, kb, max_procs, run_pilgrim, square_sweep, sweep};
 fn main() {
     let max = max_procs(32);
     let its = iters(40);
-    let cfg = PilgrimConfig {
-        timing: TimingMode::Lossy { base: 1.2 },
-        ..Default::default()
-    };
+    let cfg = PilgrimConfig::new().timing(TimingMode::Lossy { base: 1.2 });
     println!("== Figure 10: timing grammar sizes, b = 1.2 ({its} iterations) ==");
     for bench in ["is", "mg", "cg", "lu", "sp", "bt"] {
-        let procs = if bench == "sp" || bench == "bt" {
-            square_sweep(max)
-        } else {
-            sweep(8, max)
-        };
+        let procs = if bench == "sp" || bench == "bt" { square_sweep(max) } else { sweep(8, max) };
         println!("\n-- {} --", bench.to_uppercase());
         println!(
             "{:<8}{:>18}{:>18}{:>14}{:>12}",

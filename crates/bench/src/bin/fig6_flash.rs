@@ -39,10 +39,7 @@ fn main() {
     println!("\n== Figure 6 (d-f): FLASH trace size vs iterations ({fixed} processes) ==");
     for app in ["sedov", "cellular", "stirturb"] {
         println!("\n-- {app} --");
-        println!(
-            "{:<12}{:>14}{:>12}{:>14}",
-            "iterations", "ScalaTrace", "Pilgrim", "MPI calls"
-        );
+        println!("{:<12}{:>14}{:>12}{:>14}", "iterations", "ScalaTrace", "Pilgrim", "MPI calls");
         for its in [100, 200, 400, 600, 1000] {
             let pr = run_pilgrim(fixed, PilgrimConfig::default(), by_name(app, its));
             let (st, _, _) = run_scalatrace(fixed, by_name(app, its));

@@ -6,12 +6,17 @@
 
 use mpi_sim::WorldConfig;
 use mpi_workloads::by_name;
-use pilgrim::PilgrimConfig;
-use pilgrim_bench::{iters, max_procs, run_pilgrim_world, run_scalatrace_world, run_untraced_world, sweep};
+use pilgrim::{MetricsReport, PilgrimConfig};
+use pilgrim_bench::{
+    iters, max_procs, metrics_out, run_pilgrim_world, run_scalatrace_world, run_untraced_world,
+    sweep, write_metrics,
+};
 
 fn main() {
     let max = max_procs(32);
     let its = iters(60);
+    let metrics_path = metrics_out();
+    let mut all_metrics = MetricsReport::default();
     println!("== Figure 7: FLASH execution time (ms wall), tracing overhead ==");
     println!("(compute phases busy-spin so the untraced baseline carries the");
     println!(" application's real compute budget, as on the paper's clusters)");
@@ -27,10 +32,11 @@ fn main() {
             // compute intensity of the paper's production runs.
             wcfg.compute_spin = 3.0;
             let base = run_untraced_world(&wcfg, by_name(app, its));
-            let pr = run_pilgrim_world(&wcfg, PilgrimConfig::default(), by_name(app, its));
+            let cfg = PilgrimConfig::new().metrics(metrics_path.is_some());
+            let pr = run_pilgrim_world(&wcfg, cfg, by_name(app, its));
+            all_metrics.merge(&pr.metrics);
             let (_, st_wall, _) = run_scalatrace_world(&wcfg, by_name(app, its));
-            let overhead =
-                (pr.wall.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0;
+            let overhead = (pr.wall.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0;
             println!(
                 "{:<8}{:>12.1}{:>14.1}{:>14.1}{:>11.1}%",
                 p,
@@ -43,4 +49,7 @@ fn main() {
     }
     println!("\nExpected shape: Pilgrim overhead moderate; paper max 21% / 29% / 4%.");
     println!("(Wall times on a simulator are noisy; rerun or raise --iters for stability.)");
+    if let Some(path) = metrics_path {
+        write_metrics(&path, &all_metrics);
+    }
 }

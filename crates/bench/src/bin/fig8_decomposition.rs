@@ -5,19 +5,23 @@
 //! unique grammars survive (StirTurb: 2, Sedov: 74, Cellular: 498).
 
 use mpi_workloads::by_name;
-use pilgrim::PilgrimConfig;
-use pilgrim_bench::{iters, max_procs, run_pilgrim};
+use pilgrim::{MetricsReport, PilgrimConfig};
+use pilgrim_bench::{iters, max_procs, metrics_out, run_pilgrim, write_metrics};
 
 fn main() {
     let p = max_procs(32);
     let its = iters(120);
+    let metrics_path = metrics_out();
+    let mut all_metrics = MetricsReport::default();
     println!("== Figure 8: Pilgrim overhead decomposition ({p} procs, {its} iters) ==\n");
     println!(
         "{:<12}{:>14}{:>16}{:>16}{:>14}",
         "app", "intra %", "inter-CST %", "inter-CFG %", "unique CFGs"
     );
     for app in ["sedov", "cellular", "stirturb"] {
-        let run = run_pilgrim(p, PilgrimConfig::default(), by_name(app, its));
+        let cfg = PilgrimConfig::new().metrics(metrics_path.is_some());
+        let run = run_pilgrim(p, cfg, by_name(app, its));
+        all_metrics.merge(&run.metrics);
         // Rank 0's decomposition: it holds the merged result and runs the
         // sequential final Sequitur pass the paper attributes the
         // inter-CFG cost to.
@@ -28,4 +32,7 @@ fn main() {
         );
     }
     println!("\nExpected shape: inter-CST negligible; inter-CFG share grows with unique grammars.");
+    if let Some(path) = metrics_path {
+        write_metrics(&path, &all_metrics);
+    }
 }

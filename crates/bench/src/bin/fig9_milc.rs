@@ -27,11 +27,8 @@ fn main() {
             PilgrimConfig::default(),
             Arc::new(move |env| su3_rmd(env, traj, per_rank)),
         );
-        let weak = run_pilgrim(
-            p,
-            PilgrimConfig::default(),
-            Arc::new(move |env| su3_rmd(env, traj, 16)),
-        );
+        let weak =
+            run_pilgrim(p, PilgrimConfig::default(), Arc::new(move |env| su3_rmd(env, traj, 16)));
         println!(
             "{:<8}{:>16}{:>14}{:>16}{:>14}",
             p,

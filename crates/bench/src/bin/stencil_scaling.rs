@@ -27,18 +27,15 @@ fn main() {
         );
     }
 
-    println!("\n== trace size vs iterations (9 procs 2D / 27 procs 3D, capped by --max-procs) ==\n");
+    println!(
+        "\n== trace size vs iterations (9 procs 2D / 27 procs 3D, capped by --max-procs) ==\n"
+    );
     println!("{:<12}{:>12}{:>12}", "iterations", "2D (KB)", "3D (KB)");
     let p3 = 27.min(max);
     for its in [10, 100, 1000] {
         let r2 = run_pilgrim(9.min(max), PilgrimConfig::default(), by_name("stencil2d", its));
         let r3 = run_pilgrim(p3, PilgrimConfig::default(), by_name("stencil3d", its));
-        println!(
-            "{:<12}{:>12}{:>12}",
-            its,
-            kb(r2.trace.size_bytes()),
-            kb(r3.trace.size_bytes())
-        );
+        println!("{:<12}{:>12}{:>12}", its, kb(r2.trace.size_bytes()), kb(r3.trace.size_bytes()));
     }
     println!("\nExpected shape: sizes flat beyond 9 (2D) / 27 (3D) ranks and flat in iterations.");
 }

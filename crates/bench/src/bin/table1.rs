@@ -21,10 +21,7 @@ fn main() {
     println!("(paper: Cypress 56, ScalaTrace 125, Pilgrim 446)\n");
 
     println!("Popular parameters:");
-    println!(
-        "{:<18}{:<22}{:<26}Pilgrim",
-        "Parameter", "Cypress", "ScalaTrace"
-    );
+    println!("{:<18}{:<22}{:<26}Pilgrim", "Parameter", "Cypress", "ScalaTrace");
     let rows = [
         ("MPI_Status", "kept", "kept", "kept (src, tag)"),
         ("MPI_Request", "ignored", "raw handles", "per-signature symbolic ids"),

@@ -4,6 +4,7 @@
 //! ```text
 //! trace_tool record <workload> <ranks> <iters> <out.pilgrim>
 //! trace_tool inspect <trace.pilgrim>
+//! trace_tool stats <trace.pilgrim>
 //! trace_tool signatures <trace.pilgrim>
 //! trace_tool export <trace.pilgrim> [out.txt]
 //! trace_tool decode <trace.pilgrim> <rank> [limit]
@@ -14,13 +15,14 @@ use std::fs;
 use std::process::exit;
 
 use mpi_sim::FuncId;
-use pilgrim::{decode_rank_calls, GlobalTrace, PilgrimConfig};
+use pilgrim::{decode_rank_calls, GlobalTrace, MetricsRegistry, PilgrimConfig};
 use pilgrim_bench::run_pilgrim;
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  trace_tool record <workload> <ranks> <iters> <out.pilgrim>\n  \
          trace_tool inspect <trace.pilgrim>\n  \
+         trace_tool stats <trace.pilgrim>\n  \
          trace_tool signatures <trace.pilgrim>\n  \
          trace_tool export <trace.pilgrim> [out.txt]\n  \
          trace_tool decode <trace.pilgrim> <rank> [limit]\n  \
@@ -35,8 +37,8 @@ fn load(path: &str) -> GlobalTrace {
         eprintln!("cannot read {path}: {e}");
         exit(1)
     });
-    GlobalTrace::deserialize(&bytes).unwrap_or_else(|| {
-        eprintln!("{path} is not a valid pilgrim trace");
+    GlobalTrace::decode(&bytes).unwrap_or_else(|e| {
+        eprintln!("{path} is not a valid pilgrim trace: {e}");
         exit(1)
     })
 }
@@ -72,7 +74,7 @@ fn main() {
             println!("  grammar         {} bytes", report.grammar_bytes);
             println!("  duration gram.  {} bytes", report.duration_bytes);
             println!("  interval gram.  {} bytes", report.interval_bytes);
-            println!("  metadata        {} bytes", report.meta_bytes);
+            println!("  metadata        {} bytes", report.meta_bytes());
             // Function histogram from the CST.
             let mut counts: std::collections::HashMap<&str, u64> = Default::default();
             for (_, sig, stats) in trace.cst.iter() {
@@ -87,6 +89,18 @@ fn main() {
             for (name, c) in rows.into_iter().take(12) {
                 println!("  {name:<28}{c:>12}");
             }
+        }
+        Some("stats") if args.len() == 2 => {
+            // Machine-readable size decomposition as JSON. Stage timers are
+            // present (and zero): timing only exists while tracing runs.
+            let trace = load(&args[1]);
+            let mut report = MetricsRegistry::default().snapshot();
+            report.size = Some(trace.size_report());
+            report.counters.insert("calls".into(), trace.rank_lengths.iter().sum::<u64>());
+            report.counters.insert("cst.signatures".into(), trace.cst.len() as u64);
+            report.counters.insert("cfg.rules".into(), trace.grammar.num_rules() as u64);
+            report.counters.insert("merge.unique_grammars".into(), trace.unique_grammars as u64);
+            println!("{}", report.to_json());
         }
         Some("signatures") if args.len() == 2 => {
             print!("{}", pilgrim::to_signature_listing(&load(&args[1])));
@@ -104,10 +118,8 @@ fn main() {
         Some("decode") if args.len() >= 3 => {
             let trace = load(&args[1]);
             let rank: usize = args[2].parse().unwrap_or_else(|_| usage());
-            let limit: usize = args
-                .get(3)
-                .map(|l| l.parse().unwrap_or_else(|_| usage()))
-                .unwrap_or(50);
+            let limit: usize =
+                args.get(3).map(|l| l.parse().unwrap_or_else(|_| usage())).unwrap_or(50);
             for (i, call) in decode_rank_calls(&trace, rank).iter().take(limit).enumerate() {
                 let name = FuncId::from_id(call.func).map_or("?", |f| f.name());
                 println!("{i:>6}  {name}  {} args", call.args.len());

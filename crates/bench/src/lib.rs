@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use mpi_sim::{NullTracer, World, WorldConfig};
 use mpi_workloads::Body;
-use pilgrim::{GlobalTrace, OverheadStats, PilgrimConfig, PilgrimTracer};
+use pilgrim::{GlobalTrace, MetricsReport, OverheadStats, PilgrimConfig, PilgrimTracer};
 use trace_baselines::{RawTracer, ScalaTraceTracer};
 
 /// Result of one traced Pilgrim run.
@@ -21,6 +21,10 @@ pub struct PilgrimRun {
     pub stats: OverheadStats,
     /// Rank 0's own stats: the rank that performs the final merge work.
     pub stats_rank0: OverheadStats,
+    /// All ranks' metrics merged (timers/counters summed), with rank 0's
+    /// trace size decomposition attached. All-zero timers unless the run's
+    /// [`PilgrimConfig::metrics`] was enabled.
+    pub metrics: MetricsReport,
     /// Sum of per-rank local (pre-merge) sizes.
     pub local_bytes: usize,
     pub total_calls: u64,
@@ -35,28 +39,55 @@ pub fn run_pilgrim(nranks: usize, cfg: PilgrimConfig, body: Body) -> PilgrimRun 
 /// experiments enable compute spinning).
 pub fn run_pilgrim_world(wcfg: &WorldConfig, cfg: PilgrimConfig, body: Body) -> PilgrimRun {
     let start = Instant::now();
-    let mut tracers = World::run(
-        wcfg,
-        |rank| PilgrimTracer::new(rank, cfg),
-        move |env| body(env),
-    );
+    let mut tracers = World::run(wcfg, |rank| PilgrimTracer::new(rank, cfg), move |env| body(env));
     let wall = start.elapsed();
     let mut stats = OverheadStats::default();
+    let mut metrics = MetricsReport::default();
     let mut local_bytes = 0;
     let mut total_calls = 0;
-    for t in &tracers {
-        stats.merge(&t.stats());
+    let mut trace = None;
+    let mut stats_rank0 = OverheadStats::default();
+    for (rank, t) in tracers.iter_mut().enumerate() {
         local_bytes += t.local_size_bytes();
         total_calls += t.call_count();
+        let out = t.take_output();
+        stats.merge(&out.stats);
+        metrics.merge(&out.metrics);
+        if rank == 0 {
+            stats_rank0 = out.stats;
+            trace = out.trace;
+        }
     }
     PilgrimRun {
-        stats_rank0: tracers[0].stats(),
-        trace: tracers[0].take_global_trace().expect("rank 0 trace"),
+        trace: trace.expect("rank 0 trace"),
         wall,
         stats,
+        stats_rank0,
+        metrics,
         local_bytes,
         total_calls,
     }
+}
+
+/// `--metrics-out <path>` / `PILGRIM_METRICS_OUT`: where to write a JSON
+/// metrics report, if requested.
+pub fn metrics_out() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--metrics-out" {
+            return Some(args.next().unwrap_or_else(|| {
+                eprintln!("--metrics-out needs a path");
+                std::process::exit(2)
+            }));
+        }
+    }
+    std::env::var("PILGRIM_METRICS_OUT").ok()
+}
+
+/// Writes a metrics report as JSON to `path` and logs where it went.
+pub fn write_metrics(path: &str, report: &MetricsReport) {
+    std::fs::write(path, report.to_json()).expect("write metrics JSON");
+    eprintln!("metrics written to {path}");
 }
 
 /// Runs a workload under the ScalaTrace model; returns
@@ -68,9 +99,7 @@ pub fn run_scalatrace(nranks: usize, body: Body) -> (usize, Duration, usize) {
 /// [`run_scalatrace`] with a custom world configuration.
 pub fn run_scalatrace_world(wcfg: &WorldConfig, body: Body) -> (usize, Duration, usize) {
     let start = Instant::now();
-    let tracers = World::run(wcfg, ScalaTraceTracer::new, move |env| {
-        body(env)
-    });
+    let tracers = World::run(wcfg, ScalaTraceTracer::new, move |env| body(env));
     let wall = start.elapsed();
     let g = tracers[0].global().expect("rank 0 result");
     (g.size_bytes(), wall, g.groups.len())
@@ -104,10 +133,7 @@ pub fn max_procs(default: usize) -> usize {
             }
         }
     }
-    std::env::var("PILGRIM_MAX_PROCS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("PILGRIM_MAX_PROCS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// `--iters` / `PILGRIM_ITERS` override for run length.
@@ -120,10 +146,7 @@ pub fn iters(default: usize) -> usize {
             }
         }
     }
-    std::env::var("PILGRIM_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("PILGRIM_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Pretty byte counts, KB with one decimal like the paper's plots.

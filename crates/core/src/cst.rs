@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use pilgrim_sequitur::{read_varint, write_varint};
+use pilgrim_sequitur::{decode_varint, write_varint, DecodeError};
 
 /// Aggregate statistics kept per signature.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -102,10 +102,7 @@ impl Cst {
 
     /// Iterates `(terminal, signature, stats)` in terminal order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[u8], SigStats)> + '_ {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, (sig, st))| (i as u32, sig.as_slice(), *st))
+        self.entries.iter().enumerate().map(|(i, (sig, st))| (i as u32, sig.as_slice(), *st))
     }
 
     /// Serialized size in bytes (what the trace-size experiments count).
@@ -127,18 +124,35 @@ impl Cst {
     }
 
     /// Deserializes a table written by [`Cst::serialize`].
+    #[deprecated(since = "0.1.0", note = "use `Cst::decode`, which reports why decoding failed")]
     pub fn deserialize(buf: &[u8], pos: &mut usize) -> Option<Cst> {
-        let n = read_varint(buf, pos)? as usize;
+        Self::decode(buf, pos).ok()
+    }
+
+    /// Decodes a table written by [`Cst::serialize`], advancing `pos` and
+    /// reporting exactly where a malformed buffer went wrong.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Cst, DecodeError> {
+        let count_off = *pos;
+        let n = decode_varint(buf, pos)? as usize;
+        // Every entry costs at least three bytes (length + two stat
+        // varints), so an impossible count is corruption, not data.
+        if n > buf.len().saturating_sub(*pos) / 3 + 1 {
+            return Err(DecodeError::Corrupt { what: "CST entry count", offset: count_off });
+        }
         let mut cst = Cst::new();
         for _ in 0..n {
-            let len = read_varint(buf, pos)? as usize;
-            let sig = buf.get(*pos..*pos + len)?.to_vec();
+            let len = decode_varint(buf, pos)? as usize;
+            let sig_off = *pos;
+            let sig = buf
+                .get(*pos..pos.saturating_add(len))
+                .ok_or(DecodeError::Truncated { what: "CST signature", offset: sig_off })?
+                .to_vec();
             *pos += len;
-            let count = read_varint(buf, pos)?;
-            let dur_sum = read_varint(buf, pos)?;
+            let count = decode_varint(buf, pos)?;
+            let dur_sum = decode_varint(buf, pos)?;
             cst.intern(&sig, SigStats { count, dur_sum });
         }
-        Some(cst)
+        Ok(cst)
     }
 }
 
@@ -188,7 +202,7 @@ mod tests {
         c.serialize(&mut buf);
         assert_eq!(buf.len(), c.byte_size());
         let mut pos = 0;
-        let back = Cst::deserialize(&buf, &mut pos).unwrap();
+        let back = Cst::decode(&buf, &mut pos).unwrap();
         assert_eq!(pos, buf.len());
         assert_eq!(back.len(), 2);
         assert_eq!(back.signature(0), b"alpha");
@@ -209,7 +223,7 @@ mod tests {
         let mut buf = Vec::new();
         c.serialize(&mut buf);
         let mut pos = 0;
-        let back = Cst::deserialize(&buf, &mut pos).unwrap();
+        let back = Cst::decode(&buf, &mut pos).unwrap();
         assert!(back.is_empty());
     }
 }

@@ -22,8 +22,7 @@ pub fn decode_rank_calls(trace: &GlobalTrace, rank: usize) -> Vec<EncodedCall> {
         .decode_rank(rank)
         .into_iter()
         .map(|term| {
-            decode_signature(trace.cst.signature(term))
-                .expect("stored signatures are well-formed")
+            decode_signature(trace.cst.signature(term)).expect("stored signatures are well-formed")
         })
         .collect()
 }
@@ -44,11 +43,7 @@ pub fn verify_lossless(
     refs: &[Vec<CapturedCall>],
 ) -> Result<VerifyReport, String> {
     if refs.len() != trace.nranks {
-        return Err(format!(
-            "trace has {} ranks, reference has {}",
-            trace.nranks,
-            refs.len()
-        ));
+        return Err(format!("trace has {} ranks, reference has {}", trace.nranks, refs.len()));
     }
     let mut report = VerifyReport::default();
     let decoded_ranks = trace.decode_all_ranks();
@@ -88,9 +83,17 @@ pub fn verify_lossless(
             let mut status_idx = 0usize;
             for (j, (dec, raw)) in call.args.iter().zip(&cap.rec.args).enumerate() {
                 check_arg(
-                    dec, raw, cap, rank, i, j,
-                    &mut comm_map, &mut freed_comms, &cap.rec.func,
-                    &bases, &mut status_idx,
+                    dec,
+                    raw,
+                    cap,
+                    rank,
+                    i,
+                    j,
+                    &mut comm_map,
+                    &mut freed_comms,
+                    &cap.rec.func,
+                    &bases,
+                    &mut status_idx,
                 )?;
                 report.args_checked += 1;
             }
@@ -103,7 +106,11 @@ pub fn verify_lossless(
 
 /// Mirrors the tracer's per-request status bases using the reference
 /// capture's raw request ids.
-fn status_bases(rec: &mpi_sim::CallRec, caller_rank: i64, req_base: &HashMap<u64, i64>) -> Vec<i64> {
+fn status_bases(
+    rec: &mpi_sim::CallRec,
+    caller_rank: i64,
+    req_base: &HashMap<u64, i64>,
+) -> Vec<i64> {
     let look = |raw: u64| -> i64 { req_base.get(&raw).copied().unwrap_or(caller_rank) };
     let arr = |a: &Arg| -> Vec<u64> {
         match a {
@@ -167,7 +174,9 @@ fn track_requests(rec: &mpi_sim::CallRec, caller_rank: i64, req_base: &mut HashM
             | FuncId::CommIdup
     );
     if creates {
-        if let Some(Arg::Request(raw)) = rec.args.iter().rev().find(|a| matches!(a, Arg::Request(_))) {
+        if let Some(Arg::Request(raw)) =
+            rec.args.iter().rev().find(|a| matches!(a, Arg::Request(_)))
+        {
             req_base.insert(*raw, caller_rank);
         }
     }

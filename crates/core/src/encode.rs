@@ -29,15 +29,34 @@ pub struct EncoderConfig {
 
 impl Default for EncoderConfig {
     fn default() -> Self {
-        EncoderConfig {
-            relative_ranks: true,
-            relative_aux: false,
-            pointer_offsets: true,
-        }
+        EncoderConfig { relative_ranks: true, relative_aux: false, pointer_offsets: true }
     }
 }
 
 impl EncoderConfig {
+    /// Starts from the defaults; chain the builder methods to customize.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Toggles relative rank encoding (§3.4.2).
+    pub fn relative_ranks(mut self, on: bool) -> Self {
+        self.relative_ranks = on;
+        self
+    }
+
+    /// Toggles relative tag/color/key encoding.
+    pub fn relative_aux(mut self, on: bool) -> Self {
+        self.relative_aux = on;
+        self
+    }
+
+    /// Toggles pointer-offset capture (§3.3.3).
+    pub fn pointer_offsets(mut self, on: bool) -> Self {
+        self.pointer_offsets = on;
+        self
+    }
+
     /// Packs the configuration into a byte for the trace header.
     pub fn to_byte(self) -> u8 {
         (self.relative_ranks as u8)
@@ -149,8 +168,14 @@ pub enum EncodedArg {
     Request(u64),
     /// `None` entries are `MPI_REQUEST_NULL`.
     RequestArr(Vec<Option<u64>>),
-    Ptr { segment: u64, offset: u64 },
-    Status { source: RankCode, tag: i64 },
+    Ptr {
+        segment: u64,
+        offset: u64,
+    },
+    Status {
+        source: RankCode,
+        tag: i64,
+    },
     StatusArr(Vec<(RankCode, i64)>),
     IntArr(Vec<i64>),
     Color(i64),
@@ -320,7 +345,12 @@ impl SigWriter {
     /// Status-array encoding with a per-entry relative base (each status
     /// belongs to a request that may have been created on a different
     /// communicator).
-    pub fn status_arr_with_bases(&mut self, sts: &[(i32, i32)], bases: &[i64], cfg: &EncoderConfig) {
+    pub fn status_arr_with_bases(
+        &mut self,
+        sts: &[(i32, i32)],
+        bases: &[i64],
+        cfg: &EncoderConfig,
+    ) {
         debug_assert_eq!(sts.len(), bases.len());
         self.tag(ValTag::StatusArr);
         self.uv(sts.len() as u64);
@@ -501,7 +531,7 @@ mod tests {
 
     #[test]
     fn absolute_ranks_differ_across_ranks() {
-        let c = EncoderConfig { relative_ranks: false, ..cfg() };
+        let c = cfg().relative_ranks(false);
         let sig_of = |rank: i64| {
             let mut w = SigWriter::new(1);
             w.rank((rank + 1) as i32, rank, &c);
@@ -533,7 +563,7 @@ mod tests {
 
     #[test]
     fn relative_aux_encodes_rank_dependent_tags() {
-        let c = EncoderConfig { relative_aux: true, ..cfg() };
+        let c = cfg().relative_aux(true);
         let sig_of = |rank: i64| {
             let mut w = SigWriter::new(1);
             w.msg_tag(rank as i32 + 100, rank, &c); // tag = rank + 100
@@ -544,7 +574,7 @@ mod tests {
 
     #[test]
     fn pointer_offsets_can_be_dropped() {
-        let c = EncoderConfig { pointer_offsets: false, ..cfg() };
+        let c = cfg().pointer_offsets(false);
         let mut w = SigWriter::new(1);
         w.ptr(3, 999, &c);
         let call = decode_signature(&w.into_bytes()).unwrap();

@@ -1,0 +1,8 @@
+//! Error types for fallible decoding.
+//!
+//! Every deserializer in the public API returns `Result<_, DecodeError>`
+//! rather than a bare `Option`, so callers can tell a short read from
+//! structural corruption. The type itself lives in `pilgrim_sequitur`
+//! (the lowest layer that decodes anything) and is re-exported here.
+
+pub use pilgrim_sequitur::DecodeError;

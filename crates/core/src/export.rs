@@ -49,10 +49,8 @@ fn fmt_arg(arg: &EncodedArg) -> String {
             }
         }
         EncodedArg::RequestArr(v) => {
-            let items: Vec<String> = v
-                .iter()
-                .map(|r| r.map_or("NULL".into(), |x| x.to_string()))
-                .collect();
+            let items: Vec<String> =
+                v.iter().map(|r| r.map_or("NULL".into(), |x| x.to_string())).collect();
             format!("reqs=[{}]", items.join(","))
         }
         EncodedArg::Ptr { segment, offset } => format!("buf=seg{segment}+{offset}"),
@@ -60,10 +58,8 @@ fn fmt_arg(arg: &EncodedArg) -> String {
             format!("status=({},{})", fmt_rank(*source), tag)
         }
         EncodedArg::StatusArr(v) => {
-            let items: Vec<String> = v
-                .iter()
-                .map(|(s, t)| format!("({},{t})", fmt_rank(*s)))
-                .collect();
+            let items: Vec<String> =
+                v.iter().map(|(s, t)| format!("({},{t})", fmt_rank(*s))).collect();
             format!("statuses=[{}]", items.join(","))
         }
         EncodedArg::IntArr(v) => format!("{v:?}"),
@@ -110,12 +106,7 @@ pub fn to_signature_listing(trace: &GlobalTrace) -> String {
         let call = decode_signature(sig).expect("stored signatures decode");
         let name = FuncId::from_id(call.func).map_or("MPI_<unknown>", |f| f.name());
         let args: Vec<String> = call.args.iter().map(fmt_arg).collect();
-        let _ = writeln!(
-            out,
-            "{term:>6}  {name}({})  x{}",
-            args.join(", "),
-            stats.count
-        );
+        let _ = writeln!(out, "{term:>6}  {name}({})  x{}", args.join(", "), stats.count);
     }
     out
 }
@@ -123,29 +114,25 @@ pub fn to_signature_listing(trace: &GlobalTrace) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tracer::PilgrimTracer;
     use mpi_sim::datatype::BasicType;
     use mpi_sim::{World, WorldConfig};
-    use crate::tracer::PilgrimTracer;
 
     fn sample_trace() -> GlobalTrace {
-        let mut tracers = World::run(
-            &WorldConfig::new(2),
-            PilgrimTracer::with_defaults,
-            |env| {
-                let me = env.world_rank();
-                let world = env.comm_world();
-                let dt = env.basic(BasicType::LongLong);
-                let buf = env.malloc(8);
-                for _ in 0..5 {
-                    if me == 0 {
-                        env.send(buf, 1, dt, 1, 9, world);
-                    } else {
-                        env.recv(buf, 1, dt, 0, 9, world);
-                    }
-                    env.barrier(world);
+        let mut tracers = World::run(&WorldConfig::new(2), PilgrimTracer::with_defaults, |env| {
+            let me = env.world_rank();
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::LongLong);
+            let buf = env.malloc(8);
+            for _ in 0..5 {
+                if me == 0 {
+                    env.send(buf, 1, dt, 1, 9, world);
+                } else {
+                    env.recv(buf, 1, dt, 0, 9, world);
                 }
-            },
-        );
+                env.barrier(world);
+            }
+        });
         tracers[0].take_global_trace().unwrap()
     }
 

@@ -11,8 +11,8 @@
 //! (§3.4.3), making the k-th request created by a given call site always
 //! get the same id regardless of completion order.
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// A pool of reusable symbolic ids; always hands out the smallest free id.
 #[derive(Debug, Default, Clone)]
@@ -69,10 +69,7 @@ impl SigPools {
 
     /// Releases an id back to its signature's pool.
     pub fn release(&mut self, sig: &[u8], id: u64) {
-        self.pools
-            .get_mut(sig)
-            .expect("release for unknown signature pool")
-            .release(id);
+        self.pools.get_mut(sig).expect("release for unknown signature pool").release(id);
     }
 
     /// Number of distinct signature pools.

@@ -49,15 +49,50 @@
 //! let calls = trace.decode_rank(2);
 //! assert_eq!(calls.len() as u64, trace.rank_lengths[2]);
 //! ```
+//!
+//! ## Observability
+//!
+//! Enabling [`PilgrimConfig::metrics`] turns on a per-rank
+//! [`MetricsRegistry`] ([`metrics`]): monotonic timers for the six
+//! pipeline stages (`intercept`, `encode`, `grammar`, `cst-merge`,
+//! `cfg-merge`, `final-sequitur`), named counters (`calls`, …) and byte
+//! gauges (`cst.signatures`, `cfg.rules`, `local.bytes`, …). The stage
+//! timers partition [`OverheadStats`] exactly: the three intra-process
+//! stages sum to `intra`, `cst-merge` equals `inter_cst`, and
+//! `cfg-merge` + `final-sequitur` equal `inter_cfg`. When metrics are
+//! off (the default) every registry operation is a single branch.
+//!
+//! At finalize, [`PilgrimTracer::take_output`] returns a
+//! [`FinalizeOutput`] bundling the merged trace (rank 0), the rank's
+//! [`MetricsReport`] snapshot — with the [`SizeReport`] byte
+//! decomposition attached on the rank holding the trace — and its
+//! [`OverheadStats`]. Reports from all ranks [`MetricsReport::merge`]
+//! into one and export as JSON via [`MetricsReport::to_json`]
+//! (`{"size":{...},"timers_ns":{...},"counters":{...}}`, sorted keys, no
+//! external dependencies). The `trace_tool stats <trace>` subcommand and
+//! the `--metrics-out <path>` flag on the figure binaries emit the same
+//! schema from the command line.
+//!
+//! ## Errors
+//!
+//! Every fallible decoder returns `Result<_, `[`DecodeError`]`>` —
+//! [`GlobalTrace::decode`], [`Cst::decode`](cst::Cst::decode), and
+//! `FlatGrammar::decode` in `pilgrim_sequitur` — reporting *why* and at
+//! which byte offset a malformed buffer was rejected (truncation, bad
+//! rule references, cyclic rule graphs, trailing bytes, impossible
+//! counts). The old `Option`-returning `deserialize` entry points remain
+//! as deprecated shims.
 
 pub mod avl;
 pub mod cst;
 pub mod decode;
 pub mod encode;
+pub mod error;
 pub mod export;
 pub mod idpool;
 pub mod memtracker;
 pub mod merge;
+pub mod metrics;
 pub mod replay;
 pub mod stats;
 pub mod timing;
@@ -67,10 +102,12 @@ pub mod tracer;
 pub use cst::{Cst, SigStats};
 pub use decode::{decode_rank_calls, verify_lossless, VerifyReport};
 pub use encode::{decode_signature, EncodedArg, EncodedCall, EncoderConfig, RankCode};
+pub use error::DecodeError;
 pub use export::{to_signature_listing, to_text};
 pub use merge::LocalPiece;
+pub use metrics::{MetricsRegistry, MetricsReport, Stage, StageGuard};
 pub use replay::{replay, replay_and_retrace};
 pub use stats::OverheadStats;
 pub use timing::TimingCompressor;
 pub use trace::{GlobalTrace, SizeReport};
-pub use tracer::{CapturedCall, PilgrimConfig, PilgrimTracer, TimingMode};
+pub use tracer::{CapturedCall, FinalizeOutput, PilgrimConfig, PilgrimTracer, TimingMode};

@@ -15,11 +15,12 @@ use std::time::Instant;
 
 use mpi_sim::TraceCtx;
 use pilgrim_sequitur::{
-    compress_runs, read_varint, write_varint, FlatGrammar, FlatRule, Symbol,
+    compress_runs, decode_varint, write_varint, DecodeError, FlatGrammar, FlatRule, Symbol,
 };
 
 use crate::cst::Cst;
 use crate::encode::EncoderConfig;
+use crate::metrics::{MetricsRegistry, Stage};
 use crate::stats::OverheadStats;
 use crate::trace::GlobalTrace;
 
@@ -70,23 +71,31 @@ fn ser_grammar_set(set: &GrammarSet) -> Vec<u8> {
     out
 }
 
-fn deser_grammar_set(buf: &[u8]) -> Option<GrammarSet> {
+fn deser_grammar_set(buf: &[u8]) -> Result<GrammarSet, DecodeError> {
     let mut pos = 0usize;
-    let n = read_varint(buf, &mut pos)? as usize;
+    let count_off = pos;
+    let n = decode_varint(buf, &mut pos)? as usize;
+    if n > buf.len().saturating_sub(pos) + 1 {
+        return Err(DecodeError::Corrupt { what: "grammar set count", offset: count_off });
+    }
     let mut set = Vec::with_capacity(n);
     for _ in 0..n {
-        let (g, used) = FlatGrammar::deserialize(&buf[pos..])?;
+        let (g, used) = FlatGrammar::decode(&buf[pos..]).map_err(|e| e.offset_by(pos))?;
         pos += used;
-        let m = read_varint(buf, &mut pos)? as usize;
+        let m_off = pos;
+        let m = decode_varint(buf, &mut pos)? as usize;
+        if m > buf.len().saturating_sub(pos) / 2 + 1 {
+            return Err(DecodeError::Corrupt { what: "rank list count", offset: m_off });
+        }
         let mut ranks = Vec::with_capacity(m);
         for _ in 0..m {
-            let r = read_varint(buf, &mut pos)?;
-            let l = read_varint(buf, &mut pos)?;
+            let r = decode_varint(buf, &mut pos)?;
+            let l = decode_varint(buf, &mut pos)?;
             ranks.push((r, l));
         }
         set.push((g, ranks));
     }
-    Some(set)
+    Ok(set)
 }
 
 /// Merges an incoming grammar set into `mine`, using the identity check
@@ -159,7 +168,11 @@ fn bcast(ctx: &TraceCtx<'_>, tag: i32, data: Option<Vec<u8>>) -> Vec<u8> {
 
 /// Runs the full inter-process compression. Every rank participates;
 /// rank 0 returns the merged [`GlobalTrace`].
-pub fn merge(ctx: &TraceCtx<'_>, piece: LocalPiece, stats: &mut OverheadStats) -> Option<GlobalTrace> {
+pub fn merge(
+    ctx: &TraceCtx<'_>,
+    piece: LocalPiece,
+    stats: &mut OverheadStats,
+) -> Option<GlobalTrace> {
     merge_with_options(ctx, piece, stats, true)
 }
 
@@ -170,6 +183,21 @@ pub fn merge_with_options(
     piece: LocalPiece,
     stats: &mut OverheadStats,
     identity_check: bool,
+) -> Option<GlobalTrace> {
+    merge_with_metrics(ctx, piece, stats, identity_check, &MetricsRegistry::default())
+}
+
+/// [`merge_with_options`] that additionally records per-stage timers
+/// ([`Stage::CstMerge`], [`Stage::CfgMerge`], [`Stage::FinalSequitur`])
+/// and payload-byte counters in `metrics`. The stage timers decompose the
+/// `OverheadStats` fields exactly: `cst-merge` equals `inter_cst`, and
+/// `cfg-merge + final-sequitur` equals `inter_cfg`.
+pub fn merge_with_metrics(
+    ctx: &TraceCtx<'_>,
+    piece: LocalPiece,
+    stats: &mut OverheadStats,
+    identity_check: bool,
+    metrics: &MetricsRegistry,
 ) -> Option<GlobalTrace> {
     // Synchronize before timing: rank threads reach finalize at skewed
     // times (they timeshare host cores); without a barrier the first
@@ -184,7 +212,8 @@ pub fn merge_with_options(
         &mut merged_cst,
         |mine, bytes| {
             let mut pos = 0;
-            let incoming = Cst::deserialize(&bytes, &mut pos).expect("valid CST payload");
+            let incoming = Cst::decode(&bytes, &mut pos).expect("valid CST payload");
+            metrics.incr("merge.cst_payload_bytes", bytes.len() as u64);
             for (_, sig, st) in incoming.iter() {
                 mine.intern(sig, st);
             }
@@ -205,7 +234,7 @@ pub fn merge_with_options(
         }),
     );
     let mut pos = 0;
-    let global_cst = Cst::deserialize(&cst_bytes, &mut pos).expect("valid CST bcast");
+    let global_cst = Cst::decode(&cst_bytes, &mut pos).expect("valid CST bcast");
     // Renumber this rank's grammar terminals to the global terminal space.
     let remap: Vec<u32> = piece
         .cst
@@ -213,7 +242,10 @@ pub fn merge_with_options(
         .map(|(_, sig, _)| global_cst.lookup(sig).expect("merged CST covers local sigs"))
         .collect();
     let grammar = map_terminals(&piece.grammar, &remap);
-    stats.inter_cst += t_cst.elapsed();
+    let d_cst = t_cst.elapsed();
+    stats.inter_cst += d_cst;
+    metrics.add_stage(Stage::CstMerge, d_cst);
+    metrics.set_gauge("merge.global_cst_signatures", global_cst.len() as u64);
 
     // ---- Phase 2: CFG gather with identity check ----
     ctx.tool_barrier();
@@ -225,8 +257,11 @@ pub fn merge_with_options(
         &mut set,
         |mine, bytes| {
             let incoming = deser_grammar_set(&bytes).expect("valid grammar set");
+            metrics.incr("merge.cfg_payload_bytes", bytes.len() as u64);
             if identity_check {
+                let before = mine.len() + incoming.len();
                 merge_sets(mine, incoming);
+                metrics.incr("merge.identity_hits", (before - mine.len()) as u64);
             } else {
                 mine.extend(incoming);
             }
@@ -259,17 +294,27 @@ pub fn merge_with_options(
     }
 
     if !at_root {
-        stats.inter_cfg += t_cfg.elapsed();
+        let d_cfg = t_cfg.elapsed();
+        stats.inter_cfg += d_cfg;
+        metrics.add_stage(Stage::CfgMerge, d_cfg);
         return None;
     }
 
     // ---- Phase 3 (rank 0): hash-cons, concatenate, final Sequitur pass ----
     let nranks = ctx.world_size;
     let unique_grammars = set.len();
+    let t_final = Instant::now();
     let (grammar, rank_lengths) = combine_grammars(&set, nranks);
     let (duration_grammars, duration_rank_map) = split_timing(dur_set, nranks);
     let (interval_grammars, interval_rank_map) = split_timing(int_set, nranks);
-    stats.inter_cfg += t_cfg.elapsed();
+    let d_final = t_final.elapsed();
+    let d_cfg = t_cfg.elapsed();
+    stats.inter_cfg += d_cfg;
+    // Exact decomposition: the gather is whatever wasn't the final pass.
+    metrics.add_stage(Stage::FinalSequitur, d_final);
+    metrics.add_stage(Stage::CfgMerge, d_cfg.saturating_sub(d_final));
+    metrics.set_gauge("merge.unique_grammars", unique_grammars as u64);
+    metrics.set_gauge("merge.merged_rules", grammar.num_rules() as u64);
 
     Some(GlobalTrace {
         nranks,
@@ -482,10 +527,8 @@ mod tests {
 
     #[test]
     fn grammar_set_serialization_roundtrip() {
-        let set: GrammarSet = vec![
-            (grammar_of(&[1, 2, 3]), vec![(0, 3), (2, 3)]),
-            (grammar_of(&[7]), vec![(1, 1)]),
-        ];
+        let set: GrammarSet =
+            vec![(grammar_of(&[1, 2, 3]), vec![(0, 3), (2, 3)]), (grammar_of(&[7]), vec![(1, 1)])];
         let bytes = ser_grammar_set(&set);
         let back = deser_grammar_set(&bytes).unwrap();
         assert_eq!(back.len(), 2);
@@ -517,10 +560,8 @@ mod tests {
         // Figure 4: two grammar shapes sharing sub-structure.
         let a = grammar_of(&[1, 2, 1, 2, 3, 3]);
         let b = grammar_of(&[1, 2, 1, 2, 9, 9]);
-        let set: GrammarSet = vec![
-            (a.clone(), vec![(0, 6), (1, 6)]),
-            (b.clone(), vec![(2, 6), (3, 6)]),
-        ];
+        let set: GrammarSet =
+            vec![(a.clone(), vec![(0, 6), (1, 6)]), (b.clone(), vec![(2, 6), (3, 6)])];
         let (combined, lens) = combine_grammars(&set, 4);
         assert_eq!(lens, vec![6; 4]);
         let expanded = combined.expand();
@@ -533,10 +574,7 @@ mod tests {
         // Odd ranks have one grammar, even ranks another.
         let a = grammar_of(&[1]);
         let b = grammar_of(&[2]);
-        let set: GrammarSet = vec![
-            (a, vec![(0, 1), (2, 1)]),
-            (b, vec![(1, 1), (3, 1)]),
-        ];
+        let set: GrammarSet = vec![(a, vec![(0, 1), (2, 1)]), (b, vec![(1, 1), (3, 1)])];
         let (combined, _) = combine_grammars(&set, 4);
         assert_eq!(combined.expand(), vec![1, 2, 1, 2]);
     }

@@ -1,0 +1,374 @@
+//! Observability layer: a lightweight registry of named counters, byte
+//! gauges, and monotonic per-stage timers, plus a machine-readable
+//! [`MetricsReport`] snapshot with a hand-rolled JSON encoder (the build
+//! environment has no serde).
+//!
+//! The registry is threaded through the tracer hot path and the finalize
+//! pipeline. It uses interior mutability (`Cell`/`RefCell`) so timing a
+//! stage only needs `&self`, which keeps it compatible with the tracer's
+//! `&mut self` methods without borrow gymnastics. A disabled registry
+//! (the default) reduces every operation to a branch on a `bool`, so the
+//! hot path pays essentially nothing when metrics are off.
+//!
+//! # Stages
+//!
+//! The six pipeline stages mirror the paper's overhead decomposition
+//! (Fig 7/8): three intra-process stages measured per call
+//! ([`Stage::Intercept`], [`Stage::Encode`], [`Stage::GrammarInsert`]) and
+//! three finalize-time stages ([`Stage::CstMerge`], [`Stage::CfgMerge`],
+//! [`Stage::FinalSequitur`]). Intercept time is recorded *residually* —
+//! total `on_call` time minus the encode and grammar-insert portions — so
+//! the six stage totals sum exactly to
+//! [`OverheadStats::total`](crate::OverheadStats::total).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::trace::SizeReport;
+
+/// A pipeline stage with a dedicated monotonic timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Call interception outside encode/grammar work: handle bookkeeping,
+    /// request/datatype/group lifecycle, CST lookup, timing capture.
+    Intercept,
+    /// Argument encoding into the canonical signature byte string.
+    Encode,
+    /// Feeding the signature terminal into the online Sequitur grammar.
+    GrammarInsert,
+    /// Gathering, deduplicating and broadcasting CSTs at finalize.
+    CstMerge,
+    /// Gathering per-rank grammars and hash-consing them together.
+    CfgMerge,
+    /// The final Sequitur pass over the concatenated rule sequences.
+    FinalSequitur,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Intercept,
+        Stage::Encode,
+        Stage::GrammarInsert,
+        Stage::CstMerge,
+        Stage::CfgMerge,
+        Stage::FinalSequitur,
+    ];
+
+    /// Stable machine-readable name, used as the JSON key.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Intercept => "intercept",
+            Stage::Encode => "encode",
+            Stage::GrammarInsert => "grammar",
+            Stage::CstMerge => "cst-merge",
+            Stage::CfgMerge => "cfg-merge",
+            Stage::FinalSequitur => "final-sequitur",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Per-rank registry of stage timers, named counters, and byte gauges.
+///
+/// All mutation goes through `&self`; see the module docs for why.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    timers_ns: [Cell<u64>; 6],
+    counters: RefCell<BTreeMap<&'static str, u64>>,
+    gauges: RefCell<BTreeMap<&'static str, u64>>,
+}
+
+impl MetricsRegistry {
+    /// A registry that records; `enabled(false)` gives the no-op default.
+    pub fn new(enabled: bool) -> Self {
+        MetricsRegistry { enabled, ..Default::default() }
+    }
+
+    /// Whether this registry records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing `stage`; the elapsed time is added when the returned
+    /// guard drops. Returns an inert guard when disabled.
+    #[inline]
+    pub fn time_stage(&self, stage: Stage) -> StageGuard<'_> {
+        StageGuard {
+            registry: self,
+            stage,
+            start: if self.enabled { Some(Instant::now()) } else { None },
+        }
+    }
+
+    /// Adds an externally measured duration to a stage timer.
+    #[inline]
+    pub fn add_stage(&self, stage: Stage, d: Duration) {
+        if self.enabled {
+            let cell = &self.timers_ns[stage.index()];
+            cell.set(cell.get().saturating_add(d.as_nanos() as u64));
+        }
+    }
+
+    /// Total time recorded against `stage` so far.
+    pub fn stage_total(&self, stage: Stage) -> Duration {
+        Duration::from_nanos(self.timers_ns[stage.index()].get())
+    }
+
+    /// Increments the named counter by `n` (creating it at zero).
+    #[inline]
+    pub fn incr(&self, name: &'static str, n: u64) {
+        if self.enabled {
+            *self.counters.borrow_mut().entry(name).or_insert(0) += n;
+        }
+    }
+
+    /// Current value of a counter; zero if never incremented.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.borrow().get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to an absolute value (last write wins).
+    #[inline]
+    pub fn set_gauge(&self, name: &'static str, value: u64) {
+        if self.enabled {
+            self.gauges.borrow_mut().insert(name, value);
+        }
+    }
+
+    /// Snapshots the registry into a plain-data report.
+    pub fn snapshot(&self) -> MetricsReport {
+        let mut timers_ns = BTreeMap::new();
+        for stage in Stage::ALL {
+            timers_ns.insert(stage.name().to_string(), self.timers_ns[stage.index()].get());
+        }
+        let mut counters: BTreeMap<String, u64> =
+            self.counters.borrow().iter().map(|(&k, &v)| (k.to_string(), v)).collect();
+        for (&k, &v) in self.gauges.borrow().iter() {
+            counters.insert(k.to_string(), v);
+        }
+        MetricsReport { timers_ns, counters, size: None }
+    }
+}
+
+/// RAII timer: adds the elapsed time to its stage when dropped.
+#[derive(Debug)]
+pub struct StageGuard<'a> {
+    registry: &'a MetricsRegistry,
+    stage: Stage,
+    start: Option<Instant>,
+}
+
+impl Drop for StageGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.registry.add_stage(self.stage, start.elapsed());
+        }
+    }
+}
+
+/// A plain-data snapshot of a [`MetricsRegistry`], optionally joined with
+/// a trace size decomposition, exportable as JSON.
+///
+/// The JSON schema is stable and flat:
+///
+/// ```json
+/// {
+///   "size": {
+///     "cst_bytes": 123, "grammar_bytes": 456,
+///     "duration_bytes": 0, "interval_bytes": 0,
+///     "header_bytes": 3, "rank_length_bytes": 4, "rank_map_bytes": 0,
+///     "core_total": 586, "full_total": 586
+///   },
+///   "timers_ns": { "intercept": 0, "encode": 0, "grammar": 0,
+///                  "cst-merge": 0, "cfg-merge": 0, "final-sequitur": 0 },
+///   "counters": { "calls": 0, "cfg.rules": 0 }
+/// }
+/// ```
+///
+/// `"size"` is omitted when no trace was attached (e.g. a rank that did
+/// not hold the merged trace).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Nanoseconds per stage, keyed by [`Stage::name`].
+    pub timers_ns: BTreeMap<String, u64>,
+    /// Named counters and gauges.
+    pub counters: BTreeMap<String, u64>,
+    /// Byte decomposition of the merged trace, when one was produced.
+    pub size: Option<SizeReport>,
+}
+
+impl MetricsReport {
+    /// Nanoseconds recorded for `stage` (zero if absent).
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.timers_ns.get(stage.name()).copied().unwrap_or(0)
+    }
+
+    /// Sum of all stage timers.
+    pub fn total_stage_ns(&self) -> u64 {
+        self.timers_ns.values().sum()
+    }
+
+    /// Accumulates another report: timers and counters add, and the size
+    /// block is taken from whichever report has one (other wins).
+    pub fn merge(&mut self, other: &MetricsReport) {
+        for (k, v) in &other.timers_ns {
+            *self.timers_ns.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        if other.size.is_some() {
+            self.size = other.size;
+        }
+    }
+
+    /// Renders the report as a compact JSON object (see the type docs for
+    /// the schema). Keys are emitted in sorted order, so output is
+    /// deterministic and diffable.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        if let Some(s) = &self.size {
+            out.push_str("\"size\":{");
+            let fields: [(&str, usize); 9] = [
+                ("cst_bytes", s.cst_bytes),
+                ("grammar_bytes", s.grammar_bytes),
+                ("duration_bytes", s.duration_bytes),
+                ("interval_bytes", s.interval_bytes),
+                ("header_bytes", s.header_bytes),
+                ("rank_length_bytes", s.rank_length_bytes),
+                ("rank_map_bytes", s.rank_map_bytes),
+                ("core_total", s.core_total()),
+                ("full_total", s.full_total()),
+            ];
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{v}", json_string(k));
+            }
+            out.push_str("},");
+        }
+        out.push_str("\"timers_ns\":");
+        write_json_map(&mut out, &self.timers_ns);
+        out.push_str(",\"counters\":");
+        write_json_map(&mut out, &self.counters);
+        out.push('}');
+        out
+    }
+}
+
+fn write_json_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{v}", json_string(k));
+    }
+    out.push('}');
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = MetricsRegistry::new(false);
+        m.add_stage(Stage::Encode, Duration::from_millis(5));
+        m.incr("calls", 3);
+        m.set_gauge("bytes", 7);
+        {
+            let _g = m.time_stage(Stage::Intercept);
+            std::thread::yield_now();
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.total_stage_ns(), 0);
+        assert!(snap.counters.is_empty());
+    }
+
+    #[test]
+    fn guard_accumulates_elapsed_time() {
+        let m = MetricsRegistry::new(true);
+        {
+            let _g = m.time_stage(Stage::CfgMerge);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(m.stage_total(Stage::CfgMerge) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn counters_and_gauges_land_in_snapshot() {
+        let m = MetricsRegistry::new(true);
+        m.incr("calls", 2);
+        m.incr("calls", 3);
+        m.set_gauge("cfg.rules", 10);
+        m.set_gauge("cfg.rules", 11);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["calls"], 5);
+        assert_eq!(snap.counters["cfg.rules"], 11);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let m = MetricsRegistry::new(true);
+        m.add_stage(Stage::Encode, Duration::from_nanos(42));
+        m.incr("calls", 1);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"timers_ns\":{"));
+        assert!(json.contains("\"encode\":42"));
+        assert!(json.contains("\"counters\":{\"calls\":1}"));
+        assert!(!json.contains("\"size\""));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn merge_adds_timers_and_counters() {
+        let a_reg = MetricsRegistry::new(true);
+        a_reg.add_stage(Stage::Encode, Duration::from_nanos(10));
+        a_reg.incr("calls", 1);
+        let mut a = a_reg.snapshot();
+        let b_reg = MetricsRegistry::new(true);
+        b_reg.add_stage(Stage::Encode, Duration::from_nanos(32));
+        b_reg.incr("calls", 2);
+        a.merge(&b_reg.snapshot());
+        assert_eq!(a.stage_ns(Stage::Encode), 42);
+        assert_eq!(a.counters["calls"], 3);
+    }
+}

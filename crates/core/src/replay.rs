@@ -35,11 +35,8 @@ use crate::tracer::{PilgrimConfig, PilgrimTracer};
 /// with the same shape (signature count, per-rank call counts for
 /// deterministic programs).
 pub fn replay_and_retrace(trace: &GlobalTrace, cfg: PilgrimConfig) -> GlobalTrace {
-    let per_rank: Arc<Vec<Vec<EncodedCall>>> = Arc::new(
-        (0..trace.nranks)
-            .map(|r| crate::decode::decode_rank_calls(trace, r))
-            .collect(),
-    );
+    let per_rank: Arc<Vec<Vec<EncodedCall>>> =
+        Arc::new((0..trace.nranks).map(|r| crate::decode::decode_rank_calls(trace, r)).collect());
     let mut tracers = World::run(
         &WorldConfig::new(trace.nranks),
         |rank| PilgrimTracer::new(rank, cfg),
@@ -102,10 +99,7 @@ impl Replayer {
         if sym < 16 {
             return DatatypeHandle(sym as u32);
         }
-        *self
-            .dtypes
-            .get(&sym)
-            .unwrap_or_else(|| panic!("unknown datatype symbol {sym}"))
+        *self.dtypes.get(&sym).unwrap_or_else(|| panic!("unknown datatype symbol {sym}"))
     }
 
     /// Materializes a buffer for `(segment, offset)` covering `need`
@@ -137,10 +131,7 @@ impl Replayer {
 
     /// Takes the handles for a completion call's request array.
     fn req_arr(&mut self, syms: &[Option<u64>]) -> (Vec<RequestHandle>, Vec<Option<u64>>) {
-        let handles = syms
-            .iter()
-            .map(|s| s.map_or(REQUEST_NULL, |v| self.pop_req(v)))
-            .collect();
+        let handles = syms.iter().map(|s| s.map_or(REQUEST_NULL, |v| self.pop_req(v))).collect();
         (handles, syms.to_vec())
     }
 
@@ -277,7 +268,8 @@ impl Replayer {
                     A::Tag(t) => *t as i32,
                     _ => panic!("expected Tag"),
                 };
-                let new = env.intercomm_create(local, local_leader as usize, peer, remote_leader, tag);
+                let new =
+                    env.intercomm_create(local, local_leader as usize, peer, remote_leader, tag);
                 if let A::Comm(sym) = a[5] {
                     self.comms.insert(sym, new);
                 }
@@ -360,7 +352,10 @@ impl Replayer {
                 let c = self.arg_comm(0, a);
                 let _ = env.cart_shift(c, int(1) as usize, int(2));
             }
-            FuncId::SendInit | FuncId::BsendInit | FuncId::SsendInit | FuncId::RsendInit
+            FuncId::SendInit
+            | FuncId::BsendInit
+            | FuncId::SsendInit
+            | FuncId::RsendInit
             | FuncId::RecvInit => {
                 let comm = self.arg_comm(5, a);
                 let count = int(1) as u64;
@@ -561,7 +556,11 @@ impl Replayer {
                 let root = self.arg_rank(3, a, env, comm);
                 env.bcast(buf, count, dt, root, comm);
             }
-            FuncId::Reduce | FuncId::Allreduce | FuncId::Iallreduce | FuncId::Scan | FuncId::Exscan => {
+            FuncId::Reduce
+            | FuncId::Allreduce
+            | FuncId::Iallreduce
+            | FuncId::Scan
+            | FuncId::Exscan => {
                 let (comm_idx, has_root) = match func {
                     FuncId::Reduce => (6, true),
                     FuncId::Iallreduce => (5, false),
@@ -688,8 +687,7 @@ impl Replayer {
     /// Completes any still-pending requests (a replay may leave requests
     /// live when the recorded nondeterministic outcome differed).
     fn drain(&mut self, env: &mut Env) {
-        let mut handles: Vec<RequestHandle> =
-            self.reqs.values().flatten().copied().collect();
+        let mut handles: Vec<RequestHandle> = self.reqs.values().flatten().copied().collect();
         if !handles.is_empty() {
             env.waitall(&mut handles);
         }
@@ -714,9 +712,7 @@ impl Replayer {
 
     fn arg_rank(&self, i: usize, a: &[EncodedArg], env: &Env, comm: CommHandle) -> i32 {
         match a[i] {
-            EncodedArg::Rank(code) => {
-                code.absolutize(env.comm_rank_untraced(comm) as i64) as i32
-            }
+            EncodedArg::Rank(code) => code.absolutize(env.comm_rank_untraced(comm) as i64) as i32,
             ref other => panic!("expected Rank at {i}, got {other:?}"),
         }
     }

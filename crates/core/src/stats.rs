@@ -65,10 +65,7 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = OverheadStats {
-            intra: Duration::from_millis(5),
-            ..Default::default()
-        };
+        let mut a = OverheadStats { intra: Duration::from_millis(5), ..Default::default() };
         let b = OverheadStats {
             intra: Duration::from_millis(7),
             inter_cfg: Duration::from_millis(1),

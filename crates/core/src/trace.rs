@@ -3,29 +3,46 @@
 //! deduplicated timing grammars. This is what Pilgrim writes to disk; its
 //! serialized size is the "trace file size" of every experiment.
 
-use pilgrim_sequitur::{read_varint, write_varint, FlatGrammar};
+use pilgrim_sequitur::{decode_varint, varint_len, write_varint, DecodeError, FlatGrammar};
 
 use crate::cst::Cst;
 use crate::encode::EncoderConfig;
 
-/// Size breakdown of a serialized trace.
-#[derive(Debug, Clone, Copy, Default)]
+/// Full per-component byte decomposition of a serialized trace. Every
+/// serialized byte is attributed to exactly one field, so the components
+/// sum to the serialized length ([`SizeReport::full_total`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SizeReport {
+    /// Globally merged call signature table.
     pub cst_bytes: usize,
+    /// The merged call-sequence grammar (CFG).
     pub grammar_bytes: usize,
+    /// Deduplicated duration grammars (non-aggregated timing mode).
     pub duration_bytes: usize,
+    /// Deduplicated interval grammars (non-aggregated timing mode).
     pub interval_bytes: usize,
-    pub meta_bytes: usize,
+    /// Fixed header: encoder config byte plus the rank/grammar counts.
+    pub header_bytes: usize,
+    /// Per-rank call-count varints (split points for the expansion).
+    pub rank_length_bytes: usize,
+    /// Rank -> timing-grammar index maps.
+    pub rank_map_bytes: usize,
 }
 
 impl SizeReport {
+    /// Metadata bytes: everything that is neither CST, CFG, nor a timing
+    /// grammar body.
+    pub fn meta_bytes(&self) -> usize {
+        self.header_bytes + self.rank_length_bytes + self.rank_map_bytes
+    }
+
     /// Total trace size excluding non-aggregated timing (the paper reports
     /// timing grammar sizes separately, Fig 10).
     pub fn core_total(&self) -> usize {
-        self.cst_bytes + self.grammar_bytes + self.meta_bytes
+        self.cst_bytes + self.grammar_bytes + self.meta_bytes()
     }
 
-    /// Total including timing grammars.
+    /// Total including timing grammars; equals the serialized length.
     pub fn full_total(&self) -> usize {
         self.core_total() + self.duration_bytes + self.interval_bytes
     }
@@ -104,44 +121,83 @@ impl GlobalTrace {
     }
 
     /// Deserializes a trace written by [`GlobalTrace::serialize`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `GlobalTrace::decode`, which reports why decoding failed"
+    )]
     pub fn deserialize(buf: &[u8]) -> Option<GlobalTrace> {
+        Self::decode(buf).ok()
+    }
+
+    /// Decodes a trace written by [`GlobalTrace::serialize`], reporting
+    /// exactly where a malformed buffer went wrong. The whole buffer must
+    /// be consumed; leftover bytes are [`DecodeError::TrailingBytes`].
+    pub fn decode(buf: &[u8]) -> Result<GlobalTrace, DecodeError> {
         let mut pos = 0usize;
-        let encoder_cfg = EncoderConfig::from_byte(*buf.first()?);
+        let encoder_cfg = EncoderConfig::from_byte(
+            *buf.first().ok_or(DecodeError::Truncated { what: "encoder config", offset: 0 })?,
+        );
         pos += 1;
-        let nranks = read_varint(buf, &mut pos)? as usize;
-        let unique_grammars = read_varint(buf, &mut pos)? as usize;
+        let nranks_off = pos;
+        let nranks = decode_varint(buf, &mut pos)? as usize;
+        let unique_grammars = decode_varint(buf, &mut pos)? as usize;
+        // Each rank contributes at least a one-byte length varint.
+        if nranks > buf.len().saturating_sub(pos) + 1 {
+            return Err(DecodeError::Corrupt { what: "rank count", offset: nranks_off });
+        }
         let mut rank_lengths = Vec::with_capacity(nranks);
         for _ in 0..nranks {
-            rank_lengths.push(read_varint(buf, &mut pos)?);
+            rank_lengths.push(decode_varint(buf, &mut pos)?);
         }
-        let cst = Cst::deserialize(buf, &mut pos)?;
-        let (grammar, used) = FlatGrammar::deserialize(&buf[pos..])?;
+        let cst = Cst::decode(buf, &mut pos)?;
+        let (grammar, used) = FlatGrammar::decode(&buf[pos..]).map_err(|e| e.offset_by(pos))?;
         pos += used;
-        let nd = read_varint(buf, &mut pos)? as usize;
+        let nd_off = pos;
+        let nd = decode_varint(buf, &mut pos)? as usize;
+        if nd > buf.len().saturating_sub(pos) + 1 {
+            return Err(DecodeError::Corrupt { what: "duration grammar count", offset: nd_off });
+        }
         let mut duration_grammars = Vec::with_capacity(nd);
         for _ in 0..nd {
-            let (g, used) = FlatGrammar::deserialize(&buf[pos..])?;
+            let (g, used) = FlatGrammar::decode(&buf[pos..]).map_err(|e| e.offset_by(pos))?;
             pos += used;
             duration_grammars.push(g);
         }
-        let ni = read_varint(buf, &mut pos)? as usize;
+        let ni_off = pos;
+        let ni = decode_varint(buf, &mut pos)? as usize;
+        if ni > buf.len().saturating_sub(pos) + 1 {
+            return Err(DecodeError::Corrupt { what: "interval grammar count", offset: ni_off });
+        }
         let mut interval_grammars = Vec::with_capacity(ni);
         for _ in 0..ni {
-            let (g, used) = FlatGrammar::deserialize(&buf[pos..])?;
+            let (g, used) = FlatGrammar::decode(&buf[pos..]).map_err(|e| e.offset_by(pos))?;
             pos += used;
             interval_grammars.push(g);
         }
         let mut duration_rank_map = Vec::with_capacity(nranks);
         let mut interval_rank_map = Vec::with_capacity(nranks);
         if nd > 0 || ni > 0 {
-            for _ in 0..nranks {
-                duration_rank_map.push((read_varint(buf, &mut pos)? - 1) as u32);
-            }
-            for _ in 0..nranks {
-                interval_rank_map.push((read_varint(buf, &mut pos)? - 1) as u32);
+            for (map, pool, what) in [
+                (&mut duration_rank_map, nd, "duration rank map"),
+                (&mut interval_rank_map, ni, "interval rank map"),
+            ] {
+                for _ in 0..nranks {
+                    let off = pos;
+                    // Entries are stored +1 so zero is never a valid byte.
+                    let idx = decode_varint(buf, &mut pos)?
+                        .checked_sub(1)
+                        .ok_or(DecodeError::Corrupt { what, offset: off })?;
+                    if idx >= pool as u64 {
+                        return Err(DecodeError::Corrupt { what, offset: off });
+                    }
+                    map.push(idx as u32);
+                }
             }
         }
-        Some(GlobalTrace {
+        if pos != buf.len() {
+            return Err(DecodeError::TrailingBytes { consumed: pos, len: buf.len() });
+        }
+        Ok(GlobalTrace {
             nranks,
             encoder_cfg,
             cst,
@@ -155,19 +211,34 @@ impl GlobalTrace {
         })
     }
 
-    /// Component size breakdown.
+    /// Component size breakdown. Computed analytically from the parts (no
+    /// serialization pass), and guaranteed to sum to the serialized length.
     pub fn size_report(&self) -> SizeReport {
         let cst_bytes = self.cst.byte_size();
         let grammar_bytes = self.grammar.byte_size();
         let duration_bytes: usize = self.duration_grammars.iter().map(|g| g.byte_size()).sum();
         let interval_bytes: usize = self.interval_grammars.iter().map(|g| g.byte_size()).sum();
-        let total = self.serialize().len();
+        // Mirrors `serialize` field by field: config byte, three counts...
+        let header_bytes = 1
+            + varint_len(self.nranks as u64)
+            + varint_len(self.unique_grammars as u64)
+            + varint_len(self.duration_grammars.len() as u64)
+            + varint_len(self.interval_grammars.len() as u64);
+        let rank_length_bytes: usize = self.rank_lengths.iter().map(|&l| varint_len(l)).sum();
+        let rank_map_bytes: usize = self
+            .duration_rank_map
+            .iter()
+            .chain(&self.interval_rank_map)
+            .map(|&m| varint_len(m as u64 + 1))
+            .sum();
         SizeReport {
             cst_bytes,
             grammar_bytes,
             duration_bytes,
             interval_bytes,
-            meta_bytes: total - cst_bytes - grammar_bytes - duration_bytes - interval_bytes,
+            header_bytes,
+            rank_length_bytes,
+            rank_map_bytes,
         }
     }
 
@@ -217,7 +288,7 @@ mod tests {
     fn serialize_roundtrip() {
         let t = tiny_trace();
         let bytes = t.serialize();
-        let back = GlobalTrace::deserialize(&bytes).expect("deserializable");
+        let back = GlobalTrace::decode(&bytes).expect("decodable");
         assert_eq!(back.nranks, 2);
         assert_eq!(back.rank_lengths, vec![4, 2]);
         assert_eq!(back.unique_grammars, 1);
@@ -242,7 +313,7 @@ mod tests {
         t.interval_grammars = vec![dg.to_flat()];
         t.duration_rank_map = vec![0, 0];
         t.interval_rank_map = vec![0, 0];
-        let back = GlobalTrace::deserialize(&t.serialize()).unwrap();
+        let back = GlobalTrace::decode(&t.serialize()).unwrap();
         assert_eq!(back.duration_grammars.len(), 1);
         assert_eq!(back.duration_rank_map, vec![0, 0]);
         assert_eq!(back.duration_grammars[0].expanded_len(), 10);

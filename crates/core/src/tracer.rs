@@ -15,6 +15,7 @@ use crate::encode::{EncoderConfig, SigWriter};
 use crate::idpool::{IdPool, SigPools};
 use crate::memtracker::MemTracker;
 use crate::merge::{self, LocalPiece};
+use crate::metrics::{MetricsRegistry, MetricsReport, Stage};
 use crate::stats::OverheadStats;
 use crate::timing::TimingCompressor;
 use crate::trace::GlobalTrace;
@@ -43,6 +44,10 @@ pub struct PilgrimConfig {
     pub shared_request_pool: bool,
     /// Ablation: skip the identity check before grammar merges (§3.5.2).
     pub merge_identity_check: bool,
+    /// Record per-stage timers, counters and byte gauges in the tracer's
+    /// [`MetricsRegistry`]; off by default (the hot path then pays only a
+    /// branch per call).
+    pub metrics: bool,
 }
 
 impl Default for PilgrimConfig {
@@ -53,8 +58,65 @@ impl Default for PilgrimConfig {
             capture_reference: false,
             shared_request_pool: false,
             merge_identity_check: true,
+            metrics: false,
         }
     }
+}
+
+impl PilgrimConfig {
+    /// Starts from the defaults; chain the builder methods to customize.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the signature encoder configuration.
+    pub fn encoder(mut self, encoder: EncoderConfig) -> Self {
+        self.encoder = encoder;
+        self
+    }
+
+    /// Sets the timing collection mode.
+    pub fn timing(mut self, timing: TimingMode) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Keeps raw records for lossless verification (testing only).
+    pub fn capture_reference(mut self, on: bool) -> Self {
+        self.capture_reference = on;
+        self
+    }
+
+    /// Ablation: one shared request-id pool instead of per-signature pools.
+    pub fn shared_request_pool(mut self, on: bool) -> Self {
+        self.shared_request_pool = on;
+        self
+    }
+
+    /// Ablation: toggles the pre-merge grammar identity check.
+    pub fn merge_identity_check(mut self, on: bool) -> Self {
+        self.merge_identity_check = on;
+        self
+    }
+
+    /// Enables the per-stage metrics registry.
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+}
+
+/// Everything a rank produces at finalize: the merged trace (rank 0
+/// only), the rank's metrics snapshot, and its overhead decomposition.
+#[derive(Debug)]
+pub struct FinalizeOutput {
+    /// The merged trace; `Some` only on the rank that held it (rank 0).
+    pub trace: Option<GlobalTrace>,
+    /// Metrics snapshot, with the trace size decomposition attached when
+    /// this rank holds the merged trace.
+    pub metrics: MetricsReport,
+    /// Wall-clock overhead decomposition.
+    pub stats: OverheadStats,
 }
 
 /// A reference capture entry for verification.
@@ -99,6 +161,7 @@ pub struct PilgrimTracer {
     req_pools: SigPools,
     mem: MemTracker,
     timing: Option<TimingCompressor>,
+    metrics: MetricsRegistry,
     stats: OverheadStats,
     captured: Vec<CapturedCall>,
     result: Option<GlobalTrace>,
@@ -135,6 +198,7 @@ impl PilgrimTracer {
             req_pools: SigPools::new(),
             mem: MemTracker::new(),
             timing,
+            metrics: MetricsRegistry::new(cfg.metrics),
             stats: OverheadStats::default(),
             captured: Vec::new(),
             result: None,
@@ -157,9 +221,27 @@ impl PilgrimTracer {
         self.result.as_ref()
     }
 
-    /// Takes ownership of the merged trace.
+    /// Takes ownership of the merged trace. Compatibility accessor;
+    /// equivalent to `take_output().trace` but drops metrics and stats.
     pub fn take_global_trace(&mut self) -> Option<GlobalTrace> {
         self.result.take()
+    }
+
+    /// Takes everything finalize produced: the merged trace (rank 0), the
+    /// rank's metrics snapshot (with the trace size decomposition attached
+    /// when this rank holds the trace), and its overhead stats.
+    pub fn take_output(&mut self) -> FinalizeOutput {
+        let trace = self.result.take();
+        let mut metrics = self.metrics.snapshot();
+        if let Some(t) = &trace {
+            metrics.size = Some(t.size_report());
+        }
+        FinalizeOutput { trace, metrics, stats: self.stats }
+    }
+
+    /// The live metrics registry (enabled via [`PilgrimConfig::metrics`]).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// This rank's local CST size (signatures).
@@ -356,9 +438,7 @@ impl PilgrimTracer {
     /// communicator determines the relative-rank base. Falls back to
     /// `caller_rank` when the request is unknown.
     fn status_ranks(&self, rec: &CallRec, caller_rank: i64) -> Vec<i64> {
-        let look = |raw: u64| -> i64 {
-            self.reqs.get(&raw).map_or(caller_rank, |e| e.comm_rank)
-        };
+        let look = |raw: u64| -> i64 { self.reqs.get(&raw).map_or(caller_rank, |e| e.comm_rank) };
         let arr = |a: &Arg| -> Vec<u64> {
             match a {
                 Arg::RequestArr(v) => v.clone(),
@@ -541,9 +621,8 @@ impl PilgrimTracer {
                     w.status(*source, *tag, base, &cfg);
                 }
                 Arg::StatusArr(sts) => {
-                    let bases: Vec<i64> = (0..sts.len())
-                        .map(|k| next_status_rank(status_idx + k))
-                        .collect();
+                    let bases: Vec<i64> =
+                        (0..sts.len()).map(|k| next_status_rank(status_idx + k)).collect();
                     status_idx += sts.len();
                     w.status_arr_with_bases(sts, &bases, &cfg);
                 }
@@ -572,11 +651,8 @@ impl Tracer for PilgrimTracer {
             | FuncId::IntercommCreate
             | FuncId::IntercommMerge => {
                 // The new communicator is the last Comm argument.
-                if let Some(Arg::Comm(h)) = rec
-                    .args
-                    .iter()
-                    .rev()
-                    .find(|a| matches!(a, Arg::Comm(_)))
+                if let Some(Arg::Comm(h)) =
+                    rec.args.iter().rev().find(|a| matches!(a, Arg::Comm(_)))
                 {
                     if *h != u32::MAX {
                         self.assign_comm_id(ctx, *h);
@@ -597,7 +673,9 @@ impl Tracer for PilgrimTracer {
         }
 
         // Encode the signature (assigns request/datatype/group ids).
+        let t_encode = self.metrics.is_enabled().then(Instant::now);
         let (sig, caller_rank) = self.encode(ctx, rec);
+        let encode_dur = t_encode.map(|t| t.elapsed());
 
         // Post-encoding lifecycle: release ids of completed/freed objects.
         // Persistent requests keep their symbolic id across completions
@@ -639,14 +717,28 @@ impl Tracer for PilgrimTracer {
         // CST + CFG growth.
         let duration = t_end - t_start;
         let term = self.cst.observe(&sig, duration);
+        let t_grammar = self.metrics.is_enabled().then(Instant::now);
         self.grammar.push(term);
+        let grammar_dur = t_grammar.map(|t| t.elapsed());
         if let Some(t) = &mut self.timing {
             t.record(term, t_start, duration);
         }
         if self.cfg.capture_reference {
             self.captured.push(CapturedCall { rec: rec.clone(), caller_rank, term });
         }
-        self.stats.intra += timer.elapsed();
+        let total = timer.elapsed();
+        self.stats.intra += total;
+        if self.metrics.is_enabled() {
+            // Intercept is recorded residually so the three intra-process
+            // stages sum exactly to `OverheadStats::intra`.
+            let encode_dur = encode_dur.unwrap_or_default();
+            let grammar_dur = grammar_dur.unwrap_or_default();
+            self.metrics.add_stage(Stage::Encode, encode_dur);
+            self.metrics.add_stage(Stage::GrammarInsert, grammar_dur);
+            self.metrics
+                .add_stage(Stage::Intercept, total.saturating_sub(encode_dur + grammar_dur));
+            self.metrics.incr("calls", 1);
+        }
     }
 
     fn on_alloc(&mut self, addr: u64, size: u64) {
@@ -672,11 +764,21 @@ impl Tracer for PilgrimTracer {
             encoder_cfg: self.cfg.encoder,
         };
         self.local_size = piece.local_size_bytes();
-        self.result = merge::merge_with_options(
+        if self.metrics.is_enabled() {
+            let gs = self.grammar.stats();
+            self.metrics.set_gauge("cst.signatures", self.cst.len() as u64);
+            self.metrics.set_gauge("cfg.rules", gs.rules as u64);
+            self.metrics.set_gauge("cfg.symbols", gs.symbols as u64);
+            self.metrics.set_gauge("cfg.digram_entries", gs.digram_entries as u64);
+            self.metrics.set_gauge("cfg.utility_inlines", gs.utility_inlines);
+            self.metrics.set_gauge("local.bytes", self.local_size as u64);
+        }
+        self.result = merge::merge_with_metrics(
             ctx,
             piece,
             &mut self.stats,
             self.cfg.merge_identity_check,
+            &self.metrics,
         );
     }
 }

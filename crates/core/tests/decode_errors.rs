@@ -1,0 +1,199 @@
+//! Property tests for the Result-based decoders: corrupted and truncated
+//! buffers must come back as the right [`DecodeError`] variant — never a
+//! panic — and well-formed buffers must round-trip.
+
+use std::sync::OnceLock;
+
+use mpi_sim::datatype::BasicType;
+use mpi_sim::{World, WorldConfig};
+use pilgrim::cst::Cst;
+use pilgrim::{DecodeError, GlobalTrace, PilgrimConfig, PilgrimTracer, TimingMode};
+use pilgrim_sequitur::{FlatGrammar, FlatRule, Grammar, Symbol};
+use proptest::prelude::*;
+
+/// A realistic serialized trace (4 ranks, lossy timing so the timing
+/// grammar and rank-map decode paths are exercised), built once.
+fn trace_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let cfg = PilgrimConfig::new().timing(TimingMode::Lossy { base: 1.2 });
+        let mut tracers = World::run(
+            &WorldConfig::new(4),
+            |rank| PilgrimTracer::new(rank, cfg),
+            |env| {
+                let world = env.comm_world();
+                let dt = env.basic(BasicType::Double);
+                let buf = env.malloc(128);
+                for _ in 0..15 {
+                    env.bcast(buf, 16, dt, 0, world);
+                    env.barrier(world);
+                }
+            },
+        );
+        tracers[0].take_global_trace().unwrap().serialize()
+    })
+}
+
+/// A flat grammar built from a terminal sequence through real Sequitur.
+fn flat_of(seq: &[u32]) -> FlatGrammar {
+    let mut g = Grammar::new();
+    for &t in seq {
+        g.push(t);
+    }
+    g.to_flat()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_traces_always_err_never_panic(cut_seed in any::<usize>()) {
+        let bytes = trace_bytes();
+        let cut = cut_seed % bytes.len();
+        // The decoder reads forward deterministically and a full decode
+        // consumes every byte, so every strict prefix must fail.
+        prop_assert!(GlobalTrace::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bitflipped_traces_never_panic(idx_seed in any::<usize>(), bit in 0u8..8) {
+        let mut bytes = trace_bytes().to_vec();
+        let idx = idx_seed % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // Either a clean error or a (different) structurally valid trace;
+        // the proptest harness turns any panic into a failure.
+        let _ = GlobalTrace::decode(&bytes);
+    }
+
+    #[test]
+    fn garbage_never_panics_any_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = GlobalTrace::decode(&bytes);
+        let _ = FlatGrammar::decode(&bytes);
+        let mut pos = 0;
+        let _ = Cst::decode(&bytes, &mut pos);
+    }
+
+    #[test]
+    fn trailing_bytes_are_reported_exactly(extra in proptest::collection::vec(any::<u8>(), 1..16)) {
+        let mut bytes = trace_bytes().to_vec();
+        let len = bytes.len();
+        bytes.extend_from_slice(&extra);
+        // Anything after a complete trace is an error, and the error says
+        // exactly how much was parsed — unless the first extra byte extends
+        // the final varint, in which case the parse diverges earlier and
+        // any error is acceptable.
+        match GlobalTrace::decode(&bytes) {
+            Err(DecodeError::TrailingBytes { consumed, len: l }) => {
+                prop_assert_eq!(consumed, len);
+                prop_assert_eq!(l, len + extra.len());
+            }
+            Err(_) => {}
+            Ok(_) => prop_assert!(false, "trace with trailing bytes decoded"),
+        }
+    }
+
+    #[test]
+    fn grammar_roundtrips_through_decode(
+        seq in proptest::collection::vec(0u32..8, 1..200),
+    ) {
+        let flat = flat_of(&seq);
+        let mut buf = Vec::new();
+        flat.serialize(&mut buf);
+        let (back, used) = FlatGrammar::decode(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(back.expand(), seq);
+    }
+
+    #[test]
+    fn truncated_grammars_always_err(
+        seq in proptest::collection::vec(0u32..8, 1..200),
+        cut_seed in any::<usize>(),
+    ) {
+        let mut buf = Vec::new();
+        flat_of(&seq).serialize(&mut buf);
+        let cut = cut_seed % buf.len();
+        prop_assert!(FlatGrammar::decode(&buf[..cut]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rule_refs_are_reported(
+        seq in proptest::collection::vec(0u32..8, 1..50),
+        bad_rule in 1000u32..1_000_000,
+    ) {
+        // Serialization does not validate, so a grammar with a dangling
+        // rule reference encodes fine — and decode must name the culprit.
+        let mut flat = flat_of(&seq);
+        flat.rules[0].symbols.push((Symbol::Rule(bad_rule), 1));
+        let num_rules = flat.num_rules();
+        let mut buf = Vec::new();
+        flat.serialize(&mut buf);
+        prop_assert_eq!(
+            FlatGrammar::decode(&buf).unwrap_err(),
+            DecodeError::BadRuleRef { rule: bad_rule, num_rules }
+        );
+    }
+
+    #[test]
+    fn cst_roundtrips_and_rejects_truncation(
+        sigs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..32),
+        cut_seed in any::<usize>(),
+    ) {
+        let mut cst = Cst::new();
+        for s in &sigs {
+            cst.observe(s, 7);
+        }
+        let mut buf = Vec::new();
+        cst.serialize(&mut buf);
+        let mut pos = 0;
+        let back = Cst::decode(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        prop_assert_eq!(back.len(), cst.len());
+        let cut = cut_seed % buf.len();
+        let mut pos = 0;
+        prop_assert!(Cst::decode(&buf[..cut], &mut pos).is_err());
+    }
+}
+
+#[test]
+fn cyclic_grammars_are_rejected() {
+    // S -> R1, R1 -> R2, R2 -> R1: structurally well-formed bytes, but the
+    // rule graph loops, which would run expand() forever.
+    let cyclic = FlatGrammar {
+        rules: vec![
+            FlatRule { symbols: vec![(Symbol::Rule(1), 1)] },
+            FlatRule { symbols: vec![(Symbol::Rule(2), 1)] },
+            FlatRule { symbols: vec![(Symbol::Rule(1), 2)] },
+        ],
+    };
+    let mut buf = Vec::new();
+    cyclic.serialize(&mut buf);
+    assert!(matches!(
+        FlatGrammar::decode(&buf).unwrap_err(),
+        DecodeError::CyclicRules { rule: 1 | 2 }
+    ));
+}
+
+#[test]
+fn self_referential_rule_is_rejected() {
+    let cyclic = FlatGrammar {
+        rules: vec![
+            FlatRule { symbols: vec![(Symbol::Terminal(3), 1), (Symbol::Rule(1), 1)] },
+            FlatRule { symbols: vec![(Symbol::Rule(1), 1)] },
+        ],
+    };
+    let mut buf = Vec::new();
+    cyclic.serialize(&mut buf);
+    assert_eq!(FlatGrammar::decode(&buf).unwrap_err(), DecodeError::CyclicRules { rule: 1 });
+}
+
+#[test]
+fn huge_rule_count_is_corruption_not_allocation() {
+    // A count of 2^40 rules must be rejected up front, not fed to
+    // Vec::with_capacity.
+    let mut buf = Vec::new();
+    pilgrim_sequitur::write_varint(&mut buf, 1 << 40);
+    assert_eq!(
+        FlatGrammar::decode(&buf).unwrap_err(),
+        DecodeError::Corrupt { what: "rule count", offset: 0 }
+    );
+}

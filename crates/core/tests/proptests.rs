@@ -9,10 +9,8 @@ use pilgrim_sequitur::Grammar;
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = EncoderConfig> {
-    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(r, a, p)| EncoderConfig {
-        relative_ranks: r,
-        relative_aux: a,
-        pointer_offsets: p,
+    (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(r, a, p)| {
+        EncoderConfig::new().relative_ranks(r).relative_aux(a).pointer_offsets(p)
     })
 }
 
@@ -113,7 +111,7 @@ proptest! {
         let mut buf = Vec::new();
         c.serialize(&mut buf);
         let mut pos = 0;
-        let back = Cst::deserialize(&buf, &mut pos).unwrap();
+        let back = Cst::decode(&buf, &mut pos).unwrap();
         prop_assert_eq!(pos, buf.len());
         prop_assert_eq!(back.len(), c.len());
         for (t, sig, st) in c.iter() {

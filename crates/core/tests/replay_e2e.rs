@@ -7,11 +7,8 @@ use pilgrim::{replay, PilgrimConfig, PilgrimTracer};
 
 fn trace_workload(name: &str, nranks: usize, iters: usize) -> pilgrim::GlobalTrace {
     let body = mpi_workloads_body(name, iters);
-    let mut tracers = World::run(
-        &WorldConfig::new(nranks),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(nranks), PilgrimTracer::with_defaults, move |env| body(env));
     tracers[0].take_global_trace().unwrap()
 }
 
@@ -153,10 +150,8 @@ fn replay_nondeterministic_program_completes() {
         if me == 0 {
             let bufs: Vec<_> = (0..3).map(|_| env.malloc(8)).collect();
             for _ in 0..10 {
-                let mut reqs: Vec<_> = bufs
-                    .iter()
-                    .map(|&b| env.irecv(b, 1, dt, ANY_SOURCE, ANY_TAG, world))
-                    .collect();
+                let mut reqs: Vec<_> =
+                    bufs.iter().map(|&b| env.irecv(b, 1, dt, ANY_SOURCE, ANY_TAG, world)).collect();
                 while env.waitany(&mut reqs).is_some() {}
             }
         } else {
@@ -166,11 +161,8 @@ fn replay_nondeterministic_program_completes() {
             }
         }
     });
-    let mut tracers = World::run(
-        &WorldConfig::new(4),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(4), PilgrimTracer::with_defaults, move |env| body(env));
     let original = tracers[0].take_global_trace().unwrap();
     let replayed = pilgrim::replay_and_retrace(&original, PilgrimConfig::default());
     assert_eq!(replayed.nranks, 4);
@@ -202,11 +194,8 @@ fn replay_persistent_requests_faithful() {
             env.request_free(&mut r);
         }
     });
-    let mut tracers = World::run(
-        &WorldConfig::new(4),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(4), PilgrimTracer::with_defaults, move |env| body(env));
     let original = tracers[0].take_global_trace().unwrap();
     let replayed = replay(&original);
     assert_eq!(replayed.rank_lengths, original.rank_lengths);
@@ -232,11 +221,8 @@ fn replay_cart_topology_faithful() {
         }
         env.comm_free(cart);
     });
-    let mut tracers = World::run(
-        &WorldConfig::new(6),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(6), PilgrimTracer::with_defaults, move |env| body(env));
     let original = tracers[0].take_global_trace().unwrap();
     let replayed = replay(&original);
     assert_eq!(replayed.rank_lengths, original.rank_lengths);
@@ -258,11 +244,8 @@ fn replay_sendrecv_replace_faithful() {
             env.sendrecv_replace(buf, 1, dt, right, 0, left, 0, world);
         }
     });
-    let mut tracers = World::run(
-        &WorldConfig::new(5),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(5), PilgrimTracer::with_defaults, move |env| body(env));
     let original = tracers[0].take_global_trace().unwrap();
     let replayed = replay(&original);
     assert_eq!(replayed.decode_all_ranks(), original.decode_all_ranks());

@@ -3,57 +3,65 @@
 
 use mpi_sim::datatype::BasicType;
 use mpi_sim::{World, WorldConfig};
-use pilgrim::{GlobalTrace, PilgrimTracer};
+use pilgrim::{DecodeError, GlobalTrace, PilgrimTracer};
 
 fn sample_trace_bytes() -> Vec<u8> {
-    let mut tracers = World::run(
-        &WorldConfig::new(3),
-        PilgrimTracer::with_defaults,
-        |env| {
-            let world = env.comm_world();
-            let dt = env.basic(BasicType::Double);
-            let buf = env.malloc(64);
-            for _ in 0..20 {
-                env.bcast(buf, 8, dt, 0, world);
-                env.barrier(world);
-            }
-        },
-    );
+    let mut tracers = World::run(&WorldConfig::new(3), PilgrimTracer::with_defaults, |env| {
+        let world = env.comm_world();
+        let dt = env.basic(BasicType::Double);
+        let buf = env.malloc(64);
+        for _ in 0..20 {
+            env.bcast(buf, 8, dt, 0, world);
+            env.barrier(world);
+        }
+    });
     tracers[0].take_global_trace().unwrap().serialize()
 }
 
 #[test]
-fn truncated_traces_are_rejected_not_panicking() {
+fn truncated_traces_are_rejected_with_errors_not_panics() {
     let bytes = sample_trace_bytes();
-    // Every strict prefix must either fail to parse or parse to something
-    // self-consistent — never panic.
+    // Every strict prefix must return a decode error — never panic, and
+    // never succeed (the format has no self-delimiting prefix).
     for cut in 0..bytes.len() {
-        let result = std::panic::catch_unwind(|| GlobalTrace::deserialize(&bytes[..cut]));
-        let parsed = result.expect("deserialize must not panic on truncation");
-        if let Some(trace) = parsed {
-            // If a prefix happens to parse, decoding must still not panic
-            // beyond consistent lengths.
-            let _ = std::panic::catch_unwind(move || {
-                let _ = trace.cst.len();
-            });
-        }
+        let result = std::panic::catch_unwind(|| GlobalTrace::decode(&bytes[..cut]));
+        let parsed = result.expect("decode must not panic on truncation");
+        assert!(parsed.is_err(), "truncation to {cut}/{} bytes must not decode", bytes.len());
     }
 }
 
 #[test]
-fn bitflips_do_not_panic_deserialization() {
+fn empty_input_reports_truncation_at_offset_zero() {
+    assert_eq!(
+        GlobalTrace::decode(&[]).unwrap_err(),
+        DecodeError::Truncated { what: "encoder config", offset: 0 }
+    );
+}
+
+#[test]
+fn trailing_bytes_are_reported() {
+    let mut bytes = sample_trace_bytes();
+    let len = bytes.len();
+    bytes.extend_from_slice(&[0, 0, 0]);
+    assert_eq!(
+        GlobalTrace::decode(&bytes).unwrap_err(),
+        DecodeError::TrailingBytes { consumed: len, len: len + 3 }
+    );
+}
+
+#[test]
+fn bitflips_do_not_panic_decoding() {
     let bytes = sample_trace_bytes();
     let mut rejected = 0;
     for i in (0..bytes.len()).step_by(7) {
         for bit in [0u8, 3, 7] {
             let mut corrupted = bytes.clone();
             corrupted[i] ^= 1 << bit;
-            let result =
-                std::panic::catch_unwind(|| GlobalTrace::deserialize(&corrupted).is_none());
+            let result = std::panic::catch_unwind(|| GlobalTrace::decode(&corrupted).is_err());
             match result {
                 Ok(true) => rejected += 1,
                 Ok(false) => {} // parsed to something; fine
-                Err(_) => panic!("deserialize panicked on bitflip at byte {i} bit {bit}"),
+                Err(_) => panic!("decode panicked on bitflip at byte {i} bit {bit}"),
             }
         }
     }
@@ -63,9 +71,9 @@ fn bitflips_do_not_panic_deserialization() {
 
 #[test]
 fn garbage_input_is_rejected() {
-    assert!(GlobalTrace::deserialize(&[]).is_none());
+    assert!(GlobalTrace::decode(&[]).is_err());
     let garbage: Vec<u8> = (0..200u32).map(|i| (i * 37 % 251) as u8).collect();
-    let _ = GlobalTrace::deserialize(&garbage); // must not panic
+    let _ = GlobalTrace::decode(&garbage); // must not panic
 }
 
 #[test]
@@ -86,7 +94,7 @@ fn decode_signature_handles_arbitrary_bytes() {
 #[test]
 fn export_of_roundtripped_trace_works() {
     let bytes = sample_trace_bytes();
-    let trace = GlobalTrace::deserialize(&bytes).unwrap();
+    let trace = GlobalTrace::decode(&bytes).unwrap();
     let text = pilgrim::to_text(&trace);
     assert!(text.contains("MPI_Bcast"));
 }

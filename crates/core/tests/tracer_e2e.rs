@@ -17,7 +17,7 @@ fn traced_run<B: Fn(&mut Env) + Send + Sync + 'static>(
 }
 
 fn verify_cfg() -> PilgrimConfig {
-    PilgrimConfig { capture_reference: true, ..Default::default() }
+    PilgrimConfig::new().capture_reference(true)
 }
 
 fn check(trace: &GlobalTrace, tracers: &[PilgrimTracer]) {
@@ -82,10 +82,8 @@ fn nondeterministic_waitany_still_verifies() {
         if me == 0 {
             let bufs: Vec<_> = (0..3).map(|_| env.malloc(8)).collect();
             for _ in 0..15 {
-                let mut reqs: Vec<_> = bufs
-                    .iter()
-                    .map(|&b| env.irecv(b, 1, dt, ANY_SOURCE, ANY_TAG, world))
-                    .collect();
+                let mut reqs: Vec<_> =
+                    bufs.iter().map(|&b| env.irecv(b, 1, dt, ANY_SOURCE, ANY_TAG, world)).collect();
                 while env.waitany(&mut reqs).is_some() {}
             }
         } else {
@@ -249,11 +247,7 @@ fn proc_null_and_sendrecv_verify() {
 
 #[test]
 fn lossy_timing_mode_produces_grammars() {
-    let cfg = PilgrimConfig {
-        timing: TimingMode::Lossy { base: 1.2 },
-        capture_reference: true,
-        ..Default::default()
-    };
+    let cfg = PilgrimConfig::new().timing(TimingMode::Lossy { base: 1.2 }).capture_reference(true);
     let (trace, tracers) = traced_run(4, cfg, |env| {
         let world = env.comm_world();
         let dt = env.basic(BasicType::Double);
@@ -284,7 +278,7 @@ fn trace_serialization_roundtrip_e2e() {
         }
     });
     let bytes = trace.serialize();
-    let back = GlobalTrace::deserialize(&bytes).expect("deserializable");
+    let back = GlobalTrace::decode(&bytes).expect("decodable");
     assert_eq!(back.decode_all_ranks(), trace.decode_all_ranks());
     assert_eq!(back.cst.len(), trace.cst.len());
 }
@@ -307,10 +301,7 @@ fn loop_iteration_count_does_not_grow_trace() {
     let large = size_for(10_000);
     // O(1) loop compression: 1000x more calls may only cost a handful of
     // extra bytes (larger varint repetition counters and CST call counts).
-    assert!(
-        large <= small + 64,
-        "trace must not grow with iterations: {small} -> {large}"
-    );
+    assert!(large <= small + 64, "trace must not grow with iterations: {small} -> {large}");
 }
 
 #[test]

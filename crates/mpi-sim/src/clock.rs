@@ -109,10 +109,7 @@ mod tests {
     use super::*;
 
     fn quiet() -> ClockModel {
-        ClockModel {
-            noise_ppm: 0,
-            ..ClockModel::default()
-        }
+        ClockModel { noise_ppm: 0, ..ClockModel::default() }
     }
 
     #[test]

@@ -109,8 +109,7 @@ impl CommInfo {
     /// inter-communicator, the local group otherwise.
     pub fn peer_world(&self, rank: i32) -> WorldRank {
         let g = self.remote_group.as_ref().unwrap_or(&self.group);
-        *g.get(rank as usize)
-            .unwrap_or_else(|| panic!("rank {rank} out of range for communicator"))
+        *g.get(rank as usize).unwrap_or_else(|| panic!("rank {rank} out of range for communicator"))
     }
 
     pub fn is_inter(&self) -> bool {
@@ -139,10 +138,7 @@ impl CommTable {
             name: None,
             cart: None,
         };
-        CommTable {
-            slots: vec![Some(world)],
-            free: Vec::new(),
-        }
+        CommTable { slots: vec![Some(world)], free: Vec::new() }
     }
 
     pub fn get(&self, h: CommHandle) -> &CommInfo {

@@ -57,7 +57,10 @@ pub const NUM_BASIC_TYPES: u32 = 9;
 pub enum TypeDef {
     Basic(BasicType),
     /// `count` consecutive copies of the base type.
-    Contiguous { count: u64, base: DatatypeHandle },
+    Contiguous {
+        count: u64,
+        base: DatatypeHandle,
+    },
     /// `count` blocks of `blocklen` elements, strided by `stride` elements.
     Vector {
         count: u64,
@@ -192,12 +195,7 @@ impl TypeTable {
             extent: span(&blocks),
             blocks,
             committed: false,
-            def: TypeDef::Vector {
-                count,
-                blocklen,
-                stride,
-                base,
-            },
+            def: TypeDef::Vector { count, blocklen, stride, base },
         };
         self.insert(dt)
     }
@@ -226,11 +224,7 @@ impl TypeTable {
             extent: span(&blocks),
             blocks,
             committed: false,
-            def: TypeDef::Indexed {
-                blocklens: blocklens.to_vec(),
-                displs: displs.to_vec(),
-                base,
-            },
+            def: TypeDef::Indexed { blocklens: blocklens.to_vec(), displs: displs.to_vec(), base },
         };
         self.insert(dt)
     }
@@ -283,11 +277,7 @@ impl TypeTable {
 
     /// `MPI_Type_free`; predefined types cannot be freed.
     pub fn free(&mut self, h: DatatypeHandle) {
-        assert!(
-            h.0 >= NUM_BASIC_TYPES,
-            "cannot free predefined datatype {}",
-            h.0
-        );
+        assert!(h.0 >= NUM_BASIC_TYPES, "cannot free predefined datatype {}", h.0);
         let slot = self
             .types
             .get_mut(h.0 as usize)
@@ -382,11 +372,8 @@ mod tests {
     #[test]
     fn struct_type_layout() {
         let mut t = TypeTable::new();
-        let h = t.structured(
-            &[1, 2],
-            &[0, 8],
-            &[BasicType::Int.handle(), BasicType::Double.handle()],
-        );
+        let h =
+            t.structured(&[1, 2], &[0, 8], &[BasicType::Int.handle(), BasicType::Double.handle()]);
         let dt = t.get(h);
         assert_eq!(dt.size, 4 + 16);
         assert_eq!(dt.blocks, vec![(0, 4), (8, 16)]);

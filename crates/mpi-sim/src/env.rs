@@ -282,10 +282,7 @@ impl Env {
         self.comms.get_mut(comm).name = Some(name.to_string());
         let t1 = self.clock.now();
         self.emit(
-            CallRec::new(
-                FuncId::CommSetName,
-                vec![Arg::Comm(comm.0), Arg::Str(name.to_string())],
-            ),
+            CallRec::new(FuncId::CommSetName, vec![Arg::Comm(comm.0), Arg::Str(name.to_string())]),
             t0,
             t1,
         );
@@ -358,7 +355,15 @@ impl Env {
         self.heap.unpack(buf, &d.blocks, d.extent, count, data);
     }
 
-    fn do_send(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+    fn do_send(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) {
         if dest == PROC_NULL {
             return;
         }
@@ -409,22 +414,54 @@ impl Env {
 
     /// `MPI_Send`. (Buffered/synchronous/ready variants share the eager
     /// delivery semantics of the simulator but are traced distinctly.)
-    pub fn send(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+    pub fn send(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) {
         self.send_like(FuncId::Send, buf, count, dt, dest, tag, comm);
     }
 
     /// `MPI_Bsend`.
-    pub fn bsend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+    pub fn bsend(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) {
         self.send_like(FuncId::Bsend, buf, count, dt, dest, tag, comm);
     }
 
     /// `MPI_Ssend`.
-    pub fn ssend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+    pub fn ssend(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) {
         self.send_like(FuncId::Ssend, buf, count, dt, dest, tag, comm);
     }
 
     /// `MPI_Rsend`.
-    pub fn rsend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) {
+    pub fn rsend(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) {
         self.send_like(FuncId::Rsend, buf, count, dt, dest, tag, comm);
     }
 
@@ -447,11 +484,8 @@ impl Env {
             let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag);
             let msg = slot.wait_take(&self.fabric);
             self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
-            let status = Status {
-                source: msg.src_comm_rank,
-                tag: msg.tag,
-                count: msg.data.len() as u64,
-            };
+            let status =
+                Status { source: msg.src_comm_rank, tag: msg.tag, count: msg.data.len() as u64 };
             self.unpack_buf(buf, count, dt, &msg.data);
             status
         };
@@ -636,22 +670,54 @@ impl Env {
     }
 
     /// `MPI_Isend`.
-    pub fn isend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn isend(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         self.isend_like(FuncId::Isend, buf, count, dt, dest, tag, comm)
     }
 
     /// `MPI_Ibsend`.
-    pub fn ibsend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn ibsend(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         self.isend_like(FuncId::Ibsend, buf, count, dt, dest, tag, comm)
     }
 
     /// `MPI_Issend`.
-    pub fn issend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn issend(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         self.isend_like(FuncId::Issend, buf, count, dt, dest, tag, comm)
     }
 
     /// `MPI_Irsend`.
-    pub fn irsend(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn irsend(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         self.isend_like(FuncId::Irsend, buf, count, dt, dest, tag, comm)
     }
 
@@ -1016,9 +1082,7 @@ impl Env {
         let raws = Self::raw_reqs(reqs);
         let mut out = Vec::new();
         if reqs.iter().any(|&r| self.req_active(r)) {
-            self.poll_until(|me| {
-                reqs.iter().any(|&r| me.req_active(r) && me.req_ready(r))
-            });
+            self.poll_until(|me| reqs.iter().any(|&r| me.req_active(r) && me.req_ready(r)));
             for i in 0..reqs.len() {
                 if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
                     let persistent = self.reqs.is_persistent(reqs[i]);
@@ -1087,9 +1151,7 @@ impl Env {
         let t0 = self.clock.now();
         self.clock.call_entry();
         let raws = Self::raw_reqs(reqs);
-        let all_ready = reqs
-            .iter()
-            .all(|&r| !self.req_active(r) || self.req_ready(r));
+        let all_ready = reqs.iter().all(|&r| !self.req_active(r) || self.req_ready(r));
         let result = if all_ready {
             let mut statuses = Vec::with_capacity(reqs.len());
             for r in reqs.iter_mut() {
@@ -1267,27 +1329,67 @@ impl Env {
     }
 
     /// `MPI_Send_init`: creates an inactive persistent send request.
-    pub fn send_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn send_init(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         self.persistent_send_like(FuncId::SendInit, buf, count, dt, dest, tag, comm)
     }
 
     /// `MPI_Bsend_init`.
-    pub fn bsend_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn bsend_init(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         self.persistent_send_like(FuncId::BsendInit, buf, count, dt, dest, tag, comm)
     }
 
     /// `MPI_Ssend_init`.
-    pub fn ssend_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn ssend_init(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         self.persistent_send_like(FuncId::SsendInit, buf, count, dt, dest, tag, comm)
     }
 
     /// `MPI_Rsend_init`.
-    pub fn rsend_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, dest: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn rsend_init(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        dest: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         self.persistent_send_like(FuncId::RsendInit, buf, count, dt, dest, tag, comm)
     }
 
     /// `MPI_Recv_init`: creates an inactive persistent receive request.
-    pub fn recv_init(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, src: i32, tag: i32, comm: CommHandle) -> RequestHandle {
+    pub fn recv_init(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> RequestHandle {
         let t0 = self.clock.now();
         self.clock.call_entry();
         let req = self.reqs.insert(ReqKind::PersistentRecv {
@@ -1384,9 +1486,7 @@ impl Env {
 
 /// Interprets a byte buffer as little-endian u64 lanes.
 pub(crate) fn bytes_to_u64s(b: &[u8]) -> Vec<u64> {
-    b.chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
+    b.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
 }
 
 /// Serializes u64 lanes to bytes.

@@ -19,7 +19,11 @@ impl Env {
     /// One blocking exchange round on the communicator's app lane: deposits
     /// `contrib`, returns all contributions (indexed by lane rank) plus the
     /// synchronization time.
-    pub(crate) fn exchange_raw(&mut self, comm: CommHandle, contrib: Vec<u8>) -> (Arc<Vec<Vec<u8>>>, u64) {
+    pub(crate) fn exchange_raw(
+        &mut self,
+        comm: CommHandle,
+        contrib: Vec<u8>,
+    ) -> (Arc<Vec<Vec<u8>>>, u64) {
         let info = self.comms.get(comm);
         let coll = self.fabric.ensure_coll(info.ctx, Lane::App, info.lane_size());
         let round = info.app_round.get();
@@ -34,7 +38,12 @@ impl Env {
     }
 
     /// Starts a non-blocking exchange; completion via the request machinery.
-    pub(crate) fn exchange_nb_raw(&mut self, comm: CommHandle, contrib: Vec<u8>, op: NbOp) -> RequestHandle {
+    pub(crate) fn exchange_nb_raw(
+        &mut self,
+        comm: CommHandle,
+        contrib: Vec<u8>,
+        op: NbOp,
+    ) -> RequestHandle {
         let info = self.comms.get(comm);
         let coll = self.fabric.ensure_coll(info.ctx, Lane::App, info.lane_size());
         let round = info.app_round.get();
@@ -68,15 +77,19 @@ impl Env {
     }
 
     /// `MPI_Bcast`.
-    pub fn bcast(&mut self, buf: Addr, count: u64, dt: DatatypeHandle, root: i32, comm: CommHandle) {
+    pub fn bcast(
+        &mut self,
+        buf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        root: i32,
+        comm: CommHandle,
+    ) {
         let t0 = self.clock.now();
         self.clock.call_entry();
         let my_rank = self.comms.get(comm).my_rank;
-        let contrib = if my_rank == root as usize {
-            self.pack_buf(buf, count, dt)
-        } else {
-            Vec::new()
-        };
+        let contrib =
+            if my_rank == root as usize { self.pack_buf(buf, count, dt) } else { Vec::new() };
         let (res, _) = self.exchange_raw(comm, contrib);
         if my_rank != root as usize {
             let data = res[root as usize].clone();
@@ -699,12 +712,28 @@ impl Env {
     }
 
     /// `MPI_Scan`.
-    pub fn scan(&mut self, sendbuf: Addr, recvbuf: Addr, count: u64, dt: DatatypeHandle, op: ReduceOp, comm: CommHandle) {
+    pub fn scan(
+        &mut self,
+        sendbuf: Addr,
+        recvbuf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) {
         self.scan_like(FuncId::Scan, sendbuf, recvbuf, count, dt, op, comm, false);
     }
 
     /// `MPI_Exscan`.
-    pub fn exscan(&mut self, sendbuf: Addr, recvbuf: Addr, count: u64, dt: DatatypeHandle, op: ReduceOp, comm: CommHandle) {
+    pub fn exscan(
+        &mut self,
+        sendbuf: Addr,
+        recvbuf: Addr,
+        count: u64,
+        dt: DatatypeHandle,
+        op: ReduceOp,
+        comm: CommHandle,
+    ) {
         self.scan_like(FuncId::Exscan, sendbuf, recvbuf, count, dt, op, comm, true);
     }
 

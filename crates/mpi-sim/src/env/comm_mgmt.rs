@@ -37,12 +37,7 @@ fn deser_u64s(data: &[u8]) -> (Vec<u64>, usize) {
 }
 
 impl Env {
-    fn install_intra(
-        &mut self,
-        ctx: ContextId,
-        group: Vec<usize>,
-        my_world: usize,
-    ) -> CommHandle {
+    fn install_intra(&mut self, ctx: ContextId, group: Vec<usize>, my_world: usize) -> CommHandle {
         let my_rank = group
             .iter()
             .position(|&w| w == my_world)
@@ -79,11 +74,7 @@ impl Env {
         let group = self.comms.get(comm).group.clone();
         let new = self.install_intra(ctx, group, self.world_rank());
         let t1 = self.clock.now();
-        self.emit(
-            CallRec::new(FuncId::CommDup, vec![Arg::Comm(comm.0), Arg::Comm(new.0)]),
-            t0,
-            t1,
-        );
+        self.emit(CallRec::new(FuncId::CommDup, vec![Arg::Comm(comm.0), Arg::Comm(new.0)]), t0, t1);
         new
     }
 
@@ -99,11 +90,7 @@ impl Env {
             Vec::new()
         };
         let new_handle = self.comms.reserve();
-        let req = self.exchange_nb_raw(
-            comm,
-            contrib,
-            NbOp::Idup { parent: comm, new_handle },
-        );
+        let req = self.exchange_nb_raw(comm, contrib, NbOp::Idup { parent: comm, new_handle });
         let t1 = self.clock.now();
         self.emit(
             CallRec::new(
@@ -256,11 +243,8 @@ impl Env {
             let remote_leader_world = peer.peer_world(remote_leader);
             let proposal = self.fabric.alloc_context();
             let mut payload = ser_u64s(&[proposal, my_world as u64]);
-            payload.extend(ser_u64s(
-                &local_group.iter().map(|&w| w as u64).collect::<Vec<_>>(),
-            ));
-            self.fabric
-                .tool_send(remote_leader_world, my_world, tag ^ (1 << 20), payload);
+            payload.extend(ser_u64s(&local_group.iter().map(|&w| w as u64).collect::<Vec<_>>()));
+            self.fabric.tool_send(remote_leader_world, my_world, tag ^ (1 << 20), payload);
             let reply = self.fabric.tool_recv(my_world, remote_leader_world, tag ^ (1 << 20));
             // Decide the winning context: the proposal of the leader with
             // the smaller world rank (consistent on both sides).
@@ -430,10 +414,8 @@ impl Env {
         let new = if in_grid {
             let ctx = u64::from_le_bytes(res[0].as_slice().try_into().expect("ctx bytes"));
             let h = self.install_intra(ctx, members, self.world_rank());
-            self.comms.get_mut(h).cart = Some(CartTopology {
-                dims: dims.to_vec(),
-                periods: periods.to_vec(),
-            });
+            self.comms.get_mut(h).cart =
+                Some(CartTopology { dims: dims.to_vec(), periods: periods.to_vec() });
             Some(h)
         } else {
             None

@@ -127,11 +127,7 @@ pub struct CollCtx {
 
 impl CollCtx {
     fn new(size: usize) -> Self {
-        CollCtx {
-            size,
-            m: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
-        }
+        CollCtx { size, m: Mutex::new(HashMap::new()), cv: Condvar::new() }
     }
 
     /// Deposits `contrib` for `round`; does not wait.
@@ -150,9 +146,8 @@ impl CollCtx {
         r.deposited += 1;
         if r.deposited == self.size {
             let contribs = std::mem::take(&mut r.contribs);
-            r.result = Some(Arc::new(
-                contribs.into_iter().map(|c| c.expect("missing contrib")).collect(),
-            ));
+            r.result =
+                Some(Arc::new(contribs.into_iter().map(|c| c.expect("missing contrib")).collect()));
             self.cv.notify_all();
         }
     }
@@ -247,9 +242,7 @@ impl Fabric {
     /// Idempotently registers the collective lane for a communicator.
     pub fn ensure_coll(&self, ctx: ContextId, lane: Lane, size: usize) -> Arc<CollCtx> {
         let mut colls = self.colls.lock();
-        let c = colls
-            .entry((ctx, lane))
-            .or_insert_with(|| Arc::new(CollCtx::new(size)));
+        let c = colls.entry((ctx, lane)).or_insert_with(|| Arc::new(CollCtx::new(size)));
         assert_eq!(c.size, size, "collective lane re-registered with new size");
         c.clone()
     }
@@ -272,11 +265,7 @@ impl Fabric {
     pub fn send(&self, dest_world: WorldRank, msg: Message) {
         let mb = &self.mailboxes[dest_world];
         let mut inner = mb.inner.lock();
-        if let Some(i) = inner
-            .posted
-            .iter()
-            .position(|p| matches(p.ctx, p.src, p.tag, &msg))
-        {
+        if let Some(i) = inner.posted.iter().position(|p| matches(p.ctx, p.src, p.tag, &msg)) {
             let posted = inner.posted.remove(i).expect("index in range");
             drop(inner);
             posted.slot.fill(msg);
@@ -293,11 +282,7 @@ impl Fabric {
         let slot = Arc::new(RecvSlot::default());
         let mb = &self.mailboxes[me];
         let mut inner = mb.inner.lock();
-        if let Some(i) = inner
-            .unexpected
-            .iter()
-            .position(|m| matches(ctx, src, tag, m))
-        {
+        if let Some(i) = inner.unexpected.iter().position(|m| matches(ctx, src, tag, m)) {
             let msg = inner.unexpected.remove(i).expect("index in range");
             drop(inner);
             slot.fill(msg);
@@ -308,7 +293,13 @@ impl Fabric {
     }
 
     /// Non-blocking probe: peeks the unexpected queue.
-    pub fn iprobe(&self, me: WorldRank, ctx: ContextId, src: i32, tag: i32) -> Option<(i32, i32, u64)> {
+    pub fn iprobe(
+        &self,
+        me: WorldRank,
+        ctx: ContextId,
+        src: i32,
+        tag: i32,
+    ) -> Option<(i32, i32, u64)> {
         let inner = self.mailboxes[me].inner.lock();
         inner
             .unexpected
@@ -336,20 +327,11 @@ impl Fabric {
 
     /// Sends raw bytes on the tool channel (used by tracers for merges).
     pub fn tool_send(&self, dest_world: WorldRank, src_world: WorldRank, tag: i32, data: Vec<u8>) {
-        let msg = Message {
-            ctx: u64::MAX,
-            src_comm_rank: src_world as i32,
-            tag,
-            data,
-            send_time: 0,
-        };
+        let msg =
+            Message { ctx: u64::MAX, src_comm_rank: src_world as i32, tag, data, send_time: 0 };
         let mb = &self.tool_mailboxes[dest_world];
         let mut inner = mb.inner.lock();
-        if let Some(i) = inner
-            .posted
-            .iter()
-            .position(|p| matches(p.ctx, p.src, p.tag, &msg))
-        {
+        if let Some(i) = inner.posted.iter().position(|p| matches(p.ctx, p.src, p.tag, &msg)) {
             let posted = inner.posted.remove(i).expect("index in range");
             drop(inner);
             posted.slot.fill(msg);

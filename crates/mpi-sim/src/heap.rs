@@ -46,10 +46,7 @@ impl SimHeap {
             if block.size == size {
                 self.free.swap_remove(i);
             } else {
-                self.free[i] = FreeBlock {
-                    addr: block.addr + size,
-                    size: block.size - size,
-                };
+                self.free[i] = FreeBlock { addr: block.addr + size, size: block.size - size };
             }
             self.live.push((block.addr, size));
             return block.addr;
@@ -155,10 +152,7 @@ impl SimHeap {
     /// Convenience: read a `u64` array from `addr`.
     pub fn read_u64s(&self, addr: Addr, count: usize) -> Vec<u64> {
         let bytes = self.read(addr, (count * 8) as u64);
-        bytes
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect()
+        bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect()
     }
 }
 

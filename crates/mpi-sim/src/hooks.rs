@@ -89,9 +89,7 @@ impl<'a> TraceCtx<'a> {
 
     /// The remote group of an inter-communicator.
     pub fn comm_remote_group(&self, handle: u32) -> Option<&[usize]> {
-        self.comms
-            .try_get(CommHandle(handle))
-            .and_then(|c| c.remote_group.as_deref())
+        self.comms.try_get(CommHandle(handle)).and_then(|c| c.remote_group.as_deref())
     }
 
     /// Blocking all-reduce (max) over the communicator's members on the
@@ -100,9 +98,7 @@ impl<'a> TraceCtx<'a> {
     /// call on every member (paper §3.3.1).
     pub fn tool_allreduce_max(&self, handle: u32, value: u64) -> u64 {
         let info = self.comms.get(CommHandle(handle));
-        let coll = self
-            .fabric
-            .ensure_coll(info.ctx, Lane::Tool, info.lane_size());
+        let coll = self.fabric.ensure_coll(info.ctx, Lane::Tool, info.lane_size());
         let round = info.tool_round.get();
         info.tool_round.set(round + 1);
         coll.deposit(round, info.lane_rank(), value.to_le_bytes().to_vec(), 0);
@@ -118,9 +114,7 @@ impl<'a> TraceCtx<'a> {
     /// result polled later via [`ToolRequest::try_complete`].
     pub fn tool_iallreduce_max(&self, handle: u32, value: u64) -> ToolRequest {
         let info = self.comms.get(CommHandle(handle));
-        let coll = self
-            .fabric
-            .ensure_coll(info.ctx, Lane::Tool, info.lane_size());
+        let coll = self.fabric.ensure_coll(info.ctx, Lane::Tool, info.lane_size());
         let round = info.tool_round.get();
         info.tool_round.set(round + 1);
         coll.deposit(round, info.lane_rank(), value.to_le_bytes().to_vec(), 0);

@@ -67,20 +67,9 @@ pub enum ReqKind {
     /// An eager non-blocking send: already complete.
     Send,
     /// A pending non-blocking receive.
-    Recv {
-        slot: Arc<RecvSlot>,
-        buf: Addr,
-        blocks: Vec<(i64, u64)>,
-        extent: u64,
-        count: u64,
-    },
+    Recv { slot: Arc<RecvSlot>, buf: Addr, blocks: Vec<(i64, u64)>, extent: u64, count: u64 },
     /// A non-blocking collective.
-    Coll {
-        coll: Arc<CollCtx>,
-        round: u64,
-        lane_rank: usize,
-        op: NbOp,
-    },
+    Coll { coll: Arc<CollCtx>, round: u64, lane_rank: usize, op: NbOp },
 }
 
 /// Rank-local request table (slab with free-list reuse).
@@ -121,10 +110,7 @@ impl RequestTable {
 
     /// Whether this request is persistent (survives completion).
     pub fn is_persistent(&self, h: RequestHandle) -> bool {
-        matches!(
-            self.get(h),
-            ReqKind::PersistentSend { .. } | ReqKind::PersistentRecv { .. }
-        )
+        matches!(self.get(h), ReqKind::PersistentSend { .. } | ReqKind::PersistentRecv { .. })
     }
 
     /// Removes a completed request, freeing its id for reuse.

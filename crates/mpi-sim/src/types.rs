@@ -25,11 +25,7 @@ pub struct Status {
 impl Status {
     /// Status returned by operations on [`PROC_NULL`].
     pub fn proc_null() -> Status {
-        Status {
-            source: PROC_NULL,
-            tag: ANY_TAG,
-            count: 0,
-        }
+        Status { source: PROC_NULL, tag: ANY_TAG, count: 0 }
     }
 }
 

@@ -92,9 +92,7 @@ impl World {
             match handle.join() {
                 Ok(boxed) => {
                     let any: Box<dyn std::any::Any> = boxed;
-                    let t = any
-                        .downcast::<T>()
-                        .expect("tracer type mismatch at collection");
+                    let t = any.downcast::<T>().expect("tracer type mismatch at collection");
                     tracers.push(*t);
                 }
                 Err(e) => {

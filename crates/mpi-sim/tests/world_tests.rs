@@ -106,10 +106,8 @@ fn waitany_completes_everything() {
         let dt = env.basic(BasicType::LongLong);
         if me == 0 {
             let bufs: Vec<_> = (0..4).map(|_| env.malloc(8)).collect();
-            let mut reqs: Vec<_> = bufs
-                .iter()
-                .map(|&b| env.irecv(b, 1, dt, ANY_SOURCE, ANY_TAG, world))
-                .collect();
+            let mut reqs: Vec<_> =
+                bufs.iter().map(|&b| env.irecv(b, 1, dt, ANY_SOURCE, ANY_TAG, world)).collect();
             let mut done = 0;
             while let Some((_idx, st)) = env.waitany(&mut reqs) {
                 assert!(st.source == 1 || st.source == 2);
@@ -218,7 +216,10 @@ fn gather_scatter_roundtrip() {
         env.heap_write_u64s(one, &[me * me]);
         env.gather(one, 1, dt, all, 1, dt, 0, world);
         if me == 0 {
-            assert_eq!(env.heap_read_u64s(all, n as usize), (0..n).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(
+                env.heap_read_u64s(all, n as usize),
+                (0..n).map(|i| i * i).collect::<Vec<_>>()
+            );
         }
         env.scatter(all, 1, dt, one, 1, dt, 0, world);
         assert_eq!(env.heap_read_u64s(one, 1)[0], me * me);
@@ -497,19 +498,23 @@ impl Tracer for CountingTracer {
 
 #[test]
 fn tracer_observes_all_calls_and_allocs() {
-    let tracers = World::run(&WorldConfig::new(2), |_| CountingTracer::default(), |env| {
-        let me = env.world_rank();
-        let world = env.comm_world();
-        let dt = env.basic(BasicType::Int);
-        let buf = env.malloc(4);
-        if me == 0 {
-            env.send(buf, 1, dt, 1, 0, world);
-        } else {
-            env.recv(buf, 1, dt, 0, 0, world);
-        }
-        env.barrier(world);
-        env.free(buf);
-    });
+    let tracers = World::run(
+        &WorldConfig::new(2),
+        |_| CountingTracer::default(),
+        |env| {
+            let me = env.world_rank();
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::Int);
+            let buf = env.malloc(4);
+            if me == 0 {
+                env.send(buf, 1, dt, 1, 0, world);
+            } else {
+                env.recv(buf, 1, dt, 0, 0, world);
+            }
+            env.barrier(world);
+            env.free(buf);
+        },
+    );
     assert_eq!(tracers.len(), 2);
     for (rank, t) in tracers.iter().enumerate() {
         assert!(t.finalized, "finalize hook must run");
@@ -550,11 +555,15 @@ fn tool_allreduce_assigns_consistent_ids() {
             }
         }
     }
-    let tracers = World::run(&WorldConfig::new(3), |_| IdTracer::default(), |env| {
-        let world = env.comm_world();
-        let a = env.comm_dup(world);
-        let _b = env.comm_dup(a);
-    });
+    let tracers = World::run(
+        &WorldConfig::new(3),
+        |_| IdTracer::default(),
+        |env| {
+            let world = env.comm_world();
+            let a = env.comm_dup(world);
+            let _b = env.comm_dup(a);
+        },
+    );
     // All ranks computed the same id sequence.
     let first = &tracers[0].ids;
     assert_eq!(first.len(), 2);
@@ -582,18 +591,22 @@ fn world_scales_to_many_ranks() {
 
 #[test]
 fn simulated_clock_advances_through_communication() {
-    let tracers = World::run(&WorldConfig::new(2), |_| CountingTracer::default(), |env| {
-        let me = env.world_rank();
-        let world = env.comm_world();
-        let dt = env.basic(BasicType::LongLong);
-        let buf = env.malloc(800);
-        env.compute(50_000);
-        if me == 0 {
-            env.send(buf, 100, dt, 1, 0, world);
-        } else {
-            env.recv(buf, 100, dt, 0, 0, world);
-        }
-    });
+    let tracers = World::run(
+        &WorldConfig::new(2),
+        |_| CountingTracer::default(),
+        |env| {
+            let me = env.world_rank();
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::LongLong);
+            let buf = env.malloc(800);
+            env.compute(50_000);
+            if me == 0 {
+                env.send(buf, 100, dt, 1, 0, world);
+            } else {
+                env.recv(buf, 100, dt, 0, 0, world);
+            }
+        },
+    );
     // The receiver's recv must end after the sender's send began plus the
     // modeled network latency.
     let send = tracers[0].calls.iter().find(|c| c.0 == FuncId::Send).unwrap();
@@ -607,9 +620,8 @@ fn cart_topology_stencil() {
         let world = env.comm_world();
         let dims = env.dims_create(6, 2);
         assert_eq!(dims, vec![3, 2]);
-        let cart = env
-            .cart_create(world, &dims, &[false, true], false)
-            .expect("all ranks fit the grid");
+        let cart =
+            env.cart_create(world, &dims, &[false, true], false).expect("all ranks fit the grid");
         let me = env.comm_rank(cart);
         let coords = env.cart_coords(cart, me);
         assert_eq!(env.cart_rank(cart, &coords), me);

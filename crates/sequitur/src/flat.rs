@@ -1,12 +1,114 @@
 //! Plain-data grammar snapshot: serialization, identity comparison, and
 //! expansion (decompression).
 
-use serde::{Deserialize, Serialize};
-
 use crate::symbol::{Symbol, TOP_RULE};
+use std::fmt;
+
+/// Why a serialized grammar (or a larger trace embedding one) failed to
+/// decode. Every decoding path in the workspace reports failures through
+/// this type rather than a bare `Option`, so callers can distinguish a
+/// short read from structural corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A LEB128 varint ran off the end of the buffer (or exceeded 64 bits).
+    TruncatedVarint {
+        /// Byte offset at which the varint began.
+        offset: usize,
+    },
+    /// A fixed-size or counted field was cut short.
+    Truncated {
+        /// Which field was being read.
+        what: &'static str,
+        /// Byte offset at which the read began.
+        offset: usize,
+    },
+    /// A right-hand-side symbol referenced a rule outside the grammar.
+    BadRuleRef {
+        /// The out-of-range rule id.
+        rule: u32,
+        /// Number of rules actually present.
+        num_rules: usize,
+    },
+    /// The rule graph contains a cycle, so the grammar generates no finite
+    /// sequence. Well-formed Sequitur output is always acyclic.
+    CyclicRules {
+        /// A rule participating in the cycle.
+        rule: u32,
+    },
+    /// Decoding succeeded but did not consume the whole buffer.
+    TrailingBytes {
+        /// Bytes consumed by the decoder.
+        consumed: usize,
+        /// Total buffer length.
+        len: usize,
+    },
+    /// A structural invariant failed (impossible count, bad tag byte, ...).
+    Corrupt {
+        /// Which invariant was violated.
+        what: &'static str,
+        /// Byte offset of the offending field.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DecodeError::TruncatedVarint { offset } => {
+                write!(f, "truncated varint at byte {offset}")
+            }
+            DecodeError::Truncated { what, offset } => {
+                write!(f, "truncated {what} at byte {offset}")
+            }
+            DecodeError::BadRuleRef { rule, num_rules } => {
+                write!(f, "rule reference {rule} out of range ({num_rules} rules)")
+            }
+            DecodeError::CyclicRules { rule } => {
+                write!(f, "rule {rule} participates in a cycle")
+            }
+            DecodeError::TrailingBytes { consumed, len } => {
+                write!(f, "{} trailing bytes after decoding {consumed}", len - consumed)
+            }
+            DecodeError::Corrupt { what, offset } => {
+                write!(f, "corrupt {what} at byte {offset}")
+            }
+        }
+    }
+}
+
+impl DecodeError {
+    /// Rebases byte offsets by `base`, for decoders that hand a sub-slice
+    /// to a nested decoder but want errors relative to the outer buffer.
+    #[must_use]
+    pub fn offset_by(self, base: usize) -> Self {
+        match self {
+            DecodeError::TruncatedVarint { offset } => {
+                DecodeError::TruncatedVarint { offset: offset + base }
+            }
+            DecodeError::Truncated { what, offset } => {
+                DecodeError::Truncated { what, offset: offset + base }
+            }
+            DecodeError::Corrupt { what, offset } => {
+                DecodeError::Corrupt { what, offset: offset + base }
+            }
+            DecodeError::TrailingBytes { consumed, len } => {
+                DecodeError::TrailingBytes { consumed: consumed + base, len: len + base }
+            }
+            e @ (DecodeError::BadRuleRef { .. } | DecodeError::CyclicRules { .. }) => e,
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Reads a varint, mapping a short read to [`DecodeError::TruncatedVarint`].
+pub fn decode_varint(buf: &[u8], pos: &mut usize) -> Result<u64, DecodeError> {
+    let offset = *pos;
+    read_varint(buf, pos).ok_or(DecodeError::TruncatedVarint { offset })
+}
 
 /// One production rule: the right-hand side as `(symbol, exponent)` pairs.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FlatRule {
     pub symbols: Vec<(Symbol, u64)>,
 }
@@ -17,7 +119,7 @@ pub struct FlatRule {
 /// Two grammars are *identical* (the paper's fast `memcmp` check before an
 /// inter-process merge) iff their [`FlatGrammar::to_ints`] arrays are equal,
 /// which `PartialEq` implements structurally.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct FlatGrammar {
     pub rules: Vec<FlatRule>,
 }
@@ -25,9 +127,7 @@ pub struct FlatGrammar {
 impl FlatGrammar {
     /// An empty grammar generating the empty sequence.
     pub fn empty() -> Self {
-        FlatGrammar {
-            rules: vec![FlatRule { symbols: Vec::new() }],
-        }
+        FlatGrammar { rules: vec![FlatRule { symbols: Vec::new() }] }
     }
 
     /// Number of rules, including the start rule.
@@ -90,21 +190,94 @@ impl FlatGrammar {
 
     /// Deserializes a grammar previously written by [`FlatGrammar::serialize`].
     /// Returns the grammar and the number of bytes consumed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FlatGrammar::decode`, which reports why decoding failed"
+    )]
     pub fn deserialize(buf: &[u8]) -> Option<(Self, usize)> {
+        Self::decode(buf).ok()
+    }
+
+    /// Decodes a grammar previously written by [`FlatGrammar::serialize`],
+    /// validating structure as it goes: every `Symbol::Rule` reference must
+    /// point at an existing rule and the rule graph must be acyclic (so the
+    /// grammar generates a finite sequence). Returns the grammar and the
+    /// number of bytes consumed; the caller decides whether trailing bytes
+    /// are acceptable.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
         let mut pos = 0;
-        let nrules = read_varint(buf, &mut pos)? as usize;
+        let nrules_off = pos;
+        let nrules = decode_varint(buf, &mut pos)? as usize;
+        // Each rule costs at least one byte (its length varint), so a count
+        // larger than the remaining buffer is corruption, not a real grammar.
+        // This also stops a flipped high bit from triggering a huge
+        // `Vec::with_capacity` allocation.
+        if nrules > buf.len().saturating_sub(pos).saturating_add(1) {
+            return Err(DecodeError::Corrupt { what: "rule count", offset: nrules_off });
+        }
         let mut rules = Vec::with_capacity(nrules);
         for _ in 0..nrules {
-            let len = read_varint(buf, &mut pos)? as usize;
+            let len_off = pos;
+            let len = decode_varint(buf, &mut pos)? as usize;
+            // A symbol costs at least two bytes (symbol + exponent varints).
+            if len > buf.len().saturating_sub(pos) / 2 + 1 {
+                return Err(DecodeError::Corrupt { what: "rule length", offset: len_off });
+            }
             let mut symbols = Vec::with_capacity(len);
             for _ in 0..len {
-                let sym = Symbol::from_int(read_varint(buf, &mut pos)?);
-                let exp = read_varint(buf, &mut pos)?;
+                let sym = Symbol::from_int(decode_varint(buf, &mut pos)?);
+                let exp = decode_varint(buf, &mut pos)?;
+                if let Symbol::Rule(r) = sym {
+                    if r as usize >= nrules {
+                        return Err(DecodeError::BadRuleRef { rule: r, num_rules: nrules });
+                    }
+                }
                 symbols.push((sym, exp));
             }
             rules.push(FlatRule { symbols });
         }
-        Some((FlatGrammar { rules }, pos))
+        let g = FlatGrammar { rules };
+        g.check_acyclic()?;
+        Ok((g, pos))
+    }
+
+    /// Verifies the rule-reference graph has no cycles; a cyclic grammar
+    /// would send [`FlatGrammar::expand`] into unbounded recursion.
+    fn check_acyclic(&self) -> Result<(), DecodeError> {
+        // Iterative three-color DFS over rule references.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; self.rules.len()];
+        for start in 0..self.rules.len() {
+            if color[start] != WHITE {
+                continue;
+            }
+            // Stack entries: (rule id, index of next RHS slot to visit).
+            let mut stack = vec![(start, 0usize)];
+            color[start] = GRAY;
+            while let Some(&(rid, next)) = stack.last() {
+                let body = &self.rules[rid].symbols;
+                if next >= body.len() {
+                    color[rid] = BLACK;
+                    stack.pop();
+                    continue;
+                }
+                stack.last_mut().expect("stack non-empty").1 += 1;
+                if let Symbol::Rule(r) = body[next].0 {
+                    let r = r as usize;
+                    match color[r] {
+                        GRAY => return Err(DecodeError::CyclicRules { rule: r as u32 }),
+                        WHITE => {
+                            color[r] = GRAY;
+                            stack.push((r, 0));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Length of the generated terminal sequence, without expanding it.

@@ -74,6 +74,25 @@ pub struct Grammar {
     digrams: HashMap<DigramKey, NodeId>,
     dirty: Vec<NodeId>,
     input_len: u64,
+    utility_inlines: u64,
+}
+
+/// A point-in-time snapshot of a grammar's internal size counters, exposed
+/// for the `pilgrim` metrics registry. Cheap to take except for the live
+/// rule/symbol scans, which are O(nodes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GrammarStats {
+    /// Live rules, including the start rule.
+    pub rules: usize,
+    /// Live right-hand-side symbol slots across all rules.
+    pub symbols: usize,
+    /// Entries currently held by the digram (P1) uniqueness index.
+    pub digram_entries: usize,
+    /// Rules deleted so far by the utility (P2) invariant — each one was
+    /// inlined back into its single remaining use site.
+    pub utility_inlines: u64,
+    /// Terminals pushed so far (uncompressed input length).
+    pub input_len: u64,
 }
 
 impl Grammar {
@@ -87,6 +106,7 @@ impl Grammar {
             digrams: HashMap::new(),
             dirty: Vec::new(),
             input_len: 0,
+            utility_inlines: 0,
         };
         let top = g.new_rule();
         debug_assert_eq!(top, TOP_RULE);
@@ -122,10 +142,18 @@ impl Grammar {
 
     /// Total number of right-hand-side symbol nodes across all live rules.
     pub fn num_symbols(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| n.alive && n.guard_of == NIL)
-            .count()
+        self.nodes.iter().filter(|n| n.alive && n.guard_of == NIL).count()
+    }
+
+    /// Snapshots the grammar's size counters for observability.
+    pub fn stats(&self) -> GrammarStats {
+        GrammarStats {
+            rules: self.num_rules(),
+            symbols: self.num_symbols(),
+            digram_entries: self.digrams.len(),
+            utility_inlines: self.utility_inlines,
+            input_len: self.input_len,
+        }
     }
 
     /// Snapshots the grammar into its plain-data form with densely
@@ -170,11 +198,7 @@ impl Grammar {
         let id = match self.free_rules.pop() {
             Some(id) => id,
             None => {
-                self.rules.push(RuleInfo {
-                    guard: NIL,
-                    refs: 0,
-                    alive: false,
-                });
+                self.rules.push(RuleInfo { guard: NIL, refs: 0, alive: false });
                 (self.rules.len() - 1) as u32
             }
         };
@@ -440,6 +464,7 @@ impl Grammar {
     fn inline_rule_at(&mut self, x: NodeId, q: u32) {
         debug_assert_eq!(self.nodes[x as usize].sym, Symbol::Rule(q));
         debug_assert_eq!(self.nodes[x as usize].exp, 1);
+        self.utility_inlines += 1;
         let p = self.prev(x);
         let nx = self.next(x);
         self.forget(p);
@@ -462,18 +487,17 @@ impl Grammar {
         self.rules[q as usize].alive = false;
         self.free_rules.push(q);
         // Boundary merges, then re-check the two new junctions.
-        let left = if !self.is_guard(p)
-            && self.nodes[p as usize].sym == self.nodes[first as usize].sym
-        {
-            self.forget(self.prev(p));
-            self.forget(first);
-            self.nodes[p as usize].exp += self.nodes[first as usize].exp;
-            self.delete_node(first);
-            self.mark(self.prev(p));
-            p
-        } else {
-            p
-        };
+        let left =
+            if !self.is_guard(p) && self.nodes[p as usize].sym == self.nodes[first as usize].sym {
+                self.forget(self.prev(p));
+                self.forget(first);
+                self.nodes[p as usize].exp += self.nodes[first as usize].exp;
+                self.delete_node(first);
+                self.mark(self.prev(p));
+                p
+            } else {
+                p
+            };
         self.mark(left);
         let right_start = self.prev(nx);
         if !self.is_guard(nx)

@@ -26,8 +26,10 @@ mod flat;
 mod grammar;
 mod symbol;
 
-pub use flat::{read_varint, varint_len, write_varint, FlatGrammar, FlatRule};
-pub use grammar::{compress_runs, Grammar};
+pub use flat::{
+    decode_varint, read_varint, varint_len, write_varint, DecodeError, FlatGrammar, FlatRule,
+};
+pub use grammar::{compress_runs, Grammar, GrammarStats};
 pub use symbol::{Symbol, TOP_RULE};
 
 #[cfg(test)]

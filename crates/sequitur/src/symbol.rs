@@ -1,7 +1,5 @@
 //! Grammar symbols: terminals and rule (non-terminal) references.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of the start rule `S` of every grammar.
 pub const TOP_RULE: u32 = 0;
 
@@ -10,7 +8,7 @@ pub const TOP_RULE: u32 = 0;
 ///
 /// Terminals are plain `u32`s; in Pilgrim each terminal is the index of a
 /// call signature in the call signature table (CST).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Symbol {
     /// A terminal symbol from the input alphabet.
     Terminal(u32),

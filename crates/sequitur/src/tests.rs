@@ -175,15 +175,13 @@ fn rule_utility_inlines_single_use_rules() {
 
 #[test]
 fn flat_serialize_roundtrip() {
-    let seq: Vec<u32> = "the quick brown fox the quick brown fox jumps"
-        .bytes()
-        .map(u32::from)
-        .collect();
+    let seq: Vec<u32> =
+        "the quick brown fox the quick brown fox jumps".bytes().map(u32::from).collect();
     let flat = build(&seq).to_flat();
     let mut buf = Vec::new();
     flat.serialize(&mut buf);
     assert_eq!(buf.len(), flat.byte_size());
-    let (back, used) = FlatGrammar::deserialize(&buf).unwrap();
+    let (back, used) = FlatGrammar::decode(&buf).unwrap();
     assert_eq!(used, buf.len());
     assert_eq!(back, flat);
     assert_eq!(back.expand(), seq);
@@ -233,9 +231,7 @@ fn compress_runs_roundtrips() {
     let total: u64 = runs.iter().map(|&(_, n)| n).sum();
     assert_eq!(flat.expanded_len(), total);
     let flatten = |rs: &[(u32, u64)]| -> Vec<u32> {
-        rs.iter()
-            .flat_map(|&(t, n)| std::iter::repeat_n(t, n as usize))
-            .collect::<Vec<_>>()
+        rs.iter().flat_map(|&(t, n)| std::iter::repeat_n(t, n as usize)).collect::<Vec<_>>()
     };
     assert_eq!(flatten(&rebuilt), flatten(&runs));
 }
@@ -263,7 +259,7 @@ fn varint_rejects_truncated_input() {
 
 #[test]
 fn deserialize_rejects_garbage() {
-    assert!(FlatGrammar::deserialize(&[]).is_none());
+    assert!(FlatGrammar::decode(&[]).is_err());
 }
 
 #[test]
@@ -273,18 +269,14 @@ fn empty_flat_grammar() {
     assert_eq!(e.expanded_len(), 0);
     let mut buf = Vec::new();
     e.serialize(&mut buf);
-    let (back, _) = FlatGrammar::deserialize(&buf).unwrap();
+    let (back, _) = FlatGrammar::decode(&buf).unwrap();
     assert_eq!(back, e);
 }
 
 #[test]
 fn symbol_int_encoding_roundtrip() {
-    for s in [
-        Symbol::Terminal(0),
-        Symbol::Terminal(u32::MAX),
-        Symbol::Rule(0),
-        Symbol::Rule(12345),
-    ] {
+    for s in [Symbol::Terminal(0), Symbol::Terminal(u32::MAX), Symbol::Rule(0), Symbol::Rule(12345)]
+    {
         assert_eq!(Symbol::from_int(s.to_int()), s);
     }
 }

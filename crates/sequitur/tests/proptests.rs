@@ -53,7 +53,7 @@ proptest! {
         let mut buf = Vec::new();
         flat.serialize(&mut buf);
         prop_assert_eq!(buf.len(), flat.byte_size());
-        let (back, used) = FlatGrammar::deserialize(&buf).unwrap();
+        let (back, used) = FlatGrammar::decode(&buf).unwrap();
         prop_assert_eq!(used, buf.len());
         prop_assert_eq!(back, flat);
     }

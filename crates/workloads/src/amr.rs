@@ -41,9 +41,7 @@ pub struct BlockTree {
 impl BlockTree {
     /// A uniform level-1 grid of eight root children.
     pub fn new(nranks: usize) -> Self {
-        let blocks = (0..8)
-            .map(|i| Block { key: i * span(1), level: 1 })
-            .collect();
+        let blocks = (0..8).map(|i| Block { key: i * span(1), level: 1 }).collect();
         BlockTree { blocks, nranks }
     }
 
@@ -82,10 +80,7 @@ impl BlockTree {
             let h = hash2(b.key, round);
             if b.level < MAX_LEVEL && h % 1000 < permille {
                 for c in 0..8u64 {
-                    let child = Block {
-                        key: b.key + c * span(b.level + 1),
-                        level: b.level + 1,
-                    };
+                    let child = Block { key: b.key + c * span(b.level + 1), level: b.level + 1 };
                     new_blocks.push(child);
                     children_of.push((child, i));
                 }
@@ -101,9 +96,7 @@ impl BlockTree {
             while new_idx < self.blocks.len() && self.blocks[new_idx].key < b.key {
                 new_idx += 1;
             }
-            if new_idx < self.blocks.len()
-                && self.blocks[new_idx] == *b
-            {
+            if new_idx < self.blocks.len() && self.blocks[new_idx] == *b {
                 let from = old.owner(old_idx);
                 let to = self.owner(new_idx);
                 if from != to {

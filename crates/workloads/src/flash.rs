@@ -20,7 +20,13 @@ use crate::amr::BlockTree;
 use crate::grid::{dims_create, neighbor};
 
 /// Static 3D halo exchange shared by the non-AMR proxies.
-fn static_halo(env: &mut Env, dims: &[usize], bufs: &(Vec<u64>, Vec<u64>), count: u64, periodic: bool) {
+fn static_halo(
+    env: &mut Env,
+    dims: &[usize],
+    bufs: &(Vec<u64>, Vec<u64>),
+    count: u64,
+    periodic: bool,
+) {
     let me = env.world_rank();
     let world = env.comm_world();
     let dt = env.basic(BasicType::Double);

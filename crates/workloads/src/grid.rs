@@ -52,7 +52,13 @@ pub fn rank_of(c: &[usize], dims: &[usize]) -> usize {
 
 /// Neighbor along `dim` in direction `dir` (+1/-1). Returns `None` at a
 /// non-periodic boundary; wraps when `periodic`.
-pub fn neighbor(rank: usize, dims: &[usize], dim: usize, dir: i64, periodic: bool) -> Option<usize> {
+pub fn neighbor(
+    rank: usize,
+    dims: &[usize],
+    dim: usize,
+    dir: i64,
+    periodic: bool,
+) -> Option<usize> {
     let mut c = coords(rank, dims);
     let extent = dims[dim] as i64;
     let pos = c[dim] as i64 + dir;

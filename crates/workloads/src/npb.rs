@@ -146,7 +146,19 @@ pub fn cg(env: &mut Env, iters: usize) {
         for k in 0..stages {
             let partner = me ^ (1 << k);
             if partner < n {
-                env.sendrecv(vbuf, 64, dt, partner as i32, 20 + k as i32, vbuf, 64, dt, partner as i32, 20 + k as i32, world);
+                env.sendrecv(
+                    vbuf,
+                    64,
+                    dt,
+                    partner as i32,
+                    20 + k as i32,
+                    vbuf,
+                    64,
+                    dt,
+                    partner as i32,
+                    20 + k as i32,
+                    world,
+                );
             }
         }
         env.allreduce(dot, dot, 1, dt, ReduceOp::Sum, world);

@@ -32,8 +32,7 @@ pub fn stencil2d(env: &mut Env, iters: usize, points: u64) {
         let mut slot = 0;
         for dim in 0..2 {
             for dir in [-1i64, 1] {
-                let peer = neighbor(me, &dims, dim, dir, false)
-                    .map_or(PROC_NULL, |r| r as i32);
+                let peer = neighbor(me, &dims, dim, dir, false).map_or(PROC_NULL, |r| r as i32);
                 reqs.push(env.irecv(rbuf[slot], points, dt, peer, dim as i32, world));
                 reqs.push(env.isend(sbuf[slot], points, dt, peer, dim as i32, world));
                 slot += 1;

@@ -2,7 +2,6 @@
 //! several rank counts, issues the expected call mix, and is deterministic
 //! in its per-rank call counts.
 
-
 use mpi_sim::hooks::{CallRec, TraceCtx, Tracer};
 use mpi_sim::{FuncId, World, WorldConfig};
 use mpi_workloads::by_name;
@@ -36,11 +35,7 @@ fn every_workload_runs_at_multiple_scales() {
         // SP/BT need square counts; 4 works for everything.
         let counters = run_counted(name, 4, 3);
         for (rank, c) in counters.iter().enumerate() {
-            assert!(
-                c.total > 2,
-                "{name} rank {rank} made only {} calls",
-                c.total
-            );
+            assert!(c.total > 2, "{name} rank {rank} made only {} calls", c.total);
         }
     }
 }
@@ -125,17 +120,13 @@ fn cellular_communication_changes_with_refinement() {
     // late windows of the run must not have identical per-rank call mixes
     // forever (the redistribution sends fire on refinement steps).
     let counters = run_counted("cellular", 6, 40);
-    let total_sends: u64 = counters
-        .iter()
-        .map(|c| c.counts.get(&FuncId::Isend).copied().unwrap_or(0))
-        .sum();
+    let total_sends: u64 =
+        counters.iter().map(|c| c.counts.get(&FuncId::Isend).copied().unwrap_or(0)).sum();
     // Halo exchanges plus redistribution moves: strictly more than the
     // static halo-only count (2 partners x 40 iters x 6 ranks = 480 max).
     assert!(total_sends > 0);
-    let barriers: u64 = counters
-        .iter()
-        .map(|c| c.counts.get(&FuncId::Barrier).copied().unwrap_or(0))
-        .sum();
+    let barriers: u64 =
+        counters.iter().map(|c| c.counts.get(&FuncId::Barrier).copied().unwrap_or(0)).sum();
     assert_eq!(barriers, 6 * 4, "one barrier per refinement step per rank");
 }
 

@@ -12,20 +12,14 @@ use pilgrim::PilgrimTracer;
 
 fn run(app: &'static str, iters: usize) -> pilgrim::GlobalTrace {
     let body = by_name(app, iters);
-    let mut tracers = World::run(
-        &WorldConfig::new(8),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(8), PilgrimTracer::with_defaults, move |env| body(env));
     tracers[0].take_global_trace().unwrap()
 }
 
 fn main() {
     println!("FLASH proxies on 8 ranks — trace size vs iterations (bytes):\n");
-    println!(
-        "{:<12}{:>12}{:>12}{:>12}{:>12}",
-        "iterations", "stirturb", "sedov", "cellular", ""
-    );
+    println!("{:<12}{:>12}{:>12}{:>12}{:>12}", "iterations", "stirturb", "sedov", "cellular", "");
     for iters in [50, 100, 200, 400] {
         let st = run("stirturb", iters);
         let se = run("sedov", iters);
@@ -46,7 +40,9 @@ fn main() {
     println!("  unique grammars: {} of {} ranks", trace.unique_grammars, trace.nranks);
     println!(
         "  bytes:           CST {} + grammar {} + meta {}",
-        report.cst_bytes, report.grammar_bytes, report.meta_bytes
+        report.cst_bytes,
+        report.grammar_bytes,
+        report.meta_bytes()
     );
     println!("\nStirTurb's pattern never changes: its trace is constant (the paper");
     println!("stores a multi-minute 4K-rank StirTurb run in 4 KB). Sedov sits in");

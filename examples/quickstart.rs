@@ -11,7 +11,7 @@ use pilgrim::{decode_rank_calls, verify_lossless, PilgrimConfig, PilgrimTracer};
 fn main() {
     // 1. Run a 4-rank MPI program with the Pilgrim tracer attached.
     //    (capture_reference keeps the raw records so we can verify.)
-    let cfg = PilgrimConfig { capture_reference: true, ..Default::default() };
+    let cfg = PilgrimConfig::new().capture_reference(true);
     let mut tracers = World::run(
         &WorldConfig::new(4),
         |rank| PilgrimTracer::new(rank, cfg),
@@ -40,7 +40,7 @@ fn main() {
         trace.size_bytes(),
         report.cst_bytes,
         report.grammar_bytes,
-        report.meta_bytes
+        report.meta_bytes()
     );
 
     // 3. Decode rank 2's calls back out of the compressed trace.
@@ -53,14 +53,11 @@ fn main() {
     // 4. Verify losslessness against the captured reference.
     let refs: Vec<_> = tracers.iter().map(|t| t.captured().to_vec()).collect();
     let v = verify_lossless(&trace, &refs).expect("trace is lossless");
-    println!(
-        "\nverified {} calls / {} arguments decode exactly",
-        v.calls_checked, v.args_checked
-    );
+    println!("\nverified {} calls / {} arguments decode exactly", v.calls_checked, v.args_checked);
 
     // 5. The trace round-trips through its file format.
     let bytes = trace.serialize();
-    let back = pilgrim::GlobalTrace::deserialize(&bytes).unwrap();
+    let back = pilgrim::GlobalTrace::decode(&bytes).unwrap();
     assert_eq!(back.decode_all_ranks(), trace.decode_all_ranks());
     println!("serialized file round-trips at {} bytes", bytes.len());
 }

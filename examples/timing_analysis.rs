@@ -12,10 +12,7 @@ use pilgrim::{PilgrimConfig, PilgrimTracer, TimingMode};
 
 fn main() {
     let base = 1.2;
-    let cfg = PilgrimConfig {
-        timing: TimingMode::Lossy { base },
-        ..Default::default()
-    };
+    let cfg = PilgrimConfig::new().timing(TimingMode::Lossy { base });
     let mut tracers = World::run(
         &WorldConfig::new(4),
         |rank| PilgrimTracer::new(rank, cfg),
@@ -34,8 +31,16 @@ fn main() {
 
     println!("timing mode: lossy, b = {base} (relative error <= {:.0}%)\n", (base - 1.0) * 100.0);
     println!("call trace:        {} bytes", report.core_total());
-    println!("duration grammars: {} bytes ({} unique)", report.duration_bytes, trace.duration_grammars.len());
-    println!("interval grammars: {} bytes ({} unique)", report.interval_bytes, trace.interval_grammars.len());
+    println!(
+        "duration grammars: {} bytes ({} unique)",
+        report.duration_bytes,
+        trace.duration_grammars.len()
+    );
+    println!(
+        "interval grammars: {} bytes ({} unique)",
+        report.interval_bytes,
+        trace.interval_grammars.len()
+    );
 
     // Reconstruct rank 1's timeline from the compressed streams.
     let rank = 1usize;

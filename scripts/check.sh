@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: lints, formatting, and the tier-1 build + test pass
+# (ROADMAP.md). CI and pre-commit both run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt (check only) =="
+cargo fmt --check
+
+echo "== tier-1: release build + tests =="
+cargo build --release
+cargo test -q
+
+echo "All checks passed."

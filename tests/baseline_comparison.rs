@@ -13,21 +13,15 @@ use trace_baselines::{RawTracer, ScalaTraceTracer};
 
 fn pilgrim_size(name: &str, nranks: usize, iters: usize) -> usize {
     let body = by_name(name, iters);
-    let mut tracers = World::run(
-        &WorldConfig::new(nranks),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(nranks), PilgrimTracer::with_defaults, move |env| body(env));
     tracers[0].take_global_trace().unwrap().size_bytes()
 }
 
 fn scalatrace_size(name: &str, nranks: usize, iters: usize) -> usize {
     let body = by_name(name, iters);
-    let tracers = World::run(
-        &WorldConfig::new(nranks),
-        ScalaTraceTracer::new,
-        move |env| body(env),
-    );
+    let tracers =
+        World::run(&WorldConfig::new(nranks), ScalaTraceTracer::new, move |env| body(env));
     tracers[0].global().unwrap().size_bytes()
 }
 
@@ -42,10 +36,7 @@ fn pilgrim_beats_scalatrace_on_npb() {
     for name in ["lu", "mg", "cg"] {
         let p = pilgrim_size(name, 16, 20);
         let s = scalatrace_size(name, 16, 20);
-        assert!(
-            p < s,
-            "{name}: Pilgrim ({p} B) must beat ScalaTrace ({s} B)"
-        );
+        assert!(p < s, "{name}: Pilgrim ({p} B) must beat ScalaTrace ({s} B)");
     }
 }
 
@@ -69,14 +60,8 @@ fn scalatrace_scales_linearly_where_pilgrim_plateaus() {
     let s_large = scalatrace_size("stencil2d", 36, 20);
     let p_growth = p_large as f64 / p_small as f64;
     let s_growth = s_large as f64 / s_small as f64;
-    assert!(
-        p_growth < 1.3,
-        "Pilgrim must plateau: {p_small} -> {p_large}"
-    );
-    assert!(
-        s_growth > 2.5,
-        "ScalaTrace must grow ~linearly: {s_small} -> {s_large}"
-    );
+    assert!(p_growth < 1.3, "Pilgrim must plateau: {p_small} -> {p_large}");
+    assert!(s_growth > 2.5, "ScalaTrace must grow ~linearly: {s_small} -> {s_large}");
 }
 
 #[test]
@@ -100,7 +85,7 @@ fn scalatrace_drops_testsome_pilgrim_keeps_it() {
     let st = World::run(&WorldConfig::new(2), ScalaTraceTracer::new, body);
     assert!(st[0].dropped() > 0, "ScalaTrace drops Testsome");
 
-    let cfg = pilgrim::PilgrimConfig { capture_reference: true, ..Default::default() };
+    let cfg = pilgrim::PilgrimConfig::new().capture_reference(true);
     let mut pt = World::run(&WorldConfig::new(2), |r| PilgrimTracer::new(r, cfg), body);
     let trace = pt[0].take_global_trace().unwrap();
     let calls = pilgrim::decode_rank_calls(&trace, 0);
@@ -110,11 +95,8 @@ fn scalatrace_drops_testsome_pilgrim_keeps_it() {
 #[test]
 fn pilgrim_overhead_stats_cover_all_phases() {
     let body = by_name("mg", 10);
-    let tracers = World::run(
-        &WorldConfig::new(8),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let tracers =
+        World::run(&WorldConfig::new(8), PilgrimTracer::with_defaults, move |env| body(env));
     let mut total = pilgrim::OverheadStats::default();
     for t in &tracers {
         total.merge(&t.stats());

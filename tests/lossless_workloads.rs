@@ -8,7 +8,7 @@ use pilgrim::{verify_lossless, PilgrimConfig, PilgrimTracer};
 
 fn verify_workload(name: &str, nranks: usize, iters: usize) {
     let body = by_name(name, iters);
-    let cfg = PilgrimConfig { capture_reference: true, ..Default::default() };
+    let cfg = PilgrimConfig::new().capture_reference(true);
     let mut tracers = World::run(
         &WorldConfig::new(nranks),
         |rank| PilgrimTracer::new(rank, cfg),
@@ -16,8 +16,8 @@ fn verify_workload(name: &str, nranks: usize, iters: usize) {
     );
     let trace = tracers[0].take_global_trace().expect("rank 0 trace");
     let refs: Vec<_> = tracers.iter().map(|t| t.captured().to_vec()).collect();
-    let report = verify_lossless(&trace, &refs)
-        .unwrap_or_else(|e| panic!("{name} trace not lossless: {e}"));
+    let report =
+        verify_lossless(&trace, &refs).unwrap_or_else(|e| panic!("{name} trace not lossless: {e}"));
     assert!(report.calls_checked > nranks as u64 * iters as u64 / 2);
     // Sanity: the merged trace knows every rank's call count.
     for (rank, t) in tracers.iter().enumerate() {
@@ -88,7 +88,7 @@ fn milc_lossless() {
 #[test]
 fn osu_suite_lossless() {
     for &(name, f) in mpi_workloads::osu::OSU_BENCHES {
-        let cfg = PilgrimConfig { capture_reference: true, ..Default::default() };
+        let cfg = PilgrimConfig::new().capture_reference(true);
         let mut tracers = World::run(
             &WorldConfig::new(2),
             |rank| PilgrimTracer::new(rank, cfg),
@@ -99,24 +99,17 @@ fn osu_suite_lossless() {
         verify_lossless(&trace, &refs).unwrap_or_else(|e| panic!("{name}: {e}"));
         // OSU kernels compress to a few KB regardless of iterations (§4.1);
         // windowed benchmarks carry one signature per in-flight request.
-        assert!(
-            trace.size_bytes() < 16384,
-            "{name} trace is {} bytes",
-            trace.size_bytes()
-        );
+        assert!(trace.size_bytes() < 16384, "{name} trace is {} bytes", trace.size_bytes());
     }
 }
 
 #[test]
 fn serialization_roundtrip_for_complex_workload() {
     let body = by_name("cellular", 30);
-    let mut tracers = World::run(
-        &WorldConfig::new(4),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(4), PilgrimTracer::with_defaults, move |env| body(env));
     let trace = tracers[0].take_global_trace().unwrap();
     let bytes = trace.serialize();
-    let back = pilgrim::GlobalTrace::deserialize(&bytes).unwrap();
+    let back = pilgrim::GlobalTrace::decode(&bytes).unwrap();
     assert_eq!(back.decode_all_ranks(), trace.decode_all_ranks());
 }

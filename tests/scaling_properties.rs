@@ -11,11 +11,8 @@ use pilgrim::PilgrimTracer;
 
 fn trace_size(name: &str, nranks: usize, iters: usize) -> (usize, usize) {
     let body = by_name(name, iters);
-    let mut tracers = World::run(
-        &WorldConfig::new(nranks),
-        PilgrimTracer::with_defaults,
-        move |env| body(env),
-    );
+    let mut tracers =
+        World::run(&WorldConfig::new(nranks), PilgrimTracer::with_defaults, move |env| body(env));
     let trace = tracers[0].take_global_trace().expect("rank 0 trace");
     (trace.size_bytes(), trace.unique_grammars)
 }
@@ -58,10 +55,7 @@ fn stencil_constant_in_iterations() {
 fn stirturb_constant_in_iterations() {
     let (s_small, _) = trace_size("stirturb", 8, 20);
     let (s_large, _) = trace_size("stirturb", 8, 500);
-    assert!(
-        s_large <= s_small + 64,
-        "StirTurb (no AMR) must be constant: {s_small} -> {s_large}"
-    );
+    assert!(s_large <= s_small + 64, "StirTurb (no AMR) must be constant: {s_small} -> {s_large}");
 }
 
 #[test]
@@ -71,20 +65,14 @@ fn sedov_grows_slowly_with_iterations() {
     let (s400, _) = trace_size("sedov", 8, 400);
     assert!(s400 > s100, "the drifting probe must add signatures");
     // ...but growth is a few signatures, not proportional to calls.
-    assert!(
-        s400 < s100 * 3,
-        "Sedov growth must be slow: {s100} -> {s400}"
-    );
+    assert!(s400 < s100 * 3, "Sedov growth must be slow: {s100} -> {s400}");
 }
 
 #[test]
 fn cellular_grows_with_refinement() {
     let (s40, _) = trace_size("cellular", 6, 40);
     let (s200, _) = trace_size("cellular", 6, 200);
-    assert!(
-        s200 > s40,
-        "AMR refinement must grow the trace: {s40} -> {s200}"
-    );
+    assert!(s200 > s40, "AMR refinement must grow the trace: {s40} -> {s200}");
 }
 
 #[test]
@@ -102,8 +90,5 @@ fn milc_weak_scaling_constant_patterns() {
     // Same per-rank problem, torus pattern: pattern count must not grow
     // between sizes with the same grid shape classes.
     assert!(u16 <= 16 && u32_ <= 32);
-    assert!(
-        s32 < s16 * 3,
-        "MILC weak scaling must be near-flat: {s16} -> {s32}"
-    );
+    assert!(s32 < s16 * 3, "MILC weak scaling must be near-flat: {s16} -> {s32}");
 }
