@@ -5,6 +5,7 @@
 //! trace_tool record <workload> <ranks> <iters> <out.pilgrim>
 //! trace_tool inspect <trace.pilgrim>
 //! trace_tool stats <trace.pilgrim>
+//! trace_tool validate <trace.pilgrim>
 //! trace_tool signatures <trace.pilgrim>
 //! trace_tool export <trace.pilgrim> [out.txt]
 //! trace_tool decode <trace.pilgrim> <rank> [limit]
@@ -15,7 +16,7 @@ use std::fs;
 use std::process::exit;
 
 use mpi_sim::FuncId;
-use pilgrim::{decode_rank_calls, GlobalTrace, MetricsRegistry, PilgrimConfig};
+use pilgrim::{decode_rank_calls, GlobalTrace, MetricsRegistry, PilgrimConfig, RankStatus};
 use pilgrim_bench::run_pilgrim;
 
 fn usage() -> ! {
@@ -23,6 +24,7 @@ fn usage() -> ! {
         "usage:\n  trace_tool record <workload> <ranks> <iters> <out.pilgrim>\n  \
          trace_tool inspect <trace.pilgrim>\n  \
          trace_tool stats <trace.pilgrim>\n  \
+         trace_tool validate <trace.pilgrim>\n  \
          trace_tool signatures <trace.pilgrim>\n  \
          trace_tool export <trace.pilgrim> [out.txt]\n  \
          trace_tool decode <trace.pilgrim> <rank> [limit]\n  \
@@ -75,6 +77,18 @@ fn main() {
             println!("  duration gram.  {} bytes", report.duration_bytes);
             println!("  interval gram.  {} bytes", report.interval_bytes);
             println!("  metadata        {} bytes", report.meta_bytes());
+            if trace.completeness.is_complete() {
+                println!("completeness:     all {} ranks merged", trace.nranks);
+            } else {
+                for (rank, round) in trace.completeness.lost_ranks() {
+                    println!("completeness:     rank {rank} LOST (merge round {round})");
+                }
+                for (rank, calls) in trace.completeness.checkpoint_ranks() {
+                    println!(
+                        "completeness:     rank {rank} truncated at checkpoint ({calls} calls)"
+                    );
+                }
+            }
             // Function histogram from the CST.
             let mut counts: std::collections::HashMap<&str, u64> = Default::default();
             for (_, sig, stats) in trace.cst.iter() {
@@ -100,7 +114,50 @@ fn main() {
             report.counters.insert("cst.signatures".into(), trace.cst.len() as u64);
             report.counters.insert("cfg.rules".into(), trace.grammar.num_rules() as u64);
             report.counters.insert("merge.unique_grammars".into(), trace.unique_grammars as u64);
+            let lost = trace.completeness.lost_ranks().len() as u64;
+            let truncated = trace.completeness.checkpoint_ranks().len() as u64;
+            report.counters.insert("manifest.lost_ranks".into(), lost);
+            report.counters.insert("manifest.checkpoint_ranks".into(), truncated);
+            report
+                .counters
+                .insert("manifest.merged_ranks".into(), trace.nranks as u64 - lost - truncated);
             println!("{}", report.to_json());
+        }
+        Some("validate") if args.len() == 2 => {
+            // Structural validation with a nonzero exit for CI gates: the
+            // file must decode (errors name the byte offset) and the
+            // decoded trace must be internally consistent (rule graph,
+            // rank lengths, manifest coverage, timing maps).
+            let path = &args[1];
+            let bytes = fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1)
+            });
+            let trace = match GlobalTrace::decode(&bytes) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{path}: decode failed: {e}");
+                    exit(1)
+                }
+            };
+            let issues = trace.validate();
+            if !issues.is_empty() {
+                eprintln!("{path}: {} consistency issue(s):", issues.len());
+                for issue in &issues {
+                    eprintln!("  - {issue}");
+                }
+                exit(1)
+            }
+            let merged = (0..trace.nranks)
+                .filter(|&r| trace.completeness.status(r) == RankStatus::Merged)
+                .count();
+            println!(
+                "{path}: OK ({} bytes, {} ranks, {merged} merged, {} lost, {} truncated)",
+                bytes.len(),
+                trace.nranks,
+                trace.completeness.lost_ranks().len(),
+                trace.completeness.checkpoint_ranks().len()
+            );
         }
         Some("signatures") if args.len() == 2 => {
             print!("{}", pilgrim::to_signature_listing(&load(&args[1])));
@@ -127,6 +184,19 @@ fn main() {
         }
         Some("replay") if args.len() == 2 => {
             let trace = load(&args[1]);
+            let report = pilgrim::partial_replay_report(&trace);
+            if !report.is_fully_replayable() {
+                // A truncated rank stops short of its matching sends and
+                // receives; replaying it live would deadlock the world.
+                eprintln!(
+                    "trace is degraded ({} truncated, {} lost of {} ranks); live replay \
+                     needs a complete trace. Decodable ranks: use `decode`.",
+                    report.truncated_ranks.len(),
+                    report.lost_ranks.len(),
+                    trace.nranks
+                );
+                exit(1)
+            }
             let replayed = pilgrim::replay(&trace);
             let same = replayed.decode_all_ranks() == trace.decode_all_ranks();
             println!(

@@ -84,6 +84,7 @@
 //! as deprecated shims.
 
 pub mod avl;
+pub mod checkpoint;
 pub mod cst;
 pub mod decode;
 pub mod encode;
@@ -99,15 +100,16 @@ pub mod timing;
 pub mod trace;
 pub mod tracer;
 
+pub use checkpoint::{decode_checkpoint, encode_checkpoint, Checkpoint};
 pub use cst::{Cst, SigStats};
 pub use decode::{decode_rank_calls, verify_lossless, VerifyReport};
 pub use encode::{decode_signature, EncodedArg, EncodedCall, EncoderConfig, RankCode};
 pub use error::DecodeError;
 pub use export::{to_signature_listing, to_text};
-pub use merge::LocalPiece;
+pub use merge::{merge_degraded, LocalPiece, MergeError, MergePolicy};
 pub use metrics::{MetricsRegistry, MetricsReport, Stage, StageGuard};
-pub use replay::{replay, replay_and_retrace};
+pub use replay::{partial_replay_report, replay, replay_and_retrace, PartialReplayReport};
 pub use stats::OverheadStats;
 pub use timing::TimingCompressor;
-pub use trace::{GlobalTrace, SizeReport};
+pub use trace::{GlobalTrace, RankStatus, SizeReport, TraceCompleteness, RANK_MAP_NONE};
 pub use tracer::{CapturedCall, FinalizeOutput, PilgrimConfig, PilgrimTracer, TimingMode};

@@ -1,4 +1,4 @@
-//! Inter-process compression (paper §3.5).
+//! Inter-process compression (paper §3.5), fault-tolerant.
 //!
 //! At `MPI_Finalize`, ranks merge their CSTs pairwise in `log2(P)` phases;
 //! rank 0 broadcasts the merged table and every rank renumbers its grammar
@@ -9,26 +9,91 @@
 //! the surviving unique grammars (Fig 4's dedup), concatenates the
 //! per-rank top rules, and runs a final Sequitur pass over that top-level
 //! sequence. Timing grammars are deduplicated the same way.
+//!
+//! # Degraded merges
+//!
+//! Every receive in the merge tree is *bounded*: a partner that died (or
+//! stalled past [`MergePolicy::timeout`]) costs its subtree, not the run.
+//! The survivor proceeds with what it has, records which ranks were lost
+//! at which round, and propagates that list up the tree. Rank 0 then
+//! tries to recover every non-merged rank from its last crash-consistent
+//! checkpoint (see [`crate::checkpoint`]), and writes a per-rank
+//! [`TraceCompleteness`] manifest into the trace. A rank that cannot
+//! obtain the merged CST (its broadcast parent vanished) still relays its
+//! children's payloads upward so only its own trace is at risk, and
+//! reports a [`MergeError`] to its caller.
 
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
-use mpi_sim::TraceCtx;
+use mpi_sim::{PeerFailure, TraceCtx};
 use pilgrim_sequitur::{
     compress_runs, decode_varint, write_varint, DecodeError, FlatGrammar, FlatRule, Symbol,
 };
 
+use crate::checkpoint::decode_checkpoint;
 use crate::cst::Cst;
 use crate::encode::EncoderConfig;
 use crate::metrics::{MetricsRegistry, Stage};
 use crate::stats::OverheadStats;
-use crate::trace::GlobalTrace;
+use crate::trace::{GlobalTrace, RankStatus, TraceCompleteness};
 
 const TAG_CST_GATHER: i32 = 1_000_001;
 const TAG_CST_BCAST: i32 = 1_000_002;
 const TAG_CFG_GATHER: i32 = 1_000_003;
 const TAG_DUR_GATHER: i32 = 1_000_004;
 const TAG_INT_GATHER: i32 = 1_000_005;
+
+/// Bounds on how long a merge step waits for a partner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergePolicy {
+    /// Per-receive wait budget once a failure is known. While the world
+    /// is healthy the effective budget is 8x this, so slow-but-alive
+    /// partners are never dropped spuriously.
+    pub timeout: Duration,
+}
+
+impl Default for MergePolicy {
+    fn default() -> Self {
+        MergePolicy { timeout: Duration::from_millis(800) }
+    }
+}
+
+impl MergePolicy {
+    pub fn with_timeout_ms(ms: u64) -> Self {
+        MergePolicy { timeout: Duration::from_millis(ms) }
+    }
+}
+
+/// Why a rank's own trace could not enter the merge. The rank still
+/// relays its subtree's payloads, so the error is local to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeError {
+    /// The merged-CST broadcast from `parent` never arrived (the parent
+    /// died or abandoned); without the global table this rank cannot
+    /// renumber its grammar.
+    CstBroadcastLost { parent: usize },
+    /// The global CST is missing some of this rank's signatures — its
+    /// CST-gather payload was dropped upstream and no other rank shared
+    /// the signatures.
+    SignaturesNotMerged,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::CstBroadcastLost { parent } => {
+                write!(f, "merged-CST broadcast from rank {parent} never arrived")
+            }
+            MergeError::SignaturesNotMerged => {
+                write!(f, "global CST is missing local signatures (gather payload lost)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// One rank's compressed trace, ready for merging.
 #[derive(Debug, Clone)]
@@ -71,31 +136,65 @@ fn ser_grammar_set(set: &GrammarSet) -> Vec<u8> {
     out
 }
 
-fn deser_grammar_set(buf: &[u8]) -> Result<GrammarSet, DecodeError> {
-    let mut pos = 0usize;
-    let count_off = pos;
-    let n = decode_varint(buf, &mut pos)? as usize;
-    if n > buf.len().saturating_sub(pos) + 1 {
+fn deser_grammar_set_at(buf: &[u8], pos: &mut usize) -> Result<GrammarSet, DecodeError> {
+    let count_off = *pos;
+    let n = decode_varint(buf, pos)? as usize;
+    if n > buf.len().saturating_sub(*pos) + 1 {
         return Err(DecodeError::Corrupt { what: "grammar set count", offset: count_off });
     }
     let mut set = Vec::with_capacity(n);
     for _ in 0..n {
-        let (g, used) = FlatGrammar::decode(&buf[pos..]).map_err(|e| e.offset_by(pos))?;
-        pos += used;
-        let m_off = pos;
-        let m = decode_varint(buf, &mut pos)? as usize;
-        if m > buf.len().saturating_sub(pos) / 2 + 1 {
+        let (g, used) = FlatGrammar::decode(&buf[*pos..]).map_err(|e| e.offset_by(*pos))?;
+        *pos += used;
+        let m_off = *pos;
+        let m = decode_varint(buf, pos)? as usize;
+        if m > buf.len().saturating_sub(*pos) / 2 + 1 {
             return Err(DecodeError::Corrupt { what: "rank list count", offset: m_off });
         }
         let mut ranks = Vec::with_capacity(m);
         for _ in 0..m {
-            let r = decode_varint(buf, &mut pos)?;
-            let l = decode_varint(buf, &mut pos)?;
+            let r = decode_varint(buf, pos)?;
+            let l = decode_varint(buf, pos)?;
             ranks.push((r, l));
         }
         set.push((g, ranks));
     }
     Ok(set)
+}
+
+fn deser_grammar_set(buf: &[u8]) -> Result<GrammarSet, DecodeError> {
+    let mut pos = 0usize;
+    deser_grammar_set_at(buf, &mut pos)
+}
+
+/// Grammar-gather payload: the grammar set plus the `(rank, round)` list
+/// of subtrees lost below the sender.
+fn ser_phase2(set: &GrammarSet, lost: &[(u64, u32)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, lost.len() as u64);
+    for &(r, round) in lost {
+        write_varint(&mut out, r);
+        write_varint(&mut out, round as u64);
+    }
+    out.extend_from_slice(&ser_grammar_set(set));
+    out
+}
+
+fn deser_phase2(buf: &[u8]) -> Result<(GrammarSet, Vec<(u64, u32)>), DecodeError> {
+    let mut pos = 0usize;
+    let n_off = pos;
+    let n = decode_varint(buf, &mut pos)? as usize;
+    if n > buf.len().saturating_sub(pos) / 2 + 1 {
+        return Err(DecodeError::Corrupt { what: "lost list count", offset: n_off });
+    }
+    let mut lost = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = decode_varint(buf, &mut pos)?;
+        let round = decode_varint(buf, &mut pos)? as u32;
+        lost.push((r, round));
+    }
+    let set = deser_grammar_set_at(buf, &mut pos)?;
+    Ok((set, lost))
 }
 
 /// Merges an incoming grammar set into `mine`, using the identity check
@@ -110,14 +209,102 @@ fn merge_sets(mine: &mut GrammarSet, incoming: GrammarSet) {
     }
 }
 
-/// Binomial-tree gather-merge toward rank 0. `merge_in` folds a received
-/// partner payload into the local state; `payload` serializes it for the
-/// parent. Returns true on rank 0.
-fn gather<T>(
+/// A world-wide tool barrier that tolerates peer death: returns false if
+/// a dead rank interrupted it (the merge then proceeds degraded).
+fn try_tool_barrier(ctx: &TraceCtx<'_>) -> bool {
+    match catch_unwind(AssertUnwindSafe(|| ctx.tool_barrier())) {
+        Ok(()) => true,
+        Err(e) if e.is::<PeerFailure>() => false,
+        Err(e) => resume_unwind(e),
+    }
+}
+
+/// Per-receive wait budget: generous while the world is healthy, tight
+/// once a failure is known (dead partners never send; waiting is waste).
+fn recv_budget(ctx: &TraceCtx<'_>, policy: &MergePolicy) -> Duration {
+    if ctx.any_failures() {
+        policy.timeout
+    } else {
+        policy.timeout.saturating_mul(8)
+    }
+}
+
+fn lsb(r: usize) -> usize {
+    r & r.wrapping_neg()
+}
+
+/// First *live* ancestor of `rank` in the binomial tree: the natural
+/// parent, or — when that rank is dead — the nearest ancestor above it
+/// that is still alive. Both tree directions route around casualties with
+/// this rule, and because the dead set is stable by merge time every rank
+/// computes the same routing.
+fn live_ancestor(ctx: &TraceCtx<'_>, rank: usize) -> usize {
+    let mut q = rank - lsb(rank);
+    while q != 0 && ctx.is_dead(q) {
+        q -= lsb(q);
+    }
+    q
+}
+
+/// Receives `partner`'s gather payload, adopting its orphans if it died:
+/// a dead partner contributes nothing itself, but its children route
+/// their payloads to the partner's live ancestor (this rank), so only the
+/// casualty — not its whole subtree — is lost. An *alive* partner that
+/// times out does cost its subtree `[partner, partner + step)`: its
+/// children already sent their payloads to it.
+#[allow(clippy::too_many_arguments)]
+fn recv_or_adopt<T>(
+    ctx: &TraceCtx<'_>,
+    tag: i32,
+    partner: usize,
+    step: usize,
+    state: &mut T,
+    policy: &MergePolicy,
+    metrics: &MetricsRegistry,
+    merge_in: &mut impl FnMut(&mut T, Vec<u8>),
+    on_lost: &mut impl FnMut(&mut T, u64, u32),
+) {
+    let p = ctx.world_size;
+    let round = step.trailing_zeros() + 1;
+    if ctx.is_dead(partner) {
+        on_lost(state, partner as u64, round);
+        let mut s2 = step / 2;
+        while s2 >= 1 {
+            let c = partner + s2;
+            if c < p {
+                recv_or_adopt(ctx, tag, c, s2, state, policy, metrics, merge_in, on_lost);
+            }
+            s2 /= 2;
+        }
+        return;
+    }
+    let (msg, retries) = ctx.tool_recv_timeout(partner, tag, recv_budget(ctx, policy));
+    metrics.incr("merge.retries", retries);
+    match msg {
+        Some(bytes) => merge_in(state, bytes),
+        None => {
+            metrics.incr("merge.timeouts", 1);
+            for r in partner..(partner + step).min(p) {
+                on_lost(state, r as u64, round);
+            }
+        }
+    }
+}
+
+/// Bounded binomial-tree gather-merge toward rank 0, routing around dead
+/// partners ([`recv_or_adopt`]). `merge_in` folds a received partner
+/// payload into the local state; `payload` serializes it for the parent
+/// (the nearest live ancestor). `on_lost(state, rank, round)` is invoked
+/// for every rank whose payload is unrecoverable. Returns true on rank 0.
+#[allow(clippy::too_many_arguments)]
+fn gather_bounded<T>(
     ctx: &TraceCtx<'_>,
     tag: i32,
     state: &mut T,
-    merge_in: impl Fn(&mut T, Vec<u8>),
+    policy: &MergePolicy,
+    metrics: &MetricsRegistry,
+    mut merge_in: impl FnMut(&mut T, Vec<u8>),
+    mut on_lost: impl FnMut(&mut T, u64, u32),
     payload: impl Fn(&T) -> Vec<u8>,
 ) -> bool {
     let rank = ctx.world_rank;
@@ -125,14 +312,23 @@ fn gather<T>(
     let mut step = 1;
     while step < p {
         if rank % (2 * step) == step {
-            ctx.tool_send(rank - step, tag, payload(state));
+            ctx.tool_send(live_ancestor(ctx, rank), tag, payload(state));
             return false;
         }
         if rank.is_multiple_of(2 * step) {
             let partner = rank + step;
             if partner < p {
-                let bytes = ctx.tool_recv(partner, tag);
-                merge_in(state, bytes);
+                recv_or_adopt(
+                    ctx,
+                    tag,
+                    partner,
+                    step,
+                    state,
+                    policy,
+                    metrics,
+                    &mut merge_in,
+                    &mut on_lost,
+                );
             }
         }
         step *= 2;
@@ -140,30 +336,58 @@ fn gather<T>(
     rank == 0
 }
 
-/// Binomial-tree broadcast of `data` from rank 0; returns the data.
-fn bcast(ctx: &TraceCtx<'_>, tag: i32, data: Option<Vec<u8>>) -> Vec<u8> {
+/// Forwards bcast `data` to `child` (subtree size `s`), hopping over a
+/// dead child straight to its children so the casualty's subtree still
+/// receives the payload.
+fn forward_or_hop(ctx: &TraceCtx<'_>, tag: i32, child: usize, s: usize, data: &[u8]) {
+    if child >= ctx.world_size {
+        return;
+    }
+    if ctx.is_dead(child) {
+        let mut s2 = s / 2;
+        while s2 >= 1 {
+            forward_or_hop(ctx, tag, child + s2, s2, data);
+            s2 /= 2;
+        }
+        return;
+    }
+    ctx.tool_send(child, tag, data.to_vec());
+}
+
+/// Bounded binomial-tree broadcast of `data` from rank 0, routing around
+/// dead ranks ([`forward_or_hop`] / [`live_ancestor`]). Returns `None` on
+/// a non-root rank whose (live-ancestor) source never delivered.
+fn bcast_bounded(
+    ctx: &TraceCtx<'_>,
+    tag: i32,
+    data: Option<Vec<u8>>,
+    policy: &MergePolicy,
+    metrics: &MetricsRegistry,
+) -> Option<Vec<u8>> {
     let rank = ctx.world_rank;
     let p = ctx.world_size;
     let data = if rank == 0 {
         data.expect("rank 0 provides bcast payload")
     } else {
-        let lsb = rank & rank.wrapping_neg();
-        ctx.tool_recv(rank - lsb, tag)
+        let (msg, retries) =
+            ctx.tool_recv_timeout(live_ancestor(ctx, rank), tag, recv_budget(ctx, policy));
+        metrics.incr("merge.retries", retries);
+        match msg {
+            Some(d) => d,
+            None => {
+                metrics.incr("merge.timeouts", 1);
+                return None;
+            }
+        }
     };
     // My subtree spans steps below my lsb (unbounded for rank 0).
-    let limit = if rank == 0 { p.next_power_of_two() } else { rank & rank.wrapping_neg() };
+    let limit = if rank == 0 { p.next_power_of_two() } else { lsb(rank) };
     let mut s = limit / 2;
     while s >= 1 {
-        let child = rank + s;
-        if child < p {
-            ctx.tool_send(child, tag, data.clone());
-        }
-        if s == 0 {
-            break;
-        }
+        forward_or_hop(ctx, tag, rank + s, s, &data);
         s /= 2;
     }
-    data
+    Some(data)
 }
 
 /// Runs the full inter-process compression. Every rank participates;
@@ -199,32 +423,71 @@ pub fn merge_with_metrics(
     identity_check: bool,
     metrics: &MetricsRegistry,
 ) -> Option<GlobalTrace> {
+    merge_degraded(ctx, piece, stats, identity_check, metrics, MergePolicy::default())
+        .ok()
+        .flatten()
+}
+
+/// The fault-tolerant merge engine behind every `merge*` entry point.
+///
+/// `Ok(Some(trace))` on the rank holding the merged trace (rank 0),
+/// `Ok(None)` on other ranks that participated fully, and `Err` on a
+/// rank whose own trace could not be merged (it still relayed its
+/// subtree). When any rank was lost, the trace carries a
+/// [`TraceCompleteness`] manifest naming each lost or
+/// checkpoint-recovered rank.
+pub fn merge_degraded(
+    ctx: &TraceCtx<'_>,
+    piece: LocalPiece,
+    stats: &mut OverheadStats,
+    identity_check: bool,
+    metrics: &MetricsRegistry,
+    policy: MergePolicy,
+) -> Result<Option<GlobalTrace>, MergeError> {
     // Synchronize before timing: rank threads reach finalize at skewed
     // times (they timeshare host cores); without a barrier the first
-    // merge phase would absorb all the skew as apparent CST time.
-    ctx.tool_barrier();
+    // merge phase would absorb all the skew as apparent CST time. Once a
+    // rank has died the barrier can never complete, so it is skipped (and
+    // a failure racing into the middle of it just degrades the timing
+    // split, never the merge).
+    if !ctx.any_failures() {
+        try_tool_barrier(ctx);
+    }
     // ---- Phase 1: CST merge + broadcast + terminal renumbering ----
     let t_cst = Instant::now();
     let mut merged_cst = piece.cst.clone();
-    gather(
+    gather_bounded(
         ctx,
         TAG_CST_GATHER,
         &mut merged_cst,
+        &policy,
+        metrics,
         |mine, bytes| {
             let mut pos = 0;
-            let incoming = Cst::decode(&bytes, &mut pos).expect("valid CST payload");
-            metrics.incr("merge.cst_payload_bytes", bytes.len() as u64);
-            for (_, sig, st) in incoming.iter() {
-                mine.intern(sig, st);
+            if let Ok(incoming) = Cst::decode(&bytes, &mut pos) {
+                metrics.incr("merge.cst_payload_bytes", bytes.len() as u64);
+                for (_, sig, st) in incoming.iter() {
+                    mine.intern(sig, st);
+                }
             }
         },
+        // A subtree missing from the CST gather is not recorded here: its
+        // ranks detect the gap themselves at renumbering time and
+        // self-report (SPMD ranks usually share every signature and lose
+        // nothing but their CST stats).
+        |_, _, _| {},
         |mine| {
             let mut buf = Vec::new();
             mine.serialize(&mut buf);
             buf
         },
     );
-    let cst_bytes = bcast(
+    let bcast_parent = if ctx.world_rank == 0 {
+        0
+    } else {
+        ctx.world_rank - (ctx.world_rank & ctx.world_rank.wrapping_neg())
+    };
+    let cst_bytes = bcast_bounded(
         ctx,
         TAG_CST_BCAST,
         (ctx.world_rank == 0).then(|| {
@@ -232,63 +495,122 @@ pub fn merge_with_metrics(
             merged_cst.serialize(&mut buf);
             buf
         }),
+        &policy,
+        metrics,
     );
-    let mut pos = 0;
-    let global_cst = Cst::decode(&cst_bytes, &mut pos).expect("valid CST bcast");
-    // Renumber this rank's grammar terminals to the global terminal space.
-    let remap: Vec<u32> = piece
-        .cst
-        .iter()
-        .map(|(_, sig, _)| global_cst.lookup(sig).expect("merged CST covers local sigs"))
-        .collect();
-    let grammar = map_terminals(&piece.grammar, &remap);
+    // Renumber this rank's grammar terminals to the global terminal
+    // space. A rank that cannot (no broadcast, or its signatures never
+    // reached rank 0) forfeits its own trace but keeps relaying.
+    let mut my_error: Option<MergeError> = None;
+    let global_cst = match &cst_bytes {
+        Some(bytes) => {
+            let mut pos = 0;
+            Cst::decode(bytes, &mut pos).ok()
+        }
+        None => None,
+    };
+    if global_cst.is_none() && ctx.world_rank != 0 {
+        my_error = Some(MergeError::CstBroadcastLost { parent: bcast_parent });
+    }
+    let grammar = match &global_cst {
+        Some(gcst) => {
+            let remap: Option<Vec<u32>> =
+                piece.cst.iter().map(|(_, sig, _)| gcst.lookup(sig)).collect();
+            match remap {
+                Some(remap) => Some(map_terminals(&piece.grammar, &remap)),
+                None => {
+                    my_error = Some(MergeError::SignaturesNotMerged);
+                    None
+                }
+            }
+        }
+        None => None,
+    };
     let d_cst = t_cst.elapsed();
     stats.inter_cst += d_cst;
     metrics.add_stage(Stage::CstMerge, d_cst);
-    metrics.set_gauge("merge.global_cst_signatures", global_cst.len() as u64);
+    if let Some(gcst) = &global_cst {
+        metrics.set_gauge("merge.global_cst_signatures", gcst.len() as u64);
+    }
 
     // ---- Phase 2: CFG gather with identity check ----
-    ctx.tool_barrier();
     let t_cfg = Instant::now();
-    let mut set: GrammarSet = vec![(grammar, vec![(piece.rank as u64, piece.call_count)])];
-    let at_root = gather(
+    let mut lost: Vec<(u64, u32)> = Vec::new();
+    let mut set: GrammarSet = match grammar {
+        Some(g) => vec![(g, vec![(piece.rank as u64, piece.call_count)])],
+        None => {
+            // Round 0: lost before the grammar gather.
+            lost.push((piece.rank as u64, 0));
+            metrics.incr("merge.abandoned", 1);
+            Vec::new()
+        }
+    };
+    let mut state = (set, lost);
+    let at_root = gather_bounded(
         ctx,
         TAG_CFG_GATHER,
-        &mut set,
-        |mine, bytes| {
-            let incoming = deser_grammar_set(&bytes).expect("valid grammar set");
-            metrics.incr("merge.cfg_payload_bytes", bytes.len() as u64);
-            if identity_check {
-                let before = mine.len() + incoming.len();
-                merge_sets(mine, incoming);
-                metrics.incr("merge.identity_hits", (before - mine.len()) as u64);
-            } else {
-                mine.extend(incoming);
+        &mut state,
+        &policy,
+        metrics,
+        |(mine, lost_acc), bytes| {
+            if let Ok((incoming, inc_lost)) = deser_phase2(&bytes) {
+                metrics.incr("merge.cfg_payload_bytes", bytes.len() as u64);
+                lost_acc.extend(inc_lost);
+                if identity_check {
+                    let before = mine.len() + incoming.len();
+                    merge_sets(mine, incoming);
+                    metrics.incr("merge.identity_hits", (before - mine.len()) as u64);
+                } else {
+                    mine.extend(incoming);
+                }
             }
         },
-        ser_grammar_set,
+        // Timed-out subtrees join the lost list the parent payload carries.
+        |(_, lost_acc), r, round| lost_acc.push((r, round)),
+        |(mine, lost_acc)| ser_phase2(mine, lost_acc),
     );
+    set = state.0;
+    lost = state.1;
 
     // ---- Phase 2b: timing grammar gather (dedup only) ----
     let mut dur_set: GrammarSet = Vec::new();
     let mut int_set: GrammarSet = Vec::new();
     if let Some(d) = &piece.duration {
-        dur_set.push((d.clone(), vec![(piece.rank as u64, 0)]));
-        gather(
+        if my_error.is_none() {
+            dur_set.push((d.clone(), vec![(piece.rank as u64, 0)]));
+        }
+        gather_bounded(
             ctx,
             TAG_DUR_GATHER,
             &mut dur_set,
-            |mine, bytes| merge_sets(mine, deser_grammar_set(&bytes).expect("valid set")),
+            &policy,
+            metrics,
+            |mine, bytes| {
+                if let Ok(s) = deser_grammar_set(&bytes) {
+                    merge_sets(mine, s);
+                }
+            },
+            // Lost ranks keep the rank-map sentinel; nothing to record.
+            |_, _, _| {},
             ser_grammar_set,
         );
     }
     if let Some(i) = &piece.interval {
-        int_set.push((i.clone(), vec![(piece.rank as u64, 0)]));
-        gather(
+        if my_error.is_none() {
+            int_set.push((i.clone(), vec![(piece.rank as u64, 0)]));
+        }
+        gather_bounded(
             ctx,
             TAG_INT_GATHER,
             &mut int_set,
-            |mine, bytes| merge_sets(mine, deser_grammar_set(&bytes).expect("valid set")),
+            &policy,
+            metrics,
+            |mine, bytes| {
+                if let Ok(s) = deser_grammar_set(&bytes) {
+                    merge_sets(mine, s);
+                }
+            },
+            |_, _, _| {},
             ser_grammar_set,
         );
     }
@@ -297,11 +619,58 @@ pub fn merge_with_metrics(
         let d_cfg = t_cfg.elapsed();
         stats.inter_cfg += d_cfg;
         metrics.add_stage(Stage::CfgMerge, d_cfg);
-        return None;
+        return match my_error {
+            Some(e) => Err(e),
+            None => Ok(None),
+        };
     }
 
-    // ---- Phase 3 (rank 0): hash-cons, concatenate, final Sequitur pass ----
+    // ---- Phase 3 (rank 0): recover, hash-cons, concatenate, compress ----
     let nranks = ctx.world_size;
+    let mut global_cst = global_cst.expect("rank 0 always holds the merged CST");
+    let merged_ranks: HashSet<u64> =
+        set.iter().flat_map(|(_, rl)| rl.iter().map(|&(r, _)| r)).collect();
+    let mut lost_rounds: HashMap<u64, u32> = HashMap::new();
+    for (r, round) in lost {
+        // Keep the earliest (most specific) round per rank.
+        lost_rounds.entry(r).or_insert(round);
+    }
+    let mut statuses = vec![RankStatus::Merged; nranks];
+    #[allow(clippy::needless_range_loop)] // rank indexes checkpoints AND statuses
+    for rank in 0..nranks {
+        if merged_ranks.contains(&(rank as u64)) {
+            continue;
+        }
+        // Not merged: try the rank's last crash-consistent checkpoint.
+        let recovered = ctx.load_checkpoint(rank).and_then(|(_, bytes)| {
+            let ck = decode_checkpoint(&bytes).ok()?;
+            // Intern the snapshot's signatures into the global CST
+            // (append-only: survivors' already-broadcast ids are stable).
+            let remap: Vec<u32> =
+                ck.cst.iter().map(|(_, sig, st)| global_cst.intern(sig, st)).collect();
+            let g = map_terminals(&ck.grammar, &remap);
+            Some((g.expanded_len(), g))
+        });
+        match recovered {
+            Some((calls, g)) => {
+                merge_sets(&mut set, vec![(g, vec![(rank as u64, calls)])]);
+                statuses[rank] = RankStatus::Checkpoint { calls };
+                metrics.incr("merge.checkpoint_recovered", 1);
+            }
+            None => {
+                let round = lost_rounds.get(&(rank as u64)).copied().unwrap_or(0);
+                statuses[rank] = RankStatus::Lost { round };
+                metrics.incr("merge.lost_ranks", 1);
+            }
+        }
+    }
+    let completeness = if statuses.iter().all(|s| matches!(s, RankStatus::Merged)) {
+        TraceCompleteness::complete()
+    } else {
+        metrics.incr("merge.degraded", 1);
+        TraceCompleteness { ranks: statuses }
+    };
+
     let unique_grammars = set.len();
     let t_final = Instant::now();
     let (grammar, rank_lengths) = combine_grammars(&set, nranks);
@@ -315,8 +684,9 @@ pub fn merge_with_metrics(
     metrics.add_stage(Stage::CfgMerge, d_cfg.saturating_sub(d_final));
     metrics.set_gauge("merge.unique_grammars", unique_grammars as u64);
     metrics.set_gauge("merge.merged_rules", grammar.num_rules() as u64);
+    metrics.set_gauge("merge.global_cst_signatures", global_cst.len() as u64);
 
-    Some(GlobalTrace {
+    Ok(Some(GlobalTrace {
         nranks,
         encoder_cfg: piece.encoder_cfg,
         cst: global_cst,
@@ -327,7 +697,8 @@ pub fn merge_with_metrics(
         interval_grammars,
         duration_rank_map,
         interval_rank_map,
-    })
+        completeness,
+    }))
 }
 
 /// Applies a terminal renumbering to a grammar.
@@ -354,6 +725,8 @@ fn split_timing(set: GrammarSet, nranks: usize) -> (Vec<FlatGrammar>, Vec<u32>) 
     if set.is_empty() {
         return (Vec::new(), Vec::new());
     }
+    // Ranks with no timing grammar (lost in a degraded merge) keep the
+    // u32::MAX sentinel, serialized as "no grammar".
     let mut rank_map = vec![u32::MAX; nranks];
     let mut grammars = Vec::with_capacity(set.len());
     for (i, (g, ranks)) in set.into_iter().enumerate() {
@@ -367,6 +740,8 @@ fn split_timing(set: GrammarSet, nranks: usize) -> (Vec<FlatGrammar>, Vec<u32>) 
 
 /// Rank-0 combination: hash-cons rules across unique grammars, build the
 /// per-rank top-level sequence, re-compress it with Sequitur, and graft.
+/// Ranks absent from every rank list (lost in a degraded merge)
+/// contribute nothing and get a zero rank length.
 pub fn combine_grammars(set: &GrammarSet, nranks: usize) -> (FlatGrammar, Vec<u64>) {
     // Collect all rules into one space; remember each grammar's top rule.
     let mut all_rules: Vec<FlatRule> = Vec::new();
@@ -389,14 +764,14 @@ pub fn combine_grammars(set: &GrammarSet, nranks: usize) -> (FlatGrammar, Vec<u6
     }
     // Hash-cons: structurally identical rules collapse (Fig 4's shared X).
     let (consed_rules, root_map) = hash_cons(&all_rules, &tops);
-    // Per-rank top-rule sequence in rank order.
-    let mut rank_root = vec![0u32; nranks];
+    // Per-rank top-rule sequence in rank order; `None` marks a lost rank.
+    let mut rank_root: Vec<Option<u32>> = vec![None; nranks];
     let mut rank_lengths = vec![0u64; nranks];
     for (i, (g, ranks)) in set.iter().enumerate() {
         let root = root_map[tops[i] as usize];
         let len = g.expanded_len();
         for &(r, _) in ranks {
-            rank_root[r as usize] = root;
+            rank_root[r as usize] = Some(root);
             rank_lengths[r as usize] = len;
         }
     }
@@ -404,7 +779,7 @@ pub fn combine_grammars(set: &GrammarSet, nranks: usize) -> (FlatGrammar, Vec<u6
     let mut distinct: Vec<u32> = Vec::new();
     let mut index: HashMap<u32, u32> = HashMap::new();
     let mut runs: Vec<(u32, u64)> = Vec::new();
-    for &root in &rank_root {
+    for root in rank_root.iter().filter_map(|r| *r) {
         let k = *index.entry(root).or_insert_with(|| {
             distinct.push(root);
             (distinct.len() - 1) as u32
@@ -537,6 +912,16 @@ mod tests {
     }
 
     #[test]
+    fn phase2_payload_roundtrips_lost_list() {
+        let set: GrammarSet = vec![(grammar_of(&[1, 2]), vec![(0, 2)])];
+        let lost = vec![(3u64, 2u32), (4, 0)];
+        let bytes = ser_phase2(&set, &lost);
+        let (back_set, back_lost) = deser_phase2(&bytes).unwrap();
+        assert_eq!(back_set.len(), 1);
+        assert_eq!(back_lost, lost);
+    }
+
+    #[test]
     fn combine_identical_ranks_is_compact() {
         // 8 ranks, all with the same grammar: top level becomes one
         // counted reference (paper: constant-size inter-process merge).
@@ -553,6 +938,19 @@ mod tests {
         let set2: GrammarSet = vec![(g2, (0..64).map(|r| (r, 6)).collect())];
         let (combined2, _) = combine_grammars(&set2, 64);
         assert_eq!(combined2.num_rules(), combined.num_rules());
+    }
+
+    #[test]
+    fn combine_skips_lost_ranks() {
+        // Rank 1 of 3 is lost: it must contribute nothing — not rank 0's
+        // sequence (the old behavior spliced root 0 in for missing ranks).
+        let a = grammar_of(&[1, 2, 1, 2]);
+        let b = grammar_of(&[7, 8]);
+        let set: GrammarSet = vec![(a, vec![(0, 4)]), (b, vec![(2, 2)])];
+        let (combined, lens) = combine_grammars(&set, 3);
+        assert_eq!(lens, vec![4, 0, 2]);
+        assert_eq!(combined.expanded_len(), 6);
+        assert_eq!(combined.expand(), vec![1, 2, 1, 2, 7, 8]);
     }
 
     #[test]

@@ -238,7 +238,7 @@ impl MetricsReport {
         let mut out = String::from("{");
         if let Some(s) = &self.size {
             out.push_str("\"size\":{");
-            let fields: [(&str, usize); 9] = [
+            let fields: [(&str, usize); 10] = [
                 ("cst_bytes", s.cst_bytes),
                 ("grammar_bytes", s.grammar_bytes),
                 ("duration_bytes", s.duration_bytes),
@@ -246,6 +246,7 @@ impl MetricsReport {
                 ("header_bytes", s.header_bytes),
                 ("rank_length_bytes", s.rank_length_bytes),
                 ("rank_map_bytes", s.rank_map_bytes),
+                ("manifest_bytes", s.manifest_bytes),
                 ("core_total", s.core_total()),
                 ("full_total", s.full_total()),
             ];

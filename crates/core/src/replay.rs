@@ -27,8 +27,47 @@ use mpi_sim::types::ReduceOp;
 use mpi_sim::{Env, FuncId, World, WorldConfig};
 
 use crate::encode::{EncodedArg, EncodedCall, RankCode};
-use crate::trace::GlobalTrace;
+use crate::trace::{GlobalTrace, RankStatus};
 use crate::tracer::{PilgrimConfig, PilgrimTracer};
+
+/// What a degraded trace can and cannot replay, per rank.
+///
+/// A live replay ([`replay_and_retrace`]) re-runs every rank's sequence
+/// concurrently; a rank that is truncated (checkpoint-recovered) or lost
+/// stops short of its matching sends/receives, so only the fully merged
+/// ranks replay as a world. Truncated ranks still *decode* — their calls
+/// can be inspected or diffed up to the checkpoint boundary.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartialReplayReport {
+    /// Fully merged ranks: decodable and live-replayable.
+    pub replayable_ranks: Vec<usize>,
+    /// Checkpoint-recovered ranks with the call count each covers:
+    /// decodable up to that boundary, not live-replayable.
+    pub truncated_ranks: Vec<(usize, u64)>,
+    /// Ranks with no data at all (and the merge round that lost them).
+    pub lost_ranks: Vec<(usize, u32)>,
+}
+
+impl PartialReplayReport {
+    /// True when every rank merged fully (a plain [`replay`] is safe).
+    pub fn is_fully_replayable(&self) -> bool {
+        self.truncated_ranks.is_empty() && self.lost_ranks.is_empty()
+    }
+}
+
+/// Classifies every rank of a possibly degraded trace by what a replay
+/// can do with it (driven by the trace's completeness manifest).
+pub fn partial_replay_report(trace: &GlobalTrace) -> PartialReplayReport {
+    let mut report = PartialReplayReport::default();
+    for rank in 0..trace.nranks {
+        match trace.completeness.status(rank) {
+            RankStatus::Merged => report.replayable_ranks.push(rank),
+            RankStatus::Checkpoint { calls } => report.truncated_ranks.push((rank, calls)),
+            RankStatus::Lost { round } => report.lost_ranks.push((rank, round)),
+        }
+    }
+    report
+}
 
 /// Replays `trace` as a fresh world and re-traces it with Pilgrim,
 /// returning the trace of the replay. A faithful replay produces a trace

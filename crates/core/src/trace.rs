@@ -8,6 +8,130 @@ use pilgrim_sequitur::{decode_varint, varint_len, write_varint, DecodeError, Fla
 use crate::cst::Cst;
 use crate::encode::EncoderConfig;
 
+/// How one rank's trace entered the merged result (the completeness
+/// manifest written by the degraded merge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankStatus {
+    /// Fully merged through the binomial tree.
+    Merged,
+    /// Neither merged nor checkpointed. `round` is the 1-based merge
+    /// round at which its subtree timed out; 0 means it was lost before
+    /// the grammar gather (CST phase or broadcast failure).
+    Lost { round: u32 },
+    /// Recovered from the rank's last crash-consistent checkpoint, which
+    /// covered `calls` traced calls.
+    Checkpoint { calls: u64 },
+}
+
+/// Per-rank merge completeness, serialized into the trace format. An
+/// empty rank list means every rank merged fully (the common case costs
+/// one byte on disk).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceCompleteness {
+    /// One status per rank, or empty when all ranks merged.
+    pub ranks: Vec<RankStatus>,
+}
+
+impl TraceCompleteness {
+    /// A manifest recording that every rank merged fully.
+    pub fn complete() -> Self {
+        TraceCompleteness::default()
+    }
+
+    /// True when every rank's trace was fully merged.
+    pub fn is_complete(&self) -> bool {
+        self.ranks.iter().all(|s| matches!(s, RankStatus::Merged))
+    }
+
+    /// Status of `rank` (ranks beyond the list are fully merged).
+    pub fn status(&self, rank: usize) -> RankStatus {
+        self.ranks.get(rank).copied().unwrap_or(RankStatus::Merged)
+    }
+
+    /// Ranks whose data was lost entirely, with the losing round.
+    pub fn lost_ranks(&self) -> Vec<(usize, u32)> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, s)| match s {
+                RankStatus::Lost { round } => Some((r, *round)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ranks recovered from checkpoints, with the covered call count.
+    pub fn checkpoint_ranks(&self) -> Vec<(usize, u64)> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, s)| match s {
+                RankStatus::Checkpoint { calls } => Some((r, *calls)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn serialize(&self, nranks: usize, out: &mut Vec<u8>) {
+        if self.is_complete() {
+            out.push(0);
+            return;
+        }
+        out.push(1);
+        for r in 0..nranks {
+            match self.status(r) {
+                RankStatus::Merged => write_varint(out, 0),
+                RankStatus::Lost { round } => {
+                    write_varint(out, 1);
+                    write_varint(out, round as u64);
+                }
+                RankStatus::Checkpoint { calls } => {
+                    write_varint(out, 2);
+                    write_varint(out, calls);
+                }
+            }
+        }
+    }
+
+    fn byte_size(&self, nranks: usize) -> usize {
+        if self.is_complete() {
+            return 1;
+        }
+        1 + (0..nranks)
+            .map(|r| match self.status(r) {
+                RankStatus::Merged => 1,
+                RankStatus::Lost { round } => 1 + varint_len(round as u64),
+                RankStatus::Checkpoint { calls } => 1 + varint_len(calls),
+            })
+            .sum::<usize>()
+    }
+
+    fn decode(buf: &[u8], pos: &mut usize, nranks: usize) -> Result<Self, DecodeError> {
+        let flag_off = *pos;
+        let flag = *buf
+            .get(*pos)
+            .ok_or(DecodeError::Truncated { what: "completeness flag", offset: flag_off })?;
+        *pos += 1;
+        match flag {
+            0 => Ok(TraceCompleteness::complete()),
+            1 => {
+                let mut ranks = Vec::with_capacity(nranks);
+                for _ in 0..nranks {
+                    let off = *pos;
+                    ranks.push(match decode_varint(buf, pos)? {
+                        0 => RankStatus::Merged,
+                        1 => RankStatus::Lost { round: decode_varint(buf, pos)? as u32 },
+                        2 => RankStatus::Checkpoint { calls: decode_varint(buf, pos)? },
+                        _ => return Err(DecodeError::Corrupt { what: "rank status", offset: off }),
+                    });
+                }
+                Ok(TraceCompleteness { ranks })
+            }
+            _ => Err(DecodeError::Corrupt { what: "completeness flag", offset: flag_off }),
+        }
+    }
+}
+
 /// Full per-component byte decomposition of a serialized trace. Every
 /// serialized byte is attributed to exactly one field, so the components
 /// sum to the serialized length ([`SizeReport::full_total`]).
@@ -27,13 +151,15 @@ pub struct SizeReport {
     pub rank_length_bytes: usize,
     /// Rank -> timing-grammar index maps.
     pub rank_map_bytes: usize,
+    /// Completeness manifest (one byte when every rank merged fully).
+    pub manifest_bytes: usize,
 }
 
 impl SizeReport {
     /// Metadata bytes: everything that is neither CST, CFG, nor a timing
     /// grammar body.
     pub fn meta_bytes(&self) -> usize {
-        self.header_bytes + self.rank_length_bytes + self.rank_map_bytes
+        self.header_bytes + self.rank_length_bytes + self.rank_map_bytes + self.manifest_bytes
     }
 
     /// Total trace size excluding non-aggregated timing (the paper reports
@@ -68,7 +194,13 @@ pub struct GlobalTrace {
     pub interval_grammars: Vec<FlatGrammar>,
     pub duration_rank_map: Vec<u32>,
     pub interval_rank_map: Vec<u32>,
+    /// Per-rank merge completeness (empty = all ranks fully merged).
+    pub completeness: TraceCompleteness,
 }
+
+/// Sentinel in the timing rank maps for a rank with no timing grammar
+/// (lost or checkpoint-recovered ranks in a degraded merge).
+pub const RANK_MAP_NONE: u32 = u32::MAX;
 
 impl GlobalTrace {
     /// Expands the merged grammar and splits it into per-rank terminal
@@ -111,12 +243,12 @@ impl GlobalTrace {
         for g in &self.interval_grammars {
             g.serialize(&mut out);
         }
-        for &m in &self.duration_rank_map {
-            write_varint(&mut out, m as u64 + 1);
+        // Entries are stored +1 so zero encodes the "no grammar" sentinel
+        // (a lost rank in a degraded merge has no timing grammar).
+        for &m in self.duration_rank_map.iter().chain(&self.interval_rank_map) {
+            write_varint(&mut out, if m == RANK_MAP_NONE { 0 } else { m as u64 + 1 });
         }
-        for &m in &self.interval_rank_map {
-            write_varint(&mut out, m as u64 + 1);
-        }
+        self.completeness.serialize(self.nranks, &mut out);
         out
     }
 
@@ -183,17 +315,19 @@ impl GlobalTrace {
             ] {
                 for _ in 0..nranks {
                     let off = pos;
-                    // Entries are stored +1 so zero is never a valid byte.
-                    let idx = decode_varint(buf, &mut pos)?
-                        .checked_sub(1)
-                        .ok_or(DecodeError::Corrupt { what, offset: off })?;
-                    if idx >= pool as u64 {
-                        return Err(DecodeError::Corrupt { what, offset: off });
+                    // Entries are stored +1; zero is the no-grammar
+                    // sentinel (lost ranks in a degraded merge).
+                    match decode_varint(buf, &mut pos)?.checked_sub(1) {
+                        None => map.push(RANK_MAP_NONE),
+                        Some(idx) if idx >= pool as u64 => {
+                            return Err(DecodeError::Corrupt { what, offset: off });
+                        }
+                        Some(idx) => map.push(idx as u32),
                     }
-                    map.push(idx as u32);
                 }
             }
         }
+        let completeness = TraceCompleteness::decode(buf, &mut pos, nranks)?;
         if pos != buf.len() {
             return Err(DecodeError::TrailingBytes { consumed: pos, len: buf.len() });
         }
@@ -208,6 +342,7 @@ impl GlobalTrace {
             interval_grammars,
             duration_rank_map,
             interval_rank_map,
+            completeness,
         })
     }
 
@@ -229,7 +364,7 @@ impl GlobalTrace {
             .duration_rank_map
             .iter()
             .chain(&self.interval_rank_map)
-            .map(|&m| varint_len(m as u64 + 1))
+            .map(|&m| varint_len(if m == RANK_MAP_NONE { 0 } else { m as u64 + 1 }))
             .sum();
         SizeReport {
             cst_bytes,
@@ -239,12 +374,105 @@ impl GlobalTrace {
             header_bytes,
             rank_length_bytes,
             rank_map_bytes,
+            manifest_bytes: self.completeness.byte_size(self.nranks),
         }
     }
 
     /// Trace file size in bytes (core trace, timing reported separately).
     pub fn size_bytes(&self) -> usize {
         self.size_report().core_total()
+    }
+
+    /// Structural integrity checks beyond what decoding enforces: the
+    /// grammar must generate exactly the per-rank lengths, every terminal
+    /// must resolve in the CST, the manifest must cover every rank and
+    /// agree with the rank lengths, and timing maps must be complete.
+    /// Returns a list of human-readable problems (empty = valid).
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.rank_lengths.len() != self.nranks {
+            problems.push(format!(
+                "rank length table has {} entries for {} ranks",
+                self.rank_lengths.len(),
+                self.nranks
+            ));
+        }
+        let total: u64 = self.rank_lengths.iter().sum();
+        let expanded = self.grammar.expanded_len();
+        if expanded != total {
+            problems.push(format!(
+                "grammar generates {expanded} calls but rank lengths sum to {total}"
+            ));
+        }
+        let nsigs = self.cst.len() as u64;
+        let mut bad_terms = 0usize;
+        for rule in &self.grammar.rules {
+            for &(sym, _) in &rule.symbols {
+                if let pilgrim_sequitur::Symbol::Terminal(t) = sym {
+                    if t as u64 >= nsigs {
+                        bad_terms += 1;
+                    }
+                }
+            }
+        }
+        if bad_terms > 0 {
+            problems.push(format!(
+                "{bad_terms} grammar terminal(s) reference signatures beyond the CST ({nsigs})"
+            ));
+        }
+        if !self.completeness.ranks.is_empty() && self.completeness.ranks.len() != self.nranks {
+            problems.push(format!(
+                "completeness manifest covers {} of {} ranks",
+                self.completeness.ranks.len(),
+                self.nranks
+            ));
+        }
+        for (rank, status) in self.completeness.ranks.iter().enumerate() {
+            match status {
+                RankStatus::Lost { .. } => {
+                    if self.rank_lengths.get(rank).copied().unwrap_or(0) != 0 {
+                        problems.push(format!(
+                            "rank {rank} is marked lost but contributes {} calls",
+                            self.rank_lengths[rank]
+                        ));
+                    }
+                }
+                RankStatus::Checkpoint { calls } => {
+                    if self.rank_lengths.get(rank).copied().unwrap_or(0) != *calls {
+                        problems.push(format!(
+                            "rank {rank} checkpoint covers {calls} calls but contributes {}",
+                            self.rank_lengths.get(rank).copied().unwrap_or(0)
+                        ));
+                    }
+                }
+                RankStatus::Merged => {}
+            }
+        }
+        for (map, pool, name) in [
+            (&self.duration_rank_map, self.duration_grammars.len(), "duration"),
+            (&self.interval_rank_map, self.interval_grammars.len(), "interval"),
+        ] {
+            if !map.is_empty() && map.len() != self.nranks {
+                problems.push(format!(
+                    "{name} rank map has {} entries for {} ranks",
+                    map.len(),
+                    self.nranks
+                ));
+            }
+            for (rank, &idx) in map.iter().enumerate() {
+                if idx != RANK_MAP_NONE && idx as usize >= pool {
+                    problems.push(format!(
+                        "{name} rank map entry for rank {rank} points past {pool} grammars"
+                    ));
+                }
+                if idx == RANK_MAP_NONE
+                    && matches!(self.completeness.status(rank), RankStatus::Merged)
+                {
+                    problems.push(format!("rank {rank} merged fully but has no {name} grammar"));
+                }
+            }
+        }
+        problems
     }
 }
 
@@ -273,6 +501,7 @@ mod tests {
             interval_grammars: vec![],
             duration_rank_map: vec![],
             interval_rank_map: vec![],
+            completeness: TraceCompleteness::complete(),
         }
     }
 
@@ -317,5 +546,69 @@ mod tests {
         assert_eq!(back.duration_grammars.len(), 1);
         assert_eq!(back.duration_rank_map, vec![0, 0]);
         assert_eq!(back.duration_grammars[0].expanded_len(), 10);
+    }
+
+    #[test]
+    fn manifest_roundtrips_and_costs_one_byte_when_complete() {
+        let t = tiny_trace();
+        assert!(t.completeness.is_complete());
+        assert_eq!(t.size_report().manifest_bytes, 1);
+        let back = GlobalTrace::decode(&t.serialize()).unwrap();
+        assert!(back.completeness.is_complete());
+
+        let mut d = tiny_trace();
+        d.rank_lengths = vec![6, 0];
+        d.completeness =
+            TraceCompleteness { ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 1 }] };
+        let back = GlobalTrace::decode(&d.serialize()).unwrap();
+        assert_eq!(back.completeness.status(1), RankStatus::Lost { round: 1 });
+        assert_eq!(back.completeness.lost_ranks(), vec![(1, 1)]);
+        assert!(!back.completeness.is_complete());
+        assert_eq!(d.size_report().full_total(), d.serialize().len());
+    }
+
+    #[test]
+    fn checkpoint_status_roundtrips() {
+        let mut t = tiny_trace();
+        t.rank_lengths = vec![4, 2];
+        t.completeness = TraceCompleteness {
+            ranks: vec![RankStatus::Merged, RankStatus::Checkpoint { calls: 2 }],
+        };
+        let back = GlobalTrace::decode(&t.serialize()).unwrap();
+        assert_eq!(back.completeness.checkpoint_ranks(), vec![(1, 2)]);
+        assert!(back.validate().is_empty(), "{:?}", back.validate());
+    }
+
+    #[test]
+    fn rank_map_sentinel_roundtrips() {
+        let mut t = tiny_trace();
+        let mut dg = Grammar::new();
+        dg.push_run(5, 4);
+        t.rank_lengths = vec![6, 0];
+        t.duration_grammars = vec![dg.to_flat()];
+        t.interval_grammars = vec![dg.to_flat()];
+        t.duration_rank_map = vec![0, RANK_MAP_NONE];
+        t.interval_rank_map = vec![0, RANK_MAP_NONE];
+        t.completeness =
+            TraceCompleteness { ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 2 }] };
+        let bytes = t.serialize();
+        assert_eq!(t.size_report().full_total(), bytes.len());
+        let back = GlobalTrace::decode(&bytes).unwrap();
+        assert_eq!(back.duration_rank_map, vec![0, RANK_MAP_NONE]);
+        assert!(back.validate().is_empty(), "{:?}", back.validate());
+    }
+
+    #[test]
+    fn validate_flags_inconsistencies() {
+        let mut t = tiny_trace();
+        assert!(t.validate().is_empty());
+        // Lost rank that still claims calls.
+        t.completeness =
+            TraceCompleteness { ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 1 }] };
+        assert!(!t.validate().is_empty());
+        // Rank lengths that disagree with the grammar.
+        let mut t2 = tiny_trace();
+        t2.rank_lengths = vec![4, 3];
+        assert!(!t2.validate().is_empty());
     }
 }

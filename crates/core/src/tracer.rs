@@ -14,7 +14,7 @@ use crate::cst::Cst;
 use crate::encode::{EncoderConfig, SigWriter};
 use crate::idpool::{IdPool, SigPools};
 use crate::memtracker::MemTracker;
-use crate::merge::{self, LocalPiece};
+use crate::merge::{self, LocalPiece, MergeError};
 use crate::metrics::{MetricsRegistry, MetricsReport, Stage};
 use crate::stats::OverheadStats;
 use crate::timing::TimingCompressor;
@@ -48,6 +48,15 @@ pub struct PilgrimConfig {
     /// [`MetricsRegistry`]; off by default (the hot path then pays only a
     /// branch per call).
     pub metrics: bool,
+    /// Snapshot the CST + grammar with the runtime every N traced calls
+    /// ([`crate::checkpoint`]); a rank killed mid-run then contributes its
+    /// last snapshot to the merged trace instead of vanishing. Off by
+    /// default.
+    pub checkpoint_interval: Option<u64>,
+    /// Per-receive wait budget during a degraded merge, in milliseconds
+    /// ([`crate::merge::MergePolicy`]). While the world is healthy the
+    /// effective budget is 8x this.
+    pub merge_timeout_ms: u64,
 }
 
 impl Default for PilgrimConfig {
@@ -59,6 +68,8 @@ impl Default for PilgrimConfig {
             shared_request_pool: false,
             merge_identity_check: true,
             metrics: false,
+            checkpoint_interval: None,
+            merge_timeout_ms: 800,
         }
     }
 }
@@ -102,6 +113,19 @@ impl PilgrimConfig {
     /// Enables the per-stage metrics registry.
     pub fn metrics(mut self, on: bool) -> Self {
         self.metrics = on;
+        self
+    }
+
+    /// Snapshots the CST + grammar every `calls` traced calls so a killed
+    /// rank contributes a truncated trace instead of nothing.
+    pub fn checkpoint_interval(mut self, calls: u64) -> Self {
+        self.checkpoint_interval = Some(calls);
+        self
+    }
+
+    /// Sets the degraded-merge per-receive wait budget in milliseconds.
+    pub fn merge_timeout_ms(mut self, ms: u64) -> Self {
+        self.merge_timeout_ms = ms;
         self
     }
 }
@@ -165,6 +189,7 @@ pub struct PilgrimTracer {
     stats: OverheadStats,
     captured: Vec<CapturedCall>,
     result: Option<GlobalTrace>,
+    merge_error: Option<MergeError>,
     local_size: usize,
     finalized: bool,
 }
@@ -202,6 +227,7 @@ impl PilgrimTracer {
             stats: OverheadStats::default(),
             captured: Vec::new(),
             result: None,
+            merge_error: None,
             local_size: 0,
             finalized: false,
         }
@@ -269,6 +295,12 @@ impl PilgrimTracer {
         self.grammar.input_len()
     }
 
+    /// Why this rank's own trace missed the merge, if it did (degraded
+    /// merges only; `None` after a healthy finalize).
+    pub fn merge_error(&self) -> Option<MergeError> {
+        self.merge_error
+    }
+
     // ------------------------------------------------------------------
     // Symbolic ids
     // ------------------------------------------------------------------
@@ -282,12 +314,9 @@ impl PilgrimTracer {
         // time the app uses the comm, every member has deposited.
         if let Some(i) = self.pending_idups.iter().position(|&(h, _)| h == handle) {
             let (h, req) = self.pending_idups.remove(i);
-            let max = loop {
-                if let Some(v) = req.try_complete() {
-                    break v;
-                }
-                std::thread::yield_now();
-            };
+            // Abort-aware bounded wait (a member's death unparks this
+            // instead of spinning forever).
+            let max = req.wait_complete();
             let sym = max + 1;
             self.comm_high_water = self.comm_high_water.max(sym);
             self.comm_ids.insert(h, sym);
@@ -726,6 +755,18 @@ impl Tracer for PilgrimTracer {
         if self.cfg.capture_reference {
             self.captured.push(CapturedCall { rec: rec.clone(), caller_rank, term });
         }
+        if let Some(iv) = self.cfg.checkpoint_interval {
+            let calls = self.grammar.input_len();
+            if iv > 0 && calls.is_multiple_of(iv) {
+                let bytes =
+                    crate::checkpoint::encode_checkpoint(calls, &self.cst, &self.grammar.to_flat());
+                if self.metrics.is_enabled() {
+                    self.metrics.incr("checkpoint.snapshots", 1);
+                    self.metrics.set_gauge("checkpoint.bytes", bytes.len() as u64);
+                }
+                ctx.store_checkpoint(calls, bytes);
+            }
+        }
         let total = timer.elapsed();
         self.stats.intra += total;
         if self.metrics.is_enabled() {
@@ -773,12 +814,24 @@ impl Tracer for PilgrimTracer {
             self.metrics.set_gauge("cfg.utility_inlines", gs.utility_inlines);
             self.metrics.set_gauge("local.bytes", self.local_size as u64);
         }
-        self.result = merge::merge_with_metrics(
+        match merge::merge_degraded(
             ctx,
             piece,
             &mut self.stats,
             self.cfg.merge_identity_check,
             &self.metrics,
-        );
+            merge::MergePolicy::with_timeout_ms(self.cfg.merge_timeout_ms),
+        ) {
+            Ok(trace) => self.result = trace,
+            Err(e) => {
+                // This rank's own trace never entered the merge (its CST
+                // broadcast parent vanished, or its gather payload was
+                // dropped); rank 0's manifest records it as lost or
+                // checkpoint-recovered.
+                self.metrics.incr("merge.local_errors", 1);
+                self.merge_error = Some(e);
+                self.result = None;
+            }
+        }
     }
 }

@@ -1,9 +1,13 @@
 //! Failure injection: corrupted and truncated trace files must be
-//! rejected cleanly (no panics), and decoding must be resilient.
+//! rejected cleanly (no panics), decoding must be resilient, and traces
+//! surviving a rank kill must be deterministic functions of the fault
+//! plan.
+#![recursion_limit = "1024"]
 
 use mpi_sim::datatype::BasicType;
-use mpi_sim::{World, WorldConfig};
-use pilgrim::{DecodeError, GlobalTrace, PilgrimTracer};
+use mpi_sim::{FaultPlan, World, WorldConfig};
+use pilgrim::{DecodeError, GlobalTrace, PilgrimConfig, PilgrimTracer};
+use proptest::prelude::*;
 
 fn sample_trace_bytes() -> Vec<u8> {
     let mut tracers = World::run(&WorldConfig::new(3), PilgrimTracer::with_defaults, |env| {
@@ -16,6 +20,36 @@ fn sample_trace_bytes() -> Vec<u8> {
         }
     });
     tracers[0].take_global_trace().unwrap().serialize()
+}
+
+/// Serialized trace of a 4-rank bcast+barrier run where `victim` (never
+/// rank 0, which holds the trace) is killed after `kill_at` traced calls.
+fn degraded_trace_bytes(
+    seed: u64,
+    victim: usize,
+    kill_at: u64,
+    checkpoint: Option<u64>,
+) -> Vec<u8> {
+    let mut wcfg = WorldConfig::new(4);
+    wcfg.faults = Some(FaultPlan::new(seed).kill(victim, kill_at));
+    let mut tcfg = PilgrimConfig::new().merge_timeout_ms(400);
+    if let Some(iv) = checkpoint {
+        tcfg = tcfg.checkpoint_interval(iv);
+    }
+    let mut out = World::run_faulty(
+        &wcfg,
+        |rank| PilgrimTracer::new(rank, tcfg),
+        |env| {
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::Double);
+            let buf = env.malloc(64);
+            for _ in 0..15 {
+                env.bcast(buf, 8, dt, 0, world);
+                env.barrier(world);
+            }
+        },
+    );
+    out.tracers[0].as_mut().expect("rank 0 survives").take_global_trace().unwrap().serialize()
 }
 
 #[test]
@@ -97,4 +131,44 @@ fn export_of_roundtripped_trace_works() {
     let trace = GlobalTrace::decode(&bytes).unwrap();
     let text = pilgrim::to_text(&trace);
     assert!(text.contains("MPI_Bcast"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Same seed, same kill -> byte-identical surviving trace. Every part
+    // of the degraded path (bail cascade, bounded gathers, checkpoint
+    // recovery, manifest) must be deterministic.
+    #[test]
+    fn seeded_kills_produce_identical_surviving_traces(
+        seed in any::<u64>(),
+        victim in 1usize..4,
+        kill_at in 1u64..28,
+        with_checkpoint in any::<bool>(),
+        interval in 2u64..8,
+    ) {
+        let checkpoint = with_checkpoint.then_some(interval);
+        let a = degraded_trace_bytes(seed, victim, kill_at, checkpoint);
+        let b = degraded_trace_bytes(seed, victim, kill_at, checkpoint);
+        prop_assert_eq!(a, b);
+    }
+
+    // The manifest-bearing format keeps the no-self-delimiting-prefix
+    // property: every strict prefix of a degraded trace is rejected with
+    // an error, never a panic and never a bogus success.
+    #[test]
+    fn truncated_degraded_traces_are_rejected(
+        victim in 1usize..4,
+        kill_at in 1u64..28,
+    ) {
+        let bytes = degraded_trace_bytes(0xBAD5EED, victim, kill_at, Some(4));
+        let decoded = GlobalTrace::decode(&bytes).unwrap();
+        prop_assert!(!decoded.completeness.is_complete(), "kill must degrade the trace");
+        prop_assert_eq!(decoded.validate(), Vec::<String>::new());
+        for cut in 0..bytes.len() {
+            let result = std::panic::catch_unwind(|| GlobalTrace::decode(&bytes[..cut]));
+            let parsed = result.expect("decode must not panic on truncation");
+            prop_assert!(parsed.is_err(), "truncation to {}/{} bytes decoded", cut, bytes.len());
+        }
+    }
 }

@@ -105,6 +105,19 @@ impl CommInfo {
         self.union_offset + self.my_rank
     }
 
+    /// Members of the collective lane in lane-rank order: the local group
+    /// for intra-communicators, the union ordering (low group first) for
+    /// inter-communicators. Both sides compute the same list.
+    pub fn lane_group(&self) -> Vec<WorldRank> {
+        match &self.remote_group {
+            None => self.group.clone(),
+            Some(remote) if self.union_offset == 0 => {
+                self.group.iter().chain(remote.iter()).copied().collect()
+            }
+            Some(remote) => remote.iter().chain(self.group.iter()).copied().collect(),
+        }
+    }
+
     /// Resolves a peer rank to a world rank: via the remote group on an
     /// inter-communicator, the local group otherwise.
     pub fn peer_world(&self, rank: i32) -> WorldRank {
@@ -308,6 +321,7 @@ mod tests {
         };
         assert_eq!(info.peer_world(2), 7, "inter p2p resolves via remote group");
         assert_eq!(info.lane_size(), 5);
+        assert_eq!(info.lane_group(), vec![0, 1, 5, 6, 7]);
         assert!(info.is_inter());
     }
 
@@ -325,6 +339,7 @@ mod tests {
             cart: None,
         };
         assert_eq!(info.lane_rank(), 3);
+        assert_eq!(info.lane_group(), vec![0, 1, 5, 6], "low group orders first");
     }
 
     #[test]

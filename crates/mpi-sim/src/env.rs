@@ -7,6 +7,7 @@
 //! output arguments — the PMPI wrapper contract of the paper (§3.1):
 //! prologue (timestamp), `PMPI_*` body, epilogue (record + tracer steps).
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -14,10 +15,11 @@ use crate::clock::{ClockModel, SimClock};
 use crate::comm::{CommHandle, CommInfo, CommTable, GroupHandle, GroupTable, COMM_WORLD};
 use crate::datatype::{BasicType, DatatypeHandle, TypeTable};
 use crate::fabric::{Fabric, Lane, Message, WorldRank};
+use crate::fault;
 use crate::heap::{Addr, SimHeap};
 use crate::hooks::{Arg, BoxedTracer, CallRec, TraceCtx};
 use crate::request::{NbOp, ReqKind, RequestHandle, RequestTable, REQUEST_NULL};
-use crate::types::{Status, ANY_TAG, PROC_NULL};
+use crate::types::{Status, ANY_SOURCE, ANY_TAG, PROC_NULL};
 use crate::FuncId;
 
 /// The rank-local MPI environment.
@@ -36,6 +38,8 @@ pub struct Env {
     finalized: bool,
     /// Count of MPI calls made (paper plots total call counts in Fig 6).
     calls: u64,
+    /// Fault plan: die right after this call number (1-based).
+    kill_at: Option<u64>,
 }
 
 impl Env {
@@ -47,6 +51,7 @@ impl Env {
         tracer: Option<BoxedTracer>,
     ) -> Self {
         let size = fabric.n_ranks();
+        let kill_at = fabric.fault_plan().and_then(|p| p.kill_for(rank));
         Env {
             rank,
             size,
@@ -61,6 +66,7 @@ impl Env {
             compute_spin: 0.0,
             finalized: false,
             calls: 0,
+            kill_at,
         }
     }
 
@@ -147,27 +153,47 @@ impl Env {
     fn emit(&mut self, rec: CallRec, t0: u64, t1: u64) {
         self.calls += 1;
         if let Some(mut tr) = self.tracer.take() {
-            let ctx = TraceCtx {
-                world_rank: self.rank,
-                world_size: self.size,
-                fabric: &self.fabric,
-                comms: &self.comms,
+            // The hook may unwind (e.g. a tool collective hits a dead
+            // peer); restore the tracer first so its state — including any
+            // checkpoint it stored — survives the unwind, then re-raise.
+            let res = {
+                let ctx = TraceCtx {
+                    world_rank: self.rank,
+                    world_size: self.size,
+                    fabric: &self.fabric,
+                    comms: &self.comms,
+                };
+                catch_unwind(AssertUnwindSafe(|| tr.on_call(&ctx, &rec, t0, t1)))
             };
-            tr.on_call(&ctx, &rec, t0, t1);
             self.tracer = Some(tr);
+            if let Err(e) = res {
+                resume_unwind(e);
+            }
+        }
+        // Injected kill: the call above completed (sends delivered, tracer
+        // updated, checkpoint possibly stored), so peers can prove that
+        // anything still missing from this rank will never arrive.
+        if self.kill_at == Some(self.calls) {
+            self.fabric.mark_dead(self.rank, self.calls);
+            fault::raise_killed(self.rank, self.calls);
         }
     }
 
     pub(crate) fn run_finalize_hook(&mut self) {
         if let Some(mut tr) = self.tracer.take() {
-            let ctx = TraceCtx {
-                world_rank: self.rank,
-                world_size: self.size,
-                fabric: &self.fabric,
-                comms: &self.comms,
+            let res = {
+                let ctx = TraceCtx {
+                    world_rank: self.rank,
+                    world_size: self.size,
+                    fabric: &self.fabric,
+                    comms: &self.comms,
+                };
+                catch_unwind(AssertUnwindSafe(|| tr.on_finalize(&ctx)))
             };
-            tr.on_finalize(&ctx);
             self.tracer = Some(tr);
+            if let Err(e) = res {
+                resume_unwind(e);
+            }
         }
     }
 
@@ -355,6 +381,16 @@ impl Env {
         self.heap.unpack(buf, &d.blocks, d.extent, count, data);
     }
 
+    /// World rank of a concrete (non-wildcard) source on `info`, used for
+    /// dead-sender detection; `None` for `MPI_ANY_SOURCE`.
+    fn src_world_of(info: &CommInfo, src: i32) -> Option<WorldRank> {
+        if src == ANY_SOURCE {
+            None
+        } else {
+            Some(info.peer_world(src))
+        }
+    }
+
     fn do_send(
         &mut self,
         buf: Addr,
@@ -481,8 +517,9 @@ impl Env {
             Status::proc_null()
         } else {
             let info = self.comms.get(comm);
-            let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag);
-            let msg = slot.wait_take(&self.fabric);
+            let src_world = Self::src_world_of(info, src);
+            let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag, src_world);
+            let msg = slot.wait_take(&self.fabric, self.rank);
             self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
             let status =
                 Status { source: msg.src_comm_rank, tag: msg.tag, count: msg.data.len() as u64 };
@@ -533,13 +570,14 @@ impl Env {
             None
         } else {
             let info = self.comms.get(comm);
-            Some(self.fabric.post_recv(self.rank, info.ctx, src, recvtag))
+            let src_world = Self::src_world_of(info, src);
+            Some(self.fabric.post_recv(self.rank, info.ctx, src, recvtag, src_world))
         };
         self.do_send(sendbuf, sendcount, sendtype, dest, sendtag, comm);
         let status = match slot {
             None => Status::proc_null(),
             Some(slot) => {
-                let msg = slot.wait_take(&self.fabric);
+                let msg = slot.wait_take(&self.fabric, self.rank);
                 self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
                 let status = Status {
                     source: msg.src_comm_rank,
@@ -594,14 +632,15 @@ impl Env {
             None
         } else {
             let info = self.comms.get(comm);
-            Some(self.fabric.post_recv(self.rank, info.ctx, src, recvtag))
+            let src_world = Self::src_world_of(info, src);
+            Some(self.fabric.post_recv(self.rank, info.ctx, src, recvtag, src_world))
         };
         // Send first (the outgoing data is snapshot before replacement).
         self.do_send(buf, count, dt, dest, sendtag, comm);
         let status = match slot {
             None => Status::proc_null(),
             Some(slot) => {
-                let msg = slot.wait_take(&self.fabric);
+                let msg = slot.wait_take(&self.fabric, self.rank);
                 self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
                 let status = Status {
                     source: msg.src_comm_rank,
@@ -737,7 +776,8 @@ impl Env {
             self.reqs.insert(ReqKind::Send)
         } else {
             let info = self.comms.get(comm);
-            let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag);
+            let src_world = Self::src_world_of(info, src);
+            let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag, src_world);
             let d = self.types.get(dt);
             self.reqs.insert(ReqKind::Recv {
                 slot,
@@ -771,8 +811,9 @@ impl Env {
     pub fn probe(&mut self, src: i32, tag: i32, comm: CommHandle) -> Status {
         let t0 = self.clock.now();
         self.clock.call_entry();
-        let ctx = self.comms.get(comm).ctx;
-        let (s, t, count) = self.fabric.probe(self.rank, ctx, src, tag);
+        let info = self.comms.get(comm);
+        let (ctx, src_world) = (info.ctx, Self::src_world_of(info, src));
+        let (s, t, count) = self.fabric.probe(self.rank, ctx, src, tag, src_world);
         let status = Status { source: s, tag: t, count };
         let t1 = self.clock.now();
         self.emit(
@@ -867,7 +908,7 @@ impl Env {
             return match taken {
                 None => Status::proc_null(),
                 Some((slot, blocks, extent)) => {
-                    let msg = slot.wait_take(&self.fabric);
+                    let msg = slot.wait_take(&self.fabric, self.rank);
                     self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
                     let status = Status {
                         source: msg.src_comm_rank,
@@ -888,7 +929,7 @@ impl Env {
             ReqKind::PersistentSend { .. } | ReqKind::PersistentRecv { .. } => unreachable!(),
             ReqKind::Send => Status::proc_null(),
             ReqKind::Recv { slot, buf, blocks, extent, count } => {
-                let msg = slot.wait_take(&self.fabric);
+                let msg = slot.wait_take(&self.fabric, self.rank);
                 self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
                 let status = Status {
                     source: msg.src_comm_rank,
@@ -899,7 +940,7 @@ impl Env {
                 status
             }
             ReqKind::Coll { coll, round, lane_rank: _, op } => {
-                let (contribs, sync) = coll.wait_collect(&self.fabric, round);
+                let (contribs, sync) = coll.wait_collect(&self.fabric, round, self.rank);
                 let bytes: u64 = contribs.iter().map(|c| c.len() as u64).sum();
                 self.clock.absorb_collective(sync, bytes.min(1 << 16));
                 match op {
@@ -929,9 +970,8 @@ impl Env {
                             name: None,
                             cart: None,
                         };
-                        let size = info.size();
-                        self.fabric.ensure_coll(ctx, Lane::App, size);
-                        self.fabric.ensure_coll(ctx, Lane::Tool, size);
+                        self.fabric.ensure_coll(ctx, Lane::App, &info.group);
+                        self.fabric.ensure_coll(ctx, Lane::Tool, &info.group);
                         self.comms.fill(new_handle, info);
                     }
                 }
@@ -951,6 +991,42 @@ impl Env {
                 self.fabric.check_abort();
             }
             spins += 1;
+        }
+    }
+
+    /// Whether request `h` waits on something a failed rank will never
+    /// provide.
+    fn req_blocked_on_dead(&self, h: RequestHandle) -> Option<WorldRank> {
+        match self.reqs.get(h) {
+            ReqKind::Recv { slot, .. } => slot.blocked_on_dead(&self.fabric),
+            ReqKind::PersistentRecv { pending, .. } => {
+                pending.as_ref().and_then(|(slot, _, _)| slot.blocked_on_dead(&self.fabric))
+            }
+            ReqKind::Coll { coll, round, .. } => coll.blocked_on_dead(&self.fabric, *round),
+            _ => None,
+        }
+    }
+
+    /// Unwinds with a peer failure when *every* active request in `reqs`
+    /// is provably stuck on a failed rank — waitany/waitsome could
+    /// otherwise spin forever. As long as one request may still complete,
+    /// keeps waiting.
+    fn check_all_stuck(&self, reqs: &[RequestHandle]) {
+        if !self.fabric.has_failures() {
+            return;
+        }
+        let mut dead = None;
+        for &r in reqs {
+            if !self.req_active(r) {
+                continue;
+            }
+            match self.req_blocked_on_dead(r) {
+                Some(w) => dead = Some(w),
+                None => return,
+            }
+        }
+        if let Some(w) = dead {
+            fault::raise_peer_failure(self.rank, w);
         }
     }
 
@@ -1049,6 +1125,7 @@ impl Env {
                     return true;
                 }
             }
+            me.check_all_stuck(reqs);
             false
         });
         let persistent = self.reqs.is_persistent(reqs[idx]);
@@ -1082,7 +1159,13 @@ impl Env {
         let raws = Self::raw_reqs(reqs);
         let mut out = Vec::new();
         if reqs.iter().any(|&r| self.req_active(r)) {
-            self.poll_until(|me| reqs.iter().any(|&r| me.req_active(r) && me.req_ready(r)));
+            self.poll_until(|me| {
+                if reqs.iter().any(|&r| me.req_active(r) && me.req_ready(r)) {
+                    return true;
+                }
+                me.check_all_stuck(reqs);
+                false
+            });
             for i in 0..reqs.len() {
                 if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
                     let persistent = self.reqs.is_persistent(reqs[i]);
@@ -1441,7 +1524,8 @@ impl Env {
                     return;
                 }
                 let info = self.comms.get(comm);
-                let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag);
+                let src_world = Self::src_world_of(info, src);
+                let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag, src_world);
                 let d = self.types.get(dt);
                 let entry = (slot, d.blocks.clone(), d.extent);
                 match self.reqs.get_mut(h) {

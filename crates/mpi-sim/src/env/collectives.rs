@@ -25,13 +25,15 @@ impl Env {
         contrib: Vec<u8>,
     ) -> (Arc<Vec<Vec<u8>>>, u64) {
         let info = self.comms.get(comm);
-        let coll = self.fabric.ensure_coll(info.ctx, Lane::App, info.lane_size());
+        // Lookup only: the lane was registered (with its member list) when
+        // the communicator was installed.
+        let coll = self.fabric.coll(info.ctx, Lane::App);
         let round = info.app_round.get();
         info.app_round.set(round + 1);
         let lane_rank = info.lane_rank();
         let bytes = contrib.len() as u64;
         coll.deposit(round, lane_rank, contrib, self.clock.now());
-        let (res, sync) = coll.wait_collect(&self.fabric, round);
+        let (res, sync) = coll.wait_collect(&self.fabric, round, self.world_rank());
         // Charge the synchronization wait plus a size-dependent cost.
         self.clock.absorb_collective(sync, bytes);
         (res, sync)
@@ -45,7 +47,7 @@ impl Env {
         op: NbOp,
     ) -> RequestHandle {
         let info = self.comms.get(comm);
-        let coll = self.fabric.ensure_coll(info.ctx, Lane::App, info.lane_size());
+        let coll = self.fabric.coll(info.ctx, Lane::App);
         let round = info.app_round.get();
         info.app_round.set(round + 1);
         let lane_rank = info.lane_rank();

@@ -42,9 +42,8 @@ impl Env {
             .iter()
             .position(|&w| w == my_world)
             .expect("installing a communicator we are not a member of");
-        let size = group.len();
-        self.fabric.ensure_coll(ctx, Lane::App, size);
-        self.fabric.ensure_coll(ctx, Lane::Tool, size);
+        self.fabric.ensure_coll(ctx, Lane::App, &group);
+        self.fabric.ensure_coll(ctx, Lane::Tool, &group);
         self.comms.insert(CommInfo {
             ctx,
             group,
@@ -267,9 +266,14 @@ impl Env {
         let (remote_group_u, _) = deser_u64s(&data[used..]);
         let remote_group: Vec<usize> = remote_group_u.iter().map(|&w| w as usize).collect();
         let union_offset = if low_is_local { 0 } else { remote_group.len() };
-        let lane_size = local_group.len() + remote_group.len();
-        self.fabric.ensure_coll(ctx, Lane::App, lane_size);
-        self.fabric.ensure_coll(ctx, Lane::Tool, lane_size);
+        // Union ordering (low group first) — identical on both sides.
+        let lane_group: Vec<usize> = if low_is_local {
+            local_group.iter().chain(remote_group.iter()).copied().collect()
+        } else {
+            remote_group.iter().chain(local_group.iter()).copied().collect()
+        };
+        self.fabric.ensure_coll(ctx, Lane::App, &lane_group);
+        self.fabric.ensure_coll(ctx, Lane::Tool, &lane_group);
         let new = self.comms.insert(CommInfo {
             ctx,
             group: local_group,

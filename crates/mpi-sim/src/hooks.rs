@@ -98,11 +98,11 @@ impl<'a> TraceCtx<'a> {
     /// call on every member (paper §3.3.1).
     pub fn tool_allreduce_max(&self, handle: u32, value: u64) -> u64 {
         let info = self.comms.get(CommHandle(handle));
-        let coll = self.fabric.ensure_coll(info.ctx, Lane::Tool, info.lane_size());
+        let coll = self.fabric.coll(info.ctx, Lane::Tool);
         let round = info.tool_round.get();
         info.tool_round.set(round + 1);
         coll.deposit(round, info.lane_rank(), value.to_le_bytes().to_vec(), 0);
-        let (contribs, _) = coll.wait_collect(self.fabric, round);
+        let (contribs, _) = coll.wait_collect(self.fabric, round, self.world_rank);
         contribs
             .iter()
             .map(|c| u64::from_le_bytes(c.as_slice().try_into().expect("8-byte contrib")))
@@ -111,14 +111,15 @@ impl<'a> TraceCtx<'a> {
     }
 
     /// Non-blocking variant for `MPI_Comm_idup` interception: deposits now,
-    /// result polled later via [`ToolRequest::try_complete`].
+    /// result polled later via [`ToolRequest::try_complete`] or awaited via
+    /// [`ToolRequest::wait_complete`].
     pub fn tool_iallreduce_max(&self, handle: u32, value: u64) -> ToolRequest {
         let info = self.comms.get(CommHandle(handle));
-        let coll = self.fabric.ensure_coll(info.ctx, Lane::Tool, info.lane_size());
+        let coll = self.fabric.coll(info.ctx, Lane::Tool);
         let round = info.tool_round.get();
         info.tool_round.set(round + 1);
         coll.deposit(round, info.lane_rank(), value.to_le_bytes().to_vec(), 0);
-        ToolRequest { coll, round }
+        ToolRequest { coll, round, fabric: self.fabric.clone(), me: self.world_rank }
     }
 
     /// Untraced point-to-point send to another rank's tracer.
@@ -131,9 +132,49 @@ impl<'a> TraceCtx<'a> {
         self.fabric.tool_recv(self.world_rank, src_world, tag)
     }
 
+    /// Bounded tool-channel receive with exponential backoff. Returns
+    /// `(message, backoff_rounds)`; the message is `None` when the wait
+    /// timed out or the sender died without sending.
+    pub fn tool_recv_timeout(
+        &self,
+        src_world: usize,
+        tag: i32,
+        timeout: std::time::Duration,
+    ) -> (Option<Vec<u8>>, u64) {
+        self.fabric.tool_recv_timeout(self.world_rank, src_world, tag, timeout)
+    }
+
     /// World-wide tool barrier (used around merge phases).
     pub fn tool_barrier(&self) {
         self.tool_allreduce_max(0, 0);
+    }
+
+    // --------------- fault-tolerance surface for tracers ---------------
+
+    /// Whether any rank has died or bailed.
+    pub fn any_failures(&self) -> bool {
+        self.fabric.has_failures()
+    }
+
+    /// Killed ranks with the MPI-call count each completed before dying.
+    pub fn dead_ranks(&self) -> Vec<(usize, u64)> {
+        self.fabric.dead_ranks()
+    }
+
+    /// Whether `rank` was killed (bailed survivors still merge and do not
+    /// count).
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.fabric.is_dead(rank)
+    }
+
+    /// Stores this rank's crash-consistent snapshot covering `calls` calls.
+    pub fn store_checkpoint(&self, calls: u64, bytes: Vec<u8>) {
+        self.fabric.store_checkpoint(self.world_rank, calls, bytes);
+    }
+
+    /// Latest stored checkpoint of `rank`, if any.
+    pub fn load_checkpoint(&self, rank: usize) -> Option<(u64, Vec<u8>)> {
+        self.fabric.load_checkpoint(rank)
     }
 }
 
@@ -141,6 +182,8 @@ impl<'a> TraceCtx<'a> {
 pub struct ToolRequest {
     coll: Arc<CollCtx>,
     round: u64,
+    fabric: Arc<Fabric>,
+    me: usize,
 }
 
 impl ToolRequest {
@@ -148,13 +191,22 @@ impl ToolRequest {
     /// called at most once after it returns `Some`.
     pub fn try_complete(&self) -> Option<u64> {
         let (contribs, _) = self.coll.try_collect(self.round)?;
-        Some(
-            contribs
-                .iter()
-                .map(|c| u64::from_le_bytes(c.as_slice().try_into().expect("8-byte contrib")))
-                .max()
-                .expect("non-empty group"),
-        )
+        Some(Self::fold_max(&contribs))
+    }
+
+    /// Blocks (with abort and dead-peer checking) until the all-reduce
+    /// completes — replaces busy-spinning on [`Self::try_complete`].
+    pub fn wait_complete(&self) -> u64 {
+        let (contribs, _) = self.coll.wait_collect(&self.fabric, self.round, self.me);
+        Self::fold_max(&contribs)
+    }
+
+    fn fold_max(contribs: &[Vec<u8>]) -> u64 {
+        contribs
+            .iter()
+            .map(|c| u64::from_le_bytes(c.as_slice().try_into().expect("8-byte contrib")))
+            .max()
+            .expect("non-empty group")
     }
 }
 

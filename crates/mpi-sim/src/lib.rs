@@ -24,6 +24,7 @@ pub mod comm;
 pub mod datatype;
 pub mod env;
 pub mod fabric;
+pub mod fault;
 pub mod funcs;
 pub mod heap;
 pub mod hooks;
@@ -36,8 +37,9 @@ pub use comm::CommHandle;
 pub use datatype::DatatypeHandle;
 pub use env::comm_mgmt::COLOR_UNDEFINED;
 pub use env::Env;
+pub use fault::{FaultPlan, PeerFailure, RankKilled};
 pub use funcs::{FuncId, FunctionRegistry, ToolSupport};
 pub use hooks::{Arg, CallRec, NullTracer, ToolRequest, TraceCtx, Tracer};
 pub use request::RequestHandle;
 pub use types::{ReduceOp, Status, ANY_SOURCE, ANY_TAG, PROC_NULL};
-pub use world::{World, WorldConfig};
+pub use world::{RankFailure, World, WorldConfig, WorldOutcome};

@@ -1,13 +1,22 @@
 //! World construction: spawns one OS thread per rank, each with its own
 //! [`Env`], attaches tracers, runs the application body, and collects the
 //! tracers back when all ranks have finalized.
+//!
+//! Two entry points: [`World::run`] for fault-free runs (any rank panic
+//! aborts the world and propagates), and [`World::run_faulty`] which honors
+//! the [`FaultPlan`] in [`WorldConfig::faults`] — ranks killed by the plan
+//! unwind in a controlled way, survivors that hit a dead peer abandon the
+//! rest of their body but still finalize (and merge) their trace, and the
+//! caller gets a [`WorldOutcome`] describing who survived.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
 use crate::clock::ClockModel;
 use crate::env::Env;
-use crate::fabric::Fabric;
-use crate::hooks::Tracer;
+use crate::fabric::{Fabric, WorldRank};
+use crate::fault::{self, FaultPlan, PeerFailure, RankKilled};
+use crate::hooks::{BoxedTracer, Tracer};
 
 /// World parameters.
 #[derive(Debug, Clone)]
@@ -26,6 +35,8 @@ pub struct WorldConfig {
     /// compute work proportional to the simulated application, the way a
     /// real code would.
     pub compute_spin: f64,
+    /// Injected-fault schedule, honored by [`World::run_faulty`].
+    pub faults: Option<FaultPlan>,
 }
 
 impl WorldConfig {
@@ -36,8 +47,46 @@ impl WorldConfig {
             clock: ClockModel::default(),
             stack_size: 256 * 1024,
             compute_spin: 0.0,
+            faults: None,
         }
     }
+}
+
+/// A rank killed by the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankFailure {
+    pub rank: WorldRank,
+    /// MPI calls it completed (and traced) before dying.
+    pub calls: u64,
+}
+
+/// Result of a faulty run: per-rank tracers (`None` for killed ranks), the
+/// kill record, and the survivors that abandoned mid-body or mid-merge.
+#[derive(Debug)]
+pub struct WorldOutcome<T> {
+    /// Tracers in rank order; `None` for ranks killed by the plan.
+    pub tracers: Vec<Option<T>>,
+    /// Ranks killed by the plan, sorted by rank.
+    pub failures: Vec<RankFailure>,
+    /// Surviving ranks that hit a peer failure and abandoned their body
+    /// (their traces end early but are still merged).
+    pub bailed: Vec<WorldRank>,
+}
+
+impl<T> WorldOutcome<T> {
+    /// Ranks that returned a tracer.
+    pub fn survivors(&self) -> Vec<WorldRank> {
+        self.tracers.iter().enumerate().filter_map(|(r, t)| t.as_ref().map(|_| r)).collect()
+    }
+}
+
+/// What a rank thread reports back when it exits.
+enum RankExit {
+    Done(BoxedTracer),
+    Killed(u64),
+    /// Finalize itself hit a peer failure; the tracer (if recoverable)
+    /// rides along.
+    Abandoned(Option<BoxedTracer>),
 }
 
 /// Entry point for running simulated MPI programs.
@@ -50,14 +99,41 @@ impl World {
     /// [`Env::finalize`] itself). Returns the tracers in rank order.
     ///
     /// Panics in any rank abort the whole world (all blocked ranks unblock
-    /// and panic) and the panic is propagated to the caller.
+    /// and panic) and the panic is propagated to the caller. Ranks killed
+    /// by a fault plan also panic here — use [`World::run_faulty`] to get
+    /// partial results instead.
     pub fn run<T, F, B>(cfg: &WorldConfig, tracer_factory: F, body: B) -> Vec<T>
     where
         T: Tracer,
         F: Fn(usize) -> T,
         B: Fn(&mut Env) + Send + Sync + 'static,
     {
-        let fabric = Fabric::new(cfg.n_ranks);
+        let out = Self::run_faulty(cfg, tracer_factory, body);
+        out.tracers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, t)| {
+                t.unwrap_or_else(|| {
+                    panic!("rank {rank} was killed by the fault plan; use World::run_faulty")
+                })
+            })
+            .collect()
+    }
+
+    /// Fault-tolerant variant of [`World::run`]: honors
+    /// [`WorldConfig::faults`] and returns a [`WorldOutcome`] instead of
+    /// panicking when ranks die. Genuine (non-injected) panics still abort
+    /// the world and propagate.
+    pub fn run_faulty<T, F, B>(cfg: &WorldConfig, tracer_factory: F, body: B) -> WorldOutcome<T>
+    where
+        T: Tracer,
+        F: Fn(usize) -> T,
+        B: Fn(&mut Env) + Send + Sync + 'static,
+    {
+        if cfg.faults.as_ref().is_some_and(|p| p.is_active()) {
+            fault::silence_fault_panics();
+        }
+        let fabric = Fabric::with_faults(cfg.n_ranks, cfg.faults.clone());
         let body = Arc::new(body);
         let mut handles = Vec::with_capacity(cfg.n_ranks);
         for rank in 0..cfg.n_ranks {
@@ -70,42 +146,138 @@ impl World {
             let handle = std::thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(cfg.stack_size)
-                .spawn(move || {
-                    // Any rank panic aborts the world so peers unblock.
-                    let guard = AbortOnPanic(fabric.clone());
-                    let mut env = Env::new(rank, fabric, clock, seed, Some(tracer));
-                    env.set_compute_spin(spin);
-                    env.init();
-                    body(&mut env);
-                    if !env.is_finalized() {
-                        env.finalize();
-                    }
-                    std::mem::forget(guard);
-                    env.take_tracer().expect("tracer present at world end")
-                })
+                .spawn(move || rank_main(rank, fabric, clock, seed, spin, tracer, body))
                 .expect("spawn rank thread");
             handles.push(handle);
         }
-        let mut tracers: Vec<T> = Vec::with_capacity(cfg.n_ranks);
+        let mut out = WorldOutcome {
+            tracers: Vec::with_capacity(cfg.n_ranks),
+            failures: Vec::new(),
+            bailed: Vec::new(),
+        };
         let mut panic_payload: Option<Box<dyn std::any::Any + Send>> = None;
-        for handle in handles {
+        for (rank, handle) in handles.into_iter().enumerate() {
             match handle.join() {
-                Ok(boxed) => {
-                    let any: Box<dyn std::any::Any> = boxed;
-                    let t = any.downcast::<T>().expect("tracer type mismatch at collection");
-                    tracers.push(*t);
+                Ok(RankExit::Done(boxed)) => out.tracers.push(Some(downcast::<T>(boxed))),
+                Ok(RankExit::Killed(calls)) => {
+                    out.tracers.push(None);
+                    out.failures.push(RankFailure { rank, calls });
+                }
+                Ok(RankExit::Abandoned(boxed)) => {
+                    out.bailed.push(rank);
+                    out.tracers.push(boxed.map(downcast::<T>));
                 }
                 Err(e) => {
                     fabric.abort();
+                    out.tracers.push(None);
                     panic_payload = Some(e);
                 }
             }
         }
         if let Some(e) = panic_payload {
-            std::panic::resume_unwind(e);
+            resume_unwind(e);
         }
-        tracers
+        // Survivors whose body bailed (but whose finalize succeeded) are
+        // recorded on the fabric; fold them into the outcome.
+        for rank in 0..cfg.n_ranks {
+            if fabric.is_app_unreachable(rank)
+                && !fabric.is_dead(rank)
+                && !out.bailed.contains(&rank)
+            {
+                out.bailed.push(rank);
+            }
+        }
+        out.bailed.sort_unstable();
+        out
     }
+}
+
+fn downcast<T: Tracer>(boxed: BoxedTracer) -> T {
+    let any: Box<dyn std::any::Any> = boxed;
+    *any.downcast::<T>().expect("tracer type mismatch at collection")
+}
+
+/// How a caught unwind should be handled.
+enum Flow {
+    Ok,
+    Killed(u64),
+    Peer,
+    Other(Box<dyn std::any::Any + Send>),
+}
+
+fn classify(r: std::thread::Result<()>) -> Flow {
+    match r {
+        Ok(()) => Flow::Ok,
+        Err(e) => {
+            if let Some(k) = e.downcast_ref::<RankKilled>() {
+                Flow::Killed(k.calls)
+            } else if e.is::<PeerFailure>() {
+                Flow::Peer
+            } else {
+                Flow::Other(e)
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main(
+    rank: WorldRank,
+    fabric: Arc<Fabric>,
+    clock: ClockModel,
+    seed: u64,
+    spin: f64,
+    tracer: BoxedTracer,
+    body: Arc<dyn Fn(&mut Env) + Send + Sync>,
+) -> RankExit {
+    // Any *genuine* rank panic aborts the world so peers unblock; the
+    // guard is disarmed on every controlled exit path.
+    let guard = AbortOnPanic(fabric.clone());
+    let mut env = Env::new(rank, fabric.clone(), clock, seed, Some(tracer));
+    env.set_compute_spin(spin);
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        env.init();
+        body(&mut env);
+    }));
+    match classify(ran) {
+        Flow::Ok => {}
+        Flow::Killed(calls) => {
+            std::mem::forget(guard);
+            return RankExit::Killed(calls);
+        }
+        Flow::Peer => {
+            // The rest of the body is unreachable: mark it so peers
+            // blocked on our app messages unblock, then still flush the
+            // trace through the degraded merge — the tracing equivalent
+            // of a signal handler writing out the buffer.
+            fabric.mark_bailed(rank);
+        }
+        Flow::Other(e) => {
+            drop(guard);
+            resume_unwind(e);
+        }
+    }
+    if !env.is_finalized() {
+        let fin = catch_unwind(AssertUnwindSafe(|| env.finalize()));
+        match classify(fin) {
+            Flow::Ok => {}
+            Flow::Killed(calls) => {
+                std::mem::forget(guard);
+                return RankExit::Killed(calls);
+            }
+            Flow::Peer => {
+                fabric.mark_bailed(rank);
+                std::mem::forget(guard);
+                return RankExit::Abandoned(env.take_tracer());
+            }
+            Flow::Other(e) => {
+                drop(guard);
+                resume_unwind(e);
+            }
+        }
+    }
+    std::mem::forget(guard);
+    RankExit::Done(env.take_tracer().expect("tracer present at world end"))
 }
 
 /// Aborts the fabric if the owning thread unwinds.

@@ -1,0 +1,175 @@
+//! Fault-injection world tests: killed ranks, degraded survivors, and the
+//! abort path that keeps genuine panics from deadlocking blocked peers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mpi_sim::datatype::BasicType;
+use mpi_sim::hooks::{CallRec, TraceCtx, Tracer};
+use mpi_sim::types::ReduceOp;
+use mpi_sim::{Env, FaultPlan, NullTracer, World, WorldConfig};
+
+/// Counts traced calls; used to check kill points are honored exactly.
+struct CountingTracer {
+    calls: u64,
+}
+
+impl Tracer for CountingTracer {
+    fn on_call(&mut self, _ctx: &TraceCtx<'_>, _rec: &CallRec, _t0: u64, _t1: u64) {
+        self.calls += 1;
+    }
+}
+
+/// A deterministic workload: iterations of world all-reduce plus a ring
+/// sendrecv with concrete neighbors (no wildcards), so every rank's trace
+/// is a pure function of (rank, size, iters).
+fn ring_and_allreduce(env: &mut Env, iters: usize) {
+    let me = env.world_rank();
+    let n = env.world_size();
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::LongLong);
+    let buf = env.malloc(8);
+    let tmp = env.malloc(8);
+    for i in 0..iters {
+        env.heap_write_u64s(buf, &[(me + i) as u64]);
+        env.allreduce(buf, tmp, 1, dt, ReduceOp::Max, world);
+        let right = ((me + 1) % n) as i32;
+        let left = ((me + n - 1) % n) as i32;
+        env.sendrecv(buf, 1, dt, right, 7, tmp, 1, dt, left, 7, world);
+    }
+}
+
+fn faulty_cfg(n: usize, plan: FaultPlan) -> WorldConfig {
+    let mut cfg = WorldConfig::new(n);
+    cfg.faults = Some(plan);
+    cfg
+}
+
+#[test]
+fn killed_rank_mid_run_world_completes() {
+    // Kill rank 3 of 8 after its 6th traced call (init + a few iterations
+    // in). The world must finish without deadlock, report exactly that
+    // failure, and hand back tracers for every survivor.
+    let plan = FaultPlan::new(0xFA11).kill(3, 6);
+    let out = World::run_faulty(
+        &faulty_cfg(8, plan),
+        |_| CountingTracer { calls: 0 },
+        |env| ring_and_allreduce(env, 20),
+    );
+    assert_eq!(out.failures.len(), 1);
+    assert_eq!(out.failures[0].rank, 3);
+    assert_eq!(out.failures[0].calls, 6);
+    assert!(out.tracers[3].is_none());
+    assert_eq!(out.survivors().len(), 7);
+    for (rank, tracer) in out.tracers.iter().enumerate() {
+        if rank != 3 {
+            let t = tracer.as_ref().expect("survivor tracer");
+            assert!(t.calls >= 1, "rank {rank} traced nothing");
+        }
+    }
+    // The killed rank traced exactly as many calls as the plan allowed.
+    assert!(out.bailed.contains(&2) || out.bailed.contains(&4), "neighbors should have bailed");
+}
+
+#[test]
+fn genuine_panic_mid_collective_unblocks_all_ranks() {
+    // Regression for the abort path: one rank dies with a *real* panic
+    // while everyone else is parked inside a collective. The blocked ranks
+    // must unblock (via the abort flag in their wait loops) and the panic
+    // must propagate to the caller instead of deadlocking the join.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        World::run(
+            &WorldConfig::new(6),
+            |_| NullTracer,
+            |env| {
+                let world = env.comm_world();
+                let dt = env.basic(BasicType::LongLong);
+                let buf = env.malloc(8);
+                let tmp = env.malloc(8);
+                if env.world_rank() == 2 {
+                    panic!("injected genuine failure");
+                }
+                // Everyone else blocks in a collective that can never complete.
+                env.allreduce(buf, tmp, 1, dt, ReduceOp::Sum, world);
+            },
+        );
+    }));
+    let err = result.expect_err("panic must propagate");
+    let msg = err
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("injected genuine failure") || msg.contains("abort"),
+        "unexpected panic payload: {msg}"
+    );
+}
+
+#[test]
+fn kill_during_collective_survivors_bail() {
+    // Rank 1 dies right after init; everyone else is in an all-reduce with
+    // it and must detect the dead member, bail, and still reach finalize.
+    let plan = FaultPlan::new(7).kill(1, 1);
+    let out =
+        World::run_faulty(&faulty_cfg(4, plan), |_| NullTracer, |env| ring_and_allreduce(env, 4));
+    assert_eq!(out.failures, vec![mpi_sim::RankFailure { rank: 1, calls: 1 }]);
+    assert_eq!(out.survivors(), vec![0, 2, 3]);
+    assert_eq!(out.bailed, vec![0, 2, 3]);
+}
+
+#[test]
+fn fault_plans_are_deterministic() {
+    let run_once = || {
+        let plan = FaultPlan::new(0xD373).kill(5, 9);
+        let out = World::run_faulty(
+            &faulty_cfg(8, plan),
+            |_| CountingTracer { calls: 0 },
+            |env| ring_and_allreduce(env, 12),
+        );
+        let counts: Vec<Option<u64>> =
+            out.tracers.iter().map(|t| t.as_ref().map(|t| t.calls)).collect();
+        (counts, out.failures, out.bailed)
+    };
+    assert_eq!(run_once(), run_once());
+}
+
+#[test]
+fn delays_and_stalls_do_not_change_results() {
+    // Message delays and a rank stall perturb timing, never semantics.
+    let total = Arc::new(AtomicU64::new(0));
+    let t = total.clone();
+    let plan = FaultPlan::new(42).delay_messages(0.5, 3_000).stall(2, 1_000_000);
+    World::run_faulty(
+        &faulty_cfg(4, plan),
+        |_| NullTracer,
+        move |env| {
+            let me = env.world_rank();
+            let world = env.comm_world();
+            let dt = env.basic(BasicType::LongLong);
+            let buf = env.malloc(8);
+            let tmp = env.malloc(8);
+            env.heap_write_u64s(buf, &[me as u64 + 1]);
+            env.allreduce(buf, tmp, 1, dt, ReduceOp::Sum, world);
+            t.fetch_add(env.heap_read_u64s(tmp, 1)[0], Ordering::Relaxed);
+        },
+    );
+    // 4 ranks each saw the sum 1+2+3+4 = 10.
+    assert_eq!(total.load(Ordering::Relaxed), 40);
+}
+
+#[test]
+fn world_run_panics_on_killed_rank() {
+    let plan = FaultPlan::new(1).kill(1, 2);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        World::run(
+            &faulty_cfg(2, plan),
+            |_| NullTracer,
+            |env| {
+                ring_and_allreduce(env, 2);
+            },
+        );
+    }));
+    assert!(result.is_err(), "World::run must refuse fault-plan kills");
+}

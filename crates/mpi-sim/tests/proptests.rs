@@ -126,7 +126,7 @@ proptest! {
             model.push((src, tag, i as u8));
         }
         for &(src, tag) in &recvs {
-            let slot = f.post_recv(0, 0, src, tag);
+            let slot = f.post_recv(0, 0, src, tag, None);
             // Model: earliest message matching (src|ANY, tag|ANY).
             let pos = model.iter().position(|&(ms, mt, _)| {
                 (src == -1 || src == ms) && (tag == -1 || tag == mt)

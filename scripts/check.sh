@@ -14,4 +14,28 @@ echo "== tier-1: release build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== chaos: seeded fault-injection sweep =="
+# Deterministic: same seed, same casualties, same trace. Nonzero exit
+# means the degraded merge deadlocked, panicked, or lost rank 0's trace.
+cargo run --release -q -p pilgrim-bench --bin chaos -- --quick --seed 0x5EED
+cargo run --release -q -p pilgrim-bench --bin chaos -- --quick --seed 42
+
+echo "== panic hygiene: no new unwrap/expect in fault-critical modules =="
+# The merge and fabric must degrade, not panic, on peer failure. Counts
+# cover non-test code only; lower is fine, higher fails the gate.
+check_panics() {
+  local file=$1 budget=$2
+  local n
+  n=$(awk '/^#\[cfg\(test\)\]/{exit} {print}' "$file" |
+    grep -c '\.unwrap()\|\.expect(' || true)
+  if [ "$n" -gt "$budget" ]; then
+    echo "FAIL: $file has $n unwrap()/expect() calls (budget $budget)." >&2
+    echo "Handle the error or route it through the degraded path." >&2
+    exit 1
+  fi
+  echo "$file: $n/$budget unwrap()/expect() calls"
+}
+check_panics crates/mpi-sim/src/fabric.rs 5
+check_panics crates/core/src/merge.rs 3
+
 echo "All checks passed."
