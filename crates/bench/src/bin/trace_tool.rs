@@ -10,13 +10,24 @@
 //! trace_tool export <trace.pilgrim> [out.txt]
 //! trace_tool decode <trace.pilgrim> <rank> [limit]
 //! trace_tool replay <trace.pilgrim>
+//! trace_tool query <trace.pilgrim> [rank]
+//! trace_tool slice <trace.pilgrim> <rank> <start> <count>
+//! trace_tool matrix <trace.pilgrim>
 //! ```
+//!
+//! The query subcommands answer from the compressed grammar (indexed
+//! random access + grammar-aware aggregation) and emit deterministic JSON
+//! on stdout; index-build and query timings go to stderr.
 
+use std::fmt::Write as _;
 use std::fs;
 use std::process::exit;
 
 use mpi_sim::FuncId;
-use pilgrim::{decode_rank_calls, GlobalTrace, MetricsRegistry, PilgrimConfig, RankStatus};
+use pilgrim::{
+    decode_rank_calls, CallIterator, GlobalTrace, MetricsRegistry, PilgrimConfig, QueryEngine,
+    RankStatus, Stage, TraceIndex,
+};
 use pilgrim_bench::run_pilgrim;
 
 fn usage() -> ! {
@@ -28,10 +39,47 @@ fn usage() -> ! {
          trace_tool signatures <trace.pilgrim>\n  \
          trace_tool export <trace.pilgrim> [out.txt]\n  \
          trace_tool decode <trace.pilgrim> <rank> [limit]\n  \
-         trace_tool replay <trace.pilgrim>\n\nworkloads: {}",
+         trace_tool replay <trace.pilgrim>\n  \
+         trace_tool query <trace.pilgrim> [rank]\n  \
+         trace_tool slice <trace.pilgrim> <rank> <start> <count>\n  \
+         trace_tool matrix <trace.pilgrim>\n\nworkloads: {}",
         mpi_workloads::ALL_WORKLOADS.join(", ")
     );
     exit(2)
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn func_name(id: u16) -> &'static str {
+    FuncId::from_id(id).map_or("MPI_<unknown>", |f| f.name())
+}
+
+/// Prints the index-build/query stage timings to stderr (stdout stays
+/// deterministic for golden-output checks).
+fn report_query_timing(metrics: &MetricsRegistry) {
+    let snap = metrics.snapshot();
+    eprintln!(
+        "index-build {} ns, query {} ns",
+        snap.stage_ns(Stage::IndexBuild),
+        snap.stage_ns(Stage::Query)
+    );
 }
 
 fn load(path: &str) -> GlobalTrace {
@@ -177,10 +225,131 @@ fn main() {
             let rank: usize = args[2].parse().unwrap_or_else(|_| usage());
             let limit: usize =
                 args.get(3).map(|l| l.parse().unwrap_or_else(|_| usage())).unwrap_or(50);
-            for (i, call) in decode_rank_calls(&trace, rank).iter().take(limit).enumerate() {
+            let calls = decode_rank_calls(&trace, rank).unwrap_or_else(|e| {
+                eprintln!("rank {rank} does not decode: {e}");
+                exit(1)
+            });
+            for (i, call) in calls.iter().take(limit).enumerate() {
                 let name = FuncId::from_id(call.func).map_or("?", |f| f.name());
                 println!("{i:>6}  {name}  {} args", call.args.len());
             }
+        }
+        Some("query") if args.len() == 2 || args.len() == 3 => {
+            // Per-signature call counts and apportioned aggregate time,
+            // whole trace or one rank, straight from the grammar.
+            let trace = load(&args[1]);
+            let rank: Option<usize> = args.get(2).map(|r| r.parse().unwrap_or_else(|_| usage()));
+            if rank.is_some_and(|r| r >= trace.nranks) {
+                eprintln!("trace has {} ranks", trace.nranks);
+                exit(1)
+            }
+            let metrics = MetricsRegistry::new(true);
+            let index = TraceIndex::build_with_metrics(&trace, &metrics);
+            let engine = QueryEngine::with_metrics(&trace, &index, &metrics);
+            let counts = match rank {
+                Some(r) => engine.rank_signature_counts(r),
+                None => engine.signature_counts().clone(),
+            };
+            let rows = engine.summarize(&counts);
+            let total: u64 = rows.iter().map(|r| r.count).sum();
+            let mut out = String::from("{");
+            let _ = write!(
+                out,
+                "\"scope\":{},\"calls\":{total},\"signatures\":[",
+                rank.map_or_else(|| "\"trace\"".into(), |r| format!("\"rank {r}\""))
+            );
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"term\":{},\"func\":{},\"count\":{},\"time_ns\":{}}}",
+                    row.term,
+                    json_str(func_name(row.func)),
+                    row.count,
+                    row.time_ns
+                );
+            }
+            out.push_str("]}");
+            println!("{out}");
+            report_query_timing(&metrics);
+        }
+        Some("slice") if args.len() == 5 => {
+            // A window of one rank's calls via the streaming decoder:
+            // constant memory regardless of where the window sits.
+            let trace = load(&args[1]);
+            let rank: usize = args[2].parse().unwrap_or_else(|_| usage());
+            let start: u64 = args[3].parse().unwrap_or_else(|_| usage());
+            let count: usize = args[4].parse().unwrap_or_else(|_| usage());
+            if rank >= trace.nranks {
+                eprintln!("trace has {} ranks", trace.nranks);
+                exit(1)
+            }
+            let metrics = MetricsRegistry::new(true);
+            let index = TraceIndex::build_with_metrics(&trace, &metrics);
+            let timer = metrics.time_stage(Stage::Query);
+            let mut out = String::from("{");
+            let _ = write!(
+                out,
+                "\"rank\":{rank},\"start\":{start},\"rank_calls\":{},\"calls\":[",
+                index.rank_len(rank)
+            );
+            let window = CallIterator::new(&trace, &index, rank).skip(start as usize).take(count);
+            for (i, decoded) in window.enumerate() {
+                let call = decoded.unwrap_or_else(|e| {
+                    eprintln!("rank {rank} call {}: {e}", start + i as u64);
+                    exit(1)
+                });
+                if i > 0 {
+                    out.push(',');
+                }
+                let arg_list: Vec<String> =
+                    call.args.iter().map(|a| json_str(&pilgrim::format_arg(a))).collect();
+                let _ = write!(
+                    out,
+                    "{{\"i\":{},\"func\":{},\"args\":[{}]}}",
+                    start + i as u64,
+                    json_str(func_name(call.func)),
+                    arg_list.join(",")
+                );
+            }
+            out.push_str("]}");
+            drop(timer);
+            println!("{out}");
+            report_query_timing(&metrics);
+        }
+        Some("matrix") if args.len() == 2 => {
+            // Point-to-point communication matrix, computed without ever
+            // expanding the grammar.
+            let trace = load(&args[1]);
+            let metrics = MetricsRegistry::new(true);
+            let index = TraceIndex::build_with_metrics(&trace, &metrics);
+            let engine = QueryEngine::with_metrics(&trace, &index, &metrics);
+            let m = engine.comm_matrix();
+            let fmt_matrix = |cells: &[u64]| {
+                let rows: Vec<String> = cells
+                    .chunks(m.nranks.max(1))
+                    .map(|row| {
+                        let items: Vec<String> = row.iter().map(u64::to_string).collect();
+                        format!("[{}]", items.join(","))
+                    })
+                    .collect();
+                format!("[{}]", rows.join(","))
+            };
+            let wc: Vec<String> = m.wildcard_recvs.iter().map(u64::to_string).collect();
+            println!(
+                "{{\"nranks\":{},\"sends\":{},\"recvs\":{},\"wildcard_recvs\":[{}],\
+                 \"dropped\":{},\"total_sends\":{},\"total_recvs\":{}}}",
+                m.nranks,
+                fmt_matrix(&m.sends),
+                fmt_matrix(&m.recvs),
+                wc.join(","),
+                m.dropped,
+                m.total_sends(),
+                m.total_recvs()
+            );
+            report_query_timing(&metrics);
         }
         Some("replay") if args.len() == 2 => {
             let trace = load(&args[1]);

@@ -11,20 +11,31 @@ use std::collections::{HashMap, HashSet};
 
 use mpi_sim::hooks::Arg;
 use mpi_sim::FuncId;
+use pilgrim_sequitur::DecodeError;
 
 use crate::encode::{decode_signature, EncodedArg, EncodedCall};
+use crate::metrics::MetricsRegistry;
+use crate::query::{CallIterator, TraceIndex};
 use crate::trace::GlobalTrace;
 use crate::tracer::CapturedCall;
 
+/// Decodes the call behind one grammar terminal. A terminal beyond the
+/// CST or a signature whose bytes do not parse is
+/// [`DecodeError::BadSignature`] — a corrupted table surfaces as `Err`,
+/// never a panic.
+pub fn decode_term_call(trace: &GlobalTrace, term: u32) -> Result<EncodedCall, DecodeError> {
+    if term as usize >= trace.cst.len() {
+        return Err(DecodeError::BadSignature { term });
+    }
+    decode_signature(trace.cst.signature(term)).ok_or(DecodeError::BadSignature { term })
+}
+
 /// Decodes one rank's full call sequence from a merged trace.
-pub fn decode_rank_calls(trace: &GlobalTrace, rank: usize) -> Vec<EncodedCall> {
-    trace
-        .decode_rank(rank)
-        .into_iter()
-        .map(|term| {
-            decode_signature(trace.cst.signature(term)).expect("stored signatures are well-formed")
-        })
-        .collect()
+pub fn decode_rank_calls(
+    trace: &GlobalTrace,
+    rank: usize,
+) -> Result<Vec<EncodedCall>, DecodeError> {
+    trace.decode_rank(rank).into_iter().map(|term| decode_term_call(trace, term)).collect()
 }
 
 /// Verification statistics.
@@ -42,16 +53,29 @@ pub fn verify_lossless(
     trace: &GlobalTrace,
     refs: &[Vec<CapturedCall>],
 ) -> Result<VerifyReport, String> {
+    verify_lossless_with(trace, refs, &MetricsRegistry::default())
+}
+
+/// [`verify_lossless`] with metrics: verification streams calls through a
+/// [`CallIterator`] — one decoded call live at a time instead of the old
+/// full `decode_all_ranks` materialization — and records the
+/// `verify.peak_materialized_calls` gauge as proof of the memory win.
+pub fn verify_lossless_with(
+    trace: &GlobalTrace,
+    refs: &[Vec<CapturedCall>],
+    metrics: &MetricsRegistry,
+) -> Result<VerifyReport, String> {
     if refs.len() != trace.nranks {
         return Err(format!("trace has {} ranks, reference has {}", trace.nranks, refs.len()));
     }
+    let index = TraceIndex::build_with_metrics(trace, metrics);
     let mut report = VerifyReport::default();
-    let decoded_ranks = trace.decode_all_ranks();
-    for (rank, (terms, reference)) in decoded_ranks.iter().zip(refs).enumerate() {
-        if terms.len() != reference.len() {
+    let mut peak_calls = 0u64;
+    for (rank, reference) in refs.iter().enumerate() {
+        let decoded_len = trace.rank_lengths.get(rank).copied().unwrap_or(0);
+        if decoded_len != reference.len() as u64 {
             return Err(format!(
-                "rank {rank}: decoded {} calls, reference has {}",
-                terms.len(),
+                "rank {rank}: decoded {decoded_len} calls, reference has {}",
                 reference.len()
             ));
         }
@@ -60,10 +84,11 @@ pub fn verify_lossless(
         let mut comm_map: HashMap<u64, u32> = HashMap::new();
         let mut freed_comms: HashSet<u32> = HashSet::new();
         let mut req_base: HashMap<u64, i64> = HashMap::new();
-        for (i, (&term, cap)) in terms.iter().zip(reference).enumerate() {
-            let sig = trace.cst.signature(term);
-            let call = decode_signature(sig)
-                .ok_or_else(|| format!("rank {rank} call {i}: undecodable signature"))?;
+        let calls = CallIterator::new(trace, &index, rank);
+        for (i, (decoded, cap)) in calls.zip(reference).enumerate() {
+            let call =
+                decoded.map_err(|_| format!("rank {rank} call {i}: undecodable signature"))?;
+            peak_calls = peak_calls.max(1);
             if call.func != cap.rec.func.id() {
                 return Err(format!(
                     "rank {rank} call {i}: func {} != expected {}",
@@ -101,6 +126,9 @@ pub fn verify_lossless(
             report.calls_checked += 1;
         }
     }
+    // Streaming holds at most one decoded call; the old path's peak was
+    // the whole trace (`calls_checked`).
+    metrics.set_gauge("verify.peak_materialized_calls", peak_calls);
     Ok(report)
 }
 

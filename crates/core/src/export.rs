@@ -24,7 +24,10 @@ fn fmt_rank(code: RankCode) -> String {
     }
 }
 
-fn fmt_arg(arg: &EncodedArg) -> String {
+/// Formats one decoded argument in the export's compact notation
+/// (`rel(+1)`, `comm=2`, `buf=seg5+128`, …). Shared with `trace_tool`'s
+/// JSON slice output so both surfaces print arguments identically.
+pub fn format_arg(arg: &EncodedArg) -> String {
     match arg {
         EncodedArg::Int(v) => format!("{v}"),
         EncodedArg::Rank(c) => fmt_rank(*c),
@@ -82,7 +85,7 @@ pub fn to_text(trace: &GlobalTrace) -> String {
     for (term, sig, stats) in trace.cst.iter() {
         let call = decode_signature(sig).expect("stored signatures decode");
         let name = FuncId::from_id(call.func).map_or("MPI_<unknown>", |f| f.name());
-        let args: Vec<String> = call.args.iter().map(fmt_arg).collect();
+        let args: Vec<String> = call.args.iter().map(format_arg).collect();
         let _ = writeln!(
             out,
             "DEF {term} {name}({}) count={} avg_ns={:.0}",
@@ -105,7 +108,7 @@ pub fn to_signature_listing(trace: &GlobalTrace) -> String {
     for (term, sig, stats) in trace.cst.iter() {
         let call = decode_signature(sig).expect("stored signatures decode");
         let name = FuncId::from_id(call.func).map_or("MPI_<unknown>", |f| f.name());
-        let args: Vec<String> = call.args.iter().map(fmt_arg).collect();
+        let args: Vec<String> = call.args.iter().map(format_arg).collect();
         let _ = writeln!(out, "{term:>6}  {name}({})  x{}", args.join(", "), stats.count);
     }
     out

@@ -73,6 +73,18 @@
 //! the `--metrics-out <path>` flag on the figure binaries emit the same
 //! schema from the command line.
 //!
+//! ## Querying
+//!
+//! The [`query`] module answers questions about a finished trace without
+//! fully expanding its grammar: [`TraceIndex`] gives O(depth) random
+//! access to the i-th call of any rank, [`CallIterator`] streams
+//! `skip`/`take` windows in constant memory, and [`QueryEngine`] computes
+//! per-signature call counts, the send/recv communication matrix, and
+//! per-signature aggregate time by evaluating each grammar rule once.
+//! Query work is timed under two dedicated metric stages (`index-build`,
+//! `query`), and `trace_tool` exposes it as the `query`, `slice`, and
+//! `matrix` subcommands.
+//!
 //! ## Errors
 //!
 //! Every fallible decoder returns `Result<_, `[`DecodeError`]`>` —
@@ -94,6 +106,7 @@ pub mod idpool;
 pub mod memtracker;
 pub mod merge;
 pub mod metrics;
+pub mod query;
 pub mod replay;
 pub mod stats;
 pub mod timing;
@@ -102,12 +115,15 @@ pub mod tracer;
 
 pub use checkpoint::{decode_checkpoint, encode_checkpoint, Checkpoint};
 pub use cst::{Cst, SigStats};
-pub use decode::{decode_rank_calls, verify_lossless, VerifyReport};
+pub use decode::{decode_rank_calls, verify_lossless, verify_lossless_with, VerifyReport};
 pub use encode::{decode_signature, EncodedArg, EncodedCall, EncoderConfig, RankCode};
 pub use error::DecodeError;
-pub use export::{to_signature_listing, to_text};
+pub use export::{format_arg, to_signature_listing, to_text};
 pub use merge::{merge_degraded, LocalPiece, MergeError, MergePolicy};
 pub use metrics::{MetricsRegistry, MetricsReport, Stage, StageGuard};
+pub use query::{
+    CallIterator, CommMatrix, QueryEngine, SigCounts, SignatureSummary, TermCursor, TraceIndex,
+};
 pub use replay::{partial_replay_report, replay, replay_and_retrace, PartialReplayReport};
 pub use stats::OverheadStats;
 pub use timing::TimingCompressor;

@@ -16,7 +16,9 @@
 //! (Fig 7/8): three intra-process stages measured per call
 //! ([`Stage::Intercept`], [`Stage::Encode`], [`Stage::GrammarInsert`]) and
 //! three finalize-time stages ([`Stage::CstMerge`], [`Stage::CfgMerge`],
-//! [`Stage::FinalSequitur`]). Intercept time is recorded *residually* —
+//! [`Stage::FinalSequitur`]). Two further stages time post-hoc query work
+//! against a finished trace ([`Stage::IndexBuild`], [`Stage::Query`]) and
+//! stay zero while tracing runs. Intercept time is recorded *residually* —
 //! total `on_call` time minus the encode and grammar-insert portions — so
 //! the six stage totals sum exactly to
 //! [`OverheadStats::total`](crate::OverheadStats::total).
@@ -44,17 +46,27 @@ pub enum Stage {
     CfgMerge,
     /// The final Sequitur pass over the concatenated rule sequences.
     FinalSequitur,
+    /// Building the query engine's trace index (per-rule expanded lengths
+    /// and cumulative spans) over a finished trace.
+    IndexBuild,
+    /// Executing a grammar-aware query (random access, streaming window,
+    /// or analytics) against an indexed trace.
+    Query,
 }
 
 impl Stage {
-    /// All stages, in pipeline order.
-    pub const ALL: [Stage; 6] = [
+    /// All stages, in pipeline order. The first six are the tracing
+    /// pipeline and partition [`OverheadStats`](crate::OverheadStats);
+    /// the last two time post-hoc query work and stay zero during a run.
+    pub const ALL: [Stage; 8] = [
         Stage::Intercept,
         Stage::Encode,
         Stage::GrammarInsert,
         Stage::CstMerge,
         Stage::CfgMerge,
         Stage::FinalSequitur,
+        Stage::IndexBuild,
+        Stage::Query,
     ];
 
     /// Stable machine-readable name, used as the JSON key.
@@ -66,6 +78,8 @@ impl Stage {
             Stage::CstMerge => "cst-merge",
             Stage::CfgMerge => "cfg-merge",
             Stage::FinalSequitur => "final-sequitur",
+            Stage::IndexBuild => "index-build",
+            Stage::Query => "query",
         }
     }
 
@@ -81,7 +95,7 @@ impl Stage {
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     enabled: bool,
-    timers_ns: [Cell<u64>; 6],
+    timers_ns: [Cell<u64>; 8],
     counters: RefCell<BTreeMap<&'static str, u64>>,
     gauges: RefCell<BTreeMap<&'static str, u64>>,
 }

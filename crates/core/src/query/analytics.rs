@@ -1,0 +1,487 @@
+//! Grammar-aware analytics: answers computed in time proportional to
+//! *grammar* size, not trace length.
+//!
+//! Every query here follows the same scheme: evaluate each rule body
+//! exactly once into a sparse per-signature histogram, then combine child
+//! histograms through reference sites weighted by the `A -> B^k` repeat
+//! exponents. A rule shared by a million loop iterations is therefore
+//! aggregated a single time, and the grammar is never expanded —
+//! [`pilgrim_sequitur::expansions`] stays flat across any query, which the
+//! tests assert.
+
+use std::collections::HashMap;
+
+use mpi_sim::FuncId;
+use pilgrim_sequitur::{read_varint, Symbol, TOP_RULE};
+
+use crate::encode::{decode_signature, EncodedArg, RankCode};
+use crate::metrics::{MetricsRegistry, Stage};
+use crate::trace::GlobalTrace;
+
+use super::index::TraceIndex;
+
+/// Sparse per-signature call counts (terminal -> occurrences).
+pub type SigCounts = HashMap<u32, u64>;
+
+/// Per-signature summary row: occurrence count plus estimated aggregate
+/// time, apportioned from the CST's aggregate timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureSummary {
+    /// Grammar terminal / CST index.
+    pub term: u32,
+    /// MPI function id of the signature.
+    pub func: u16,
+    /// Calls with this signature in the queried window.
+    pub count: u64,
+    /// Estimated time spent in those calls (simulated ns): the CST's
+    /// `dur_sum` scaled by `count / total_count` in integer math.
+    pub time_ns: u64,
+}
+
+/// Point-to-point communication matrix. `sends[src * nranks + dst]`
+/// counts messages src sent to dst; `recvs[dst * nranks + src]` counts
+/// receives dst posted naming src. Wildcard receives (`MPI_ANY_SOURCE`)
+/// are tallied separately since they name no peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommMatrix {
+    pub nranks: usize,
+    pub sends: Vec<u64>,
+    pub recvs: Vec<u64>,
+    /// Receives posted with `MPI_ANY_SOURCE`, per destination rank.
+    pub wildcard_recvs: Vec<u64>,
+    /// Send/recv endpoints that named `MPI_PROC_NULL` or a rank outside
+    /// the world (e.g. a relative peer of an edge rank in an open-chain
+    /// pattern); these transfer nothing and join no matrix cell.
+    pub dropped: u64,
+}
+
+impl CommMatrix {
+    /// Total messages sent (sum of the send matrix).
+    pub fn total_sends(&self) -> u64 {
+        self.sends.iter().sum()
+    }
+
+    /// Total posted receives, wildcards included.
+    pub fn total_recvs(&self) -> u64 {
+        self.recvs.iter().sum::<u64>() + self.wildcard_recvs.iter().sum::<u64>()
+    }
+}
+
+/// The analytics engine: per-rule histograms memoized once, ready to
+/// answer window and whole-trace queries without expansion.
+///
+/// Construction evaluates each rule body exactly once (the expensive
+/// part); every query after that prunes its descent to the window
+/// boundaries and reuses the memoized histograms for fully covered
+/// subtrees.
+#[derive(Debug)]
+pub struct QueryEngine<'a> {
+    trace: &'a GlobalTrace,
+    index: &'a TraceIndex,
+    metrics: Option<&'a MetricsRegistry>,
+    /// Per-rule sparse histogram of the signatures the rule generates.
+    rule_hists: Vec<SigCounts>,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Builds the engine, evaluating every rule body once.
+    pub fn new(trace: &'a GlobalTrace, index: &'a TraceIndex) -> Self {
+        Self::build(trace, index, None)
+    }
+
+    /// [`QueryEngine::new`], with queries timed under [`Stage::Query`].
+    pub fn with_metrics(
+        trace: &'a GlobalTrace,
+        index: &'a TraceIndex,
+        metrics: &'a MetricsRegistry,
+    ) -> Self {
+        Self::build(trace, index, Some(metrics))
+    }
+
+    fn build(
+        trace: &'a GlobalTrace,
+        index: &'a TraceIndex,
+        metrics: Option<&'a MetricsRegistry>,
+    ) -> Self {
+        let _t = metrics.map(|m| m.time_stage(Stage::Query));
+        let nrules = trace.grammar.rules.len();
+        let mut rule_hists: Vec<Option<SigCounts>> = vec![None; nrules];
+        for rid in 0..nrules {
+            Self::fill_hist(trace, rid, &mut rule_hists);
+        }
+        let rule_hists = rule_hists.into_iter().map(Option::unwrap_or_default).collect();
+        QueryEngine { trace, index, metrics, rule_hists }
+    }
+
+    /// Memoized per-rule histogram (each body evaluated exactly once;
+    /// the grammar is acyclic, so the recursion terminates).
+    fn fill_hist(trace: &GlobalTrace, rid: usize, memo: &mut Vec<Option<SigCounts>>) {
+        if memo[rid].is_some() {
+            return;
+        }
+        for &(sym, _) in &trace.grammar.rules[rid].symbols {
+            if let Symbol::Rule(r) = sym {
+                Self::fill_hist(trace, r as usize, memo);
+            }
+        }
+        let mut hist = SigCounts::new();
+        for &(sym, exp) in &trace.grammar.rules[rid].symbols {
+            match sym {
+                Symbol::Terminal(t) => *hist.entry(t).or_insert(0) += exp,
+                Symbol::Rule(r) => {
+                    if let Some(child) = &memo[r as usize] {
+                        for (&t, &c) in child {
+                            *hist.entry(t).or_insert(0) += c * exp;
+                        }
+                    }
+                }
+            }
+        }
+        memo[rid] = Some(hist);
+    }
+
+    fn timed(&self) -> Option<crate::metrics::StageGuard<'a>> {
+        self.metrics.map(|m| m.time_stage(Stage::Query))
+    }
+
+    /// Signature counts for the whole trace (the start rule's histogram).
+    pub fn signature_counts(&self) -> &SigCounts {
+        &self.rule_hists[TOP_RULE as usize]
+    }
+
+    /// Signature counts for one rank (a window query over its span).
+    pub fn rank_signature_counts(&self, rank: usize) -> SigCounts {
+        let (lo, hi) = self.index.rank_span(rank);
+        self.window_counts(lo, hi)
+    }
+
+    /// Signature counts for the global offset window `[lo, hi)`. The
+    /// descent prunes to the window boundaries: any RHS slot (or run of
+    /// repeated instances) fully inside the window contributes its
+    /// memoized histogram scaled by the instance count.
+    pub fn window_counts(&self, lo: u64, hi: u64) -> SigCounts {
+        let _t = self.timed();
+        let mut out = SigCounts::new();
+        let total = self.index.rule_len(TOP_RULE as usize);
+        let (lo, hi) = (lo.min(total), hi.min(total));
+        if lo < hi {
+            self.add_range(TOP_RULE as usize, lo, hi, &mut out);
+        }
+        if let Some(m) = self.metrics {
+            m.incr("query.windows", 1);
+        }
+        out
+    }
+
+    /// Adds rule `rid`'s contribution over its local offsets `[lo, hi)`.
+    fn add_range(&self, rid: usize, lo: u64, hi: u64, out: &mut SigCounts) {
+        let cum = self.index.cum(rid);
+        let rule = &self.trace.grammar.rules[rid];
+        // Slots overlapping [lo, hi): from the slot containing lo on.
+        let first = cum.partition_point(|&c| c <= lo) - 1;
+        for slot in first..rule.symbols.len() {
+            let (s0, s1) = (cum[slot], cum[slot + 1]);
+            if s0 >= hi {
+                break;
+            }
+            let (a, b) = (lo.max(s0) - s0, hi.min(s1) - s0);
+            let (sym, _) = rule.symbols[slot];
+            match sym {
+                Symbol::Terminal(t) => *out.entry(t).or_insert(0) += b - a,
+                Symbol::Rule(r) => {
+                    let r = r as usize;
+                    let unit = self.index.rule_len(r);
+                    let first_inst = a / unit;
+                    let last_inst = (b - 1) / unit;
+                    if first_inst == last_inst {
+                        self.add_range(r, a - first_inst * unit, b - first_inst * unit, out);
+                        continue;
+                    }
+                    // Head-partial instance.
+                    let head_end = (first_inst + 1) * unit;
+                    if a < head_end {
+                        self.add_range(r, a - first_inst * unit, unit, out);
+                    }
+                    // Fully covered instances use the memoized histogram.
+                    let full = last_inst - first_inst - 1;
+                    if full > 0 {
+                        for (&t, &c) in &self.rule_hists[r] {
+                            *out.entry(t).or_insert(0) += c * full;
+                        }
+                    }
+                    // Tail-partial instance.
+                    let tail_start = last_inst * unit;
+                    if b > tail_start {
+                        self.add_range(r, 0, b - tail_start, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Expands a count histogram into per-signature summary rows (sorted
+    /// by terminal), apportioning each signature's aggregate CST time by
+    /// the fraction of its occurrences inside the window.
+    pub fn summarize(&self, counts: &SigCounts) -> Vec<SignatureSummary> {
+        let _t = self.timed();
+        let mut rows: Vec<SignatureSummary> = counts
+            .iter()
+            .map(|(&term, &count)| {
+                let stats = self.trace.cst.stats(term);
+                let time_ns = if stats.count == 0 {
+                    0
+                } else {
+                    (stats.dur_sum as u128 * count as u128 / stats.count as u128) as u64
+                };
+                SignatureSummary { term, func: sig_func(self.trace, term), count, time_ns }
+            })
+            .collect();
+        rows.sort_by_key(|r| r.term);
+        rows
+    }
+
+    /// Computes the point-to-point communication matrix. Each distinct
+    /// (rank, signature) pair is classified once — the per-rank
+    /// histograms supply the multiplicities — so the cost is
+    /// O(ranks × distinct signatures), independent of trace length, and
+    /// the grammar is never expanded.
+    pub fn comm_matrix(&self) -> CommMatrix {
+        let _t = self.timed();
+        let n = self.trace.nranks;
+        let mut m = CommMatrix {
+            nranks: n,
+            sends: vec![0; n * n],
+            recvs: vec![0; n * n],
+            wildcard_recvs: vec![0; n],
+            dropped: 0,
+        };
+        // Decode + classify each distinct signature once.
+        let mut roles: HashMap<u32, Vec<(PeerRole, RankCode)>> = HashMap::new();
+        for rank in 0..n {
+            let counts = self.rank_signature_counts(rank);
+            for (&term, &count) in &counts {
+                let role =
+                    roles.entry(term).or_insert_with(|| classify_peers(self.trace, term)).clone();
+                for (kind, code) in role {
+                    let peer = code.absolutize(rank as i64);
+                    match kind {
+                        PeerRole::SendDst => {
+                            if (0..n as i64).contains(&peer) {
+                                m.sends[rank * n + peer as usize] += count;
+                            } else {
+                                m.dropped += count;
+                            }
+                        }
+                        PeerRole::RecvSrc => {
+                            if code == RankCode::AnySource {
+                                m.wildcard_recvs[rank] += count;
+                            } else if (0..n as i64).contains(&peer) {
+                                m.recvs[rank * n + peer as usize] += count;
+                            } else {
+                                m.dropped += count;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(metrics) = self.metrics {
+            metrics.incr("query.matrix", 1);
+            metrics.set_gauge("query.matrix.sends", m.total_sends());
+        }
+        m
+    }
+}
+
+/// Which peer a rank argument names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PeerRole {
+    SendDst,
+    RecvSrc,
+}
+
+/// The function id of a signature, read without a full decode.
+fn sig_func(trace: &GlobalTrace, term: u32) -> u16 {
+    let sig = trace.cst.signature(term);
+    let mut pos = 0usize;
+    read_varint(sig, &mut pos).unwrap_or(0) as u16
+}
+
+/// Classifies a signature's rank arguments into message endpoints.
+/// Persistent-request inits and probes are skipped — they move no data at
+/// the call site — matching how communication matrices are conventionally
+/// attributed.
+fn classify_peers(trace: &GlobalTrace, term: u32) -> Vec<(PeerRole, RankCode)> {
+    let sig = trace.cst.signature(term);
+    let Some(call) = decode_signature(sig) else {
+        return Vec::new();
+    };
+    let Some(func) = FuncId::from_id(call.func) else {
+        return Vec::new();
+    };
+    let rank_args: Vec<RankCode> = call
+        .args
+        .iter()
+        .filter_map(|a| match a {
+            EncodedArg::Rank(code) => Some(*code),
+            _ => None,
+        })
+        .collect();
+    use FuncId::*;
+    match func {
+        Send | Bsend | Ssend | Rsend | Isend | Ibsend | Issend | Irsend => {
+            rank_args.first().map(|&c| (PeerRole::SendDst, c)).into_iter().collect()
+        }
+        Recv | Irecv => rank_args.first().map(|&c| (PeerRole::RecvSrc, c)).into_iter().collect(),
+        Sendrecv | SendrecvReplace => {
+            let mut v = Vec::new();
+            if let Some(&dst) = rank_args.first() {
+                v.push((PeerRole::SendDst, dst));
+            }
+            if let Some(&src) = rank_args.get(1) {
+                v.push((PeerRole::RecvSrc, src));
+            }
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::index::tests::repeat_trace;
+    use super::*;
+    use crate::cst::Cst;
+    use crate::encode::{EncoderConfig, SigWriter};
+    use crate::trace::TraceCompleteness;
+    use pilgrim_sequitur::Grammar;
+
+    /// Three ranks running a ring: send to rank+1, recv from rank-1, one
+    /// wildcard recv each, repeated 4 times. Relative encoding collapses
+    /// all ranks onto the same three signatures.
+    fn ring_trace() -> GlobalTrace {
+        let cfg = EncoderConfig::default();
+        let mut cst = Cst::new();
+        let mut send = SigWriter::new(FuncId::Send.id());
+        send.rank(1, 0, &cfg); // Relative(+1)
+        let mut recv = SigWriter::new(FuncId::Recv.id());
+        recv.rank(2, 3, &cfg); // Relative(-1)
+        let mut any = SigWriter::new(FuncId::Recv.id());
+        any.rank(-1, 0, &cfg); // ANY_SOURCE
+                               // Each signature occurs 4 times on each of the 3 ranks.
+        let stats = |dur: u64| crate::cst::SigStats { count: 12, dur_sum: 12 * dur };
+        let s = cst.intern(send.bytes(), stats(100));
+        let r = cst.intern(recv.bytes(), stats(200));
+        let w = cst.intern(any.bytes(), stats(50));
+        let mut g = Grammar::new();
+        for _rank in 0..3 {
+            for _ in 0..4 {
+                g.push(s);
+                g.push(r);
+                g.push(w);
+            }
+        }
+        GlobalTrace {
+            nranks: 3,
+            encoder_cfg: cfg,
+            cst,
+            grammar: g.to_flat(),
+            rank_lengths: vec![12, 12, 12],
+            unique_grammars: 1,
+            duration_grammars: vec![],
+            interval_grammars: vec![],
+            duration_rank_map: vec![],
+            interval_rank_map: vec![],
+            completeness: TraceCompleteness::complete(),
+        }
+    }
+
+    #[test]
+    fn whole_trace_counts_match_cst_stats() {
+        let t = repeat_trace();
+        let idx = TraceIndex::build(&t);
+        let q = QueryEngine::new(&t, &idx);
+        for (term, _, stats) in t.cst.iter() {
+            assert_eq!(
+                q.signature_counts().get(&term).copied().unwrap_or(0),
+                stats.count,
+                "term {term}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_counts_match_brute_force() {
+        let t = repeat_trace();
+        let idx = TraceIndex::build(&t);
+        let q = QueryEngine::new(&t, &idx);
+        let full = t.grammar.expand();
+        for lo in 0..full.len() {
+            for hi in lo..=full.len() {
+                let mut want = SigCounts::new();
+                for &term in &full[lo..hi] {
+                    *want.entry(term).or_insert(0) += 1;
+                }
+                assert_eq!(q.window_counts(lo as u64, hi as u64), want, "[{lo}, {hi})");
+            }
+        }
+    }
+
+    #[test]
+    fn comm_matrix_counts_ring_messages_without_expansion() {
+        let t = ring_trace();
+        let idx = TraceIndex::build(&t);
+        let q = QueryEngine::new(&t, &idx);
+        let before = pilgrim_sequitur::expansions();
+        let m = q.comm_matrix();
+        assert_eq!(
+            pilgrim_sequitur::expansions(),
+            before,
+            "matrix query must not expand the grammar"
+        );
+        assert_eq!(m.nranks, 3);
+        // Each rank sends 4 messages to rank+1; rank 2's +1 is out of
+        // range and dropped.
+        assert_eq!(m.sends[1], 4); // 0 -> 1
+        assert_eq!(m.sends[3 + 2], 4); // 1 -> 2
+        assert_eq!(m.total_sends(), 8);
+        // Each rank posts 4 recvs from rank-1 (rank 0's is dropped) and
+        // 4 wildcard recvs.
+        assert_eq!(m.recvs[3], 4); // 1 <- 0
+        assert_eq!(m.recvs[2 * 3 + 1], 4); // 2 <- 1
+        assert_eq!(m.wildcard_recvs, vec![4, 4, 4]);
+        assert_eq!(m.dropped, 8);
+        assert_eq!(m.total_recvs(), 8 + 12);
+    }
+
+    #[test]
+    fn summaries_apportion_time_by_count() {
+        let t = ring_trace();
+        let idx = TraceIndex::build(&t);
+        let q = QueryEngine::new(&t, &idx);
+        // Rank 0's window holds a third of each signature's occurrences.
+        let rows = q.summarize(&q.rank_signature_counts(0));
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            let stats = t.cst.stats(row.term);
+            assert_eq!(row.count, stats.count / 3);
+            assert_eq!(row.time_ns, stats.dur_sum / 3);
+            assert!(FuncId::from_id(row.func).is_some());
+        }
+    }
+
+    #[test]
+    fn metrics_thread_through_queries() {
+        let t = ring_trace();
+        let idx = TraceIndex::build(&t);
+        let m = MetricsRegistry::new(true);
+        let q = QueryEngine::with_metrics(&t, &idx, &m);
+        let _ = q.comm_matrix();
+        let _ = q.window_counts(0, 5);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["query.matrix"], 1);
+        // comm_matrix runs one window per rank, plus the explicit window.
+        assert_eq!(snap.counters["query.windows"], 4);
+        assert!(snap.counters.contains_key("query.matrix.sends"));
+    }
+}

@@ -1,0 +1,363 @@
+//! The trace index: per-rule expanded lengths and cumulative RHS spans.
+//!
+//! Annotating every grammar rule with its expanded length (respecting the
+//! `A -> B^k` repeat exponents) turns the compressed grammar into a
+//! positional data structure: the i-th call of any rank is found by
+//! descending from the start rule, binary-searching each rule body's
+//! cumulative spans — O(depth · log body) per probe, never expanding
+//! anything. The index is built once per trace (O(grammar size)) and can
+//! be serialized alongside it, so later analysis sessions skip the
+//! length computation entirely.
+
+use pilgrim_sequitur::{decode_varint, varint_len, write_varint, DecodeError, Symbol, TOP_RULE};
+
+use crate::encode::EncodedCall;
+use crate::metrics::{MetricsRegistry, Stage};
+use crate::trace::GlobalTrace;
+
+/// Serialized-index magic bytes (`PGIX`).
+const INDEX_MAGIC: [u8; 4] = *b"PGIX";
+/// Serialized-index format version.
+const INDEX_VERSION: u8 = 1;
+
+/// Positional index over a [`GlobalTrace`]'s grammar: per-rule expanded
+/// lengths, per-rule cumulative right-hand-side spans, and per-rank call
+/// offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceIndex {
+    /// Expanded length of each rule.
+    rule_lens: Vec<u64>,
+    /// Per rule: cumulative expanded span before each RHS slot, with the
+    /// rule's total length appended (`symbols.len() + 1` entries), so a
+    /// slot covering offset `o` is found by binary search.
+    rule_cum: Vec<Vec<u64>>,
+    /// Rank `r`'s calls occupy global offsets
+    /// `[rank_offsets[r], rank_offsets[r + 1])`.
+    rank_offsets: Vec<u64>,
+}
+
+impl TraceIndex {
+    /// Builds the index for a trace: one pass over the grammar for the
+    /// rule lengths, one for the cumulative spans, one over the rank
+    /// lengths for the offsets.
+    pub fn build(trace: &GlobalTrace) -> Self {
+        Self::build_with_metrics(trace, &MetricsRegistry::default())
+    }
+
+    /// [`TraceIndex::build`], timed under [`Stage::IndexBuild`] with
+    /// `index.rules` / `index.bytes` gauges recorded.
+    pub fn build_with_metrics(trace: &GlobalTrace, metrics: &MetricsRegistry) -> Self {
+        let _t = metrics.time_stage(Stage::IndexBuild);
+        let rule_lens = trace.grammar.rule_lengths();
+        let rule_cum = cum_spans(&trace.grammar.rules, &rule_lens);
+        let mut rank_offsets = Vec::with_capacity(trace.nranks + 1);
+        let mut acc = 0u64;
+        rank_offsets.push(0);
+        for &l in &trace.rank_lengths {
+            acc += l;
+            rank_offsets.push(acc);
+        }
+        let index = TraceIndex { rule_lens, rule_cum, rank_offsets };
+        metrics.set_gauge("index.rules", index.rule_lens.len() as u64);
+        metrics.set_gauge("index.bytes", index.byte_size() as u64);
+        index
+    }
+
+    /// Total number of calls the grammar generates.
+    pub fn total_calls(&self) -> u64 {
+        self.rule_lens.first().copied().unwrap_or(0)
+    }
+
+    /// Number of ranks covered by the rank offsets.
+    pub fn nranks(&self) -> usize {
+        self.rank_offsets.len().saturating_sub(1)
+    }
+
+    /// Global offset range `[start, end)` of one rank's calls.
+    pub fn rank_span(&self, rank: usize) -> (u64, u64) {
+        let start = self.rank_offsets.get(rank).copied().unwrap_or(0);
+        let end = self.rank_offsets.get(rank + 1).copied().unwrap_or(start);
+        (start, end)
+    }
+
+    /// Number of calls rank `rank` contributes.
+    pub fn rank_len(&self, rank: usize) -> u64 {
+        let (s, e) = self.rank_span(rank);
+        e - s
+    }
+
+    /// Expanded length of rule `rule`.
+    pub fn rule_len(&self, rule: usize) -> u64 {
+        self.rule_lens.get(rule).copied().unwrap_or(0)
+    }
+
+    /// Per-rule expanded lengths, indexed by rule id.
+    pub fn rule_lens(&self) -> &[u64] {
+        &self.rule_lens
+    }
+
+    /// Cumulative spans of a rule body (see [`TraceIndex`] field docs).
+    pub(crate) fn cum(&self, rule: usize) -> &[u64] {
+        &self.rule_cum[rule]
+    }
+
+    /// The terminal at global offset `off`, in O(depth · log body) with
+    /// no expansion. `None` when `off` is past the end of the trace or
+    /// the grammar is malformed in a way decoding did not reject.
+    pub fn term_at(&self, trace: &GlobalTrace, off: u64) -> Option<u32> {
+        let rules = &trace.grammar.rules;
+        if rules.len() != self.rule_lens.len() {
+            return None;
+        }
+        let mut rid = TOP_RULE as usize;
+        let mut off = off;
+        if off >= self.rule_len(rid) {
+            return None;
+        }
+        loop {
+            let cum = &self.rule_cum[rid];
+            // Last slot whose cumulative start is <= off.
+            let slot = cum.partition_point(|&c| c <= off) - 1;
+            let (sym, _) = rules[rid].symbols[slot];
+            let rem = off - cum[slot];
+            match sym {
+                Symbol::Terminal(t) => return Some(t),
+                Symbol::Rule(r) => {
+                    // Offset within one instance of the repeated rule.
+                    let unit = self.rule_len(r as usize);
+                    rid = r as usize;
+                    off = rem % unit;
+                }
+            }
+        }
+    }
+
+    /// The terminal of rank `rank`'s `i`-th call.
+    pub fn rank_term(&self, trace: &GlobalTrace, rank: usize, i: u64) -> Option<u32> {
+        let (start, end) = self.rank_span(rank);
+        if start + i >= end {
+            return None;
+        }
+        self.term_at(trace, start + i)
+    }
+
+    /// Indexed random access: decodes rank `rank`'s `i`-th call without
+    /// expanding the grammar.
+    pub fn call_at(&self, trace: &GlobalTrace, rank: usize, i: u64) -> Option<EncodedCall> {
+        self.rank_term(trace, rank, i)
+            .and_then(|term| crate::decode::decode_term_call(trace, term).ok())
+    }
+
+    /// Serializes the index (magic, version, rule lengths, rank lengths).
+    /// The cumulative spans are rebuilt from the grammar on decode, so
+    /// the on-disk form stays proportional to the rule count.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&INDEX_MAGIC);
+        out.push(INDEX_VERSION);
+        write_varint(out, self.rule_lens.len() as u64);
+        for &l in &self.rule_lens {
+            write_varint(out, l);
+        }
+        write_varint(out, self.nranks() as u64);
+        for w in self.rank_offsets.windows(2) {
+            write_varint(out, w[1] - w[0]);
+        }
+    }
+
+    /// Serialized size in bytes.
+    pub fn byte_size(&self) -> usize {
+        let mut n = INDEX_MAGIC.len() + 1 + varint_len(self.rule_lens.len() as u64);
+        n += self.rule_lens.iter().map(|&l| varint_len(l)).sum::<usize>();
+        n += varint_len(self.nranks() as u64);
+        n += self.rank_offsets.windows(2).map(|w| varint_len(w[1] - w[0])).sum::<usize>();
+        n
+    }
+
+    /// Decodes an index written by [`TraceIndex::serialize`] and verifies
+    /// it against `trace`: the rule count must match the grammar, every
+    /// stored rule length must agree with the rule's body under the
+    /// stored lengths, and the rank offsets must match the trace's rank
+    /// lengths. Returns the index and the bytes consumed.
+    pub fn decode(buf: &[u8], trace: &GlobalTrace) -> Result<(Self, usize), DecodeError> {
+        let mut pos = 0usize;
+        if buf.len() < 5 || buf[..4] != INDEX_MAGIC {
+            return Err(DecodeError::Corrupt { what: "index magic", offset: 0 });
+        }
+        pos += 4;
+        if buf[pos] != INDEX_VERSION {
+            return Err(DecodeError::Corrupt { what: "index version", offset: pos });
+        }
+        pos += 1;
+        let nrules_off = pos;
+        let nrules = decode_varint(buf, &mut pos)? as usize;
+        if nrules != trace.grammar.num_rules() {
+            return Err(DecodeError::Corrupt { what: "index rule count", offset: nrules_off });
+        }
+        let mut rule_lens = Vec::with_capacity(nrules);
+        for _ in 0..nrules {
+            rule_lens.push(decode_varint(buf, &mut pos)?);
+        }
+        // Cross-check: each rule's stored length must be the sum of its
+        // body's spans under the stored lengths (one non-recursive pass).
+        for (rid, rule) in trace.grammar.rules.iter().enumerate() {
+            let mut total = 0u64;
+            for &(sym, exp) in &rule.symbols {
+                let unit = match sym {
+                    Symbol::Terminal(_) => 1,
+                    Symbol::Rule(r) => rule_lens.get(r as usize).copied().unwrap_or(0),
+                };
+                total = total.saturating_add(unit.saturating_mul(exp));
+            }
+            if total != rule_lens[rid] {
+                return Err(DecodeError::Corrupt { what: "index rule length", offset: nrules_off });
+            }
+        }
+        let nranks_off = pos;
+        let nranks = decode_varint(buf, &mut pos)? as usize;
+        if nranks != trace.nranks {
+            return Err(DecodeError::Corrupt { what: "index rank count", offset: nranks_off });
+        }
+        let mut rank_offsets = Vec::with_capacity(nranks + 1);
+        let mut acc = 0u64;
+        rank_offsets.push(0);
+        for r in 0..nranks {
+            let off = pos;
+            let len = decode_varint(buf, &mut pos)?;
+            if trace.rank_lengths.get(r).copied().unwrap_or(0) != len {
+                return Err(DecodeError::Corrupt { what: "index rank length", offset: off });
+            }
+            acc += len;
+            rank_offsets.push(acc);
+        }
+        let rule_cum = cum_spans(&trace.grammar.rules, &rule_lens);
+        Ok((TraceIndex { rule_lens, rule_cum, rank_offsets }, pos))
+    }
+}
+
+/// Cumulative expanded spans for every rule body.
+fn cum_spans(rules: &[pilgrim_sequitur::FlatRule], rule_lens: &[u64]) -> Vec<Vec<u64>> {
+    rules
+        .iter()
+        .map(|rule| {
+            let mut cum = Vec::with_capacity(rule.symbols.len() + 1);
+            let mut acc = 0u64;
+            cum.push(0);
+            for &(sym, exp) in &rule.symbols {
+                let unit = match sym {
+                    Symbol::Terminal(_) => 1,
+                    Symbol::Rule(r) => rule_lens.get(r as usize).copied().unwrap_or(0),
+                };
+                acc += unit * exp;
+                cum.push(acc);
+            }
+            cum
+        })
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::cst::Cst;
+    use crate::encode::{EncoderConfig, SigWriter};
+    use crate::trace::TraceCompleteness;
+    use pilgrim_sequitur::Grammar;
+
+    /// Two ranks over a repetitive sequence: the grammar carries `B^k`
+    /// exponents, which is exactly what the spans must respect. Terminal
+    /// `t` maps to a real signature for func id `t + 1`.
+    pub(crate) fn repeat_trace() -> GlobalTrace {
+        let sig = |func: u16, v: i64| {
+            let mut w = SigWriter::new(func);
+            w.int(v);
+            w.into_bytes()
+        };
+        // Stats mirror the grammar below: terms 0/1 occur 9 times
+        // (6 + 3 loop iterations across the two ranks), term 2 once.
+        let mut cst = Cst::new();
+        cst.intern(&sig(1, 0), crate::cst::SigStats { count: 9, dur_sum: 90 });
+        cst.intern(&sig(2, 1), crate::cst::SigStats { count: 9, dur_sum: 180 });
+        cst.intern(&sig(3, 2), crate::cst::SigStats { count: 1, dur_sum: 30 });
+        let mut g = Grammar::new();
+        // Rank 0: (0 1)^6 2  -> 13 calls. Rank 1: (0 1)^3 -> 6 calls.
+        for _ in 0..6 {
+            g.push(0);
+            g.push(1);
+        }
+        g.push(2);
+        for _ in 0..3 {
+            g.push(0);
+            g.push(1);
+        }
+        GlobalTrace {
+            nranks: 2,
+            encoder_cfg: EncoderConfig::default(),
+            cst,
+            grammar: g.to_flat(),
+            rank_lengths: vec![13, 6],
+            unique_grammars: 2,
+            duration_grammars: vec![],
+            interval_grammars: vec![],
+            duration_rank_map: vec![],
+            interval_rank_map: vec![],
+            completeness: TraceCompleteness::complete(),
+        }
+    }
+
+    #[test]
+    fn term_at_agrees_with_expansion_everywhere() {
+        let t = repeat_trace();
+        let idx = TraceIndex::build(&t);
+        let full = t.grammar.expand();
+        assert_eq!(idx.total_calls(), full.len() as u64);
+        for (i, &want) in full.iter().enumerate() {
+            assert_eq!(idx.term_at(&t, i as u64), Some(want), "offset {i}");
+        }
+        assert_eq!(idx.term_at(&t, full.len() as u64), None);
+    }
+
+    #[test]
+    fn rank_spans_partition_the_trace() {
+        let t = repeat_trace();
+        let idx = TraceIndex::build(&t);
+        assert_eq!(idx.rank_span(0), (0, 13));
+        assert_eq!(idx.rank_span(1), (13, 19));
+        assert_eq!(idx.rank_len(1), 6);
+        // Rank-local access crosses the repeat boundary correctly.
+        let ranks = t.decode_all_ranks();
+        for (rank, terms) in ranks.iter().enumerate() {
+            for (i, &want) in terms.iter().enumerate() {
+                assert_eq!(idx.rank_term(&t, rank, i as u64), Some(want), "rank {rank} call {i}");
+            }
+            assert_eq!(idx.rank_term(&t, rank, terms.len() as u64), None);
+        }
+    }
+
+    #[test]
+    fn serialize_roundtrip_and_corruption_detection() {
+        let t = repeat_trace();
+        let idx = TraceIndex::build(&t);
+        let mut buf = Vec::new();
+        idx.serialize(&mut buf);
+        assert_eq!(buf.len(), idx.byte_size());
+        let (back, used) = TraceIndex::decode(&buf, &t).expect("roundtrip");
+        assert_eq!(used, buf.len());
+        assert_eq!(back, idx);
+        // Flip a stored rule length: the body cross-check must reject it.
+        let mut bad = buf.clone();
+        let p = INDEX_MAGIC.len() + 1 + 1; // first rule length varint
+        bad[p] = bad[p].wrapping_add(1);
+        assert!(TraceIndex::decode(&bad, &t).is_err());
+        assert!(TraceIndex::decode(b"nope", &t).is_err());
+    }
+
+    #[test]
+    fn build_records_metrics() {
+        let t = repeat_trace();
+        let m = MetricsRegistry::new(true);
+        let idx = TraceIndex::build_with_metrics(&t, &m);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["index.rules"], idx.rule_lens().len() as u64);
+        assert_eq!(snap.counters["index.bytes"], idx.byte_size() as u64);
+    }
+}

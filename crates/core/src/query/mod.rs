@@ -1,0 +1,32 @@
+//! The compressed-trace query engine.
+//!
+//! Pilgrim's decoder answers every question by fully expanding the
+//! grammar, so analysis cost is O(trace length) even when the grammar is
+//! exponentially smaller. This module turns the archive format into a
+//! queryable store with three layers:
+//!
+//! * [`TraceIndex`] — annotates every grammar rule with its expanded
+//!   length (respecting `A -> B^k` repeat exponents), giving O(depth)
+//!   random access to the i-th call of any rank and O(depth · log body)
+//!   seek-to-offset. Built once per trace, serializable alongside it.
+//! * [`TermCursor`] / [`CallIterator`] — pull-based streaming decode
+//!   that walks the grammar with an explicit rule stack; `skip`/`take`
+//!   windows run in constant memory, never materializing the expansion.
+//! * [`QueryEngine`] — grammar-aware analytics (per-signature call
+//!   counts, the send/recv communication matrix, per-signature aggregate
+//!   time) computed by evaluating each rule body once and weighting by
+//!   repeat counts, without ever expanding shared rules twice.
+//!
+//! Index construction is timed under
+//! [`Stage::IndexBuild`](crate::metrics::Stage::IndexBuild) and query
+//! execution under [`Stage::Query`](crate::metrics::Stage::Query) when a
+//! [`MetricsRegistry`](crate::metrics::MetricsRegistry) is supplied, so
+//! benchmarks can report query-vs-full-decode speedups.
+
+mod analytics;
+mod index;
+mod stream;
+
+pub use analytics::{CommMatrix, QueryEngine, SigCounts, SignatureSummary};
+pub use index::TraceIndex;
+pub use stream::{CallIterator, TermCursor};

@@ -74,8 +74,14 @@ pub fn partial_replay_report(trace: &GlobalTrace) -> PartialReplayReport {
 /// with the same shape (signature count, per-rank call counts for
 /// deterministic programs).
 pub fn replay_and_retrace(trace: &GlobalTrace, cfg: PilgrimConfig) -> GlobalTrace {
-    let per_rank: Arc<Vec<Vec<EncodedCall>>> =
-        Arc::new((0..trace.nranks).map(|r| crate::decode::decode_rank_calls(trace, r)).collect());
+    let per_rank: Arc<Vec<Vec<EncodedCall>>> = Arc::new(
+        (0..trace.nranks)
+            .map(|r| {
+                crate::decode::decode_rank_calls(trace, r)
+                    .unwrap_or_else(|e| panic!("rank {r} undecodable: {e}"))
+            })
+            .collect(),
+    );
     let mut tracers = World::run(
         &WorldConfig::new(trace.nranks),
         |rank| PilgrimTracer::new(rank, cfg),

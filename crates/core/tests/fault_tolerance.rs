@@ -37,7 +37,7 @@ fn faulty_cfg(n: usize, plan: FaultPlan) -> WorldConfig {
 fn assert_survivors_lossless(trace: &GlobalTrace, tracers: &[Option<PilgrimTracer>]) {
     for (rank, tracer) in tracers.iter().enumerate() {
         let Some(t) = tracer else { continue };
-        let decoded = pilgrim::decode_rank_calls(trace, rank);
+        let decoded = pilgrim::decode_rank_calls(trace, rank).expect("decodable rank");
         let captured = t.captured();
         assert_eq!(
             decoded.len(),
@@ -86,9 +86,9 @@ fn killed_rank_contributes_its_last_checkpoint() {
 
     // The truncated rank decodes exactly its checkpointed prefix: the
     // same functions the live rank traced in its first 30 calls.
-    let truncated = pilgrim::decode_rank_calls(&trace, 5);
+    let truncated = pilgrim::decode_rank_calls(&trace, 5).expect("decodable rank");
     assert_eq!(truncated.len(), 30);
-    let reference = pilgrim::decode_rank_calls(&trace, 6);
+    let reference = pilgrim::decode_rank_calls(&trace, 6).expect("decodable rank");
     for (i, (a, b)) in truncated.iter().zip(&reference).enumerate() {
         assert_eq!(a.func, b.func, "SPMD prefix diverged at call {i}");
     }

@@ -125,7 +125,7 @@ fn testsome_paper_example_verifies() {
     });
     check(&trace, &tracers);
     // Testsome records ARE in the trace (unlike ScalaTrace/Cypress).
-    let calls = pilgrim::decode_rank_calls(&trace, 0);
+    let calls = pilgrim::decode_rank_calls(&trace, 0).expect("decodable rank");
     let testsome_id = mpi_sim::FuncId::Testsome.id();
     assert!(calls.iter().any(|c| c.func == testsome_id));
 }

@@ -35,6 +35,13 @@ pub enum DecodeError {
         /// A rule participating in the cycle.
         rule: u32,
     },
+    /// A grammar terminal's backing entry (in Pilgrim: the CST call
+    /// signature the terminal indexes) failed to decode. Produced by
+    /// higher layers that resolve terminals against a side table.
+    BadSignature {
+        /// The terminal whose backing entry is undecodable.
+        term: u32,
+    },
     /// Decoding succeeded but did not consume the whole buffer.
     TrailingBytes {
         /// Bytes consumed by the decoder.
@@ -62,6 +69,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::BadRuleRef { rule, num_rules } => {
                 write!(f, "rule reference {rule} out of range ({num_rules} rules)")
+            }
+            DecodeError::BadSignature { term } => {
+                write!(f, "undecodable signature for terminal {term}")
             }
             DecodeError::CyclicRules { rule } => {
                 write!(f, "rule {rule} participates in a cycle")
@@ -94,7 +104,9 @@ impl DecodeError {
             DecodeError::TrailingBytes { consumed, len } => {
                 DecodeError::TrailingBytes { consumed: consumed + base, len: len + base }
             }
-            e @ (DecodeError::BadRuleRef { .. } | DecodeError::CyclicRules { .. }) => e,
+            e @ (DecodeError::BadRuleRef { .. }
+            | DecodeError::CyclicRules { .. }
+            | DecodeError::BadSignature { .. }) => e,
         }
     }
 }
@@ -286,6 +298,18 @@ impl FlatGrammar {
         self.rule_len(TOP_RULE as usize, &mut memo)
     }
 
+    /// Expanded length of **every** rule, respecting `A -> B^k` repeat
+    /// exponents: `rule_lengths()[r]` is how many terminals rule `r`
+    /// generates. Each rule body is visited once (O(grammar size)); this
+    /// is the per-rule annotation the trace index is built from.
+    pub fn rule_lengths(&self) -> Vec<u64> {
+        let mut memo: Vec<Option<u64>> = vec![None; self.rules.len()];
+        for rid in 0..self.rules.len() {
+            self.rule_len(rid, &mut memo);
+        }
+        memo.into_iter().map(|l| l.unwrap_or(0)).collect()
+    }
+
     fn rule_len(&self, rid: usize, memo: &mut Vec<Option<u64>>) -> u64 {
         if let Some(len) = memo[rid] {
             return len;
@@ -305,6 +329,7 @@ impl FlatGrammar {
 
     /// Fully expands the grammar back into the original terminal sequence.
     pub fn expand(&self) -> Vec<u32> {
+        note_expansion();
         let mut out = Vec::with_capacity(self.expanded_len() as usize);
         self.expand_rule(TOP_RULE as usize, &mut out);
         out
@@ -313,6 +338,7 @@ impl FlatGrammar {
     /// Streams the expansion of the grammar through a callback, terminal by
     /// terminal with run lengths, without materializing the sequence.
     pub fn expand_runs(&self, f: &mut impl FnMut(u32, u64)) {
+        note_expansion();
         self.expand_rule_runs(TOP_RULE as usize, 1, f);
     }
 
@@ -346,6 +372,26 @@ impl FlatGrammar {
             }
         }
     }
+}
+
+thread_local! {
+    /// Count of full-grammar expansions performed on this thread; see
+    /// [`expansions`].
+    static EXPANSIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+#[inline]
+fn note_expansion() {
+    EXPANSIONS.with(|c| c.set(c.get() + 1));
+}
+
+/// Number of full grammar expansions ([`FlatGrammar::expand`] or
+/// [`FlatGrammar::expand_runs`]) performed **on the calling thread** so
+/// far. Grammar-aware analytics answer queries without ever expanding the
+/// grammar; tests assert that by reading this counter before and after a
+/// query. Thread-local so concurrently running tests don't interfere.
+pub fn expansions() -> u64 {
+    EXPANSIONS.with(|c| c.get())
 }
 
 /// LEB128 unsigned varint encoding.

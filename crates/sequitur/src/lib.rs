@@ -27,7 +27,8 @@ mod grammar;
 mod symbol;
 
 pub use flat::{
-    decode_varint, read_varint, varint_len, write_varint, DecodeError, FlatGrammar, FlatRule,
+    decode_varint, expansions, read_varint, varint_len, write_varint, DecodeError, FlatGrammar,
+    FlatRule,
 };
 pub use grammar::{compress_runs, Grammar, GrammarStats};
 pub use symbol::{Symbol, TOP_RULE};

@@ -44,7 +44,7 @@ fn main() {
     );
 
     // 3. Decode rank 2's calls back out of the compressed trace.
-    let calls = decode_rank_calls(&trace, 2);
+    let calls = decode_rank_calls(&trace, 2).expect("rank 2 decodes");
     println!("\nfirst three decoded calls of rank 2:");
     for call in calls.iter().take(3) {
         println!("  func id {} with {} recorded arguments", call.func, call.args.len());
@@ -60,4 +60,13 @@ fn main() {
     let back = pilgrim::GlobalTrace::decode(&bytes).unwrap();
     assert_eq!(back.decode_all_ranks(), trace.decode_all_ranks());
     println!("serialized file round-trips at {} bytes", bytes.len());
+
+    // 6. Query the compressed trace without expanding it: indexed random
+    //    access and a grammar-aware communication matrix.
+    let index = pilgrim::TraceIndex::build(&trace);
+    let call_500 = index.call_at(&trace, 2, 500).expect("rank 2 has 3000 calls");
+    println!("\nrank 2 call #500 is func id {} (via O(depth) random access)", call_500.func);
+    let engine = pilgrim::QueryEngine::new(&trace, &index);
+    let matrix = engine.comm_matrix();
+    println!("p2p messages sent: {} (this workload is all collectives)", matrix.total_sends());
 }

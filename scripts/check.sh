@@ -14,6 +14,19 @@ echo "== tier-1: release build + tests =="
 cargo build --release
 cargo test -q
 
+echo "== query engine: proptests + golden slice/matrix output =="
+# Property tests: indexed random access and streaming windows must agree
+# with full decode, including across repeat-rule boundaries.
+cargo test -q -p pilgrim --test query_proptests
+# Golden outputs: trace_tool's slice/matrix JSON on the committed
+# miniature trace is byte-stable (stdout only; timings go to stderr).
+./target/release/trace_tool slice crates/bench/golden/mini.pilgrim 1 5 8 2>/dev/null |
+  diff -u crates/bench/golden/mini.slice.json - ||
+  { echo "FAIL: trace_tool slice output diverged from golden file." >&2; exit 1; }
+./target/release/trace_tool matrix crates/bench/golden/mini.pilgrim 2>/dev/null |
+  diff -u crates/bench/golden/mini.matrix.json - ||
+  { echo "FAIL: trace_tool matrix output diverged from golden file." >&2; exit 1; }
+
 echo "== chaos: seeded fault-injection sweep =="
 # Deterministic: same seed, same casualties, same trace. Nonzero exit
 # means the degraded merge deadlocked, panicked, or lost rank 0's trace.

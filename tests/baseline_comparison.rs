@@ -88,7 +88,7 @@ fn scalatrace_drops_testsome_pilgrim_keeps_it() {
     let cfg = pilgrim::PilgrimConfig::new().capture_reference(true);
     let mut pt = World::run(&WorldConfig::new(2), |r| PilgrimTracer::new(r, cfg), body);
     let trace = pt[0].take_global_trace().unwrap();
-    let calls = pilgrim::decode_rank_calls(&trace, 0);
+    let calls = pilgrim::decode_rank_calls(&trace, 0).expect("decodable rank");
     assert!(calls.iter().any(|c| c.func == mpi_sim::FuncId::Testsome.id()));
 }
 
