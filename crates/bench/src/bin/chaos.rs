@@ -3,8 +3,13 @@
 //! crash-consistent checkpoints.
 //!
 //! ```text
-//! chaos [--seed N] [--ranks N] [--iters N] [--interval N] [--quick]
+//! chaos [--seed N] [--ranks N] [--iters N] [--interval N] [--budget N] [--quick]
 //! ```
+//!
+//! `--budget` additionally arms the resource governor with a per-rank
+//! memory budget (bytes), so rank failures and memory-pressure
+//! degradation can be exercised together; the `gov` column counts
+//! degradation events recorded in the merged manifest.
 //!
 //! Every row kills `k` deterministic victims (never rank 0, which holds
 //! the merged trace) at deterministic call counts, runs the degraded
@@ -68,12 +73,20 @@ struct Row {
     checkpointed: bool,
     lost: usize,
     truncated: usize,
+    governor_events: usize,
     calls_traced: u64,
     calls_in_trace: u64,
     trace_bytes: usize,
 }
 
-fn run_one(seed: u64, nranks: usize, iters: usize, k: usize, interval: Option<u64>) -> Row {
+fn run_one(
+    seed: u64,
+    nranks: usize,
+    iters: usize,
+    k: usize,
+    interval: Option<u64>,
+    budget: Option<u64>,
+) -> Row {
     let mut wcfg = WorldConfig::new(nranks);
     if k > 0 {
         wcfg.faults = Some(plan_kills(seed, nranks, iters, k));
@@ -81,6 +94,9 @@ fn run_one(seed: u64, nranks: usize, iters: usize, k: usize, interval: Option<u6
     let mut tcfg = PilgrimConfig::new().merge_timeout_ms(400);
     if let Some(iv) = interval {
         tcfg = tcfg.checkpoint_interval(iv);
+    }
+    if let Some(b) = budget {
+        tcfg = tcfg.memory_budget(b as usize);
     }
     let mut out = World::run_faulty(
         &wcfg,
@@ -106,6 +122,7 @@ fn run_one(seed: u64, nranks: usize, iters: usize, k: usize, interval: Option<u6
         checkpointed: interval.is_some(),
         lost: trace.completeness.lost_ranks().len(),
         truncated: trace.completeness.checkpoint_ranks().len(),
+        governor_events: trace.completeness.events.len(),
         calls_traced,
         calls_in_trace: trace.rank_lengths.iter().sum(),
         trace_bytes: trace.serialize().len(),
@@ -135,19 +152,25 @@ fn main() {
     let nranks = flag(&args, "--ranks").unwrap_or(8) as usize;
     let iters = flag(&args, "--iters").unwrap_or(if quick { 15 } else { 60 }) as usize;
     let interval = flag(&args, "--interval").unwrap_or(10);
+    let budget = flag(&args, "--budget");
     if nranks < 2 {
         eprintln!("--ranks must be at least 2");
         exit(2);
     }
     let max_kills = if quick { 2.min(nranks - 1) } else { (nranks - 1).min(4) };
 
-    println!("chaos sweep: {nranks} ranks, {iters} iters, seed {seed:#x}, checkpoint every {interval} calls");
+    let budget_note = budget.map_or(String::new(), |b| format!(", budget {b} bytes/rank"));
     println!(
-        "{:>5} {:>11} {:>5} {:>9} {:>12} {:>12} {:>9} {:>11}",
+        "chaos sweep: {nranks} ranks, {iters} iters, seed {seed:#x}, checkpoint every \
+         {interval} calls{budget_note}"
+    );
+    println!(
+        "{:>5} {:>11} {:>5} {:>9} {:>4} {:>12} {:>12} {:>9} {:>11}",
         "kills",
         "checkpoints",
         "lost",
         "truncated",
+        "gov",
         "calls traced",
         "in trace",
         "recovered",
@@ -158,18 +181,19 @@ fn main() {
             if k == 0 && ckpt.is_some() {
                 continue; // healthy run: checkpoints change nothing in the trace
             }
-            let row = run_one(seed, nranks, iters, k, ckpt);
+            let row = run_one(seed, nranks, iters, k, ckpt, budget);
             let pct = if row.calls_traced == 0 {
                 100.0
             } else {
                 100.0 * row.calls_in_trace as f64 / row.calls_traced as f64
             };
             println!(
-                "{:>5} {:>11} {:>5} {:>9} {:>12} {:>12} {:>8.1}% {:>11}",
+                "{:>5} {:>11} {:>5} {:>9} {:>4} {:>12} {:>12} {:>8.1}% {:>11}",
                 row.kills,
                 if row.checkpointed { "on" } else { "off" },
                 row.lost,
                 row.truncated,
+                row.governor_events,
                 row.calls_traced,
                 row.calls_in_trace,
                 pct,

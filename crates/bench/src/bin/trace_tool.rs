@@ -2,7 +2,7 @@
 //! trace files from the command line.
 //!
 //! ```text
-//! trace_tool record <workload> <ranks> <iters> <out.pilgrim>
+//! trace_tool record <workload> <ranks> <iters> <out.pilgrim> [--budget <bytes>]
 //! trace_tool inspect <trace.pilgrim>
 //! trace_tool stats <trace.pilgrim>
 //! trace_tool validate <trace.pilgrim>
@@ -13,11 +13,19 @@
 //! trace_tool query <trace.pilgrim> [rank]
 //! trace_tool slice <trace.pilgrim> <rank> <start> <count>
 //! trace_tool matrix <trace.pilgrim>
+//! trace_tool fidelity <trace.pilgrim>
 //! ```
 //!
 //! The query subcommands answer from the compressed grammar (indexed
 //! random access + grammar-aware aggregation) and emit deterministic JSON
 //! on stdout; index-build and query timings go to stderr.
+//!
+//! Readers accept both trace formats — the legacy flat stream and the
+//! checksummed `PGC1` container — by sniffing the magic; `record` writes
+//! the container. When a loaded trace is degraded (governor events,
+//! lost/truncated/salvaged ranks), query/slice/matrix output grows a
+//! `"fidelity"` field so downstream consumers know what the answers are
+//! based on; clean traces produce byte-identical output to older builds.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -32,7 +40,7 @@ use pilgrim_bench::run_pilgrim;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace_tool record <workload> <ranks> <iters> <out.pilgrim>\n  \
+        "usage:\n  trace_tool record <workload> <ranks> <iters> <out.pilgrim> [--budget <bytes>]\n  \
          trace_tool inspect <trace.pilgrim>\n  \
          trace_tool stats <trace.pilgrim>\n  \
          trace_tool validate <trace.pilgrim>\n  \
@@ -42,7 +50,8 @@ fn usage() -> ! {
          trace_tool replay <trace.pilgrim>\n  \
          trace_tool query <trace.pilgrim> [rank]\n  \
          trace_tool slice <trace.pilgrim> <rank> <start> <count>\n  \
-         trace_tool matrix <trace.pilgrim>\n\nworkloads: {}",
+         trace_tool matrix <trace.pilgrim>\n  \
+         trace_tool fidelity <trace.pilgrim>\n\nworkloads: {}",
         mpi_workloads::ALL_WORKLOADS.join(", ")
     );
     exit(2)
@@ -87,25 +96,68 @@ fn load(path: &str) -> GlobalTrace {
         eprintln!("cannot read {path}: {e}");
         exit(1)
     });
-    GlobalTrace::decode(&bytes).unwrap_or_else(|e| {
+    GlobalTrace::decode_auto(&bytes).unwrap_or_else(|e| {
         eprintln!("{path} is not a valid pilgrim trace: {e}");
         exit(1)
     })
 }
 
+/// Renders a [`pilgrim::FidelityReport`] as a JSON object.
+fn fidelity_json(trace: &GlobalTrace) -> String {
+    let f = trace.fidelity();
+    let list = |ranks: &[usize]| {
+        let items: Vec<String> = ranks.iter().map(usize::to_string).collect();
+        format!("[{}]", items.join(","))
+    };
+    format!(
+        "{{\"lossless\":{},\"frozen_ranks\":{},\"timing_degraded_ranks\":{},\
+         \"sealed_ranks\":{},\"lost_ranks\":{},\"checkpoint_ranks\":{},\
+         \"salvaged_ranks\":{},\"events\":{}}}",
+        f.lossless,
+        list(&f.frozen_ranks),
+        list(&f.timing_degraded_ranks),
+        list(&f.sealed_ranks),
+        list(&f.lost_ranks),
+        list(&f.checkpoint_ranks),
+        list(&f.salvaged_ranks),
+        f.events
+    )
+}
+
+/// The `"fidelity"` JSON field the query subcommands append for degraded
+/// traces — and omit entirely (keeping golden outputs byte-identical) for
+/// clean ones.
+fn fidelity_field(trace: &GlobalTrace) -> String {
+    if trace.is_degraded() {
+        format!(",\"fidelity\":{}", fidelity_json(trace))
+    } else {
+        String::new()
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("record") if args.len() == 5 => {
+        Some("record") if args.len() == 5 || (args.len() == 7 && args[5] == "--budget") => {
             let workload = &args[1];
             let ranks: usize = args[2].parse().unwrap_or_else(|_| usage());
             let iters: usize = args[3].parse().unwrap_or_else(|_| usage());
+            let mut cfg = PilgrimConfig::default();
+            if args.len() == 7 {
+                let budget: usize = args[6].parse().unwrap_or_else(|_| usage());
+                cfg = cfg.memory_budget(budget);
+            }
             let body = mpi_workloads::by_name(workload, iters);
-            let run = run_pilgrim(ranks, PilgrimConfig::default(), body);
-            let bytes = run.trace.serialize();
+            let run = run_pilgrim(ranks, cfg, body);
+            let degraded = if run.trace.is_degraded() {
+                format!(", {} governor events", run.trace.completeness.events.len())
+            } else {
+                String::new()
+            };
+            let bytes = pilgrim::write_container(&run.trace);
             fs::write(&args[4], &bytes).expect("write trace file");
             println!(
-                "recorded {workload}: {} calls on {ranks} ranks -> {} ({} bytes)",
+                "recorded {workload}: {} calls on {ranks} ranks -> {} ({} bytes, PGC1 container{degraded})",
                 run.total_calls,
                 args[4],
                 bytes.len()
@@ -181,7 +233,7 @@ fn main() {
                 eprintln!("cannot read {path}: {e}");
                 exit(1)
             });
-            let trace = match GlobalTrace::decode(&bytes) {
+            let trace = match GlobalTrace::decode_auto(&bytes) {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("{path}: decode failed: {e}");
@@ -271,7 +323,9 @@ fn main() {
                     row.time_ns
                 );
             }
-            out.push_str("]}");
+            out.push(']');
+            out.push_str(&fidelity_field(&trace));
+            out.push('}');
             println!("{out}");
             report_query_timing(&metrics);
         }
@@ -314,7 +368,9 @@ fn main() {
                     arg_list.join(",")
                 );
             }
-            out.push_str("]}");
+            out.push(']');
+            out.push_str(&fidelity_field(&trace));
+            out.push('}');
             drop(timer);
             println!("{out}");
             report_query_timing(&metrics);
@@ -340,16 +396,46 @@ fn main() {
             let wc: Vec<String> = m.wildcard_recvs.iter().map(u64::to_string).collect();
             println!(
                 "{{\"nranks\":{},\"sends\":{},\"recvs\":{},\"wildcard_recvs\":[{}],\
-                 \"dropped\":{},\"total_sends\":{},\"total_recvs\":{}}}",
+                 \"dropped\":{},\"total_sends\":{},\"total_recvs\":{}{}}}",
                 m.nranks,
                 fmt_matrix(&m.sends),
                 fmt_matrix(&m.recvs),
                 wc.join(","),
                 m.dropped,
                 m.total_sends(),
-                m.total_recvs()
+                m.total_recvs(),
+                fidelity_field(&trace)
             );
             report_query_timing(&metrics);
+        }
+        Some("fidelity") if args.len() == 2 => {
+            // What the trace admits about itself: per-rank degradation
+            // ladder progress, lost/truncated/salvaged ranks, and the full
+            // governor event log. Exit 0 for lossless traces, 3 for
+            // degraded ones, so scripts can gate on fidelity cheaply.
+            let trace = load(&args[1]);
+            let mut out = String::from("{\"fidelity\":");
+            out.push_str(&fidelity_json(&trace));
+            out.push_str(",\"events\":[");
+            for (i, (rank, ev)) in trace.completeness.events.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"rank\":{rank},\"call_index\":{},\"stage\":{},\"component\":{},\
+                     \"bytes\":{}}}",
+                    ev.call_index,
+                    json_str(ev.stage.name()),
+                    json_str(ev.component.name()),
+                    ev.bytes
+                );
+            }
+            out.push_str("]}");
+            println!("{out}");
+            if trace.is_degraded() {
+                exit(3)
+            }
         }
         Some("replay") if args.len() == 2 => {
             let trace = load(&args[1]);
@@ -358,10 +444,11 @@ fn main() {
                 // A truncated rank stops short of its matching sends and
                 // receives; replaying it live would deadlock the world.
                 eprintln!(
-                    "trace is degraded ({} truncated, {} lost of {} ranks); live replay \
-                     needs a complete trace. Decodable ranks: use `decode`.",
+                    "trace is degraded ({} truncated, {} lost, {} salvaged of {} ranks); live \
+                     replay needs a complete trace. Decodable ranks: use `decode`.",
                     report.truncated_ranks.len(),
                     report.lost_ranks.len(),
+                    report.salvaged_ranks.len(),
                     trace.nranks
                 );
                 exit(1)

@@ -203,6 +203,29 @@ impl<T> AvlTree<T> {
         (Some(node), removed)
     }
 
+    /// Start keys of all segments whose start lies in `[lo, hi)`, in
+    /// ascending order. Traversal is pruned by the BST order, so this is
+    /// O(log N + K) for K matches.
+    pub fn keys_in_range(&self, lo: u64, hi: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.range_walk(self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_walk(&self, at: Option<usize>, lo: u64, hi: u64, out: &mut Vec<u64>) {
+        let Some(i) = at else { return };
+        let start = self.nodes[i].start;
+        if start >= lo {
+            self.range_walk(self.nodes[i].left, lo, hi, out);
+            if start < hi {
+                out.push(start);
+            }
+        }
+        if start < hi {
+            self.range_walk(self.nodes[i].right, lo, hi, out);
+        }
+    }
+
     /// In-order traversal (ascending start address).
     pub fn iter(&self) -> Vec<(u64, u64, &T)> {
         let mut out = Vec::with_capacity(self.len);
@@ -333,6 +356,18 @@ mod tests {
         }
         let starts: Vec<u64> = t.iter().iter().map(|&(s, _, _)| s).collect();
         assert_eq!(starts, vec![10, 30, 50, 70, 90]);
+    }
+
+    #[test]
+    fn keys_in_range_matches_model() {
+        let mut t = AvlTree::new();
+        for &s in &[50u64, 10, 90, 30, 70, 110, 20] {
+            t.insert(s, 5, ());
+        }
+        assert_eq!(t.keys_in_range(20, 90), vec![20, 30, 50, 70]);
+        assert_eq!(t.keys_in_range(0, 15), vec![10]);
+        assert_eq!(t.keys_in_range(95, 100), Vec::<u64>::new());
+        assert_eq!(t.keys_in_range(0, u64::MAX), vec![10, 20, 30, 50, 70, 90, 110]);
     }
 
     #[test]

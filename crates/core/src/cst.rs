@@ -33,7 +33,14 @@ impl SigStats {
 pub struct Cst {
     map: HashMap<Vec<u8>, u32>,
     entries: Vec<(Vec<u8>, SigStats)>,
+    /// Incrementally maintained resident-byte estimate (see
+    /// [`Cst::approx_bytes`]); updated only when a new entry is interned.
+    approx_bytes: usize,
 }
+
+/// Estimated per-entry overhead beyond the signature bytes themselves:
+/// map key copy, hash-table slot, entry tuple, and stats.
+const ENTRY_OVERHEAD: usize = 96;
 
 impl Cst {
     pub fn new() -> Self {
@@ -49,6 +56,7 @@ impl Cst {
                 let t = self.entries.len() as u32;
                 self.map.insert(sig.to_vec(), t);
                 self.entries.push((sig.to_vec(), SigStats::default()));
+                self.approx_bytes += 2 * sig.len() + ENTRY_OVERHEAD;
                 t
             }
         };
@@ -71,9 +79,19 @@ impl Cst {
                 let t = self.entries.len() as u32;
                 self.map.insert(sig.to_vec(), t);
                 self.entries.push((sig.to_vec(), stats));
+                self.approx_bytes += 2 * sig.len() + ENTRY_OVERHEAD;
                 t
             }
         }
+    }
+
+    /// O(1) estimate of the table's resident bytes (two copies of every
+    /// signature plus per-entry overhead), maintained incrementally for
+    /// the governor's live budget accounting — unlike [`Cst::byte_size`],
+    /// which is the O(n) serialized size.
+    #[inline]
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
     }
 
     /// Looks up a signature's terminal without inserting.

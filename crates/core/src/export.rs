@@ -1,4 +1,5 @@
-//! Trace export to a human-readable, OTF-inspired text format.
+//! Trace export: a human-readable OTF-inspired text format, and the
+//! corruption-hardened `PGC1` container.
 //!
 //! The paper notes that Pilgrim's own format keeps existing post-
 //! processing tools from reading its traces, and lists a converter "into
@@ -7,13 +8,21 @@
 //! of OTF's ASCII representation — a definitions preamble (functions,
 //! signatures) followed by per-rank event records — which downstream
 //! text tooling can consume directly.
+//!
+//! [`write_container`] wraps the same trace content in a sectioned
+//! container where every section carries a CRC32 of its payload, so a
+//! flipped bit on disk is detected at the section that holds it instead
+//! of surfacing as a confusing structural decode error — and so
+//! [`GlobalTrace::decode_salvage`](crate::decode) can recover every rank
+//! whose sections still checksum clean.
 
 use std::fmt::Write;
 
 use mpi_sim::FuncId;
+use pilgrim_sequitur::write_varint;
 
 use crate::encode::{decode_signature, EncodedArg, RankCode};
-use crate::trace::GlobalTrace;
+use crate::trace::{GlobalTrace, RankStatus, RANK_MAP_NONE};
 
 fn fmt_rank(code: RankCode) -> String {
     match code {
@@ -114,6 +123,155 @@ pub fn to_signature_listing(trace: &GlobalTrace) -> String {
     out
 }
 
+// ---------------------------------------------------------------------
+// The PGC1 checksummed container.
+// ---------------------------------------------------------------------
+
+/// Magic prefix identifying the checksummed container format.
+pub const CONTAINER_MAGIC: [u8; 4] = *b"PGC1";
+/// Container format version written after the magic.
+pub const CONTAINER_VERSION: u8 = 1;
+
+/// Section kinds, in their mandatory on-disk order: META, CST, GRAMMAR,
+/// one DURATION section per duration grammar, one INTERVAL section per
+/// interval grammar, then one RANK section per rank.
+pub(crate) const SEC_META: u8 = 1;
+pub(crate) const SEC_CST: u8 = 2;
+pub(crate) const SEC_GRAMMAR: u8 = 3;
+pub(crate) const SEC_DURATION: u8 = 4;
+pub(crate) const SEC_INTERVAL: u8 = 5;
+pub(crate) const SEC_RANK: u8 = 6;
+
+/// Human-readable section name, used in checksum error reports.
+pub(crate) fn section_name(kind: u8) -> &'static str {
+    match kind {
+        SEC_META => "meta",
+        SEC_CST => "cst",
+        SEC_GRAMMAR => "grammar",
+        SEC_DURATION => "duration",
+        SEC_INTERVAL => "interval",
+        SEC_RANK => "rank",
+        _ => "unknown",
+    }
+}
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// IEEE CRC-32 (the zlib/gzip polynomial), table-driven, no dependencies.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// True when `buf` starts with the container magic (regardless of
+/// version). Lets tools sniff container vs. legacy flat traces.
+pub fn is_container(buf: &[u8]) -> bool {
+    buf.len() >= CONTAINER_MAGIC.len() && buf[..CONTAINER_MAGIC.len()] == CONTAINER_MAGIC
+}
+
+fn push_section(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    out.push(kind);
+    write_varint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+}
+
+/// A timing rank-map entry in its on-disk +1 form (0 = no grammar, which
+/// also covers traces whose maps are empty because timing is aggregated).
+fn map_entry(map: &[u32], rank: usize) -> u64 {
+    match map.get(rank) {
+        Some(&m) if m != RANK_MAP_NONE => m as u64 + 1,
+        _ => 0,
+    }
+}
+
+/// Serializes a trace into the `PGC1` container: magic + version, then a
+/// sequence of `(kind, length, payload, CRC32)` sections. Content is
+/// identical to [`GlobalTrace::serialize`] but regrouped so each
+/// independently recoverable piece — the merged CST, the call grammar,
+/// each timing grammar, and each rank's metadata — is checksummed on its
+/// own. Decode with [`GlobalTrace::decode_container`] (strict) or
+/// [`GlobalTrace::decode_salvage`] (best effort).
+pub fn write_container(trace: &GlobalTrace) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&CONTAINER_MAGIC);
+    out.push(CONTAINER_VERSION);
+
+    let mut payload = Vec::new();
+    payload.push(trace.encoder_cfg.to_byte());
+    write_varint(&mut payload, trace.nranks as u64);
+    write_varint(&mut payload, trace.unique_grammars as u64);
+    write_varint(&mut payload, trace.duration_grammars.len() as u64);
+    write_varint(&mut payload, trace.interval_grammars.len() as u64);
+    push_section(&mut out, SEC_META, &payload);
+
+    payload.clear();
+    trace.cst.serialize(&mut payload);
+    push_section(&mut out, SEC_CST, &payload);
+
+    payload.clear();
+    trace.grammar.serialize(&mut payload);
+    push_section(&mut out, SEC_GRAMMAR, &payload);
+
+    for (kind, grammars) in
+        [(SEC_DURATION, &trace.duration_grammars), (SEC_INTERVAL, &trace.interval_grammars)]
+    {
+        for g in grammars {
+            payload.clear();
+            g.serialize(&mut payload);
+            push_section(&mut out, kind, &payload);
+        }
+    }
+
+    for rank in 0..trace.nranks {
+        payload.clear();
+        write_varint(&mut payload, trace.rank_lengths.get(rank).copied().unwrap_or(0));
+        write_varint(&mut payload, map_entry(&trace.duration_rank_map, rank));
+        write_varint(&mut payload, map_entry(&trace.interval_rank_map, rank));
+        match trace.completeness.status(rank) {
+            RankStatus::Merged => write_varint(&mut payload, 0),
+            RankStatus::Lost { round } => {
+                write_varint(&mut payload, 1);
+                write_varint(&mut payload, round as u64);
+            }
+            RankStatus::Checkpoint { calls } => {
+                write_varint(&mut payload, 2);
+                write_varint(&mut payload, calls);
+            }
+            RankStatus::Salvaged { calls } => {
+                write_varint(&mut payload, 3);
+                write_varint(&mut payload, calls);
+            }
+        }
+        let events: Vec<_> = trace.completeness.events_for(rank).collect();
+        write_varint(&mut payload, events.len() as u64);
+        for e in events {
+            e.serialize(&mut payload);
+        }
+        push_section(&mut out, SEC_RANK, &payload);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +332,61 @@ mod tests {
         let listing = to_signature_listing(&trace);
         assert_eq!(listing.lines().count(), trace.cst.len());
         assert!(listing.contains("x5"), "counts are shown");
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn container_starts_with_magic_and_sniffs() {
+        let trace = sample_trace();
+        let bytes = write_container(&trace);
+        assert!(is_container(&bytes));
+        assert_eq!(&bytes[..4], b"PGC1");
+        assert_eq!(bytes[4], CONTAINER_VERSION);
+        // The legacy flat serialization is not mistaken for a container.
+        assert!(!is_container(&trace.serialize()));
+        assert!(!is_container(b"PG"));
+    }
+
+    #[test]
+    fn container_sections_appear_in_order() {
+        let trace = sample_trace();
+        let bytes = write_container(&trace);
+        // Walk the framing by hand: kind, payload-length varint, payload,
+        // 4-byte CRC — and collect the kinds.
+        let mut pos = 5;
+        let mut kinds = Vec::new();
+        while pos < bytes.len() {
+            kinds.push(bytes[pos]);
+            pos += 1;
+            let mut len = 0u64;
+            let mut shift = 0;
+            loop {
+                let b = bytes[pos];
+                pos += 1;
+                len |= u64::from(b & 0x7F) << shift;
+                shift += 7;
+                if b & 0x80 == 0 {
+                    break;
+                }
+            }
+            let payload = &bytes[pos..pos + len as usize];
+            pos += len as usize;
+            let stored =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]]);
+            assert_eq!(crc32(payload), stored, "section checksum is valid as written");
+            pos += 4;
+        }
+        let mut expect = vec![SEC_META, SEC_CST, SEC_GRAMMAR];
+        expect.extend(std::iter::repeat_n(SEC_DURATION, trace.duration_grammars.len()));
+        expect.extend(std::iter::repeat_n(SEC_INTERVAL, trace.interval_grammars.len()));
+        expect.extend(std::iter::repeat_n(SEC_RANK, trace.nranks));
+        assert_eq!(kinds, expect);
     }
 }

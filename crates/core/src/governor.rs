@@ -1,0 +1,420 @@
+//! Resource governor: live byte accounting for every compressible
+//! component of the tracer, checked against [`PilgrimConfig::memory_budget`]
+//! (`crate::tracer::PilgrimConfig`).
+//!
+//! Pilgrim's compression assumes repetitive MPI programs. On an
+//! adversarial call stream (every signature distinct) the CST and the
+//! Sequitur grammar grow linearly and the tracer — not the application —
+//! becomes the OOM risk. The governor turns unbounded growth into an
+//! explicit, ordered degradation ladder:
+//!
+//! 1. **Freeze** ([`DegradationStage::FreezeGrammar`], at ½ budget): the
+//!    call grammar drops its digram index and stops forming rules
+//!    (`Grammar::freeze` in `pilgrim_sequitur`); per-call growth becomes
+//!    strictly bounded.
+//! 2. **Aggregate timing** ([`DegradationStage::AggregateTiming`], at ¾
+//!    budget): per-call duration/interval recording collapses to the
+//!    per-signature aggregates the CST already keeps.
+//! 3. **Seal** ([`DegradationStage::SealSegment`], at budget): the current
+//!    CST + grammar are sealed into a checkpoint-format segment (spilled
+//!    out of the governed working set) and tracing restarts empty;
+//!    segments are concatenated at finalize exactly like the
+//!    inter-process `S -> S1 S2` merge rule.
+//!
+//! Every transition is a [`DegradationEvent`] recorded in the trace's
+//! completeness manifest, so consumers can see exactly when and why
+//! fidelity was reduced. With no budget configured the governor is inert
+//! and the tracer's behavior is byte-identical to an ungoverned run.
+
+use pilgrim_sequitur::{decode_varint, varint_len, write_varint, DecodeError};
+
+use crate::metrics::MetricsRegistry;
+
+/// One rung of the degradation ladder, in the order the governor applies
+/// them under memory pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationStage {
+    /// Sequitur rule creation frozen; symbols append raw.
+    FreezeGrammar,
+    /// Per-call timing dropped; per-signature aggregates remain.
+    AggregateTiming,
+    /// Current grammar sealed as a segment; tracing restarted empty.
+    SealSegment,
+}
+
+impl DegradationStage {
+    /// Stable wire code (also the ladder order, 1-based).
+    pub fn code(self) -> u8 {
+        match self {
+            DegradationStage::FreezeGrammar => 1,
+            DegradationStage::AggregateTiming => 2,
+            DegradationStage::SealSegment => 3,
+        }
+    }
+
+    /// Inverse of [`DegradationStage::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(DegradationStage::FreezeGrammar),
+            2 => Some(DegradationStage::AggregateTiming),
+            3 => Some(DegradationStage::SealSegment),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name, used in reports and `trace_tool fidelity`.
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationStage::FreezeGrammar => "freeze-grammar",
+            DegradationStage::AggregateTiming => "aggregate-timing",
+            DegradationStage::SealSegment => "seal-segment",
+        }
+    }
+}
+
+/// A governed component of the tracer's working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// Call signature table.
+    Cst,
+    /// The per-rank Sequitur call grammar.
+    CallGrammar,
+    /// Duration/interval timing grammars.
+    Timing,
+    /// Live memory segments tracked for pointer encoding.
+    Memory,
+    /// Reference capture buffer (verification runs only).
+    Capture,
+}
+
+impl Component {
+    /// Stable wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            Component::Cst => 0,
+            Component::CallGrammar => 1,
+            Component::Timing => 2,
+            Component::Memory => 3,
+            Component::Capture => 4,
+        }
+    }
+
+    /// Inverse of [`Component::code`].
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Component::Cst),
+            1 => Some(Component::CallGrammar),
+            2 => Some(Component::Timing),
+            3 => Some(Component::Memory),
+            4 => Some(Component::Capture),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name, used in metrics keys and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Cst => "cst",
+            Component::CallGrammar => "grammar",
+            Component::Timing => "timing",
+            Component::Memory => "memory",
+            Component::Capture => "capture",
+        }
+    }
+}
+
+/// One governor transition, recorded in the completeness manifest: at
+/// `call_index`, `stage` was applied while the working set held `bytes`,
+/// with `component` the largest contributor at that moment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// 1-based index of the traced call that triggered the transition.
+    pub call_index: u64,
+    /// Which rung of the ladder was applied.
+    pub stage: DegradationStage,
+    /// Largest component of the working set when the transition fired.
+    pub component: Component,
+    /// Total governed bytes when the transition fired.
+    pub bytes: u64,
+}
+
+impl DegradationEvent {
+    pub(crate) fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.call_index);
+        write_varint(out, self.stage.code() as u64);
+        write_varint(out, self.component.code() as u64);
+        write_varint(out, self.bytes);
+    }
+
+    pub(crate) fn byte_size(&self) -> usize {
+        varint_len(self.call_index)
+            + varint_len(self.stage.code() as u64)
+            + varint_len(self.component.code() as u64)
+            + varint_len(self.bytes)
+    }
+
+    pub(crate) fn decode(buf: &[u8], pos: &mut usize) -> Result<Self, DecodeError> {
+        let call_index = decode_varint(buf, pos)?;
+        let stage_off = *pos;
+        let stage = DegradationStage::from_code(decode_varint(buf, pos)? as u8)
+            .ok_or(DecodeError::Corrupt { what: "degradation stage", offset: stage_off })?;
+        let comp_off = *pos;
+        let component = Component::from_code(decode_varint(buf, pos)? as u8)
+            .ok_or(DecodeError::Corrupt { what: "degradation component", offset: comp_off })?;
+        let bytes = decode_varint(buf, pos)?;
+        Ok(DegradationEvent { call_index, stage, component, bytes })
+    }
+}
+
+/// A point-in-time byte snapshot of the governed components, built by the
+/// tracer from O(1) per-component counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComponentBytes {
+    pub cst: usize,
+    pub grammar: usize,
+    pub timing: usize,
+    pub memory: usize,
+    pub capture: usize,
+}
+
+impl ComponentBytes {
+    /// Total governed working-set bytes.
+    pub fn total(&self) -> usize {
+        self.cst + self.grammar + self.timing + self.memory + self.capture
+    }
+
+    /// The largest component (ties broken in ladder-relevant order).
+    pub fn dominant(&self) -> Component {
+        let parts = [
+            (self.grammar, Component::CallGrammar),
+            (self.cst, Component::Cst),
+            (self.timing, Component::Timing),
+            (self.memory, Component::Memory),
+            (self.capture, Component::Capture),
+        ];
+        let mut best = parts[0];
+        for &p in &parts[1..] {
+            if p.0 > best.0 {
+                best = p;
+            }
+        }
+        best.1
+    }
+}
+
+/// Live byte accounting against a memory budget, with staged degradation.
+///
+/// The tracer feeds it a [`ComponentBytes`] snapshot after every call via
+/// [`Governor::check`]; the governor tracks peaks and answers with the
+/// next [`DegradationStage`] to apply, if any. Stages 1 and 2 fire once,
+/// at ½ and ¾ of the budget; stage 3 (seal) fires every time usage
+/// reaches the budget, so a hostile stream produces a chain of segments
+/// while the working set stays ≤ budget + one call's worst-case growth.
+#[derive(Debug, Clone)]
+pub struct Governor {
+    budget: Option<u64>,
+    /// Highest stage code applied so far (0 = none).
+    stage: u8,
+    events: Vec<DegradationEvent>,
+    peak: ComponentBytes,
+    peak_total: u64,
+    transitions: u64,
+    seals: u64,
+    frozen_calls: u64,
+}
+
+impl Governor {
+    /// A governor enforcing `budget` bytes; `None` disables it entirely.
+    pub fn new(budget: Option<usize>) -> Self {
+        Governor {
+            budget: budget.map(|b| b as u64),
+            stage: 0,
+            events: Vec::new(),
+            peak: ComponentBytes::default(),
+            peak_total: 0,
+            transitions: 0,
+            seals: 0,
+            frozen_calls: 0,
+        }
+    }
+
+    /// True when a budget is configured; an inactive governor must never
+    /// be consulted on the hot path (zero-behavior-change guarantee).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.budget.is_some()
+    }
+
+    /// The configured budget in bytes, if any.
+    pub fn budget(&self) -> Option<u64> {
+        self.budget
+    }
+
+    /// Highest ladder stage applied so far, if any.
+    pub fn stage(&self) -> Option<DegradationStage> {
+        DegradationStage::from_code(self.stage)
+    }
+
+    /// Updates peak accounting and returns the next degradation stage the
+    /// tracer must apply, or `None` while under pressure thresholds.
+    /// `can_seal` is false when the current segment is empty (sealing
+    /// would shed nothing); the caller loops until `None`.
+    pub fn check(
+        &mut self,
+        usage: &ComponentBytes,
+        call_index: u64,
+        can_seal: bool,
+    ) -> Option<DegradationStage> {
+        let total = usage.total() as u64;
+        self.peak.cst = self.peak.cst.max(usage.cst);
+        self.peak.grammar = self.peak.grammar.max(usage.grammar);
+        self.peak.timing = self.peak.timing.max(usage.timing);
+        self.peak.memory = self.peak.memory.max(usage.memory);
+        self.peak.capture = self.peak.capture.max(usage.capture);
+        self.peak_total = self.peak_total.max(total);
+        let budget = self.budget?;
+        let stage = if self.stage < 1 && total >= budget / 2 {
+            DegradationStage::FreezeGrammar
+        } else if self.stage < 2 && total >= budget - budget / 4 {
+            DegradationStage::AggregateTiming
+        } else if can_seal && total >= budget {
+            DegradationStage::SealSegment
+        } else {
+            return None;
+        };
+        self.stage = self.stage.max(stage.code());
+        self.transitions += 1;
+        if stage == DegradationStage::SealSegment {
+            self.seals += 1;
+        }
+        self.events.push(DegradationEvent {
+            call_index,
+            stage,
+            component: usage.dominant(),
+            bytes: total,
+        });
+        Some(stage)
+    }
+
+    /// Counts a call appended while the grammar was frozen.
+    #[inline]
+    pub fn note_frozen_call(&mut self) {
+        self.frozen_calls += 1;
+    }
+
+    /// Transitions recorded so far, in order.
+    pub fn events(&self) -> &[DegradationEvent] {
+        &self.events
+    }
+
+    /// Peak governed bytes observed, total and per component.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_total
+    }
+
+    /// Publishes the `governor.*` gauges into a metrics registry.
+    pub fn publish(&self, metrics: &MetricsRegistry) {
+        metrics.set_gauge("governor.peak_bytes", self.peak_total);
+        metrics.set_gauge("governor.peak_bytes.cst", self.peak.cst as u64);
+        metrics.set_gauge("governor.peak_bytes.grammar", self.peak.grammar as u64);
+        metrics.set_gauge("governor.peak_bytes.timing", self.peak.timing as u64);
+        metrics.set_gauge("governor.peak_bytes.memory", self.peak.memory as u64);
+        metrics.set_gauge("governor.peak_bytes.capture", self.peak.capture as u64);
+        metrics.set_gauge("governor.transitions", self.transitions);
+        metrics.set_gauge("governor.seals", self.seals);
+        metrics.set_gauge("governor.frozen_calls", self.frozen_calls);
+        if let Some(b) = self.budget {
+            metrics.set_gauge("governor.budget_bytes", b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn usage(grammar: usize) -> ComponentBytes {
+        ComponentBytes { grammar, cst: 10, ..Default::default() }
+    }
+
+    #[test]
+    fn inactive_governor_never_degrades() {
+        let mut g = Governor::new(None);
+        assert!(!g.is_active());
+        assert_eq!(g.check(&usage(usize::MAX / 2), 1, true), None);
+        assert!(g.events().is_empty());
+        // Peaks still track (harmless; only consulted when active).
+        assert!(g.peak_bytes() > 0);
+    }
+
+    #[test]
+    fn ladder_fires_in_order_and_seal_repeats() {
+        let mut g = Governor::new(Some(1000));
+        assert_eq!(g.check(&usage(100), 1, true), None);
+        assert_eq!(g.check(&usage(500), 2, true), Some(DegradationStage::FreezeGrammar));
+        // Freeze fired; next threshold is 3/4.
+        assert_eq!(g.check(&usage(600), 3, true), None);
+        assert_eq!(g.check(&usage(800), 4, true), Some(DegradationStage::AggregateTiming));
+        assert_eq!(g.check(&usage(990), 5, true), Some(DegradationStage::SealSegment));
+        // Usage dropped after a seal, then climbs back: seal again.
+        assert_eq!(g.check(&usage(50), 6, true), None);
+        assert_eq!(g.check(&usage(1200), 7, true), Some(DegradationStage::SealSegment));
+        // An empty segment cannot be sealed.
+        assert_eq!(g.check(&usage(1200), 8, false), None);
+        assert_eq!(g.events().len(), 4);
+        assert_eq!(g.peak_bytes(), 1210);
+        assert_eq!(g.stage(), Some(DegradationStage::SealSegment));
+    }
+
+    #[test]
+    fn jumping_straight_past_budget_cascades_through_all_stages() {
+        let mut g = Governor::new(Some(100));
+        let u = usage(5000);
+        assert_eq!(g.check(&u, 1, true), Some(DegradationStage::FreezeGrammar));
+        assert_eq!(g.check(&u, 1, true), Some(DegradationStage::AggregateTiming));
+        assert_eq!(g.check(&u, 1, true), Some(DegradationStage::SealSegment));
+        let stages: Vec<_> = g.events().iter().map(|e| e.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                DegradationStage::FreezeGrammar,
+                DegradationStage::AggregateTiming,
+                DegradationStage::SealSegment
+            ]
+        );
+    }
+
+    #[test]
+    fn event_wire_roundtrip() {
+        let e = DegradationEvent {
+            call_index: 123_456,
+            stage: DegradationStage::AggregateTiming,
+            component: Component::Timing,
+            bytes: 1 << 33,
+        };
+        let mut buf = Vec::new();
+        e.serialize(&mut buf);
+        assert_eq!(buf.len(), e.byte_size());
+        let mut pos = 0;
+        assert_eq!(DegradationEvent::decode(&buf, &mut pos).unwrap(), e);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn bad_event_codes_are_corrupt_not_panic() {
+        let mut buf = Vec::new();
+        DegradationEvent {
+            call_index: 1,
+            stage: DegradationStage::FreezeGrammar,
+            component: Component::Cst,
+            bytes: 0,
+        }
+        .serialize(&mut buf);
+        buf[1] = 9; // invalid stage code
+        let mut pos = 0;
+        assert!(matches!(
+            DegradationEvent::decode(&buf, &mut pos),
+            Err(DecodeError::Corrupt { what: "degradation stage", .. })
+        ));
+    }
+}

@@ -102,6 +102,7 @@ pub mod decode;
 pub mod encode;
 pub mod error;
 pub mod export;
+pub mod governor;
 pub mod idpool;
 pub mod memtracker;
 pub mod merge;
@@ -115,10 +116,16 @@ pub mod tracer;
 
 pub use checkpoint::{decode_checkpoint, encode_checkpoint, Checkpoint};
 pub use cst::{Cst, SigStats};
-pub use decode::{decode_rank_calls, verify_lossless, verify_lossless_with, VerifyReport};
+pub use decode::{
+    decode_rank_calls, verify_lossless, verify_lossless_with, SalvageReport, VerifyReport,
+};
 pub use encode::{decode_signature, EncodedArg, EncodedCall, EncoderConfig, RankCode};
 pub use error::DecodeError;
-pub use export::{format_arg, to_signature_listing, to_text};
+pub use export::{
+    format_arg, is_container, to_signature_listing, to_text, write_container, CONTAINER_MAGIC,
+    CONTAINER_VERSION,
+};
+pub use governor::{Component, ComponentBytes, DegradationEvent, DegradationStage, Governor};
 pub use merge::{merge_degraded, LocalPiece, MergeError, MergePolicy};
 pub use metrics::{MetricsRegistry, MetricsReport, Stage, StageGuard};
 pub use query::{
@@ -127,5 +134,7 @@ pub use query::{
 pub use replay::{partial_replay_report, replay, replay_and_retrace, PartialReplayReport};
 pub use stats::OverheadStats;
 pub use timing::TimingCompressor;
-pub use trace::{GlobalTrace, RankStatus, SizeReport, TraceCompleteness, RANK_MAP_NONE};
+pub use trace::{
+    FidelityReport, GlobalTrace, RankStatus, SizeReport, TraceCompleteness, RANK_MAP_NONE,
+};
 pub use tracer::{CapturedCall, FinalizeOutput, PilgrimConfig, PilgrimTracer, TimingMode};

@@ -8,6 +8,8 @@
 //! same buffer. Addresses not covered by any tracked segment (stack or
 //! static buffers) are registered lazily as one-byte segments.
 
+use std::collections::HashSet;
+
 use crate::avl::AvlTree;
 use crate::idpool::IdPool;
 
@@ -25,6 +27,10 @@ pub struct PtrCode {
 pub struct MemTracker {
     tree: AvlTree<u64>,
     pool: IdPool,
+    /// Start addresses of lazily registered one-byte segments, so a later
+    /// real allocation covering them can evict them instead of leaking
+    /// their ids (or panicking on a duplicate start).
+    lazy: HashSet<u64>,
 }
 
 impl MemTracker {
@@ -32,16 +38,29 @@ impl MemTracker {
         MemTracker::default()
     }
 
-    /// A segment was allocated.
+    /// A segment was allocated. Any lazy one-byte segments inside the new
+    /// range are evicted first and their ids returned to the pool — the
+    /// allocator now owns those addresses.
     pub fn on_alloc(&mut self, addr: u64, size: u64) {
+        let size = size.max(1);
+        if !self.lazy.is_empty() {
+            for start in self.tree.keys_in_range(addr, addr.saturating_add(size)) {
+                if self.lazy.remove(&start) {
+                    if let Some(id) = self.tree.remove(start) {
+                        self.pool.release(id);
+                    }
+                }
+            }
+        }
         let id = self.pool.acquire();
-        self.tree.insert(addr, size.max(1), id);
+        self.tree.insert(addr, size, id);
     }
 
     /// A segment was freed; its id returns to the pool.
     pub fn on_free(&mut self, addr: u64) {
         if let Some(id) = self.tree.remove(addr) {
             self.pool.release(id);
+            self.lazy.remove(&addr);
         }
     }
 
@@ -53,12 +72,19 @@ impl MemTracker {
         }
         let id = self.pool.acquire();
         self.tree.insert(addr, 1, id);
+        self.lazy.insert(addr);
         PtrCode { segment: id, offset: 0 }
     }
 
     /// Number of live tracked segments.
     pub fn live_segments(&self) -> usize {
         self.tree.len()
+    }
+
+    /// O(1) estimate of the tracker's resident bytes (AVL nodes plus the
+    /// lazy-start set), for the governor's live budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.tree.len() * 64 + self.lazy.len() * 16
     }
 
     /// Footprint of the id space.
@@ -109,6 +135,55 @@ mod tests {
         let mut m = MemTracker::new();
         m.on_free(0x4444);
         assert_eq!(m.live_segments(), 0);
+    }
+
+    #[test]
+    fn alloc_over_lazy_segment_reclaims_its_id() {
+        let mut m = MemTracker::new();
+        // A stack-like address is touched before the allocator claims the
+        // region: a lazy one-byte segment is born with id 0.
+        let lazy = m.encode_ptr(0x5000);
+        assert_eq!(lazy.segment, 0);
+        assert_eq!(m.live_segments(), 1);
+        // A real allocation covering that address must evict the lazy
+        // segment (no duplicate-start panic) and recycle its id.
+        m.on_alloc(0x5000, 256);
+        assert_eq!(m.live_segments(), 1);
+        assert_eq!(m.encode_ptr(0x5000).segment, 0, "lazy id recycled");
+        assert_eq!(m.id_high_water(), 1, "lazy segment must not leak an id");
+        // Interior lazy segments are evicted too.
+        let mid = m.encode_ptr(0x9010);
+        m.on_alloc(0x9000, 64);
+        assert_eq!(m.live_segments(), 2);
+        let code = m.encode_ptr(0x9010);
+        assert_eq!(code.segment, mid.segment, "interior lazy id recycled");
+        assert_eq!(code.offset, 0x10, "now an offset into the real segment");
+        assert_eq!(m.id_high_water(), 2);
+    }
+
+    #[test]
+    fn freeing_a_lazy_segment_releases_its_id() {
+        let mut m = MemTracker::new();
+        m.encode_ptr(0x7000);
+        m.on_free(0x7000);
+        assert_eq!(m.live_segments(), 0);
+        m.on_alloc(0x8000, 16);
+        assert_eq!(m.encode_ptr(0x8000).segment, 0);
+        assert_eq!(m.id_high_water(), 1);
+    }
+
+    #[test]
+    fn repeated_lazy_then_alloc_cycles_keep_id_high_water_flat() {
+        let mut m = MemTracker::new();
+        for iter in 0..100u64 {
+            let base = 0x10_0000 + iter * 0x1000;
+            m.encode_ptr(base + 8); // lazy touch before the alloc lands
+            m.on_alloc(base, 512);
+            m.encode_ptr(base + 8);
+            m.on_free(base);
+        }
+        assert_eq!(m.live_segments(), 0);
+        assert!(m.id_high_water() <= 2, "ids must be recycled, got {}", m.id_high_water());
     }
 
     #[test]

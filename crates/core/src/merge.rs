@@ -35,6 +35,7 @@ use pilgrim_sequitur::{
 use crate::checkpoint::decode_checkpoint;
 use crate::cst::Cst;
 use crate::encode::EncoderConfig;
+use crate::governor::DegradationEvent;
 use crate::metrics::{MetricsRegistry, Stage};
 use crate::stats::OverheadStats;
 use crate::trace::{GlobalTrace, RankStatus, TraceCompleteness};
@@ -105,6 +106,11 @@ pub struct LocalPiece {
     pub duration: Option<FlatGrammar>,
     pub interval: Option<FlatGrammar>,
     pub encoder_cfg: EncoderConfig,
+    /// Degradation events the rank's resource governor recorded while
+    /// tracing (empty for an unbudgeted or never-pressured rank). Carried
+    /// to rank 0 with the grammar gather and written into the
+    /// [`TraceCompleteness`] manifest.
+    pub events: Vec<DegradationEvent>,
 }
 
 impl LocalPiece {
@@ -167,20 +173,33 @@ fn deser_grammar_set(buf: &[u8]) -> Result<GrammarSet, DecodeError> {
     deser_grammar_set_at(buf, &mut pos)
 }
 
-/// Grammar-gather payload: the grammar set plus the `(rank, round)` list
-/// of subtrees lost below the sender.
-fn ser_phase2(set: &GrammarSet, lost: &[(u64, u32)]) -> Vec<u8> {
+/// Degradation events collected during the grammar gather, each tagged
+/// with the rank that produced it.
+type EventList = Vec<(u64, DegradationEvent)>;
+
+/// Grammar-gather payload: the grammar set, the `(rank, round)` list of
+/// subtrees lost below the sender, and the `(rank, event)` degradation
+/// events reported by the sender's subtree.
+fn ser_phase2(set: &GrammarSet, lost: &[(u64, u32)], events: &EventList) -> Vec<u8> {
     let mut out = Vec::new();
     write_varint(&mut out, lost.len() as u64);
     for &(r, round) in lost {
         write_varint(&mut out, r);
         write_varint(&mut out, round as u64);
     }
+    write_varint(&mut out, events.len() as u64);
+    for (r, ev) in events {
+        write_varint(&mut out, *r);
+        ev.serialize(&mut out);
+    }
     out.extend_from_slice(&ser_grammar_set(set));
     out
 }
 
-fn deser_phase2(buf: &[u8]) -> Result<(GrammarSet, Vec<(u64, u32)>), DecodeError> {
+/// Decoded grammar-gather payload: `(set, lost, events)`.
+type Phase2Payload = (GrammarSet, Vec<(u64, u32)>, EventList);
+
+fn deser_phase2(buf: &[u8]) -> Result<Phase2Payload, DecodeError> {
     let mut pos = 0usize;
     let n_off = pos;
     let n = decode_varint(buf, &mut pos)? as usize;
@@ -193,8 +212,19 @@ fn deser_phase2(buf: &[u8]) -> Result<(GrammarSet, Vec<(u64, u32)>), DecodeError
         let round = decode_varint(buf, &mut pos)? as u32;
         lost.push((r, round));
     }
+    let e_off = pos;
+    let ne = decode_varint(buf, &mut pos)? as usize;
+    if ne > buf.len().saturating_sub(pos) / 5 + 1 {
+        return Err(DecodeError::Corrupt { what: "event list count", offset: e_off });
+    }
+    let mut events = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let r = decode_varint(buf, &mut pos)?;
+        let ev = DegradationEvent::decode(buf, &mut pos)?;
+        events.push((r, ev));
+    }
     let set = deser_grammar_set_at(buf, &mut pos)?;
-    Ok((set, lost))
+    Ok((set, lost, events))
 }
 
 /// Merges an incoming grammar set into `mine`, using the identity check
@@ -536,6 +566,7 @@ pub fn merge_degraded(
     // ---- Phase 2: CFG gather with identity check ----
     let t_cfg = Instant::now();
     let mut lost: Vec<(u64, u32)> = Vec::new();
+    let mut events: EventList = piece.events.iter().map(|ev| (piece.rank as u64, *ev)).collect();
     let mut set: GrammarSet = match grammar {
         Some(g) => vec![(g, vec![(piece.rank as u64, piece.call_count)])],
         None => {
@@ -545,17 +576,18 @@ pub fn merge_degraded(
             Vec::new()
         }
     };
-    let mut state = (set, lost);
+    let mut state = (set, lost, events);
     let at_root = gather_bounded(
         ctx,
         TAG_CFG_GATHER,
         &mut state,
         &policy,
         metrics,
-        |(mine, lost_acc), bytes| {
-            if let Ok((incoming, inc_lost)) = deser_phase2(&bytes) {
+        |(mine, lost_acc, ev_acc), bytes| {
+            if let Ok((incoming, inc_lost, inc_events)) = deser_phase2(&bytes) {
                 metrics.incr("merge.cfg_payload_bytes", bytes.len() as u64);
                 lost_acc.extend(inc_lost);
+                ev_acc.extend(inc_events);
                 if identity_check {
                     let before = mine.len() + incoming.len();
                     merge_sets(mine, incoming);
@@ -566,11 +598,12 @@ pub fn merge_degraded(
             }
         },
         // Timed-out subtrees join the lost list the parent payload carries.
-        |(_, lost_acc), r, round| lost_acc.push((r, round)),
-        |(mine, lost_acc)| ser_phase2(mine, lost_acc),
+        |(_, lost_acc, _), r, round| lost_acc.push((r, round)),
+        |(mine, lost_acc, ev_acc)| ser_phase2(mine, lost_acc, ev_acc),
     );
     set = state.0;
     lost = state.1;
+    events = state.2;
 
     // ---- Phase 2b: timing grammar gather (dedup only) ----
     let mut dur_set: GrammarSet = Vec::new();
@@ -664,18 +697,51 @@ pub fn merge_degraded(
             }
         }
     }
-    let completeness = if statuses.iter().all(|s| matches!(s, RankStatus::Merged)) {
+    // Degradation events, sorted by (rank, call order) for determinism
+    // regardless of gather arrival order. Events from ranks beyond the
+    // world (corrupt payloads) are dropped.
+    let mut manifest_events: Vec<(u32, DegradationEvent)> = events
+        .into_iter()
+        .filter(|&(r, _)| (r as usize) < nranks)
+        .map(|(r, ev)| (r as u32, ev))
+        .collect();
+    manifest_events.sort_by_key(|&(r, ev)| (r, ev.call_index, ev.stage.code()));
+    // Canonical form (what the serialized manifest preserves): an
+    // all-Merged status list collapses to the empty list, so that a
+    // serialize/decode roundtrip is the identity even when degradation
+    // events are present.
+    let all_merged = statuses.iter().all(|s| matches!(s, RankStatus::Merged));
+    let completeness = if all_merged && manifest_events.is_empty() {
         TraceCompleteness::complete()
     } else {
-        metrics.incr("merge.degraded", 1);
-        TraceCompleteness { ranks: statuses }
+        if !all_merged {
+            metrics.incr("merge.degraded", 1);
+        }
+        TraceCompleteness {
+            ranks: if all_merged { Vec::new() } else { statuses },
+            events: manifest_events,
+        }
     };
 
     let unique_grammars = set.len();
     let t_final = Instant::now();
     let (grammar, rank_lengths) = combine_grammars(&set, nranks);
-    let (duration_grammars, duration_rank_map) = split_timing(dur_set, nranks);
-    let (interval_grammars, interval_rank_map) = split_timing(int_set, nranks);
+    let (duration_grammars, mut duration_rank_map) = split_timing(dur_set, nranks);
+    let (interval_grammars, mut interval_rank_map) = split_timing(int_set, nranks);
+    // A rank whose governor collapsed per-call timing contributed an
+    // empty placeholder grammar (so the timing gathers stayed symmetric
+    // across ranks); point its map entries at the "no grammar" sentinel
+    // consumers already understand.
+    for &(r, ev) in &completeness.events {
+        if ev.stage >= crate::governor::DegradationStage::AggregateTiming {
+            if let Some(slot) = duration_rank_map.get_mut(r as usize) {
+                *slot = u32::MAX;
+            }
+            if let Some(slot) = interval_rank_map.get_mut(r as usize) {
+                *slot = u32::MAX;
+            }
+        }
+    }
     let d_final = t_final.elapsed();
     let d_cfg = t_cfg.elapsed();
     stats.inter_cfg += d_cfg;
@@ -915,10 +981,40 @@ mod tests {
     fn phase2_payload_roundtrips_lost_list() {
         let set: GrammarSet = vec![(grammar_of(&[1, 2]), vec![(0, 2)])];
         let lost = vec![(3u64, 2u32), (4, 0)];
-        let bytes = ser_phase2(&set, &lost);
-        let (back_set, back_lost) = deser_phase2(&bytes).unwrap();
+        let bytes = ser_phase2(&set, &lost, &Vec::new());
+        let (back_set, back_lost, back_events) = deser_phase2(&bytes).unwrap();
         assert_eq!(back_set.len(), 1);
         assert_eq!(back_lost, lost);
+        assert!(back_events.is_empty());
+    }
+
+    #[test]
+    fn phase2_payload_roundtrips_degradation_events() {
+        use crate::governor::{Component, DegradationStage};
+        let set: GrammarSet = vec![(grammar_of(&[1, 2]), vec![(0, 2)])];
+        let events: EventList = vec![
+            (
+                1,
+                DegradationEvent {
+                    call_index: 17,
+                    stage: DegradationStage::FreezeGrammar,
+                    component: Component::CallGrammar,
+                    bytes: 4096,
+                },
+            ),
+            (
+                1,
+                DegradationEvent {
+                    call_index: 40,
+                    stage: DegradationStage::SealSegment,
+                    component: Component::Cst,
+                    bytes: 8192,
+                },
+            ),
+        ];
+        let bytes = ser_phase2(&set, &[], &events);
+        let (_, _, back) = deser_phase2(&bytes).unwrap();
+        assert_eq!(back, events);
     }
 
     #[test]

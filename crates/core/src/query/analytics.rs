@@ -144,6 +144,20 @@ impl<'a> QueryEngine<'a> {
         self.metrics.map(|m| m.time_stage(Stage::Query))
     }
 
+    /// Fidelity of the trace behind the answers: a query over a degraded
+    /// trace (governed run, degraded merge, or salvage recovery) is
+    /// answering from partial or structurally coarsened data, and callers
+    /// presenting results should surface that.
+    pub fn fidelity(&self) -> crate::trace::FidelityReport {
+        self.trace.fidelity()
+    }
+
+    /// True when any rank's data is less than fully lossless (see
+    /// [`GlobalTrace::is_degraded`]).
+    pub fn is_degraded(&self) -> bool {
+        self.trace.is_degraded()
+    }
+
     /// Signature counts for the whole trace (the start rule's histogram).
     pub fn signature_counts(&self) -> &SigCounts {
         &self.rule_hists[TOP_RULE as usize]

@@ -46,12 +46,18 @@ pub struct PartialReplayReport {
     pub truncated_ranks: Vec<(usize, u64)>,
     /// Ranks with no data at all (and the merge round that lost them).
     pub lost_ranks: Vec<(usize, u32)>,
+    /// Ranks recovered section-by-section from a corrupted container with
+    /// the call count each spans: decodable, not live-replayable (their
+    /// stats and timing may be gone).
+    pub salvaged_ranks: Vec<(usize, u64)>,
 }
 
 impl PartialReplayReport {
     /// True when every rank merged fully (a plain [`replay`] is safe).
     pub fn is_fully_replayable(&self) -> bool {
-        self.truncated_ranks.is_empty() && self.lost_ranks.is_empty()
+        self.truncated_ranks.is_empty()
+            && self.lost_ranks.is_empty()
+            && self.salvaged_ranks.is_empty()
     }
 }
 
@@ -64,6 +70,7 @@ pub fn partial_replay_report(trace: &GlobalTrace) -> PartialReplayReport {
             RankStatus::Merged => report.replayable_ranks.push(rank),
             RankStatus::Checkpoint { calls } => report.truncated_ranks.push((rank, calls)),
             RankStatus::Lost { round } => report.lost_ranks.push((rank, round)),
+            RankStatus::Salvaged { calls } => report.salvaged_ranks.push((rank, calls)),
         }
     }
     report

@@ -87,6 +87,15 @@ impl TimingCompressor {
     pub fn recorded(&self) -> u64 {
         self.duration_grammar.input_len()
     }
+
+    /// O(1) estimate of the compressor's resident bytes (both bin
+    /// grammars plus the per-signature reconstruction map), for the
+    /// governor's live budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.duration_grammar.approx_bytes()
+            + self.interval_grammar.approx_bytes()
+            + self.recon_entry.len() * 32
+    }
 }
 
 /// Reconstructs per-call `(t_start, t_end)` estimates from decompressed

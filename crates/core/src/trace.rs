@@ -7,6 +7,7 @@ use pilgrim_sequitur::{decode_varint, varint_len, write_varint, DecodeError, Fla
 
 use crate::cst::Cst;
 use crate::encode::EncoderConfig;
+use crate::governor::{DegradationEvent, DegradationStage};
 
 /// How one rank's trace entered the merged result (the completeness
 /// manifest written by the degraded merge).
@@ -21,15 +22,24 @@ pub enum RankStatus {
     /// Recovered from the rank's last crash-consistent checkpoint, which
     /// covered `calls` traced calls.
     Checkpoint { calls: u64 },
+    /// Recovered by [`GlobalTrace::decode_salvage`] from a container
+    /// whose per-rank section failed its checksum: the rank's span in the
+    /// grammar was inferred (`calls`), and its timing maps are gone.
+    Salvaged { calls: u64 },
 }
 
 /// Per-rank merge completeness, serialized into the trace format. An
 /// empty rank list means every rank merged fully (the common case costs
-/// one byte on disk).
+/// one byte on disk); degradation events appear only when a governed run
+/// actually degraded, so ungoverned traces are byte-identical to the
+/// pre-governor format.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TraceCompleteness {
     /// One status per rank, or empty when all ranks merged.
     pub ranks: Vec<RankStatus>,
+    /// Governor transitions, as `(rank, event)` sorted by rank then call
+    /// index. Empty for ungoverned or never-pressured runs.
+    pub events: Vec<(u32, DegradationEvent)>,
 }
 
 impl TraceCompleteness {
@@ -72,38 +82,86 @@ impl TraceCompleteness {
             .collect()
     }
 
+    /// Ranks salvaged from a corrupt container, with the inferred span.
+    pub fn salvaged_ranks(&self) -> Vec<(usize, u64)> {
+        self.ranks
+            .iter()
+            .enumerate()
+            .filter_map(|(r, s)| match s {
+                RankStatus::Salvaged { calls } => Some((r, *calls)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The degradation events recorded for one rank, in call order.
+    pub fn events_for(&self, rank: usize) -> impl Iterator<Item = &DegradationEvent> + '_ {
+        self.events.iter().filter(move |(r, _)| *r as usize == rank).map(|(_, e)| e)
+    }
+
+    /// True when `rank` reached at least `stage` of the degradation
+    /// ladder during tracing.
+    pub fn rank_reached(&self, rank: usize, stage: DegradationStage) -> bool {
+        self.events_for(rank).any(|e| e.stage >= stage)
+    }
+
     fn serialize(&self, nranks: usize, out: &mut Vec<u8>) {
-        if self.is_complete() {
-            out.push(0);
-            return;
+        // Flag bits: 1 = per-rank status list present, 2 = degradation
+        // events present. Plain complete manifests still cost one 0 byte,
+        // keeping ungoverned traces byte-identical to the old format.
+        let statuses = !self.is_complete();
+        let flag = u8::from(statuses) | (u8::from(!self.events.is_empty()) << 1);
+        out.push(flag);
+        if statuses {
+            for r in 0..nranks {
+                match self.status(r) {
+                    RankStatus::Merged => write_varint(out, 0),
+                    RankStatus::Lost { round } => {
+                        write_varint(out, 1);
+                        write_varint(out, round as u64);
+                    }
+                    RankStatus::Checkpoint { calls } => {
+                        write_varint(out, 2);
+                        write_varint(out, calls);
+                    }
+                    RankStatus::Salvaged { calls } => {
+                        write_varint(out, 3);
+                        write_varint(out, calls);
+                    }
+                }
+            }
         }
-        out.push(1);
-        for r in 0..nranks {
-            match self.status(r) {
-                RankStatus::Merged => write_varint(out, 0),
-                RankStatus::Lost { round } => {
-                    write_varint(out, 1);
-                    write_varint(out, round as u64);
-                }
-                RankStatus::Checkpoint { calls } => {
-                    write_varint(out, 2);
-                    write_varint(out, calls);
-                }
+        if !self.events.is_empty() {
+            write_varint(out, self.events.len() as u64);
+            for (rank, event) in &self.events {
+                write_varint(out, *rank as u64);
+                event.serialize(out);
             }
         }
     }
 
     fn byte_size(&self, nranks: usize) -> usize {
-        if self.is_complete() {
-            return 1;
+        let mut total = 1;
+        if !self.is_complete() {
+            total += (0..nranks)
+                .map(|r| match self.status(r) {
+                    RankStatus::Merged => 1,
+                    RankStatus::Lost { round } => 1 + varint_len(round as u64),
+                    RankStatus::Checkpoint { calls } | RankStatus::Salvaged { calls } => {
+                        1 + varint_len(calls)
+                    }
+                })
+                .sum::<usize>();
         }
-        1 + (0..nranks)
-            .map(|r| match self.status(r) {
-                RankStatus::Merged => 1,
-                RankStatus::Lost { round } => 1 + varint_len(round as u64),
-                RankStatus::Checkpoint { calls } => 1 + varint_len(calls),
-            })
-            .sum::<usize>()
+        if !self.events.is_empty() {
+            total += varint_len(self.events.len() as u64);
+            total += self
+                .events
+                .iter()
+                .map(|(rank, e)| varint_len(*rank as u64) + e.byte_size())
+                .sum::<usize>();
+        }
+        total
     }
 
     fn decode(buf: &[u8], pos: &mut usize, nranks: usize) -> Result<Self, DecodeError> {
@@ -112,23 +170,42 @@ impl TraceCompleteness {
             .get(*pos)
             .ok_or(DecodeError::Truncated { what: "completeness flag", offset: flag_off })?;
         *pos += 1;
-        match flag {
-            0 => Ok(TraceCompleteness::complete()),
-            1 => {
-                let mut ranks = Vec::with_capacity(nranks);
-                for _ in 0..nranks {
-                    let off = *pos;
-                    ranks.push(match decode_varint(buf, pos)? {
-                        0 => RankStatus::Merged,
-                        1 => RankStatus::Lost { round: decode_varint(buf, pos)? as u32 },
-                        2 => RankStatus::Checkpoint { calls: decode_varint(buf, pos)? },
-                        _ => return Err(DecodeError::Corrupt { what: "rank status", offset: off }),
-                    });
-                }
-                Ok(TraceCompleteness { ranks })
-            }
-            _ => Err(DecodeError::Corrupt { what: "completeness flag", offset: flag_off }),
+        if flag > 3 {
+            return Err(DecodeError::Corrupt { what: "completeness flag", offset: flag_off });
         }
+        let mut ranks = Vec::new();
+        if flag & 1 != 0 {
+            ranks.reserve(nranks);
+            for _ in 0..nranks {
+                let off = *pos;
+                ranks.push(match decode_varint(buf, pos)? {
+                    0 => RankStatus::Merged,
+                    1 => RankStatus::Lost { round: decode_varint(buf, pos)? as u32 },
+                    2 => RankStatus::Checkpoint { calls: decode_varint(buf, pos)? },
+                    3 => RankStatus::Salvaged { calls: decode_varint(buf, pos)? },
+                    _ => return Err(DecodeError::Corrupt { what: "rank status", offset: off }),
+                });
+            }
+        }
+        let mut events = Vec::new();
+        if flag & 2 != 0 {
+            let count_off = *pos;
+            let count = decode_varint(buf, pos)? as usize;
+            // Each event costs at least five varint bytes.
+            if count > buf.len().saturating_sub(*pos) / 5 + 1 {
+                return Err(DecodeError::Corrupt { what: "event count", offset: count_off });
+            }
+            events.reserve(count);
+            for _ in 0..count {
+                let rank_off = *pos;
+                let rank = decode_varint(buf, pos)?;
+                if rank >= nranks as u64 {
+                    return Err(DecodeError::Corrupt { what: "event rank", offset: rank_off });
+                }
+                events.push((rank as u32, DegradationEvent::decode(buf, pos)?));
+            }
+        }
+        Ok(TraceCompleteness { ranks, events })
     }
 }
 
@@ -172,6 +249,30 @@ impl SizeReport {
     pub fn full_total(&self) -> usize {
         self.core_total() + self.duration_bytes + self.interval_bytes
     }
+}
+
+/// Per-trace fidelity summary: which ranks lost what, and why. Built by
+/// [`GlobalTrace::fidelity`] from the completeness manifest; surfaced by
+/// the query engine and the `trace_tool fidelity` subcommand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FidelityReport {
+    /// Every rank merged fully and no degradation events were recorded.
+    pub lossless: bool,
+    /// Ranks whose call grammar was frozen (structure fidelity kept; the
+    /// compression ratio suffers, the call stream does not).
+    pub frozen_ranks: Vec<usize>,
+    /// Ranks whose per-call timing collapsed to per-signature aggregates.
+    pub timing_degraded_ranks: Vec<usize>,
+    /// Ranks whose grammar was sealed into segments at least once.
+    pub sealed_ranks: Vec<usize>,
+    /// Ranks lost entirely in a degraded merge.
+    pub lost_ranks: Vec<usize>,
+    /// Ranks truncated at their last checkpoint.
+    pub checkpoint_ranks: Vec<usize>,
+    /// Ranks salvaged from a corrupt container (span inferred).
+    pub salvaged_ranks: Vec<usize>,
+    /// Total degradation events recorded.
+    pub events: usize,
 }
 
 /// The merged, serializable trace.
@@ -445,7 +546,23 @@ impl GlobalTrace {
                         ));
                     }
                 }
+                RankStatus::Salvaged { calls } => {
+                    if self.rank_lengths.get(rank).copied().unwrap_or(0) != *calls {
+                        problems.push(format!(
+                            "rank {rank} salvaged span is {calls} calls but contributes {}",
+                            self.rank_lengths.get(rank).copied().unwrap_or(0)
+                        ));
+                    }
+                }
                 RankStatus::Merged => {}
+            }
+        }
+        for (rank, event) in &self.completeness.events {
+            if *rank as usize >= self.nranks {
+                problems.push(format!(
+                    "degradation event at call {} names rank {rank} of {}",
+                    event.call_index, self.nranks
+                ));
             }
         }
         for (map, pool, name) in [
@@ -465,14 +582,47 @@ impl GlobalTrace {
                         "{name} rank map entry for rank {rank} points past {pool} grammars"
                     ));
                 }
+                // A merged rank without a timing grammar is only
+                // consistent if the governor collapsed its timing.
                 if idx == RANK_MAP_NONE
                     && matches!(self.completeness.status(rank), RankStatus::Merged)
+                    && !self.completeness.rank_reached(rank, DegradationStage::AggregateTiming)
                 {
                     problems.push(format!("rank {rank} merged fully but has no {name} grammar"));
                 }
             }
         }
         problems
+    }
+
+    /// True when any rank's data is less than fully lossless: a degraded
+    /// merge, a governor degradation, or a salvage recovery.
+    pub fn is_degraded(&self) -> bool {
+        !self.completeness.is_complete() || !self.completeness.events.is_empty()
+    }
+
+    /// Summarizes per-rank fidelity from the completeness manifest.
+    pub fn fidelity(&self) -> FidelityReport {
+        let mut report = FidelityReport { lossless: !self.is_degraded(), ..Default::default() };
+        report.events = self.completeness.events.len();
+        for rank in 0..self.nranks {
+            match self.completeness.status(rank) {
+                RankStatus::Merged => {}
+                RankStatus::Lost { .. } => report.lost_ranks.push(rank),
+                RankStatus::Checkpoint { .. } => report.checkpoint_ranks.push(rank),
+                RankStatus::Salvaged { .. } => report.salvaged_ranks.push(rank),
+            }
+            if self.completeness.rank_reached(rank, DegradationStage::FreezeGrammar) {
+                report.frozen_ranks.push(rank);
+            }
+            if self.completeness.rank_reached(rank, DegradationStage::AggregateTiming) {
+                report.timing_degraded_ranks.push(rank);
+            }
+            if self.completeness.rank_reached(rank, DegradationStage::SealSegment) {
+                report.sealed_ranks.push(rank);
+            }
+        }
+        report
     }
 }
 
@@ -558,8 +708,10 @@ mod tests {
 
         let mut d = tiny_trace();
         d.rank_lengths = vec![6, 0];
-        d.completeness =
-            TraceCompleteness { ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 1 }] };
+        d.completeness = TraceCompleteness {
+            ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 1 }],
+            ..Default::default()
+        };
         let back = GlobalTrace::decode(&d.serialize()).unwrap();
         assert_eq!(back.completeness.status(1), RankStatus::Lost { round: 1 });
         assert_eq!(back.completeness.lost_ranks(), vec![(1, 1)]);
@@ -573,6 +725,7 @@ mod tests {
         t.rank_lengths = vec![4, 2];
         t.completeness = TraceCompleteness {
             ranks: vec![RankStatus::Merged, RankStatus::Checkpoint { calls: 2 }],
+            ..Default::default()
         };
         let back = GlobalTrace::decode(&t.serialize()).unwrap();
         assert_eq!(back.completeness.checkpoint_ranks(), vec![(1, 2)]);
@@ -589,8 +742,10 @@ mod tests {
         t.interval_grammars = vec![dg.to_flat()];
         t.duration_rank_map = vec![0, RANK_MAP_NONE];
         t.interval_rank_map = vec![0, RANK_MAP_NONE];
-        t.completeness =
-            TraceCompleteness { ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 2 }] };
+        t.completeness = TraceCompleteness {
+            ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 2 }],
+            ..Default::default()
+        };
         let bytes = t.serialize();
         assert_eq!(t.size_report().full_total(), bytes.len());
         let back = GlobalTrace::decode(&bytes).unwrap();
@@ -603,12 +758,93 @@ mod tests {
         let mut t = tiny_trace();
         assert!(t.validate().is_empty());
         // Lost rank that still claims calls.
-        t.completeness =
-            TraceCompleteness { ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 1 }] };
+        t.completeness = TraceCompleteness {
+            ranks: vec![RankStatus::Merged, RankStatus::Lost { round: 1 }],
+            ..Default::default()
+        };
         assert!(!t.validate().is_empty());
         // Rank lengths that disagree with the grammar.
         let mut t2 = tiny_trace();
         t2.rank_lengths = vec![4, 3];
         assert!(!t2.validate().is_empty());
+    }
+
+    fn sample_event(call_index: u64, stage: DegradationStage) -> DegradationEvent {
+        DegradationEvent {
+            call_index,
+            stage,
+            component: crate::governor::Component::CallGrammar,
+            bytes: 4096,
+        }
+    }
+
+    #[test]
+    fn degradation_events_roundtrip_and_cost_nothing_when_absent() {
+        // No events: the manifest is the legacy single zero byte.
+        let clean = tiny_trace();
+        assert_eq!(clean.size_report().manifest_bytes, 1);
+
+        let mut t = tiny_trace();
+        t.completeness.events = vec![
+            (0, sample_event(10, DegradationStage::FreezeGrammar)),
+            (0, sample_event(20, DegradationStage::AggregateTiming)),
+            (1, sample_event(15, DegradationStage::SealSegment)),
+        ];
+        let bytes = t.serialize();
+        assert_eq!(t.size_report().full_total(), bytes.len());
+        let back = GlobalTrace::decode(&bytes).unwrap();
+        assert_eq!(back.completeness.events, t.completeness.events);
+        assert!(back.completeness.is_complete(), "events alone keep ranks merged");
+        assert!(back.is_degraded());
+        assert_eq!(back.completeness.events_for(0).count(), 2);
+        assert!(back.completeness.rank_reached(0, DegradationStage::AggregateTiming));
+        assert!(!back.completeness.rank_reached(0, DegradationStage::SealSegment));
+        assert!(back.validate().is_empty(), "{:?}", back.validate());
+    }
+
+    #[test]
+    fn salvaged_status_roundtrips_and_validates() {
+        let mut t = tiny_trace();
+        t.completeness = TraceCompleteness {
+            ranks: vec![RankStatus::Merged, RankStatus::Salvaged { calls: 2 }],
+            ..Default::default()
+        };
+        let bytes = t.serialize();
+        assert_eq!(t.size_report().full_total(), bytes.len());
+        let back = GlobalTrace::decode(&bytes).unwrap();
+        assert_eq!(back.completeness.status(1), RankStatus::Salvaged { calls: 2 });
+        assert_eq!(back.completeness.salvaged_ranks(), vec![(1, 2)]);
+        assert!(back.validate().is_empty(), "{:?}", back.validate());
+        assert_eq!(back.fidelity().salvaged_ranks, vec![1]);
+        assert!(!back.fidelity().lossless);
+    }
+
+    #[test]
+    fn timing_degraded_rank_passes_validate_with_event() {
+        let mut t = tiny_trace();
+        let mut dg = Grammar::new();
+        dg.push_run(5, 6);
+        t.duration_grammars = vec![dg.to_flat()];
+        t.interval_grammars = vec![dg.to_flat()];
+        // Rank 1 dropped its timing mid-run: map sentinel + an event.
+        t.duration_rank_map = vec![0, RANK_MAP_NONE];
+        t.interval_rank_map = vec![0, RANK_MAP_NONE];
+        t.completeness.events = vec![(1, sample_event(3, DegradationStage::AggregateTiming))];
+        let back = GlobalTrace::decode(&t.serialize()).unwrap();
+        assert!(back.validate().is_empty(), "{:?}", back.validate());
+        assert_eq!(back.fidelity().timing_degraded_ranks, vec![1]);
+        // Without the event the same trace is inconsistent.
+        let mut bad = back.clone();
+        bad.completeness.events.clear();
+        assert!(!bad.validate().is_empty());
+    }
+
+    #[test]
+    fn fidelity_of_clean_trace_is_lossless() {
+        let t = tiny_trace();
+        let f = t.fidelity();
+        assert!(f.lossless);
+        assert!(f.frozen_ranks.is_empty() && f.sealed_ranks.is_empty());
+        assert_eq!(f.events, 0);
     }
 }

@@ -8,10 +8,12 @@ use std::time::Instant;
 
 use mpi_sim::funcs::FuncId;
 use mpi_sim::hooks::{Arg, CallRec, ToolRequest, TraceCtx, Tracer};
-use pilgrim_sequitur::Grammar;
+use pilgrim_sequitur::{FlatGrammar, FlatRule, Grammar, Symbol};
 
+use crate::checkpoint::{decode_checkpoint, encode_checkpoint};
 use crate::cst::Cst;
 use crate::encode::{EncoderConfig, SigWriter};
+use crate::governor::{ComponentBytes, DegradationStage, Governor};
 use crate::idpool::{IdPool, SigPools};
 use crate::memtracker::MemTracker;
 use crate::merge::{self, LocalPiece, MergeError};
@@ -57,6 +59,14 @@ pub struct PilgrimConfig {
     /// ([`crate::merge::MergePolicy`]). While the world is healthy the
     /// effective budget is 8x this.
     pub merge_timeout_ms: u64,
+    /// Caps the tracer's compression working set (CST, grammars, timing,
+    /// memory segments, reference capture) at this many bytes. Under
+    /// pressure the resource governor degrades in stages — freeze rule
+    /// creation, collapse per-call timing to aggregates, seal the grammar
+    /// as a segment and restart — instead of growing without bound. `None`
+    /// (the default) disables the governor entirely; tracing behavior is
+    /// then byte-identical to a build without it.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for PilgrimConfig {
@@ -70,6 +80,7 @@ impl Default for PilgrimConfig {
             metrics: false,
             checkpoint_interval: None,
             merge_timeout_ms: 800,
+            memory_budget: None,
         }
     }
 }
@@ -126,6 +137,13 @@ impl PilgrimConfig {
     /// Sets the degraded-merge per-receive wait budget in milliseconds.
     pub fn merge_timeout_ms(mut self, ms: u64) -> Self {
         self.merge_timeout_ms = ms;
+        self
+    }
+
+    /// Caps the tracer's compression working set at `bytes`
+    /// ([`PilgrimConfig::memory_budget`]).
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 }
@@ -185,6 +203,16 @@ pub struct PilgrimTracer {
     req_pools: SigPools,
     mem: MemTracker,
     timing: Option<TimingCompressor>,
+    /// Resource governor (active only with [`PilgrimConfig::memory_budget`]).
+    governor: Governor,
+    /// Total traced calls across all segments (the grammar restarts at
+    /// each seal, so `grammar.input_len()` only covers the live segment).
+    calls: u64,
+    /// Sealed grammar segments, serialized with the checkpoint codec and
+    /// excluded from the governed working set (modeled spill-to-disk).
+    sealed: Vec<Vec<u8>>,
+    /// The governor collapsed per-call timing to aggregates mid-run.
+    timing_dropped: bool,
     metrics: MetricsRegistry,
     stats: OverheadStats,
     captured: Vec<CapturedCall>,
@@ -223,6 +251,10 @@ impl PilgrimTracer {
             req_pools: SigPools::new(),
             mem: MemTracker::new(),
             timing,
+            governor: Governor::new(cfg.memory_budget),
+            calls: 0,
+            sealed: Vec::new(),
+            timing_dropped: false,
             metrics: MetricsRegistry::new(cfg.metrics),
             stats: OverheadStats::default(),
             captured: Vec::new(),
@@ -290,9 +322,16 @@ impl PilgrimTracer {
         &self.captured
     }
 
-    /// Number of calls traced.
+    /// Number of calls traced (across every sealed segment).
     pub fn call_count(&self) -> u64 {
-        self.grammar.input_len()
+        self.calls
+    }
+
+    /// The resource governor: peak byte accounting and the degradation
+    /// events applied so far (inactive without a
+    /// [`PilgrimConfig::memory_budget`]).
+    pub fn governor(&self) -> &Governor {
+        &self.governor
     }
 
     /// Why this rank's own trace missed the merge, if it did (degraded
@@ -663,6 +702,111 @@ impl PilgrimTracer {
         }
         (w.into_bytes(), caller_rank)
     }
+
+    // ------------------------------------------------------------------
+    // Resource governor
+    // ------------------------------------------------------------------
+
+    /// O(1) snapshot of the governed working set.
+    fn usage(&self) -> ComponentBytes {
+        // Conservative per-entry estimate for a captured call record.
+        const CAPTURE_ENTRY_BYTES: usize = 256;
+        ComponentBytes {
+            cst: self.cst.approx_bytes(),
+            grammar: self.grammar.approx_bytes(),
+            timing: self.timing.as_ref().map_or(0, |t| t.approx_bytes()),
+            memory: self.mem.approx_bytes(),
+            capture: self.captured.len() * CAPTURE_ENTRY_BYTES,
+        }
+    }
+
+    /// Applies governor transitions until the working set is back under
+    /// control. Stages 1 and 2 shrink the live structures in place; stage
+    /// 3 seals the current grammar as a segment and restarts empty.
+    fn govern(&mut self) {
+        if self.grammar.is_frozen() {
+            self.governor.note_frozen_call();
+        }
+        loop {
+            let usage = self.usage();
+            let can_seal = self.grammar.input_len() > 0;
+            let Some(stage) = self.governor.check(&usage, self.calls, can_seal) else {
+                break;
+            };
+            match stage {
+                DegradationStage::FreezeGrammar => self.grammar.freeze(),
+                DegradationStage::AggregateTiming => {
+                    // Per-signature aggregates live in the CST; only the
+                    // per-call bin grammars are shed. A rank already in
+                    // aggregate mode has nothing to drop (and must keep
+                    // contributing `None` to the timing gathers).
+                    if self.timing.take().is_some() {
+                        self.timing_dropped = true;
+                    }
+                }
+                DegradationStage::SealSegment => self.seal_segment(),
+            }
+        }
+    }
+
+    /// Stage 3: serialize the current CST + grammar as a sealed segment
+    /// (checkpoint codec; modeled spill, excluded from the governed set)
+    /// and restart them empty. The new segment stays frozen — the ladder
+    /// never steps back down.
+    fn seal_segment(&mut self) {
+        let flat = self.grammar.to_flat();
+        self.sealed.push(encode_checkpoint(flat.expanded_len(), &self.cst, &flat));
+        self.cst = Cst::new();
+        self.grammar = Grammar::new();
+        self.grammar.freeze();
+        if self.metrics.is_enabled() {
+            self.metrics.incr("governor.sealed_segments", 1);
+        }
+    }
+
+    /// The rank's full-trace view: the live CST/grammar when nothing was
+    /// sealed (the common path), or the concatenation of every sealed
+    /// segment plus the live one — per-segment CSTs interned into one
+    /// table, terminals remapped, rule ids offset, and a fresh top rule
+    /// referencing each segment's top in order (the intra-rank analogue
+    /// of the inter-process `S -> S1 S2` merge rule).
+    fn assembled(&self) -> (Cst, FlatGrammar) {
+        if self.sealed.is_empty() {
+            return (self.cst.clone(), self.grammar.to_flat());
+        }
+        let mut segs: Vec<(Cst, FlatGrammar)> = Vec::with_capacity(self.sealed.len() + 1);
+        for bytes in &self.sealed {
+            if let Ok(ck) = decode_checkpoint(bytes) {
+                segs.push((ck.cst, ck.grammar));
+            }
+        }
+        if self.grammar.input_len() > 0 {
+            segs.push((self.cst.clone(), self.grammar.to_flat()));
+        }
+        let mut cst = Cst::new();
+        let mut rules: Vec<FlatRule> = vec![FlatRule { symbols: Vec::new() }];
+        let mut tops: Vec<u32> = Vec::with_capacity(segs.len());
+        for (scst, sg) in &segs {
+            let remap: Vec<u32> = scst.iter().map(|(_, sig, st)| cst.intern(sig, st)).collect();
+            let g = merge::map_terminals(sg, &remap);
+            let offset = rules.len() as u32;
+            tops.push(offset);
+            for r in &g.rules {
+                rules.push(FlatRule {
+                    symbols: r
+                        .symbols
+                        .iter()
+                        .map(|&(s, e)| match s {
+                            Symbol::Rule(q) => (Symbol::Rule(q + offset), e),
+                            t => (t, e),
+                        })
+                        .collect(),
+                });
+            }
+        }
+        rules[0] = FlatRule { symbols: tops.iter().map(|&t| (Symbol::Rule(t), 1)).collect() };
+        (cst, FlatGrammar { rules })
+    }
 }
 
 impl Tracer for PilgrimTracer {
@@ -755,11 +899,15 @@ impl Tracer for PilgrimTracer {
         if self.cfg.capture_reference {
             self.captured.push(CapturedCall { rec: rec.clone(), caller_rank, term });
         }
+        self.calls += 1;
+        if self.governor.is_active() || self.metrics.is_enabled() {
+            self.govern();
+        }
         if let Some(iv) = self.cfg.checkpoint_interval {
-            let calls = self.grammar.input_len();
+            let calls = self.calls;
             if iv > 0 && calls.is_multiple_of(iv) {
-                let bytes =
-                    crate::checkpoint::encode_checkpoint(calls, &self.cst, &self.grammar.to_flat());
+                let (ccst, cgram) = self.assembled();
+                let bytes = encode_checkpoint(calls, &ccst, &cgram);
                 if self.metrics.is_enabled() {
                     self.metrics.incr("checkpoint.snapshots", 1);
                     self.metrics.set_gauge("checkpoint.bytes", bytes.len() as u64);
@@ -795,14 +943,28 @@ impl Tracer for PilgrimTracer {
             return;
         }
         self.finalized = true;
+        let (cst, grammar) = self.assembled();
+        // A rank that shed per-call timing still participates in the
+        // timing gathers with an empty placeholder so the merge stays
+        // symmetric across ranks; rank 0 maps it to the no-timing
+        // sentinel using the degradation events.
+        let (duration, interval) = if self.timing_dropped {
+            (Some(FlatGrammar::empty()), Some(FlatGrammar::empty()))
+        } else {
+            (
+                self.timing.as_ref().map(|t| t.duration_grammar()),
+                self.timing.as_ref().map(|t| t.interval_grammar()),
+            )
+        };
         let piece = LocalPiece {
             rank: self.rank,
-            cst: self.cst.clone(),
-            grammar: self.grammar.to_flat(),
-            call_count: self.grammar.input_len(),
-            duration: self.timing.as_ref().map(|t| t.duration_grammar()),
-            interval: self.timing.as_ref().map(|t| t.interval_grammar()),
+            cst,
+            grammar,
+            call_count: self.calls,
+            duration,
+            interval,
             encoder_cfg: self.cfg.encoder,
+            events: self.governor.events().to_vec(),
         };
         self.local_size = piece.local_size_bytes();
         if self.metrics.is_enabled() {
@@ -813,6 +975,7 @@ impl Tracer for PilgrimTracer {
             self.metrics.set_gauge("cfg.digram_entries", gs.digram_entries as u64);
             self.metrics.set_gauge("cfg.utility_inlines", gs.utility_inlines);
             self.metrics.set_gauge("local.bytes", self.local_size as u64);
+            self.governor.publish(&self.metrics);
         }
         match merge::merge_degraded(
             ctx,

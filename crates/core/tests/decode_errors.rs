@@ -7,7 +7,10 @@ use std::sync::OnceLock;
 use mpi_sim::datatype::BasicType;
 use mpi_sim::{World, WorldConfig};
 use pilgrim::cst::Cst;
-use pilgrim::{DecodeError, GlobalTrace, PilgrimConfig, PilgrimTracer, TimingMode};
+use pilgrim::{
+    verify_lossless, write_container, CapturedCall, DecodeError, GlobalTrace, PilgrimConfig,
+    PilgrimTracer, RankStatus, TimingMode,
+};
 use pilgrim_sequitur::{FlatGrammar, FlatRule, Grammar, Symbol};
 use proptest::prelude::*;
 
@@ -32,6 +35,71 @@ fn trace_bytes() -> &'static [u8] {
         );
         tracers[0].take_global_trace().unwrap().serialize()
     })
+}
+
+/// The same trace in all three forms the corruption tests need: its
+/// checksummed container bytes, its legacy flat bytes (the byte-equality
+/// reference), and the per-rank reference captures for verify_lossless.
+type ContainerFixture = (Vec<u8>, Vec<u8>, Vec<Vec<CapturedCall>>);
+
+fn container_fixture() -> &'static ContainerFixture {
+    static FIX: OnceLock<ContainerFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let cfg =
+            PilgrimConfig::new().timing(TimingMode::Lossy { base: 1.2 }).capture_reference(true);
+        let mut tracers = World::run(
+            &WorldConfig::new(4),
+            |rank| PilgrimTracer::new(rank, cfg),
+            |env| {
+                let me = env.world_rank();
+                let world = env.comm_world();
+                let dt = env.basic(BasicType::Double);
+                let buf = env.malloc(128);
+                for _ in 0..15 {
+                    env.bcast(buf, 16, dt, 0, world);
+                    if me == 0 {
+                        env.send(buf, 4, dt, 1, 7, world);
+                    } else if me == 1 {
+                        env.recv(buf, 4, dt, 0, 7, world);
+                    }
+                    env.barrier(world);
+                }
+            },
+        );
+        let trace = tracers[0].take_global_trace().unwrap();
+        let refs = tracers.iter().map(|t| t.captured().to_vec()).collect();
+        (write_container(&trace), trace.serialize(), refs)
+    })
+}
+
+/// Section kind byte of per-rank container sections (see `export.rs`).
+const SEC_RANK: u8 = 6;
+
+/// Walks the container framing, returning `(kind, payload byte range)`
+/// per section.
+fn sections(bytes: &[u8]) -> Vec<(u8, std::ops::Range<usize>)> {
+    let mut pos = 5; // magic + version
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let kind = bytes[pos];
+        pos += 1;
+        let mut len = 0u64;
+        let mut shift = 0;
+        loop {
+            let b = bytes[pos];
+            pos += 1;
+            len |= u64::from(b & 0x7F) << shift;
+            shift += 7;
+            if b & 0x80 == 0 {
+                break;
+            }
+        }
+        let start = pos;
+        pos += len as usize;
+        out.push((kind, start..pos));
+        pos += 4; // CRC trailer
+    }
+    out
 }
 
 /// A flat grammar built from a terminal sequence through real Sequitur.
@@ -134,6 +202,85 @@ proptest! {
     }
 
     #[test]
+    fn truncated_containers_always_err_never_panic(cut_seed in any::<usize>()) {
+        let (bytes, _, _) = container_fixture();
+        let cut = cut_seed % bytes.len();
+        // Both readers parse forward and demand complete framing, so every
+        // strict prefix must fail — salvage included (there is nothing to
+        // salvage without intact framing).
+        prop_assert!(GlobalTrace::decode_container(&bytes[..cut]).is_err());
+        prop_assert!(GlobalTrace::decode_salvage(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bitflipped_containers_always_err_strictly(idx_seed in any::<usize>(), bit in 0u8..8) {
+        // Unlike the legacy flat format (where a lucky flip can decode into
+        // a different valid trace), the container's per-section CRC32
+        // catches every single-bit error in a payload or checksum, and the
+        // framing checks catch the rest.
+        let (bytes, _, _) = container_fixture();
+        let mut mutated = bytes.clone();
+        let idx = idx_seed % mutated.len();
+        mutated[idx] ^= 1 << bit;
+        prop_assert!(GlobalTrace::decode_container(&mutated).is_err());
+    }
+
+    #[test]
+    fn bitflipped_containers_salvage_never_lies(idx_seed in any::<usize>(), bit in 0u8..8) {
+        let (bytes, legacy, refs) = container_fixture();
+        let original = GlobalTrace::decode(legacy).unwrap();
+        let mut mutated = bytes.clone();
+        let idx = idx_seed % mutated.len();
+        mutated[idx] ^= 1 << bit;
+        match GlobalTrace::decode_salvage(&mutated) {
+            // Damage to framing, META, CST, or the merged grammar: nothing
+            // recoverable, clean error.
+            Err(_) => {}
+            // One flipped bit damages at most one section, so whatever was
+            // salvaged must reproduce every rank's call sequence exactly
+            // (a single corrupt RANK section's span is still inferred
+            // exactly from the grammar total).
+            Ok((t, _)) => {
+                prop_assert_eq!(t.nranks, original.nranks);
+                prop_assert_eq!(t.decode_all_ranks(), original.decode_all_ranks());
+                prop_assert!(verify_lossless(&t, refs).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_rank_section_salvages_every_other_rank(
+        rank in 0usize..4,
+        off_seed in any::<usize>(),
+        delta in 1u8..=255,
+    ) {
+        let (bytes, legacy, refs) = container_fixture();
+        let rank_payloads: Vec<_> =
+            sections(bytes).into_iter().filter(|(k, _)| *k == SEC_RANK).map(|(_, r)| r).collect();
+        prop_assert_eq!(rank_payloads.len(), 4);
+        let range = rank_payloads[rank].clone();
+        let mut mutated = bytes.clone();
+        mutated[range.start + off_seed % range.len()] ^= delta;
+        // Strict decode names the damaged section.
+        match GlobalTrace::decode_container(&mutated) {
+            Err(DecodeError::BadChecksum { section, .. }) => prop_assert_eq!(section, "rank"),
+            other => prop_assert!(false, "expected rank checksum failure, got {other:?}"),
+        }
+        // Salvage recovers everything else — and because only one rank is
+        // missing, its span is inferred exactly, so even the damaged
+        // rank's calls are intact; only its timing and events are lost.
+        let (t, report) = GlobalTrace::decode_salvage(&mutated).unwrap();
+        prop_assert_eq!(&report.skipped_ranks, &vec![rank]);
+        prop_assert!(matches!(t.completeness.status(rank), RankStatus::Salvaged { .. }));
+        prop_assert!(t.is_degraded());
+        prop_assert!(t.fidelity().salvaged_ranks.contains(&rank));
+        let original = GlobalTrace::decode(legacy).unwrap();
+        prop_assert_eq!(t.decode_all_ranks(), original.decode_all_ranks());
+        prop_assert!(verify_lossless(&t, refs).is_ok());
+        prop_assert!(t.validate().is_empty(), "salvaged trace validates: {:?}", t.validate());
+    }
+
+    #[test]
     fn cst_roundtrips_and_rejects_truncation(
         sigs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..32),
         cut_seed in any::<usize>(),
@@ -152,6 +299,44 @@ proptest! {
         let mut pos = 0;
         prop_assert!(Cst::decode(&buf[..cut], &mut pos).is_err());
     }
+}
+
+#[test]
+fn container_roundtrips_byte_identically() {
+    let (container, legacy, refs) = container_fixture();
+    let strict = GlobalTrace::decode_container(container).expect("clean container decodes");
+    // Re-serializing through the legacy flat format proves every field
+    // survived the container unchanged.
+    assert_eq!(&strict.serialize(), legacy);
+    assert!(verify_lossless(&strict, refs).is_ok());
+    let (salvaged, report) = GlobalTrace::decode_salvage(container).expect("clean salvage");
+    assert!(report.is_clean());
+    assert_eq!(&salvaged.serialize(), legacy);
+    // decode_auto sniffs the magic and handles both formats.
+    assert_eq!(&GlobalTrace::decode_auto(container).unwrap().serialize(), legacy);
+    assert_eq!(&GlobalTrace::decode_auto(legacy).unwrap().serialize(), legacy);
+}
+
+#[test]
+fn container_with_trailing_bytes_is_rejected() {
+    let (container, _, _) = container_fixture();
+    let mut bytes = container.clone();
+    bytes.push(0);
+    assert!(matches!(
+        GlobalTrace::decode_container(&bytes),
+        Err(DecodeError::TrailingBytes { .. }) | Err(DecodeError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn wrong_container_version_is_corrupt() {
+    let (container, _, _) = container_fixture();
+    let mut bytes = container.clone();
+    bytes[4] = 99;
+    assert_eq!(
+        GlobalTrace::decode_container(&bytes).unwrap_err(),
+        DecodeError::Corrupt { what: "container version", offset: 4 }
+    );
 }
 
 #[test]

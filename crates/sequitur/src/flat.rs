@@ -56,6 +56,13 @@ pub enum DecodeError {
         /// Byte offset of the offending field.
         offset: usize,
     },
+    /// A checksummed container section's CRC32 did not match its payload.
+    BadChecksum {
+        /// Which section failed verification.
+        section: &'static str,
+        /// Byte offset of the section's payload.
+        offset: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -82,6 +89,9 @@ impl fmt::Display for DecodeError {
             DecodeError::Corrupt { what, offset } => {
                 write!(f, "corrupt {what} at byte {offset}")
             }
+            DecodeError::BadChecksum { section, offset } => {
+                write!(f, "checksum mismatch in {section} section at byte {offset}")
+            }
         }
     }
 }
@@ -100,6 +110,9 @@ impl DecodeError {
             }
             DecodeError::Corrupt { what, offset } => {
                 DecodeError::Corrupt { what, offset: offset + base }
+            }
+            DecodeError::BadChecksum { section, offset } => {
+                DecodeError::BadChecksum { section, offset: offset + base }
             }
             DecodeError::TrailingBytes { consumed, len } => {
                 DecodeError::TrailingBytes { consumed: consumed + base, len: len + base }

@@ -30,6 +30,38 @@ const NIL: NodeId = u32::MAX;
 /// to be considered equal occurrences.
 type DigramKey = (Symbol, u64, Symbol, u64);
 
+/// FNV-1a with the standard offset basis — a fixed-seed hasher for the
+/// digram index. `RandomState` draws a fresh seed per map, which makes
+/// the table's bucket layout (and therefore its capacity after the
+/// insert/erase churn Sequitur generates) differ between otherwise
+/// identical runs; `approx_bytes` counts that capacity, so the resource
+/// governor would trip at different calls and break the seeded-run
+/// byte-determinism guarantee. A deterministic hash keeps the whole
+/// table history a pure function of the input sequence.
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+type DigramIndex = HashMap<DigramKey, NodeId, std::hash::BuildHasherDefault<Fnv1a>>;
+
 #[derive(Debug, Clone)]
 struct Node {
     sym: Symbol,
@@ -71,10 +103,12 @@ pub struct Grammar {
     free_nodes: Vec<NodeId>,
     rules: Vec<RuleInfo>,
     free_rules: Vec<u32>,
-    digrams: HashMap<DigramKey, NodeId>,
+    digrams: DigramIndex,
     dirty: Vec<NodeId>,
     input_len: u64,
     utility_inlines: u64,
+    /// Append-only mode: rule creation disabled, digram table dropped.
+    frozen: bool,
 }
 
 /// A point-in-time snapshot of a grammar's internal size counters, exposed
@@ -103,10 +137,11 @@ impl Grammar {
             free_nodes: Vec::new(),
             rules: Vec::new(),
             free_rules: Vec::new(),
-            digrams: HashMap::new(),
+            digrams: DigramIndex::default(),
             dirty: Vec::new(),
             input_len: 0,
             utility_inlines: 0,
+            frozen: false,
         };
         let top = g.new_rule();
         debug_assert_eq!(top, TOP_RULE);
@@ -125,8 +160,61 @@ impl Grammar {
             return;
         }
         self.input_len += n;
+        if self.frozen {
+            self.append_frozen(Symbol::Terminal(t), n);
+            return;
+        }
         self.append_symbol(Symbol::Terminal(t), n);
         self.drain();
+    }
+
+    /// Switches the grammar into append-only mode: the digram index and
+    /// worklist are dropped, and every subsequent push appends the symbol
+    /// to the start rule raw (tail runs still merge). Rules created so far
+    /// keep compressing repeats of whole runs, but no new rules form.
+    /// Irreversible; memory growth becomes strictly bounded per push.
+    pub fn freeze(&mut self) {
+        if self.frozen {
+            return;
+        }
+        self.frozen = true;
+        self.digrams = DigramIndex::default();
+        self.dirty = Vec::new();
+    }
+
+    /// True once [`Grammar::freeze`] has been called.
+    #[inline]
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// O(1) estimate of the grammar's resident bytes: arena nodes, rule
+    /// table, digram index, and worklists at their current lengths. Used
+    /// for live budget accounting, where an exact `malloc`-level answer
+    /// matters less than a monotone, allocation-free signal.
+    pub fn approx_bytes(&self) -> usize {
+        const DIGRAM_ENTRY: usize =
+            std::mem::size_of::<DigramKey>() + std::mem::size_of::<NodeId>() + 16;
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.rules.len() * std::mem::size_of::<RuleInfo>()
+            + self.digrams.capacity() * DIGRAM_ENTRY
+            + (self.free_nodes.capacity() + self.dirty.capacity()) * std::mem::size_of::<NodeId>()
+    }
+
+    /// Frozen-mode append: merge into the tail run or link a raw node,
+    /// with no digram bookkeeping and no rule formation.
+    fn append_frozen(&mut self, sym: Symbol, exp: u64) {
+        let guard = self.rules[TOP_RULE as usize].guard;
+        let last = self.prev(guard);
+        if last != guard && self.nodes[last as usize].sym == sym {
+            self.nodes[last as usize].exp += exp;
+        } else {
+            let n = self.alloc_node(sym, exp);
+            if let Symbol::Rule(q) = sym {
+                self.rules[q as usize].refs += 1;
+            }
+            self.insert_after(last, n);
+        }
     }
 
     /// Number of terminals pushed so far (the uncompressed sequence length).
@@ -539,15 +627,19 @@ impl Grammar {
                 }
                 prev_sym = Some(node.sym);
                 if let Some(key) = self.digram_key(n) {
-                    if let Some(&other) = seen.get(&key) {
-                        panic!("P1 violated: digram {key:?} at {other} and {n} (rule {rid})");
+                    // Frozen grammars drop the index and allow duplicate
+                    // digrams; P1 only holds for the pre-freeze prefix.
+                    if !self.frozen {
+                        if let Some(&other) = seen.get(&key) {
+                            panic!("P1 violated: digram {key:?} at {other} and {n} (rule {rid})");
+                        }
+                        seen.insert(key, n);
+                        assert_eq!(
+                            self.digrams.get(&key),
+                            Some(&n),
+                            "digram index missing/stale for {key:?}"
+                        );
                     }
-                    seen.insert(key, n);
-                    assert_eq!(
-                        self.digrams.get(&key),
-                        Some(&n),
-                        "digram index missing/stale for {key:?}"
-                    );
                 }
                 n = node.next;
             }
@@ -584,4 +676,66 @@ pub fn compress_runs(seq: &[(u32, u64)]) -> FlatGrammar {
         g.push_run(t, exp);
     }
     g.to_flat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_preserves_the_expansion() {
+        let mut live = Grammar::new();
+        let mut half = Grammar::new();
+        let seq: Vec<u32> = (0..200).map(|i| [1, 2, 3, 4][i % 4]).collect();
+        for (i, &t) in seq.iter().enumerate() {
+            live.push(t);
+            if i == 100 {
+                half.freeze();
+            }
+            half.push(t);
+        }
+        assert!(half.is_frozen());
+        assert_eq!(half.input_len(), live.input_len());
+        assert_eq!(half.to_flat().expand(), live.to_flat().expand());
+        half.validate();
+    }
+
+    #[test]
+    fn frozen_grammar_creates_no_new_rules() {
+        let mut g = Grammar::new();
+        g.freeze();
+        for i in 0..500u32 {
+            g.push(i % 7);
+            g.push(7 + i % 7);
+        }
+        // Only the start rule exists: repeated digrams never form rules.
+        assert_eq!(g.num_rules(), 1);
+        assert_eq!(g.stats().digram_entries, 0);
+        assert_eq!(g.to_flat().expanded_len(), 1000);
+    }
+
+    #[test]
+    fn frozen_appends_still_merge_tail_runs() {
+        let mut g = Grammar::new();
+        g.freeze();
+        for _ in 0..1000 {
+            g.push(9);
+        }
+        // A run of one terminal stays a single counted node.
+        assert_eq!(g.num_symbols(), 1);
+        assert_eq!(g.to_flat().expanded_len(), 1000);
+    }
+
+    #[test]
+    fn approx_bytes_tracks_growth_and_freeze_drops_the_index() {
+        let mut g = Grammar::new();
+        let empty = g.approx_bytes();
+        for i in 0..2000u32 {
+            g.push(i); // all-distinct input: worst case
+        }
+        let grown = g.approx_bytes();
+        assert!(grown > empty);
+        g.freeze();
+        assert!(g.approx_bytes() < grown, "freeze must release the digram index");
+    }
 }

@@ -13,7 +13,10 @@
 //! * [`flash`] — FLASH proxies: Sedov, Cellular (AMR), StirTurb
 //!   (Fig 6–8), on the [`amr`] block-tree substrate.
 //! * [`milc`] — MILC su3_rmd lattice proxy (Fig 9).
+//! * [`adversarial`] — compression-hostile random-signature kernels that
+//!   drive the resource governor's degradation ladder.
 
+pub mod adversarial;
 pub mod amr;
 pub mod flash;
 pub mod grid;
@@ -43,6 +46,9 @@ pub fn by_name(name: &str, iters: usize) -> Body {
         "cellular" => std::sync::Arc::new(move |env: &mut Env| flash::cellular(env, iters)),
         "stirturb" => std::sync::Arc::new(move |env: &mut Env| flash::stirturb(env, iters)),
         "milc" => std::sync::Arc::new(move |env: &mut Env| milc::su3_rmd(env, iters, 16)),
+        "adversarial" => {
+            std::sync::Arc::new(move |env: &mut Env| adversarial::adversarial(env, iters))
+        }
         _ => panic!("unknown workload {name:?}"),
     }
 }
@@ -61,4 +67,5 @@ pub const ALL_WORKLOADS: &[&str] = &[
     "cellular",
     "stirturb",
     "milc",
+    "adversarial",
 ];

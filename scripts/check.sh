@@ -27,6 +27,23 @@ cargo test -q -p pilgrim --test query_proptests
   diff -u crates/bench/golden/mini.matrix.json - ||
   { echo "FAIL: trace_tool matrix output diverged from golden file." >&2; exit 1; }
 
+echo "== governor: bounded memory + degraded-trace e2e =="
+# The resource governor must hold every rank's working set within the
+# budget on a compression-hostile workload, change nothing when the
+# budget is never approached, and leave degraded traces that still
+# decode, verify, replay, and answer queries (with fidelity flags).
+cargo test -q -p pilgrim --test governor
+
+echo "== corruption: checksummed container never panics =="
+# Bit flips and truncations must surface as errors, never panics, and
+# salvage must only ever return ranks that verify losslessly.
+cargo test -q -p pilgrim --test decode_errors
+
+echo "== governor: adversarial bounded-memory sweep =="
+# Deterministic budget sweep on the adversarial workload: each budget
+# rung must complete without panicking and report its ladder progress.
+cargo run --release -q -p pilgrim-bench --bin governor_sweep -- --iters 150 > /dev/null
+
 echo "== chaos: seeded fault-injection sweep =="
 # Deterministic: same seed, same casualties, same trace. Nonzero exit
 # means the degraded merge deadlocked, panicked, or lost rank 0's trace.
@@ -50,5 +67,10 @@ check_panics() {
 }
 check_panics crates/mpi-sim/src/fabric.rs 5
 check_panics crates/core/src/merge.rs 3
+# The governed hot path and the container decoder face untrusted input
+# (adversarial workloads, corrupt bytes); they must stay panic-free.
+check_panics crates/core/src/tracer.rs 0
+check_panics crates/core/src/decode.rs 0
+check_panics crates/core/src/governor.rs 0
 
 echo "All checks passed."
