@@ -112,7 +112,8 @@ fn run_one(
     let trace = out.tracers[0]
         .as_mut()
         .expect("rank 0 must survive (plans never target it)")
-        .take_global_trace()
+        .take_output()
+        .trace
         .unwrap_or_else(|| {
             eprintln!("rank 0 produced no trace with {k} kills");
             exit(1)

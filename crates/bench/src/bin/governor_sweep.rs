@@ -47,7 +47,7 @@ fn run_one(nranks: usize, iters: usize, seed: u64, budget: Option<usize>) -> Swe
         .flat_map(|t| t.governor().events())
         .filter(|e| e.stage == DegradationStage::SealSegment)
         .count();
-    let trace = tracers[0].take_global_trace().expect("rank 0 trace");
+    let trace = tracers[0].take_output().trace.expect("rank 0 trace");
     SweepRow { budget, peak_bytes, stage, transitions, seals, trace_bytes: trace.serialize().len() }
 }
 

@@ -1,0 +1,87 @@
+//! `ingest_bench` — streaming-ingest throughput across concurrent jobs.
+//!
+//! ```text
+//! ingest_bench [--ranks R] [--iters I] [--shards S] [--max-jobs J]
+//! ```
+//!
+//! Sweeps the number of concurrent jobs (1, 2, 4, … up to `--max-jobs`,
+//! default 16), each job a full `R`-rank simulated world streaming its
+//! grammar segments into one shared [`pilgrim::IngestSession`]. Reports
+//! wall time, sustained calls/sec and jobs/sec, and how often producers
+//! hit shard-queue backpressure — the numbers behind the EXPERIMENTS.md
+//! ingest table.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pilgrim::{IngestConfig, IngestSession, JobDesc, PilgrimConfig};
+
+const WORKLOADS: [&str; 4] = ["stencil2d", "stencil3d", "lu", "mg"];
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{name} needs a numeric value");
+            exit(2)
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ranks = flag(&args, "--ranks").unwrap_or(4) as usize;
+    let iters = flag(&args, "--iters").unwrap_or(40) as usize;
+    let shards = flag(&args, "--shards").unwrap_or(4) as usize;
+    let max_jobs = flag(&args, "--max-jobs").unwrap_or(16) as usize;
+
+    println!(
+        "ingest_bench: {ranks}-rank jobs, {iters} iters, {shards} shards (rotating {})",
+        WORKLOADS.join("/")
+    );
+    println!("| concurrent jobs | wall (ms) | calls | calls/sec | jobs/sec | backpressure |");
+    println!("|---:|---:|---:|---:|---:|---:|");
+
+    let mut jobs = 1usize;
+    while jobs <= max_jobs {
+        let session =
+            Arc::new(IngestSession::new(IngestConfig::new().shards(shards)).unwrap_or_else(|e| {
+                eprintln!("cannot start ingest session: {e}");
+                exit(1)
+            }));
+        let start = Instant::now();
+        let outcomes: Vec<_> = (0..jobs)
+            .map(|j| {
+                let session = session.clone();
+                std::thread::spawn(move || {
+                    let workload = WORKLOADS[j % WORKLOADS.len()];
+                    let desc = JobDesc::new(workload, ranks)
+                        .seed(0x5EED + j as u64)
+                        .config(PilgrimConfig::default());
+                    let body = mpi_workloads::by_name(workload, iters);
+                    session.submit_world(&desc, move |env| body(env))
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("driver thread panicked"))
+            .collect();
+        let wall = start.elapsed();
+        let stats = session.stats();
+        let lossless = outcomes.iter().all(|o| o.is_lossless());
+        if !lossless {
+            eprintln!("ingest_bench: loss at {jobs} concurrent jobs");
+            exit(1)
+        }
+        let calls: u64 = outcomes.iter().map(|o| o.calls).sum();
+        let secs = wall.as_secs_f64().max(1e-9);
+        println!(
+            "| {jobs} | {:.1} | {calls} | {:.0} | {:.1} | {} |",
+            wall.as_secs_f64() * 1e3,
+            calls as f64 / secs,
+            jobs as f64 / secs,
+            stats.backpressure
+        );
+        jobs *= 2;
+    }
+}

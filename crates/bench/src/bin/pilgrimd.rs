@@ -1,0 +1,129 @@
+//! `pilgrimd` — the streaming multi-job trace collector built on
+//! [`pilgrim::IngestSession`].
+//!
+//! ```text
+//! pilgrimd --jobs N [--ranks R] [--iters I] [--budget B] [--shards S] [--out DIR]
+//! ```
+//!
+//! Runs `N` concurrent simulated worlds (driver thread each), every rank
+//! streaming its grammar segments into one shared ingest session
+//! mid-run. Workloads rotate through stencil2d / stencil3d / lu / mg so
+//! concurrent jobs carry different CSTs. With `--budget B`, odd-numbered
+//! jobs trace under a per-rank memory budget: the governor seals
+//! segments mid-run and the stream carries many segments per rank
+//! instead of one. With `--out DIR`, every finished job is spilled as a
+//! crash-safe `PGC1` container and re-validated by decoding it back.
+//!
+//! Exit status is the CI gate: `0` when every job is lossless (no
+//! ingest problems, no lost or truncated ranks, spilled containers
+//! decode back to the in-memory trace), `1` otherwise.
+
+use std::process::exit;
+use std::sync::Arc;
+
+use pilgrim::{GlobalTrace, IngestConfig, IngestSession, JobDesc, PilgrimConfig};
+
+const WORKLOADS: [&str; 4] = ["stencil2d", "stencil3d", "lu", "mg"];
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{name} needs a numeric value");
+            exit(2)
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = flag(&args, "--jobs").unwrap_or(8) as usize;
+    let ranks = flag(&args, "--ranks").unwrap_or(4) as usize;
+    let iters = flag(&args, "--iters").unwrap_or(30) as usize;
+    let budget = flag(&args, "--budget").map(|b| b as usize);
+    let shards = flag(&args, "--shards").unwrap_or(4) as usize;
+    let out_dir = args.iter().position(|a| a == "--out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--out needs a directory");
+            exit(2)
+        })
+    });
+
+    let mut cfg = IngestConfig::new().shards(shards);
+    if let Some(dir) = &out_dir {
+        cfg = cfg.spill_dir(dir);
+    }
+    let session = Arc::new(IngestSession::new(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot start ingest session: {e}");
+        exit(1)
+    }));
+
+    println!(
+        "pilgrimd: {jobs} concurrent jobs x {ranks} ranks, {iters} iters, {shards} shards{}{}",
+        budget.map_or(String::new(), |b| format!(", budget {b} B on odd jobs")),
+        out_dir.as_deref().map_or(String::new(), |d| format!(", spilling to {d}"))
+    );
+
+    let outcomes: Vec<_> = (0..jobs)
+        .map(|j| {
+            let session = session.clone();
+            std::thread::spawn(move || {
+                let workload = WORKLOADS[j % WORKLOADS.len()];
+                let mut tcfg = PilgrimConfig::default();
+                if let (Some(b), true) = (budget, j % 2 == 1) {
+                    tcfg = tcfg.memory_budget(b);
+                }
+                let desc = JobDesc::new(workload, ranks).seed(0x5EED + j as u64).config(tcfg);
+                let body = mpi_workloads::by_name(workload, iters);
+                (workload, session.submit_world(&desc, move |env| body(env)))
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("driver thread panicked"))
+        .collect();
+
+    let mut failures = 0usize;
+    for (workload, out) in &outcomes {
+        let trace = out.trace.as_ref();
+        let lost = trace.map_or(0, |t| t.completeness.lost_ranks().len());
+        let truncated = trace.map_or(0, |t| t.completeness.checkpoint_ranks().len());
+        // Re-validate the spill: the container on disk must decode back
+        // to exactly the trace the shard handed us.
+        let spill_ok = match (&out.spill_path, trace) {
+            (Some(path), Some(t)) => std::fs::read(path)
+                .ok()
+                .and_then(|b| GlobalTrace::decode_auto(&b).ok())
+                .is_some_and(|back| back.serialize() == t.serialize()),
+            (Some(_), None) => false,
+            (None, _) => true,
+        };
+        let ok = out.is_lossless() && lost == 0 && truncated == 0 && spill_ok;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  job {:>3} {workload:<10} {:>8} calls {:>5} segments {:>9} B  {}{}",
+            out.job,
+            out.calls,
+            out.segments,
+            out.ingested_bytes,
+            if ok { "OK" } else { "LOSS" },
+            if out.problems.is_empty() {
+                String::new()
+            } else {
+                format!("  problems: {}", out.problems.join("; "))
+            }
+        );
+    }
+
+    let stats = session.stats();
+    println!(
+        "session: {} segments, {} B ingested, {} backpressure events, {}/{} jobs finished",
+        stats.segments, stats.bytes, stats.backpressure, stats.jobs_finished, stats.jobs_opened
+    );
+    if failures > 0 {
+        eprintln!("pilgrimd: {failures} of {jobs} jobs lost data");
+        exit(1)
+    }
+    println!("pilgrimd: all {jobs} jobs lossless");
+}

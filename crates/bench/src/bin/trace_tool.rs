@@ -20,12 +20,30 @@
 //! random access + grammar-aware aggregation) and emit deterministic JSON
 //! on stdout; index-build and query timings go to stderr.
 //!
+//! ## JSON envelope (schema 1)
+//!
+//! Every JSON-producing subcommand (`query`, `slice`, `matrix`,
+//! `validate`, `fidelity`) emits one object wrapped in a versioned
+//! envelope:
+//!
+//! ```text
+//! {"schema":1,"command":"<subcommand>",...,"fidelity":{...}}
+//! ```
+//!
+//! The `"fidelity"` field is always present — `lossless:true` with empty
+//! rank lists for clean traces — so consumers never need to probe for it.
+//!
+//! ## Exit codes
+//!
+//! * `0` — success (for `fidelity`: the trace is lossless)
+//! * `1` — invalid input: unreadable file, decode failure, or a
+//!   `validate` consistency issue
+//! * `2` — usage error
+//! * `3` — `fidelity` only: the trace decoded but is degraded
+//!
 //! Readers accept both trace formats — the legacy flat stream and the
 //! checksummed `PGC1` container — by sniffing the magic; `record` writes
-//! the container. When a loaded trace is degraded (governor events,
-//! lost/truncated/salvaged ranks), query/slice/matrix output grows a
-//! `"fidelity"` field so downstream consumers know what the answers are
-//! based on; clean traces produce byte-identical output to older builds.
+//! the container.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -124,15 +142,15 @@ fn fidelity_json(trace: &GlobalTrace) -> String {
     )
 }
 
-/// The `"fidelity"` JSON field the query subcommands append for degraded
-/// traces — and omit entirely (keeping golden outputs byte-identical) for
-/// clean ones.
+/// The trailing `,"fidelity":{...}` field every JSON subcommand appends.
+/// Always present (schema 1), so consumers never probe for it.
 fn fidelity_field(trace: &GlobalTrace) -> String {
-    if trace.is_degraded() {
-        format!(",\"fidelity\":{}", fidelity_json(trace))
-    } else {
-        String::new()
-    }
+    format!(",\"fidelity\":{}", fidelity_json(trace))
+}
+
+/// Opens the schema-1 envelope: `{"schema":1,"command":"<cmd>",`.
+fn envelope(command: &str) -> String {
+    format!("{{\"schema\":1,\"command\":{},", json_str(command))
 }
 
 fn main() {
@@ -227,37 +245,46 @@ fn main() {
             // Structural validation with a nonzero exit for CI gates: the
             // file must decode (errors name the byte offset) and the
             // decoded trace must be internally consistent (rule graph,
-            // rank lengths, manifest coverage, timing maps).
+            // rank lengths, manifest coverage, timing maps). Emits the
+            // schema-1 envelope; a decode failure carries "fidelity":null
+            // because there is no trace to report on.
             let path = &args[1];
-            let bytes = fs::read(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
+            let fail = |problem: String| -> ! {
+                println!(
+                    "{}\"ok\":false,\"problems\":[{}],\"fidelity\":null}}",
+                    envelope("validate"),
+                    json_str(&problem)
+                );
                 exit(1)
-            });
+            };
+            let bytes = match fs::read(path) {
+                Ok(b) => b,
+                Err(e) => fail(format!("cannot read {path}: {e}")),
+            };
             let trace = match GlobalTrace::decode_auto(&bytes) {
                 Ok(t) => t,
-                Err(e) => {
-                    eprintln!("{path}: decode failed: {e}");
-                    exit(1)
-                }
+                Err(e) => fail(format!("decode failed: {e}")),
             };
             let issues = trace.validate();
-            if !issues.is_empty() {
-                eprintln!("{path}: {} consistency issue(s):", issues.len());
-                for issue in &issues {
-                    eprintln!("  - {issue}");
-                }
-                exit(1)
-            }
             let merged = (0..trace.nranks)
                 .filter(|&r| trace.completeness.status(r) == RankStatus::Merged)
                 .count();
+            let problems: Vec<String> = issues.iter().map(|i| json_str(i)).collect();
             println!(
-                "{path}: OK ({} bytes, {} ranks, {merged} merged, {} lost, {} truncated)",
+                "{}\"ok\":{},\"bytes\":{},\"nranks\":{},\"merged\":{merged},\"lost\":{},\
+                 \"truncated\":{},\"problems\":[{}]{}}}",
+                envelope("validate"),
+                issues.is_empty(),
                 bytes.len(),
                 trace.nranks,
                 trace.completeness.lost_ranks().len(),
-                trace.completeness.checkpoint_ranks().len()
+                trace.completeness.checkpoint_ranks().len(),
+                problems.join(","),
+                fidelity_field(&trace)
             );
+            if !issues.is_empty() {
+                exit(1)
+            }
         }
         Some("signatures") if args.len() == 2 => {
             print!("{}", pilgrim::to_signature_listing(&load(&args[1])));
@@ -304,7 +331,7 @@ fn main() {
             };
             let rows = engine.summarize(&counts);
             let total: u64 = rows.iter().map(|r| r.count).sum();
-            let mut out = String::from("{");
+            let mut out = envelope("query");
             let _ = write!(
                 out,
                 "\"scope\":{},\"calls\":{total},\"signatures\":[",
@@ -343,7 +370,7 @@ fn main() {
             let metrics = MetricsRegistry::new(true);
             let index = TraceIndex::build_with_metrics(&trace, &metrics);
             let timer = metrics.time_stage(Stage::Query);
-            let mut out = String::from("{");
+            let mut out = envelope("slice");
             let _ = write!(
                 out,
                 "\"rank\":{rank},\"start\":{start},\"rank_calls\":{},\"calls\":[",
@@ -395,8 +422,9 @@ fn main() {
             };
             let wc: Vec<String> = m.wildcard_recvs.iter().map(u64::to_string).collect();
             println!(
-                "{{\"nranks\":{},\"sends\":{},\"recvs\":{},\"wildcard_recvs\":[{}],\
+                "{}\"nranks\":{},\"sends\":{},\"recvs\":{},\"wildcard_recvs\":[{}],\
                  \"dropped\":{},\"total_sends\":{},\"total_recvs\":{}{}}}",
+                envelope("matrix"),
                 m.nranks,
                 fmt_matrix(&m.sends),
                 fmt_matrix(&m.recvs),
@@ -414,7 +442,8 @@ fn main() {
             // governor event log. Exit 0 for lossless traces, 3 for
             // degraded ones, so scripts can gate on fidelity cheaply.
             let trace = load(&args[1]);
-            let mut out = String::from("{\"fidelity\":");
+            let mut out = envelope("fidelity");
+            out.push_str("\"fidelity\":");
             out.push_str(&fidelity_json(&trace));
             out.push_str(",\"events\":[");
             for (i, (rank, ev)) in trace.completeness.events.iter().enumerate() {

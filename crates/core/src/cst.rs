@@ -141,12 +141,6 @@ impl Cst {
         }
     }
 
-    /// Deserializes a table written by [`Cst::serialize`].
-    #[deprecated(since = "0.1.0", note = "use `Cst::decode`, which reports why decoding failed")]
-    pub fn deserialize(buf: &[u8], pos: &mut usize) -> Option<Cst> {
-        Self::decode(buf, pos).ok()
-    }
-
     /// Decodes a table written by [`Cst::serialize`], advancing `pos` and
     /// reporting exactly where a malformed buffer went wrong.
     pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Cst, DecodeError> {

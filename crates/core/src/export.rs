@@ -294,7 +294,7 @@ mod tests {
                 env.barrier(world);
             }
         });
-        tracers[0].take_global_trace().unwrap()
+        tracers[0].take_output().trace.unwrap()
     }
 
     #[test]

@@ -1,0 +1,564 @@
+//! Streaming multi-job trace ingest: the session layer behind the
+//! `pilgrimd` collector binary.
+//!
+//! One [`IngestSession`] multiplexes many concurrent jobs (worlds). Each
+//! job gets an id and a [`JobHandle`]; ranks stream their grammar
+//! segments through the handle (it implements [`SegmentSink`], the seam
+//! [`crate::tracer::PilgrimTracer`] pushes into mid-run) instead of
+//! holding everything until a finalize-time batch merge. Internally the
+//! session shards jobs across worker threads — CST interning for
+//! different jobs runs in parallel — and every shard folds arriving
+//! segments straight into that job's [`IncrementalMerger`], so the
+//! collector holds one merged state per job rather than P full pieces.
+//!
+//! Ingest queues are bounded: a producer that outruns its shard first
+//! counts a backpressure event, then blocks until the queue drains.
+//! Finished jobs can spill crash-safely to `PGC1` containers (write to a
+//! temporary file, `sync_all`, atomic rename — a crash mid-spill leaves
+//! either the previous file or a `.tmp` orphan, never a torn container).
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::export::write_container;
+use crate::trace::GlobalTrace;
+use crate::tracer::{PilgrimConfig, PilgrimTracer};
+
+// Re-exported here so `use pilgrim::ingest::*` covers the whole
+// streaming API surface; the types live with the merger they feed.
+pub use crate::merge::{IncrementalMerger, RankCompletion, SegmentError, TraceSegment};
+
+/// Where a rank streams its trace: sealed segments as the governor
+/// produces them, the final segment plus a completion marker at
+/// finalize. Implementations must tolerate arbitrary interleaving
+/// across ranks (within a rank, calls arrive in order).
+pub trait SegmentSink: Send + Sync {
+    /// Delivers one grammar segment.
+    fn push_segment(&self, seg: TraceSegment);
+    /// Marks a rank's stream complete.
+    fn complete_rank(&self, done: RankCompletion);
+}
+
+/// Job identifier, unique within one [`IngestSession`].
+pub type JobId = u64;
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Worker threads; jobs are assigned round-robin by id, so CST
+    /// interning for different jobs proceeds in parallel.
+    pub shards: usize,
+    /// Bounded depth of each shard's ingest queue. A full queue blocks
+    /// the producing rank (after counting a backpressure event).
+    pub queue_capacity: usize,
+    /// When set, every finished job's trace is also spilled to
+    /// `<dir>/job-<id>.pilgrim` as a checksummed `PGC1` container.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig { shards: 2, queue_capacity: 256, spill_dir: None }
+    }
+}
+
+impl IngestConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Description of one job for [`IngestSession::submit_world`].
+#[derive(Debug, Clone)]
+pub struct JobDesc {
+    /// Label for the world's rank threads (`rank-3@<name>#<job>`).
+    pub name: String,
+    pub nranks: usize,
+    /// Clock-jitter seed for the simulated world.
+    pub seed: u64,
+    /// Per-rank tracer configuration. A per-job `memory_budget` rides
+    /// here: the governor then seals segments mid-run and the tracer
+    /// streams them out immediately.
+    pub config: PilgrimConfig,
+}
+
+impl JobDesc {
+    pub fn new(name: impl Into<String>, nranks: usize) -> Self {
+        JobDesc { name: name.into(), nranks, seed: 0x5EED, config: PilgrimConfig::default() }
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    pub fn config(mut self, config: PilgrimConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// Everything the session reports about a finished job.
+#[derive(Debug)]
+pub struct JobOutcome {
+    pub job: JobId,
+    /// The job's merged trace (`None` only if the job id was unknown to
+    /// its shard — a protocol error, reported in `problems`).
+    pub trace: Option<GlobalTrace>,
+    /// Total traced calls across the job's completed ranks.
+    pub calls: u64,
+    /// Segments the shard accepted for this job.
+    pub segments: u64,
+    /// Raw segment bytes the shard accepted for this job.
+    pub ingested_bytes: u64,
+    /// Where the trace was spilled, when the session spills.
+    pub spill_path: Option<PathBuf>,
+    /// Per-message ingest errors ([`SegmentError`]) and spill failures.
+    /// An empty list means every stream message was accepted.
+    pub problems: Vec<String>,
+}
+
+impl JobOutcome {
+    /// True when every message was accepted and every rank completed —
+    /// the trace is exactly what a fault-free batch merge would produce.
+    pub fn is_lossless(&self) -> bool {
+        self.problems.is_empty()
+            && self.trace.as_ref().is_some_and(|t| t.completeness.is_complete())
+    }
+}
+
+/// Monotonic session counters, shared across shards and handles.
+#[derive(Debug, Default)]
+struct IngestCounters {
+    segments: AtomicU64,
+    bytes: AtomicU64,
+    backpressure: AtomicU64,
+    jobs_opened: AtomicU64,
+    jobs_finished: AtomicU64,
+}
+
+/// Snapshot of the session counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Segments accepted across all jobs.
+    pub segments: u64,
+    /// Raw segment bytes accepted across all jobs.
+    pub bytes: u64,
+    /// Times a producer found its shard queue full and had to block.
+    pub backpressure: u64,
+    pub jobs_opened: u64,
+    pub jobs_finished: u64,
+}
+
+enum ShardMsg {
+    Open { job: JobId, nranks: usize, identity_check: bool },
+    Segment { job: JobId, seg: TraceSegment },
+    Complete { job: JobId, done: RankCompletion },
+    Finish { job: JobId, reply: SyncSender<JobOutcome> },
+    Shutdown,
+}
+
+/// Per-job state held by a shard.
+struct JobState {
+    merger: IncrementalMerger,
+    problems: Vec<String>,
+}
+
+/// A long-running multi-job ingest service.
+///
+/// Open jobs with [`IngestSession::open_job`] (or drive a whole
+/// simulated world through [`IngestSession::submit_world`]), stream
+/// segments through the returned [`JobHandle`], and collect the merged
+/// trace with [`IngestSession::finish_job`]. Dropping the session shuts
+/// the shard workers down.
+pub struct IngestSession {
+    senders: Vec<SyncSender<ShardMsg>>,
+    workers: Vec<JoinHandle<()>>,
+    next_job: AtomicU64,
+    counters: Arc<IngestCounters>,
+    spill_dir: Option<PathBuf>,
+}
+
+impl IngestSession {
+    /// Starts the shard workers (and creates the spill directory, when
+    /// configured).
+    pub fn new(cfg: IngestConfig) -> std::io::Result<Self> {
+        if let Some(dir) = &cfg.spill_dir {
+            fs::create_dir_all(dir)?;
+        }
+        let counters = Arc::new(IngestCounters::default());
+        let mut senders = Vec::with_capacity(cfg.shards.max(1));
+        let mut workers = Vec::with_capacity(cfg.shards.max(1));
+        for shard in 0..cfg.shards.max(1) {
+            let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+            let counters = counters.clone();
+            let spill_dir = cfg.spill_dir.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("ingest-shard-{shard}"))
+                .spawn(move || shard_worker(rx, counters, spill_dir))?;
+            senders.push(tx);
+            workers.push(worker);
+        }
+        Ok(IngestSession {
+            senders,
+            workers,
+            next_job: AtomicU64::new(0),
+            counters,
+            spill_dir: cfg.spill_dir,
+        })
+    }
+
+    /// Opens a new job of `nranks` ranks and returns its stream handle.
+    pub fn open_job(&self, nranks: usize, identity_check: bool) -> JobHandle {
+        let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        let sender = self.senders[job as usize % self.senders.len()].clone();
+        // Opens ride the same FIFO queue as segments, so a job is always
+        // open at its shard before any of its segments arrive.
+        let _ = sender.send(ShardMsg::Open { job, nranks, identity_check });
+        self.counters.jobs_opened.fetch_add(1, Ordering::Relaxed);
+        JobHandle { job, sender, counters: self.counters.clone() }
+    }
+
+    /// Finalizes a job: the shard canonicalizes and combines the merged
+    /// state, spills the container (when configured), and returns the
+    /// outcome. Blocks until the shard has drained the job's queue.
+    pub fn finish_job(&self, handle: &JobHandle) -> JobOutcome {
+        let (reply_tx, reply_rx) = sync_channel(1);
+        let _ = handle.sender.send(ShardMsg::Finish { job: handle.job, reply: reply_tx });
+        let outcome = reply_rx.recv().unwrap_or_else(|_| JobOutcome {
+            job: handle.job,
+            trace: None,
+            calls: 0,
+            segments: 0,
+            ingested_bytes: 0,
+            spill_path: None,
+            problems: vec!["ingest shard hung up before replying".into()],
+        });
+        self.counters.jobs_finished.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    /// Runs a whole simulated world as one streaming job: every rank's
+    /// tracer pushes its segments into the job's handle mid-run, and the
+    /// job is finished (and spilled, when configured) once the world
+    /// completes. Many worlds can run concurrently against one session
+    /// from different threads — that is the point of the session layer.
+    pub fn submit_world<B>(&self, desc: &JobDesc, body: B) -> JobOutcome
+    where
+        B: Fn(&mut mpi_sim::Env) + Send + Sync + 'static,
+    {
+        let handle = self.open_job(desc.nranks, desc.config.merge_identity_check);
+        let world_cfg = mpi_sim::WorldConfig::new(desc.nranks).seed(desc.seed).label(format!(
+            "{}#{}",
+            desc.name,
+            handle.job()
+        ));
+        let sink: Arc<dyn SegmentSink> = Arc::new(handle.clone());
+        let tracer_cfg = desc.config;
+        let _tracers = mpi_sim::World::run(
+            &world_cfg,
+            |rank| PilgrimTracer::new(rank, tracer_cfg).with_segment_sink(sink.clone()),
+            body,
+        );
+        self.finish_job(&handle)
+    }
+
+    /// Session-wide counters.
+    pub fn stats(&self) -> IngestStats {
+        IngestStats {
+            segments: self.counters.segments.load(Ordering::Relaxed),
+            bytes: self.counters.bytes.load(Ordering::Relaxed),
+            backpressure: self.counters.backpressure.load(Ordering::Relaxed),
+            jobs_opened: self.counters.jobs_opened.load(Ordering::Relaxed),
+            jobs_finished: self.counters.jobs_finished.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The configured spill directory, if any.
+    pub fn spill_dir(&self) -> Option<&Path> {
+        self.spill_dir.as_deref()
+    }
+}
+
+impl Drop for IngestSession {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// One job's stream endpoint: cheap to clone, shared by every rank of
+/// the job's world. Implements [`SegmentSink`] with bounded-queue
+/// backpressure — a full shard queue blocks the pushing rank after
+/// counting a backpressure event, so producers can outrun the collector
+/// only up to the queue depth.
+#[derive(Clone)]
+pub struct JobHandle {
+    job: JobId,
+    sender: SyncSender<ShardMsg>,
+    counters: Arc<IngestCounters>,
+}
+
+impl JobHandle {
+    pub fn job(&self) -> JobId {
+        self.job
+    }
+
+    fn send(&self, msg: ShardMsg) {
+        match self.sender.try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) => {
+                self.counters.backpressure.fetch_add(1, Ordering::Relaxed);
+                let _ = self.sender.send(msg);
+            }
+            // Session shut down mid-job: nothing to deliver to.
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
+
+impl SegmentSink for JobHandle {
+    fn push_segment(&self, seg: TraceSegment) {
+        self.send(ShardMsg::Segment { job: self.job, seg });
+    }
+
+    fn complete_rank(&self, done: RankCompletion) {
+        self.send(ShardMsg::Complete { job: self.job, done });
+    }
+}
+
+fn shard_worker(rx: Receiver<ShardMsg>, counters: Arc<IngestCounters>, spill_dir: Option<PathBuf>) {
+    let mut jobs: HashMap<JobId, JobState> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Open { job, nranks, identity_check } => {
+                let merger = IncrementalMerger::new(nranks).identity_check(identity_check);
+                jobs.insert(job, JobState { merger, problems: Vec::new() });
+            }
+            ShardMsg::Segment { job, seg } => {
+                let Some(state) = jobs.get_mut(&job) else { continue };
+                let (len, rank, seq) = (seg.bytes.len(), seg.rank, seg.seq);
+                match state.merger.accept_segment(&seg) {
+                    Ok(()) => {
+                        counters.segments.fetch_add(1, Ordering::Relaxed);
+                        counters.bytes.fetch_add(len as u64, Ordering::Relaxed);
+                    }
+                    Err(e) => state.problems.push(format!("segment {rank}/{seq}: {e}")),
+                }
+            }
+            ShardMsg::Complete { job, done } => {
+                let Some(state) = jobs.get_mut(&job) else { continue };
+                let rank = done.rank;
+                if let Err(e) = state.merger.complete_rank(done) {
+                    state.problems.push(format!("complete {rank}: {e}"));
+                }
+            }
+            ShardMsg::Finish { job, reply } => {
+                let outcome = match jobs.remove(&job) {
+                    Some(state) => finish_job(job, state, spill_dir.as_deref()),
+                    None => JobOutcome {
+                        job,
+                        trace: None,
+                        calls: 0,
+                        segments: 0,
+                        ingested_bytes: 0,
+                        spill_path: None,
+                        problems: vec![format!("job {job} is not open on this shard")],
+                    },
+                };
+                let _ = reply.send(outcome);
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+fn finish_job(job: JobId, state: JobState, spill_dir: Option<&Path>) -> JobOutcome {
+    let JobState { merger, mut problems } = state;
+    let calls = merger.call_count();
+    let segments = merger.segment_count();
+    let ingested_bytes = merger.ingested_bytes();
+    let trace = merger.finalize();
+    let spill_path = spill_dir.and_then(|dir| {
+        let path = dir.join(format!("job-{job}.pilgrim"));
+        match spill_container(&path, &write_container(&trace)) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                problems.push(format!("spill {}: {e}", path.display()));
+                None
+            }
+        }
+    });
+    JobOutcome { job, trace: Some(trace), calls, segments, ingested_bytes, spill_path, problems }
+}
+
+/// Crash-safe container write: temporary file, `sync_all`, atomic
+/// rename. A crash mid-spill leaves either the previous container or a
+/// `.tmp` orphan — never a torn file at the final path.
+fn spill_container(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("pilgrim.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+/// A sink that drops everything (streaming disabled but a sink is
+/// required structurally — e.g. benchmarking the tracer side alone).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl SegmentSink for NullSink {
+    fn push_segment(&self, _seg: TraceSegment) {}
+    fn complete_rank(&self, _done: RankCompletion) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::encode_checkpoint;
+    use crate::cst::Cst;
+    use crate::encode::EncoderConfig;
+    use pilgrim_sequitur::Grammar;
+
+    fn segment(rank: usize, seq: u32, sigs: &[&[u8]]) -> TraceSegment {
+        let mut cst = Cst::new();
+        let mut g = Grammar::new();
+        for s in sigs {
+            let t = cst.observe(s, 5);
+            g.push(t);
+        }
+        let flat = g.to_flat();
+        let bytes = encode_checkpoint(flat.expanded_len(), &cst, &flat);
+        TraceSegment { rank, seq, sealed: false, bytes }
+    }
+
+    fn completion(rank: usize, calls: u64) -> RankCompletion {
+        RankCompletion {
+            rank,
+            call_count: calls,
+            duration: None,
+            interval: None,
+            encoder_cfg: EncoderConfig::default(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_merge_independently() {
+        let session = IngestSession::new(IngestConfig::new().shards(2)).unwrap();
+        let a = session.open_job(2, true);
+        let b = session.open_job(2, true);
+        // Interleave the two jobs' streams.
+        a.push_segment(segment(0, 0, &[b"a", b"b"]));
+        b.push_segment(segment(1, 0, &[b"z"]));
+        a.push_segment(segment(1, 0, &[b"a", b"b"]));
+        b.push_segment(segment(0, 0, &[b"z"]));
+        for r in 0..2 {
+            a.complete_rank(completion(r, 2));
+            b.complete_rank(completion(r, 1));
+        }
+        let oa = session.finish_job(&a);
+        let ob = session.finish_job(&b);
+        assert!(oa.is_lossless(), "job a problems: {:?}", oa.problems);
+        assert!(ob.is_lossless(), "job b problems: {:?}", ob.problems);
+        let ta = oa.trace.unwrap();
+        let tb = ob.trace.unwrap();
+        assert_eq!(ta.cst.len(), 2);
+        assert_eq!(tb.cst.len(), 1);
+        assert_eq!(ta.rank_lengths, vec![2, 2]);
+        assert_eq!(tb.rank_lengths, vec![1, 1]);
+        let stats = session.stats();
+        assert_eq!(stats.segments, 4);
+        assert_eq!(stats.jobs_opened, 2);
+        assert_eq!(stats.jobs_finished, 2);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_loss() {
+        let session = IngestSession::new(IngestConfig::new().shards(1).queue_capacity(1)).unwrap();
+        let h = session.open_job(1, true);
+        for seq in 0..64 {
+            h.push_segment(TraceSegment { sealed: true, ..segment(0, seq, &[b"s"]) });
+        }
+        h.push_segment(segment(0, 64, &[b"s"]));
+        h.complete_rank(completion(0, 65));
+        let out = session.finish_job(&h);
+        assert!(out.is_lossless(), "problems: {:?}", out.problems);
+        assert_eq!(out.segments, 65);
+        assert_eq!(out.trace.unwrap().rank_lengths, vec![65]);
+    }
+
+    #[test]
+    fn ingest_problems_are_reported_not_lost() {
+        let session = IngestSession::new(IngestConfig::default()).unwrap();
+        let h = session.open_job(1, true);
+        h.push_segment(segment(5, 0, &[b"s"])); // unknown rank
+        h.push_segment(segment(0, 0, &[b"s"]));
+        h.complete_rank(completion(0, 1));
+        let out = session.finish_job(&h);
+        assert!(!out.is_lossless());
+        assert_eq!(out.problems.len(), 1);
+        assert!(out.problems[0].contains("outside world"));
+        // The good stream still merged.
+        assert_eq!(out.trace.unwrap().rank_lengths, vec![1]);
+    }
+
+    #[test]
+    fn submit_world_streams_a_whole_job() {
+        let session = IngestSession::new(IngestConfig::default()).unwrap();
+        let body = mpi_workloads::by_name("stencil2d", 4);
+        let out = session.submit_world(&JobDesc::new("stencil2d", 4), move |env| body(env));
+        assert!(out.is_lossless(), "problems: {:?}", out.problems);
+        let trace = out.trace.unwrap();
+        assert_eq!(trace.nranks, 4);
+        assert!(trace.rank_lengths.iter().all(|&l| l > 0));
+        assert_eq!(out.calls, trace.rank_lengths.iter().sum::<u64>());
+        assert!(out.segments >= 4, "at least one final segment per rank");
+    }
+
+    #[test]
+    fn finished_jobs_spill_valid_containers() {
+        let dir = std::env::temp_dir().join(format!("pilgrim-ingest-spill-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let session = IngestSession::new(IngestConfig::new().spill_dir(&dir)).unwrap();
+        let h = session.open_job(1, true);
+        h.push_segment(segment(0, 0, &[b"a", b"b", b"a"]));
+        h.complete_rank(completion(0, 3));
+        let out = session.finish_job(&h);
+        let path = out.spill_path.clone().expect("spill path set");
+        let bytes = fs::read(&path).unwrap();
+        let back = GlobalTrace::decode_auto(&bytes).unwrap();
+        assert_eq!(back.serialize(), out.trace.unwrap().serialize());
+        assert!(!path.with_extension("pilgrim.tmp").exists(), "tmp file must be renamed away");
+        drop(session);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -42,7 +42,7 @@
 //!         }
 //!     },
 //! );
-//! let trace = tracers[0].take_global_trace().expect("rank 0 holds the trace");
+//! let trace = tracers[0].take_output().trace.expect("rank 0 holds the trace");
 //! assert_eq!(trace.nranks, 4);
 //! // 400+ calls compress into a few hundred bytes.
 //! assert!(trace.size_bytes() < 1000);
@@ -85,6 +85,23 @@
 //! `query`), and `trace_tool` exposes it as the `query`, `slice`, and
 //! `matrix` subcommands.
 //!
+//! ## Streaming ingest
+//!
+//! The batch pipeline above holds every rank's piece until a
+//! finalize-time binomial merge. The [`ingest`] module inverts that:
+//! an [`IncrementalMerger`](merge::IncrementalMerger) folds grammar
+//! segments into one merged state *as they arrive* (canonically
+//! renumbering at finalize so the result is byte-identical to the batch
+//! merge), and an [`IngestSession`](ingest::IngestSession) multiplexes
+//! many concurrent jobs over sharded worker threads with bounded,
+//! backpressured queues and crash-safe container spill. Attach a rank
+//! to a session with [`PilgrimTracer::with_segment_sink`]: the governor's
+//! sealed segments then stream out mid-run instead of accumulating, and
+//! finalize pushes the final segment plus a
+//! [`RankCompletion`](merge::RankCompletion) instead of merging. The
+//! `pilgrimd` binary in `pilgrim-bench` is the collector built on this
+//! API.
+//!
 //! ## Errors
 //!
 //! Every fallible decoder returns `Result<_, `[`DecodeError`]`>` —
@@ -92,8 +109,11 @@
 //! `FlatGrammar::decode` in `pilgrim_sequitur` — reporting *why* and at
 //! which byte offset a malformed buffer was rejected (truncation, bad
 //! rule references, cyclic rule graphs, trailing bytes, impossible
-//! counts). The old `Option`-returning `deserialize` entry points remain
-//! as deprecated shims.
+//! counts). The old `Option`-returning `deserialize` entry points have
+//! been removed. The batch merge has a single entry point,
+//! [`merge::merge`]`(ctx, piece, &MergeOptions) -> MergeOutcome`; the
+//! former `merge_with_options` / `merge_with_metrics` / `merge_degraded`
+//! signatures remain for one release as `#[deprecated]` wrappers.
 
 pub mod avl;
 pub mod checkpoint;
@@ -104,6 +124,7 @@ pub mod error;
 pub mod export;
 pub mod governor;
 pub mod idpool;
+pub mod ingest;
 pub mod memtracker;
 pub mod merge;
 pub mod metrics;
@@ -126,7 +147,15 @@ pub use export::{
     CONTAINER_VERSION,
 };
 pub use governor::{Component, ComponentBytes, DegradationEvent, DegradationStage, Governor};
-pub use merge::{merge_degraded, LocalPiece, MergeError, MergePolicy};
+pub use ingest::{
+    IngestConfig, IngestSession, IngestStats, JobDesc, JobHandle, JobId, JobOutcome, SegmentSink,
+};
+pub use merge::{
+    merge, IncrementalMerger, LocalPiece, MergeError, MergeOptions, MergeOutcome, MergePolicy,
+    RankCompletion, SegmentError, TraceSegment,
+};
+#[allow(deprecated)]
+pub use merge::{merge_degraded, merge_with_metrics, merge_with_options};
 pub use metrics::{MetricsRegistry, MetricsReport, Stage, StageGuard};
 pub use query::{
     CallIterator, CommMatrix, QueryEngine, SigCounts, SignatureSummary, TermCursor, TraceIndex,

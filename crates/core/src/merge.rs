@@ -420,32 +420,135 @@ fn bcast_bounded(
     Some(data)
 }
 
-/// Runs the full inter-process compression. Every rank participates;
-/// rank 0 returns the merged [`GlobalTrace`].
-pub fn merge(
-    ctx: &TraceCtx<'_>,
-    piece: LocalPiece,
-    stats: &mut OverheadStats,
-) -> Option<GlobalTrace> {
-    merge_with_options(ctx, piece, stats, true)
+/// Options for the unified [`merge`] entry point: policy knobs plus an
+/// optional metrics sink, replacing the former
+/// `merge`/`merge_with_options`/`merge_with_metrics`/`merge_degraded`
+/// argument-list zoo.
+#[derive(Debug, Clone, Copy)]
+pub struct MergeOptions<'a> {
+    /// Run the grammar identity check before structural merging (§3.5.2).
+    /// Disabling it is the paper's ablation: every rank's grammar is then
+    /// kept distinct.
+    pub identity_check: bool,
+    /// Bounded-wait policy for degraded merges.
+    pub policy: MergePolicy,
+    /// Per-stage timers ([`Stage::CstMerge`], [`Stage::CfgMerge`],
+    /// [`Stage::FinalSequitur`]) and payload-byte counters are recorded
+    /// here when set. The stage timers decompose [`MergeOutcome::stats`]
+    /// exactly: `cst-merge` equals `inter_cst`, and
+    /// `cfg-merge + final-sequitur` equals `inter_cfg`.
+    pub metrics: Option<&'a MetricsRegistry>,
 }
 
-/// [`merge`] with the grammar identity check switchable (ablation: without
-/// it every rank's grammar is kept distinct, § 3.5.2's motivation).
+impl Default for MergeOptions<'static> {
+    fn default() -> Self {
+        MergeOptions { identity_check: true, policy: MergePolicy::default(), metrics: None }
+    }
+}
+
+impl<'a> MergeOptions<'a> {
+    /// Defaults: identity check on, default policy, no metrics sink.
+    pub fn new() -> MergeOptions<'static> {
+        MergeOptions::default()
+    }
+
+    /// Toggles the pre-merge grammar identity check.
+    pub fn identity_check(mut self, on: bool) -> Self {
+        self.identity_check = on;
+        self
+    }
+
+    /// Sets the bounded-wait policy for degraded merges.
+    pub fn policy(mut self, policy: MergePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attaches a metrics sink.
+    pub fn metrics(self, metrics: &MetricsRegistry) -> MergeOptions<'_> {
+        MergeOptions {
+            identity_check: self.identity_check,
+            policy: self.policy,
+            metrics: Some(metrics),
+        }
+    }
+}
+
+/// What [`merge`] produced on this rank.
+#[derive(Debug, Default)]
+pub struct MergeOutcome {
+    /// The merged trace; `Some` only on the rank that holds it (rank 0).
+    /// When any rank was lost it carries a [`TraceCompleteness`] manifest
+    /// naming each lost or checkpoint-recovered rank.
+    pub trace: Option<GlobalTrace>,
+    /// Wall-clock overhead of the merge phases on this rank (`inter_cst`
+    /// and `inter_cfg`; `intra` is always zero here).
+    pub stats: OverheadStats,
+    /// Why this rank's *own* trace could not enter the merge, if it
+    /// could not (it still relayed its subtree's payloads).
+    pub error: Option<MergeError>,
+}
+
+impl MergeOutcome {
+    /// The lost-subtree report: `(rank, merge round)` for every rank the
+    /// manifest records as lost. Empty off the root or on a clean merge.
+    pub fn lost_subtrees(&self) -> Vec<(usize, u32)> {
+        self.trace.as_ref().map(|t| t.completeness.lost_ranks()).unwrap_or_default()
+    }
+
+    /// Whether this rank participated fully and (if root) the trace is
+    /// complete.
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none() && self.trace.as_ref().is_none_or(|t| t.completeness.is_complete())
+    }
+}
+
+/// Runs the full fault-tolerant inter-process compression. Every rank
+/// participates; the returned [`MergeOutcome`] carries the merged
+/// [`GlobalTrace`] on rank 0, this rank's merge-phase overhead, and its
+/// local error (if its own trace missed the merge).
+///
+/// This is the single merge entry point; the former
+/// `merge_with_options` / `merge_with_metrics` / `merge_degraded`
+/// signatures remain as deprecated wrappers for one release.
+pub fn merge(ctx: &TraceCtx<'_>, piece: LocalPiece, opts: &MergeOptions<'_>) -> MergeOutcome {
+    let fallback;
+    let metrics = match opts.metrics {
+        Some(m) => m,
+        None => {
+            fallback = MetricsRegistry::default();
+            &fallback
+        }
+    };
+    let mut stats = OverheadStats::default();
+    match merge_engine(ctx, piece, &mut stats, opts.identity_check, metrics, opts.policy) {
+        Ok(trace) => MergeOutcome { trace, stats, error: None },
+        Err(e) => MergeOutcome { trace: None, stats, error: Some(e) },
+    }
+}
+
+/// [`merge`] with the grammar identity check switchable.
+#[deprecated(since = "0.6.0", note = "use `merge(ctx, piece, &MergeOptions)`")]
 pub fn merge_with_options(
     ctx: &TraceCtx<'_>,
     piece: LocalPiece,
     stats: &mut OverheadStats,
     identity_check: bool,
 ) -> Option<GlobalTrace> {
-    merge_with_metrics(ctx, piece, stats, identity_check, &MetricsRegistry::default())
+    merge_engine(
+        ctx,
+        piece,
+        stats,
+        identity_check,
+        &MetricsRegistry::default(),
+        MergePolicy::default(),
+    )
+    .ok()
+    .flatten()
 }
 
-/// [`merge_with_options`] that additionally records per-stage timers
-/// ([`Stage::CstMerge`], [`Stage::CfgMerge`], [`Stage::FinalSequitur`])
-/// and payload-byte counters in `metrics`. The stage timers decompose the
-/// `OverheadStats` fields exactly: `cst-merge` equals `inter_cst`, and
-/// `cfg-merge + final-sequitur` equals `inter_cfg`.
+/// [`merge`] with a metrics sink.
+#[deprecated(since = "0.6.0", note = "use `merge(ctx, piece, &MergeOptions)`")]
 pub fn merge_with_metrics(
     ctx: &TraceCtx<'_>,
     piece: LocalPiece,
@@ -453,12 +556,24 @@ pub fn merge_with_metrics(
     identity_check: bool,
     metrics: &MetricsRegistry,
 ) -> Option<GlobalTrace> {
-    merge_degraded(ctx, piece, stats, identity_check, metrics, MergePolicy::default())
-        .ok()
-        .flatten()
+    merge_engine(ctx, piece, stats, identity_check, metrics, MergePolicy::default()).ok().flatten()
 }
 
-/// The fault-tolerant merge engine behind every `merge*` entry point.
+/// The fault-tolerant merge with every knob spelled out positionally.
+#[deprecated(since = "0.6.0", note = "use `merge(ctx, piece, &MergeOptions)`")]
+pub fn merge_degraded(
+    ctx: &TraceCtx<'_>,
+    piece: LocalPiece,
+    stats: &mut OverheadStats,
+    identity_check: bool,
+    metrics: &MetricsRegistry,
+    policy: MergePolicy,
+) -> Result<Option<GlobalTrace>, MergeError> {
+    merge_engine(ctx, piece, stats, identity_check, metrics, policy)
+}
+
+/// The fault-tolerant merge engine behind [`merge`] and the deprecated
+/// wrappers.
 ///
 /// `Ok(Some(trace))` on the rank holding the merged trace (rank 0),
 /// `Ok(None)` on other ranks that participated fully, and `Err` on a
@@ -466,7 +581,7 @@ pub fn merge_with_metrics(
 /// subtree). When any rank was lost, the trace carries a
 /// [`TraceCompleteness`] manifest naming each lost or
 /// checkpoint-recovered rank.
-pub fn merge_degraded(
+fn merge_engine(
     ctx: &TraceCtx<'_>,
     piece: LocalPiece,
     stats: &mut OverheadStats,
@@ -942,6 +1057,373 @@ fn hash_cons(rules: &[FlatRule], roots: &[u32]) -> (Vec<FlatRule>, Vec<u32>) {
     (out, map)
 }
 
+// ---------------------------------------------------------------------
+// Incremental (streaming) merge
+// ---------------------------------------------------------------------
+
+/// One grammar segment streamed out of a rank: either a governor-sealed
+/// segment pushed mid-run or the final (live) segment pushed at
+/// finalize. `bytes` is the checkpoint codec payload (call count,
+/// segment CST, segment grammar — see [`crate::checkpoint`]).
+#[derive(Debug, Clone)]
+pub struct TraceSegment {
+    pub rank: usize,
+    /// Per-rank stream sequence number, starting at 0 and gap-free.
+    pub seq: u32,
+    /// True for governor-sealed segments, false for the final segment.
+    pub sealed: bool,
+    /// [`crate::checkpoint::encode_checkpoint`] bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A rank's end-of-stream marker: everything the batch merge learns from
+/// a [`LocalPiece`] besides the grammar segments themselves.
+#[derive(Debug, Clone)]
+pub struct RankCompletion {
+    pub rank: usize,
+    /// Total traced calls across every segment.
+    pub call_count: u64,
+    /// Per-call duration grammar (bin ids, not CST terminals).
+    pub duration: Option<FlatGrammar>,
+    /// Per-call interval grammar (bin ids, not CST terminals).
+    pub interval: Option<FlatGrammar>,
+    pub encoder_cfg: EncoderConfig,
+    /// Degradation events the rank's governor recorded while tracing.
+    pub events: Vec<DegradationEvent>,
+}
+
+/// Why the incremental merger rejected a stream message. Rejections are
+/// per-message: the collector's merged state is untouched and the job's
+/// other ranks are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The segment payload did not decode as a checkpoint.
+    Decode(DecodeError),
+    /// The rank id is outside the job's world.
+    UnknownRank { rank: usize, nranks: usize },
+    /// A segment arrived out of sequence for its rank (segments within
+    /// one rank must be in order; ranks may interleave freely).
+    OutOfOrder { rank: usize, expected: u32, got: u32 },
+    /// The rank already completed; no further messages are accepted.
+    RankComplete { rank: usize },
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::Decode(e) => write!(f, "segment payload did not decode: {e}"),
+            SegmentError::UnknownRank { rank, nranks } => {
+                write!(f, "rank {rank} outside world of {nranks} ranks")
+            }
+            SegmentError::OutOfOrder { rank, expected, got } => {
+                write!(f, "rank {rank} sent segment {got}, expected {expected}")
+            }
+            SegmentError::RankComplete { rank } => {
+                write!(f, "rank {rank} already completed its stream")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// A rank whose stream is still open: its terminal-remapped segment
+/// grammars in sequence order, and whether any of them was sealed (a
+/// sealed segment forces the wrap rule, mirroring the tracer's own
+/// segment assembly).
+#[derive(Debug, Default)]
+struct OpenRank {
+    grammars: Vec<FlatGrammar>,
+    next_seq: u32,
+    wrapped: bool,
+}
+
+/// Streaming counterpart of the batch binomial merge.
+///
+/// Segments are folded into one shared CST *as they arrive*, in any
+/// interleaving across ranks, so the collector holds a single merged
+/// state instead of P full pieces. Arrival order would normally leak
+/// into terminal numbering; the merger therefore tags every terminal
+/// with the smallest `(rank, seq, index)` that produced it and
+/// renumbers canonically at [`IncrementalMerger::finalize`] — the
+/// result is byte-identical to what the batch merge computes from the
+/// same ranks (the batch gather interns CSTs in ascending-rank scan
+/// order, which is exactly the sorted key order).
+///
+/// Grammar identity checks run in arrival-terminal space; that is sound
+/// because the canonical renumbering is a bijection applied uniformly,
+/// so two grammars are equal before the renumbering iff they are equal
+/// after it. Timing grammars encode bin ids, never CST terminals, and
+/// are never remapped — same as the batch path.
+#[derive(Debug)]
+pub struct IncrementalMerger {
+    nranks: usize,
+    identity_check: bool,
+    /// Shared CST in arrival order.
+    cst: Cst,
+    /// Per arrival-order terminal: the minimum `(rank, seq, index)` key.
+    keys: Vec<(u32, u32, u32)>,
+    open: HashMap<usize, OpenRank>,
+    set: GrammarSet,
+    dur_set: GrammarSet,
+    int_set: GrammarSet,
+    events: EventList,
+    /// Lowest-completed-rank encoder config (the batch merge uses rank
+    /// 0's piece; rank 0 is the lowest rank that can complete).
+    encoder_cfg: Option<(usize, EncoderConfig)>,
+    done: Vec<bool>,
+    calls: u64,
+    segments: u64,
+    ingested_bytes: u64,
+}
+
+impl IncrementalMerger {
+    pub fn new(nranks: usize) -> Self {
+        IncrementalMerger {
+            nranks,
+            identity_check: true,
+            cst: Cst::new(),
+            keys: Vec::new(),
+            open: HashMap::new(),
+            set: Vec::new(),
+            dur_set: Vec::new(),
+            int_set: Vec::new(),
+            events: Vec::new(),
+            encoder_cfg: None,
+            done: vec![false; nranks],
+            calls: 0,
+            segments: 0,
+            ingested_bytes: 0,
+        }
+    }
+
+    /// Toggles the grammar identity check applied at rank completion
+    /// (§3.5.2 ablation; on by default).
+    pub fn identity_check(mut self, on: bool) -> Self {
+        self.identity_check = on;
+        self
+    }
+
+    /// World size this merger was built for.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Total traced calls across completed ranks.
+    pub fn call_count(&self) -> u64 {
+        self.calls
+    }
+
+    /// Segments accepted so far.
+    pub fn segment_count(&self) -> u64 {
+        self.segments
+    }
+
+    /// Raw segment bytes accepted so far.
+    pub fn ingested_bytes(&self) -> u64 {
+        self.ingested_bytes
+    }
+
+    /// True once every rank has completed its stream.
+    pub fn is_complete(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+
+    /// Folds one streamed segment into the shared CST and this rank's
+    /// open grammar list. Segments from different ranks may interleave
+    /// arbitrarily; within a rank they must arrive in sequence order.
+    pub fn accept_segment(&mut self, seg: &TraceSegment) -> Result<(), SegmentError> {
+        if seg.rank >= self.nranks {
+            return Err(SegmentError::UnknownRank { rank: seg.rank, nranks: self.nranks });
+        }
+        if self.done[seg.rank] {
+            return Err(SegmentError::RankComplete { rank: seg.rank });
+        }
+        let expected = self.open.get(&seg.rank).map_or(0, |o| o.next_seq);
+        if seg.seq != expected {
+            return Err(SegmentError::OutOfOrder { rank: seg.rank, expected, got: seg.seq });
+        }
+        let ck = decode_checkpoint(&seg.bytes).map_err(SegmentError::Decode)?;
+        let mut remap: Vec<u32> = Vec::with_capacity(ck.cst.len());
+        for (i, sig, st) in ck.cst.iter() {
+            let t = self.cst.intern(sig, st);
+            let key = (seg.rank as u32, seg.seq, i);
+            if t as usize == self.keys.len() {
+                self.keys.push(key);
+            } else if key < self.keys[t as usize] {
+                self.keys[t as usize] = key;
+            }
+            remap.push(t);
+        }
+        let g = map_terminals(&ck.grammar, &remap);
+        let open = self.open.entry(seg.rank).or_default();
+        open.grammars.push(g);
+        open.next_seq = seg.seq + 1;
+        open.wrapped |= seg.sealed;
+        self.segments += 1;
+        self.ingested_bytes += seg.bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Closes a rank's stream: assembles its segment grammars into the
+    /// rank's full-trace grammar (identically to the tracer's own
+    /// segment assembly) and merges it into the collector's grammar set
+    /// with the identity check. The rank's per-segment state is dropped
+    /// here — this is what keeps the collector's footprint one merged
+    /// state rather than P pieces.
+    pub fn complete_rank(&mut self, done: RankCompletion) -> Result<(), SegmentError> {
+        if done.rank >= self.nranks {
+            return Err(SegmentError::UnknownRank { rank: done.rank, nranks: self.nranks });
+        }
+        if self.done[done.rank] {
+            return Err(SegmentError::RankComplete { rank: done.rank });
+        }
+        let open = self.open.remove(&done.rank).unwrap_or_default();
+        let grammar = assemble_rank(open);
+        let entry = (grammar, vec![(done.rank as u64, done.call_count)]);
+        if self.identity_check {
+            merge_sets(&mut self.set, vec![entry]);
+        } else {
+            self.set.push(entry);
+        }
+        // Timing sets always dedup, identity check or not (batch Phase 2b).
+        if let Some(d) = done.duration {
+            merge_sets(&mut self.dur_set, vec![(d, vec![(done.rank as u64, 0)])]);
+        }
+        if let Some(i) = done.interval {
+            merge_sets(&mut self.int_set, vec![(i, vec![(done.rank as u64, 0)])]);
+        }
+        self.events.extend(done.events.into_iter().map(|ev| (done.rank as u64, ev)));
+        match self.encoder_cfg {
+            Some((r, _)) if r <= done.rank => {}
+            _ => self.encoder_cfg = Some((done.rank, done.encoder_cfg)),
+        }
+        self.done[done.rank] = true;
+        self.calls += done.call_count;
+        Ok(())
+    }
+
+    /// Canonicalizes and combines: renumbers terminals into the batch
+    /// merge's rank-scan order, sorts rank lists and grammar-set entries
+    /// the way the batch gather produces them, and runs the same rank-0
+    /// combination (hash-cons, top-sequence Sequitur pass, timing
+    /// split). Ranks that never completed are recorded as
+    /// `Lost { round: 0 }` in the completeness manifest.
+    pub fn finalize(self) -> GlobalTrace {
+        let nranks = self.nranks;
+        // Canonical terminal order: ascending minimum (rank, seq, index)
+        // — first appearance under the batch gather's rank scan.
+        let mut order: Vec<u32> = (0..self.keys.len() as u32).collect();
+        order.sort_by_key(|&t| self.keys[t as usize]);
+        let mut remap = vec![0u32; order.len()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        let mut global_cst = Cst::new();
+        for &old in &order {
+            global_cst.intern(self.cst.signature(old), self.cst.stats(old));
+        }
+        let canonical_set = |set: GrammarSet, renumber: bool| -> GrammarSet {
+            let mut out: GrammarSet = set
+                .into_iter()
+                .map(|(g, mut ranks)| {
+                    ranks.sort_unstable();
+                    (if renumber { map_terminals(&g, &remap) } else { g }, ranks)
+                })
+                .collect();
+            out.sort_by_key(|(_, ranks)| ranks.first().map_or(u64::MAX, |&(r, _)| r));
+            out
+        };
+        let set = canonical_set(self.set, true);
+        // Timing grammars are bin-id space: sort but never renumber.
+        let dur_set = canonical_set(self.dur_set, false);
+        let int_set = canonical_set(self.int_set, false);
+
+        let mut statuses = vec![RankStatus::Merged; nranks];
+        for (rank, &done) in self.done.iter().enumerate() {
+            if !done {
+                statuses[rank] = RankStatus::Lost { round: 0 };
+            }
+        }
+        let mut manifest_events: Vec<(u32, DegradationEvent)> = self
+            .events
+            .into_iter()
+            .filter(|&(r, _)| (r as usize) < nranks)
+            .map(|(r, ev)| (r as u32, ev))
+            .collect();
+        manifest_events.sort_by_key(|&(r, ev)| (r, ev.call_index, ev.stage.code()));
+        let all_merged = statuses.iter().all(|s| matches!(s, RankStatus::Merged));
+        let completeness = if all_merged && manifest_events.is_empty() {
+            TraceCompleteness::complete()
+        } else {
+            TraceCompleteness {
+                ranks: if all_merged { Vec::new() } else { statuses },
+                events: manifest_events,
+            }
+        };
+
+        let unique_grammars = set.len();
+        let (grammar, rank_lengths) = combine_grammars(&set, nranks);
+        let (duration_grammars, mut duration_rank_map) = split_timing(dur_set, nranks);
+        let (interval_grammars, mut interval_rank_map) = split_timing(int_set, nranks);
+        for &(r, ev) in &completeness.events {
+            if ev.stage >= crate::governor::DegradationStage::AggregateTiming {
+                if let Some(slot) = duration_rank_map.get_mut(r as usize) {
+                    *slot = u32::MAX;
+                }
+                if let Some(slot) = interval_rank_map.get_mut(r as usize) {
+                    *slot = u32::MAX;
+                }
+            }
+        }
+
+        GlobalTrace {
+            nranks,
+            encoder_cfg: self.encoder_cfg.map_or_else(EncoderConfig::default, |(_, c)| c),
+            cst: global_cst,
+            grammar,
+            rank_lengths,
+            unique_grammars,
+            duration_grammars,
+            interval_grammars,
+            duration_rank_map,
+            interval_rank_map,
+            completeness,
+        }
+    }
+}
+
+/// Assembles a rank's streamed segments into its full-trace grammar,
+/// mirroring the tracer's own assembly exactly: a lone unsealed (final)
+/// segment is the grammar itself; any sealed segment forces the wrap —
+/// rule 0 references each segment's top rule in sequence order, with
+/// every segment's rule ids offset into one space.
+fn assemble_rank(open: OpenRank) -> FlatGrammar {
+    if !open.wrapped && open.grammars.len() <= 1 {
+        return open.grammars.into_iter().next().unwrap_or_else(FlatGrammar::empty);
+    }
+    let mut rules: Vec<FlatRule> = vec![FlatRule { symbols: Vec::new() }];
+    let mut tops: Vec<u32> = Vec::with_capacity(open.grammars.len());
+    for g in &open.grammars {
+        let offset = rules.len() as u32;
+        tops.push(offset);
+        for r in &g.rules {
+            rules.push(FlatRule {
+                symbols: r
+                    .symbols
+                    .iter()
+                    .map(|&(s, e)| match s {
+                        Symbol::Rule(q) => (Symbol::Rule(q + offset), e),
+                        t => (t, e),
+                    })
+                    .collect(),
+            });
+        }
+    }
+    rules[0] = FlatRule { symbols: tops.iter().map(|&t| (Symbol::Rule(t), 1)).collect() };
+    FlatGrammar { rules }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1107,5 +1589,96 @@ mod tests {
         let (consed, map) = hash_cons(&all, &roots);
         assert_eq!(consed.len(), g.num_rules(), "duplicate rules must collapse");
         assert_eq!(map[roots[0] as usize], map[roots[1] as usize]);
+    }
+
+    // -- incremental merger --
+
+    fn segment(rank: usize, seq: u32, sealed: bool, sigs: &[&[u8]]) -> TraceSegment {
+        let mut cst = Cst::new();
+        let mut g = Grammar::new();
+        for s in sigs {
+            let t = cst.observe(s, 10);
+            g.push(t);
+        }
+        let flat = g.to_flat();
+        let bytes = crate::checkpoint::encode_checkpoint(flat.expanded_len(), &cst, &flat);
+        TraceSegment { rank, seq, sealed, bytes }
+    }
+
+    fn completion(rank: usize, calls: u64) -> RankCompletion {
+        RankCompletion {
+            rank,
+            call_count: calls,
+            duration: None,
+            interval: None,
+            encoder_cfg: EncoderConfig::default(),
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn incremental_rejects_bad_streams() {
+        let mut m = IncrementalMerger::new(2);
+        assert!(matches!(
+            m.accept_segment(&segment(7, 0, false, &[b"a"])),
+            Err(SegmentError::UnknownRank { rank: 7, nranks: 2 })
+        ));
+        assert!(matches!(
+            m.accept_segment(&segment(0, 3, false, &[b"a"])),
+            Err(SegmentError::OutOfOrder { rank: 0, expected: 0, got: 3 })
+        ));
+        m.accept_segment(&segment(0, 0, false, &[b"a"])).unwrap();
+        m.complete_rank(completion(0, 1)).unwrap();
+        assert!(matches!(
+            m.accept_segment(&segment(0, 1, false, &[b"a"])),
+            Err(SegmentError::RankComplete { rank: 0 })
+        ));
+        let seg = TraceSegment { rank: 1, seq: 0, sealed: false, bytes: vec![0xFF, 0xFF] };
+        assert!(matches!(m.accept_segment(&seg), Err(SegmentError::Decode(_))));
+    }
+
+    #[test]
+    fn incremental_is_arrival_order_independent() {
+        // Overlapping signatures across ranks: terminal numbering must
+        // come out in rank-scan order regardless of arrival order.
+        let run = |rank_first: usize| {
+            let mut m = IncrementalMerger::new(2);
+            let order = if rank_first == 0 { [0usize, 1] } else { [1, 0] };
+            for &r in &order {
+                let sigs: &[&[u8]] = if r == 0 { &[b"x", b"y", b"x"] } else { &[b"z", b"y", b"z"] };
+                m.accept_segment(&segment(r, 0, false, sigs)).unwrap();
+            }
+            for r in 0..2 {
+                m.complete_rank(completion(r, 3)).unwrap();
+            }
+            assert!(m.is_complete());
+            m.finalize().serialize()
+        };
+        assert_eq!(run(0), run(1));
+    }
+
+    #[test]
+    fn incremental_wraps_sealed_segments() {
+        let mut m = IncrementalMerger::new(1);
+        m.accept_segment(&segment(0, 0, true, &[b"a", b"b"])).unwrap();
+        m.accept_segment(&segment(0, 1, false, &[b"b", b"c"])).unwrap();
+        m.complete_rank(completion(0, 4)).unwrap();
+        let trace = m.finalize();
+        assert_eq!(trace.rank_lengths, vec![4]);
+        assert_eq!(trace.cst.len(), 3);
+        assert_eq!(trace.grammar.expand(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn incremental_marks_missing_ranks_lost() {
+        let mut m = IncrementalMerger::new(3);
+        m.accept_segment(&segment(0, 0, false, &[b"a"])).unwrap();
+        m.complete_rank(completion(0, 1)).unwrap();
+        m.accept_segment(&segment(2, 0, false, &[b"a"])).unwrap();
+        m.complete_rank(completion(2, 1)).unwrap();
+        assert!(!m.is_complete());
+        let trace = m.finalize();
+        assert_eq!(trace.completeness.ranks[1], RankStatus::Lost { round: 0 });
+        assert_eq!(trace.rank_lengths, vec![1, 0, 1]);
     }
 }

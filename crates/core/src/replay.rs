@@ -101,7 +101,7 @@ pub fn replay_and_retrace(trace: &GlobalTrace, cfg: PilgrimConfig) -> GlobalTrac
             rp.drain(env);
         },
     );
-    tracers[0].take_global_trace().expect("replay trace")
+    tracers[0].take_output().trace.expect("replay trace")
 }
 
 /// Per-rank replay state: symbolic id -> live object maps.

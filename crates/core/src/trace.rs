@@ -353,15 +353,6 @@ impl GlobalTrace {
         out
     }
 
-    /// Deserializes a trace written by [`GlobalTrace::serialize`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `GlobalTrace::decode`, which reports why decoding failed"
-    )]
-    pub fn deserialize(buf: &[u8]) -> Option<GlobalTrace> {
-        Self::decode(buf).ok()
-    }
-
     /// Decodes a trace written by [`GlobalTrace::serialize`], reporting
     /// exactly where a malformed buffer went wrong. The whole buffer must
     /// be consumed; leftover bytes are [`DecodeError::TrailingBytes`].

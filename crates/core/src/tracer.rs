@@ -4,6 +4,7 @@
 //! merge at finalize.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 use mpi_sim::funcs::FuncId;
@@ -15,8 +16,9 @@ use crate::cst::Cst;
 use crate::encode::{EncoderConfig, SigWriter};
 use crate::governor::{ComponentBytes, DegradationStage, Governor};
 use crate::idpool::{IdPool, SigPools};
+use crate::ingest::SegmentSink;
 use crate::memtracker::MemTracker;
-use crate::merge::{self, LocalPiece, MergeError};
+use crate::merge::{self, LocalPiece, MergeError, RankCompletion, TraceSegment};
 use crate::metrics::{MetricsRegistry, MetricsReport, Stage};
 use crate::stats::OverheadStats;
 use crate::timing::TimingCompressor;
@@ -210,7 +212,15 @@ pub struct PilgrimTracer {
     calls: u64,
     /// Sealed grammar segments, serialized with the checkpoint codec and
     /// excluded from the governed working set (modeled spill-to-disk).
+    /// Stays empty in streaming mode: sealed segments are pushed to the
+    /// sink instead of being retained.
     sealed: Vec<Vec<u8>>,
+    /// Streaming seam: when set, sealed segments are pushed out as they
+    /// are produced and finalize streams the final segment plus a
+    /// completion marker instead of running the batch merge.
+    sink: Option<Arc<dyn SegmentSink>>,
+    /// Next segment sequence number on the stream.
+    stream_seq: u32,
     /// The governor collapsed per-call timing to aggregates mid-run.
     timing_dropped: bool,
     metrics: MetricsRegistry,
@@ -254,6 +264,8 @@ impl PilgrimTracer {
             governor: Governor::new(cfg.memory_budget),
             calls: 0,
             sealed: Vec::new(),
+            sink: None,
+            stream_seq: 0,
             timing_dropped: false,
             metrics: MetricsRegistry::new(cfg.metrics),
             stats: OverheadStats::default(),
@@ -270,6 +282,16 @@ impl PilgrimTracer {
         PilgrimTracer::new(rank, PilgrimConfig::default())
     }
 
+    /// Attaches a segment stream: sealed segments are pushed to `sink`
+    /// mid-run instead of being retained, and finalize streams the final
+    /// segment plus a [`RankCompletion`] instead of running the batch
+    /// merge (no rank then holds the merged trace — the collector
+    /// driving the sink does). See [`crate::ingest`].
+    pub fn with_segment_sink(mut self, sink: Arc<dyn SegmentSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     // ------------------------------------------------------------------
     // Accessors (harness / tests)
     // ------------------------------------------------------------------
@@ -277,12 +299,6 @@ impl PilgrimTracer {
     /// The merged trace; `Some` only on rank 0 after finalize.
     pub fn global_trace(&self) -> Option<&GlobalTrace> {
         self.result.as_ref()
-    }
-
-    /// Takes ownership of the merged trace. Compatibility accessor;
-    /// equivalent to `take_output().trace` but drops metrics and stats.
-    pub fn take_global_trace(&mut self) -> Option<GlobalTrace> {
-        self.result.take()
     }
 
     /// Takes everything finalize produced: the merged trace (rank 0), the
@@ -750,12 +766,26 @@ impl PilgrimTracer {
     }
 
     /// Stage 3: serialize the current CST + grammar as a sealed segment
-    /// (checkpoint codec; modeled spill, excluded from the governed set)
-    /// and restart them empty. The new segment stays frozen — the ladder
-    /// never steps back down.
+    /// (checkpoint codec) and restart them empty. The new segment stays
+    /// frozen — the ladder never steps back down. Without a sink the
+    /// segment is retained (modeled spill, excluded from the governed
+    /// set); with one it is streamed out immediately and the rank keeps
+    /// nothing.
     fn seal_segment(&mut self) {
         let flat = self.grammar.to_flat();
-        self.sealed.push(encode_checkpoint(flat.expanded_len(), &self.cst, &flat));
+        let bytes = encode_checkpoint(flat.expanded_len(), &self.cst, &flat);
+        match &self.sink {
+            Some(sink) => {
+                sink.push_segment(TraceSegment {
+                    rank: self.rank,
+                    seq: self.stream_seq,
+                    sealed: true,
+                    bytes,
+                });
+                self.stream_seq += 1;
+            }
+            None => self.sealed.push(bytes),
+        }
         self.cst = Cst::new();
         self.grammar = Grammar::new();
         self.grammar.freeze();
@@ -806,6 +836,69 @@ impl PilgrimTracer {
         }
         rules[0] = FlatRule { symbols: tops.iter().map(|&t| (Symbol::Rule(t), 1)).collect() };
         (cst, FlatGrammar { rules })
+    }
+
+    /// Timing gather payloads: a rank whose governor collapsed per-call
+    /// timing still contributes empty placeholders so the merge stays
+    /// symmetric across ranks (rank 0 maps them to the no-timing
+    /// sentinel using the degradation events).
+    fn timing_payload(&self) -> (Option<FlatGrammar>, Option<FlatGrammar>) {
+        if self.timing_dropped {
+            (Some(FlatGrammar::empty()), Some(FlatGrammar::empty()))
+        } else {
+            (
+                self.timing.as_ref().map(|t| t.duration_grammar()),
+                self.timing.as_ref().map(|t| t.interval_grammar()),
+            )
+        }
+    }
+
+    /// This rank's merge input, as the batch finalize builds it: the
+    /// assembled CST + grammar, timing payloads, call count, and the
+    /// governor's degradation events. Harnesses that drive the merge
+    /// entry points themselves (rather than through finalize) start
+    /// here. Meaningless on a streaming tracer whose sealed segments
+    /// were already pushed away.
+    pub fn local_piece(&self) -> LocalPiece {
+        let (cst, grammar) = self.assembled();
+        let (duration, interval) = self.timing_payload();
+        LocalPiece {
+            rank: self.rank,
+            cst,
+            grammar,
+            call_count: self.calls,
+            duration,
+            interval,
+            encoder_cfg: self.cfg.encoder,
+            events: self.governor.events().to_vec(),
+        }
+    }
+
+    /// Streaming finalize: push the final (live) segment — unless every
+    /// call already went out in sealed segments — then the completion
+    /// marker. No batch merge runs; the collector driving the sink holds
+    /// the merged state, so `result` stays `None` on every rank.
+    fn finalize_streaming(&mut self, sink: &dyn SegmentSink) {
+        if self.stream_seq == 0 || self.grammar.input_len() > 0 {
+            let flat = self.grammar.to_flat();
+            let bytes = encode_checkpoint(flat.expanded_len(), &self.cst, &flat);
+            sink.push_segment(TraceSegment {
+                rank: self.rank,
+                seq: self.stream_seq,
+                sealed: false,
+                bytes,
+            });
+            self.stream_seq += 1;
+        }
+        let (duration, interval) = self.timing_payload();
+        sink.complete_rank(RankCompletion {
+            rank: self.rank,
+            call_count: self.calls,
+            duration,
+            interval,
+            encoder_cfg: self.cfg.encoder,
+            events: self.governor.events().to_vec(),
+        });
     }
 }
 
@@ -943,29 +1036,11 @@ impl Tracer for PilgrimTracer {
             return;
         }
         self.finalized = true;
-        let (cst, grammar) = self.assembled();
-        // A rank that shed per-call timing still participates in the
-        // timing gathers with an empty placeholder so the merge stays
-        // symmetric across ranks; rank 0 maps it to the no-timing
-        // sentinel using the degradation events.
-        let (duration, interval) = if self.timing_dropped {
-            (Some(FlatGrammar::empty()), Some(FlatGrammar::empty()))
-        } else {
-            (
-                self.timing.as_ref().map(|t| t.duration_grammar()),
-                self.timing.as_ref().map(|t| t.interval_grammar()),
-            )
-        };
-        let piece = LocalPiece {
-            rank: self.rank,
-            cst,
-            grammar,
-            call_count: self.calls,
-            duration,
-            interval,
-            encoder_cfg: self.cfg.encoder,
-            events: self.governor.events().to_vec(),
-        };
+        if let Some(sink) = self.sink.clone() {
+            self.finalize_streaming(&*sink);
+            return;
+        }
+        let piece = self.local_piece();
         self.local_size = piece.local_size_bytes();
         if self.metrics.is_enabled() {
             let gs = self.grammar.stats();
@@ -977,24 +1052,20 @@ impl Tracer for PilgrimTracer {
             self.metrics.set_gauge("local.bytes", self.local_size as u64);
             self.governor.publish(&self.metrics);
         }
-        match merge::merge_degraded(
-            ctx,
-            piece,
-            &mut self.stats,
-            self.cfg.merge_identity_check,
-            &self.metrics,
-            merge::MergePolicy::with_timeout_ms(self.cfg.merge_timeout_ms),
-        ) {
-            Ok(trace) => self.result = trace,
-            Err(e) => {
-                // This rank's own trace never entered the merge (its CST
-                // broadcast parent vanished, or its gather payload was
-                // dropped); rank 0's manifest records it as lost or
-                // checkpoint-recovered.
-                self.metrics.incr("merge.local_errors", 1);
-                self.merge_error = Some(e);
-                self.result = None;
-            }
+        let opts = merge::MergeOptions::new()
+            .identity_check(self.cfg.merge_identity_check)
+            .policy(merge::MergePolicy::with_timeout_ms(self.cfg.merge_timeout_ms))
+            .metrics(&self.metrics);
+        let outcome = merge::merge(ctx, piece, &opts);
+        self.stats.merge(&outcome.stats);
+        if let Some(e) = outcome.error {
+            // This rank's own trace never entered the merge (its CST
+            // broadcast parent vanished, or its gather payload was
+            // dropped); rank 0's manifest records it as lost or
+            // checkpoint-recovered.
+            self.metrics.incr("merge.local_errors", 1);
+            self.merge_error = Some(e);
         }
+        self.result = outcome.trace;
     }
 }

@@ -33,7 +33,7 @@ fn trace_bytes() -> &'static [u8] {
                 }
             },
         );
-        tracers[0].take_global_trace().unwrap().serialize()
+        tracers[0].take_output().trace.unwrap().serialize()
     })
 }
 
@@ -66,7 +66,7 @@ fn container_fixture() -> &'static ContainerFixture {
                 }
             },
         );
-        let trace = tracers[0].take_global_trace().unwrap();
+        let trace = tracers[0].take_output().trace.unwrap();
         let refs = tracers.iter().map(|t| t.captured().to_vec()).collect();
         (write_container(&trace), trace.serialize(), refs)
     })

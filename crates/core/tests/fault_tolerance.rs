@@ -68,7 +68,7 @@ fn killed_rank_contributes_its_last_checkpoint() {
     assert_eq!(out.failures, vec![RankFailure { rank: 5, calls: 37 }]);
     assert!(out.tracers[5].is_none());
     let trace =
-        out.tracers[0].as_mut().expect("rank 0 survives").take_global_trace().expect("trace");
+        out.tracers[0].as_mut().expect("rank 0 survives").take_output().trace.expect("trace");
 
     // Manifest: rank 5 recovered from its last checkpoint (30 = 3 * 10
     // calls), everyone else fully merged.
@@ -116,7 +116,7 @@ fn killed_rank_without_checkpoints_is_lost_not_fatal() {
         |rank| PilgrimTracer::new(rank, cfg),
         |env| ring_and_allreduce(env, 12),
     );
-    let trace = out.tracers[0].as_mut().unwrap().take_global_trace().expect("trace");
+    let trace = out.tracers[0].as_mut().unwrap().take_output().trace.expect("trace");
     match trace.completeness.status(3) {
         RankStatus::Lost { .. } => {}
         other => panic!("rank 3 should be lost, got {other:?}"),
@@ -142,7 +142,7 @@ fn healthy_runs_keep_a_complete_manifest() {
         |rank| PilgrimTracer::new(rank, cfg),
         |env| ring_and_allreduce(env, 10),
     );
-    let trace = tracers[0].take_global_trace().expect("trace");
+    let trace = tracers[0].take_output().trace.expect("trace");
     assert!(trace.completeness.is_complete());
     assert_eq!(trace.size_report().manifest_bytes, 1);
     assert!(partial_replay_report(&trace).is_fully_replayable());
@@ -161,7 +161,7 @@ fn killing_a_subtree_root_does_not_lose_its_children() {
         |rank| PilgrimTracer::new(rank, cfg),
         |env| ring_and_allreduce(env, 25),
     );
-    let trace = out.tracers[0].as_mut().unwrap().take_global_trace().expect("trace");
+    let trace = out.tracers[0].as_mut().unwrap().take_output().trace.expect("trace");
     for rank in (0..8).filter(|&r| r != 4) {
         assert_eq!(
             trace.completeness.status(rank),
@@ -185,7 +185,7 @@ fn degraded_merge_is_deterministic() {
             |rank| PilgrimTracer::new(rank, cfg),
             |env| ring_and_allreduce(env, 20),
         );
-        out.tracers[0].as_mut().unwrap().take_global_trace().expect("trace").serialize()
+        out.tracers[0].as_mut().unwrap().take_output().trace.expect("trace").serialize()
     };
     assert_eq!(run(), run());
 }

@@ -52,7 +52,7 @@ fn check_bounded(iters: usize, seed: u64, budget: usize) -> Result<(), TestCaseE
             );
         }
     }
-    let trace = tracers[0].take_global_trace().expect("rank 0 holds the trace");
+    let trace = tracers[0].take_output().trace.expect("rank 0 holds the trace");
     let problems = trace.validate();
     prop_assert!(problems.is_empty(), "degraded trace validates: {problems:?}");
     let back = GlobalTrace::decode(&trace.serialize()).expect("roundtrip");
@@ -87,7 +87,7 @@ fn unreached_budget_is_byte_identical_to_unbudgeted() {
                 move |rank| PilgrimTracer::new(rank, cfg),
                 move |env: &mut Env| body(env),
             );
-            tracers[0].take_global_trace().expect("trace")
+            tracers[0].take_output().trace.expect("trace")
         };
         let plain = run(PilgrimConfig::new());
         let budgeted = run(PilgrimConfig::new().memory_budget(1 << 30));
@@ -107,7 +107,7 @@ fn degraded_run() -> (GlobalTrace, Vec<Vec<pilgrim::CapturedCall>>) {
         .memory_budget(64 * 1024);
     let mut tracers = run_adversarial(2, 200, 7, cfg);
     let refs: Vec<_> = tracers.iter().map(|t| t.captured().to_vec()).collect();
-    let trace = tracers[0].take_global_trace().expect("rank 0 holds the trace");
+    let trace = tracers[0].take_output().trace.expect("rank 0 holds the trace");
     (trace, refs)
 }
 
@@ -170,7 +170,7 @@ fn degraded_traces_are_deterministic_under_a_fixed_seed() {
     let bytes: Vec<Vec<u8>> = (0..2)
         .map(|_| {
             let mut tracers = run_adversarial(2, 150, 1234, cfg);
-            tracers[0].take_global_trace().expect("trace").serialize()
+            tracers[0].take_output().trace.expect("trace").serialize()
         })
         .collect();
     // Byte-identical including the degradation events in the manifest.

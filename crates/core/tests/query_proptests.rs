@@ -209,7 +209,7 @@ proptest! {
             |rank| PilgrimTracer::new(rank, PilgrimConfig::new()),
             move |env| body(env),
         );
-        let trace = tracers[0].take_global_trace().unwrap();
+        let trace = tracers[0].take_output().trace.unwrap();
         let index = TraceIndex::build(&trace);
         for rank in 0..nranks {
             let full = decode_rank_calls(&trace, rank).unwrap();

@@ -9,7 +9,7 @@ fn trace_workload(name: &str, nranks: usize, iters: usize) -> pilgrim::GlobalTra
     let body = mpi_workloads_body(name, iters);
     let mut tracers =
         World::run(&WorldConfig::new(nranks), PilgrimTracer::with_defaults, move |env| body(env));
-    tracers[0].take_global_trace().unwrap()
+    tracers[0].take_output().trace.unwrap()
 }
 
 fn mpi_workloads_body(name: &str, iters: usize) -> TestBody {
@@ -163,7 +163,7 @@ fn replay_nondeterministic_program_completes() {
     });
     let mut tracers =
         World::run(&WorldConfig::new(4), PilgrimTracer::with_defaults, move |env| body(env));
-    let original = tracers[0].take_global_trace().unwrap();
+    let original = tracers[0].take_output().trace.unwrap();
     let replayed = pilgrim::replay_and_retrace(&original, PilgrimConfig::default());
     assert_eq!(replayed.nranks, 4);
     assert_eq!(replayed.rank_lengths, original.rank_lengths);
@@ -196,7 +196,7 @@ fn replay_persistent_requests_faithful() {
     });
     let mut tracers =
         World::run(&WorldConfig::new(4), PilgrimTracer::with_defaults, move |env| body(env));
-    let original = tracers[0].take_global_trace().unwrap();
+    let original = tracers[0].take_output().trace.unwrap();
     let replayed = replay(&original);
     assert_eq!(replayed.rank_lengths, original.rank_lengths);
     assert_eq!(replayed.decode_all_ranks(), original.decode_all_ranks());
@@ -223,7 +223,7 @@ fn replay_cart_topology_faithful() {
     });
     let mut tracers =
         World::run(&WorldConfig::new(6), PilgrimTracer::with_defaults, move |env| body(env));
-    let original = tracers[0].take_global_trace().unwrap();
+    let original = tracers[0].take_output().trace.unwrap();
     let replayed = replay(&original);
     assert_eq!(replayed.rank_lengths, original.rank_lengths);
     assert_eq!(replayed.decode_all_ranks(), original.decode_all_ranks());
@@ -246,7 +246,7 @@ fn replay_sendrecv_replace_faithful() {
     });
     let mut tracers =
         World::run(&WorldConfig::new(5), PilgrimTracer::with_defaults, move |env| body(env));
-    let original = tracers[0].take_global_trace().unwrap();
+    let original = tracers[0].take_output().trace.unwrap();
     let replayed = replay(&original);
     assert_eq!(replayed.decode_all_ranks(), original.decode_all_ranks());
 }

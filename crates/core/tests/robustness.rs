@@ -19,7 +19,7 @@ fn sample_trace_bytes() -> Vec<u8> {
             env.barrier(world);
         }
     });
-    tracers[0].take_global_trace().unwrap().serialize()
+    tracers[0].take_output().trace.unwrap().serialize()
 }
 
 /// Serialized trace of a 4-rank bcast+barrier run where `victim` (never
@@ -49,7 +49,7 @@ fn degraded_trace_bytes(
             }
         },
     );
-    out.tracers[0].as_mut().expect("rank 0 survives").take_global_trace().unwrap().serialize()
+    out.tracers[0].as_mut().expect("rank 0 survives").take_output().trace.unwrap().serialize()
 }
 
 #[test]

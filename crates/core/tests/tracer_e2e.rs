@@ -12,7 +12,7 @@ fn traced_run<B: Fn(&mut Env) + Send + Sync + 'static>(
     body: B,
 ) -> (GlobalTrace, Vec<PilgrimTracer>) {
     let mut tracers = World::run(&WorldConfig::new(n), |rank| PilgrimTracer::new(rank, cfg), body);
-    let trace = tracers[0].take_global_trace().expect("rank 0 trace");
+    let trace = tracers[0].take_output().trace.expect("rank 0 trace");
     (trace, tracers)
 }
 

@@ -37,6 +37,11 @@ pub struct WorldConfig {
     pub compute_spin: f64,
     /// Injected-fault schedule, honored by [`World::run_faulty`].
     pub faults: Option<FaultPlan>,
+    /// Optional label appended to rank thread names (`rank-3@<label>`).
+    /// Multi-job drivers (the streaming ingest service runs many worlds
+    /// concurrently in one process) set this so thread dumps and panics
+    /// attribute a rank to its job.
+    pub label: Option<String>,
 }
 
 impl WorldConfig {
@@ -48,6 +53,34 @@ impl WorldConfig {
             stack_size: 256 * 1024,
             compute_spin: 0.0,
             faults: None,
+            label: None,
+        }
+    }
+
+    /// Sets the deterministic clock-jitter seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-rank thread stack size.
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Labels this world's rank threads (`rank-3@<label>`), so concurrent
+    /// worlds in one process are distinguishable.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The thread name for `rank` under this configuration.
+    fn thread_name(&self, rank: usize) -> String {
+        match &self.label {
+            Some(l) => format!("rank-{rank}@{l}"),
+            None => format!("rank-{rank}"),
         }
     }
 }
@@ -144,7 +177,7 @@ impl World {
             let seed = cfg.seed;
             let spin = cfg.compute_spin;
             let handle = std::thread::Builder::new()
-                .name(format!("rank-{rank}"))
+                .name(cfg.thread_name(rank))
                 .stack_size(cfg.stack_size)
                 .spawn(move || rank_main(rank, fabric, clock, seed, spin, tracer, body))
                 .expect("spawn rank thread");

@@ -213,16 +213,6 @@ impl FlatGrammar {
         self.to_ints().iter().map(|&v| varint_len(v)).sum()
     }
 
-    /// Deserializes a grammar previously written by [`FlatGrammar::serialize`].
-    /// Returns the grammar and the number of bytes consumed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `FlatGrammar::decode`, which reports why decoding failed"
-    )]
-    pub fn deserialize(buf: &[u8]) -> Option<(Self, usize)> {
-        Self::decode(buf).ok()
-    }
-
     /// Decodes a grammar previously written by [`FlatGrammar::serialize`],
     /// validating structure as it goes: every `Symbol::Rule` reference must
     /// point at an existing rule and the rule graph must be acyclic (so the

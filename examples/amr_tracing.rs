@@ -14,7 +14,7 @@ fn run(app: &'static str, iters: usize) -> pilgrim::GlobalTrace {
     let body = by_name(app, iters);
     let mut tracers =
         World::run(&WorldConfig::new(8), PilgrimTracer::with_defaults, move |env| body(env));
-    tracers[0].take_global_trace().unwrap()
+    tracers[0].take_output().trace.unwrap()
 }
 
 fn main() {

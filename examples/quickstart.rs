@@ -29,7 +29,7 @@ fn main() {
     );
 
     // 2. Rank 0 holds the merged trace after MPI_Finalize.
-    let trace = tracers[0].take_global_trace().expect("rank 0 trace");
+    let trace = tracers[0].take_output().trace.expect("rank 0 trace");
     let report = trace.size_report();
     println!("ranks:            {}", trace.nranks);
     println!("MPI calls traced: {}", trace.rank_lengths.iter().sum::<u64>());

@@ -13,7 +13,7 @@ fn trace_size(nranks: usize, iters: usize) -> (usize, usize) {
     let body = by_name("stencil2d", iters);
     let mut tracers =
         World::run(&WorldConfig::new(nranks), PilgrimTracer::with_defaults, move |env| body(env));
-    let trace = tracers[0].take_global_trace().unwrap();
+    let trace = tracers[0].take_output().trace.unwrap();
     (trace.size_bytes(), trace.unique_grammars)
 }
 

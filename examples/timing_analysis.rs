@@ -26,7 +26,7 @@ fn main() {
             }
         },
     );
-    let trace = tracers[0].take_global_trace().unwrap();
+    let trace = tracers[0].take_output().trace.unwrap();
     let report = trace.size_report();
 
     println!("timing mode: lossy, b = {base} (relative error <= {:.0}%)\n", (base - 1.0) * 100.0);

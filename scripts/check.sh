@@ -7,6 +7,11 @@ cd "$(dirname "$0")/.."
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== clippy (deny deprecated) =="
+# In-repo code must not call the deprecated merge wrappers (the
+# equivalence tests opt in explicitly with #[allow(deprecated)]).
+cargo clippy --workspace --all-targets -- -D deprecated
+
 echo "== rustfmt (check only) =="
 cargo fmt --check
 
@@ -44,6 +49,24 @@ echo "== governor: adversarial bounded-memory sweep =="
 # rung must complete without panicking and report its ladder progress.
 cargo run --release -q -p pilgrim-bench --bin governor_sweep -- --iters 150 > /dev/null
 
+echo "== merge equivalence: streamed == batch, unified == legacy =="
+# The incremental (streaming) merge must be byte-identical to the batch
+# merge, and the unified merge() entry point must reproduce each legacy
+# entry point it replaced.
+cargo test -q -p pilgrim --test merge_equivalence
+
+echo "== pilgrimd: concurrent streaming ingest smoke =="
+# Eight concurrent 4-rank jobs stream into one ingest session (odd jobs
+# under a governor budget, so sealed segments flow mid-run); every
+# spilled container must validate. Nonzero exit on any loss.
+rm -rf target/pilgrimd-smoke
+cargo run --release -q -p pilgrim-bench --bin pilgrimd -- \
+  --jobs 8 --ranks 4 --iters 20 --budget 48000 --out target/pilgrimd-smoke
+for f in target/pilgrimd-smoke/*.pilgrim; do
+  ./target/release/trace_tool validate "$f" > /dev/null ||
+    { echo "FAIL: spilled container $f does not validate." >&2; exit 1; }
+done
+
 echo "== chaos: seeded fault-injection sweep =="
 # Deterministic: same seed, same casualties, same trace. Nonzero exit
 # means the degraded merge deadlocked, panicked, or lost rank 0's trace.
@@ -70,6 +93,7 @@ check_panics crates/core/src/merge.rs 3
 # The governed hot path and the container decoder face untrusted input
 # (adversarial workloads, corrupt bytes); they must stay panic-free.
 check_panics crates/core/src/tracer.rs 0
+check_panics crates/core/src/ingest.rs 0
 check_panics crates/core/src/decode.rs 0
 check_panics crates/core/src/governor.rs 0
 

@@ -15,7 +15,7 @@ fn pilgrim_size(name: &str, nranks: usize, iters: usize) -> usize {
     let body = by_name(name, iters);
     let mut tracers =
         World::run(&WorldConfig::new(nranks), PilgrimTracer::with_defaults, move |env| body(env));
-    tracers[0].take_global_trace().unwrap().size_bytes()
+    tracers[0].take_output().trace.unwrap().size_bytes()
 }
 
 fn scalatrace_size(name: &str, nranks: usize, iters: usize) -> usize {
@@ -87,7 +87,7 @@ fn scalatrace_drops_testsome_pilgrim_keeps_it() {
 
     let cfg = pilgrim::PilgrimConfig::new().capture_reference(true);
     let mut pt = World::run(&WorldConfig::new(2), |r| PilgrimTracer::new(r, cfg), body);
-    let trace = pt[0].take_global_trace().unwrap();
+    let trace = pt[0].take_output().trace.unwrap();
     let calls = pilgrim::decode_rank_calls(&trace, 0).expect("decodable rank");
     assert!(calls.iter().any(|c| c.func == mpi_sim::FuncId::Testsome.id()));
 }

@@ -14,7 +14,7 @@ fn verify_workload(name: &str, nranks: usize, iters: usize) {
         |rank| PilgrimTracer::new(rank, cfg),
         move |env| body(env),
     );
-    let trace = tracers[0].take_global_trace().expect("rank 0 trace");
+    let trace = tracers[0].take_output().trace.expect("rank 0 trace");
     let refs: Vec<_> = tracers.iter().map(|t| t.captured().to_vec()).collect();
     let report =
         verify_lossless(&trace, &refs).unwrap_or_else(|e| panic!("{name} trace not lossless: {e}"));
@@ -94,7 +94,7 @@ fn osu_suite_lossless() {
             |rank| PilgrimTracer::new(rank, cfg),
             move |env| f(env, 5),
         );
-        let trace = tracers[0].take_global_trace().expect("rank 0 trace");
+        let trace = tracers[0].take_output().trace.expect("rank 0 trace");
         let refs: Vec<_> = tracers.iter().map(|t| t.captured().to_vec()).collect();
         verify_lossless(&trace, &refs).unwrap_or_else(|e| panic!("{name}: {e}"));
         // OSU kernels compress to a few KB regardless of iterations (§4.1);
@@ -108,7 +108,7 @@ fn serialization_roundtrip_for_complex_workload() {
     let body = by_name("cellular", 30);
     let mut tracers =
         World::run(&WorldConfig::new(4), PilgrimTracer::with_defaults, move |env| body(env));
-    let trace = tracers[0].take_global_trace().unwrap();
+    let trace = tracers[0].take_output().trace.unwrap();
     let bytes = trace.serialize();
     let back = pilgrim::GlobalTrace::decode(&bytes).unwrap();
     assert_eq!(back.decode_all_ranks(), trace.decode_all_ranks());

@@ -13,7 +13,7 @@ fn trace_size(name: &str, nranks: usize, iters: usize) -> (usize, usize) {
     let body = by_name(name, iters);
     let mut tracers =
         World::run(&WorldConfig::new(nranks), PilgrimTracer::with_defaults, move |env| body(env));
-    let trace = tracers[0].take_global_trace().expect("rank 0 trace");
+    let trace = tracers[0].take_output().trace.expect("rank 0 trace");
     (trace.size_bytes(), trace.unique_grammars)
 }
 
