@@ -1,7 +1,7 @@
 //! `ingest_bench` — streaming-ingest throughput across concurrent jobs.
 //!
 //! ```text
-//! ingest_bench [--ranks R] [--iters I] [--shards S] [--max-jobs J]
+//! ingest_bench [--ranks R] [--iters I] [--shards S] [--max-jobs J] [--json-out PATH]
 //! ```
 //!
 //! Sweeps the number of concurrent jobs (1, 2, 4, … up to `--max-jobs`,
@@ -9,7 +9,9 @@
 //! grammar segments into one shared [`pilgrim::IngestSession`]. Reports
 //! wall time, sustained calls/sec and jobs/sec, and how often producers
 //! hit shard-queue backpressure — the numbers behind the EXPERIMENTS.md
-//! ingest table.
+//! ingest table. `--json-out PATH` additionally writes the distilled
+//! rows as a schema-1 JSON document (the `BENCH_ingest.json` baseline
+//! that `scripts/check.sh` keeps in the repo).
 
 use std::process::exit;
 use std::sync::Arc;
@@ -34,6 +36,12 @@ fn main() {
     let iters = flag(&args, "--iters").unwrap_or(40) as usize;
     let shards = flag(&args, "--shards").unwrap_or(4) as usize;
     let max_jobs = flag(&args, "--max-jobs").unwrap_or(16) as usize;
+    let json_out = args.iter().position(|a| a == "--json-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--json-out needs a path");
+            exit(2)
+        })
+    });
 
     println!(
         "ingest_bench: {ranks}-rank jobs, {iters} iters, {shards} shards (rotating {})",
@@ -42,6 +50,7 @@ fn main() {
     println!("| concurrent jobs | wall (ms) | calls | calls/sec | jobs/sec | backpressure |");
     println!("|---:|---:|---:|---:|---:|---:|");
 
+    let mut rows: Vec<String> = Vec::new();
     let mut jobs = 1usize;
     while jobs <= max_jobs {
         let session =
@@ -82,6 +91,26 @@ fn main() {
             jobs as f64 / secs,
             stats.backpressure
         );
+        rows.push(format!(
+            "{{\"jobs\":{jobs},\"wall_ms\":{:.1},\"calls\":{calls},\"calls_per_sec\":{:.0},\
+             \"backpressure\":{}}}",
+            wall.as_secs_f64() * 1e3,
+            calls as f64 / secs,
+            stats.backpressure
+        ));
         jobs *= 2;
+    }
+
+    if let Some(path) = json_out {
+        let doc = format!(
+            "{{\"schema\":1,\"bench\":\"ingest\",\"ranks\":{ranks},\"iters\":{iters},\
+             \"shards\":{shards},\"rows\":[{}]}}\n",
+            rows.join(",")
+        );
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        }
+        println!("wrote {path}");
     }
 }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! pilgrimd --jobs N [--ranks R] [--iters I] [--budget B] [--shards S] [--out DIR]
+//!          [--wal] [--timeout-ms T] [--crash-at-job K]
 //! ```
 //!
 //! Runs `N` concurrent simulated worlds (driver thread each), every rank
@@ -14,12 +15,22 @@
 //! instead of one. With `--out DIR`, every finished job is spilled as a
 //! crash-safe `PGC1` container and re-validated by decoding it back.
 //!
+//! Crash-resilience flags: `--wal` write-ahead-logs every stream message
+//! under `DIR/wal/` so `trace_tool recover DIR` can rebuild interrupted
+//! jobs; `--timeout-ms T` seals jobs still incomplete `T` ms after
+//! opening; `--crash-at-job K` aborts the whole process the moment the
+//! `K`-th job finishes — the remaining jobs die mid-stream, which is the
+//! fixture for the recovery gate in `scripts/check.sh`.
+//!
 //! Exit status is the CI gate: `0` when every job is lossless (no
 //! ingest problems, no lost or truncated ranks, spilled containers
-//! decode back to the in-memory trace), `1` otherwise.
+//! decode back to the in-memory trace), `1` otherwise (and no exit at
+//! all under `--crash-at-job`, which dies by `abort`).
 
 use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use pilgrim::{GlobalTrace, IngestConfig, IngestSession, JobDesc, PilgrimConfig};
 
@@ -41,6 +52,9 @@ fn main() {
     let iters = flag(&args, "--iters").unwrap_or(30) as usize;
     let budget = flag(&args, "--budget").map(|b| b as usize);
     let shards = flag(&args, "--shards").unwrap_or(4) as usize;
+    let wal = args.iter().any(|a| a == "--wal");
+    let timeout = flag(&args, "--timeout-ms").map(Duration::from_millis);
+    let crash_at = flag(&args, "--crash-at-job");
     let out_dir = args.iter().position(|a| a == "--out").map(|i| {
         args.get(i + 1).cloned().unwrap_or_else(|| {
             eprintln!("--out needs a directory");
@@ -48,7 +62,7 @@ fn main() {
         })
     });
 
-    let mut cfg = IngestConfig::new().shards(shards);
+    let mut cfg = IngestConfig::new().shards(shards).wal(wal);
     if let Some(dir) = &out_dir {
         cfg = cfg.spill_dir(dir);
     }
@@ -58,23 +72,40 @@ fn main() {
     }));
 
     println!(
-        "pilgrimd: {jobs} concurrent jobs x {ranks} ranks, {iters} iters, {shards} shards{}{}",
+        "pilgrimd: {jobs} concurrent jobs x {ranks} ranks, {iters} iters, {shards} shards{}{}{}{}",
         budget.map_or(String::new(), |b| format!(", budget {b} B on odd jobs")),
-        out_dir.as_deref().map_or(String::new(), |d| format!(", spilling to {d}"))
+        out_dir.as_deref().map_or(String::new(), |d| format!(", spilling to {d}")),
+        if wal { ", WAL on" } else { "" },
+        crash_at.map_or(String::new(), |k| format!(", crashing after job {k}"))
     );
 
+    let finished = Arc::new(AtomicU64::new(0));
     let outcomes: Vec<_> = (0..jobs)
         .map(|j| {
             let session = session.clone();
+            let finished = finished.clone();
             std::thread::spawn(move || {
                 let workload = WORKLOADS[j % WORKLOADS.len()];
                 let mut tcfg = PilgrimConfig::default();
                 if let (Some(b), true) = (budget, j % 2 == 1) {
                     tcfg = tcfg.memory_budget(b);
                 }
-                let desc = JobDesc::new(workload, ranks).seed(0x5EED + j as u64).config(tcfg);
+                let mut desc = JobDesc::new(workload, ranks).seed(0x5EED + j as u64).config(tcfg);
+                if let Some(t) = timeout {
+                    desc = desc.timeout(t);
+                }
                 let body = mpi_workloads::by_name(workload, iters);
-                (workload, session.submit_world(&desc, move |env| body(env)))
+                let outcome = session.submit_world(&desc, move |env| body(env));
+                // The crash fixture: die hard — no Drop, no flush — the
+                // moment the K-th job completes, leaving the rest of the
+                // fleet mid-stream for `trace_tool recover` to rebuild.
+                if let Some(k) = crash_at {
+                    if finished.fetch_add(1, Ordering::SeqCst) + 1 >= k {
+                        eprintln!("pilgrimd: injected crash after {k} finished jobs");
+                        std::process::abort();
+                    }
+                }
+                (workload, outcome)
             })
         })
         .collect::<Vec<_>>()
@@ -121,6 +152,21 @@ fn main() {
         "session: {} segments, {} B ingested, {} backpressure events, {}/{} jobs finished",
         stats.segments, stats.bytes, stats.backpressure, stats.jobs_finished, stats.jobs_opened
     );
+    if wal || stats.worker_panics + stats.quarantined + stats.jobs_sealed + stats.spill_errors > 0 {
+        println!(
+            "resilience: {} WAL records ({} B, {} errors), {} panics caught, {} retries, \
+             {} quarantined, {} sealed, {} stalled, {} spill errors",
+            stats.wal_records,
+            stats.wal_bytes,
+            stats.wal_errors,
+            stats.worker_panics,
+            stats.retries,
+            stats.quarantined,
+            stats.jobs_sealed,
+            stats.stalled,
+            stats.spill_errors
+        );
+    }
     if failures > 0 {
         eprintln!("pilgrimd: {failures} of {jobs} jobs lost data");
         exit(1)

@@ -14,6 +14,7 @@
 //! trace_tool slice <trace.pilgrim> <rank> <start> <count>
 //! trace_tool matrix <trace.pilgrim>
 //! trace_tool fidelity <trace.pilgrim>
+//! trace_tool recover <spill_dir>
 //! ```
 //!
 //! The query subcommands answer from the compressed grammar (indexed
@@ -23,23 +24,27 @@
 //! ## JSON envelope (schema 1)
 //!
 //! Every JSON-producing subcommand (`query`, `slice`, `matrix`,
-//! `validate`, `fidelity`) emits one object wrapped in a versioned
-//! envelope:
+//! `validate`, `fidelity`, `recover`) emits one object wrapped in a
+//! versioned envelope:
 //!
 //! ```text
 //! {"schema":1,"command":"<subcommand>",...,"fidelity":{...}}
 //! ```
 //!
 //! The `"fidelity"` field is always present — `lossless:true` with empty
-//! rank lists for clean traces — so consumers never need to probe for it.
+//! rank lists for clean traces, `null` when the command has no single
+//! trace to report on (`recover`, failed `validate`) — so consumers
+//! never need to probe for it.
 //!
 //! ## Exit codes
 //!
-//! * `0` — success (for `fidelity`: the trace is lossless)
-//! * `1` — invalid input: unreadable file, decode failure, or a
-//!   `validate` consistency issue
+//! * `0` — success (for `fidelity`: the trace is lossless; for
+//!   `recover`: every job recovered clean)
+//! * `1` — invalid input: unreadable file or directory, decode failure,
+//!   or a `validate` consistency issue
 //! * `2` — usage error
-//! * `3` — `fidelity` only: the trace decoded but is degraded
+//! * `3` — `fidelity`: the trace decoded but is degraded; `recover`:
+//!   at least one job came back partial or lost
 //!
 //! Readers accept both trace formats — the legacy flat stream and the
 //! checksummed `PGC1` container — by sniffing the magic; `record` writes
@@ -69,7 +74,8 @@ fn usage() -> ! {
          trace_tool query <trace.pilgrim> [rank]\n  \
          trace_tool slice <trace.pilgrim> <rank> <start> <count>\n  \
          trace_tool matrix <trace.pilgrim>\n  \
-         trace_tool fidelity <trace.pilgrim>\n\nworkloads: {}",
+         trace_tool fidelity <trace.pilgrim>\n  \
+         trace_tool recover <spill_dir>\n\nworkloads: {}",
         mpi_workloads::ALL_WORKLOADS.join(", ")
     );
     exit(2)
@@ -463,6 +469,63 @@ fn main() {
             out.push_str("]}");
             println!("{out}");
             if trace.is_degraded() {
+                exit(3)
+            }
+        }
+        Some("recover") if args.len() == 2 => {
+            // Rebuild every job a crashed ingest session left under its
+            // spill directory: replay shard WALs, read back or salvage
+            // containers, classify recovered/partial/lost. Exit 0 when
+            // every job recovered clean, 3 when anything was partial or
+            // lost, 1 when the directory itself is unreadable. The
+            // envelope's "fidelity" is null — there is no single trace.
+            let dir = std::path::Path::new(&args[1]);
+            let report = pilgrim::IngestSession::recover(dir).unwrap_or_else(|e| {
+                println!(
+                    "{}\"ok\":false,\"problems\":[{}],\"fidelity\":null}}",
+                    envelope("recover"),
+                    json_str(&format!("cannot read {}: {e}", args[1]))
+                );
+                exit(1)
+            });
+            let mut out = envelope("recover");
+            let _ = write!(out, "\"dir\":{},\"jobs\":[", json_str(&args[1]));
+            for (i, job) in report.jobs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let problems: Vec<String> = job.problems.iter().map(|p| json_str(p)).collect();
+                let _ = write!(
+                    out,
+                    "{{\"job\":{},\"state\":{},\"source\":{},\"calls\":{},\"nranks\":{},\
+                     \"output\":{},\"problems\":[{}]}}",
+                    job.job,
+                    json_str(job.state.as_str()),
+                    json_str(job.source.as_str()),
+                    job.calls,
+                    job.trace.as_ref().map_or(0, |t| t.nranks),
+                    job.output
+                        .as_ref()
+                        .map_or_else(|| "null".into(), |p| json_str(&p.display().to_string())),
+                    problems.join(",")
+                );
+            }
+            let problems: Vec<String> = report.problems.iter().map(|p| json_str(p)).collect();
+            let _ = write!(
+                out,
+                "],\"total\":{},\"recovered\":{},\"partial\":{},\"lost\":{},\"wal_files\":{},\
+                 \"torn_wals\":{},\"quarantined\":{},\"problems\":[{}],\"fidelity\":null}}",
+                report.jobs.len(),
+                report.recovered(),
+                report.partial(),
+                report.lost(),
+                report.wal_files,
+                report.torn_wals,
+                report.quarantined,
+                problems.join(",")
+            );
+            println!("{out}");
+            if report.partial() + report.lost() > 0 {
                 exit(3)
             }
         }

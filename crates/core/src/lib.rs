@@ -110,10 +110,23 @@
 //! which byte offset a malformed buffer was rejected (truncation, bad
 //! rule references, cyclic rule graphs, trailing bytes, impossible
 //! counts). The old `Option`-returning `deserialize` entry points have
-//! been removed. The batch merge has a single entry point,
-//! [`merge::merge`]`(ctx, piece, &MergeOptions) -> MergeOutcome`; the
-//! former `merge_with_options` / `merge_with_metrics` / `merge_degraded`
-//! signatures remain for one release as `#[deprecated]` wrappers.
+//! been removed, as have the one-release `#[deprecated]` batch-merge
+//! wrappers — the batch merge has a single entry point,
+//! [`merge::merge`]`(ctx, piece, &MergeOptions) -> MergeOutcome`.
+//!
+//! ## Crash recovery
+//!
+//! With [`IngestConfig::wal`](ingest::IngestConfig) enabled the session
+//! write-ahead-logs every stream message per shard ([`wal`]), workers run
+//! under panic isolation with bounded retry and poison-segment
+//! quarantine, and [`IngestSession::recover`](ingest::IngestSession)
+//! ([`recover`]) rebuilds interrupted jobs after a crash — replaying WALs
+//! into fresh [`IncrementalMerger`](merge::IncrementalMerger)s and
+//! salvaging torn spill containers — classifying each job as
+//! `Recovered` / `Partial` / `Lost`. Faults (worker panics, torn spill
+//! and WAL writes, disk-full, stalled ranks) are injected
+//! deterministically through a seeded
+//! [`IngestFaultPlan`](ingest_fault::IngestFaultPlan).
 
 pub mod avl;
 pub mod checkpoint;
@@ -125,15 +138,18 @@ pub mod export;
 pub mod governor;
 pub mod idpool;
 pub mod ingest;
+pub mod ingest_fault;
 pub mod memtracker;
 pub mod merge;
 pub mod metrics;
 pub mod query;
+pub mod recover;
 pub mod replay;
 pub mod stats;
 pub mod timing;
 pub mod trace;
 pub mod tracer;
+pub mod wal;
 
 pub use checkpoint::{decode_checkpoint, encode_checkpoint, Checkpoint};
 pub use cst::{Cst, SigStats};
@@ -148,18 +164,19 @@ pub use export::{
 };
 pub use governor::{Component, ComponentBytes, DegradationEvent, DegradationStage, Governor};
 pub use ingest::{
-    IngestConfig, IngestSession, IngestStats, JobDesc, JobHandle, JobId, JobOutcome, SegmentSink,
+    IngestConfig, IngestError, IngestSession, IngestStats, JobDesc, JobHandle, JobId, JobOutcome,
+    RetryPolicy, SegmentSink,
 };
+pub use ingest_fault::IngestFaultPlan;
 pub use merge::{
     merge, IncrementalMerger, LocalPiece, MergeError, MergeOptions, MergeOutcome, MergePolicy,
     RankCompletion, SegmentError, TraceSegment,
 };
-#[allow(deprecated)]
-pub use merge::{merge_degraded, merge_with_metrics, merge_with_options};
 pub use metrics::{MetricsRegistry, MetricsReport, Stage, StageGuard};
 pub use query::{
     CallIterator, CommMatrix, QueryEngine, SigCounts, SignatureSummary, TermCursor, TraceIndex,
 };
+pub use recover::{RecoveredJob, RecoveryReport, RecoverySource, RecoveryState};
 pub use replay::{partial_replay_report, replay, replay_and_retrace, PartialReplayReport};
 pub use stats::OverheadStats;
 pub use timing::TimingCompressor;

@@ -508,9 +508,9 @@ impl MergeOutcome {
 /// [`GlobalTrace`] on rank 0, this rank's merge-phase overhead, and its
 /// local error (if its own trace missed the merge).
 ///
-/// This is the single merge entry point; the former
-/// `merge_with_options` / `merge_with_metrics` / `merge_degraded`
-/// signatures remain as deprecated wrappers for one release.
+/// This is the single merge entry point. The former `merge_with_options`
+/// / `merge_with_metrics` / `merge_degraded` signatures were deprecated
+/// for one release and have been removed.
 pub fn merge(ctx: &TraceCtx<'_>, piece: LocalPiece, opts: &MergeOptions<'_>) -> MergeOutcome {
     let fallback;
     let metrics = match opts.metrics {
@@ -527,53 +527,7 @@ pub fn merge(ctx: &TraceCtx<'_>, piece: LocalPiece, opts: &MergeOptions<'_>) -> 
     }
 }
 
-/// [`merge`] with the grammar identity check switchable.
-#[deprecated(since = "0.6.0", note = "use `merge(ctx, piece, &MergeOptions)`")]
-pub fn merge_with_options(
-    ctx: &TraceCtx<'_>,
-    piece: LocalPiece,
-    stats: &mut OverheadStats,
-    identity_check: bool,
-) -> Option<GlobalTrace> {
-    merge_engine(
-        ctx,
-        piece,
-        stats,
-        identity_check,
-        &MetricsRegistry::default(),
-        MergePolicy::default(),
-    )
-    .ok()
-    .flatten()
-}
-
-/// [`merge`] with a metrics sink.
-#[deprecated(since = "0.6.0", note = "use `merge(ctx, piece, &MergeOptions)`")]
-pub fn merge_with_metrics(
-    ctx: &TraceCtx<'_>,
-    piece: LocalPiece,
-    stats: &mut OverheadStats,
-    identity_check: bool,
-    metrics: &MetricsRegistry,
-) -> Option<GlobalTrace> {
-    merge_engine(ctx, piece, stats, identity_check, metrics, MergePolicy::default()).ok().flatten()
-}
-
-/// The fault-tolerant merge with every knob spelled out positionally.
-#[deprecated(since = "0.6.0", note = "use `merge(ctx, piece, &MergeOptions)`")]
-pub fn merge_degraded(
-    ctx: &TraceCtx<'_>,
-    piece: LocalPiece,
-    stats: &mut OverheadStats,
-    identity_check: bool,
-    metrics: &MetricsRegistry,
-    policy: MergePolicy,
-) -> Result<Option<GlobalTrace>, MergeError> {
-    merge_engine(ctx, piece, stats, identity_check, metrics, policy)
-}
-
-/// The fault-tolerant merge engine behind [`merge`] and the deprecated
-/// wrappers.
+/// The fault-tolerant merge engine behind [`merge`].
 ///
 /// `Ok(Some(trace))` on the rank holding the merged trace (rank 0),
 /// `Ok(None)` on other ranks that participated fully, and `Err` on a
@@ -1083,6 +1037,12 @@ pub struct RankCompletion {
     pub rank: usize,
     /// Total traced calls across every segment.
     pub call_count: u64,
+    /// How many segments the rank pushed before completing. The merger
+    /// cross-checks this against what actually arrived, so a segment
+    /// dropped in flight (or quarantined by the collector) surfaces as a
+    /// [`SegmentError::MissingSegments`] instead of a silently short
+    /// trace.
+    pub segments: u32,
     /// Per-call duration grammar (bin ids, not CST terminals).
     pub duration: Option<FlatGrammar>,
     /// Per-call interval grammar (bin ids, not CST terminals).
@@ -1090,6 +1050,69 @@ pub struct RankCompletion {
     pub encoder_cfg: EncoderConfig,
     /// Degradation events the rank's governor recorded while tracing.
     pub events: Vec<DegradationEvent>,
+}
+
+impl RankCompletion {
+    /// Serializes the completion for the ingest write-ahead log.
+    pub fn serialize(&self, out: &mut Vec<u8>) {
+        write_varint(out, self.rank as u64);
+        write_varint(out, self.call_count);
+        write_varint(out, self.segments as u64);
+        out.push(self.encoder_cfg.to_byte());
+        let flags = u8::from(self.duration.is_some()) | (u8::from(self.interval.is_some()) << 1);
+        out.push(flags);
+        if let Some(d) = &self.duration {
+            d.serialize(out);
+        }
+        if let Some(i) = &self.interval {
+            i.serialize(out);
+        }
+        write_varint(out, self.events.len() as u64);
+        for ev in &self.events {
+            ev.serialize(out);
+        }
+    }
+
+    /// Decodes a completion written by [`RankCompletion::serialize`].
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<RankCompletion, DecodeError> {
+        let rank = decode_varint(buf, pos)? as usize;
+        let call_count = decode_varint(buf, pos)?;
+        let segments = decode_varint(buf, pos)? as u32;
+        let cfg_off = *pos;
+        let encoder_cfg = EncoderConfig::from_byte(
+            *buf.get(*pos)
+                .ok_or(DecodeError::Truncated { what: "encoder cfg", offset: cfg_off })?,
+        );
+        *pos += 1;
+        let flags_off = *pos;
+        let flags = *buf
+            .get(*pos)
+            .ok_or(DecodeError::Truncated { what: "completion flags", offset: flags_off })?;
+        *pos += 1;
+        if flags & !0b11 != 0 {
+            return Err(DecodeError::Corrupt { what: "completion flags", offset: flags_off });
+        }
+        let mut grammar_at = |present: bool| -> Result<Option<FlatGrammar>, DecodeError> {
+            if !present {
+                return Ok(None);
+            }
+            let (g, used) = FlatGrammar::decode(&buf[*pos..]).map_err(|e| e.offset_by(*pos))?;
+            *pos += used;
+            Ok(Some(g))
+        };
+        let duration = grammar_at(flags & 1 != 0)?;
+        let interval = grammar_at(flags & 2 != 0)?;
+        let n_off = *pos;
+        let n = decode_varint(buf, pos)? as usize;
+        if n > buf.len().saturating_sub(*pos) / 4 + 1 {
+            return Err(DecodeError::Corrupt { what: "completion event count", offset: n_off });
+        }
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(DegradationEvent::decode(buf, pos)?);
+        }
+        Ok(RankCompletion { rank, call_count, segments, duration, interval, encoder_cfg, events })
+    }
 }
 
 /// Why the incremental merger rejected a stream message. Rejections are
@@ -1106,6 +1129,11 @@ pub enum SegmentError {
     OutOfOrder { rank: usize, expected: u32, got: u32 },
     /// The rank already completed; no further messages are accepted.
     RankComplete { rank: usize },
+    /// The rank's completion declared more segments than arrived — some
+    /// were dropped in flight or quarantined. The rank is left open so
+    /// the job degrades (the rank reports as lost) instead of merging a
+    /// silently short trace.
+    MissingSegments { rank: usize, declared: u32, arrived: u32 },
 }
 
 impl std::fmt::Display for SegmentError {
@@ -1120,6 +1148,9 @@ impl std::fmt::Display for SegmentError {
             }
             SegmentError::RankComplete { rank } => {
                 write!(f, "rank {rank} already completed its stream")
+            }
+            SegmentError::MissingSegments { rank, declared, arrived } => {
+                write!(f, "rank {rank} declared {declared} segments but {arrived} arrived")
             }
         }
     }
@@ -1229,6 +1260,11 @@ impl IncrementalMerger {
         self.done.iter().all(|&d| d)
     }
 
+    /// Ranks that have completed their streams so far.
+    pub fn completed_ranks(&self) -> usize {
+        self.done.iter().filter(|&&d| d).count()
+    }
+
     /// Folds one streamed segment into the shared CST and this rank's
     /// open grammar list. Segments from different ranks may interleave
     /// arbitrarily; within a rank they must arrive in sequence order.
@@ -1277,6 +1313,16 @@ impl IncrementalMerger {
         }
         if self.done[done.rank] {
             return Err(SegmentError::RankComplete { rank: done.rank });
+        }
+        let arrived = self.open.get(&done.rank).map_or(0, |o| o.next_seq);
+        if done.segments > arrived {
+            // Leave the rank open: finalize will record it as lost rather
+            // than pass off a silently truncated stream as complete.
+            return Err(SegmentError::MissingSegments {
+                rank: done.rank,
+                declared: done.segments,
+                arrived,
+            });
         }
         let open = self.open.remove(&done.rank).unwrap_or_default();
         let grammar = assemble_rank(open);
@@ -1605,15 +1651,66 @@ mod tests {
         TraceSegment { rank, seq, sealed, bytes }
     }
 
-    fn completion(rank: usize, calls: u64) -> RankCompletion {
+    fn completion(rank: usize, calls: u64, segments: u32) -> RankCompletion {
         RankCompletion {
             rank,
             call_count: calls,
+            segments,
             duration: None,
             interval: None,
             encoder_cfg: EncoderConfig::default(),
             events: Vec::new(),
         }
+    }
+
+    #[test]
+    fn completion_serialization_roundtrips() {
+        use crate::governor::{Component, DegradationStage};
+        let done = RankCompletion {
+            rank: 3,
+            call_count: 99,
+            segments: 4,
+            duration: Some(grammar_of(&[1, 1, 2])),
+            interval: None,
+            encoder_cfg: EncoderConfig::default(),
+            events: vec![DegradationEvent {
+                call_index: 12,
+                stage: DegradationStage::FreezeGrammar,
+                component: Component::CallGrammar,
+                bytes: 2048,
+            }],
+        };
+        let mut bytes = Vec::new();
+        done.serialize(&mut bytes);
+        let mut pos = 0;
+        let back = RankCompletion::decode(&bytes, &mut pos).expect("roundtrip");
+        assert_eq!(pos, bytes.len());
+        assert_eq!(back.rank, 3);
+        assert_eq!(back.call_count, 99);
+        assert_eq!(back.segments, 4);
+        assert_eq!(back.duration, done.duration);
+        assert_eq!(back.interval, None);
+        assert_eq!(back.events, done.events);
+        // Every truncation must error, never panic.
+        for cut in 0..bytes.len() {
+            let mut p = 0;
+            let r = RankCompletion::decode(&bytes[..cut], &mut p);
+            assert!(r.is_err() || p <= cut, "prefix {cut} decoded past its end");
+        }
+    }
+
+    #[test]
+    fn completion_with_missing_segments_leaves_rank_open() {
+        let mut m = IncrementalMerger::new(1);
+        m.accept_segment(&segment(0, 0, true, &[b"a"])).unwrap();
+        // Declared 3 segments, only 1 arrived (e.g. one was quarantined).
+        assert!(matches!(
+            m.complete_rank(completion(0, 3, 3)),
+            Err(SegmentError::MissingSegments { rank: 0, declared: 3, arrived: 1 })
+        ));
+        assert!(!m.is_complete());
+        let trace = m.finalize();
+        assert_eq!(trace.completeness.ranks[0], RankStatus::Lost { round: 0 });
     }
 
     #[test]
@@ -1628,7 +1725,7 @@ mod tests {
             Err(SegmentError::OutOfOrder { rank: 0, expected: 0, got: 3 })
         ));
         m.accept_segment(&segment(0, 0, false, &[b"a"])).unwrap();
-        m.complete_rank(completion(0, 1)).unwrap();
+        m.complete_rank(completion(0, 1, 1)).unwrap();
         assert!(matches!(
             m.accept_segment(&segment(0, 1, false, &[b"a"])),
             Err(SegmentError::RankComplete { rank: 0 })
@@ -1649,7 +1746,7 @@ mod tests {
                 m.accept_segment(&segment(r, 0, false, sigs)).unwrap();
             }
             for r in 0..2 {
-                m.complete_rank(completion(r, 3)).unwrap();
+                m.complete_rank(completion(r, 3, 1)).unwrap();
             }
             assert!(m.is_complete());
             m.finalize().serialize()
@@ -1662,7 +1759,7 @@ mod tests {
         let mut m = IncrementalMerger::new(1);
         m.accept_segment(&segment(0, 0, true, &[b"a", b"b"])).unwrap();
         m.accept_segment(&segment(0, 1, false, &[b"b", b"c"])).unwrap();
-        m.complete_rank(completion(0, 4)).unwrap();
+        m.complete_rank(completion(0, 4, 2)).unwrap();
         let trace = m.finalize();
         assert_eq!(trace.rank_lengths, vec![4]);
         assert_eq!(trace.cst.len(), 3);
@@ -1673,9 +1770,9 @@ mod tests {
     fn incremental_marks_missing_ranks_lost() {
         let mut m = IncrementalMerger::new(3);
         m.accept_segment(&segment(0, 0, false, &[b"a"])).unwrap();
-        m.complete_rank(completion(0, 1)).unwrap();
+        m.complete_rank(completion(0, 1, 1)).unwrap();
         m.accept_segment(&segment(2, 0, false, &[b"a"])).unwrap();
-        m.complete_rank(completion(2, 1)).unwrap();
+        m.complete_rank(completion(2, 1, 1)).unwrap();
         assert!(!m.is_complete());
         let trace = m.finalize();
         assert_eq!(trace.completeness.ranks[1], RankStatus::Lost { round: 0 });

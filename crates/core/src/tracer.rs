@@ -894,6 +894,9 @@ impl PilgrimTracer {
         sink.complete_rank(RankCompletion {
             rank: self.rank,
             call_count: self.calls,
+            // Declared so the collector can tell a complete stream from
+            // one with segments dropped in flight or quarantined.
+            segments: self.stream_seq,
             duration,
             interval,
             encoder_cfg: self.cfg.encoder,

@@ -1,23 +1,23 @@
-//! Equivalence guarantees for the streaming and unified merge APIs:
+//! Equivalence guarantee for the streaming merge API: a rank that
+//! streams its segments through a [`SegmentSink`] into an
+//! [`IncrementalMerger`] must produce a byte-identical trace to the
+//! finalize-time batch merge — on clean runs, under a governor budget
+//! (sealed segments), with lossy timing, and on non-power-of-two
+//! worlds.
 //!
-//! 1. A rank that streams its segments through a [`SegmentSink`] into an
-//!    [`IncrementalMerger`] must produce a byte-identical trace to the
-//!    finalize-time batch merge — on clean runs, under a governor budget
-//!    (sealed segments), with lossy timing, and on non-power-of-two
-//!    worlds.
-//! 2. The unified `merge(ctx, piece, &MergeOptions)` entry point must
-//!    reproduce each legacy entry point it replaced, byte for byte, on
-//!    governor workloads and under rank-kill chaos.
+//! (The legacy-entry-point half of this suite retired with the
+//! `#[deprecated]` batch-merge wrappers; `merge(ctx, piece, &options)`
+//! is the only batch entry point now.)
 
 use std::sync::{Arc, Mutex};
 
 use mpi_sim::datatype::BasicType;
-use mpi_sim::{CallRec, Env, FaultPlan, TraceCtx, Tracer, World, WorldConfig};
+use mpi_sim::{Env, World, WorldConfig};
 use mpi_workloads::adversarial::adversarial_seeded;
 use mpi_workloads::Body;
 use pilgrim::{
-    GlobalTrace, IncrementalMerger, MergePolicy, MetricsRegistry, OverheadStats, PilgrimConfig,
-    PilgrimTracer, RankCompletion, SegmentSink, TimingMode, TraceSegment,
+    IncrementalMerger, PilgrimConfig, PilgrimTracer, RankCompletion, SegmentSink, TimingMode,
+    TraceSegment,
 };
 
 /// A [`SegmentSink`] that folds every stream into one shared
@@ -126,131 +126,4 @@ fn streamed_equals_batch_on_non_power_of_two_world() {
         }
     });
     assert_stream_matches_batch(6, 13, PilgrimConfig::default(), body, "6-rank ring");
-}
-
-/// Which legacy batch-merge entry point a [`LegacyTracer`] finalizes
-/// through.
-#[derive(Clone, Copy)]
-enum LegacyMode {
-    WithOptions,
-    WithMetrics,
-    Degraded { timeout_ms: u64 },
-}
-
-/// Delegates interception to a real [`PilgrimTracer`] but finalizes
-/// through one of the deprecated merge entry points, so their output can
-/// be compared against the unified path byte for byte.
-struct LegacyTracer {
-    inner: PilgrimTracer,
-    mode: LegacyMode,
-    result: Option<GlobalTrace>,
-    finalized: bool,
-}
-
-impl LegacyTracer {
-    fn new(rank: usize, cfg: PilgrimConfig, mode: LegacyMode) -> Self {
-        LegacyTracer { inner: PilgrimTracer::new(rank, cfg), mode, result: None, finalized: false }
-    }
-}
-
-impl Tracer for LegacyTracer {
-    fn on_call(&mut self, ctx: &TraceCtx<'_>, rec: &CallRec, t_start: u64, t_end: u64) {
-        self.inner.on_call(ctx, rec, t_start, t_end);
-    }
-
-    fn on_alloc(&mut self, addr: u64, size: u64) {
-        self.inner.on_alloc(addr, size);
-    }
-
-    fn on_free(&mut self, addr: u64) {
-        self.inner.on_free(addr);
-    }
-
-    #[allow(deprecated)]
-    fn on_finalize(&mut self, ctx: &TraceCtx<'_>) {
-        if self.finalized {
-            return;
-        }
-        self.finalized = true;
-        let piece = self.inner.local_piece();
-        let mut stats = OverheadStats::default();
-        let metrics = MetricsRegistry::default();
-        self.result = match self.mode {
-            LegacyMode::WithOptions => pilgrim::merge_with_options(ctx, piece, &mut stats, true),
-            LegacyMode::WithMetrics => {
-                pilgrim::merge_with_metrics(ctx, piece, &mut stats, true, &metrics)
-            }
-            LegacyMode::Degraded { timeout_ms } => pilgrim::merge_degraded(
-                ctx,
-                piece,
-                &mut stats,
-                true,
-                &metrics,
-                MergePolicy::with_timeout_ms(timeout_ms),
-            )
-            .ok()
-            .flatten(),
-        };
-    }
-}
-
-/// Serialized trace of a run finalized through one legacy entry point.
-fn legacy_bytes(
-    nranks: usize,
-    seed: u64,
-    cfg: PilgrimConfig,
-    mode: LegacyMode,
-    body: Body,
-) -> Vec<u8> {
-    let wcfg = WorldConfig::new(nranks).seed(seed);
-    let mut tracers =
-        World::run(&wcfg, |rank| LegacyTracer::new(rank, cfg, mode), move |env| body(env));
-    tracers[0].result.take().expect("rank 0 legacy trace").serialize()
-}
-
-#[test]
-fn unified_merge_reproduces_legacy_entrypoints_on_governor_workload() {
-    let cfg = PilgrimConfig::new().memory_budget(48_000);
-    let body: Body = Arc::new(move |env: &mut Env| adversarial_seeded(env, 120, 9));
-    let unified = batch_bytes(4, 9, cfg, body.clone());
-    for (mode, name) in [
-        (LegacyMode::WithOptions, "merge_with_options"),
-        (LegacyMode::WithMetrics, "merge_with_metrics"),
-        (LegacyMode::Degraded { timeout_ms: 800 }, "merge_degraded"),
-    ] {
-        let legacy = legacy_bytes(4, 9, cfg, mode, body.clone());
-        assert_eq!(unified, legacy, "{name} diverged from unified merge()");
-    }
-}
-
-#[test]
-fn unified_merge_reproduces_merge_degraded_under_chaos() {
-    let body = |env: &mut Env| {
-        let world = env.comm_world();
-        let dt = env.basic(BasicType::Double);
-        let buf = env.malloc(64);
-        for _ in 0..15 {
-            env.bcast(buf, 8, dt, 0, world);
-            env.barrier(world);
-        }
-    };
-    let run = |legacy: bool| -> Vec<u8> {
-        let mut wcfg = WorldConfig::new(4).seed(3);
-        wcfg.faults = Some(FaultPlan::new(3).kill(2, 12));
-        let cfg = PilgrimConfig::new().merge_timeout_ms(400);
-        if legacy {
-            let mut out = World::run_faulty(
-                &wcfg,
-                |rank| LegacyTracer::new(rank, cfg, LegacyMode::Degraded { timeout_ms: 400 }),
-                body,
-            );
-            out.tracers[0].as_mut().expect("rank 0 survives").result.take()
-        } else {
-            let mut out = World::run_faulty(&wcfg, |rank| PilgrimTracer::new(rank, cfg), body);
-            out.tracers[0].as_mut().expect("rank 0 survives").take_output().trace
-        }
-        .expect("rank 0 trace")
-        .serialize()
-    };
-    assert_eq!(run(false), run(true), "merge_degraded diverged from unified merge() under chaos");
 }

@@ -8,8 +8,10 @@ echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== clippy (deny deprecated) =="
-# In-repo code must not call the deprecated merge wrappers (the
-# equivalence tests opt in explicitly with #[allow(deprecated)]).
+# No in-repo code may depend on deprecated API: the one-release
+# deprecation window for the old merge wrappers is over and they are
+# gone, so this lane now simply keeps the workspace free of any future
+# deprecated-call regressions.
 cargo clippy --workspace --all-targets -- -D deprecated
 
 echo "== rustfmt (check only) =="
@@ -49,10 +51,9 @@ echo "== governor: adversarial bounded-memory sweep =="
 # rung must complete without panicking and report its ladder progress.
 cargo run --release -q -p pilgrim-bench --bin governor_sweep -- --iters 150 > /dev/null
 
-echo "== merge equivalence: streamed == batch, unified == legacy =="
+echo "== merge equivalence: streamed == batch =="
 # The incremental (streaming) merge must be byte-identical to the batch
-# merge, and the unified merge() entry point must reproduce each legacy
-# entry point it replaced.
+# merge — clean runs, governor budgets, lossy timing, odd world sizes.
 cargo test -q -p pilgrim --test merge_equivalence
 
 echo "== pilgrimd: concurrent streaming ingest smoke =="
@@ -72,6 +73,38 @@ echo "== chaos: seeded fault-injection sweep =="
 # means the degraded merge deadlocked, panicked, or lost rank 0's trace.
 cargo run --release -q -p pilgrim-bench --bin chaos -- --quick --seed 0x5EED
 cargo run --release -q -p pilgrim-bench --bin chaos -- --quick --seed 42
+
+echo "== crash recovery: kill the collector mid-run, then recover =="
+# pilgrimd dies by abort() the moment its 3rd job finishes, leaving the
+# other 5 of 8 jobs mid-stream with only the WAL to remember them.
+# Recovery must account for all 8 jobs — none silently dropped — and
+# rebuild at least the 3 finished ones plus every WAL-intact job.
+cargo test -q -p pilgrim --test ingest_recovery
+rm -rf target/pilgrimd-crash
+cargo run --release -q -p pilgrim-bench --bin pilgrimd -- \
+  --jobs 8 --ranks 4 --iters 20 --wal --crash-at-job 3 \
+  --out target/pilgrimd-crash || true
+recover_json=$(./target/release/trace_tool recover target/pilgrimd-crash) ||
+  [ $? -eq 3 ]  # exit 3 (partial/lost present) is an acceptable verdict
+echo "$recover_json"
+total=$(echo "$recover_json" | grep -o '"total":[0-9]*' | cut -d: -f2)
+recovered=$(echo "$recover_json" | grep -o '"recovered":[0-9]*' | cut -d: -f2)
+[ "${total:-0}" -eq 8 ] ||
+  { echo "FAIL: recovery saw only ${total:-0}/8 crashed jobs." >&2; exit 1; }
+[ "${recovered:-0}" -ge 3 ] ||
+  { echo "FAIL: only ${recovered:-0} jobs recovered (need >= 3)." >&2; exit 1; }
+# Every recovered container the report wrote must validate.
+for f in target/pilgrimd-crash/recovered/*.pilgrim; do
+  [ -e "$f" ] || continue
+  ./target/release/trace_tool validate "$f" > /dev/null ||
+    { echo "FAIL: recovered container $f does not validate." >&2; exit 1; }
+done
+
+echo "== chaos ingest: fault-injection sweep over the collector =="
+# Seeded worker panics, poisoned segments, torn spills and stalled
+# producers; half the jobs crash mid-run. Nonzero exit means a WAL cell
+# dropped a job without a trace.
+cargo run --release -q -p pilgrim-bench --bin chaos_ingest -- --quick --iters 10
 
 echo "== panic hygiene: no new unwrap/expect in fault-critical modules =="
 # The merge and fabric must degrade, not panic, on peer failure. Counts
@@ -96,5 +129,16 @@ check_panics crates/core/src/tracer.rs 0
 check_panics crates/core/src/ingest.rs 0
 check_panics crates/core/src/decode.rs 0
 check_panics crates/core/src/governor.rs 0
+# The crash-recovery path runs when things have already gone wrong once;
+# it must never make it worse by panicking.
+check_panics crates/core/src/wal.rs 0
+check_panics crates/core/src/recover.rs 0
+check_panics crates/core/src/ingest_fault.rs 0
+
+echo "== bench baseline: results/BENCH_ingest.json present =="
+# The ingest-throughput trajectory needs its first point. Regenerate
+# with: ingest_bench --json-out results/BENCH_ingest.json (release).
+grep -q '"bench":"ingest"' results/BENCH_ingest.json ||
+  { echo "FAIL: results/BENCH_ingest.json missing or malformed." >&2; exit 1; }
 
 echo "All checks passed."
