@@ -1,38 +1,46 @@
 //! `pilgrimd` — the streaming multi-job trace collector built on
-//! [`pilgrim::IngestSession`].
+//! [`pilgrim::IngestSession`], with a `PNT1` networked mode.
 //!
 //! ```text
 //! pilgrimd --jobs N [--ranks R] [--iters I] [--budget B] [--shards S] [--out DIR]
 //!          [--wal] [--timeout-ms T] [--crash-at-job K]
+//! pilgrimd serve --listen ADDR --out DIR [--shards S] [--timeout-ms T]
+//!          [--expect-jobs N] [--crash-at-job K] [--io-timeout-ms T]
+//! pilgrimd send --addr ADDR --jobs N [--ranks R] [--iters I] [--budget B]
+//!          [--client-id C] [--spill DIR] [--retry-attempts A] [--backoff-ms B]
+//!          [--finish-timeout-ms T] [--fault-seed S] [--refuse-rate P] [--cut-rate P]
+//!          [--corrupt-rate P] [--dup-rate P] [--stall-rate P] [--partition-rate P]
 //! ```
 //!
-//! Runs `N` concurrent simulated worlds (driver thread each), every rank
-//! streaming its grammar segments into one shared ingest session
-//! mid-run. Workloads rotate through stencil2d / stencil3d / lu / mg so
-//! concurrent jobs carry different CSTs. With `--budget B`, odd-numbered
-//! jobs trace under a per-rank memory budget: the governor seals
-//! segments mid-run and the stream carries many segments per rank
-//! instead of one. With `--out DIR`, every finished job is spilled as a
-//! crash-safe `PGC1` container and re-validated by decoding it back.
+//! The first form is the in-process collector: `N` concurrent simulated
+//! worlds stream into one shared ingest session (see the legacy docs in
+//! `run_local`). `serve` exposes the same session over TCP: it binds
+//! `ADDR`, prints a schema-1 JSON line naming the bound address (so a
+//! harness can read the port back), and collects `PNT1` streams from any
+//! number of `send` clients, acking each frame only after it is durable
+//! in a per-connection WAL under `DIR/wal/`. `send` drives `N` simulated
+//! worlds through a [`pilgrim::NetClient`] — reconnecting with backoff,
+//! resuming from acks, and degrading to a local spill when the retry
+//! budget runs out — with every wire fault injectable through a seeded
+//! [`pilgrim::NetFaultPlan`].
 //!
-//! Crash-resilience flags: `--wal` write-ahead-logs every stream message
-//! under `DIR/wal/` so `trace_tool recover DIR` can rebuild interrupted
-//! jobs; `--timeout-ms T` seals jobs still incomplete `T` ms after
-//! opening; `--crash-at-job K` aborts the whole process the moment the
-//! `K`-th job finishes — the remaining jobs die mid-stream, which is the
-//! fixture for the recovery gate in `scripts/check.sh`.
-//!
-//! Exit status is the CI gate: `0` when every job is lossless (no
-//! ingest problems, no lost or truncated ranks, spilled containers
-//! decode back to the in-memory trace), `1` otherwise (and no exit at
-//! all under `--crash-at-job`, which dies by `abort`).
+//! Every mode ends with one machine-readable summary line on stdout:
+//! a schema-1 JSON envelope (`{"schema":1,"command":...,"exit":E,...}`).
+//! Exit codes are uniform: `0` all jobs lossless/delivered, `1` data
+//! loss, `2` usage error, `3` degraded (the client fell back to local
+//! spill but every job is accounted for). `--crash-at-job` dies by
+//! `abort` and reports nothing — that is its job.
 
+use std::io::Write as _;
 use std::process::exit;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use pilgrim::{GlobalTrace, IngestConfig, IngestSession, JobDesc, PilgrimConfig};
+use pilgrim::{
+    serve, GlobalTrace, IngestConfig, IngestSession, JobDesc, NetClient, NetClientConfig,
+    NetFaultPlan, NetServerConfig, PilgrimConfig, PilgrimTracer, RetryPolicy, SegmentSink,
+};
 
 const WORKLOADS: [&str; 4] = ["stencil2d", "stencil3d", "lu", "mg"];
 
@@ -45,22 +53,282 @@ fn flag(args: &[String], name: &str) -> Option<u64> {
     })
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = flag(&args, "--jobs").unwrap_or(8) as usize;
-    let ranks = flag(&args, "--ranks").unwrap_or(4) as usize;
-    let iters = flag(&args, "--iters").unwrap_or(30) as usize;
-    let budget = flag(&args, "--budget").map(|b| b as usize);
-    let shards = flag(&args, "--shards").unwrap_or(4) as usize;
-    let wal = args.iter().any(|a| a == "--wal");
-    let timeout = flag(&args, "--timeout-ms").map(Duration::from_millis);
-    let crash_at = flag(&args, "--crash-at-job");
-    let out_dir = args.iter().position(|a| a == "--out").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--out needs a directory");
+fn fflag(args: &[String], name: &str) -> Option<f64> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{name} needs a numeric value");
             exit(2)
         })
+    })
+}
+
+fn sflag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            exit(2)
+        })
+    })
+}
+
+/// Prints the one machine-readable summary line and exits with its code.
+fn emit_envelope(command: &str, fields: &[(&str, String)], code: i32) -> ! {
+    let body: Vec<String> = fields.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    println!("{{\"schema\":1,\"command\":\"{command}\",{},\"exit\":{code}}}", body.join(","));
+    exit(code)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => run_serve(&args[1..]),
+        Some("send") => run_send(&args[1..]),
+        _ => run_local(&args),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// serve: the networked collector
+// ---------------------------------------------------------------------------
+
+fn run_serve(args: &[String]) -> ! {
+    let listen = sflag(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".into());
+    let Some(out_dir) = sflag(args, "--out") else {
+        eprintln!("serve needs --out DIR (the WAL and container directory)");
+        exit(2)
+    };
+    let shards = flag(args, "--shards").unwrap_or(4) as usize;
+    let timeout = flag(args, "--timeout-ms").map(Duration::from_millis);
+    let io_timeout = flag(args, "--io-timeout-ms").unwrap_or(5000);
+    let expect_jobs = flag(args, "--expect-jobs");
+    let crash_at = flag(args, "--crash-at-job");
+
+    // Bind with a short retry: a restarted collector may race the dying
+    // incarnation's socket teardown.
+    let mut listener = None;
+    for _ in 0..200 {
+        match std::net::TcpListener::bind(&listen) {
+            Ok(l) => {
+                listener = Some(l);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let Some(listener) = listener else {
+        eprintln!("cannot bind {listen}");
+        exit(1)
+    };
+
+    let session = IngestSession::new(IngestConfig::new().shards(shards).spill_dir(&out_dir))
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start ingest session: {e}");
+            exit(1)
+        });
+    let mut cfg = NetServerConfig::new().io_timeout(Duration::from_millis(io_timeout));
+    if let Some(t) = timeout {
+        cfg = cfg.job_timeout(t);
+    }
+    if let Some(k) = crash_at {
+        cfg = cfg.kill_after_finished(k);
+    }
+    let server = serve(listener, session, cfg).unwrap_or_else(|e| {
+        eprintln!("cannot serve on {listen}: {e}");
+        exit(1)
     });
+
+    // First line, flushed before any collection: the bound address, so a
+    // harness that asked for port 0 can read the real port back.
+    println!("{{\"schema\":1,\"command\":\"serve\",\"listening\":\"{}\"}}", server.addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "pilgrimd serve: listening on {}, spilling to {out_dir}{}{}",
+        server.addr(),
+        expect_jobs.map_or(String::new(), |n| format!(", expecting {n} jobs")),
+        crash_at.map_or(String::new(), |k| format!(", crashing after job {k}"))
+    );
+
+    loop {
+        if server.stopped() {
+            if crash_at.is_some() {
+                // The kill hook fired: die exactly like a crashed
+                // collector — no drain, no envelope. The per-connection
+                // WALs are the only thing left behind, on purpose.
+                eprintln!("pilgrimd serve: injected crash after {} jobs", server.finished_jobs());
+                std::process::abort();
+            }
+            break;
+        }
+        if expect_jobs.is_some_and(|n| server.finished_jobs() >= n) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = server.stop();
+    eprintln!("pilgrimd serve: {stats:?}");
+    let code = i32::from(stats.wal_errors > 0);
+    emit_envelope(
+        "serve",
+        &[
+            ("jobs_opened", stats.jobs_opened.to_string()),
+            ("jobs_finished", stats.jobs_finished.to_string()),
+            ("connections", stats.connections.to_string()),
+            ("frames", stats.frames.to_string()),
+            ("acks", stats.acks.to_string()),
+            ("dup_frames", stats.dup_frames.to_string()),
+            ("torn_conns", stats.torn_conns.to_string()),
+            ("stale_finishes", stats.stale_finishes.to_string()),
+            ("wal_errors", stats.wal_errors.to_string()),
+        ],
+        code,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// send: the networked client fleet
+// ---------------------------------------------------------------------------
+
+fn run_send(args: &[String]) -> ! {
+    let Some(addr) = sflag(args, "--addr") else {
+        eprintln!("send needs --addr HOST:PORT");
+        exit(2)
+    };
+    let jobs = flag(args, "--jobs").unwrap_or(4) as usize;
+    let ranks = flag(args, "--ranks").unwrap_or(4) as usize;
+    let iters = flag(args, "--iters").unwrap_or(20) as usize;
+    let budget = flag(args, "--budget").map(|b| b as usize);
+    let client_id = flag(args, "--client-id").unwrap_or(1);
+    let seed = flag(args, "--seed").unwrap_or(0x5EED);
+    let spill = sflag(args, "--spill");
+    let retry = RetryPolicy::default()
+        .max_attempts(flag(args, "--retry-attempts").unwrap_or(8) as u32)
+        .backoff(Duration::from_millis(flag(args, "--backoff-ms").unwrap_or(10)));
+    let finish_timeout = Duration::from_millis(flag(args, "--finish-timeout-ms").unwrap_or(30_000));
+    let faults = NetFaultPlan::new(flag(args, "--fault-seed").unwrap_or(0))
+        .connect_refuse_rate(fflag(args, "--refuse-rate").unwrap_or(0.0))
+        .cut_rate(fflag(args, "--cut-rate").unwrap_or(0.0))
+        .corrupt_rate(fflag(args, "--corrupt-rate").unwrap_or(0.0))
+        .duplicate_rate(fflag(args, "--dup-rate").unwrap_or(0.0))
+        .stall_rate(fflag(args, "--stall-rate").unwrap_or(0.0))
+        .partition_rate(fflag(args, "--partition-rate").unwrap_or(0.0));
+
+    let mut ccfg = NetClientConfig::new(addr.clone())
+        .client_id(client_id)
+        .retry(retry)
+        .finish_timeout(finish_timeout)
+        .faults(faults);
+    if let Some(dir) = &spill {
+        ccfg = ccfg.spill_dir(dir);
+    }
+    let client = Arc::new(NetClient::start(ccfg).unwrap_or_else(|e| {
+        eprintln!("cannot start net client: {e}");
+        exit(1)
+    }));
+    eprintln!("pilgrimd send: {jobs} jobs x {ranks} ranks, {iters} iters -> {addr}");
+
+    let outcomes: Vec<_> = (0..jobs)
+        .map(|j| {
+            let client = client.clone();
+            std::thread::spawn(move || {
+                let workload = WORKLOADS[j % WORKLOADS.len()];
+                let mut tcfg = PilgrimConfig::default();
+                if let (Some(b), true) = (budget, j % 2 == 1) {
+                    tcfg = tcfg.memory_budget(b);
+                }
+                let handle = client.open_job(j as u64, ranks, tcfg.merge_identity_check);
+                let body = mpi_workloads::by_name(workload, iters);
+                let sink: Arc<dyn SegmentSink> = Arc::new(handle.clone());
+                let wcfg = mpi_sim::WorldConfig::new(ranks)
+                    .seed(seed + j as u64)
+                    .label(format!("{workload}#net{j}"));
+                mpi_sim::World::run(
+                    &wcfg,
+                    |rank| PilgrimTracer::new(rank, tcfg).with_segment_sink(sink.clone()),
+                    move |env| body(env),
+                );
+                (workload, handle.finish())
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().expect("driver thread panicked"))
+        .collect();
+
+    let mut delivered = 0usize;
+    let mut local = 0usize;
+    let mut lost = 0usize;
+    for (workload, out) in &outcomes {
+        let verdict = if out.delivered {
+            delivered += 1;
+            if out.lossless == Some(true) {
+                "DELIVERED"
+            } else {
+                "DELIVERED (lossy)"
+            }
+        } else if out.local_path.is_some() {
+            local += 1;
+            "LOCAL SPILL"
+        } else {
+            lost += 1;
+            "LOST"
+        };
+        eprintln!(
+            "  job {:>20} {workload:<10} {verdict}{}",
+            out.job,
+            if out.problems.is_empty() {
+                String::new()
+            } else {
+                format!("  problems: {}", out.problems.join("; "))
+            }
+        );
+    }
+    let client = Arc::try_unwrap(client).unwrap_or_else(|_| {
+        eprintln!("a driver thread leaked its client handle");
+        exit(1)
+    });
+    let stats = client.shutdown();
+    eprintln!("pilgrimd send: {stats:?}");
+
+    let code = if lost > 0 {
+        1
+    } else if stats.degraded || local > 0 {
+        3
+    } else {
+        0
+    };
+    emit_envelope(
+        "send",
+        &[
+            ("jobs", jobs.to_string()),
+            ("delivered", delivered.to_string()),
+            ("local", local.to_string()),
+            ("lost", lost.to_string()),
+            ("degraded", stats.degraded.to_string()),
+            ("connects", stats.connects.to_string()),
+            ("connect_failures", stats.connect_failures.to_string()),
+            ("retransmits", stats.retransmits.to_string()),
+            ("acks", stats.acks.to_string()),
+            ("spilled_records", stats.spilled_records.to_string()),
+            ("dropped_records", stats.dropped_records.to_string()),
+        ],
+        code,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// local: the original in-process collector
+// ---------------------------------------------------------------------------
+
+fn run_local(args: &[String]) -> ! {
+    let jobs = flag(args, "--jobs").unwrap_or(8) as usize;
+    let ranks = flag(args, "--ranks").unwrap_or(4) as usize;
+    let iters = flag(args, "--iters").unwrap_or(30) as usize;
+    let budget = flag(args, "--budget").map(|b| b as usize);
+    let shards = flag(args, "--shards").unwrap_or(4) as usize;
+    let wal = args.iter().any(|a| a == "--wal");
+    let timeout = flag(args, "--timeout-ms").map(Duration::from_millis);
+    let crash_at = flag(args, "--crash-at-job");
+    let out_dir = sflag(args, "--out");
 
     let mut cfg = IngestConfig::new().shards(shards).wal(wal);
     if let Some(dir) = &out_dir {
@@ -148,12 +416,12 @@ fn main() {
     }
 
     let stats = session.stats();
-    println!(
+    eprintln!(
         "session: {} segments, {} B ingested, {} backpressure events, {}/{} jobs finished",
         stats.segments, stats.bytes, stats.backpressure, stats.jobs_finished, stats.jobs_opened
     );
     if wal || stats.worker_panics + stats.quarantined + stats.jobs_sealed + stats.spill_errors > 0 {
-        println!(
+        eprintln!(
             "resilience: {} WAL records ({} B, {} errors), {} panics caught, {} retries, \
              {} quarantined, {} sealed, {} stalled, {} spill errors",
             stats.wal_records,
@@ -169,7 +437,20 @@ fn main() {
     }
     if failures > 0 {
         eprintln!("pilgrimd: {failures} of {jobs} jobs lost data");
-        exit(1)
     }
-    println!("pilgrimd: all {jobs} jobs lossless");
+    let code = i32::from(failures > 0);
+    emit_envelope(
+        "local",
+        &[
+            ("jobs", jobs.to_string()),
+            ("lossless", (jobs - failures).to_string()),
+            ("failures", failures.to_string()),
+            ("segments", stats.segments.to_string()),
+            ("ingested_bytes", stats.bytes.to_string()),
+            ("wal_records", stats.wal_records.to_string()),
+            ("wal_errors", stats.wal_errors.to_string()),
+            ("sealed", stats.jobs_sealed.to_string()),
+        ],
+        code,
+    )
 }

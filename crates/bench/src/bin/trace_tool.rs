@@ -136,7 +136,7 @@ fn fidelity_json(trace: &GlobalTrace) -> String {
     format!(
         "{{\"lossless\":{},\"frozen_ranks\":{},\"timing_degraded_ranks\":{},\
          \"sealed_ranks\":{},\"lost_ranks\":{},\"checkpoint_ranks\":{},\
-         \"salvaged_ranks\":{},\"events\":{}}}",
+         \"salvaged_ranks\":{},\"net_spilled_ranks\":{},\"events\":{}}}",
         f.lossless,
         list(&f.frozen_ranks),
         list(&f.timing_degraded_ranks),
@@ -144,6 +144,7 @@ fn fidelity_json(trace: &GlobalTrace) -> String {
         list(&f.lost_ranks),
         list(&f.checkpoint_ranks),
         list(&f.salvaged_ranks),
+        list(&f.net_spilled_ranks),
         f.events
     )
 }

@@ -17,7 +17,7 @@ const RANK_NULL: u8 = 3;
 
 /// Encoder configuration (the paper's optimizations, individually
 /// switchable for the ablation experiments).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EncoderConfig {
     /// Encode src/dst/status-source ranks relative to the caller (§3.4.2).
     pub relative_ranks: bool,

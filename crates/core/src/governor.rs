@@ -40,6 +40,12 @@ pub enum DegradationStage {
     AggregateTiming,
     /// Current grammar sealed as a segment; tracing restarted empty.
     SealSegment,
+    /// Streamed delivery over the network degraded to a local spill file
+    /// after the reconnect budget ran out ([`crate::net`]). Call data is
+    /// intact on the client's disk; only the collection path degraded.
+    /// This rung sits *outside* the memory ladder above — it neither
+    /// implies nor is implied by the memory rungs.
+    LocalSpill,
 }
 
 impl DegradationStage {
@@ -49,6 +55,7 @@ impl DegradationStage {
             DegradationStage::FreezeGrammar => 1,
             DegradationStage::AggregateTiming => 2,
             DegradationStage::SealSegment => 3,
+            DegradationStage::LocalSpill => 4,
         }
     }
 
@@ -58,6 +65,7 @@ impl DegradationStage {
             1 => Some(DegradationStage::FreezeGrammar),
             2 => Some(DegradationStage::AggregateTiming),
             3 => Some(DegradationStage::SealSegment),
+            4 => Some(DegradationStage::LocalSpill),
             _ => None,
         }
     }
@@ -68,7 +76,14 @@ impl DegradationStage {
             DegradationStage::FreezeGrammar => "freeze-grammar",
             DegradationStage::AggregateTiming => "aggregate-timing",
             DegradationStage::SealSegment => "seal-segment",
+            DegradationStage::LocalSpill => "local-spill",
         }
+    }
+
+    /// True for the memory-pressure rungs the governor applies in order;
+    /// false for out-of-band degradations like [`Self::LocalSpill`].
+    pub fn is_memory_rung(self) -> bool {
+        !matches!(self, DegradationStage::LocalSpill)
     }
 }
 
@@ -85,6 +100,8 @@ pub enum Component {
     Memory,
     /// Reference capture buffer (verification runs only).
     Capture,
+    /// The wire transport to a remote collector ([`crate::net`]).
+    Network,
 }
 
 impl Component {
@@ -96,6 +113,7 @@ impl Component {
             Component::Timing => 2,
             Component::Memory => 3,
             Component::Capture => 4,
+            Component::Network => 5,
         }
     }
 
@@ -107,6 +125,7 @@ impl Component {
             2 => Some(Component::Timing),
             3 => Some(Component::Memory),
             4 => Some(Component::Capture),
+            5 => Some(Component::Network),
             _ => None,
         }
     }
@@ -119,6 +138,7 @@ impl Component {
             Component::Timing => "timing",
             Component::Memory => "memory",
             Component::Capture => "capture",
+            Component::Network => "network",
         }
     }
 }

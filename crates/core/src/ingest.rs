@@ -74,6 +74,11 @@ pub trait SegmentSink: Send + Sync {
     fn push_segment(&self, seg: TraceSegment);
     /// Marks a rank's stream complete.
     fn complete_rank(&self, done: RankCompletion);
+    /// Invoked after [`complete_rank`](SegmentSink::complete_rank) at
+    /// streaming finalize; buffering sinks (the net client) use it to
+    /// push queued frames toward durability. In-process sinks need not
+    /// override the default no-op.
+    fn flush(&self) {}
 }
 
 /// Job identifier, unique within one [`IngestSession`].
@@ -481,6 +486,34 @@ impl IngestSession {
         timeout: Option<Duration>,
     ) -> JobHandle {
         let job = self.next_job.fetch_add(1, Ordering::Relaxed);
+        self.open_at_shard(job, nranks, identity_check, timeout)
+    }
+
+    /// Opens a job under a caller-chosen id. The networked collector
+    /// uses this so a job keeps one stable identity — in WAL records,
+    /// spilled container names, and recovery — across client reconnects
+    /// and even collector restarts, where a fresh session would
+    /// otherwise hand out ids from zero again. The auto-assign counter
+    /// is bumped past `job` so later [`open_job`](IngestSession::open_job)
+    /// calls cannot collide with it.
+    pub fn open_job_with_id(
+        &self,
+        job: JobId,
+        nranks: usize,
+        identity_check: bool,
+        timeout: Option<Duration>,
+    ) -> JobHandle {
+        self.next_job.fetch_max(job.saturating_add(1), Ordering::Relaxed);
+        self.open_at_shard(job, nranks, identity_check, timeout)
+    }
+
+    fn open_at_shard(
+        &self,
+        job: JobId,
+        nranks: usize,
+        identity_check: bool,
+        timeout: Option<Duration>,
+    ) -> JobHandle {
         let sender = self.senders[job as usize % self.senders.len()].clone();
         // Opens ride the same FIFO queue as segments, so a job is always
         // open at its shard before any of its segments arrive.

@@ -142,6 +142,8 @@ pub mod ingest_fault;
 pub mod memtracker;
 pub mod merge;
 pub mod metrics;
+pub mod net;
+pub mod net_fault;
 pub mod query;
 pub mod recover;
 pub mod replay;
@@ -173,6 +175,11 @@ pub use merge::{
     RankCompletion, SegmentError, TraceSegment,
 };
 pub use metrics::{MetricsRegistry, MetricsReport, Stage, StageGuard};
+pub use net::{
+    serve, NetClient, NetClientConfig, NetClientStats, NetJobHandle, NetJobOutcome,
+    NetServerConfig, NetServerStats, ServeHandle, NET_MAGIC, NET_VERSION,
+};
+pub use net_fault::{stable_job_id, NetFaultPlan};
 pub use query::{
     CallIterator, CommMatrix, QueryEngine, SigCounts, SignatureSummary, TermCursor, TraceIndex,
 };

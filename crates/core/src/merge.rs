@@ -802,7 +802,9 @@ fn merge_engine(
     // across ranks); point its map entries at the "no grammar" sentinel
     // consumers already understand.
     for &(r, ev) in &completeness.events {
-        if ev.stage >= crate::governor::DegradationStage::AggregateTiming {
+        if ev.stage.is_memory_rung()
+            && ev.stage >= crate::governor::DegradationStage::AggregateTiming
+        {
             if let Some(slot) = duration_rank_map.get_mut(r as usize) {
                 *slot = u32::MAX;
             }
@@ -1019,7 +1021,7 @@ fn hash_cons(rules: &[FlatRule], roots: &[u32]) -> (Vec<FlatRule>, Vec<u32>) {
 /// segment pushed mid-run or the final (live) segment pushed at
 /// finalize. `bytes` is the checkpoint codec payload (call count,
 /// segment CST, segment grammar — see [`crate::checkpoint`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSegment {
     pub rank: usize,
     /// Per-rank stream sequence number, starting at 0 and gap-free.
@@ -1032,7 +1034,7 @@ pub struct TraceSegment {
 
 /// A rank's end-of-stream marker: everything the batch merge learns from
 /// a [`LocalPiece`] besides the grammar segments themselves.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RankCompletion {
     pub rank: usize,
     /// Total traced calls across every segment.
@@ -1203,6 +1205,9 @@ pub struct IncrementalMerger {
     /// 0's piece; rank 0 is the lowest rank that can complete).
     encoder_cfg: Option<(usize, EncoderConfig)>,
     done: Vec<bool>,
+    /// Ranks salvaged from an incomplete stream prefix, with the call
+    /// count the salvaged grammar expands to (recovery path only).
+    checkpointed: HashMap<usize, u64>,
     calls: u64,
     segments: u64,
     ingested_bytes: u64,
@@ -1222,6 +1227,7 @@ impl IncrementalMerger {
             events: Vec::new(),
             encoder_cfg: None,
             done: vec![false; nranks],
+            checkpointed: HashMap::new(),
             calls: 0,
             segments: 0,
             ingested_bytes: 0,
@@ -1349,12 +1355,51 @@ impl IncrementalMerger {
         Ok(())
     }
 
+    /// Salvages every still-open rank: assembles whatever in-order
+    /// prefix of its stream arrived into a grammar and merges it as a
+    /// `Checkpoint { calls }` rank, mirroring the batch merge's
+    /// checkpoint recovery for unmerged ranks. This is the recovery
+    /// path's half-a-stream answer — a WAL can hold a rank's segments
+    /// without its completion record (the collector died first), and
+    /// the accepted prefix is crash-consistent by construction. Live
+    /// ingest never calls this: a rank that stalls mid-stream stays
+    /// `Lost` under a plain `finalize`. Returns the salvaged
+    /// `(rank, calls)` pairs, ascending by rank.
+    pub fn salvage_open_ranks(&mut self) -> Vec<(usize, u64)> {
+        let mut ranks: Vec<usize> = self.open.keys().copied().collect();
+        ranks.sort_unstable();
+        let mut salvaged = Vec::new();
+        for rank in ranks {
+            let Some(open) = self.open.remove(&rank) else { continue };
+            if open.grammars.is_empty() {
+                continue;
+            }
+            let grammar = assemble_rank(open);
+            let calls = grammar.expanded_len();
+            if calls == 0 {
+                continue;
+            }
+            let entry = (grammar, vec![(rank as u64, calls)]);
+            if self.identity_check {
+                merge_sets(&mut self.set, vec![entry]);
+            } else {
+                self.set.push(entry);
+            }
+            self.checkpointed.insert(rank, calls);
+            self.calls += calls;
+            salvaged.push((rank, calls));
+        }
+        salvaged
+    }
+
     /// Canonicalizes and combines: renumbers terminals into the batch
     /// merge's rank-scan order, sorts rank lists and grammar-set entries
     /// the way the batch gather produces them, and runs the same rank-0
     /// combination (hash-cons, top-sequence Sequitur pass, timing
     /// split). Ranks that never completed are recorded as
-    /// `Lost { round: 0 }` in the completeness manifest.
+    /// `Lost { round: 0 }` in the completeness manifest, unless
+    /// [`Self::salvage_open_ranks`] rescued their prefix first
+    /// (`Checkpoint { calls }`).
     pub fn finalize(self) -> GlobalTrace {
         let nranks = self.nranks;
         // Canonical terminal order: ascending minimum (rank, seq, index)
@@ -1388,7 +1433,10 @@ impl IncrementalMerger {
         let mut statuses = vec![RankStatus::Merged; nranks];
         for (rank, &done) in self.done.iter().enumerate() {
             if !done {
-                statuses[rank] = RankStatus::Lost { round: 0 };
+                statuses[rank] = match self.checkpointed.get(&rank) {
+                    Some(&calls) => RankStatus::Checkpoint { calls },
+                    None => RankStatus::Lost { round: 0 },
+                };
             }
         }
         let mut manifest_events: Vec<(u32, DegradationEvent)> = self
@@ -1413,7 +1461,9 @@ impl IncrementalMerger {
         let (duration_grammars, mut duration_rank_map) = split_timing(dur_set, nranks);
         let (interval_grammars, mut interval_rank_map) = split_timing(int_set, nranks);
         for &(r, ev) in &completeness.events {
-            if ev.stage >= crate::governor::DegradationStage::AggregateTiming {
+            if ev.stage.is_memory_rung()
+                && ev.stage >= crate::governor::DegradationStage::AggregateTiming
+            {
                 if let Some(slot) = duration_rank_map.get_mut(r as usize) {
                     *slot = u32::MAX;
                 }

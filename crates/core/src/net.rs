@@ -1,0 +1,2161 @@
+//! `PNT1`: the fault-tolerant wire transport between a traced client and
+//! a networked collector.
+//!
+//! The client side ([`NetClient`] / [`NetJobHandle`]) is a drop-in
+//! [`SegmentSink`]: a tracer streams segments into it exactly as it
+//! would into an in-process [`JobHandle`], and the client ships them
+//! over TCP to a collector running [`serve`]. The stream is framed with
+//! the same `[kind][varint len][payload][crc32]` codec as the write-ahead
+//! log ([`crate::wal::encode_frame`]) behind a 4-byte `PNT1` magic and a
+//! versioned hello, so a frame accepted off the wire can be re-framed
+//! into a WAL byte-for-byte.
+//!
+//! ## Fault model
+//!
+//! The traced rank is never blocked by a dead collector and never
+//! silently loses data:
+//!
+//! - Frames wait in a bounded in-memory queue; overflow goes to a local
+//!   disk outbox (FIFO order preserved) instead of blocking the rank.
+//! - A broken connection is retried with exponential backoff plus
+//!   deterministic jitter. Every (re)connect replays the client's job
+//!   opens (the server dedups) and retransmits unacked frames; the
+//!   server acks each frame *after* appending it to a per-connection WAL
+//!   and dedups retransmits by `(job, rank, seq)` watermark.
+//! - When the retry budget runs out — refused connects, a partition, a
+//!   collector that stays dead — the client degrades to a local spill:
+//!   everything still unacked is appended to a client-side WAL, later
+//!   frames go straight to it, and `finish` replays that WAL into a
+//!   local container. The degradation is recorded in the trace's
+//!   completeness manifest ([`DegradationStage::LocalSpill`], surfaced
+//!   by `fidelity()`), never papered over.
+//!
+//! The server survives being killed outright: its per-connection WALs
+//! under `<spill_dir>/wal/` are written before each ack, so
+//! `trace_tool recover` can rebuild every acked byte, and a restarted
+//! [`serve`] on the same directory appends new conn logs next to the old
+//! ones instead of truncating them. Seeded fault injection for all of
+//! this lives in [`crate::net_fault`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pilgrim_sequitur::{read_varint, write_varint};
+
+use crate::error::DecodeError;
+use crate::export::write_container;
+use crate::governor::{Component, DegradationEvent, DegradationStage};
+use crate::ingest::{IngestSession, JobHandle, RetryPolicy, SegmentSink};
+use crate::merge::{IncrementalMerger, RankCompletion, TraceSegment};
+use crate::net_fault::NetFaultPlan;
+use crate::wal::{encode_frame, read_wal, split_frame, WalRecord, WalWriter};
+
+/// Leading magic both peers send before their hello frame.
+pub const NET_MAGIC: &[u8; 4] = b"PNT1";
+/// Protocol version carried in the hello exchange.
+pub const NET_VERSION: u32 = 1;
+
+const KIND_HELLO: u8 = 1;
+const KIND_HELLO_ACK: u8 = 2;
+const KIND_JOB_OPEN: u8 = 3;
+const KIND_SEGMENT: u8 = 4;
+const KIND_COMPLETE: u8 = 5;
+const KIND_FINISHED: u8 = 6;
+const KIND_HEARTBEAT: u8 = 7;
+const KIND_ACK: u8 = 8;
+
+/// Frames the client may keep unacked before it pauses sending.
+const ACK_WINDOW: usize = 1024;
+
+/// One `PNT1` frame. The record-bearing kinds mirror [`WalRecord`]
+/// one-for-one so the server can log exactly what it acks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFrame {
+    /// Client's first frame after the magic.
+    Hello {
+        version: u32,
+        client_id: u64,
+    },
+    /// Server's reply after its own magic.
+    HelloAck {
+        version: u32,
+    },
+    JobOpen {
+        job: u64,
+        nranks: usize,
+        identity_check: bool,
+    },
+    Segment {
+        job: u64,
+        seg: TraceSegment,
+    },
+    Complete {
+        job: u64,
+        done: RankCompletion,
+    },
+    Finished {
+        job: u64,
+    },
+    /// Keep-alive; never acked, never logged.
+    Heartbeat,
+    /// Server receipt. `a`/`b` depend on `of`: rank/seq for a segment,
+    /// rank/0 for a completion, lossless-flag/0 for a finish, 0/0 for a
+    /// job open.
+    Ack {
+        job: u64,
+        a: u64,
+        b: u64,
+        of: u8,
+    },
+}
+
+impl NetFrame {
+    fn kind(&self) -> u8 {
+        match self {
+            NetFrame::Hello { .. } => KIND_HELLO,
+            NetFrame::HelloAck { .. } => KIND_HELLO_ACK,
+            NetFrame::JobOpen { .. } => KIND_JOB_OPEN,
+            NetFrame::Segment { .. } => KIND_SEGMENT,
+            NetFrame::Complete { .. } => KIND_COMPLETE,
+            NetFrame::Finished { .. } => KIND_FINISHED,
+            NetFrame::Heartbeat => KIND_HEARTBEAT,
+            NetFrame::Ack { .. } => KIND_ACK,
+        }
+    }
+
+    fn serialize_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            NetFrame::Hello { version, client_id } => {
+                write_varint(out, *version as u64);
+                write_varint(out, *client_id);
+            }
+            NetFrame::HelloAck { version } => write_varint(out, *version as u64),
+            NetFrame::JobOpen { job, nranks, identity_check } => {
+                write_varint(out, *job);
+                write_varint(out, *nranks as u64);
+                out.push(u8::from(*identity_check));
+            }
+            NetFrame::Segment { job, seg } => {
+                write_varint(out, *job);
+                write_varint(out, seg.rank as u64);
+                write_varint(out, seg.seq as u64);
+                out.push(u8::from(seg.sealed));
+                write_varint(out, seg.bytes.len() as u64);
+                out.extend_from_slice(&seg.bytes);
+            }
+            NetFrame::Complete { job, done } => {
+                write_varint(out, *job);
+                done.serialize(out);
+            }
+            NetFrame::Finished { job } => write_varint(out, *job),
+            NetFrame::Heartbeat => {}
+            NetFrame::Ack { job, a, b, of } => {
+                write_varint(out, *job);
+                write_varint(out, *a);
+                write_varint(out, *b);
+                out.push(*of);
+            }
+        }
+    }
+
+    /// Encodes the frame with the shared WAL/wire codec.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.serialize_payload(&mut payload);
+        encode_frame(self.kind(), &payload)
+    }
+
+    /// Decodes one frame's payload.
+    pub fn decode(kind: u8, buf: &[u8]) -> Result<NetFrame, DecodeError> {
+        let pos = &mut 0usize;
+        let frame = match kind {
+            KIND_HELLO => {
+                let version = rd(buf, pos, "net hello version")? as u32;
+                let client_id = rd(buf, pos, "net hello client")?;
+                NetFrame::Hello { version, client_id }
+            }
+            KIND_HELLO_ACK => {
+                NetFrame::HelloAck { version: rd(buf, pos, "net hello-ack version")? as u32 }
+            }
+            KIND_JOB_OPEN => {
+                let job = rd(buf, pos, "net open job")?;
+                let nranks = rd(buf, pos, "net open nranks")? as usize;
+                let off = *pos;
+                let flag = *buf
+                    .get(*pos)
+                    .ok_or(DecodeError::Truncated { what: "net open flag", offset: off })?;
+                *pos += 1;
+                NetFrame::JobOpen { job, nranks, identity_check: flag != 0 }
+            }
+            KIND_SEGMENT => {
+                let job = rd(buf, pos, "net segment job")?;
+                let rank = rd(buf, pos, "net segment rank")? as usize;
+                let seq = rd(buf, pos, "net segment seq")? as u32;
+                let off = *pos;
+                let sealed = *buf
+                    .get(*pos)
+                    .ok_or(DecodeError::Truncated { what: "net segment flag", offset: off })?
+                    != 0;
+                *pos += 1;
+                let len_off = *pos;
+                let len = rd(buf, pos, "net segment len")? as usize;
+                let bytes = buf
+                    .get(*pos..*pos + len)
+                    .ok_or(DecodeError::Truncated { what: "net segment bytes", offset: len_off })?
+                    .to_vec();
+                *pos += len;
+                NetFrame::Segment { job, seg: TraceSegment { rank, seq, sealed, bytes } }
+            }
+            KIND_COMPLETE => {
+                let job = rd(buf, pos, "net complete job")?;
+                let done = RankCompletion::decode(buf, pos)?;
+                NetFrame::Complete { job, done }
+            }
+            KIND_FINISHED => NetFrame::Finished { job: rd(buf, pos, "net finished job")? },
+            KIND_HEARTBEAT => NetFrame::Heartbeat,
+            KIND_ACK => {
+                let job = rd(buf, pos, "net ack job")?;
+                let a = rd(buf, pos, "net ack a")?;
+                let b = rd(buf, pos, "net ack b")?;
+                let off = *pos;
+                let of = *buf
+                    .get(*pos)
+                    .ok_or(DecodeError::Truncated { what: "net ack of", offset: off })?;
+                *pos += 1;
+                NetFrame::Ack { job, a, b, of }
+            }
+            _ => return Err(DecodeError::Corrupt { what: "net frame kind", offset: 0 }),
+        };
+        if *pos != buf.len() {
+            return Err(DecodeError::Corrupt { what: "net frame trailing bytes", offset: *pos });
+        }
+        Ok(frame)
+    }
+
+    /// Fault-injection coordinates `(job, rank, seq)` for frames the
+    /// plan targets; connection-level frames return `None`.
+    fn fault_key(&self) -> Option<(u64, u64, u64)> {
+        match self {
+            NetFrame::JobOpen { job, .. } => Some((*job, u64::MAX, 0)),
+            NetFrame::Segment { job, seg } => Some((*job, seg.rank as u64, seg.seq as u64)),
+            NetFrame::Complete { job, done } => Some((*job, done.rank as u64, u64::MAX)),
+            NetFrame::Finished { job } => Some((*job, u64::MAX, 1)),
+            _ => None,
+        }
+    }
+
+    /// Is this (queued, unacked) frame settled by the given ack?
+    fn settled_by(&self, job: u64, a: u64, b: u64, of: u8) -> bool {
+        match self {
+            NetFrame::JobOpen { job: j, .. } => of == KIND_JOB_OPEN && *j == job,
+            NetFrame::Segment { job: j, seg } => {
+                of == KIND_SEGMENT && *j == job && seg.rank as u64 == a && seg.seq as u64 == b
+            }
+            NetFrame::Complete { job: j, done } => {
+                of == KIND_COMPLETE && *j == job && done.rank as u64 == a
+            }
+            NetFrame::Finished { job: j } => of == KIND_FINISHED && *j == job,
+            _ => false,
+        }
+    }
+
+    /// The WAL record this frame carries, for logging and local spill.
+    fn as_wal_record(&self) -> Option<WalRecord> {
+        match self {
+            NetFrame::JobOpen { job, nranks, identity_check } => Some(WalRecord::JobOpen {
+                job: *job,
+                nranks: *nranks,
+                identity_check: *identity_check,
+            }),
+            NetFrame::Segment { job, seg } => {
+                Some(WalRecord::Segment { job: *job, seg: seg.clone() })
+            }
+            NetFrame::Complete { job, done } => {
+                Some(WalRecord::Complete { job: *job, done: done.clone() })
+            }
+            NetFrame::Finished { job } => Some(WalRecord::Finished { job: *job }),
+            _ => None,
+        }
+    }
+}
+
+fn rd(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, DecodeError> {
+    let off = *pos;
+    read_varint(buf, pos).ok_or(DecodeError::Truncated { what, offset: off })
+}
+
+/// Incremental frame reassembly over a byte stream: bytes go in as they
+/// arrive, whole frames come out; a torn tail waits for more bytes.
+struct FrameBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameBuf {
+    fn new() -> FrameBuf {
+        FrameBuf { buf: Vec::new(), pos: 0 }
+    }
+
+    fn extend(&mut self, bytes: &[u8]) {
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos > (1 << 16)) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `None` = need more bytes; `Some(Err)` = the stream is corrupt at
+    /// the current frame (the connection must be dropped).
+    fn next_frame(&mut self) -> Option<Result<NetFrame, DecodeError>> {
+        let mut pos = self.pos;
+        let out = match split_frame(&self.buf, &mut pos)? {
+            Ok((kind, payload)) => NetFrame::decode(kind, payload),
+            Err(e) => Err(e),
+        };
+        self.pos = pos;
+        Some(out)
+    }
+}
+
+/// Poison-tolerant lock: a panicked holder must not wedge the transport.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^ (x >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Collector-side knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Per-connection read deadline: a connection silent this long is
+    /// closed (clients heartbeat well inside it).
+    pub io_timeout: Duration,
+    /// How long a fresh connection gets to complete the hello.
+    pub hello_timeout: Duration,
+    /// Per-job seal deadline handed to the ingest session: an orphaned
+    /// job (its client gone for good) is finalized with whatever
+    /// arrived instead of staying open forever.
+    pub job_timeout: Option<Duration>,
+    /// Fault hook: hard-stop the server (sockets shut, no more acks, the
+    /// session abandoned) the moment this many jobs have finished.
+    /// Simulates the collector being killed for restart/recovery tests.
+    pub kill_after_finished: Option<u64>,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            io_timeout: Duration::from_secs(5),
+            hello_timeout: Duration::from_secs(2),
+            job_timeout: None,
+            kill_after_finished: None,
+        }
+    }
+}
+
+impl NetServerConfig {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn io_timeout(mut self, d: Duration) -> Self {
+        self.io_timeout = d;
+        self
+    }
+
+    pub fn hello_timeout(mut self, d: Duration) -> Self {
+        self.hello_timeout = d;
+        self
+    }
+
+    pub fn job_timeout(mut self, d: Duration) -> Self {
+        self.job_timeout = Some(d);
+        self
+    }
+
+    pub fn kill_after_finished(mut self, n: u64) -> Self {
+        self.kill_after_finished = Some(n);
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct ServerCounters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    acks: AtomicU64,
+    dup_frames: AtomicU64,
+    torn_conns: AtomicU64,
+    protocol_errors: AtomicU64,
+    bad_hello: AtomicU64,
+    idle_closed: AtomicU64,
+    stale_finishes: AtomicU64,
+    heartbeats: AtomicU64,
+    wal_errors: AtomicU64,
+    jobs_opened: AtomicU64,
+    jobs_finished: AtomicU64,
+}
+
+/// Snapshot of the server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetServerStats {
+    pub connections: u64,
+    /// Frames accepted off the wire (heartbeats included).
+    pub frames: u64,
+    pub acks: u64,
+    /// Retransmits dropped by the `(job, rank, seq)` watermark.
+    pub dup_frames: u64,
+    /// Connections dropped on a torn or corrupt frame.
+    pub torn_conns: u64,
+    pub protocol_errors: u64,
+    /// Connections that never completed a valid hello.
+    pub bad_hello: u64,
+    /// Connections closed at the idle read deadline.
+    pub idle_closed: u64,
+    /// Finish retransmits for jobs this server never saw data for
+    /// (a finish replayed across a collector restart).
+    pub stale_finishes: u64,
+    pub heartbeats: u64,
+    /// Failed conn-WAL appends (the frame was not acked).
+    pub wal_errors: u64,
+    pub jobs_opened: u64,
+    pub jobs_finished: u64,
+}
+
+/// Per-job server state: the ingest handle plus the dedup watermarks.
+struct NetJobEntry {
+    handle: JobHandle,
+    /// rank -> next expected segment seq.
+    next_seq: HashMap<u64, u64>,
+    completed: HashSet<u64>,
+    /// Lossless verdict once finished (re-acked to retransmits).
+    finished: Option<bool>,
+}
+
+struct ServeShared {
+    session: IngestSession,
+    cfg: NetServerConfig,
+    wal_dir: Option<PathBuf>,
+    conn_counter: AtomicU64,
+    stop: AtomicBool,
+    counters: ServerCounters,
+    jobs: Mutex<HashMap<u64, Arc<Mutex<NetJobEntry>>>>,
+    conns: Mutex<Vec<TcpStream>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ServeShared {
+    fn stats(&self) -> NetServerStats {
+        let c = &self.counters;
+        NetServerStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            acks: c.acks.load(Ordering::Relaxed),
+            dup_frames: c.dup_frames.load(Ordering::Relaxed),
+            torn_conns: c.torn_conns.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            bad_hello: c.bad_hello.load(Ordering::Relaxed),
+            idle_closed: c.idle_closed.load(Ordering::Relaxed),
+            stale_finishes: c.stale_finishes.load(Ordering::Relaxed),
+            heartbeats: c.heartbeats.load(Ordering::Relaxed),
+            wal_errors: c.wal_errors.load(Ordering::Relaxed),
+            jobs_opened: c.jobs_opened.load(Ordering::Relaxed),
+            jobs_finished: c.jobs_finished.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting and shuts every connection, both directions.
+    /// Dispatch in flight fails on its next socket op — an intentionally
+    /// abrupt stop, because the kill hook uses the same path.
+    fn initiate_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for conn in lock(&self.conns).iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Looks up or creates the job entry. Creation opens the job on the
+    /// ingest session under its stable wire id.
+    fn job_entry(&self, job: u64, nranks: usize, identity_check: bool) -> Arc<Mutex<NetJobEntry>> {
+        let mut jobs = lock(&self.jobs);
+        jobs.entry(job)
+            .or_insert_with(|| {
+                self.counters.jobs_opened.fetch_add(1, Ordering::Relaxed);
+                let handle = self.session.open_job_with_id(
+                    job,
+                    nranks,
+                    identity_check,
+                    self.cfg.job_timeout,
+                );
+                Arc::new(Mutex::new(NetJobEntry {
+                    handle,
+                    next_seq: HashMap::new(),
+                    completed: HashSet::new(),
+                    finished: None,
+                }))
+            })
+            .clone()
+    }
+
+    fn lookup_job(&self, job: u64) -> Option<Arc<Mutex<NetJobEntry>>> {
+        lock(&self.jobs).get(&job).cloned()
+    }
+
+    /// Opens the next per-connection WAL (`wal/conn-<k>.wal`). `None`
+    /// when the session has no spill dir (no durability — acks then mean
+    /// "merged in memory" only) or when creation fails (counted).
+    fn new_conn_wal(&self) -> Option<WalWriter> {
+        let dir = self.wal_dir.as_ref()?;
+        let k = self.conn_counter.fetch_add(1, Ordering::Relaxed);
+        match WalWriter::create(dir.join(format!("conn-{k}.wal"))) {
+            Ok(w) => Some(w),
+            Err(_) => {
+                self.counters.wal_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Appends to the connection WAL before the ack. `false` means the
+    /// record is NOT durable: the caller must close the connection
+    /// without acking, so the client retransmits to a healthier one.
+    fn wal_log(&self, wal: &mut Option<WalWriter>, rec: &WalRecord) -> bool {
+        let Some(w) = wal.as_mut() else {
+            // No durability configured: accept without logging.
+            return self.wal_dir.is_none();
+        };
+        match w.append(rec) {
+            Ok(_) => true,
+            Err(_) => {
+                self.counters.wal_errors.fetch_add(1, Ordering::Relaxed);
+                if w.truncate_to_clean().is_err() {
+                    *wal = None;
+                }
+                false
+            }
+        }
+    }
+}
+
+/// A running collector endpoint, returned by [`serve`].
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<ServeShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn stats(&self) -> NetServerStats {
+        self.shared.stats()
+    }
+
+    /// Jobs finished so far (drives `--expect-jobs` style polling).
+    pub fn finished_jobs(&self) -> u64 {
+        self.shared.counters.jobs_finished.load(Ordering::Relaxed)
+    }
+
+    /// True once the server has stopped accepting — normal stop or the
+    /// [`NetServerConfig::kill_after_finished`] hook firing.
+    pub fn stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops the server: sockets shut, threads joined, session dropped.
+    /// Unfinished jobs are abandoned *without* being finalized — their
+    /// durable record is the per-connection WALs, exactly as if the
+    /// process had been killed; `trace_tool recover` rebuilds them.
+    pub fn stop(mut self) -> NetServerStats {
+        self.join_all();
+        self.shared.stats()
+    }
+
+    fn join_all(&mut self) {
+        self.shared.initiate_stop();
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        let threads: Vec<JoinHandle<()>> = lock(&self.shared.threads).drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+/// Runs a collector endpoint on `listener`, feeding `session`. Returns
+/// immediately; connections are handled on background threads.
+///
+/// The session should be created with `wal(false)`: [`serve`] writes its
+/// own per-connection WALs under `<spill_dir>/wal/` (ack-after-durable),
+/// and a session-level WAL would log every record a second time.
+/// Existing `conn-*.wal` files from a previous incarnation are left
+/// untouched — recovery reads the union.
+pub fn serve(
+    listener: TcpListener,
+    session: IngestSession,
+    cfg: NetServerConfig,
+) -> std::io::Result<ServeHandle> {
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let wal_dir = match session.spill_dir() {
+        Some(dir) => {
+            let wal_dir = dir.join("wal");
+            fs::create_dir_all(&wal_dir)?;
+            Some(wal_dir)
+        }
+        None => None,
+    };
+    let conn_start = wal_dir.as_deref().map_or(0, next_conn_index);
+    let shared = Arc::new(ServeShared {
+        session,
+        cfg,
+        wal_dir,
+        conn_counter: AtomicU64::new(conn_start),
+        stop: AtomicBool::new(false),
+        counters: ServerCounters::default(),
+        jobs: Mutex::new(HashMap::new()),
+        conns: Mutex::new(Vec::new()),
+        threads: Mutex::new(Vec::new()),
+    });
+    let accept_shared = shared.clone();
+    let accept = std::thread::Builder::new()
+        .name("pilgrim-net-accept".into())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(ServeHandle { addr, shared, accept: Some(accept) })
+}
+
+/// First free `conn-<k>.wal` index, so a restarted server appends new
+/// connection logs next to a previous incarnation's instead of
+/// truncating them (the WAL union is the durable state).
+fn next_conn_index(wal_dir: &Path) -> u64 {
+    let Ok(entries) = fs::read_dir(wal_dir) else { return 0 };
+    entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let name = e.file_name();
+            let name = name.to_str()?;
+            name.strip_prefix("conn-")?.strip_suffix(".wal")?.parse::<u64>().ok()
+        })
+        .map(|k| k + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServeShared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    lock(&shared.conns).push(clone);
+                }
+                let wal = shared.new_conn_wal();
+                let conn_shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("pilgrim-net-conn".into())
+                    .spawn(move || conn_worker(conn_shared, stream, wal));
+                if let Ok(t) = spawned {
+                    lock(&shared.threads).push(t);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn conn_worker(shared: Arc<ServeShared>, mut stream: TcpStream, mut wal: Option<WalWriter>) {
+    let mut rbuf = FrameBuf::new();
+    if !server_hello(&shared, &mut stream, &mut rbuf) {
+        shared.counters.bad_hello.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if stream.set_read_timeout(Some(shared.cfg.io_timeout)).is_err() {
+        return;
+    }
+    // Jobs whose open this connection has logged: every conn WAL that
+    // carries a job's records also names its open, so recovery can
+    // replay any single file (or any union) without a dangling job.
+    let mut opened: HashSet<u64> = HashSet::new();
+    let mut tmp = vec![0u8; 64 * 1024];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(n) => {
+                rbuf.extend(&tmp[..n]);
+                loop {
+                    match rbuf.next_frame() {
+                        None => break,
+                        Some(Err(_)) => {
+                            // Torn or corrupt frame: fail closed. The
+                            // client reconnects and retransmits from the
+                            // last ack.
+                            shared.counters.torn_conns.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        Some(Ok(frame)) => {
+                            shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+                            match dispatch(&shared, &mut wal, &mut opened, frame) {
+                                Ok(Some(ack)) => {
+                                    if stream.write_all(&ack).is_err() {
+                                        return;
+                                    }
+                                    shared.counters.acks.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(None) => {}
+                                Err(()) => return,
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Idle past the read deadline: orphaned peer. The job
+                // seal deadline (if any) finalizes whatever arrived.
+                shared.counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Consumes `PNT1` + Hello and answers `PNT1` + HelloAck.
+fn server_hello(shared: &ServeShared, stream: &mut TcpStream, rbuf: &mut FrameBuf) -> bool {
+    let Some(frame) = read_hello_frame(stream, rbuf, shared.cfg.hello_timeout) else {
+        return false;
+    };
+    let NetFrame::Hello { version, .. } = frame else { return false };
+    if version != NET_VERSION {
+        return false;
+    }
+    let mut reply = NET_MAGIC.to_vec();
+    reply.extend_from_slice(&NetFrame::HelloAck { version: NET_VERSION }.encode());
+    stream.write_all(&reply).is_ok()
+}
+
+/// Reads the 4-byte magic plus one frame within `timeout`. Shared by
+/// both hello directions.
+fn read_hello_frame(
+    stream: &mut TcpStream,
+    rbuf: &mut FrameBuf,
+    timeout: Duration,
+) -> Option<NetFrame> {
+    let deadline = Instant::now() + timeout;
+    if stream.set_read_timeout(Some(Duration::from_millis(50))).is_err() {
+        return None;
+    }
+    let mut raw: Vec<u8> = Vec::new();
+    let mut magic_ok = false;
+    let mut tmp = [0u8; 4096];
+    loop {
+        if Instant::now() >= deadline {
+            return None;
+        }
+        if magic_ok {
+            if let Some(res) = rbuf.next_frame() {
+                return res.ok();
+            }
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return None,
+            Ok(n) => {
+                raw.extend_from_slice(&tmp[..n]);
+                if !magic_ok && raw.len() >= NET_MAGIC.len() {
+                    if &raw[..NET_MAGIC.len()] != NET_MAGIC {
+                        return None;
+                    }
+                    magic_ok = true;
+                    rbuf.extend(&raw[NET_MAGIC.len()..]);
+                    raw.clear();
+                } else if magic_ok {
+                    rbuf.extend(&raw);
+                    raw.clear();
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn ack_bytes(job: u64, a: u64, b: u64, of: u8) -> Vec<u8> {
+    NetFrame::Ack { job, a, b, of }.encode()
+}
+
+/// Handles one accepted frame. `Ok(Some(bytes))` = write this ack;
+/// `Err(())` = close the connection (protocol violation or a WAL append
+/// that could not be made durable — no ack, so the client retransmits).
+fn dispatch(
+    shared: &ServeShared,
+    wal: &mut Option<WalWriter>,
+    opened: &mut HashSet<u64>,
+    frame: NetFrame,
+) -> Result<Option<Vec<u8>>, ()> {
+    match frame {
+        NetFrame::Heartbeat => {
+            shared.counters.heartbeats.fetch_add(1, Ordering::Relaxed);
+            Ok(None)
+        }
+        NetFrame::JobOpen { job, nranks, identity_check } => {
+            let _entry = shared.job_entry(job, nranks, identity_check);
+            if opened.insert(job)
+                && !shared.wal_log(wal, &WalRecord::JobOpen { job, nranks, identity_check })
+            {
+                opened.remove(&job);
+                return Err(());
+            }
+            Ok(Some(ack_bytes(job, 0, 0, KIND_JOB_OPEN)))
+        }
+        NetFrame::Segment { job, seg } => {
+            let Some(entry) = shared.lookup_job(job) else {
+                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(());
+            };
+            let mut e = lock(&entry);
+            let (rank, seq) = (seg.rank as u64, seg.seq as u64);
+            match e.next_seq.get(&rank).copied() {
+                Some(expected) if seq < expected => {
+                    // Retransmit of an already-durable frame: ack, drop.
+                    shared.counters.dup_frames.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(expected) if seq > expected => {
+                    // A gap on an in-order stream is a protocol error.
+                    shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(());
+                }
+                _ => {
+                    // In order — or the first segment this incarnation
+                    // has seen for the rank. A restarted collector
+                    // adopts the client's seq as its watermark: the
+                    // missing prefix is durable in the previous
+                    // incarnation's conn WALs, and recovery replays the
+                    // union. The live merge degrades; the WAL does not.
+                    if !shared.wal_log(wal, &WalRecord::Segment { job, seg: seg.clone() }) {
+                        return Err(());
+                    }
+                    e.handle.push_segment(seg);
+                    e.next_seq.insert(rank, seq + 1);
+                }
+            }
+            Ok(Some(ack_bytes(job, rank, seq, KIND_SEGMENT)))
+        }
+        NetFrame::Complete { job, done } => {
+            let Some(entry) = shared.lookup_job(job) else {
+                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(());
+            };
+            let mut e = lock(&entry);
+            let rank = done.rank as u64;
+            if e.completed.contains(&rank) {
+                shared.counters.dup_frames.fetch_add(1, Ordering::Relaxed);
+            } else {
+                if !shared.wal_log(wal, &WalRecord::Complete { job, done: done.clone() }) {
+                    return Err(());
+                }
+                e.handle.complete_rank(done);
+                e.completed.insert(rank);
+            }
+            Ok(Some(ack_bytes(job, rank, 0, KIND_COMPLETE)))
+        }
+        NetFrame::Finished { job } => {
+            let Some(entry) = shared.lookup_job(job) else {
+                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Err(());
+            };
+            let mut e = lock(&entry);
+            if let Some(lossless) = e.finished {
+                shared.counters.dup_frames.fetch_add(1, Ordering::Relaxed);
+                return Ok(Some(ack_bytes(job, u64::from(lossless), 0, KIND_FINISHED)));
+            }
+            if e.next_seq.is_empty() && e.completed.is_empty() {
+                // A finish replayed across a collector restart: this
+                // incarnation never saw the job's data (it was all acked
+                // before the crash). Finalizing now would overwrite the
+                // previous incarnation's container with an empty trace,
+                // so just settle the client; recovery owns the rebuild.
+                shared.counters.stale_finishes.fetch_add(1, Ordering::Relaxed);
+                e.finished = Some(false);
+                return Ok(Some(ack_bytes(job, 0, 0, KIND_FINISHED)));
+            }
+            let outcome = shared.session.finish_job(&e.handle);
+            let lossless = outcome.is_lossless();
+            if lossless {
+                // Only a lossless finish is marked settled in the WAL:
+                // recovery then trusts the container. Anything less and
+                // recovery re-replays the full record union instead.
+                let _ = shared.wal_log(wal, &WalRecord::Finished { job });
+            }
+            e.finished = Some(lossless);
+            let done = shared.counters.jobs_finished.fetch_add(1, Ordering::Relaxed) + 1;
+            if shared.cfg.kill_after_finished.is_some_and(|k| done >= k) {
+                // Crash simulation: sockets shut *before* this ack is
+                // written, so the client never learns the job finished.
+                shared.initiate_stop();
+            }
+            Ok(Some(ack_bytes(job, u64::from(lossless), 0, KIND_FINISHED)))
+        }
+        NetFrame::Hello { .. } | NetFrame::HelloAck { .. } | NetFrame::Ack { .. } => {
+            shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            Err(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Client-side knobs for [`NetClient::start`].
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Collector address (`host:port`).
+    pub addr: String,
+    /// Stable client identity; job ids are derived from it
+    /// ([`crate::net_fault::stable_job_id`]).
+    pub client_id: u64,
+    /// In-memory frames queued before overflowing to the disk outbox.
+    pub queue_capacity: usize,
+    /// Reconnect budget: `max_attempts` *consecutive* connection
+    /// failures degrade the client to local spill; `backoff` seeds the
+    /// exponential reconnect delay.
+    pub retry: RetryPolicy,
+    /// Keep-alive interval on an idle connection.
+    pub heartbeat: Duration,
+    /// Connect / hello / ack-wait deadline.
+    pub io_timeout: Duration,
+    /// How long [`NetJobHandle::finish`] waits for the server's finish
+    /// ack before degrading to local spill.
+    pub finish_timeout: Duration,
+    /// Where the outbox, the degrade WAL, and local containers live.
+    /// Without it the client blocks on a full queue and *drops* on
+    /// degrade (counted and reported, never silent).
+    pub spill_dir: Option<PathBuf>,
+    /// Seeded wire faults (inert by default).
+    pub faults: NetFaultPlan,
+}
+
+impl NetClientConfig {
+    pub fn new(addr: impl Into<String>) -> Self {
+        NetClientConfig {
+            addr: addr.into(),
+            client_id: 0,
+            queue_capacity: 256,
+            retry: RetryPolicy { max_attempts: 8, backoff: Duration::from_millis(10) },
+            heartbeat: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(2),
+            finish_timeout: Duration::from_secs(30),
+            spill_dir: None,
+            faults: NetFaultPlan::default(),
+        }
+    }
+
+    pub fn client_id(mut self, id: u64) -> Self {
+        self.client_id = id;
+        self
+    }
+
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n.max(1);
+        self
+    }
+
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    pub fn heartbeat(mut self, d: Duration) -> Self {
+        self.heartbeat = d;
+        self
+    }
+
+    pub fn io_timeout(mut self, d: Duration) -> Self {
+        self.io_timeout = d;
+        self
+    }
+
+    pub fn finish_timeout(mut self, d: Duration) -> Self {
+        self.finish_timeout = d;
+        self
+    }
+
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    pub fn faults(mut self, plan: NetFaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+}
+
+#[derive(Debug, Default)]
+struct ClientCounters {
+    connects: AtomicU64,
+    connect_failures: AtomicU64,
+    frames_sent: AtomicU64,
+    retransmits: AtomicU64,
+    acks: AtomicU64,
+    stray_acks: AtomicU64,
+    heartbeats: AtomicU64,
+    backpressure: AtomicU64,
+    disk_buffered: AtomicU64,
+    spilled_records: AtomicU64,
+    dropped_records: AtomicU64,
+    degraded: AtomicU64,
+}
+
+/// Snapshot of the client counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetClientStats {
+    pub connects: u64,
+    pub connect_failures: u64,
+    pub frames_sent: u64,
+    /// Frames sent more than once (reconnect replay).
+    pub retransmits: u64,
+    pub acks: u64,
+    /// Acks that matched no unacked frame (double-delivered receipts).
+    pub stray_acks: u64,
+    pub heartbeats: u64,
+    /// Producer pushes that blocked on a full queue (no spill dir).
+    pub backpressure: u64,
+    /// Frames that overflowed to the disk outbox.
+    pub disk_buffered: u64,
+    /// Records appended to the local degrade WAL.
+    pub spilled_records: u64,
+    /// Records lost outright (degrade with no spill dir, or spill I/O
+    /// failure) — always reported in the job outcome, never silent.
+    pub dropped_records: u64,
+    pub degraded: bool,
+}
+
+struct Unacked {
+    frame: NetFrame,
+    /// Transmissions so far; frame faults fire on the first only.
+    attempts: u32,
+}
+
+/// Disk overflow for the send queue: `[len: u32 LE][frame bytes]`
+/// repeated. A transit buffer, not a durability layer — no fsync; the
+/// degrade WAL is the durable one.
+struct Outbox {
+    file: File,
+    path: PathBuf,
+    read_pos: u64,
+    write_pos: u64,
+    pending: u64,
+}
+
+impl Outbox {
+    fn create(path: PathBuf) -> std::io::Result<Outbox> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(&path)?;
+        Ok(Outbox { file, path, read_pos: 0, write_pos: 0, pending: 0 })
+    }
+
+    fn push(&mut self, frame: &NetFrame) -> std::io::Result<()> {
+        let bytes = frame.encode();
+        self.file.seek(SeekFrom::Start(self.write_pos))?;
+        self.file.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        self.file.write_all(&bytes)?;
+        self.write_pos += 4 + bytes.len() as u64;
+        self.pending += 1;
+        Ok(())
+    }
+
+    fn pop(&mut self) -> std::io::Result<Option<NetFrame>> {
+        if self.pending == 0 {
+            return Ok(None);
+        }
+        self.file.seek(SeekFrom::Start(self.read_pos))?;
+        let mut len4 = [0u8; 4];
+        self.file.read_exact(&mut len4)?;
+        let len = u32::from_le_bytes(len4) as usize;
+        let mut bytes = vec![0u8; len];
+        self.file.read_exact(&mut bytes)?;
+        self.read_pos += 4 + len as u64;
+        self.pending -= 1;
+        if self.pending == 0 {
+            self.file.set_len(0)?;
+            self.read_pos = 0;
+            self.write_pos = 0;
+        }
+        let mut pos = 0usize;
+        match split_frame(&bytes, &mut pos) {
+            Some(Ok((kind, payload))) => NetFrame::decode(kind, payload)
+                .map(Some)
+                .map_err(|e| std::io::Error::other(format!("outbox frame: {e}"))),
+            Some(Err(e)) => Err(std::io::Error::other(format!("outbox frame: {e}"))),
+            None => Err(std::io::Error::other("outbox frame truncated")),
+        }
+    }
+}
+
+struct ClientState {
+    queue: VecDeque<NetFrame>,
+    outbox: Option<Outbox>,
+    unacked: VecDeque<Unacked>,
+    /// (job, nranks, identity_check) — replayed on every (re)connect.
+    opens: Vec<(u64, usize, bool)>,
+    /// job -> server's lossless verdict, set by the finish ack.
+    acked_finished: HashMap<u64, bool>,
+    /// A permanent injected partition tripped: every later connect fails.
+    partitioned: bool,
+    degraded: bool,
+    shutdown: bool,
+    /// Degrade WAL, opened at degrade time.
+    spill: Option<WalWriter>,
+    spill_path: Option<PathBuf>,
+    /// Client-wide problems (spill failures, drops), echoed into every
+    /// job outcome so loss is never silent.
+    problems: Vec<String>,
+}
+
+impl ClientState {
+    fn outbox_pending(&self) -> u64 {
+        self.outbox.as_ref().map_or(0, |o| o.pending)
+    }
+
+    fn has_pending(&self) -> bool {
+        !self.queue.is_empty() || self.outbox_pending() > 0 || !self.unacked.is_empty()
+    }
+}
+
+struct ClientInner {
+    cfg: NetClientConfig,
+    state: Mutex<ClientState>,
+    cv: Condvar,
+    counters: ClientCounters,
+}
+
+/// Everything [`NetJobHandle::finish`] reports about one job.
+#[derive(Debug)]
+pub struct NetJobOutcome {
+    pub job: u64,
+    /// The server acked the finish: the stream is durable (or at least
+    /// merged) on the collector.
+    pub delivered: bool,
+    /// The server's lossless verdict, when delivered.
+    pub lossless: Option<bool>,
+    /// The locally-finalized container, when the client degraded and
+    /// had enough buffered locally to rebuild one.
+    pub local_path: Option<PathBuf>,
+    pub problems: Vec<String>,
+}
+
+impl NetJobOutcome {
+    /// True when the job's data is somewhere durable — delivered to the
+    /// collector or finalized locally. False means loss (named in
+    /// `problems`) or a stream the collector alone can still recover.
+    pub fn accounted(&self) -> bool {
+        self.delivered || self.local_path.is_some()
+    }
+}
+
+/// A tracer-facing wire client. One background worker owns the socket;
+/// any number of job handles feed it. Dropping the client (or calling
+/// [`NetClient::shutdown`]) flushes and joins the worker.
+pub struct NetClient {
+    inner: Arc<ClientInner>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl NetClient {
+    /// Validates the spill dir (when configured) and starts the worker.
+    /// Does not require the collector to be up — connecting is the
+    /// worker's (retried) job.
+    pub fn start(cfg: NetClientConfig) -> std::io::Result<NetClient> {
+        if let Some(dir) = &cfg.spill_dir {
+            fs::create_dir_all(dir)?;
+        }
+        let inner = Arc::new(ClientInner {
+            cfg,
+            state: Mutex::new(ClientState {
+                queue: VecDeque::new(),
+                outbox: None,
+                unacked: VecDeque::new(),
+                opens: Vec::new(),
+                acked_finished: HashMap::new(),
+                partitioned: false,
+                degraded: false,
+                shutdown: false,
+                spill: None,
+                spill_path: None,
+                problems: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            counters: ClientCounters::default(),
+        });
+        let worker_inner = inner.clone();
+        let worker = std::thread::Builder::new()
+            .name("pilgrim-net-client".into())
+            .spawn(move || client_worker(worker_inner))?;
+        Ok(NetClient { inner, worker: Some(worker) })
+    }
+
+    /// Opens a job. The wire id is derived from `(client_id, local_job)`
+    /// so it stays stable across reconnects and collector restarts.
+    pub fn open_job(&self, local_job: u64, nranks: usize, identity_check: bool) -> NetJobHandle {
+        let job = crate::net_fault::stable_job_id(self.inner.cfg.client_id, local_job);
+        {
+            let mut st = lock(&self.inner.state);
+            if !st.opens.iter().any(|(j, _, _)| *j == job) {
+                st.opens.push((job, nranks, identity_check));
+            }
+        }
+        self.inner.enqueue(NetFrame::JobOpen { job, nranks, identity_check });
+        NetJobHandle { job, nranks, identity_check, inner: self.inner.clone() }
+    }
+
+    pub fn stats(&self) -> NetClientStats {
+        self.inner.snapshot()
+    }
+
+    /// Signals shutdown, waits for the worker to drain (or degrade), and
+    /// returns the final counters.
+    pub fn shutdown(mut self) -> NetClientStats {
+        self.join_worker();
+        self.inner.snapshot()
+    }
+
+    fn join_worker(&mut self) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.shutdown = true;
+            self.inner.cv.notify_all();
+        }
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        self.join_worker();
+    }
+}
+
+impl ClientInner {
+    fn snapshot(&self) -> NetClientStats {
+        let c = &self.counters;
+        NetClientStats {
+            connects: c.connects.load(Ordering::Relaxed),
+            connect_failures: c.connect_failures.load(Ordering::Relaxed),
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            retransmits: c.retransmits.load(Ordering::Relaxed),
+            acks: c.acks.load(Ordering::Relaxed),
+            stray_acks: c.stray_acks.load(Ordering::Relaxed),
+            heartbeats: c.heartbeats.load(Ordering::Relaxed),
+            backpressure: c.backpressure.load(Ordering::Relaxed),
+            disk_buffered: c.disk_buffered.load(Ordering::Relaxed),
+            spilled_records: c.spilled_records.load(Ordering::Relaxed),
+            dropped_records: c.dropped_records.load(Ordering::Relaxed),
+            degraded: c.degraded.load(Ordering::Relaxed) != 0,
+        }
+    }
+
+    /// Queues a frame without ever blocking the producer when a spill
+    /// dir is configured: full queue -> disk outbox; degraded -> straight
+    /// to the local WAL. Without a spill dir a full queue blocks (after
+    /// counting backpressure) — bounded memory is the harder promise.
+    fn enqueue(&self, frame: NetFrame) {
+        let mut st = lock(&self.state);
+        loop {
+            if st.degraded {
+                self.spill_frame(&mut st, frame);
+                self.cv.notify_all();
+                return;
+            }
+            if st.outbox.is_some() {
+                self.outbox_push(&mut st, frame);
+                self.cv.notify_all();
+                return;
+            }
+            if st.queue.len() < self.cfg.queue_capacity {
+                st.queue.push_back(frame);
+                self.cv.notify_all();
+                return;
+            }
+            if self.cfg.spill_dir.is_some() {
+                self.activate_outbox(&mut st);
+                continue;
+            }
+            self.counters.backpressure.fetch_add(1, Ordering::Relaxed);
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn activate_outbox(&self, st: &mut ClientState) {
+        let Some(dir) = &self.cfg.spill_dir else { return };
+        let path = dir.join(format!("outbox-{}.buf", self.cfg.client_id));
+        match Outbox::create(path) {
+            Ok(outbox) => st.outbox = Some(outbox),
+            Err(e) => {
+                // Can't overflow to disk: grow the queue rather than
+                // block or drop, and say so.
+                st.problems.push(format!("outbox unavailable: {e}"));
+                st.queue.reserve(1);
+            }
+        }
+    }
+
+    fn outbox_push(&self, st: &mut ClientState, frame: NetFrame) {
+        let pushed = match st.outbox.as_mut() {
+            Some(o) => o.push(&frame),
+            None => Ok(()),
+        };
+        match pushed {
+            Ok(()) => {
+                self.counters.disk_buffered.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                st.problems.push(format!("outbox write failed: {e}"));
+                st.queue.push_back(frame);
+            }
+        }
+    }
+
+    /// Pops the next frame to transmit: memory queue first, then the
+    /// disk outbox (global FIFO: the outbox only fills while the queue
+    /// is saturated, and is drained before the queue refills).
+    fn pop_next(&self, st: &mut ClientState) -> Option<NetFrame> {
+        if let Some(frame) = st.queue.pop_front() {
+            self.cv.notify_all();
+            return Some(frame);
+        }
+        let drained = match st.outbox.as_mut() {
+            Some(o) => match o.pop() {
+                Ok(Some(frame)) => return Some(frame),
+                Ok(None) => true,
+                Err(e) => {
+                    self.counters.dropped_records.fetch_add(1, Ordering::Relaxed);
+                    st.problems.push(format!("outbox read failed: {e}"));
+                    true
+                }
+            },
+            None => false,
+        };
+        if drained {
+            if let Some(o) = st.outbox.take() {
+                let _ = fs::remove_file(&o.path);
+            }
+        }
+        None
+    }
+
+    /// Irreversibly degrades to local spill: open the client WAL, flush
+    /// everything pending into it, route all later frames there.
+    fn degrade(&self, st: &mut ClientState, reason: &str) {
+        if st.degraded {
+            return;
+        }
+        st.degraded = true;
+        self.counters.degraded.store(1, Ordering::Relaxed);
+        st.problems.push(format!("degraded to local spill: {reason}"));
+        if let Some(dir) = &self.cfg.spill_dir {
+            let wal_dir = dir.join("wal");
+            let created = fs::create_dir_all(&wal_dir);
+            let path = wal_dir.join(format!("client-{}.wal", self.cfg.client_id));
+            match created.and_then(|()| WalWriter::create(&path)) {
+                Ok(w) => {
+                    st.spill = Some(w);
+                    st.spill_path = Some(path);
+                }
+                Err(e) => {
+                    st.problems.push(format!("local spill WAL unavailable: {e}"));
+                }
+            }
+        }
+        // Every open first, so any replay of the WAL knows each job's
+        // shape before its records.
+        let opens = st.opens.clone();
+        for (job, nranks, identity_check) in opens {
+            self.spill_record(st, WalRecord::JobOpen { job, nranks, identity_check });
+        }
+        let unacked: Vec<NetFrame> = st.unacked.drain(..).map(|u| u.frame).collect();
+        for frame in unacked {
+            self.spill_frame(st, frame);
+        }
+        let queued: Vec<NetFrame> = st.queue.drain(..).collect();
+        for frame in queued {
+            self.spill_frame(st, frame);
+        }
+        loop {
+            let next = match st.outbox.as_mut() {
+                Some(o) => o.pop().unwrap_or(None),
+                None => None,
+            };
+            match next {
+                Some(frame) => self.spill_frame(st, frame),
+                None => break,
+            }
+        }
+        if let Some(o) = st.outbox.take() {
+            let _ = fs::remove_file(&o.path);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Converts one frame to its WAL record and spills it. Completions
+    /// get a `LocalSpill` degradation event appended first, so the trace
+    /// built from this WAL carries the degradation in its completeness
+    /// manifest (`fidelity()` surfaces it as `net_spilled_ranks`).
+    fn spill_frame(&self, st: &mut ClientState, frame: NetFrame) {
+        let rec = match frame {
+            NetFrame::Complete { job, mut done } => {
+                done.events.push(DegradationEvent {
+                    call_index: done.call_count,
+                    stage: DegradationStage::LocalSpill,
+                    component: Component::Network,
+                    bytes: 0,
+                });
+                Some(WalRecord::Complete { job, done })
+            }
+            // `finish` decides when a job is settled locally.
+            NetFrame::Finished { .. } => None,
+            other => other.as_wal_record(),
+        };
+        if let Some(rec) = rec {
+            self.spill_record(st, rec);
+        }
+    }
+
+    fn spill_record(&self, st: &mut ClientState, rec: WalRecord) {
+        let appended = match st.spill.as_mut() {
+            Some(w) => w.append(&rec).map(|_| true),
+            None => Ok(false),
+        };
+        match appended {
+            Ok(true) => {
+                self.counters.spilled_records.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false) => {
+                self.counters.dropped_records.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                self.counters.dropped_records.fetch_add(1, Ordering::Relaxed);
+                st.problems.push(format!("local spill append failed: {e}"));
+                if let Some(w) = st.spill.as_mut() {
+                    if w.truncate_to_clean().is_err() {
+                        st.spill = None;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One job's stream endpoint over the wire — the networked counterpart
+/// of [`JobHandle`]. Cheap to clone.
+#[derive(Clone)]
+pub struct NetJobHandle {
+    job: u64,
+    nranks: usize,
+    identity_check: bool,
+    inner: Arc<ClientInner>,
+}
+
+impl NetJobHandle {
+    /// The job's stable wire id.
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+
+    /// Declares the stream complete and waits for the server's finish
+    /// ack. On degrade (already degraded, or the configured finish
+    /// timeout expiring first) the client finalizes locally instead:
+    /// replay its spill WAL, write `<spill_dir>/job-<id>.pilgrim`, and
+    /// report exactly what happened.
+    pub fn finish(&self) -> NetJobOutcome {
+        self.inner.enqueue(NetFrame::Finished { job: self.job });
+        let deadline = Instant::now() + self.inner.cfg.finish_timeout;
+        let mut st = lock(&self.inner.state);
+        loop {
+            if let Some(&lossless) = st.acked_finished.get(&self.job) {
+                return NetJobOutcome {
+                    job: self.job,
+                    delivered: true,
+                    lossless: Some(lossless),
+                    local_path: None,
+                    problems: st.problems.clone(),
+                };
+            }
+            if st.degraded {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.inner.degrade(&mut st, "finish timed out waiting for the collector");
+                break;
+            }
+            let wait = (deadline - now).min(Duration::from_millis(100));
+            let (guard, _) =
+                self.inner.cv.wait_timeout(st, wait).unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        self.local_finalize(&mut st)
+    }
+
+    /// Rebuilds the job from the client's local spill WAL and writes a
+    /// container next to it.
+    fn local_finalize(&self, st: &mut ClientState) -> NetJobOutcome {
+        let mut problems = st.problems.clone();
+        let fail = |problems: Vec<String>| NetJobOutcome {
+            job: self.job,
+            delivered: false,
+            lossless: None,
+            local_path: None,
+            problems,
+        };
+        let Some(wal_path) = st.spill_path.clone() else {
+            problems.push("no local spill WAL; the degraded stream is lost".into());
+            return fail(problems);
+        };
+        let replay = match read_wal(&wal_path) {
+            Ok(Ok(replay)) => replay,
+            Ok(Err(e)) => {
+                problems.push(format!("local spill WAL unreadable: {e}"));
+                return fail(problems);
+            }
+            Err(e) => {
+                problems.push(format!("local spill WAL unreadable: {e}"));
+                return fail(problems);
+            }
+        };
+        // Dedup and order exactly like crash recovery: the WAL may hold
+        // a frame twice (spilled after its first transmission was acked
+        // but the ack lost) and segments from many ranks interleaved.
+        let mut segs: std::collections::BTreeMap<(usize, u32), TraceSegment> =
+            std::collections::BTreeMap::new();
+        let mut completes: std::collections::BTreeMap<usize, RankCompletion> =
+            std::collections::BTreeMap::new();
+        for rec in replay.records {
+            if rec.job() != self.job {
+                continue;
+            }
+            match rec {
+                WalRecord::Segment { seg, .. } => {
+                    segs.entry((seg.rank, seg.seq)).or_insert(seg);
+                }
+                WalRecord::Complete { done, .. } => {
+                    completes.entry(done.rank).or_insert(done);
+                }
+                _ => {}
+            }
+        }
+        if segs.is_empty() && completes.is_empty() {
+            problems.push(
+                "nothing buffered locally; the collector may still hold the delivered stream"
+                    .into(),
+            );
+            return fail(problems);
+        }
+        let mut merger = IncrementalMerger::new(self.nranks).identity_check(self.identity_check);
+        for seg in segs.values() {
+            if let Err(e) = merger.accept_segment(seg) {
+                problems.push(format!("local replay segment {}/{}: {e}", seg.rank, seg.seq));
+            }
+        }
+        for (rank, done) in completes {
+            if let Err(e) = merger.complete_rank(done) {
+                problems.push(format!("local replay complete {rank}: {e}"));
+            }
+        }
+        // A rank whose segments all spilled but whose completion never
+        // did (degrade hit between the two) still has a usable prefix.
+        for (rank, calls) in merger.salvage_open_ranks() {
+            problems.push(format!("rank {rank}: salvaged {calls} calls from its spilled prefix"));
+        }
+        let trace = merger.finalize();
+        let calls: u64 = trace.rank_lengths.iter().sum();
+        if calls == 0 {
+            problems.push("local replay rebuilt no calls".into());
+            return fail(problems);
+        }
+        let Some(dir) = self.inner.cfg.spill_dir.clone() else {
+            return fail(problems);
+        };
+        let out_path = dir.join(format!("job-{}.pilgrim", self.job));
+        match write_local_container(&out_path, &write_container(&trace)) {
+            Ok(()) => {
+                // Settle the job in the WAL so recovery on the client
+                // dir trusts the container over a re-replay.
+                let settled =
+                    trace.completeness.is_complete() && problems.len() == st.problems.len();
+                if settled {
+                    self.inner.spill_record(st, WalRecord::Finished { job: self.job });
+                }
+                NetJobOutcome {
+                    job: self.job,
+                    delivered: false,
+                    lossless: None,
+                    local_path: Some(out_path),
+                    problems,
+                }
+            }
+            Err(e) => {
+                problems.push(format!("writing local container: {e}"));
+                fail(problems)
+            }
+        }
+    }
+}
+
+/// Crash-safe local container write: tmp, sync, rename.
+fn write_local_container(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("pilgrim.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+impl SegmentSink for NetJobHandle {
+    fn push_segment(&self, seg: TraceSegment) {
+        self.inner.enqueue(NetFrame::Segment { job: self.job, seg });
+    }
+
+    fn complete_rank(&self, done: RankCompletion) {
+        self.inner.enqueue(NetFrame::Complete { job: self.job, done });
+    }
+
+    fn flush(&self) {
+        self.inner.cv.notify_all();
+    }
+}
+
+enum ConnEnd {
+    /// The socket broke (or a fault broke it); reconnect.
+    Broken,
+    /// Shutdown requested and everything pending is acked.
+    Drained,
+    /// The client degraded mid-connection.
+    Degraded,
+}
+
+fn client_worker(inner: Arc<ClientInner>) {
+    let mut attempt: u64 = 0;
+    let mut consecutive: u32 = 0;
+    loop {
+        // Park until there is work (or forever, once degraded — the
+        // producers write straight to the local WAL).
+        {
+            let mut st = lock(&inner.state);
+            loop {
+                if st.shutdown && (st.degraded || !st.has_pending()) {
+                    return;
+                }
+                if !st.degraded && st.has_pending() {
+                    break;
+                }
+                st = inner.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        match try_connect(&inner, attempt) {
+            Ok(mut stream) => {
+                attempt += 1;
+                consecutive = 0;
+                inner.counters.connects.fetch_add(1, Ordering::Relaxed);
+                let mut acks_this_conn: u64 = 0;
+                match run_connection(&inner, &mut stream, &mut acks_this_conn) {
+                    ConnEnd::Drained => return,
+                    ConnEnd::Degraded => continue,
+                    ConnEnd::Broken => {
+                        // A connection that produced no acks at all is a
+                        // failure for budget purposes: a collector that
+                        // accepts and then dies must not dodge the
+                        // degrade ladder forever.
+                        if acks_this_conn == 0 {
+                            consecutive += 1;
+                        }
+                    }
+                }
+            }
+            Err(_) => {
+                attempt += 1;
+                consecutive += 1;
+                inner.counters.connect_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if consecutive >= inner.cfg.retry.max_attempts {
+            let mut st = lock(&inner.state);
+            inner.degrade(&mut st, "reconnect budget exhausted");
+            continue;
+        }
+        if consecutive > 0 {
+            backoff_sleep(&inner, consecutive, attempt);
+        }
+    }
+}
+
+/// Exponential backoff with deterministic jitter, interruptible by
+/// shutdown/degrade.
+fn backoff_sleep(inner: &ClientInner, consecutive: u32, attempt: u64) {
+    let base = inner.cfg.retry.backoff.max(Duration::from_millis(1));
+    let exp = (consecutive.saturating_sub(1)).min(6);
+    let mut wait = base * (1 << exp);
+    let jitter_ms = mix(inner.cfg.client_id, attempt) % (base.as_millis().max(1) as u64 + 1);
+    wait += Duration::from_millis(jitter_ms);
+    let deadline = Instant::now() + wait.min(Duration::from_secs(2));
+    let mut st = lock(&inner.state);
+    loop {
+        if st.shutdown || st.degraded {
+            return;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let (guard, _) =
+            inner.cv.wait_timeout(st, deadline - now).unwrap_or_else(|e| e.into_inner());
+        st = guard;
+    }
+}
+
+/// Dials, speaks the hello, and returns the ready socket. Injected
+/// refusals and a tripped partition fail here like a dead collector.
+fn try_connect(inner: &ClientInner, attempt: u64) -> std::io::Result<TcpStream> {
+    {
+        let st = lock(&inner.state);
+        if st.partitioned {
+            return Err(std::io::Error::other("partitioned (injected)"));
+        }
+    }
+    if inner.cfg.faults.refuses_connect(inner.cfg.client_id, attempt) {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            "connection refused (injected)",
+        ));
+    }
+    let addr = inner
+        .cfg
+        .addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, inner.cfg.io_timeout)?;
+    let _ = stream.set_nodelay(true);
+    let mut hello = NET_MAGIC.to_vec();
+    hello.extend_from_slice(
+        &NetFrame::Hello { version: NET_VERSION, client_id: inner.cfg.client_id }.encode(),
+    );
+    stream.write_all(&hello)?;
+    let mut rbuf = FrameBuf::new();
+    match read_hello_frame(&mut stream, &mut rbuf, inner.cfg.io_timeout) {
+        Some(NetFrame::HelloAck { version }) if version == NET_VERSION => Ok(stream),
+        _ => Err(std::io::Error::other("hello handshake failed")),
+    }
+}
+
+fn run_connection(inner: &ClientInner, stream: &mut TcpStream, acks: &mut u64) -> ConnEnd {
+    // Replay job opens (the server dedups), then unacked frames in
+    // order. Retransmits bump the attempt counter so frame faults
+    // (first transmission only) do not re-fire and loop forever.
+    let replay: Vec<Vec<u8>> = {
+        let mut st = lock(&inner.state);
+        let mut out: Vec<Vec<u8>> = Vec::new();
+        for &(job, nranks, identity_check) in &st.opens {
+            out.push(NetFrame::JobOpen { job, nranks, identity_check }.encode());
+        }
+        for u in st.unacked.iter_mut() {
+            u.attempts += 1;
+            inner.counters.retransmits.fetch_add(1, Ordering::Relaxed);
+            out.push(u.frame.encode());
+        }
+        out
+    };
+    for bytes in replay {
+        if stream.write_all(&bytes).is_err() {
+            return ConnEnd::Broken;
+        }
+        inner.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+    let mut rbuf = FrameBuf::new();
+    let mut last_ack = Instant::now();
+    loop {
+        // Pick the next frame (or decide to idle) under the lock.
+        let next: Option<(NetFrame, u32)> = {
+            let mut st = lock(&inner.state);
+            if st.degraded {
+                return ConnEnd::Degraded;
+            }
+            if st.shutdown && !st.has_pending() {
+                return ConnEnd::Drained;
+            }
+            if st.unacked.len() < ACK_WINDOW {
+                match inner.pop_next(&mut st) {
+                    Some(frame) => {
+                        st.unacked.push_back(Unacked { frame: frame.clone(), attempts: 0 });
+                        Some((frame, 0))
+                    }
+                    None => None,
+                }
+            } else {
+                None
+            }
+        };
+        match next {
+            Some((frame, attempts)) => {
+                match send_frame(inner, stream, &frame, attempts) {
+                    SendResult::Sent => {}
+                    SendResult::Broke => return ConnEnd::Broken,
+                }
+                // Opportunistic ack drain to keep the window moving.
+                match drain_acks(inner, stream, &mut rbuf, Duration::from_millis(1)) {
+                    Ok(true) => {
+                        *acks += 1;
+                        last_ack = Instant::now();
+                    }
+                    Ok(false) => {}
+                    Err(()) => return ConnEnd::Broken,
+                }
+            }
+            None => {
+                let unacked_empty = lock(&inner.state).unacked.is_empty();
+                if unacked_empty {
+                    // Nothing in flight: idle on the condvar, heartbeat
+                    // at the configured interval.
+                    let mut st = lock(&inner.state);
+                    if st.degraded {
+                        return ConnEnd::Degraded;
+                    }
+                    if st.shutdown && !st.has_pending() {
+                        return ConnEnd::Drained;
+                    }
+                    if !st.has_pending() {
+                        let (guard, timeout) = inner
+                            .cv
+                            .wait_timeout(st, inner.cfg.heartbeat)
+                            .unwrap_or_else(|e| e.into_inner());
+                        st = guard;
+                        if timeout.timed_out() && !st.has_pending() && !st.degraded {
+                            drop(st);
+                            if stream.write_all(&NetFrame::Heartbeat.encode()).is_err() {
+                                return ConnEnd::Broken;
+                            }
+                            inner.counters.heartbeats.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                } else {
+                    // Everything sent; wait for acks.
+                    match drain_acks(inner, stream, &mut rbuf, Duration::from_millis(50)) {
+                        Ok(true) => {
+                            *acks += 1;
+                            last_ack = Instant::now();
+                        }
+                        Ok(false) => {
+                            if last_ack.elapsed() > inner.cfg.io_timeout {
+                                // The collector went silent with frames
+                                // in flight: treat as broken and replay.
+                                return ConnEnd::Broken;
+                            }
+                        }
+                        Err(()) => return ConnEnd::Broken,
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum SendResult {
+    Sent,
+    Broke,
+}
+
+/// Transmits one frame, applying first-transmission faults.
+fn send_frame(
+    inner: &ClientInner,
+    stream: &mut TcpStream,
+    frame: &NetFrame,
+    attempts: u32,
+) -> SendResult {
+    let bytes = frame.encode();
+    let faults = &inner.cfg.faults;
+    if attempts == 0 && faults.is_active() {
+        if let Some((job, rank, seq)) = frame.fault_key() {
+            if faults.stalls(job, rank, seq) {
+                std::thread::sleep(Duration::from_millis(faults.stall_ms));
+            }
+            if faults.partitions(job, rank, seq) {
+                let mut st = lock(&inner.state);
+                st.partitioned = true;
+                return SendResult::Broke;
+            }
+            if faults.cuts(job, rank, seq) {
+                let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+                let _ = stream.flush();
+                return SendResult::Broke;
+            }
+            if let Some(off) = faults.corrupts(job, rank, seq) {
+                let mut bad = bytes.clone();
+                let idx = (off % bad.len() as u64) as usize;
+                bad[idx] ^= 0x20;
+                // The server's CRC fails closed and drops the
+                // connection; the clean retransmit goes through later.
+                if stream.write_all(&bad).is_err() {
+                    return SendResult::Broke;
+                }
+                inner.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+                return SendResult::Sent;
+            }
+            if faults.duplicates(job, rank, seq) && stream.write_all(&bytes).is_err() {
+                return SendResult::Broke;
+            }
+        }
+    }
+    if stream.write_all(&bytes).is_err() {
+        return SendResult::Broke;
+    }
+    inner.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+    SendResult::Sent
+}
+
+/// Reads whatever acks are available within `wait`. `Ok(true)` = at
+/// least one ack was applied.
+fn drain_acks(
+    inner: &ClientInner,
+    stream: &mut TcpStream,
+    rbuf: &mut FrameBuf,
+    wait: Duration,
+) -> Result<bool, ()> {
+    if stream.set_read_timeout(Some(wait.max(Duration::from_millis(1)))).is_err() {
+        return Err(());
+    }
+    let mut tmp = [0u8; 64 * 1024];
+    let mut progress = false;
+    match stream.read(&mut tmp) {
+        Ok(0) => return Err(()),
+        Ok(n) => {
+            rbuf.extend(&tmp[..n]);
+            loop {
+                match rbuf.next_frame() {
+                    None => break,
+                    Some(Err(_)) => return Err(()),
+                    Some(Ok(NetFrame::Ack { job, a, b, of })) => {
+                        apply_ack(inner, job, a, b, of);
+                        progress = true;
+                    }
+                    // The server sends nothing else post-hello; ignore.
+                    Some(Ok(_)) => {}
+                }
+            }
+        }
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut => {}
+        Err(_) => return Err(()),
+    }
+    Ok(progress)
+}
+
+fn apply_ack(inner: &ClientInner, job: u64, a: u64, b: u64, of: u8) {
+    let mut st = lock(&inner.state);
+    let idx = st.unacked.iter().position(|u| u.frame.settled_by(job, a, b, of));
+    match idx {
+        Some(i) => {
+            st.unacked.remove(i);
+            inner.counters.acks.fetch_add(1, Ordering::Relaxed);
+        }
+        None => {
+            inner.counters.stray_acks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    if of == KIND_FINISHED {
+        st.acked_finished.insert(job, a == 1);
+    }
+    inner.cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::EncoderConfig;
+    use crate::ingest::IngestConfig;
+
+    fn completion(rank: usize, calls: u64, segments: u32) -> RankCompletion {
+        RankCompletion {
+            rank,
+            call_count: calls,
+            segments,
+            duration: None,
+            interval: None,
+            encoder_cfg: EncoderConfig::default(),
+            events: Vec::new(),
+        }
+    }
+
+    fn sample_frames() -> Vec<NetFrame> {
+        vec![
+            NetFrame::Hello { version: NET_VERSION, client_id: 7 },
+            NetFrame::HelloAck { version: NET_VERSION },
+            NetFrame::JobOpen { job: 9, nranks: 4, identity_check: true },
+            NetFrame::Segment {
+                job: 9,
+                seg: TraceSegment { rank: 2, seq: 5, sealed: true, bytes: vec![1, 2, 3] },
+            },
+            NetFrame::Complete { job: 9, done: completion(2, 40, 6) },
+            NetFrame::Finished { job: 9 },
+            NetFrame::Heartbeat,
+            NetFrame::Ack { job: 9, a: 2, b: 5, of: KIND_SEGMENT },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_the_shared_codec() {
+        for frame in sample_frames() {
+            let bytes = frame.encode();
+            let mut buf = FrameBuf::new();
+            // Feed byte by byte: every prefix must politely wait.
+            for (i, b) in bytes.iter().enumerate() {
+                if i + 1 < bytes.len() {
+                    buf.extend(std::slice::from_ref(b));
+                    assert!(buf.next_frame().is_none(), "frame {frame:?} decoded early");
+                } else {
+                    buf.extend(std::slice::from_ref(b));
+                }
+            }
+            let back = buf.next_frame().expect("whole frame").expect("clean frame");
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn acks_settle_exactly_their_frame() {
+        let seg = NetFrame::Segment {
+            job: 9,
+            seg: TraceSegment { rank: 2, seq: 5, sealed: false, bytes: vec![] },
+        };
+        assert!(seg.settled_by(9, 2, 5, KIND_SEGMENT));
+        assert!(!seg.settled_by(9, 2, 6, KIND_SEGMENT));
+        assert!(!seg.settled_by(9, 2, 5, KIND_COMPLETE));
+        assert!(!seg.settled_by(8, 2, 5, KIND_SEGMENT));
+        let done = NetFrame::Complete { job: 9, done: completion(2, 1, 1) };
+        assert!(done.settled_by(9, 2, 0, KIND_COMPLETE));
+        assert!(!done.settled_by(9, 3, 0, KIND_COMPLETE));
+        let fin = NetFrame::Finished { job: 9 };
+        assert!(fin.settled_by(9, 1, 0, KIND_FINISHED));
+        assert!(!fin.settled_by(7, 1, 0, KIND_FINISHED));
+    }
+
+    #[test]
+    fn outbox_preserves_fifo_across_overflow() {
+        let dir = std::env::temp_dir().join(format!("pilgrim-outbox-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        let mut o = Outbox::create(dir.join("outbox.buf")).expect("create");
+        let frames: Vec<NetFrame> = (0..40)
+            .map(|i| NetFrame::Segment {
+                job: 1,
+                seg: TraceSegment {
+                    rank: 0,
+                    seq: i,
+                    sealed: false,
+                    bytes: vec![i as u8; (i as usize % 7) + 1],
+                },
+            })
+            .collect();
+        // Interleave pushes and pops; order must hold throughout.
+        for chunk in frames.chunks(8) {
+            for f in chunk {
+                o.push(f).expect("push");
+            }
+        }
+        for f in &frames {
+            let back = o.pop().expect("pop").expect("frame");
+            assert_eq!(&back, f);
+        }
+        assert!(o.pop().expect("pop").is_none());
+        // Fully drained: the file was reset for reuse.
+        assert_eq!(o.write_pos, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loopback_round_trip_delivers_a_job_losslessly() {
+        let dir = std::env::temp_dir().join(format!("pilgrim-net-smoke-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let session =
+            IngestSession::new(IngestConfig::new().shards(1).spill_dir(dir.join("server")))
+                .expect("session");
+        let server = serve(listener, session, NetServerConfig::new()).expect("serve");
+        let cfg = NetClientConfig::new(server.addr().to_string())
+            .client_id(1)
+            .spill_dir(dir.join("client"));
+        let client = NetClient::start(cfg).expect("client");
+        let h = client.open_job(0, 1, true);
+        use crate::checkpoint::encode_checkpoint;
+        use crate::cst::Cst;
+        use pilgrim_sequitur::Grammar;
+        let mut cst = Cst::new();
+        let mut g = Grammar::new();
+        for s in [b"a".as_slice(), b"b", b"a"] {
+            let t = cst.observe(s, 5);
+            g.push(t);
+        }
+        let flat = g.to_flat();
+        let bytes = encode_checkpoint(flat.expanded_len(), &cst, &flat);
+        h.push_segment(TraceSegment { rank: 0, seq: 0, sealed: false, bytes });
+        h.complete_rank(completion(0, 3, 1));
+        let out = h.finish();
+        assert!(out.delivered, "problems: {:?}", out.problems);
+        assert_eq!(out.lossless, Some(true));
+        assert!(out.accounted());
+        let stats = client.shutdown();
+        assert!(stats.acks >= 3, "stats: {stats:?}");
+        assert!(!stats.degraded);
+        let server_stats = server.stop();
+        assert_eq!(server_stats.jobs_finished, 1);
+        assert_eq!(server_stats.torn_conns, 0);
+        // The ack-before-durable WAL exists and holds the stream.
+        let report = crate::recover::recover_dir(&dir.join("server")).expect("recover");
+        assert_eq!(report.jobs.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -252,17 +252,45 @@ fn count_files(dir: &Path) -> usize {
 /// Recovers one WAL-covered job: finished jobs read back from their
 /// container, in-flight jobs replayed through a fresh merger.
 fn recover_wal_job(dir: &Path, job: u64, log: JobLog, spill: Option<&Path>) -> RecoveredJob {
+    let mut from_spill: Option<RecoveredJob> = None;
     if log.finished {
         // The outcome was already delivered; the container is the
         // durable artifact and the WAL is just its receipt.
         if let Some(path) = spill {
             if let Some(done) = read_spill(job, path) {
-                return done;
+                if done.state == RecoveryState::Recovered {
+                    return done;
+                }
+                // Finished, but the container reads back less than
+                // clean — e.g. a restarted collector re-finished the
+                // job from a partial view and overwrote the good
+                // container. The WAL union still holds every acked
+                // stream message, so replay it too and keep whichever
+                // result recovered more.
+                from_spill = Some(done);
             }
         }
         // Finished but the container is gone or unreadable: fall through
         // to the WAL replay, which still holds every stream message.
     }
+    let replayed = replay_wal_job(dir, job, log);
+    match from_spill {
+        Some(spill) if state_rank(spill.state) >= state_rank(replayed.state) => spill,
+        _ => replayed,
+    }
+}
+
+/// Ordering for "keep the better recovery" comparisons.
+fn state_rank(state: RecoveryState) -> u8 {
+    match state {
+        RecoveryState::Recovered => 2,
+        RecoveryState::Partial => 1,
+        RecoveryState::Lost => 0,
+    }
+}
+
+/// Replays one job's WAL record union through a fresh merger.
+fn replay_wal_job(dir: &Path, job: u64, log: JobLog) -> RecoveredJob {
     let mut problems: Vec<String> = Vec::new();
     let Some(nranks) = log.nranks else {
         // Segments without an open: the open frame was torn away.
@@ -272,26 +300,72 @@ fn recover_wal_job(dir: &Path, job: u64, log: JobLog, spill: Option<&Path>) -> R
     for &(rank, seq) in &log.quarantines {
         problems.push(format!("segment {rank}/{seq} was quarantined before the crash"));
     }
-    let mut merger = IncrementalMerger::new(nranks).identity_check(log.identity_check);
-    for rec in &log.records {
+    // A job's records may be spread over several WAL files (shards,
+    // per-connection logs, logs from before and after a collector
+    // restart) and may contain duplicates (a retransmit whose first
+    // delivery was logged but whose ack was lost). Replay must not
+    // depend on file-scan order: sort segments by (rank, seq), keep the
+    // first copy of any duplicate, and apply completions after every
+    // segment — the merger demands in-order sequences per rank, and
+    // `finalize` canonicalizes, so any union of logs covering the same
+    // stream rebuilds the same bytes.
+    let mut segs: BTreeMap<(usize, u32), crate::merge::TraceSegment> = BTreeMap::new();
+    let mut completes: BTreeMap<usize, crate::merge::RankCompletion> = BTreeMap::new();
+    for rec in log.records {
         match rec {
-            WalRecord::Segment { seg, .. } => {
-                if let Err(e) = merger.accept_segment(seg) {
-                    problems.push(format!("replay segment {}/{}: {e}", seg.rank, seg.seq));
+            WalRecord::Segment { seg, .. } => match segs.entry((seg.rank, seg.seq)) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(seg);
                 }
-            }
-            WalRecord::Complete { done, .. } => {
-                let rank = done.rank;
-                if let Err(e) = merger.complete_rank(done.clone()) {
-                    problems.push(format!("replay complete {rank}: {e}"));
+                std::collections::btree_map::Entry::Occupied(o) => {
+                    if o.get().bytes != seg.bytes {
+                        problems.push(format!(
+                            "segment {}/{} logged twice with different payloads; kept the first",
+                            seg.rank, seg.seq
+                        ));
+                    }
                 }
-            }
+            },
+            WalRecord::Complete { done, .. } => match completes.entry(done.rank) {
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(done);
+                }
+                std::collections::btree_map::Entry::Occupied(o) => {
+                    let first = o.get();
+                    if (first.call_count, first.segments) != (done.call_count, done.segments) {
+                        problems.push(format!(
+                            "rank {} completed twice with conflicting counts; kept the first",
+                            done.rank
+                        ));
+                    }
+                }
+            },
             _ => {}
         }
     }
+    let mut merger = IncrementalMerger::new(nranks).identity_check(log.identity_check);
+    for seg in segs.values() {
+        if let Err(e) = merger.accept_segment(seg) {
+            problems.push(format!("replay segment {}/{}: {e}", seg.rank, seg.seq));
+        }
+    }
+    for (rank, done) in completes {
+        if let Err(e) = merger.complete_rank(done) {
+            problems.push(format!("replay complete {rank}: {e}"));
+        }
+    }
+    // A WAL can hold a rank's segments without its completion (the
+    // client was cut off mid-stream, or the completion frame was never
+    // acked durable): salvage the accepted prefix as a checkpoint rank
+    // so the job classifies Partial with real calls, not Lost.
+    for (rank, calls) in merger.salvage_open_ranks() {
+        problems.push(format!(
+            "rank {rank}: stream incomplete; salvaged {calls} calls from its logged prefix"
+        ));
+    }
     let complete = merger.is_complete();
-    let calls = merger.call_count();
     let trace = merger.finalize();
+    let calls = trace.rank_lengths.iter().sum();
     classify(dir, job, RecoverySource::Wal, trace, calls, complete, problems)
 }
 
@@ -428,4 +502,45 @@ fn write_recovered(dir: &Path, job: u64, trace: Option<&GlobalTrace>) -> std::io
     }
     fs::rename(&tmp, &path)?;
     Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pilgrim-recover-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn recovering_an_absent_directory_is_the_one_hard_error() {
+        let dir = temp_dir("absent");
+        assert!(recover_dir(&dir).is_err(), "missing session dir must error");
+    }
+
+    #[test]
+    fn recovering_a_session_dir_without_a_wal_subdir_reports_nothing() {
+        let dir = temp_dir("no-wal");
+        fs::create_dir_all(&dir).expect("mkdir");
+        let report = recover_dir(&dir).expect("readable dir");
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.wal_files, 0);
+        assert!(report.problems.is_empty(), "problems: {:?}", report.problems);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovering_an_empty_wal_directory_reports_nothing() {
+        let dir = temp_dir("empty-wal");
+        fs::create_dir_all(dir.join("wal")).expect("mkdir");
+        let report = recover_dir(&dir).expect("readable dir");
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.wal_files, 0);
+        assert_eq!(report.torn_wals, 0);
+        assert!(report.problems.is_empty(), "problems: {:?}", report.problems);
+        let _ = fs::remove_dir_all(&dir);
+    }
 }

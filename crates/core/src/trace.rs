@@ -100,9 +100,14 @@ impl TraceCompleteness {
     }
 
     /// True when `rank` reached at least `stage` of the degradation
-    /// ladder during tracing.
+    /// ladder during tracing. Memory rungs order among themselves;
+    /// out-of-band stages ([`DegradationStage::LocalSpill`]) match only
+    /// exactly — a net-spilled rank has not, e.g., aggregated its timing.
     pub fn rank_reached(&self, rank: usize, stage: DegradationStage) -> bool {
-        self.events_for(rank).any(|e| e.stage >= stage)
+        if !stage.is_memory_rung() {
+            return self.events_for(rank).any(|e| e.stage == stage);
+        }
+        self.events_for(rank).any(|e| e.stage.is_memory_rung() && e.stage >= stage)
     }
 
     fn serialize(&self, nranks: usize, out: &mut Vec<u8>) {
@@ -271,6 +276,9 @@ pub struct FidelityReport {
     pub checkpoint_ranks: Vec<usize>,
     /// Ranks salvaged from a corrupt container (span inferred).
     pub salvaged_ranks: Vec<usize>,
+    /// Ranks whose networked delivery degraded to a local spill file
+    /// (call data intact on the client's disk; the wire path gave up).
+    pub net_spilled_ranks: Vec<usize>,
     /// Total degradation events recorded.
     pub events: usize,
 }
@@ -611,6 +619,9 @@ impl GlobalTrace {
             }
             if self.completeness.rank_reached(rank, DegradationStage::SealSegment) {
                 report.sealed_ranks.push(rank);
+            }
+            if self.completeness.rank_reached(rank, DegradationStage::LocalSpill) {
+                report.net_spilled_ranks.push(rank);
             }
         }
         report

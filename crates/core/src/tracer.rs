@@ -761,6 +761,9 @@ impl PilgrimTracer {
                     }
                 }
                 DegradationStage::SealSegment => self.seal_segment(),
+                // Not a memory rung; `check` never returns it — the net
+                // client records it directly when delivery degrades.
+                DegradationStage::LocalSpill => {}
             }
         }
     }
@@ -902,6 +905,9 @@ impl PilgrimTracer {
             encoder_cfg: self.cfg.encoder,
             events: self.governor.events().to_vec(),
         });
+        // Buffering sinks (the net client) push the completed stream
+        // toward durability here; in-process sinks no-op.
+        sink.flush();
     }
 }
 

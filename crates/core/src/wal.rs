@@ -169,16 +169,60 @@ fn read(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, DecodeEr
     read_varint(buf, pos).ok_or(DecodeError::Truncated { what, offset: off })
 }
 
-fn frame(rec: &WalRecord) -> Vec<u8> {
-    let mut payload = Vec::new();
-    rec.serialize_payload(&mut payload);
+/// Builds one CRC frame — `[kind: u8] [payload_len: varint] [payload]
+/// [crc32: u32 LE]`, the CRC covering everything before it. This is the
+/// framing shared by the WAL and the `PNT1` wire protocol
+/// ([`crate::net`]): same layout on disk and on the socket, so a frame
+/// accepted off the wire can be re-framed into a WAL byte-for-byte.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 10);
-    out.push(rec.kind());
+    out.push(kind);
     write_varint(&mut out, payload.len() as u64);
-    out.extend_from_slice(&payload);
+    out.extend_from_slice(payload);
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
     out
+}
+
+/// Pulls one CRC frame starting at `*pos`, advancing past it on success.
+/// `None` = the buffer ends mid-frame (torn tail — more bytes may still
+/// arrive on a stream); `Some(Err)` = framing intact but the CRC does
+/// not match. The payload is borrowed, not copied.
+pub fn split_frame<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+) -> Option<Result<(u8, &'a [u8]), DecodeError>> {
+    let start = *pos;
+    let kind = *buf.get(*pos)?;
+    *pos += 1;
+    let Some(len) = read_varint(buf, pos).map(|v| v as usize) else {
+        // Torn inside the length varint: leave `pos` where it was so
+        // the caller can retry once more bytes arrive.
+        *pos = start;
+        return None;
+    };
+    if len > buf.len().saturating_sub(*pos) {
+        *pos = start;
+        return None;
+    }
+    let payload = &buf[*pos..*pos + len];
+    *pos += len;
+    let Some(crc_bytes) = buf.get(*pos..*pos + 4) else {
+        *pos = start;
+        return None;
+    };
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    *pos += 4;
+    if crc32(&buf[start..*pos - 4]) != stored {
+        return Some(Err(DecodeError::Corrupt { what: "frame crc", offset: start }));
+    }
+    Some(Ok((kind, payload)))
+}
+
+fn frame(rec: &WalRecord) -> Vec<u8> {
+    let mut payload = Vec::new();
+    rec.serialize_payload(&mut payload);
+    encode_frame(rec.kind(), &payload)
 }
 
 /// Appending writer for one shard's WAL.
@@ -303,21 +347,12 @@ pub fn decode_wal(buf: &[u8]) -> Result<WalReplay, DecodeError> {
 /// kind, payload decode failure).
 fn next_frame(buf: &[u8], pos: &mut usize) -> Option<Result<WalRecord, DecodeError>> {
     let start = *pos;
-    let kind = *buf.get(*pos)?;
-    *pos += 1;
-    let len = read_varint(buf, pos)? as usize;
-    if len > buf.len().saturating_sub(*pos) {
-        return None;
+    match split_frame(buf, pos)? {
+        Ok((kind, payload)) => {
+            Some(WalRecord::decode_payload(kind, payload).map_err(|e| e.offset_by(start)))
+        }
+        Err(e) => Some(Err(e)),
     }
-    let payload = &buf[*pos..*pos + len];
-    *pos += len;
-    let crc_bytes = buf.get(*pos..*pos + 4)?;
-    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
-    *pos += 4;
-    if crc32(&buf[start..start + (*pos - start) - 4]) != stored {
-        return Some(Err(DecodeError::Corrupt { what: "wal frame crc", offset: start }));
-    }
-    Some(WalRecord::decode_payload(kind, payload).map_err(|e| e.offset_by(start)))
 }
 
 /// Reads and replays one WAL file from disk.
@@ -414,6 +449,57 @@ mod tests {
     fn missing_magic_is_an_error() {
         assert!(decode_wal(b"nope").is_err());
         assert!(decode_wal(b"PW").is_err());
+    }
+
+    #[test]
+    fn shared_frame_codec_roundtrips_and_rejects_bit_flips() {
+        let frame = encode_frame(7, b"hello frame");
+        let mut pos = 0;
+        let (kind, payload) = split_frame(&frame, &mut pos).expect("whole").expect("clean");
+        assert_eq!((kind, payload), (7u8, &b"hello frame"[..]));
+        assert_eq!(pos, frame.len());
+        // Every strict prefix is torn, and `pos` is left where it was.
+        for cut in 0..frame.len() {
+            let mut p = 0;
+            assert!(split_frame(&frame[..cut], &mut p).is_none(), "cut at {cut}");
+            assert_eq!(p, 0);
+        }
+        // Any single bit flip fails the CRC closed.
+        for byte in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[byte] ^= 0x10;
+            let mut p = 0;
+            match split_frame(&bad, &mut p) {
+                Some(Err(_)) | None => {}
+                Some(Ok(_)) => panic!("flip at byte {byte} went undetected"),
+            }
+        }
+    }
+
+    /// The satellite case for truncate-on-failed-append: a short write
+    /// must leave the file readable *at the last clean frame* even
+    /// before `truncate_to_clean` runs, and `clean_len` must agree with
+    /// what an independent reader accepts.
+    #[test]
+    fn short_write_leaves_log_readable_at_last_clean_frame() {
+        let dir = std::env::temp_dir().join(format!("pilgrim-wal-short-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("shard-0.wal");
+        let recs = sample_records();
+        let mut w = WalWriter::create(&path).expect("create wal");
+        w.append(&recs[0]).expect("append");
+        w.append(&recs[1]).expect("append");
+        let clean = w.clean_len();
+        assert!(w.append_torn(&recs[2]).is_err());
+        // The torn tail is on disk, past the clean length...
+        let on_disk = std::fs::metadata(&path).expect("stat").len();
+        assert!(on_disk > clean, "torn bytes must be present ({on_disk} <= {clean})");
+        // ...and a crash-time reader replays exactly the clean prefix.
+        let replay = read_wal(&path).expect("read").expect("magic");
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.clean_bytes, clean);
+        assert!(replay.torn.is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

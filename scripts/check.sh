@@ -59,10 +59,13 @@ cargo test -q -p pilgrim --test merge_equivalence
 echo "== pilgrimd: concurrent streaming ingest smoke =="
 # Eight concurrent 4-rank jobs stream into one ingest session (odd jobs
 # under a governor budget, so sealed segments flow mid-run); every
-# spilled container must validate. Nonzero exit on any loss.
+# spilled container must validate. Nonzero exit on any loss, and the
+# run must end with a parseable schema-1 envelope declaring exit 0.
 rm -rf target/pilgrimd-smoke
-cargo run --release -q -p pilgrim-bench --bin pilgrimd -- \
-  --jobs 8 --ranks 4 --iters 20 --budget 48000 --out target/pilgrimd-smoke
+smoke_out=$(cargo run --release -q -p pilgrim-bench --bin pilgrimd -- \
+  --jobs 8 --ranks 4 --iters 20 --budget 48000 --out target/pilgrimd-smoke)
+echo "$smoke_out" | tail -1 | grep -q '"schema":1,"command":"local".*"exit":0' ||
+  { echo "FAIL: pilgrimd local envelope missing or not exit 0." >&2; exit 1; }
 for f in target/pilgrimd-smoke/*.pilgrim; do
   ./target/release/trace_tool validate "$f" > /dev/null ||
     { echo "FAIL: spilled container $f does not validate." >&2; exit 1; }
@@ -106,6 +109,50 @@ echo "== chaos ingest: fault-injection sweep over the collector =="
 # dropped a job without a trace.
 cargo run --release -q -p pilgrim-bench --bin chaos_ingest -- --quick --iters 10
 
+echo "== net: loopback serve/send smoke over PNT1 =="
+# A real pilgrimd collector process on a loopback port, a real send
+# process streaming 4 jobs into it. Both must end with schema-1
+# envelopes declaring exit 0, and every delivered container must
+# validate. The net_ingest tier-1 suite covers kill/restart/resume and
+# degrade-to-local-spill in-process; this lane proves the binaries.
+rm -rf target/pilgrimd-net
+mkdir -p target/pilgrimd-net
+cargo build --release -q -p pilgrim-bench
+./target/release/pilgrimd serve --listen 127.0.0.1:0 --out target/pilgrimd-net \
+  --expect-jobs 4 > target/pilgrimd-net/serve.out &
+serve_pid=$!
+listen_addr=""
+for _ in $(seq 1 100); do
+  listen_addr=$(grep -o '"listening":"[^"]*"' target/pilgrimd-net/serve.out 2>/dev/null |
+    head -1 | cut -d'"' -f4) && [ -n "$listen_addr" ] && break
+  sleep 0.1
+done
+[ -n "$listen_addr" ] || { echo "FAIL: pilgrimd serve never reported its port." >&2; exit 1; }
+./target/release/pilgrimd send --addr "$listen_addr" --jobs 4 --ranks 2 --iters 10 \
+  --spill target/pilgrimd-net/client | tail -1 |
+  grep -q '"schema":1,"command":"send".*"exit":0' ||
+  { echo "FAIL: pilgrimd send envelope missing or not exit 0." >&2; exit 1; }
+wait "$serve_pid" ||
+  { echo "FAIL: pilgrimd serve exited nonzero after a clean send." >&2; exit 1; }
+tail -1 target/pilgrimd-net/serve.out | grep -q '"schema":1,"command":"serve".*"exit":0' ||
+  { echo "FAIL: pilgrimd serve envelope missing or not exit 0." >&2; exit 1; }
+for f in target/pilgrimd-net/*.pilgrim; do
+  [ -e "$f" ] || { echo "FAIL: no delivered containers in target/pilgrimd-net." >&2; exit 1; }
+  ./target/release/trace_tool validate "$f" > /dev/null ||
+    { echo "FAIL: delivered container $f does not validate." >&2; exit 1; }
+done
+
+echo "== chaos net: seeded wire-fault sweep, twice, bit-identical =="
+# Refused connects, mid-frame cuts, bit flips, duplicate frames, stalls
+# and permanent partitions. Nonzero exit means a job went nowhere —
+# neither delivered, spilled locally, nor recoverable from the
+# collector's WALs. Two runs must produce byte-identical tables.
+cargo run --release -q -p pilgrim-bench --bin chaos_net -- --quick > target/chaos_net.1
+cargo run --release -q -p pilgrim-bench --bin chaos_net -- --quick > target/chaos_net.2
+diff target/chaos_net.1 target/chaos_net.2 ||
+  { echo "FAIL: chaos_net sweep is not deterministic." >&2; exit 1; }
+cat target/chaos_net.1
+
 echo "== panic hygiene: no new unwrap/expect in fault-critical modules =="
 # The merge and fabric must degrade, not panic, on peer failure. Counts
 # cover non-test code only; lower is fine, higher fails the gate.
@@ -134,11 +181,20 @@ check_panics crates/core/src/governor.rs 0
 check_panics crates/core/src/wal.rs 0
 check_panics crates/core/src/recover.rs 0
 check_panics crates/core/src/ingest_fault.rs 0
+# The wire transport runs on both sides of every traced job; a panic on
+# a torn frame or a poisoned lock would take the collector (or the
+# traced rank) down with it.
+check_panics crates/core/src/net.rs 0
+check_panics crates/core/src/net_fault.rs 0
 
-echo "== bench baseline: results/BENCH_ingest.json present =="
-# The ingest-throughput trajectory needs its first point. Regenerate
-# with: ingest_bench --json-out results/BENCH_ingest.json (release).
+echo "== bench baseline: no >10% ingest throughput regression =="
+# Fresh best-of-2 sweep vs the committed conservative (worst-of-3)
+# baseline; any row more than 10% below the baseline's calls/sec fails.
+# Refresh after an intentional perf change with:
+#   ingest_bench --reps 3 --stat min --json-out results/BENCH_ingest.json
 grep -q '"bench":"ingest"' results/BENCH_ingest.json ||
   { echo "FAIL: results/BENCH_ingest.json missing or malformed." >&2; exit 1; }
+cargo run --release -q -p pilgrim-bench --bin ingest_bench -- \
+  --max-jobs 8 --check-against results/BENCH_ingest.json
 
 echo "All checks passed."
