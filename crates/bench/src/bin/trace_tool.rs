@@ -2,20 +2,35 @@
 //! trace files from the command line.
 //!
 //! ```text
-//! trace_tool record <workload> <ranks> <iters> <out.pilgrim> [--budget <bytes>]
+//! trace_tool record <workload> <ranks> <iters> <out.pilgrim> [--budget <bytes>] [--rr]
 //! trace_tool inspect <trace.pilgrim>
 //! trace_tool stats <trace.pilgrim>
 //! trace_tool validate <trace.pilgrim>
 //! trace_tool signatures <trace.pilgrim>
 //! trace_tool export <trace.pilgrim> [out.txt]
 //! trace_tool decode <trace.pilgrim> <rank> [limit]
-//! trace_tool replay <trace.pilgrim>
+//! trace_tool replay <trace.pilgrim> [--strict]
+//! trace_tool minimize <trace.pilgrim> <out.pilgrim> <out.json>
+//! trace_tool mutate <trace.pilgrim> <out.pilgrim>
 //! trace_tool query <trace.pilgrim> [rank]
 //! trace_tool slice <trace.pilgrim> <rank> <start> <count>
 //! trace_tool matrix <trace.pilgrim>
 //! trace_tool fidelity <trace.pilgrim>
 //! trace_tool recover <spill_dir>
 //! ```
+//!
+//! ## Record / replay / minimize
+//!
+//! `record --rr` enables the nondeterminism side-channel
+//! ([`pilgrim::rr`]): every wildcard match, completion order, and probe
+//! outcome is logged into the container's `PGND` section. `replay
+//! --strict` then proves the recording deterministic (exit 0) or names
+//! the first mismatching `(rank, call_index)` (exit 1); degraded traces
+//! exit 3 with a partial-replay report instead of claiming a
+//! divergence. `minimize` shrinks a diverging recording to a
+//! self-contained reproducer (container + expected-divergence JSON);
+//! `mutate` deterministically corrupts the first logged event — the CI
+//! fixture for the strict gate.
 //!
 //! The query subcommands answer from the compressed grammar (indexed
 //! random access + grammar-aware aggregation) and emit deterministic JSON
@@ -36,15 +51,17 @@
 //! trace to report on (`recover`, failed `validate`) — so consumers
 //! never need to probe for it.
 //!
-//! ## Exit codes
+//! ## Exit codes (uniform across subcommands)
 //!
 //! * `0` — success (for `fidelity`: the trace is lossless; for
-//!   `recover`: every job recovered clean)
-//! * `1` — invalid input: unreadable file or directory, decode failure,
-//!   or a `validate` consistency issue
+//!   `recover`: every job recovered clean; for `replay --strict`: the
+//!   recording replayed deterministically)
+//! * `1` — invalid input or a detected loss: unreadable file, decode
+//!   failure, a `validate` consistency issue, or a `replay` divergence
 //! * `2` — usage error
-//! * `3` — `fidelity`: the trace decoded but is degraded; `recover`:
-//!   at least one job came back partial or lost
+//! * `3` — degraded: `fidelity` on a degraded trace, `recover` with
+//!   partial/lost jobs, `record`/`replay`/`minimize` on a trace whose
+//!   ranks are truncated, lost, or salvaged
 //!
 //! Readers accept both trace formats — the legacy flat stream and the
 //! checksummed `PGC1` container — by sniffing the magic; `record` writes
@@ -56,21 +73,24 @@ use std::process::exit;
 
 use mpi_sim::FuncId;
 use pilgrim::{
-    decode_rank_calls, CallIterator, GlobalTrace, MetricsRegistry, PilgrimConfig, QueryEngine,
-    RankStatus, Stage, TraceIndex,
+    decode_rank_calls, minimize, replay_strict, CallIterator, Divergence, GlobalTrace,
+    MetricsRegistry, MinimizeError, NondetEvent, PartialReplayReport, PilgrimConfig, QueryEngine,
+    RankStatus, Stage, StrictReplay, TraceIndex,
 };
 use pilgrim_bench::run_pilgrim;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace_tool record <workload> <ranks> <iters> <out.pilgrim> [--budget <bytes>]\n  \
+        "usage:\n  trace_tool record <workload> <ranks> <iters> <out.pilgrim> [--budget <bytes>] [--rr]\n  \
          trace_tool inspect <trace.pilgrim>\n  \
          trace_tool stats <trace.pilgrim>\n  \
          trace_tool validate <trace.pilgrim>\n  \
          trace_tool signatures <trace.pilgrim>\n  \
          trace_tool export <trace.pilgrim> [out.txt]\n  \
          trace_tool decode <trace.pilgrim> <rank> [limit]\n  \
-         trace_tool replay <trace.pilgrim>\n  \
+         trace_tool replay <trace.pilgrim> [--strict]\n  \
+         trace_tool minimize <trace.pilgrim> <out.pilgrim> <out.json>\n  \
+         trace_tool mutate <trace.pilgrim> <out.pilgrim>\n  \
          trace_tool query <trace.pilgrim> [rank]\n  \
          trace_tool slice <trace.pilgrim> <rank> <start> <count>\n  \
          trace_tool matrix <trace.pilgrim>\n  \
@@ -160,33 +180,97 @@ fn envelope(command: &str) -> String {
     format!("{{\"schema\":1,\"command\":{},", json_str(command))
 }
 
+/// `[1,4,7]` from a rank list.
+fn json_usize_list(ranks: &[usize]) -> String {
+    let items: Vec<String> = ranks.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// A [`Divergence`] as a JSON object.
+fn divergence_json(d: &Divergence) -> String {
+    format!(
+        "{{\"rank\":{},\"call_index\":{},\"expected\":{},\"got\":{}}}",
+        d.rank,
+        d.call_index,
+        json_str(&d.expected),
+        json_str(&d.got)
+    )
+}
+
+/// The degraded-replay verdict shared by `replay` and `minimize`:
+/// schema-1 envelope with the partial-replay rank lists, exit 3.
+fn degraded_exit(command: &str, trace: &GlobalTrace, report: &PartialReplayReport) -> ! {
+    let first = |pairs: &[(usize, u64)]| {
+        let ranks: Vec<usize> = pairs.iter().map(|&(r, _)| r).collect();
+        json_usize_list(&ranks)
+    };
+    let lost: Vec<usize> = report.lost_ranks.iter().map(|&(r, _)| r).collect();
+    println!(
+        "{}\"degraded\":true,\"replayable_ranks\":{},\
+         \"truncated_ranks\":{},\"lost_ranks\":{},\"salvaged_ranks\":{},\
+         \"net_spilled_ranks\":{},\"divergence\":null{}}}",
+        envelope(command),
+        json_usize_list(&report.replayable_ranks),
+        first(&report.truncated_ranks),
+        json_usize_list(&lost),
+        first(&report.salvaged_ranks),
+        json_usize_list(&report.net_spilled_ranks),
+        fidelity_field(trace)
+    );
+    exit(3)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("record") if args.len() == 5 || (args.len() == 7 && args[5] == "--budget") => {
+        Some("record") if args.len() >= 5 => {
             let workload = &args[1];
             let ranks: usize = args[2].parse().unwrap_or_else(|_| usage());
             let iters: usize = args[3].parse().unwrap_or_else(|_| usage());
             let mut cfg = PilgrimConfig::default();
-            if args.len() == 7 {
-                let budget: usize = args[6].parse().unwrap_or_else(|_| usage());
-                cfg = cfg.memory_budget(budget);
+            let mut rr = false;
+            let mut rest = args[5..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--budget" => {
+                        let budget: usize =
+                            rest.next().and_then(|b| b.parse().ok()).unwrap_or_else(|| usage());
+                        cfg = cfg.memory_budget(budget);
+                    }
+                    "--rr" => rr = true,
+                    _ => usage(),
+                }
             }
             let body = mpi_workloads::by_name(workload, iters);
-            let run = run_pilgrim(ranks, cfg, body);
-            let degraded = if run.trace.is_degraded() {
-                format!(", {} governor events", run.trace.completeness.events.len())
+            let trace = if rr {
+                // Side-channel recording: every nondeterministic resolution
+                // lands in the container's PGND section for strict replay.
+                pilgrim::record(ranks, cfg, move |env| body(env)).unwrap_or_else(|| {
+                    eprintln!("recording produced no rank-0 trace");
+                    exit(1)
+                })
             } else {
-                String::new()
+                run_pilgrim(ranks, cfg, body).trace
             };
-            let bytes = pilgrim::write_container(&run.trace);
-            fs::write(&args[4], &bytes).expect("write trace file");
+            let bytes = pilgrim::write_container(&trace);
+            fs::write(&args[4], &bytes).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", args[4]);
+                exit(1)
+            });
             println!(
-                "recorded {workload}: {} calls on {ranks} ranks -> {} ({} bytes, PGC1 container{degraded})",
-                run.total_calls,
-                args[4],
-                bytes.len()
+                "{}\"workload\":{},\"ranks\":{ranks},\"calls\":{},\"bytes\":{},\"out\":{},\
+                 \"rr\":{rr},\"nondet_events\":{}{}}}",
+                envelope("record"),
+                json_str(workload),
+                trace.rank_lengths.iter().sum::<u64>(),
+                bytes.len(),
+                json_str(&args[4]),
+                trace.nondet.as_ref().map_or(0, pilgrim::NondetLog::len),
+                fidelity_field(&trace)
             );
+            if trace.is_degraded() {
+                exit(3)
+            }
         }
         Some("inspect") if args.len() == 2 => {
             let trace = load(&args[1]);
@@ -530,28 +614,149 @@ fn main() {
                 exit(3)
             }
         }
-        Some("replay") if args.len() == 2 => {
+        Some("replay") if args.len() == 2 || (args.len() == 3 && args[2] == "--strict") => {
+            let strict = args.len() == 3;
             let trace = load(&args[1]);
             let report = pilgrim::partial_replay_report(&trace);
             if !report.is_fully_replayable() {
                 // A truncated rank stops short of its matching sends and
                 // receives; replaying it live would deadlock the world.
-                eprintln!(
-                    "trace is degraded ({} truncated, {} lost, {} salvaged of {} ranks); live \
-                     replay needs a complete trace. Decodable ranks: use `decode`.",
-                    report.truncated_ranks.len(),
-                    report.lost_ranks.len(),
-                    report.salvaged_ranks.len(),
-                    trace.nranks
-                );
-                exit(1)
+                degraded_exit("replay", &trace, &report)
             }
-            let replayed = pilgrim::replay(&trace);
-            let same = replayed.decode_all_ranks() == trace.decode_all_ranks();
+            if strict {
+                match replay_strict(&trace) {
+                    StrictReplay::Deterministic(retrace) => {
+                        println!(
+                            "{}\"strict\":true,\"calls\":{},\"ranks\":{},\"identical\":true,\
+                             \"divergence\":null{}}}",
+                            envelope("replay"),
+                            retrace.rank_lengths.iter().sum::<u64>(),
+                            retrace.nranks,
+                            fidelity_field(&trace)
+                        );
+                    }
+                    StrictReplay::Diverged(d) => {
+                        println!(
+                            "{}\"strict\":true,\"identical\":false,\"divergence\":{}{}}}",
+                            envelope("replay"),
+                            divergence_json(&d),
+                            fidelity_field(&trace)
+                        );
+                        exit(1)
+                    }
+                    StrictReplay::Degraded(r) => degraded_exit("replay", &trace, &r),
+                    StrictReplay::Undecodable(e) => {
+                        eprintln!("trace does not decode: {e}");
+                        exit(1)
+                    }
+                }
+            } else {
+                let replayed = pilgrim::replay(&trace);
+                let same = replayed.decode_all_ranks() == trace.decode_all_ranks();
+                println!(
+                    "{}\"strict\":false,\"calls\":{},\"ranks\":{},\"identical\":{same},\
+                     \"divergence\":null{}}}",
+                    envelope("replay"),
+                    replayed.rank_lengths.iter().sum::<u64>(),
+                    replayed.nranks,
+                    fidelity_field(&trace)
+                );
+                // Governor-degraded (frozen/sealed) traces replay every call
+                // but legitimately renumber grammar segments on retrace:
+                // that is a degraded verdict, not a loss.
+                if trace.is_degraded() {
+                    exit(3)
+                }
+                if !same {
+                    exit(1)
+                }
+            }
+        }
+        Some("minimize") if args.len() == 4 => {
+            // Shrink a diverging recording to the smallest call subset that
+            // still reproduces the same (rank, expected, got) divergence.
+            // The reproducer JSON carries no paths, so it can be committed
+            // as a golden file and diffed byte-for-byte in CI.
+            let trace = load(&args[1]);
+            match minimize(&trace) {
+                Ok(result) => {
+                    let bytes = pilgrim::write_container(&result.trace);
+                    fs::write(&args[2], &bytes).unwrap_or_else(|e| {
+                        eprintln!("cannot write {}: {e}", args[2]);
+                        exit(1)
+                    });
+                    let json = format!(
+                        "{}\"divergence\":{},\"original_calls\":{},\"minimized_calls\":{},\
+                         \"original_bytes\":{},\"minimized_bytes\":{},\"candidates_tried\":{}{}}}",
+                        envelope("minimize"),
+                        divergence_json(&result.divergence),
+                        result.original_calls,
+                        result.minimized_calls,
+                        result.original_bytes,
+                        result.minimized_bytes,
+                        result.candidates_tried,
+                        fidelity_field(&result.trace)
+                    );
+                    fs::write(&args[3], format!("{json}\n")).unwrap_or_else(|e| {
+                        eprintln!("cannot write {}: {e}", args[3]);
+                        exit(1)
+                    });
+                    println!("{json}");
+                }
+                Err(MinimizeError::Degraded(r)) => degraded_exit("minimize", &trace, &r),
+                Err(e) => {
+                    eprintln!("cannot minimize: {e}");
+                    exit(1)
+                }
+            }
+        }
+        Some("mutate") if args.len() == 3 => {
+            // Deterministically corrupt the first recorded nondet event so
+            // CI can prove strict replay catches it at the exact site.
+            let mut trace = load(&args[1]);
+            let Some(log) = trace.nondet.as_mut() else {
+                eprintln!("{} has no PGND section; record with --rr", args[1]);
+                exit(1)
+            };
+            let site = log.ranks.iter_mut().enumerate().find_map(|(rank, events)| {
+                events.iter_mut().next().map(|(&idx, ev)| {
+                    *ev = match ev.clone() {
+                        NondetEvent::Match { source, tag } => {
+                            NondetEvent::Match { source: source + 1, tag }
+                        }
+                        NondetEvent::Iprobe { hit: Some((s, t)) } => {
+                            NondetEvent::Iprobe { hit: Some((s + 1, t)) }
+                        }
+                        NondetEvent::Iprobe { hit: None } => {
+                            NondetEvent::Iprobe { hit: Some((0, 0)) }
+                        }
+                        NondetEvent::AnyOf { index: Some(i) } => {
+                            NondetEvent::AnyOf { index: Some(i + 1) }
+                        }
+                        NondetEvent::AnyOf { index: None } => NondetEvent::AnyOf { index: Some(0) },
+                        NondetEvent::SomeOf { mut indices } => {
+                            indices.push(indices.iter().max().map_or(0, |m| m + 1));
+                            NondetEvent::SomeOf { indices }
+                        }
+                        NondetEvent::Flag { flag } => NondetEvent::Flag { flag: !flag },
+                    };
+                    (rank, idx)
+                })
+            });
+            let Some((rank, idx)) = site else {
+                eprintln!("{} recorded no nondet events", args[1]);
+                exit(1)
+            };
+            let bytes = pilgrim::write_container(&trace);
+            fs::write(&args[2], &bytes).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", args[2]);
+                exit(1)
+            });
             println!(
-                "replayed {} calls on {} ranks; re-trace identical: {same}",
-                replayed.rank_lengths.iter().sum::<u64>(),
-                replayed.nranks
+                "{}\"rank\":{rank},\"call_index\":{idx},\"out\":{}{}}}",
+                envelope("mutate"),
+                json_str(&args[2]),
+                fidelity_field(&trace)
             );
         }
         _ => usage(),

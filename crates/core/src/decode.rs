@@ -26,10 +26,11 @@ use crate::cst::Cst;
 use crate::encode::{decode_signature, EncodedArg, EncodedCall, EncoderConfig};
 use crate::export::{
     crc32, is_container, section_name, CONTAINER_MAGIC, CONTAINER_VERSION, SEC_CST, SEC_DURATION,
-    SEC_GRAMMAR, SEC_INTERVAL, SEC_META, SEC_RANK,
+    SEC_GRAMMAR, SEC_INTERVAL, SEC_META, SEC_NONDET, SEC_RANK,
 };
 use crate::governor::DegradationEvent;
 use crate::metrics::MetricsRegistry;
+use crate::nondet::NondetLog;
 use crate::query::{CallIterator, TraceIndex};
 use crate::trace::{GlobalTrace, RankStatus, TraceCompleteness, RANK_MAP_NONE};
 use crate::tracer::CapturedCall;
@@ -365,6 +366,9 @@ pub struct SalvageReport {
     /// Ranks whose own section was clean but whose timing grammar was in
     /// a corrupt section.
     pub timing_stripped_ranks: Vec<usize>,
+    /// The trailing `PGND` nondeterminism log was present but corrupt and
+    /// had to be dropped: the calls replay, but no longer deterministically.
+    pub nondet_dropped: bool,
 }
 
 impl SalvageReport {
@@ -374,6 +378,7 @@ impl SalvageReport {
             && self.skipped_interval_grammars.is_empty()
             && self.skipped_ranks.is_empty()
             && self.timing_stripped_ranks.is_empty()
+            && !self.nondet_dropped
     }
 }
 
@@ -589,6 +594,36 @@ fn decode_container_inner(
             }
         }
     }
+
+    // Optional trailing PGND section: the nondeterminism side-channel of
+    // a record/replay recording ([`crate::NondetLog`]). Ordinary traces
+    // end at the last RANK section, so pre-existing containers decode
+    // unchanged; anything after this point that is not a PGND section is
+    // still trailing garbage.
+    let mut nondet = None;
+    if pos < buf.len() && buf[pos] == SEC_NONDET {
+        let parsed = read_section(buf, &mut pos).and_then(|sec| {
+            require_clean(&sec, SEC_NONDET)?;
+            let log = NondetLog::decode(sec.payload).map_err(|e| e.offset_by(sec.payload_off))?;
+            if log.ranks.len() != nranks {
+                return Err(DecodeError::Corrupt {
+                    what: "nondet rank count",
+                    offset: sec.payload_off,
+                });
+            }
+            Ok(log)
+        });
+        match parsed {
+            Ok(log) => nondet = Some(log),
+            Err(e) if !salvage => return Err(e),
+            Err(_) => {
+                // The call data is already recovered; drop the log and
+                // record the loss instead of failing the whole salvage.
+                report.nondet_dropped = true;
+                pos = buf.len();
+            }
+        }
+    }
     if pos != buf.len() {
         return Err(DecodeError::TrailingBytes { consumed: pos, len: buf.len() });
     }
@@ -669,6 +704,7 @@ fn decode_container_inner(
             duration_rank_map,
             interval_rank_map,
             completeness,
+            nondet,
         },
         report,
     ))

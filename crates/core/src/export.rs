@@ -141,6 +141,10 @@ pub(crate) const SEC_GRAMMAR: u8 = 3;
 pub(crate) const SEC_DURATION: u8 = 4;
 pub(crate) const SEC_INTERVAL: u8 = 5;
 pub(crate) const SEC_RANK: u8 = 6;
+/// Optional trailing section: the `PGND` nondeterminism log of a
+/// record/replay recording ([`crate::NondetLog`]). Absent from ordinary
+/// traces, so pre-existing containers decode unchanged.
+pub(crate) const SEC_NONDET: u8 = 7;
 
 /// Human-readable section name, used in checksum error reports.
 pub(crate) fn section_name(kind: u8) -> &'static str {
@@ -151,6 +155,7 @@ pub(crate) fn section_name(kind: u8) -> &'static str {
         SEC_DURATION => "duration",
         SEC_INTERVAL => "interval",
         SEC_RANK => "rank",
+        SEC_NONDET => "nondet",
         _ => "unknown",
     }
 }
@@ -268,6 +273,12 @@ pub fn write_container(trace: &GlobalTrace) -> Vec<u8> {
             e.serialize(&mut payload);
         }
         push_section(&mut out, SEC_RANK, &payload);
+    }
+
+    if let Some(nondet) = &trace.nondet {
+        payload.clear();
+        nondet.serialize(&mut payload);
+        push_section(&mut out, SEC_NONDET, &payload);
     }
     out
 }

@@ -144,9 +144,11 @@ pub mod merge;
 pub mod metrics;
 pub mod net;
 pub mod net_fault;
+pub mod nondet;
 pub mod query;
 pub mod recover;
 pub mod replay;
+pub mod rr;
 pub mod stats;
 pub mod timing;
 pub mod trace;
@@ -180,11 +182,16 @@ pub use net::{
     NetServerConfig, NetServerStats, ServeHandle, NET_MAGIC, NET_VERSION,
 };
 pub use net_fault::{stable_job_id, NetFaultPlan};
+pub use nondet::{NondetEvent, NondetLog};
 pub use query::{
     CallIterator, CommMatrix, QueryEngine, SigCounts, SignatureSummary, TermCursor, TraceIndex,
 };
 pub use recover::{RecoveredJob, RecoveryReport, RecoverySource, RecoveryState};
 pub use replay::{partial_replay_report, replay, replay_and_retrace, PartialReplayReport};
+pub use rr::{
+    first_divergence, minimize, record, record_faulty, replay_directed, replay_strict, Divergence,
+    MinimizeError, MinimizeResult, StrictReplay,
+};
 pub use stats::OverheadStats;
 pub use timing::TimingCompressor;
 pub use trace::{

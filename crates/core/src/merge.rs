@@ -835,6 +835,7 @@ fn merge_engine(
         duration_rank_map,
         interval_rank_map,
         completeness,
+        nondet: None,
     }))
 }
 
@@ -1485,6 +1486,7 @@ impl IncrementalMerger {
             duration_rank_map,
             interval_rank_map,
             completeness,
+            nondet: None,
         }
     }
 }

@@ -407,6 +407,7 @@ mod tests {
             duration_rank_map: vec![],
             interval_rank_map: vec![],
             completeness: TraceCompleteness::complete(),
+            nondet: None,
         }
     }
 

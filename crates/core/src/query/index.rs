@@ -301,6 +301,7 @@ pub(crate) mod tests {
             duration_rank_map: vec![],
             interval_rank_map: vec![],
             completeness: TraceCompleteness::complete(),
+            nondet: None,
         }
     }
 

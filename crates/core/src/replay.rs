@@ -27,6 +27,7 @@ use mpi_sim::types::ReduceOp;
 use mpi_sim::{Env, FuncId, World, WorldConfig};
 
 use crate::encode::{EncodedArg, EncodedCall, RankCode};
+use crate::governor::DegradationStage;
 use crate::trace::{GlobalTrace, RankStatus};
 use crate::tracer::{PilgrimConfig, PilgrimTracer};
 
@@ -50,6 +51,11 @@ pub struct PartialReplayReport {
     /// the call count each spans: decodable, not live-replayable (their
     /// stats and timing may be gone).
     pub salvaged_ranks: Vec<(usize, u64)>,
+    /// Ranks whose data reached this trace through a local spill instead
+    /// of the network ([`DegradationStage::LocalSpill`]). Their calls are
+    /// intact — they replay fine — but the collection path was degraded,
+    /// consistent with [`crate::trace::FidelityReport::net_spilled_ranks`].
+    pub net_spilled_ranks: Vec<usize>,
 }
 
 impl PartialReplayReport {
@@ -71,6 +77,9 @@ pub fn partial_replay_report(trace: &GlobalTrace) -> PartialReplayReport {
             RankStatus::Checkpoint { calls } => report.truncated_ranks.push((rank, calls)),
             RankStatus::Lost { round } => report.lost_ranks.push((rank, round)),
             RankStatus::Salvaged { calls } => report.salvaged_ranks.push((rank, calls)),
+        }
+        if trace.completeness.rank_reached(rank, DegradationStage::LocalSpill) {
+            report.net_spilled_ranks.push(rank);
         }
     }
     report
@@ -105,7 +114,7 @@ pub fn replay_and_retrace(trace: &GlobalTrace, cfg: PilgrimConfig) -> GlobalTrac
 }
 
 /// Per-rank replay state: symbolic id -> live object maps.
-struct Replayer {
+pub(crate) struct Replayer {
     comms: HashMap<u64, CommHandle>,
     /// Handles of idup'd communicators whose symbolic id is not yet known
     /// (the trace carries a deferred marker at the idup itself).
@@ -117,10 +126,15 @@ struct Replayer {
     /// live handles per symbol.
     reqs: HashMap<u64, Vec<RequestHandle>>,
     segs: HashMap<u64, (u64, u64)>, // seg sym -> (addr, size)
+    /// Directed replay (`pilgrim::rr`): a [`mpi_sim::ReplayDirector`] is
+    /// installed, so blocking probes are re-issued blocking — the
+    /// director pins their match, and unsatisfiable directives unwind
+    /// the rank instead of deadlocking it.
+    directed: bool,
 }
 
 impl Replayer {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         let mut comms = HashMap::new();
         comms.insert(0u64, CommHandle(0));
         Replayer {
@@ -130,7 +144,13 @@ impl Replayer {
             groups: HashMap::new(),
             reqs: HashMap::new(),
             segs: HashMap::new(),
+            directed: false,
         }
+    }
+
+    /// A replayer for directed (record/replay) mode.
+    pub(crate) fn new_directed() -> Self {
+        Replayer { directed: true, ..Self::new() }
     }
 
     fn comm(&mut self, sym: u64) -> CommHandle {
@@ -199,7 +219,7 @@ impl Replayer {
     }
 
     /// Issues one decoded call against the live environment.
-    fn step(&mut self, env: &mut Env, call: &EncodedCall) {
+    pub(crate) fn step(&mut self, env: &mut Env, call: &EncodedCall) {
         use EncodedArg as A;
         let func = FuncId::from_id(call.func).expect("known function id");
         let a = &call.args;
@@ -519,11 +539,17 @@ impl Replayer {
             }
             FuncId::Probe | FuncId::Iprobe => {
                 // Probes are timing-sensitive: replay as non-blocking so a
-                // different interleaving cannot deadlock.
+                // different interleaving cannot deadlock. Under a director
+                // the recorded resolution pins the match, so a blocking
+                // probe is safe (and required for a bit-identical retrace).
                 let comm = self.arg_comm(2, a);
                 let src = self.arg_rank(0, a, env, comm);
                 let tag = self.arg_tag(1, a, env, comm);
-                let _ = env.iprobe(src, tag, comm);
+                if self.directed && func == FuncId::Probe {
+                    let _ = env.probe(src, tag, comm);
+                } else {
+                    let _ = env.iprobe(src, tag, comm);
+                }
             }
             FuncId::Wait => {
                 if let A::Request(sym) = a[0] {
@@ -738,7 +764,7 @@ impl Replayer {
 
     /// Completes any still-pending requests (a replay may leave requests
     /// live when the recorded nondeterministic outcome differed).
-    fn drain(&mut self, env: &mut Env) {
+    pub(crate) fn drain(&mut self, env: &mut Env) {
         let mut handles: Vec<RequestHandle> = self.reqs.values().flatten().copied().collect();
         if !handles.is_empty() {
             env.waitall(&mut handles);

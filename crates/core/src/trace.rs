@@ -305,6 +305,10 @@ pub struct GlobalTrace {
     pub interval_rank_map: Vec<u32>,
     /// Per-rank merge completeness (empty = all ranks fully merged).
     pub completeness: TraceCompleteness,
+    /// Recorded nondeterministic resolutions (the record/replay
+    /// side-channel; `None` for traces recorded without it). Carried by
+    /// the `PGND` container section, not the flat serialization.
+    pub nondet: Option<crate::nondet::NondetLog>,
 }
 
 /// Sentinel in the timing rank maps for a rank with no timing grammar
@@ -443,6 +447,7 @@ impl GlobalTrace {
             duration_rank_map,
             interval_rank_map,
             completeness,
+            nondet: None,
         })
     }
 
@@ -654,6 +659,7 @@ mod tests {
             duration_rank_map: vec![],
             interval_rank_map: vec![],
             completeness: TraceCompleteness::complete(),
+            nondet: None,
         }
     }
 

@@ -3,12 +3,13 @@
 //! assigns symbolic ids to every MPI object, and runs the inter-process
 //! merge at finalize.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
 use mpi_sim::funcs::FuncId;
 use mpi_sim::hooks::{Arg, CallRec, ToolRequest, TraceCtx, Tracer};
+use mpi_sim::{ANY_SOURCE, ANY_TAG, PROC_NULL};
 use pilgrim_sequitur::{FlatGrammar, FlatRule, Grammar, Symbol};
 
 use crate::checkpoint::{decode_checkpoint, encode_checkpoint};
@@ -20,6 +21,7 @@ use crate::ingest::SegmentSink;
 use crate::memtracker::MemTracker;
 use crate::merge::{self, LocalPiece, MergeError, RankCompletion, TraceSegment};
 use crate::metrics::{MetricsRegistry, MetricsReport, Stage};
+use crate::nondet::NondetEvent;
 use crate::stats::OverheadStats;
 use crate::timing::TimingCompressor;
 use crate::trace::GlobalTrace;
@@ -61,6 +63,12 @@ pub struct PilgrimConfig {
     /// ([`crate::merge::MergePolicy`]). While the world is healthy the
     /// effective budget is 8x this.
     pub merge_timeout_ms: u64,
+    /// Record every nondeterministic resolution (wildcard matches,
+    /// wait/test completion choices, probe flags) into a per-rank
+    /// [`NondetEvent`] side-channel for deterministic replay
+    /// ([`crate::rr`]). Off by default; the harness attaches the
+    /// collected events to [`GlobalTrace::nondet`] after the run.
+    pub record_nondet: bool,
     /// Caps the tracer's compression working set (CST, grammars, timing,
     /// memory segments, reference capture) at this many bytes. Under
     /// pressure the resource governor degrades in stages — freeze rule
@@ -82,6 +90,7 @@ impl Default for PilgrimConfig {
             metrics: false,
             checkpoint_interval: None,
             merge_timeout_ms: 800,
+            record_nondet: false,
             memory_budget: None,
         }
     }
@@ -139,6 +148,12 @@ impl PilgrimConfig {
     /// Sets the degraded-merge per-receive wait budget in milliseconds.
     pub fn merge_timeout_ms(mut self, ms: u64) -> Self {
         self.merge_timeout_ms = ms;
+        self
+    }
+
+    /// Records the nondeterminism side-channel for deterministic replay.
+    pub fn record_nondet(mut self, on: bool) -> Self {
+        self.record_nondet = on;
         self
     }
 
@@ -223,6 +238,12 @@ pub struct PilgrimTracer {
     stream_seq: u32,
     /// The governor collapsed per-call timing to aggregates mid-run.
     timing_dropped: bool,
+    /// Recorded nondeterministic resolutions, keyed by 0-based call
+    /// index (only with [`PilgrimConfig::record_nondet`]).
+    nondet: BTreeMap<u64, NondetEvent>,
+    /// Raw request id -> call index of the wildcard `Irecv` that created
+    /// it, until its completion reveals the match.
+    wildcard_irecvs: HashMap<u64, u64>,
     metrics: MetricsRegistry,
     stats: OverheadStats,
     captured: Vec<CapturedCall>,
@@ -267,6 +288,8 @@ impl PilgrimTracer {
             sink: None,
             stream_seq: 0,
             timing_dropped: false,
+            nondet: BTreeMap::new(),
+            wildcard_irecvs: HashMap::new(),
             metrics: MetricsRegistry::new(cfg.metrics),
             stats: OverheadStats::default(),
             captured: Vec::new(),
@@ -341,6 +364,15 @@ impl PilgrimTracer {
     /// Number of calls traced (across every sealed segment).
     pub fn call_count(&self) -> u64 {
         self.calls
+    }
+
+    /// Takes this rank's recorded nondeterministic resolutions, keyed by
+    /// 0-based call index (populated only with
+    /// [`PilgrimConfig::record_nondet`]). The record harness
+    /// ([`crate::rr::record`]) assembles these into the trace's
+    /// [`crate::NondetLog`].
+    pub fn take_nondet(&mut self) -> BTreeMap<u64, NondetEvent> {
+        std::mem::take(&mut self.nondet)
     }
 
     /// The resource governor: peak byte accounting and the degradation
@@ -568,6 +600,198 @@ impl PilgrimTracer {
                 }
             }
             _ => vec![],
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Nondeterminism recording (record/replay side-channel)
+    // ------------------------------------------------------------------
+
+    /// Mirrors the derive rules in [`crate::nondet`] on the live record:
+    /// a faithful recording satisfies `NondetLog::derive(trace) ==
+    /// recorded`, which is exactly the pure divergence oracle strict
+    /// replay checks first. Must run before completed request ids are
+    /// released, so completion statuses can still be attributed to the
+    /// communicator rank at the request's creation.
+    fn observe_nondet(&mut self, rec: &CallRec, caller_rank: i64) {
+        let idx = self.calls;
+        let relative = self.cfg.encoder.relative_ranks;
+        let world = self.rank as i64;
+        // The delta the decoded trace will imply for a resolved status
+        // source (`nondet::derive` reads `Relative` codes directly and
+        // falls back to a world-rank base for `Absolute` ones).
+        let delta = |source: i32, base: i64| -> Option<i32> {
+            if source < 0 {
+                return None;
+            }
+            Some((source as i64 - if relative { base } else { world }) as i32)
+        };
+        let rank_at = |j: usize| match rec.args.get(j) {
+            Some(Arg::Rank(r)) => Some(*r),
+            _ => None,
+        };
+        let tag_at = |j: usize| match rec.args.get(j) {
+            Some(Arg::Tag(t)) => Some(*t),
+            _ => None,
+        };
+        let int_at = |j: usize| match rec.args.get(j) {
+            Some(Arg::Int(v)) => Some(*v),
+            _ => None,
+        };
+        let status_at = |j: usize| match rec.args.get(j) {
+            Some(Arg::Status { source, tag }) => Some((*source, *tag)),
+            _ => None,
+        };
+        let req_at = |j: usize| match rec.args.get(j) {
+            Some(Arg::Request(r)) if *r != u64::MAX => Some(*r),
+            _ => None,
+        };
+        let arr_at = |j: usize| match rec.args.get(j) {
+            Some(Arg::RequestArr(v)) => Some(v.as_slice()),
+            _ => None,
+        };
+        let starr_at = |j: usize| match rec.args.get(j) {
+            Some(Arg::StatusArr(v)) => Some(v.as_slice()),
+            _ => None,
+        };
+        let wildcard = |src: Option<i32>, tag: Option<i32>| {
+            src != Some(PROC_NULL) && (src == Some(ANY_SOURCE) || tag == Some(ANY_TAG))
+        };
+        // Completed raw request ids, each with the status that revealed
+        // the completion — attributed to pending wildcard irecvs below.
+        let mut done: Vec<(u64, Option<(i32, i32)>)> = Vec::new();
+        match rec.func {
+            FuncId::Recv if wildcard(rank_at(3), tag_at(4)) => {
+                if let Some((source, tag)) = status_at(6) {
+                    if let Some(source) = delta(source, caller_rank) {
+                        self.nondet.insert(idx, NondetEvent::Match { source, tag });
+                    }
+                }
+            }
+            FuncId::Sendrecv if wildcard(rank_at(8), tag_at(9)) => {
+                if let Some((source, tag)) = status_at(11) {
+                    if let Some(source) = delta(source, caller_rank) {
+                        self.nondet.insert(idx, NondetEvent::Match { source, tag });
+                    }
+                }
+            }
+            FuncId::SendrecvReplace if wildcard(rank_at(5), tag_at(6)) => {
+                if let Some((source, tag)) = status_at(8) {
+                    if let Some(source) = delta(source, caller_rank) {
+                        self.nondet.insert(idx, NondetEvent::Match { source, tag });
+                    }
+                }
+            }
+            FuncId::Probe if wildcard(rank_at(0), tag_at(1)) => {
+                if let Some((source, tag)) = status_at(3) {
+                    if let Some(source) = delta(source, caller_rank) {
+                        self.nondet.insert(idx, NondetEvent::Match { source, tag });
+                    }
+                }
+            }
+            FuncId::Iprobe => {
+                // Recorded unconditionally: the flag outcome is
+                // nondeterministic even for concrete (source, tag).
+                let hit = if int_at(3) == Some(1) {
+                    status_at(4).and_then(|(s, t)| delta(s, caller_rank).map(|d| (d, t)))
+                } else {
+                    None
+                };
+                self.nondet.insert(idx, NondetEvent::Iprobe { hit });
+            }
+            FuncId::Irecv if wildcard(rank_at(3), tag_at(4)) => {
+                if let Some(raw) = req_at(6) {
+                    self.wildcard_irecvs.insert(raw, idx);
+                }
+            }
+            FuncId::RequestFree => {
+                if let Some(raw) = req_at(0) {
+                    self.wildcard_irecvs.remove(&raw);
+                }
+            }
+            FuncId::Wait => {
+                if let Some(raw) = req_at(0) {
+                    done.push((raw, status_at(1)));
+                }
+            }
+            FuncId::Waitall => {
+                if let Some(reqs) = arr_at(1) {
+                    let sts = starr_at(2);
+                    for (k, &raw) in reqs.iter().enumerate() {
+                        if raw != u64::MAX {
+                            done.push((raw, sts.and_then(|s| s.get(k)).copied()));
+                        }
+                    }
+                }
+            }
+            FuncId::Waitany => {
+                let picked = int_at(2).filter(|&v| v >= 0);
+                self.nondet.insert(idx, NondetEvent::AnyOf { index: picked.map(|v| v as u32) });
+                if let (Some(v), Some(reqs)) = (picked, arr_at(1)) {
+                    if let Some(&raw) = reqs.get(v as usize) {
+                        done.push((raw, status_at(3)));
+                    }
+                }
+            }
+            FuncId::Testany => {
+                let picked =
+                    (int_at(3) == Some(1)).then(|| int_at(2).filter(|&v| v >= 0)).flatten();
+                self.nondet.insert(idx, NondetEvent::AnyOf { index: picked.map(|v| v as u32) });
+                if let (Some(v), Some(reqs)) = (picked, arr_at(1)) {
+                    if let Some(&raw) = reqs.get(v as usize) {
+                        done.push((raw, status_at(4)));
+                    }
+                }
+            }
+            FuncId::Waitsome | FuncId::Testsome => {
+                let indices: Vec<u32> = match rec.args.get(3) {
+                    Some(Arg::IntArr(v)) => v.iter().map(|&x| x as u32).collect(),
+                    _ => Vec::new(),
+                };
+                self.nondet.insert(idx, NondetEvent::SomeOf { indices: indices.clone() });
+                if let Some(reqs) = arr_at(1) {
+                    let sts = starr_at(4);
+                    for (k, &j) in indices.iter().enumerate() {
+                        if let Some(&raw) = reqs.get(j as usize) {
+                            done.push((raw, sts.and_then(|s| s.get(k)).copied()));
+                        }
+                    }
+                }
+            }
+            FuncId::Test => {
+                let flag = int_at(1) == Some(1);
+                self.nondet.insert(idx, NondetEvent::Flag { flag });
+                if flag {
+                    if let Some(raw) = req_at(0) {
+                        done.push((raw, status_at(2)));
+                    }
+                }
+            }
+            FuncId::Testall => {
+                let flag = int_at(2) == Some(1);
+                self.nondet.insert(idx, NondetEvent::Flag { flag });
+                if flag {
+                    if let Some(reqs) = arr_at(1) {
+                        let sts = starr_at(3);
+                        for (k, &raw) in reqs.iter().enumerate() {
+                            if raw != u64::MAX {
+                                done.push((raw, sts.and_then(|s| s.get(k)).copied()));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        for (raw, st) in done {
+            if let Some(irecv_idx) = self.wildcard_irecvs.remove(&raw) {
+                let base = self.reqs.get(&raw).map_or(caller_rank, |e| e.comm_rank);
+                if let Some((source, tag)) = st {
+                    if let Some(source) = delta(source, base) {
+                        self.nondet.insert(irecv_idx, NondetEvent::Match { source, tag });
+                    }
+                }
+            }
         }
     }
 
@@ -951,6 +1175,12 @@ impl Tracer for PilgrimTracer {
         let t_encode = self.metrics.is_enabled().then(Instant::now);
         let (sig, caller_rank) = self.encode(ctx, rec);
         let encode_dur = t_encode.map(|t| t.elapsed());
+
+        // Record/replay side-channel — before the release loop below so
+        // completion statuses still see their request's creation state.
+        if self.cfg.record_nondet {
+            self.observe_nondet(rec, caller_rank);
+        }
 
         // Post-encoding lifecycle: release ids of completed/freed objects.
         // Persistent requests keep their symbolic id across completions

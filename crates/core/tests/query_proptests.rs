@@ -67,6 +67,7 @@ fn build_trace(seqs: &[Vec<u32>]) -> GlobalTrace {
         duration_rank_map: vec![],
         interval_rank_map: vec![],
         completeness: TraceCompleteness::complete(),
+        nondet: None,
     }
 }
 

@@ -17,7 +17,7 @@ use crate::datatype::{BasicType, DatatypeHandle, TypeTable};
 use crate::fabric::{Fabric, Lane, Message, WorldRank};
 use crate::fault;
 use crate::heap::{Addr, SimHeap};
-use crate::hooks::{Arg, BoxedTracer, CallRec, TraceCtx};
+use crate::hooks::{Arg, BoxedTracer, CallRec, Directive, ReplayDirector, TraceCtx};
 use crate::request::{NbOp, ReqKind, RequestHandle, RequestTable, REQUEST_NULL};
 use crate::types::{Status, ANY_SOURCE, ANY_TAG, PROC_NULL};
 use crate::FuncId;
@@ -40,6 +40,9 @@ pub struct Env {
     calls: u64,
     /// Fault plan: die right after this call number (1-based).
     kill_at: Option<u64>,
+    /// Directed-replay seam: when set, recorded nondeterministic
+    /// resolutions override the fabric's free choices.
+    director: Option<Box<dyn ReplayDirector>>,
 }
 
 impl Env {
@@ -67,6 +70,7 @@ impl Env {
             finalized: false,
             calls: 0,
             kill_at,
+            director: None,
         }
     }
 
@@ -516,10 +520,7 @@ impl Env {
         let status = if src == PROC_NULL {
             Status::proc_null()
         } else {
-            let info = self.comms.get(comm);
-            let src_world = Self::src_world_of(info, src);
-            let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag, src_world);
-            let msg = slot.wait_take(&self.fabric, self.rank);
+            let msg = self.recv_msg(FuncId::Recv, src, tag, comm);
             self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
             let status =
                 Status { source: msg.src_comm_rank, tag: msg.tag, count: msg.data.len() as u64 };
@@ -566,17 +567,25 @@ impl Env {
         self.clock.call_entry();
         // Post the receive first so an incoming eager message matches, then
         // send, then complete the receive — deadlock-free for exchanges.
+        let directed = self.directed_match(FuncId::Sendrecv, src, recvtag, comm);
         let slot = if src == PROC_NULL {
             None
         } else {
+            let (psrc, ptag) = directed.unwrap_or((src, recvtag));
             let info = self.comms.get(comm);
-            let src_world = Self::src_world_of(info, src);
-            Some(self.fabric.post_recv(self.rank, info.ctx, src, recvtag, src_world))
+            let src_world = Self::src_world_of(info, psrc);
+            Some(self.fabric.post_recv(self.rank, info.ctx, psrc, ptag, src_world))
         };
         self.do_send(sendbuf, sendcount, sendtype, dest, sendtag, comm);
         let status = match slot {
             None => Status::proc_null(),
             Some(slot) => {
+                if directed.is_some() && !self.poll_directed(|_| slot.is_ready()) {
+                    self.replay_halt(
+                        FuncId::Sendrecv,
+                        "recorded sendrecv match never arrived".into(),
+                    );
+                }
                 let msg = slot.wait_take(&self.fabric, self.rank);
                 self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
                 let status = Status {
@@ -628,18 +637,26 @@ impl Env {
     ) -> Status {
         let t0 = self.clock.now();
         self.clock.call_entry();
+        let directed = self.directed_match(FuncId::SendrecvReplace, src, recvtag, comm);
         let slot = if src == PROC_NULL {
             None
         } else {
+            let (psrc, ptag) = directed.unwrap_or((src, recvtag));
             let info = self.comms.get(comm);
-            let src_world = Self::src_world_of(info, src);
-            Some(self.fabric.post_recv(self.rank, info.ctx, src, recvtag, src_world))
+            let src_world = Self::src_world_of(info, psrc);
+            Some(self.fabric.post_recv(self.rank, info.ctx, psrc, ptag, src_world))
         };
         // Send first (the outgoing data is snapshot before replacement).
         self.do_send(buf, count, dt, dest, sendtag, comm);
         let status = match slot {
             None => Status::proc_null(),
             Some(slot) => {
+                if directed.is_some() && !self.poll_directed(|_| slot.is_ready()) {
+                    self.replay_halt(
+                        FuncId::SendrecvReplace,
+                        "recorded sendrecv match never arrived".into(),
+                    );
+                }
                 let msg = slot.wait_take(&self.fabric, self.rank);
                 self.clock.absorb_message(msg.send_time, msg.data.len() as u64);
                 let status = Status {
@@ -775,9 +792,14 @@ impl Env {
         let req = if src == PROC_NULL {
             self.reqs.insert(ReqKind::Send)
         } else {
+            // A wildcard Irecv is directed at post time: the resolution was
+            // recorded at this call's index when its completion reported
+            // the matched (source, tag).
+            let (psrc, ptag) =
+                self.directed_match(FuncId::Irecv, src, tag, comm).unwrap_or((src, tag));
             let info = self.comms.get(comm);
-            let src_world = Self::src_world_of(info, src);
-            let slot = self.fabric.post_recv(self.rank, info.ctx, src, tag, src_world);
+            let src_world = Self::src_world_of(info, psrc);
+            let slot = self.fabric.post_recv(self.rank, info.ctx, psrc, ptag, src_world);
             let d = self.types.get(dt);
             self.reqs.insert(ReqKind::Recv {
                 slot,
@@ -811,9 +833,21 @@ impl Env {
     pub fn probe(&mut self, src: i32, tag: i32, comm: CommHandle) -> Status {
         let t0 = self.clock.now();
         self.clock.call_entry();
-        let info = self.comms.get(comm);
-        let (ctx, src_world) = (info.ctx, Self::src_world_of(info, src));
-        let (s, t, count) = self.fabric.probe(self.rank, ctx, src, tag, src_world);
+        let directed = self.directed_match(FuncId::Probe, src, tag, comm);
+        let (psrc, ptag) = directed.unwrap_or((src, tag));
+        let (ctx, src_world) = {
+            let info = self.comms.get(comm);
+            (info.ctx, Self::src_world_of(info, psrc))
+        };
+        if directed.is_some()
+            && !self.poll_directed(|me| me.fabric.iprobe(me.rank, ctx, psrc, ptag).is_some())
+        {
+            self.replay_halt(
+                FuncId::Probe,
+                format!("recorded probe hit (source {psrc}, tag {ptag}) never arrived"),
+            );
+        }
+        let (s, t, count) = self.fabric.probe(self.rank, ctx, psrc, ptag, src_world);
         let status = Status { source: s, tag: t, count };
         let t1 = self.clock.now();
         self.emit(
@@ -837,7 +871,26 @@ impl Env {
         let t0 = self.clock.now();
         self.clock.call_entry();
         let ctx = self.comms.get(comm).ctx;
-        let found = self.fabric.iprobe(self.rank, ctx, src, tag);
+        // An Iprobe's flag is nondeterministic even for concrete (src,
+        // tag), so directed replay consults the directive on every call:
+        // a recorded miss replays as a miss without touching the fabric, a
+        // recorded hit waits for exactly the recorded message.
+        let directive =
+            if self.director.is_some() { self.next_directive(FuncId::Iprobe) } else { None };
+        let found = match directive {
+            Some(Directive::Flag(false)) => None,
+            Some(Directive::MatchSource { source, tag: ptag }) => {
+                let dsrc = self.comms.get(comm).my_rank as i32 + source;
+                if !self.poll_directed(|me| me.fabric.iprobe(me.rank, ctx, dsrc, ptag).is_some()) {
+                    self.replay_halt(
+                        FuncId::Iprobe,
+                        format!("recorded iprobe hit (source {dsrc}, tag {ptag}) never arrived"),
+                    );
+                }
+                self.fabric.iprobe(self.rank, ctx, dsrc, ptag)
+            }
+            _ => self.fabric.iprobe(self.rank, ctx, src, tag),
+        };
         let status = found.map(|(s, t, count)| Status { source: s, tag: t, count });
         let t1 = self.clock.now();
         let (flag, s, t) = match status {
@@ -994,6 +1047,145 @@ impl Env {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Directed replay
+    // ------------------------------------------------------------------
+
+    /// Installs a replay director: recorded nondeterministic resolutions
+    /// (wildcard matches, completion orders, test/probe flags) override
+    /// the fabric's free choices so a replay reproduces the recorded
+    /// schedule bit-for-bit. Install from inside the rank body before the
+    /// first MPI call. A directive that cannot be satisfied reports
+    /// through [`ReplayDirector::unsatisfied`] and unwinds the rank as
+    /// dead, so peers detect it through the usual dead-peer path.
+    pub fn set_replay_director(&mut self, director: Box<dyn ReplayDirector>) {
+        fault::silence_fault_panics();
+        self.director = Some(director);
+    }
+
+    /// The directive recorded for the upcoming call, if any.
+    fn next_directive(&mut self, func: FuncId) -> Option<Directive> {
+        let idx = self.calls;
+        self.director.as_mut().and_then(|d| d.directive(idx, func))
+    }
+
+    /// The directed `(source, tag)` for a wildcard receive/probe posting:
+    /// `None` for concrete matches, `PROC_NULL` sources, undirected runs,
+    /// or calls without a recorded resolution. The directive's source is
+    /// a delta relative to the caller's rank in `comm` (the same relative
+    /// form the trace encoder uses), absolutized here.
+    fn directed_match(
+        &mut self,
+        func: FuncId,
+        src: i32,
+        tag: i32,
+        comm: CommHandle,
+    ) -> Option<(i32, i32)> {
+        if self.director.is_none() || src == PROC_NULL || (src != ANY_SOURCE && tag != ANY_TAG) {
+            return None;
+        }
+        match self.next_directive(func) {
+            Some(Directive::MatchSource { source, tag }) => {
+                let me = self.comms.get(comm).my_rank as i32;
+                Some((me + source, tag))
+            }
+            _ => None,
+        }
+    }
+
+    /// Bounded directed wait: spins until `pred` holds or a real-time
+    /// budget expires. A directive that can never be satisfied must fail
+    /// fast (the caller raises a replay halt), not hang the world.
+    fn poll_directed<F: FnMut(&Self) -> bool>(&self, mut pred: F) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        let mut spins = 0u32;
+        while !pred(self) {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            if spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+                self.fabric.check_abort();
+            }
+            spins += 1;
+        }
+        true
+    }
+
+    /// Divergence during directed replay: the recorded resolution cannot
+    /// be reproduced. Reports the detail to the director, marks the rank
+    /// dead (peers unwind through dead-peer detection), then unwinds.
+    fn replay_halt(&mut self, func: FuncId, detail: String) -> ! {
+        let idx = self.calls;
+        if let Some(d) = self.director.as_mut() {
+            d.unsatisfied(self.rank, idx, func, detail);
+        }
+        self.fabric.mark_dead(self.rank, self.calls);
+        fault::raise_killed(self.rank, self.calls)
+    }
+
+    /// Completes exactly the recorded index set, in recorded order, for a
+    /// directed Waitsome/Testsome.
+    fn complete_directed_set(
+        &mut self,
+        func: FuncId,
+        reqs: &mut [RequestHandle],
+        indices: &[u32],
+        out: &mut Vec<(usize, Status)>,
+    ) {
+        for &i in indices {
+            let i = i as usize;
+            if i >= reqs.len() || !self.req_active(reqs[i]) {
+                self.replay_halt(
+                    func,
+                    format!("recorded completion index {i} is not an active request"),
+                );
+            }
+        }
+        if !self.poll_directed(|me| indices.iter().all(|&i| me.req_ready(reqs[i as usize]))) {
+            self.replay_halt(
+                func,
+                format!("recorded completion set {indices:?} never became ready"),
+            );
+        }
+        for &i in indices {
+            let i = i as usize;
+            let persistent = self.reqs.is_persistent(reqs[i]);
+            let status = self.complete(reqs[i]);
+            if !persistent {
+                reqs[i] = REQUEST_NULL;
+            }
+            out.push((i, status));
+        }
+    }
+
+    /// Completes one blocking receive of `(src, tag)` on `comm`, honoring
+    /// a recorded wildcard resolution when a director is installed.
+    fn recv_msg(&mut self, func: FuncId, src: i32, tag: i32, comm: CommHandle) -> Message {
+        match self.directed_match(func, src, tag, comm) {
+            Some((dsrc, dtag)) => {
+                let info = self.comms.get(comm);
+                let (ctx, src_world) = (info.ctx, Self::src_world_of(info, dsrc));
+                let slot = self.fabric.post_recv(self.rank, ctx, dsrc, dtag, src_world);
+                if !self.poll_directed(|_| slot.is_ready()) {
+                    self.replay_halt(
+                        func,
+                        format!("recorded match (source {dsrc}, tag {dtag}) never arrived"),
+                    );
+                }
+                slot.wait_take(&self.fabric, self.rank)
+            }
+            None => {
+                let info = self.comms.get(comm);
+                let (ctx, src_world) = (info.ctx, Self::src_world_of(info, src));
+                let slot = self.fabric.post_recv(self.rank, ctx, src, tag, src_world);
+                slot.wait_take(&self.fabric, self.rank)
+            }
+        }
+    }
+
     /// Whether request `h` waits on something a failed rank will never
     /// provide.
     fn req_blocked_on_dead(&self, h: RequestHandle) -> Option<WorldRank> {
@@ -1118,16 +1310,38 @@ impl Env {
             return None;
         }
         let mut idx = usize::MAX;
-        self.poll_until(|me| {
-            for (i, r) in reqs.iter().enumerate() {
-                if me.req_active(*r) && me.req_ready(*r) {
-                    idx = i;
-                    return true;
+        match self.next_directive(FuncId::Waitany) {
+            Some(Directive::CompleteOne { index: Some(i) }) => {
+                let i = i as usize;
+                if i >= reqs.len() || !self.req_active(reqs[i]) {
+                    self.replay_halt(
+                        FuncId::Waitany,
+                        format!("recorded completion index {i} is not an active request"),
+                    );
                 }
+                if !self.poll_directed(|me| me.req_ready(reqs[i])) {
+                    self.replay_halt(
+                        FuncId::Waitany,
+                        format!("recorded completion index {i} never became ready"),
+                    );
+                }
+                idx = i;
             }
-            me.check_all_stuck(reqs);
-            false
-        });
+            Some(d) => self.replay_halt(
+                FuncId::Waitany,
+                format!("directive {d:?} cannot complete a waitany with active requests"),
+            ),
+            None => self.poll_until(|me| {
+                for (i, r) in reqs.iter().enumerate() {
+                    if me.req_active(*r) && me.req_ready(*r) {
+                        idx = i;
+                        return true;
+                    }
+                }
+                me.check_all_stuck(reqs);
+                false
+            }),
+        }
         let persistent = self.reqs.is_persistent(reqs[idx]);
         let status = self.complete(reqs[idx]);
         if !persistent {
@@ -1159,21 +1373,32 @@ impl Env {
         let raws = Self::raw_reqs(reqs);
         let mut out = Vec::new();
         if reqs.iter().any(|&r| self.req_active(r)) {
-            self.poll_until(|me| {
-                if reqs.iter().any(|&r| me.req_active(r) && me.req_ready(r)) {
-                    return true;
+            match self.next_directive(FuncId::Waitsome) {
+                Some(Directive::CompleteSet { indices }) if !indices.is_empty() => {
+                    self.complete_directed_set(FuncId::Waitsome, reqs, &indices, &mut out);
                 }
-                me.check_all_stuck(reqs);
-                false
-            });
-            for i in 0..reqs.len() {
-                if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
-                    let persistent = self.reqs.is_persistent(reqs[i]);
-                    let status = self.complete(reqs[i]);
-                    if !persistent {
-                        reqs[i] = REQUEST_NULL;
+                Some(d) => self.replay_halt(
+                    FuncId::Waitsome,
+                    format!("directive {d:?} cannot complete a waitsome with active requests"),
+                ),
+                None => {
+                    self.poll_until(|me| {
+                        if reqs.iter().any(|&r| me.req_active(r) && me.req_ready(r)) {
+                            return true;
+                        }
+                        me.check_all_stuck(reqs);
+                        false
+                    });
+                    for i in 0..reqs.len() {
+                        if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
+                            let persistent = self.reqs.is_persistent(reqs[i]);
+                            let status = self.complete(reqs[i]);
+                            if !persistent {
+                                reqs[i] = REQUEST_NULL;
+                            }
+                            out.push((i, status));
+                        }
                     }
-                    out.push((i, status));
                 }
             }
         }
@@ -1200,9 +1425,30 @@ impl Env {
         let t0 = self.clock.now();
         self.clock.call_entry();
         let raw = req.0;
+        let ready = if *req == REQUEST_NULL {
+            false
+        } else {
+            match self.next_directive(FuncId::Test) {
+                Some(Directive::Flag(true)) => {
+                    let h = *req;
+                    if !self.poll_directed(|me| me.req_ready(h)) {
+                        self.replay_halt(
+                            FuncId::Test,
+                            "recorded successful test never became ready".into(),
+                        );
+                    }
+                    true
+                }
+                Some(Directive::Flag(false)) => false,
+                Some(d) => {
+                    self.replay_halt(FuncId::Test, format!("directive {d:?} cannot resolve a test"))
+                }
+                None => self.req_ready(*req),
+            }
+        };
         let result = if *req == REQUEST_NULL {
             Some(Status::proc_null())
-        } else if self.req_ready(*req) {
+        } else if ready {
             let persistent = self.reqs.is_persistent(*req);
             let s = self.complete(*req);
             if !persistent {
@@ -1234,7 +1480,23 @@ impl Env {
         let t0 = self.clock.now();
         self.clock.call_entry();
         let raws = Self::raw_reqs(reqs);
-        let all_ready = reqs.iter().all(|&r| !self.req_active(r) || self.req_ready(r));
+        let all_ready = match self.next_directive(FuncId::Testall) {
+            Some(Directive::Flag(true)) => {
+                if !self
+                    .poll_directed(|me| reqs.iter().all(|&r| !me.req_active(r) || me.req_ready(r)))
+                {
+                    self.replay_halt(
+                        FuncId::Testall,
+                        "recorded successful testall never became ready".into(),
+                    );
+                }
+                true
+            }
+            Some(Directive::Flag(false)) => false,
+            Some(d) => self
+                .replay_halt(FuncId::Testall, format!("directive {d:?} cannot resolve a testall")),
+            None => reqs.iter().all(|&r| !self.req_active(r) || self.req_ready(r)),
+        };
         let result = if all_ready {
             let mut statuses = Vec::with_capacity(reqs.len());
             for r in reqs.iter_mut() {
@@ -1283,15 +1545,43 @@ impl Env {
         self.clock.call_entry();
         let raws = Self::raw_reqs(reqs);
         let mut result = None;
-        for i in 0..reqs.len() {
-            if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
+        match self.next_directive(FuncId::Testany) {
+            Some(Directive::CompleteOne { index: Some(i) }) => {
+                let i = i as usize;
+                if i >= reqs.len() || !self.req_active(reqs[i]) {
+                    self.replay_halt(
+                        FuncId::Testany,
+                        format!("recorded completion index {i} is not an active request"),
+                    );
+                }
+                if !self.poll_directed(|me| me.req_ready(reqs[i])) {
+                    self.replay_halt(
+                        FuncId::Testany,
+                        format!("recorded completion index {i} never became ready"),
+                    );
+                }
                 let persistent = self.reqs.is_persistent(reqs[i]);
                 let status = self.complete(reqs[i]);
                 if !persistent {
                     reqs[i] = REQUEST_NULL;
                 }
                 result = Some((i, status));
-                break;
+            }
+            Some(Directive::CompleteOne { index: None }) => {}
+            Some(d) => self
+                .replay_halt(FuncId::Testany, format!("directive {d:?} cannot resolve a testany")),
+            None => {
+                for i in 0..reqs.len() {
+                    if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
+                        let persistent = self.reqs.is_persistent(reqs[i]);
+                        let status = self.complete(reqs[i]);
+                        if !persistent {
+                            reqs[i] = REQUEST_NULL;
+                        }
+                        result = Some((i, status));
+                        break;
+                    }
+                }
             }
         }
         let t1 = self.clock.now();
@@ -1324,14 +1614,25 @@ impl Env {
         self.clock.call_entry();
         let raws = Self::raw_reqs(reqs);
         let mut out = Vec::new();
-        for i in 0..reqs.len() {
-            if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
-                let persistent = self.reqs.is_persistent(reqs[i]);
-                let status = self.complete(reqs[i]);
-                if !persistent {
-                    reqs[i] = REQUEST_NULL;
+        match self.next_directive(FuncId::Testsome) {
+            Some(Directive::CompleteSet { indices }) => {
+                self.complete_directed_set(FuncId::Testsome, reqs, &indices, &mut out);
+            }
+            Some(d) => self.replay_halt(
+                FuncId::Testsome,
+                format!("directive {d:?} cannot resolve a testsome"),
+            ),
+            None => {
+                for i in 0..reqs.len() {
+                    if self.req_active(reqs[i]) && self.req_ready(reqs[i]) {
+                        let persistent = self.reqs.is_persistent(reqs[i]);
+                        let status = self.complete(reqs[i]);
+                        if !persistent {
+                            reqs[i] = REQUEST_NULL;
+                        }
+                        out.push((i, status));
+                    }
                 }
-                out.push((i, status));
             }
         }
         let t1 = self.clock.now();

@@ -239,3 +239,43 @@ impl Tracer for NullTracer {
 
 /// An alias used by dispatch code.
 pub type BoxedTracer = Box<dyn Tracer>;
+
+/// One recorded nondeterministic resolution, fed back into the rank's
+/// operations during directed replay ([`Env::set_replay_director`]
+/// (crate::Env::set_replay_director)). Each variant pins down exactly the
+/// choice the fabric made freely during recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// Resolve a wildcard receive or probe to this concrete
+    /// `(source, tag)`. `source` is a *delta* relative to the caller's
+    /// rank in the call's communicator (the same relative form the trace
+    /// encoder uses for status ranks, so a directive derived from a
+    /// decoded trace needs no communicator-membership reconstruction);
+    /// `tag` is absolute.
+    MatchSource { source: i32, tag: i32 },
+    /// Waitany/Testany outcome: complete this index (`None` = the call
+    /// completed nothing).
+    CompleteOne { index: Option<u32> },
+    /// Waitsome/Testsome outcome: complete exactly these indices, in
+    /// this order (possibly empty for Testsome).
+    CompleteSet { indices: Vec<u32> },
+    /// Test/Testall (and Iprobe-miss) flag outcome.
+    Flag(bool),
+}
+
+/// Feeds recorded resolutions back to one rank during replay.
+///
+/// `call_index` is the 0-based index of the *upcoming* MPI call on the
+/// rank (the number of calls already completed), matching the per-rank
+/// call positions of a decoded trace. Directives are looked up by key —
+/// a call with no recorded directive resolves live, so partially
+/// directed replays degrade gracefully instead of stalling.
+pub trait ReplayDirector: Send {
+    /// The recorded directive for the upcoming call, if any.
+    fn directive(&mut self, call_index: u64, func: FuncId) -> Option<Directive>;
+
+    /// A directive could not be satisfied (the recorded message never
+    /// arrived, the recorded index never became ready, …). The rank
+    /// unwinds as dead immediately after this report.
+    fn unsatisfied(&mut self, rank: usize, call_index: u64, func: FuncId, detail: String);
+}

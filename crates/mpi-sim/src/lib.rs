@@ -39,7 +39,9 @@ pub use env::comm_mgmt::COLOR_UNDEFINED;
 pub use env::Env;
 pub use fault::{FaultPlan, PeerFailure, RankKilled};
 pub use funcs::{FuncId, FunctionRegistry, ToolSupport};
-pub use hooks::{Arg, CallRec, NullTracer, ToolRequest, TraceCtx, Tracer};
+pub use hooks::{
+    Arg, CallRec, Directive, NullTracer, ReplayDirector, ToolRequest, TraceCtx, Tracer,
+};
 pub use request::RequestHandle;
 pub use types::{ReduceOp, Status, ANY_SOURCE, ANY_TAG, PROC_NULL};
 pub use world::{RankFailure, World, WorldConfig, WorldOutcome};

@@ -15,11 +15,14 @@
 //! * [`milc`] — MILC su3_rmd lattice proxy (Fig 9).
 //! * [`adversarial`] — compression-hostile random-signature kernels that
 //!   drive the resource governor's degradation ladder.
+//! * [`master_worker`] — wildcard-receive task farm whose schedule
+//!   nondeterminism exercises the record/replay engine (`pilgrim::rr`).
 
 pub mod adversarial;
 pub mod amr;
 pub mod flash;
 pub mod grid;
+pub mod master_worker;
 pub mod milc;
 pub mod npb;
 pub mod osu;
@@ -49,6 +52,9 @@ pub fn by_name(name: &str, iters: usize) -> Body {
         "adversarial" => {
             std::sync::Arc::new(move |env: &mut Env| adversarial::adversarial(env, iters))
         }
+        "master_worker" => {
+            std::sync::Arc::new(move |env: &mut Env| master_worker::master_worker(env, iters))
+        }
         _ => panic!("unknown workload {name:?}"),
     }
 }
@@ -68,4 +74,5 @@ pub const ALL_WORKLOADS: &[&str] = &[
     "stirturb",
     "milc",
     "adversarial",
+    "master_worker",
 ];

@@ -1,0 +1,99 @@
+//! Master/worker task farm: the nondeterminism-heavy workload behind the
+//! record/replay engine's tests (`pilgrim::rr`).
+//!
+//! Rank 0 hands out `iters` tasks per worker, receiving requests through
+//! wildcard (`ANY_SOURCE`/`ANY_TAG`) irecvs completed by `Waitany` and —
+//! every fourth round — `Testsome`, with an `Iprobe` sprinkled in per
+//! round. Workers request work with `Isend` + `Testsome` + `Wait` and
+//! block in an `ANY_TAG` recv for the reply. Which worker's request wins
+//! each wildcard match, which index each `Waitany` picks, what each
+//! `Testsome` and `Iprobe` sees: all of it is schedule-dependent, which
+//! is exactly what the `PGND` log must pin down for a deterministic
+//! replay.
+//!
+//! Every request is completed before the body returns (the master's
+//! request window drains to `REQUEST_NULL`, workers `Wait` on their send
+//! in-loop), so a directed replay's final drain has nothing left to
+//! block on.
+
+use mpi_sim::datatype::BasicType;
+use mpi_sim::{Env, ANY_SOURCE, ANY_TAG};
+
+/// Reply tag carrying a task assignment.
+const TAG_TASK: i32 = 1;
+/// Reply tag telling a worker to stop.
+const TAG_STOP: i32 = 2;
+
+/// Runs the farm: `iters` tasks per worker. Needs at least 2 ranks; a
+/// 1-rank world degenerates to a barrier.
+pub fn master_worker(env: &mut Env, iters: usize) {
+    let me = env.world_rank();
+    let n = env.world_size();
+    let world = env.comm_world();
+    if n >= 2 {
+        if me == 0 {
+            master(env, n, iters);
+        } else {
+            worker(env, me);
+        }
+    }
+    env.barrier(world);
+}
+
+fn master(env: &mut Env, n: usize, iters: usize) {
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::Byte);
+    let rbuf = env.malloc(8);
+    let sbuf = env.malloc(8);
+    let workers = n - 1;
+    let tasks = iters * workers;
+    // One outstanding wildcard irecv per worker: every request message
+    // finds a posted slot, and the slot count drains to zero exactly
+    // when the last stop goes out.
+    let mut reqs: Vec<_> =
+        (0..workers).map(|_| env.irecv(rbuf, 8, dt, ANY_SOURCE, ANY_TAG, world)).collect();
+    let mut assigned = 0usize;
+    let mut stopped = 0usize;
+    let mut round = 0usize;
+    while stopped < workers {
+        // A nondeterministic peek at the request queue, recorded either
+        // way (hit or miss) in the PGND log.
+        let _ = env.iprobe(ANY_SOURCE, ANY_TAG, world);
+        let completed: Vec<(usize, mpi_sim::Status)> = if round % 4 == 3 {
+            env.testsome(&mut reqs)
+        } else {
+            env.waitany(&mut reqs).into_iter().collect()
+        };
+        round += 1;
+        for (i, st) in completed {
+            if assigned < tasks {
+                env.send(sbuf, 1, dt, st.source, TAG_TASK, world);
+                assigned += 1;
+                reqs[i] = env.irecv(rbuf, 8, dt, ANY_SOURCE, ANY_TAG, world);
+            } else {
+                env.send(sbuf, 1, dt, st.source, TAG_STOP, world);
+                stopped += 1;
+            }
+        }
+    }
+}
+
+fn worker(env: &mut Env, me: usize) {
+    let world = env.comm_world();
+    let dt = env.basic(BasicType::Byte);
+    let buf = env.malloc(8);
+    // Workers vary the request tag so the master's ANY_TAG wildcard is
+    // load-bearing, not decorative.
+    let tag = 10 + (me % 3) as i32;
+    loop {
+        // Testsome may or may not see the send complete (recorded as a
+        // CompleteSet either way); the Wait is a no-op when it did.
+        let mut arr = [env.isend(buf, 1, dt, 0, tag, world)];
+        let _ = env.testsome(&mut arr);
+        env.wait(&mut arr[0]);
+        let st = env.recv(buf, 8, dt, 0, ANY_TAG, world);
+        if st.tag == TAG_STOP {
+            break;
+        }
+    }
+}

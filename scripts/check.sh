@@ -153,6 +153,36 @@ diff target/chaos_net.1 target/chaos_net.2 ||
   { echo "FAIL: chaos_net sweep is not deterministic." >&2; exit 1; }
 cat target/chaos_net.1
 
+echo "== record/replay: bit-determinism, divergence, minimization =="
+# The rr engine's promises, proven end to end on real binaries:
+#  1. a fresh wildcard-heavy recording strict-replays clean (the PGND
+#     side-channel pins every nondeterministic choice);
+#  2. the committed fixture still strict-replays clean (format + replay
+#     direction are stable across sessions);
+#  3. corrupting one recorded event makes strict replay fail (exit 1)
+#     naming a divergence site;
+#  4. the grammar-aware minimizer shrinks the corrupted fixture to the
+#     committed reproducer, byte-for-byte (mutate and minimize are pure
+#     functions of the trace, so the golden diff is exact).
+cargo test -q -p integration-tests --test rr_e2e
+cargo test -q -p integration-tests --test rr_proptests
+rm -rf target/rr-lane && mkdir -p target/rr-lane
+./target/release/trace_tool record master_worker 4 20 target/rr-lane/fresh.pilgrim --rr \
+  > /dev/null
+./target/release/trace_tool replay target/rr-lane/fresh.pilgrim --strict > /dev/null ||
+  { echo "FAIL: fresh rr recording did not strict-replay clean." >&2; exit 1; }
+./target/release/trace_tool replay crates/bench/golden/rr_fixture.pilgrim --strict \
+  > /dev/null ||
+  { echo "FAIL: committed rr fixture did not strict-replay clean." >&2; exit 1; }
+./target/release/trace_tool mutate crates/bench/golden/rr_fixture.pilgrim \
+  target/rr-lane/mutated.pilgrim > /dev/null
+if ./target/release/trace_tool replay target/rr-lane/mutated.pilgrim --strict > /dev/null
+then echo "FAIL: strict replay accepted a corrupted recording." >&2; exit 1; fi
+./target/release/trace_tool minimize target/rr-lane/mutated.pilgrim \
+  target/rr-lane/minimized.pilgrim target/rr-lane/reproducer.json > /dev/null
+diff -u crates/bench/golden/rr_reproducer.json target/rr-lane/reproducer.json ||
+  { echo "FAIL: minimized reproducer diverged from golden file." >&2; exit 1; }
+
 echo "== panic hygiene: no new unwrap/expect in fault-critical modules =="
 # The merge and fabric must degrade, not panic, on peer failure. Counts
 # cover non-test code only; lower is fine, higher fails the gate.
@@ -186,6 +216,10 @@ check_panics crates/core/src/ingest_fault.rs 0
 # traced rank) down with it.
 check_panics crates/core/src/net.rs 0
 check_panics crates/core/src/net_fault.rs 0
+# The rr engine replays untrusted recordings and its nondet decoder
+# faces corrupt PGND bytes; both must return typed errors, never panic.
+check_panics crates/core/src/rr.rs 0
+check_panics crates/core/src/nondet.rs 0
 
 echo "== bench baseline: no >10% ingest throughput regression =="
 # Fresh best-of-2 sweep vs the committed conservative (worst-of-3)
@@ -196,5 +230,14 @@ grep -q '"bench":"ingest"' results/BENCH_ingest.json ||
   { echo "FAIL: results/BENCH_ingest.json missing or malformed." >&2; exit 1; }
 cargo run --release -q -p pilgrim-bench --bin ingest_bench -- \
   --max-jobs 8 --check-against results/BENCH_ingest.json
+
+echo "== bench baseline: no >10% sequitur push-throughput regression =="
+# Same protocol for the grammar hot path: fresh best-of-2 vs the
+# committed worst-of-3 baseline. Refresh after an intentional change:
+#   sequitur_gate --reps 3 --stat min --json-out results/BENCH_sequitur.json
+grep -q '"bench":"sequitur"' results/BENCH_sequitur.json ||
+  { echo "FAIL: results/BENCH_sequitur.json missing or malformed." >&2; exit 1; }
+cargo run --release -q -p pilgrim-bench --bin sequitur_gate -- \
+  --check-against results/BENCH_sequitur.json
 
 echo "All checks passed."

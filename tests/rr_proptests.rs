@@ -1,0 +1,178 @@
+#![recursion_limit = "256"]
+//! Property-based coverage for the record/replay engine: bit-determinism
+//! across arbitrary world seeds, fault-plan recordings degrading (never
+//! falsely diverging), corrupted logs always diverging, and `PGND`
+//! container corruption never panicking.
+
+use std::sync::OnceLock;
+
+use mpi_sim::{FaultPlan, WorldConfig};
+use pilgrim::{
+    record_faulty, replay_directed, replay_strict, write_container, GlobalTrace, NondetEvent,
+    PilgrimConfig, StrictReplay,
+};
+use proptest::prelude::*;
+
+fn record_farm(nranks: usize, iters: usize, seed: u64) -> GlobalTrace {
+    let world = WorldConfig::new(nranks).seed(seed);
+    record_faulty(&world, PilgrimConfig::new(), move |env| {
+        mpi_workloads::master_worker::master_worker(env, iters)
+    })
+    .expect("rank 0 trace")
+}
+
+/// A shared recording (and its container bytes) so corruption cases
+/// don't re-run a world per input.
+fn fixture() -> &'static (GlobalTrace, Vec<u8>) {
+    static FIXTURE: OnceLock<(GlobalTrace, Vec<u8>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let trace = record_farm(4, 6, 0xF1C5);
+        let bytes = write_container(&trace);
+        (trace, bytes)
+    })
+}
+
+/// Deterministically alters the `k`-th recorded event so it no longer
+/// matches what the trace implies. Returns the site, or `None` if the
+/// log has fewer than `k + 1` events.
+fn mutate_kth_event(trace: &mut GlobalTrace, k: usize) -> Option<(usize, u64)> {
+    let log = trace.nondet.as_mut()?;
+    let mut seen = 0usize;
+    for (rank, events) in log.ranks.iter_mut().enumerate() {
+        for (&idx, ev) in events.iter_mut() {
+            if seen == k {
+                *ev = match ev.clone() {
+                    NondetEvent::Match { source, tag } => {
+                        NondetEvent::Match { source: source + 1, tag }
+                    }
+                    NondetEvent::Iprobe { hit: Some((s, t)) } => {
+                        NondetEvent::Iprobe { hit: Some((s + 1, t)) }
+                    }
+                    NondetEvent::Iprobe { hit: None } => NondetEvent::Iprobe { hit: Some((0, 0)) },
+                    NondetEvent::AnyOf { index: Some(i) } => {
+                        NondetEvent::AnyOf { index: Some(i + 1) }
+                    }
+                    NondetEvent::AnyOf { index: None } => NondetEvent::AnyOf { index: Some(0) },
+                    NondetEvent::SomeOf { mut indices } => {
+                        // Growing the set by an impossible index always
+                        // differs from the recorded completion.
+                        indices.push(indices.iter().max().map_or(0, |m| m + 1));
+                        NondetEvent::SomeOf { indices }
+                    }
+                    NondetEvent::Flag { flag } => NondetEvent::Flag { flag: !flag },
+                };
+                return Some((rank, idx));
+            }
+            seen += 1;
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Any seed's recording replays bit-deterministically: strict replay
+    // passes and two directed replays serialize identically.
+    #[test]
+    fn any_seed_replays_bit_deterministic(seed in any::<u64>(), iters in 2usize..5) {
+        let trace = record_farm(3, iters, seed);
+        match replay_strict(&trace) {
+            StrictReplay::Deterministic(first) => {
+                match replay_directed(&trace, PilgrimConfig::new()) {
+                    StrictReplay::Deterministic(second) => {
+                        prop_assert_eq!(write_container(&first), write_container(&second));
+                    }
+                    other => return Err(TestCaseError::fail(format!("second replay: {other:?}"))),
+                }
+            }
+            other => return Err(TestCaseError::fail(format!("strict replay: {other:?}"))),
+        }
+    }
+
+    // A fault-plan recording either completes (the victim outlived the
+    // plan) or degrades — strict replay never reports a divergence for
+    // missing data. Concrete-source workloads only: a wildcard receive
+    // cannot be proven blocked-on-dead, so the farm would hang.
+    #[test]
+    fn fault_plan_recordings_never_falsely_diverge(
+        seed in any::<u64>(),
+        pick in 0usize..9,
+        at_call in 5u64..80,
+    ) {
+        let victim = 1 + pick % 3;
+        let wl = ["stencil2d", "cg", "mg"][pick / 3];
+        let world = WorldConfig {
+            faults: Some(FaultPlan::new(seed).kill(victim, at_call)),
+            ..WorldConfig::new(4).seed(seed)
+        };
+        let body = mpi_workloads::by_name(wl, 8);
+        let Some(trace) = record_faulty(&world, PilgrimConfig::new(), move |env| {
+            body(env)
+        }) else {
+            // Rank 0's merge can abandon entirely under early kills;
+            // that is a degraded outcome, not a false divergence.
+            return Ok(());
+        };
+        match replay_strict(&trace) {
+            StrictReplay::Deterministic(_) | StrictReplay::Degraded(_) => {}
+            other => return Err(TestCaseError::fail(format!(
+                "fault recording must not diverge: {other:?}"
+            ))),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Corrupting any single recorded event is always detected by the
+    // pure oracle, at exactly the site that was corrupted.
+    #[test]
+    fn any_corrupted_event_diverges(k in 0usize..256) {
+        let (trace, _) = fixture();
+        let mut mutated = trace.clone();
+        let total = mutated.nondet.as_ref().map_or(0, |l| l.len());
+        prop_assert!(total > 0, "fixture recorded no events");
+        let Some((rank, idx)) = mutate_kth_event(&mut mutated, k % total) else {
+            return Err(TestCaseError::fail("mutation index out of range".to_string()));
+        };
+        match replay_strict(&mutated) {
+            StrictReplay::Diverged(d) => {
+                prop_assert_eq!((d.rank, d.call_index), (rank, idx),
+                    "diverged at the wrong site: {}", d);
+            }
+            other => return Err(TestCaseError::fail(format!(
+                "corrupt event must diverge: {other:?}"
+            ))),
+        }
+    }
+
+    // Single-byte corruption anywhere in the container: strict decode
+    // and salvage decode return a typed result, never panic. When
+    // salvage recovers a log, it is either intact or dropped — and the
+    // byte-flip is always *noticed* by one of the CRCs unless it missed
+    // every live section.
+    #[test]
+    fn container_byte_flips_never_panic(pos in any::<usize>(), bit in 0u8..8) {
+        let (_, bytes) = fixture();
+        let mut buf = bytes.clone();
+        let pos = pos % buf.len();
+        buf[pos] ^= 1 << bit;
+        let _ = GlobalTrace::decode_container(&buf);
+        if let Ok((trace, report)) = GlobalTrace::decode_salvage(&buf) {
+            // A salvaged trace still makes only typed promises: either
+            // the PGND survived (checksum-clean) or it was dropped.
+            prop_assert!(trace.nondet.is_some() || report.nondet_dropped || !report.is_clean());
+        }
+    }
+
+    // Truncating the container at any point never panics either.
+    #[test]
+    fn container_truncation_never_panics(keep in any::<usize>()) {
+        let (_, bytes) = fixture();
+        let keep = keep % bytes.len();
+        let _ = GlobalTrace::decode_container(&bytes[..keep]);
+        let _ = GlobalTrace::decode_salvage(&bytes[..keep]);
+    }
+}
