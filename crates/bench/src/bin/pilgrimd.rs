@@ -6,10 +6,15 @@
 //!          [--wal] [--timeout-ms T] [--crash-at-job K]
 //! pilgrimd serve --listen ADDR --out DIR [--shards S] [--timeout-ms T]
 //!          [--expect-jobs N] [--crash-at-job K] [--io-timeout-ms T]
+//!          [--auth-key-file PATH] [--max-conns N] [--max-frame-len N]
+//!          [--max-bytes-per-sec N] [--max-frames-per-sec N]
+//!          [--max-open-jobs N] [--max-wal-bytes N] [--shed-saturation F]
+//!          [--drain-grace-ms T]
 //! pilgrimd send --addr ADDR --jobs N [--ranks R] [--iters I] [--budget B]
 //!          [--client-id C] [--spill DIR] [--retry-attempts A] [--backoff-ms B]
-//!          [--finish-timeout-ms T] [--fault-seed S] [--refuse-rate P] [--cut-rate P]
-//!          [--corrupt-rate P] [--dup-rate P] [--stall-rate P] [--partition-rate P]
+//!          [--finish-timeout-ms T] [--auth-key-file PATH] [--fault-seed S]
+//!          [--refuse-rate P] [--cut-rate P] [--corrupt-rate P] [--dup-rate P]
+//!          [--stall-rate P] [--partition-rate P]
 //! ```
 //!
 //! The first form is the in-process collector: `N` concurrent simulated
@@ -30,15 +35,20 @@
 //! loss, `2` usage error, `3` degraded (the client fell back to local
 //! spill but every job is accounted for). `--crash-at-job` dies by
 //! `abort` and reports nothing — that is its job.
+//!
+//! `serve` shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
+//! drains in-flight connections for `--drain-grace-ms`, and still emits
+//! the final envelope (with `"graceful":true`) — so an operator's ^C
+//! never loses acked data or the summary line.
 
 use std::io::Write as _;
 use std::process::exit;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use pilgrim::{
-    serve, GlobalTrace, IngestConfig, IngestSession, JobDesc, NetClient, NetClientConfig,
+    serve, AuthKey, GlobalTrace, IngestConfig, IngestSession, JobDesc, NetClient, NetClientConfig,
     NetFaultPlan, NetServerConfig, PilgrimConfig, PilgrimTracer, RetryPolicy, SegmentSink,
 };
 
@@ -69,6 +79,43 @@ fn sflag(args: &[String], name: &str) -> Option<String> {
             exit(2)
         })
     })
+}
+
+/// Reads `--auth-key-file` when present; a missing or empty key file is
+/// a usage error (exit 2), not something to silently run without.
+fn auth_key_flag(args: &[String]) -> Option<AuthKey> {
+    let path = sflag(args, "--auth-key-file")?;
+    match AuthKey::from_file(std::path::Path::new(&path)) {
+        Ok(key) => Some(key),
+        Err(e) => {
+            eprintln!("cannot load auth key from {path}: {e}");
+            exit(2)
+        }
+    }
+}
+
+/// Set by the SIGINT/SIGTERM handler; `serve` polls it and drains.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    // An atomic store is async-signal-safe; everything else happens on
+    // the main thread when it notices the flag.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT (2) and SIGTERM (15) to [`on_shutdown_signal`] via the
+/// raw libc `signal` symbol — no crate dependency, and `signal`'s
+/// coarse semantics are all a latch flag needs.
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_shutdown_signal);
+        signal(SIGTERM, on_shutdown_signal);
+    }
 }
 
 /// Prints the one machine-readable summary line and exits with its code.
@@ -102,6 +149,8 @@ fn run_serve(args: &[String]) -> ! {
     let io_timeout = flag(args, "--io-timeout-ms").unwrap_or(5000);
     let expect_jobs = flag(args, "--expect-jobs");
     let crash_at = flag(args, "--crash-at-job");
+    let auth_key = auth_key_flag(args);
+    let drain_grace = Duration::from_millis(flag(args, "--drain-grace-ms").unwrap_or(2000));
 
     // Bind with a short retry: a restarted collector may race the dying
     // incarnation's socket teardown.
@@ -132,6 +181,31 @@ fn run_serve(args: &[String]) -> ! {
     if let Some(k) = crash_at {
         cfg = cfg.kill_after_finished(k);
     }
+    if let Some(key) = auth_key {
+        cfg = cfg.auth_key(key);
+    }
+    if let Some(n) = flag(args, "--max-conns") {
+        cfg = cfg.max_connections(n as usize);
+    }
+    if let Some(n) = flag(args, "--max-frame-len") {
+        cfg = cfg.max_frame_len(n as usize);
+    }
+    if let Some(n) = flag(args, "--max-bytes-per-sec") {
+        cfg = cfg.max_conn_bytes_per_sec(n);
+    }
+    if let Some(n) = flag(args, "--max-frames-per-sec") {
+        cfg = cfg.max_conn_frames_per_sec(n);
+    }
+    if let Some(n) = flag(args, "--max-open-jobs") {
+        cfg = cfg.max_open_jobs(n);
+    }
+    if let Some(n) = flag(args, "--max-wal-bytes") {
+        cfg = cfg.max_wal_bytes(n);
+    }
+    if let Some(f) = fflag(args, "--shed-saturation") {
+        cfg = cfg.shed_saturation(f);
+    }
+    install_shutdown_handler();
     let server = serve(listener, session, cfg).unwrap_or_else(|e| {
         eprintln!("cannot serve on {listen}: {e}");
         exit(1)
@@ -148,7 +222,12 @@ fn run_serve(args: &[String]) -> ! {
         crash_at.map_or(String::new(), |k| format!(", crashing after job {k}"))
     );
 
+    let mut graceful = false;
     loop {
+        if SHUTDOWN.load(Ordering::SeqCst) {
+            graceful = true;
+            break;
+        }
         if server.stopped() {
             if crash_at.is_some() {
                 // The kill hook fired: die exactly like a crashed
@@ -164,7 +243,15 @@ fn run_serve(args: &[String]) -> ! {
         }
         std::thread::sleep(Duration::from_millis(20));
     }
-    let stats = server.stop();
+    let stats = if graceful {
+        eprintln!(
+            "pilgrimd serve: signal received, draining for up to {} ms",
+            drain_grace.as_millis()
+        );
+        server.drain(drain_grace)
+    } else {
+        server.stop()
+    };
     eprintln!("pilgrimd serve: {stats:?}");
     let code = i32::from(stats.wal_errors > 0);
     emit_envelope(
@@ -179,6 +266,13 @@ fn run_serve(args: &[String]) -> ! {
             ("torn_conns", stats.torn_conns.to_string()),
             ("stale_finishes", stats.stale_finishes.to_string()),
             ("wal_errors", stats.wal_errors.to_string()),
+            ("wal_bytes", stats.wal_bytes.to_string()),
+            ("auth_failures", stats.auth_failures.to_string()),
+            ("version_skew", stats.version_skew.to_string()),
+            ("sheds", stats.sheds.to_string()),
+            ("throttled", stats.throttled.to_string()),
+            ("slow_loris_closed", stats.slow_loris_closed.to_string()),
+            ("graceful", graceful.to_string()),
         ],
         code,
     )
@@ -219,6 +313,9 @@ fn run_send(args: &[String]) -> ! {
         .faults(faults);
     if let Some(dir) = &spill {
         ccfg = ccfg.spill_dir(dir);
+    }
+    if let Some(key) = auth_key_flag(args) {
+        ccfg = ccfg.auth_key(key);
     }
     let client = Arc::new(NetClient::start(ccfg).unwrap_or_else(|e| {
         eprintln!("cannot start net client: {e}");
@@ -310,6 +407,8 @@ fn run_send(args: &[String]) -> ! {
             ("acks", stats.acks.to_string()),
             ("spilled_records", stats.spilled_records.to_string()),
             ("dropped_records", stats.dropped_records.to_string()),
+            ("busy_sheds", stats.busy_sheds.to_string()),
+            ("auth_failed", stats.auth_failed.to_string()),
         ],
         code,
     )

@@ -343,6 +343,11 @@ struct IngestCounters {
     quarantined: AtomicU64,
     stalled: AtomicU64,
     spill_errors: AtomicU64,
+    /// Messages currently sitting in shard queues (gauge, not
+    /// monotonic): incremented before a send is attempted, decremented
+    /// when the shard dequeues — so it never underflows — and read by
+    /// [`IngestSession::saturation`] for overload shedding.
+    queued: AtomicU64,
 }
 
 /// Snapshot of the session counters.
@@ -404,6 +409,9 @@ pub struct IngestSession {
     next_job: AtomicU64,
     counters: Arc<IngestCounters>,
     spill_dir: Option<PathBuf>,
+    /// Total queue capacity across shards, the denominator of
+    /// [`saturation`](IngestSession::saturation).
+    queue_slots: usize,
 }
 
 impl IngestSession {
@@ -467,6 +475,7 @@ impl IngestSession {
             next_job: AtomicU64::new(0),
             counters,
             spill_dir: cfg.spill_dir,
+            queue_slots: cfg.shards.max(1) * cfg.queue_capacity.max(1),
         })
     }
 
@@ -516,8 +525,13 @@ impl IngestSession {
     ) -> JobHandle {
         let sender = self.senders[job as usize % self.senders.len()].clone();
         // Opens ride the same FIFO queue as segments, so a job is always
-        // open at its shard before any of its segments arrive.
-        let _ = sender.send(ShardMsg::Open { job, nranks, identity_check, timeout });
+        // open at its shard before any of its segments arrive. The
+        // queued gauge is bumped *before* the send so the shard's
+        // matching decrement can never observe it at zero.
+        self.counters.queued.fetch_add(1, Ordering::Relaxed);
+        if sender.send(ShardMsg::Open { job, nranks, identity_check, timeout }).is_err() {
+            self.counters.queued.fetch_sub(1, Ordering::Relaxed);
+        }
         self.counters.jobs_opened.fetch_add(1, Ordering::Relaxed);
         JobHandle { job, sender, counters: self.counters.clone() }
     }
@@ -592,6 +606,20 @@ impl IngestSession {
         }
     }
 
+    /// Messages currently waiting in shard queues (opens, segments,
+    /// completions). A gauge, not a monotonic counter.
+    pub fn queue_depth(&self) -> u64 {
+        self.counters.queued.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of total shard-queue capacity currently occupied, in
+    /// `0.0..=1.0` (clamped). The networked collector sheds new jobs
+    /// when this crosses its configured threshold.
+    pub fn saturation(&self) -> f64 {
+        let depth = self.queue_depth() as f64;
+        (depth / self.queue_slots as f64).min(1.0)
+    }
+
     /// The configured spill directory, if any.
     pub fn spill_dir(&self) -> Option<&Path> {
         self.spill_dir.as_deref()
@@ -641,14 +669,21 @@ impl JobHandle {
     }
 
     fn send(&self, msg: ShardMsg) {
+        // Bump the queued gauge before the send attempt so the shard's
+        // decrement can never race it below zero; undo on disconnect.
+        self.counters.queued.fetch_add(1, Ordering::Relaxed);
         match self.sender.try_send(msg) {
             Ok(()) => {}
             Err(TrySendError::Full(msg)) => {
                 self.counters.backpressure.fetch_add(1, Ordering::Relaxed);
-                let _ = self.sender.send(msg);
+                if self.sender.send(msg).is_err() {
+                    self.counters.queued.fetch_sub(1, Ordering::Relaxed);
+                }
             }
             // Session shut down mid-job: nothing to deliver to.
-            Err(TrySendError::Disconnected(_)) => {}
+            Err(TrySendError::Disconnected(_)) => {
+                self.counters.queued.fetch_sub(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -743,6 +778,12 @@ fn shard_worker(rx: Receiver<ShardMsg>, mut ctx: ShardCtx) {
                 Err(_) => break,
             },
         };
+        if matches!(
+            msg,
+            ShardMsg::Open { .. } | ShardMsg::Segment { .. } | ShardMsg::Complete { .. }
+        ) {
+            ctx.counters.queued.fetch_sub(1, Ordering::Relaxed);
+        }
         match msg {
             ShardMsg::Open { job, nranks, identity_check, timeout } => {
                 ctx.log(&WalRecord::JobOpen { job, nranks, identity_check });

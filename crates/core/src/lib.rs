@@ -128,6 +128,7 @@
 //! deterministically through a seeded
 //! [`IngestFaultPlan`](ingest_fault::IngestFaultPlan).
 
+pub mod auth;
 pub mod avl;
 pub mod checkpoint;
 pub mod cst;
@@ -155,6 +156,7 @@ pub mod trace;
 pub mod tracer;
 pub mod wal;
 
+pub use auth::{challenge_response, session_key, AuthKey, MacState, MAC_LEN, NONCE_LEN};
 pub use checkpoint::{decode_checkpoint, encode_checkpoint, Checkpoint};
 pub use cst::{Cst, SigStats};
 pub use decode::{
@@ -181,7 +183,7 @@ pub use net::{
     serve, NetClient, NetClientConfig, NetClientStats, NetJobHandle, NetJobOutcome,
     NetServerConfig, NetServerStats, ServeHandle, NET_MAGIC, NET_VERSION,
 };
-pub use net_fault::{stable_job_id, NetFaultPlan};
+pub use net_fault::{stable_job_id, AdversaryKind, AdversaryPlan, NetFaultPlan, ADVERSARY_KINDS};
 pub use nondet::{NondetEvent, NondetLog};
 pub use query::{
     CallIterator, CommMatrix, QueryEngine, SigCounts, SignatureSummary, TermCursor, TraceIndex,

@@ -49,6 +49,10 @@ use std::time::{Duration, Instant};
 
 use pilgrim_sequitur::{read_varint, write_varint};
 
+use crate::auth::{
+    challenge_response, ct_eq, fresh_nonce, session_key, AuthKey, MacState, DIR_CLIENT, DIR_SERVER,
+    MAC_LEN, NONCE_LEN,
+};
 use crate::error::DecodeError;
 use crate::export::write_container;
 use crate::governor::{Component, DegradationEvent, DegradationStage};
@@ -70,9 +74,25 @@ const KIND_COMPLETE: u8 = 5;
 const KIND_FINISHED: u8 = 6;
 const KIND_HEARTBEAT: u8 = 7;
 const KIND_ACK: u8 = 8;
+const KIND_CHALLENGE: u8 = 9;
+const KIND_AUTH_RESPONSE: u8 = 10;
+const KIND_BUSY: u8 = 11;
+const KIND_REJECT: u8 = 12;
+
+/// [`NetFrame::Reject`] codes.
+/// The peer's protocol version is not this one.
+pub const REJECT_VERSION: u8 = 1;
+/// The collector requires authentication and the hello offered none.
+pub const REJECT_AUTH_REQUIRED: u8 = 2;
+/// The challenge response did not verify (wrong key or a replay).
+pub const REJECT_BAD_MAC: u8 = 3;
 
 /// Frames the client may keep unacked before it pauses sending.
 const ACK_WINDOW: usize = 1024;
+
+/// Decode-size cap while a connection is still in its hello exchange:
+/// every legitimate handshake frame fits in well under this.
+const HELLO_MAX_FRAME: usize = 4096;
 
 /// One `PNT1` frame. The record-bearing kinds mirror [`WalRecord`]
 /// one-for-one so the server can log exactly what it acks.
@@ -114,6 +134,26 @@ pub enum NetFrame {
         b: u64,
         of: u8,
     },
+    /// Server's auth challenge, sent instead of the hello-ack when a
+    /// key is configured. The client proves key possession with an
+    /// [`NetFrame::AuthResponse`].
+    Challenge {
+        nonce: [u8; NONCE_LEN],
+    },
+    /// Client's HMAC over the nonce and its hello coordinates.
+    AuthResponse {
+        mac: [u8; 32],
+    },
+    /// Overload shed: the collector refused to open this (new) job.
+    /// The client backs off and eventually degrades to local spill.
+    Busy {
+        job: u64,
+    },
+    /// Typed handshake rejection (`REJECT_*` codes); the connection
+    /// closes right after.
+    Reject {
+        code: u8,
+    },
 }
 
 impl NetFrame {
@@ -127,6 +167,10 @@ impl NetFrame {
             NetFrame::Finished { .. } => KIND_FINISHED,
             NetFrame::Heartbeat => KIND_HEARTBEAT,
             NetFrame::Ack { .. } => KIND_ACK,
+            NetFrame::Challenge { .. } => KIND_CHALLENGE,
+            NetFrame::AuthResponse { .. } => KIND_AUTH_RESPONSE,
+            NetFrame::Busy { .. } => KIND_BUSY,
+            NetFrame::Reject { .. } => KIND_REJECT,
         }
     }
 
@@ -162,6 +206,10 @@ impl NetFrame {
                 write_varint(out, *b);
                 out.push(*of);
             }
+            NetFrame::Challenge { nonce } => out.extend_from_slice(nonce),
+            NetFrame::AuthResponse { mac } => out.extend_from_slice(mac),
+            NetFrame::Busy { job } => write_varint(out, *job),
+            NetFrame::Reject { code } => out.push(*code),
         }
     }
 
@@ -231,6 +279,33 @@ impl NetFrame {
                 *pos += 1;
                 NetFrame::Ack { job, a, b, of }
             }
+            KIND_CHALLENGE => {
+                let bytes = buf
+                    .get(*pos..*pos + NONCE_LEN)
+                    .ok_or(DecodeError::Truncated { what: "net challenge nonce", offset: *pos })?;
+                let mut nonce = [0u8; NONCE_LEN];
+                nonce.copy_from_slice(bytes);
+                *pos += NONCE_LEN;
+                NetFrame::Challenge { nonce }
+            }
+            KIND_AUTH_RESPONSE => {
+                let bytes = buf
+                    .get(*pos..*pos + 32)
+                    .ok_or(DecodeError::Truncated { what: "net auth response", offset: *pos })?;
+                let mut mac = [0u8; 32];
+                mac.copy_from_slice(bytes);
+                *pos += 32;
+                NetFrame::AuthResponse { mac }
+            }
+            KIND_BUSY => NetFrame::Busy { job: rd(buf, pos, "net busy job")? },
+            KIND_REJECT => {
+                let off = *pos;
+                let code = *buf
+                    .get(*pos)
+                    .ok_or(DecodeError::Truncated { what: "net reject code", offset: off })?;
+                *pos += 1;
+                NetFrame::Reject { code }
+            }
             _ => return Err(DecodeError::Corrupt { what: "net frame kind", offset: 0 }),
         };
         if *pos != buf.len() {
@@ -293,14 +368,41 @@ fn rd(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, DecodeErro
 
 /// Incremental frame reassembly over a byte stream: bytes go in as they
 /// arrive, whole frames come out; a torn tail waits for more bytes.
+///
+/// Hostile-peer hardening: a declared payload length over `cap` is
+/// rejected *before* the body is buffered, so a peer announcing a
+/// multi-gigabyte frame cannot make the collector hold more than
+/// `cap + one read chunk` for it. With a [`MacState`] installed
+/// ([`FrameBuf::set_mac`]) every frame must carry a valid chained
+/// truncated MAC; a bad tag is a corrupt stream (fail closed).
 struct FrameBuf {
     buf: Vec<u8>,
     pos: usize,
+    cap: usize,
+    mac: Option<MacState>,
 }
 
 impl FrameBuf {
     fn new() -> FrameBuf {
-        FrameBuf { buf: Vec::new(), pos: 0 }
+        FrameBuf::with_cap(usize::MAX)
+    }
+
+    fn with_cap(cap: usize) -> FrameBuf {
+        FrameBuf { buf: Vec::new(), pos: 0, cap, mac: None }
+    }
+
+    fn set_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    /// Installs the receive-direction MAC chain (post-handshake).
+    fn set_mac(&mut self, mac: MacState) {
+        self.mac = Some(mac);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    fn pending(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn extend(&mut self, bytes: &[u8]) {
@@ -314,10 +416,47 @@ impl FrameBuf {
     /// `None` = need more bytes; `Some(Err)` = the stream is corrupt at
     /// the current frame (the connection must be dropped).
     fn next_frame(&mut self) -> Option<Result<NetFrame, DecodeError>> {
-        let mut pos = self.pos;
-        let out = match split_frame(&self.buf, &mut pos)? {
-            Ok((kind, payload)) => NetFrame::decode(kind, payload),
-            Err(e) => Err(e),
+        // Reject an over-cap declared length up front, while the buffer
+        // holds at most the frame header.
+        {
+            let mut peek = self.pos;
+            if self.buf.get(peek).is_some() {
+                peek += 1;
+                if let Some(len) = read_varint(&self.buf, &mut peek) {
+                    if len > self.cap as u64 {
+                        return Some(Err(DecodeError::Corrupt {
+                            what: "net frame over length cap",
+                            offset: self.pos,
+                        }));
+                    }
+                }
+            }
+        }
+        let start = self.pos;
+        let mut pos = start;
+        let parsed = split_frame(&self.buf, &mut pos)?;
+        let (kind, payload) = match parsed {
+            Ok(kp) => kp,
+            Err(e) => {
+                self.pos = pos;
+                return Some(Err(e));
+            }
+        };
+        let out = match self.mac.as_mut() {
+            Some(mac) => {
+                // An authenticated frame is `frame || mac8`; wait for
+                // the tag before judging the frame.
+                let tag = self.buf.get(pos..pos + MAC_LEN)?;
+                if !mac.verify(&self.buf[start..pos], tag) {
+                    return Some(Err(DecodeError::Corrupt {
+                        what: "net frame mac",
+                        offset: start,
+                    }));
+                }
+                pos += MAC_LEN;
+                NetFrame::decode(kind, payload)
+            }
+            None => NetFrame::decode(kind, payload),
         };
         self.pos = pos;
         Some(out)
@@ -355,6 +494,31 @@ pub struct NetServerConfig {
     /// session abandoned) the moment this many jobs have finished.
     /// Simulates the collector being killed for restart/recovery tests.
     pub kill_after_finished: Option<u64>,
+    /// Pre-shared wire key. When set, every hello is challenged and
+    /// every post-handshake frame must carry a chained MAC; without it
+    /// the server accepts unauthenticated v1 peers (loopback mode).
+    pub auth_key: Option<AuthKey>,
+    /// Admission control: concurrent connections beyond this wait in
+    /// the kernel accept queue (FIFO, so admission stays fair).
+    pub max_connections: usize,
+    /// Decode-size cap: a frame declaring a larger payload is rejected
+    /// before its body is buffered, bounding per-connection memory.
+    pub max_frame_len: usize,
+    /// Per-connection byte budget per rolling second; a peer over it is
+    /// disconnected (counted in `throttled`).
+    pub max_conn_bytes_per_sec: Option<u64>,
+    /// Per-connection frame budget per rolling second.
+    pub max_conn_frames_per_sec: Option<u64>,
+    /// Overload shedding: refuse *new* JobOpens with [`NetFrame::Busy`]
+    /// while this many jobs are open and unfinished.
+    pub max_open_jobs: Option<u64>,
+    /// Overload shedding: refuse new JobOpens once the per-connection
+    /// WALs hold this many bytes in total.
+    pub max_wal_bytes: Option<u64>,
+    /// Overload shedding: refuse new JobOpens while the ingest queue
+    /// saturation ([`IngestSession::saturation`]) is at or above this
+    /// fraction (e.g. `0.9`).
+    pub shed_saturation: Option<f64>,
 }
 
 impl Default for NetServerConfig {
@@ -364,6 +528,14 @@ impl Default for NetServerConfig {
             hello_timeout: Duration::from_secs(2),
             job_timeout: None,
             kill_after_finished: None,
+            auth_key: None,
+            max_connections: 256,
+            max_frame_len: 64 << 20,
+            max_conn_bytes_per_sec: None,
+            max_conn_frames_per_sec: None,
+            max_open_jobs: None,
+            max_wal_bytes: None,
+            shed_saturation: None,
         }
     }
 }
@@ -392,6 +564,46 @@ impl NetServerConfig {
         self.kill_after_finished = Some(n);
         self
     }
+
+    pub fn auth_key(mut self, key: AuthKey) -> Self {
+        self.auth_key = Some(key);
+        self
+    }
+
+    pub fn max_connections(mut self, n: usize) -> Self {
+        self.max_connections = n.max(1);
+        self
+    }
+
+    pub fn max_frame_len(mut self, n: usize) -> Self {
+        self.max_frame_len = n.max(HELLO_MAX_FRAME);
+        self
+    }
+
+    pub fn max_conn_bytes_per_sec(mut self, n: u64) -> Self {
+        self.max_conn_bytes_per_sec = Some(n);
+        self
+    }
+
+    pub fn max_conn_frames_per_sec(mut self, n: u64) -> Self {
+        self.max_conn_frames_per_sec = Some(n);
+        self
+    }
+
+    pub fn max_open_jobs(mut self, n: u64) -> Self {
+        self.max_open_jobs = Some(n);
+        self
+    }
+
+    pub fn max_wal_bytes(mut self, n: u64) -> Self {
+        self.max_wal_bytes = Some(n);
+        self
+    }
+
+    pub fn shed_saturation(mut self, frac: f64) -> Self {
+        self.shed_saturation = Some(frac);
+        self
+    }
 }
 
 #[derive(Debug, Default)]
@@ -409,6 +621,13 @@ struct ServerCounters {
     wal_errors: AtomicU64,
     jobs_opened: AtomicU64,
     jobs_finished: AtomicU64,
+    auth_failures: AtomicU64,
+    version_skew: AtomicU64,
+    sheds: AtomicU64,
+    throttled: AtomicU64,
+    slow_loris_closed: AtomicU64,
+    peak_conn_buffer: AtomicU64,
+    wal_bytes: AtomicU64,
 }
 
 /// Snapshot of the server counters.
@@ -435,6 +654,24 @@ pub struct NetServerStats {
     pub wal_errors: u64,
     pub jobs_opened: u64,
     pub jobs_finished: u64,
+    /// Hellos rejected by the challenge–response (wrong key, replayed
+    /// response, or no response at all).
+    pub auth_failures: u64,
+    /// Hellos rejected for a protocol version mismatch.
+    pub version_skew: u64,
+    /// New JobOpens refused with a `Busy` frame under overload.
+    pub sheds: u64,
+    /// Connections dropped for exceeding a byte/frame rate budget.
+    pub throttled: u64,
+    /// Connections dropped for trickling bytes without ever completing
+    /// a frame (slow-loris writers).
+    pub slow_loris_closed: u64,
+    /// High-water mark of any one connection's reassembly buffer — the
+    /// bounded-memory gate for the adversarial sweep.
+    pub peak_conn_buffer: u64,
+    /// Total bytes appended across the per-connection WALs (drives the
+    /// `max_wal_bytes` shed threshold).
+    pub wal_bytes: u64,
 }
 
 /// Per-job server state: the ingest handle plus the dedup watermarks.
@@ -453,10 +690,23 @@ struct ServeShared {
     wal_dir: Option<PathBuf>,
     conn_counter: AtomicU64,
     stop: AtomicBool,
+    /// Graceful-shutdown mode: stop accepting, let connection workers
+    /// flush what they have buffered, then exit.
+    draining: AtomicBool,
+    active_conns: AtomicU64,
     counters: ServerCounters,
     jobs: Mutex<HashMap<u64, Arc<Mutex<NetJobEntry>>>>,
     conns: Mutex<Vec<TcpStream>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Decrements the live-connection gauge however the worker exits.
+struct ConnGuard(Arc<ServeShared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl ServeShared {
@@ -476,7 +726,37 @@ impl ServeShared {
             wal_errors: c.wal_errors.load(Ordering::Relaxed),
             jobs_opened: c.jobs_opened.load(Ordering::Relaxed),
             jobs_finished: c.jobs_finished.load(Ordering::Relaxed),
+            auth_failures: c.auth_failures.load(Ordering::Relaxed),
+            version_skew: c.version_skew.load(Ordering::Relaxed),
+            sheds: c.sheds.load(Ordering::Relaxed),
+            throttled: c.throttled.load(Ordering::Relaxed),
+            slow_loris_closed: c.slow_loris_closed.load(Ordering::Relaxed),
+            peak_conn_buffer: c.peak_conn_buffer.load(Ordering::Relaxed),
+            wal_bytes: c.wal_bytes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Why a *new* job must be refused right now — `None` when the
+    /// collector has capacity. Already-accepted jobs are never shed.
+    fn shed_reason(&self) -> Option<&'static str> {
+        if let Some(max) = self.cfg.max_open_jobs {
+            let opened = self.counters.jobs_opened.load(Ordering::Relaxed);
+            let finished = self.counters.jobs_finished.load(Ordering::Relaxed);
+            if opened.saturating_sub(finished) >= max {
+                return Some("open-jobs");
+            }
+        }
+        if let Some(budget) = self.cfg.max_wal_bytes {
+            if self.counters.wal_bytes.load(Ordering::Relaxed) >= budget {
+                return Some("wal-budget");
+            }
+        }
+        if let Some(frac) = self.cfg.shed_saturation {
+            if self.session.saturation() >= frac {
+                return Some("queue-saturation");
+            }
+        }
+        None
     }
 
     /// Stops accepting and shuts every connection, both directions.
@@ -540,7 +820,10 @@ impl ServeShared {
             return self.wal_dir.is_none();
         };
         match w.append(rec) {
-            Ok(_) => true,
+            Ok(n) => {
+                self.counters.wal_bytes.fetch_add(n, Ordering::Relaxed);
+                true
+            }
             Err(_) => {
                 self.counters.wal_errors.fetch_add(1, Ordering::Relaxed);
                 if w.truncate_to_clean().is_err() {
@@ -585,6 +868,22 @@ impl ServeHandle {
     /// durable record is the per-connection WALs, exactly as if the
     /// process had been killed; `trace_tool recover` rebuilds them.
     pub fn stop(mut self) -> NetServerStats {
+        self.join_all();
+        self.shared.stats()
+    }
+
+    /// Graceful shutdown: stop accepting, give live connections up to
+    /// `grace` to flush the frames they have already received (each
+    /// frame is fsynced into its conn WAL before its ack, so everything
+    /// acked is durable), then stop. Connections still mid-stream after
+    /// the grace period are cut like a plain [`ServeHandle::stop`] —
+    /// their clients reconnect elsewhere or degrade to local spill.
+    pub fn drain(mut self, grace: Duration) -> NetServerStats {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let deadline = Instant::now() + grace;
+        while self.shared.active_conns.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         self.join_all();
         self.shared.stats()
     }
@@ -637,6 +936,8 @@ pub fn serve(
         wal_dir,
         conn_counter: AtomicU64::new(conn_start),
         stop: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        active_conns: AtomicU64::new(0),
         counters: ServerCounters::default(),
         jobs: Mutex::new(HashMap::new()),
         conns: Mutex::new(Vec::new()),
@@ -668,22 +969,34 @@ fn next_conn_index(wal_dir: &Path) -> u64 {
 
 fn accept_loop(listener: TcpListener, shared: Arc<ServeShared>) {
     loop {
-        if shared.stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
             return;
+        }
+        // Admission control: at the connection ceiling, stop accepting.
+        // Waiting peers stay in the kernel's FIFO accept backlog, so
+        // admission order is fair when slots free up.
+        if shared.active_conns.load(Ordering::SeqCst) >= shared.cfg.max_connections as u64 {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
                 if let Ok(clone) = stream.try_clone() {
                     lock(&shared.conns).push(clone);
                 }
-                let wal = shared.new_conn_wal();
                 let conn_shared = shared.clone();
-                let spawned = std::thread::Builder::new()
-                    .name("pilgrim-net-conn".into())
-                    .spawn(move || conn_worker(conn_shared, stream, wal));
+                let guard = ConnGuard(shared.clone());
+                let spawned =
+                    std::thread::Builder::new().name("pilgrim-net-conn".into()).spawn(move || {
+                        let _guard = guard;
+                        conn_worker(conn_shared, stream);
+                    });
+                // On spawn failure the closure (and the guard in it) is
+                // dropped, releasing the admission slot.
                 if let Ok(t) = spawned {
                     lock(&shared.threads).push(t);
                 }
@@ -696,12 +1009,19 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServeShared>) {
     }
 }
 
-fn conn_worker(shared: Arc<ServeShared>, mut stream: TcpStream, mut wal: Option<WalWriter>) {
-    let mut rbuf = FrameBuf::new();
-    if !server_hello(&shared, &mut stream, &mut rbuf) {
+fn conn_worker(shared: Arc<ServeShared>, mut stream: TcpStream) {
+    // The hello phase runs under a tight decode cap; the negotiated cap
+    // applies only after the peer has proven itself.
+    let mut rbuf = FrameBuf::with_cap(HELLO_MAX_FRAME);
+    let Some(mut send_mac) = server_hello(&shared, &mut stream, &mut rbuf) else {
         shared.counters.bad_hello.fetch_add(1, Ordering::Relaxed);
         return;
-    }
+    };
+    rbuf.set_cap(shared.cfg.max_frame_len);
+    // The conn WAL is created only *after* a successful (and, with a
+    // key, authenticated) hello: a rejected peer leaves no partial WAL
+    // state behind.
+    let mut wal = shared.new_conn_wal();
     if stream.set_read_timeout(Some(shared.cfg.io_timeout)).is_err() {
         return;
     }
@@ -710,46 +1030,98 @@ fn conn_worker(shared: Arc<ServeShared>, mut stream: TcpStream, mut wal: Option<
     // replay any single file (or any union) without a dangling job.
     let mut opened: HashSet<u64> = HashSet::new();
     let mut tmp = vec![0u8; 64 * 1024];
+    // Rolling one-second rate window and the slow-loris clock.
+    let mut window_start = Instant::now();
+    let mut window_bytes: u64 = 0;
+    let mut window_frames: u64 = 0;
+    let mut last_whole_frame = Instant::now();
+    let mut drain_mode = false;
     loop {
         if shared.stop.load(Ordering::SeqCst) {
             return;
+        }
+        if !drain_mode && shared.draining.load(Ordering::SeqCst) {
+            // Graceful shutdown: flush what the peer already sent, then
+            // exit at the first quiet read instead of the idle deadline.
+            drain_mode = true;
+            if stream.set_read_timeout(Some(Duration::from_millis(30))).is_err() {
+                return;
+            }
         }
         match stream.read(&mut tmp) {
             Ok(0) => return,
             Ok(n) => {
                 rbuf.extend(&tmp[..n]);
+                shared
+                    .counters
+                    .peak_conn_buffer
+                    .fetch_max(rbuf.pending() as u64, Ordering::Relaxed);
                 loop {
                     match rbuf.next_frame() {
                         None => break,
                         Some(Err(_)) => {
-                            // Torn or corrupt frame: fail closed. The
-                            // client reconnects and retransmits from the
-                            // last ack.
+                            // Torn or corrupt frame (bad CRC or MAC):
+                            // fail closed. The client reconnects and
+                            // retransmits from the last ack.
                             shared.counters.torn_conns.fetch_add(1, Ordering::Relaxed);
                             return;
                         }
                         Some(Ok(frame)) => {
                             shared.counters.frames.fetch_add(1, Ordering::Relaxed);
+                            window_frames += 1;
+                            last_whole_frame = Instant::now();
                             match dispatch(&shared, &mut wal, &mut opened, frame) {
-                                Ok(Some(ack)) => {
-                                    if stream.write_all(&ack).is_err() {
+                                Ok(Dispatch::Reply(ack)) => {
+                                    if write_framed(&mut stream, &ack, &mut send_mac).is_err() {
                                         return;
                                     }
                                     shared.counters.acks.fetch_add(1, Ordering::Relaxed);
                                 }
-                                Ok(None) => {}
+                                Ok(Dispatch::Quiet) => {}
+                                Ok(Dispatch::ReplyClose(bytes)) => {
+                                    let _ = write_framed(&mut stream, &bytes, &mut send_mac);
+                                    return;
+                                }
                                 Err(()) => return,
                             }
                         }
                     }
+                }
+                // Slow-loris kill: bytes keep trickling in (so the idle
+                // read deadline never fires) but no whole frame has
+                // arrived within the io window.
+                if rbuf.pending() > 0 && last_whole_frame.elapsed() > shared.cfg.io_timeout {
+                    shared.counters.slow_loris_closed.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                // Per-connection rate budgets over a rolling second.
+                window_bytes += n as u64;
+                if window_start.elapsed() >= Duration::from_secs(1) {
+                    window_start = Instant::now();
+                    window_bytes = 0;
+                    window_frames = 0;
+                }
+                let over_bytes =
+                    shared.cfg.max_conn_bytes_per_sec.is_some_and(|max| window_bytes > max);
+                let over_frames =
+                    shared.cfg.max_conn_frames_per_sec.is_some_and(|max| window_frames > max);
+                if over_bytes || over_frames {
+                    shared.counters.throttled.fetch_add(1, Ordering::Relaxed);
+                    return;
                 }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Idle past the read deadline: orphaned peer. The job
-                // seal deadline (if any) finalizes whatever arrived.
+                if drain_mode {
+                    // Drained: nothing more buffered on the socket.
+                    return;
+                }
+                // Idle past the read deadline: orphaned peer (its
+                // heartbeats stopped). Closing releases this conn's WAL
+                // handle; the job seal deadline (if any) finalizes
+                // whatever arrived.
                 shared.counters.idle_closed.fetch_add(1, Ordering::Relaxed);
                 return;
             }
@@ -758,18 +1130,79 @@ fn conn_worker(shared: Arc<ServeShared>, mut stream: TcpStream, mut wal: Option<
     }
 }
 
-/// Consumes `PNT1` + Hello and answers `PNT1` + HelloAck.
-fn server_hello(shared: &ServeShared, stream: &mut TcpStream, rbuf: &mut FrameBuf) -> bool {
-    let Some(frame) = read_hello_frame(stream, rbuf, shared.cfg.hello_timeout) else {
-        return false;
-    };
-    let NetFrame::Hello { version, .. } = frame else { return false };
-    if version != NET_VERSION {
-        return false;
+/// Writes one frame, appending the chained MAC when the session is
+/// authenticated.
+fn write_framed(
+    stream: &mut TcpStream,
+    bytes: &[u8],
+    mac: &mut Option<MacState>,
+) -> std::io::Result<()> {
+    match mac.as_mut() {
+        Some(m) => {
+            let tag = m.seal(bytes);
+            let mut out = Vec::with_capacity(bytes.len() + MAC_LEN);
+            out.extend_from_slice(bytes);
+            out.extend_from_slice(&tag);
+            stream.write_all(&out)
+        }
+        None => stream.write_all(bytes),
     }
+}
+
+/// Consumes `PNT1` + Hello and completes the handshake. Without a key:
+/// answers `PNT1` + HelloAck (the v1 exchange, byte-identical). With a
+/// key: answers `PNT1` + Challenge, verifies the client's response, and
+/// only then HelloAck — returning the server→client MAC chain and
+/// installing the client→server chain into `rbuf`.
+///
+/// `None` = reject (counted as `bad_hello` by the caller; the specific
+/// cause lands in `version_skew` / `auth_failures` here). A rejected
+/// peer gets a typed [`NetFrame::Reject`] before the close when the
+/// conversation got far enough to send one.
+fn server_hello(
+    shared: &ServeShared,
+    stream: &mut TcpStream,
+    rbuf: &mut FrameBuf,
+) -> Option<Option<MacState>> {
+    let frame = read_hello_frame(stream, rbuf, shared.cfg.hello_timeout)?;
+    let NetFrame::Hello { version, client_id } = frame else {
+        return None;
+    };
+    if version != NET_VERSION {
+        shared.counters.version_skew.fetch_add(1, Ordering::Relaxed);
+        let mut reply = NET_MAGIC.to_vec();
+        reply.extend_from_slice(&NetFrame::Reject { code: REJECT_VERSION }.encode());
+        let _ = stream.write_all(&reply);
+        return None;
+    }
+    let Some(key) = shared.cfg.auth_key.as_ref() else {
+        // Unauthenticated (loopback) mode: plain v1 hello-ack.
+        let mut reply = NET_MAGIC.to_vec();
+        reply.extend_from_slice(&NetFrame::HelloAck { version: NET_VERSION }.encode());
+        return stream.write_all(&reply).ok().map(|()| None);
+    };
+    let nonce = fresh_nonce();
     let mut reply = NET_MAGIC.to_vec();
-    reply.extend_from_slice(&NetFrame::HelloAck { version: NET_VERSION }.encode());
-    stream.write_all(&reply).is_ok()
+    reply.extend_from_slice(&NetFrame::Challenge { nonce }.encode());
+    stream.write_all(&reply).ok()?;
+    let response = read_frame_within(stream, rbuf, shared.cfg.hello_timeout);
+    let Some(NetFrame::AuthResponse { mac }) = response else {
+        shared.counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.write_all(&NetFrame::Reject { code: REJECT_AUTH_REQUIRED }.encode());
+        return None;
+    };
+    let expect = challenge_response(key, &nonce, client_id, NET_VERSION);
+    if !ct_eq(&expect, &mac) {
+        // Wrong key — or a response replayed from another handshake,
+        // which this nonce was never part of.
+        shared.counters.auth_failures.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.write_all(&NetFrame::Reject { code: REJECT_BAD_MAC }.encode());
+        return None;
+    }
+    stream.write_all(&NetFrame::HelloAck { version: NET_VERSION }.encode()).ok()?;
+    let sk = session_key(key, &nonce, client_id, NET_VERSION);
+    rbuf.set_mac(MacState::new(sk, DIR_CLIENT));
+    Some(Some(MacState::new(sk, DIR_SERVER)))
 }
 
 /// Reads the 4-byte magic plus one frame within `timeout`. Shared by
@@ -819,25 +1252,74 @@ fn read_hello_frame(
     }
 }
 
+/// Reads one frame (no magic prefix) within `timeout` — the
+/// mid-handshake counterpart of [`read_hello_frame`].
+fn read_frame_within(
+    stream: &mut TcpStream,
+    rbuf: &mut FrameBuf,
+    timeout: Duration,
+) -> Option<NetFrame> {
+    let deadline = Instant::now() + timeout;
+    if stream.set_read_timeout(Some(Duration::from_millis(50))).is_err() {
+        return None;
+    }
+    let mut tmp = [0u8; 4096];
+    loop {
+        if let Some(res) = rbuf.next_frame() {
+            return res.ok();
+        }
+        if Instant::now() >= deadline {
+            return None;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return None,
+            Ok(n) => rbuf.extend(&tmp[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return None,
+        }
+    }
+}
+
 fn ack_bytes(job: u64, a: u64, b: u64, of: u8) -> Vec<u8> {
     NetFrame::Ack { job, a, b, of }.encode()
 }
 
-/// Handles one accepted frame. `Ok(Some(bytes))` = write this ack;
-/// `Err(())` = close the connection (protocol violation or a WAL append
-/// that could not be made durable — no ack, so the client retransmits).
+/// What [`dispatch`] wants done with the connection.
+enum Dispatch {
+    /// Write this ack and keep going.
+    Reply(Vec<u8>),
+    /// Nothing to write (heartbeat).
+    Quiet,
+    /// Write these bytes, then close (overload shed).
+    ReplyClose(Vec<u8>),
+}
+
+/// Handles one accepted frame. `Err(())` = close the connection
+/// (protocol violation or a WAL append that could not be made durable —
+/// no ack, so the client retransmits).
 fn dispatch(
     shared: &ServeShared,
     wal: &mut Option<WalWriter>,
     opened: &mut HashSet<u64>,
     frame: NetFrame,
-) -> Result<Option<Vec<u8>>, ()> {
+) -> Result<Dispatch, ()> {
     match frame {
         NetFrame::Heartbeat => {
             shared.counters.heartbeats.fetch_add(1, Ordering::Relaxed);
-            Ok(None)
+            Ok(Dispatch::Quiet)
         }
         NetFrame::JobOpen { job, nranks, identity_check } => {
+            // Overload shedding applies to *new* jobs only: a retransmit
+            // of an accepted job's open must keep succeeding, or a
+            // reconnect during overload would orphan the job.
+            if !lock(&shared.jobs).contains_key(&job) {
+                if let Some(_reason) = shared.shed_reason() {
+                    shared.counters.sheds.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Dispatch::ReplyClose(NetFrame::Busy { job }.encode()));
+                }
+            }
             let _entry = shared.job_entry(job, nranks, identity_check);
             if opened.insert(job)
                 && !shared.wal_log(wal, &WalRecord::JobOpen { job, nranks, identity_check })
@@ -845,7 +1327,7 @@ fn dispatch(
                 opened.remove(&job);
                 return Err(());
             }
-            Ok(Some(ack_bytes(job, 0, 0, KIND_JOB_OPEN)))
+            Ok(Dispatch::Reply(ack_bytes(job, 0, 0, KIND_JOB_OPEN)))
         }
         NetFrame::Segment { job, seg } => {
             let Some(entry) = shared.lookup_job(job) else {
@@ -878,7 +1360,7 @@ fn dispatch(
                     e.next_seq.insert(rank, seq + 1);
                 }
             }
-            Ok(Some(ack_bytes(job, rank, seq, KIND_SEGMENT)))
+            Ok(Dispatch::Reply(ack_bytes(job, rank, seq, KIND_SEGMENT)))
         }
         NetFrame::Complete { job, done } => {
             let Some(entry) = shared.lookup_job(job) else {
@@ -896,7 +1378,7 @@ fn dispatch(
                 e.handle.complete_rank(done);
                 e.completed.insert(rank);
             }
-            Ok(Some(ack_bytes(job, rank, 0, KIND_COMPLETE)))
+            Ok(Dispatch::Reply(ack_bytes(job, rank, 0, KIND_COMPLETE)))
         }
         NetFrame::Finished { job } => {
             let Some(entry) = shared.lookup_job(job) else {
@@ -906,7 +1388,7 @@ fn dispatch(
             let mut e = lock(&entry);
             if let Some(lossless) = e.finished {
                 shared.counters.dup_frames.fetch_add(1, Ordering::Relaxed);
-                return Ok(Some(ack_bytes(job, u64::from(lossless), 0, KIND_FINISHED)));
+                return Ok(Dispatch::Reply(ack_bytes(job, u64::from(lossless), 0, KIND_FINISHED)));
             }
             if e.next_seq.is_empty() && e.completed.is_empty() {
                 // A finish replayed across a collector restart: this
@@ -916,7 +1398,7 @@ fn dispatch(
                 // so just settle the client; recovery owns the rebuild.
                 shared.counters.stale_finishes.fetch_add(1, Ordering::Relaxed);
                 e.finished = Some(false);
-                return Ok(Some(ack_bytes(job, 0, 0, KIND_FINISHED)));
+                return Ok(Dispatch::Reply(ack_bytes(job, 0, 0, KIND_FINISHED)));
             }
             let outcome = shared.session.finish_job(&e.handle);
             let lossless = outcome.is_lossless();
@@ -933,9 +1415,17 @@ fn dispatch(
                 // written, so the client never learns the job finished.
                 shared.initiate_stop();
             }
-            Ok(Some(ack_bytes(job, u64::from(lossless), 0, KIND_FINISHED)))
+            Ok(Dispatch::Reply(ack_bytes(job, u64::from(lossless), 0, KIND_FINISHED)))
         }
-        NetFrame::Hello { .. } | NetFrame::HelloAck { .. } | NetFrame::Ack { .. } => {
+        NetFrame::Hello { .. }
+        | NetFrame::HelloAck { .. }
+        | NetFrame::Ack { .. }
+        | NetFrame::Challenge { .. }
+        | NetFrame::AuthResponse { .. }
+        | NetFrame::Busy { .. }
+        | NetFrame::Reject { .. } => {
+            // Handshake-only or server-only frames after the handshake:
+            // a protocol violation either way.
             shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
             Err(())
         }
@@ -973,6 +1463,10 @@ pub struct NetClientConfig {
     pub spill_dir: Option<PathBuf>,
     /// Seeded wire faults (inert by default).
     pub faults: NetFaultPlan,
+    /// Pre-shared wire key, answered when the collector challenges.
+    /// Without one, a challenge is a fatal typed error (the client
+    /// degrades to local spill immediately instead of retrying).
+    pub auth_key: Option<AuthKey>,
 }
 
 impl NetClientConfig {
@@ -987,6 +1481,7 @@ impl NetClientConfig {
             finish_timeout: Duration::from_secs(30),
             spill_dir: None,
             faults: NetFaultPlan::default(),
+            auth_key: None,
         }
     }
 
@@ -1029,6 +1524,11 @@ impl NetClientConfig {
         self.faults = plan;
         self
     }
+
+    pub fn auth_key(mut self, key: AuthKey) -> Self {
+        self.auth_key = Some(key);
+        self
+    }
 }
 
 #[derive(Debug, Default)]
@@ -1045,6 +1545,8 @@ struct ClientCounters {
     spilled_records: AtomicU64,
     dropped_records: AtomicU64,
     degraded: AtomicU64,
+    busy_sheds: AtomicU64,
+    auth_failed: AtomicU64,
 }
 
 /// Snapshot of the client counters.
@@ -1069,6 +1571,12 @@ pub struct NetClientStats {
     /// failure) — always reported in the job outcome, never silent.
     pub dropped_records: u64,
     pub degraded: bool,
+    /// `Busy` frames received: the collector shed this client's new
+    /// jobs under overload.
+    pub busy_sheds: u64,
+    /// The collector rejected this client's handshake (wrong key,
+    /// missing key, or version skew) — a fatal, typed condition.
+    pub auth_failed: bool,
 }
 
 struct Unacked {
@@ -1143,6 +1651,11 @@ struct ClientState {
     acked_finished: HashMap<u64, bool>,
     /// A permanent injected partition tripped: every later connect fails.
     partitioned: bool,
+    /// The collector shed a JobOpen with `Busy` on the last connection.
+    busy_hit: bool,
+    /// Fatal handshake rejection (wrong key / missing key / version
+    /// skew): degrade immediately, retrying cannot help.
+    auth_fatal: Option<String>,
     degraded: bool,
     shutdown: bool,
     /// Degrade WAL, opened at degrade time.
@@ -1219,6 +1732,8 @@ impl NetClient {
                 opens: Vec::new(),
                 acked_finished: HashMap::new(),
                 partitioned: false,
+                busy_hit: false,
+                auth_fatal: None,
                 degraded: false,
                 shutdown: false,
                 spill: None,
@@ -1294,6 +1809,8 @@ impl ClientInner {
             spilled_records: c.spilled_records.load(Ordering::Relaxed),
             dropped_records: c.dropped_records.load(Ordering::Relaxed),
             degraded: c.degraded.load(Ordering::Relaxed) != 0,
+            busy_sheds: c.busy_sheds.load(Ordering::Relaxed),
+            auth_failed: c.auth_failed.load(Ordering::Relaxed) != 0,
         }
     }
 
@@ -1681,6 +2198,7 @@ enum ConnEnd {
 fn client_worker(inner: Arc<ClientInner>) {
     let mut attempt: u64 = 0;
     let mut consecutive: u32 = 0;
+    let mut busy_conns: u32 = 0;
     loop {
         // Park until there is work (or forever, once degraded — the
         // producers write straight to the local WAL).
@@ -1697,15 +2215,35 @@ fn client_worker(inner: Arc<ClientInner>) {
             }
         }
         match try_connect(&inner, attempt) {
-            Ok(mut stream) => {
+            Ok((mut stream, crypto)) => {
                 attempt += 1;
                 consecutive = 0;
                 inner.counters.connects.fetch_add(1, Ordering::Relaxed);
                 let mut acks_this_conn: u64 = 0;
-                match run_connection(&inner, &mut stream, &mut acks_this_conn) {
+                match run_connection(&inner, &mut stream, crypto, &mut acks_this_conn) {
                     ConnEnd::Drained => return,
                     ConnEnd::Degraded => continue,
                     ConnEnd::Broken => {
+                        let was_busy = {
+                            let mut st = lock(&inner.state);
+                            std::mem::take(&mut st.busy_hit)
+                        };
+                        if was_busy {
+                            // Overload shed: back off, and give up after
+                            // the same budget as reconnects — the shed
+                            // jobs then finish via local spill.
+                            busy_conns += 1;
+                            if busy_conns >= inner.cfg.retry.max_attempts {
+                                let mut st = lock(&inner.state);
+                                inner.degrade(
+                                    &mut st,
+                                    "collector busy: new jobs shed under overload",
+                                );
+                                continue;
+                            }
+                            backoff_sleep(&inner, busy_conns, attempt);
+                            continue;
+                        }
                         // A connection that produced no acks at all is a
                         // failure for budget purposes: a collector that
                         // accepts and then dies must not dodge the
@@ -1718,8 +2256,24 @@ fn client_worker(inner: Arc<ClientInner>) {
             }
             Err(_) => {
                 attempt += 1;
-                consecutive += 1;
                 inner.counters.connect_failures.fetch_add(1, Ordering::Relaxed);
+                // A typed handshake rejection is fatal: the collector is
+                // alive and said no. Retrying with the same key (or no
+                // key) cannot succeed, so degrade now.
+                let fatal = {
+                    let mut st = lock(&inner.state);
+                    match st.auth_fatal.take() {
+                        Some(reason) => {
+                            inner.degrade(&mut st, &reason);
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                if fatal {
+                    continue;
+                }
+                consecutive += 1;
             }
         }
         if consecutive >= inner.cfg.retry.max_attempts {
@@ -1757,9 +2311,29 @@ fn backoff_sleep(inner: &ClientInner, consecutive: u32, attempt: u64) {
     }
 }
 
-/// Dials, speaks the hello, and returns the ready socket. Injected
-/// refusals and a tripped partition fail here like a dead collector.
-fn try_connect(inner: &ClientInner, attempt: u64) -> std::io::Result<TcpStream> {
+/// Both directions of an authenticated session's MAC chains.
+struct SessionCrypto {
+    send: MacState,
+    recv: MacState,
+}
+
+/// Records a fatal typed handshake rejection: the worker degrades on it
+/// instead of burning the retry ladder.
+fn auth_fatal(inner: &ClientInner, reason: String) -> std::io::Error {
+    inner.counters.auth_failed.store(1, Ordering::Relaxed);
+    let mut st = lock(&inner.state);
+    st.auth_fatal = Some(reason.clone());
+    std::io::Error::other(reason)
+}
+
+/// Dials, speaks the hello (answering an auth challenge when the
+/// collector sends one), and returns the ready socket plus the session
+/// MAC chains for an authenticated session. Injected refusals and a
+/// tripped partition fail here like a dead collector.
+fn try_connect(
+    inner: &ClientInner,
+    attempt: u64,
+) -> std::io::Result<(TcpStream, Option<SessionCrypto>)> {
     {
         let st = lock(&inner.state);
         if st.partitioned {
@@ -1780,19 +2354,68 @@ fn try_connect(inner: &ClientInner, attempt: u64) -> std::io::Result<TcpStream> 
         .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
     let mut stream = TcpStream::connect_timeout(&addr, inner.cfg.io_timeout)?;
     let _ = stream.set_nodelay(true);
+    let client_id = inner.cfg.client_id;
     let mut hello = NET_MAGIC.to_vec();
-    hello.extend_from_slice(
-        &NetFrame::Hello { version: NET_VERSION, client_id: inner.cfg.client_id }.encode(),
-    );
+    hello.extend_from_slice(&NetFrame::Hello { version: NET_VERSION, client_id }.encode());
     stream.write_all(&hello)?;
-    let mut rbuf = FrameBuf::new();
+    let mut rbuf = FrameBuf::with_cap(HELLO_MAX_FRAME);
     match read_hello_frame(&mut stream, &mut rbuf, inner.cfg.io_timeout) {
-        Some(NetFrame::HelloAck { version }) if version == NET_VERSION => Ok(stream),
+        Some(NetFrame::HelloAck { version }) if version == NET_VERSION => Ok((stream, None)),
+        Some(NetFrame::Challenge { nonce }) => {
+            let Some(key) = inner.cfg.auth_key.clone() else {
+                return Err(auth_fatal(
+                    inner,
+                    "collector requires authentication and no auth key is configured".into(),
+                ));
+            };
+            let mac = challenge_response(&key, &nonce, client_id, NET_VERSION);
+            stream.write_all(&NetFrame::AuthResponse { mac }.encode())?;
+            match read_frame_within(&mut stream, &mut rbuf, inner.cfg.io_timeout) {
+                Some(NetFrame::HelloAck { version }) if version == NET_VERSION => {
+                    let sk = session_key(&key, &nonce, client_id, NET_VERSION);
+                    Ok((
+                        stream,
+                        Some(SessionCrypto {
+                            send: MacState::new(sk, DIR_CLIENT),
+                            recv: MacState::new(sk, DIR_SERVER),
+                        }),
+                    ))
+                }
+                Some(NetFrame::Reject { code }) => Err(auth_fatal(
+                    inner,
+                    format!("collector rejected authentication ({})", reject_reason(code)),
+                )),
+                _ => Err(std::io::Error::other("auth handshake failed")),
+            }
+        }
+        Some(NetFrame::Reject { code }) => {
+            Err(auth_fatal(inner, format!("collector rejected hello ({})", reject_reason(code))))
+        }
         _ => Err(std::io::Error::other("hello handshake failed")),
     }
 }
 
-fn run_connection(inner: &ClientInner, stream: &mut TcpStream, acks: &mut u64) -> ConnEnd {
+fn reject_reason(code: u8) -> &'static str {
+    match code {
+        REJECT_VERSION => "protocol version skew",
+        REJECT_AUTH_REQUIRED => "authentication required",
+        REJECT_BAD_MAC => "bad key or replayed response",
+        _ => "unknown reject code",
+    }
+}
+
+fn run_connection(
+    inner: &ClientInner,
+    stream: &mut TcpStream,
+    crypto: Option<SessionCrypto>,
+    acks: &mut u64,
+) -> ConnEnd {
+    let mut send_mac = None;
+    let mut rbuf = FrameBuf::new();
+    if let Some(c) = crypto {
+        send_mac = Some(c.send);
+        rbuf.set_mac(c.recv);
+    }
     // Replay job opens (the server dedups), then unacked frames in
     // order. Retransmits bump the attempt counter so frame faults
     // (first transmission only) do not re-fire and loop forever.
@@ -1810,12 +2433,11 @@ fn run_connection(inner: &ClientInner, stream: &mut TcpStream, acks: &mut u64) -
         out
     };
     for bytes in replay {
-        if stream.write_all(&bytes).is_err() {
+        if write_framed(stream, &bytes, &mut send_mac).is_err() {
             return ConnEnd::Broken;
         }
         inner.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
     }
-    let mut rbuf = FrameBuf::new();
     let mut last_ack = Instant::now();
     loop {
         // Pick the next frame (or decide to idle) under the lock.
@@ -1841,7 +2463,7 @@ fn run_connection(inner: &ClientInner, stream: &mut TcpStream, acks: &mut u64) -
         };
         match next {
             Some((frame, attempts)) => {
-                match send_frame(inner, stream, &frame, attempts) {
+                match send_frame(inner, stream, &frame, attempts, &mut send_mac) {
                     SendResult::Sent => {}
                     SendResult::Broke => return ConnEnd::Broken,
                 }
@@ -1875,7 +2497,8 @@ fn run_connection(inner: &ClientInner, stream: &mut TcpStream, acks: &mut u64) -
                         st = guard;
                         if timeout.timed_out() && !st.has_pending() && !st.degraded {
                             drop(st);
-                            if stream.write_all(&NetFrame::Heartbeat.encode()).is_err() {
+                            let hb = NetFrame::Heartbeat.encode();
+                            if write_framed(stream, &hb, &mut send_mac).is_err() {
                                 return ConnEnd::Broken;
                             }
                             inner.counters.heartbeats.fetch_add(1, Ordering::Relaxed);
@@ -1908,12 +2531,17 @@ enum SendResult {
     Broke,
 }
 
-/// Transmits one frame, applying first-transmission faults.
+/// Transmits one frame, applying first-transmission faults. When the
+/// session is authenticated, each physical transmission is sealed
+/// separately (so an injected duplicate carries a fresh, valid tag and
+/// the server's watermark — not the MAC chain — dedups it, while a
+/// corrupted transmission fails the MAC exactly as it fails the CRC).
 fn send_frame(
     inner: &ClientInner,
     stream: &mut TcpStream,
     frame: &NetFrame,
     attempts: u32,
+    mac: &mut Option<MacState>,
 ) -> SendResult {
     let bytes = frame.encode();
     let faults = &inner.cfg.faults;
@@ -1928,15 +2556,16 @@ fn send_frame(
                 return SendResult::Broke;
             }
             if faults.cuts(job, rank, seq) {
-                let _ = stream.write_all(&bytes[..bytes.len() / 2]);
+                let wire = seal_bytes(&bytes, mac);
+                let _ = stream.write_all(&wire[..wire.len() / 2]);
                 let _ = stream.flush();
                 return SendResult::Broke;
             }
             if let Some(off) = faults.corrupts(job, rank, seq) {
-                let mut bad = bytes.clone();
+                let mut bad = seal_bytes(&bytes, mac);
                 let idx = (off % bad.len() as u64) as usize;
                 bad[idx] ^= 0x20;
-                // The server's CRC fails closed and drops the
+                // The server's CRC (or MAC) fails closed and drops the
                 // connection; the clean retransmit goes through later.
                 if stream.write_all(&bad).is_err() {
                     return SendResult::Broke;
@@ -1944,16 +2573,31 @@ fn send_frame(
                 inner.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
                 return SendResult::Sent;
             }
-            if faults.duplicates(job, rank, seq) && stream.write_all(&bytes).is_err() {
+            if faults.duplicates(job, rank, seq) && write_framed(stream, &bytes, mac).is_err() {
                 return SendResult::Broke;
             }
         }
     }
-    if stream.write_all(&bytes).is_err() {
+    if write_framed(stream, &bytes, mac).is_err() {
         return SendResult::Broke;
     }
     inner.counters.frames_sent.fetch_add(1, Ordering::Relaxed);
     SendResult::Sent
+}
+
+/// The bytes one transmission puts on the wire: the frame plus its
+/// chained tag in an authenticated session, the frame alone otherwise.
+fn seal_bytes(bytes: &[u8], mac: &mut Option<MacState>) -> Vec<u8> {
+    match mac.as_mut() {
+        Some(m) => {
+            let tag = m.seal(bytes);
+            let mut out = Vec::with_capacity(bytes.len() + MAC_LEN);
+            out.extend_from_slice(bytes);
+            out.extend_from_slice(&tag);
+            out
+        }
+        None => bytes.to_vec(),
+    }
 }
 
 /// Reads whatever acks are available within `wait`. `Ok(true)` = at
@@ -1980,6 +2624,14 @@ fn drain_acks(
                     Some(Ok(NetFrame::Ack { job, a, b, of })) => {
                         apply_ack(inner, job, a, b, of);
                         progress = true;
+                    }
+                    Some(Ok(NetFrame::Busy { .. })) => {
+                        // Overload shed: the server closes right after
+                        // this. Note it so the worker backs off instead
+                        // of charging the reconnect ladder.
+                        inner.counters.busy_sheds.fetch_add(1, Ordering::Relaxed);
+                        let mut st = lock(&inner.state);
+                        st.busy_hit = true;
                     }
                     // The server sends nothing else post-hello; ignore.
                     Some(Ok(_)) => {}

@@ -132,6 +132,87 @@ impl NetFaultPlan {
     }
 }
 
+/// The behaviors in the hostile-peer corpus. Each adversary connection
+/// in the `chaos_adversary` sweep plays exactly one of these against a
+/// live collector; none of them may panic it, hang it, or grow its
+/// memory without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryKind {
+    /// Random bytes where the `PNT1` magic + hello should be.
+    GarbageHello,
+    /// Valid magic, then a frame header declaring a huge payload length
+    /// that never arrives — probes the decode-size cap.
+    OversizeLength,
+    /// CRC-valid frames that are semantically invalid: unknown kinds,
+    /// truncated payloads, server-only frames sent client→server.
+    SemanticGarbage,
+    /// Replays a challenge response captured from an earlier handshake
+    /// on a fresh connection — must fail against the fresh nonce.
+    HandshakeReplay,
+    /// Authenticates with the wrong key and must get a typed reject.
+    WrongKey,
+    /// Drips a valid frame one byte at a time, slower than the
+    /// collector's patience.
+    SlowLoris,
+    /// Opens a connection and holds it silently, consuming an
+    /// admission slot until the idle reaper claims it.
+    ConnectHold,
+    /// Connects, sends half a hello, and vanishes.
+    MidHandshakeDisconnect,
+}
+
+/// Every kind in corpus order; the plan cycles through these so a sweep
+/// of `n >= ADVERSARY_KINDS.len()` peers covers the whole corpus.
+pub const ADVERSARY_KINDS: [AdversaryKind; 8] = [
+    AdversaryKind::GarbageHello,
+    AdversaryKind::OversizeLength,
+    AdversaryKind::SemanticGarbage,
+    AdversaryKind::HandshakeReplay,
+    AdversaryKind::WrongKey,
+    AdversaryKind::SlowLoris,
+    AdversaryKind::ConnectHold,
+    AdversaryKind::MidHandshakeDisconnect,
+];
+
+/// A seeded, deterministic corpus of hostile peers. Like
+/// [`NetFaultPlan`], every decision is a pure function of the seed and
+/// the peer index, so two sweeps with the same plan dispatch exactly
+/// the same adversaries with exactly the same payload bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdversaryPlan {
+    /// Seed for every byte and choice the corpus generates.
+    pub seed: u64,
+}
+
+impl AdversaryPlan {
+    pub fn new(seed: u64) -> Self {
+        AdversaryPlan { seed }
+    }
+
+    /// Which behavior peer `peer` plays. Cycles the corpus in order so
+    /// coverage is guaranteed, not merely probable.
+    pub fn kind(&self, peer: u64) -> AdversaryKind {
+        ADVERSARY_KINDS[(peer as usize) % ADVERSARY_KINDS.len()]
+    }
+
+    /// Per-peer salt for any parameter a behavior needs beyond bytes.
+    pub fn salt(&self, peer: u64) -> u64 {
+        hash4(self.seed ^ 0x21, peer, 0, 0)
+    }
+
+    /// `len` deterministic pseudo-random bytes for peer `peer`.
+    pub fn garbage(&self, peer: u64, len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut x = hash4(self.seed ^ 0x22, peer, len as u64, 0);
+        while out.len() < len {
+            x = splitmix(x);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out.truncate(len);
+        out
+    }
+}
+
 /// SplitMix64 finalizer — the same cheap mixer the other fault plans use.
 fn splitmix(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -195,6 +276,22 @@ mod tests {
         let p = NetFaultPlan::new(9).cut_rate(0.25);
         let hits = (0..4000).filter(|&i| p.cuts(i, i % 7, i % 13)).count();
         assert!((700..1300).contains(&hits), "0.25 rate produced {hits}/4000 hits");
+    }
+
+    #[test]
+    fn adversary_plan_is_deterministic_and_covers_the_corpus() {
+        let a = AdversaryPlan::new(77);
+        let b = AdversaryPlan::new(77);
+        let mut kinds = std::collections::HashSet::new();
+        for peer in 0..32 {
+            assert_eq!(a.kind(peer), b.kind(peer));
+            assert_eq!(a.salt(peer), b.salt(peer));
+            assert_eq!(a.garbage(peer, 64), b.garbage(peer, 64));
+            kinds.insert(format!("{:?}", a.kind(peer)));
+        }
+        assert_eq!(kinds.len(), ADVERSARY_KINDS.len(), "corpus not fully covered");
+        // Different seeds produce different payload bytes.
+        assert_ne!(a.garbage(0, 64), AdversaryPlan::new(78).garbage(0, 64));
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Property tests for the `PNT1` wire decoders and the frame-MAC
+//! chain: arbitrary bytes must produce `Err` (or a clean "need more
+//! bytes"), never a panic and never an allocation proportional to a
+//! length an attacker merely *declared*.
+
+use proptest::prelude::*;
+
+use pilgrim::auth::{DIR_CLIENT, DIR_SERVER};
+use pilgrim::net::NetFrame;
+use pilgrim::wal::{encode_frame, split_frame};
+use pilgrim::{AuthKey, MacState, MAC_LEN, NET_VERSION};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The frame splitter over arbitrary bytes: every outcome is a
+    // clean parse, a typed error, or "incomplete" — and a successful
+    // parse only ever borrows from the input, so a declared length
+    // can't cost more memory than the attacker already sent.
+    #[test]
+    fn split_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut pos = 0usize;
+        while let Some(step) = split_frame(&bytes, &mut pos) {
+            match step {
+                Ok((_, payload)) => prop_assert!(payload.len() <= bytes.len()),
+                Err(_) => break,
+            }
+        }
+        prop_assert!(pos <= bytes.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // The frame decoder over arbitrary kind/payload pairs: `Err`, not
+    // a panic, for everything that isn't a well-formed frame.
+    #[test]
+    fn net_frame_decode_never_panics(
+        kind in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = NetFrame::decode(kind, &payload);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Well-formed frames survive the encode → split → decode loop.
+    #[test]
+    fn well_formed_frames_roundtrip(
+        version in any::<u32>(),
+        client in any::<u64>(),
+        job in any::<u64>(),
+        code in any::<u8>(),
+    ) {
+        for frame in [
+            NetFrame::Hello { version, client_id: client },
+            NetFrame::HelloAck { version },
+            NetFrame::Busy { job },
+            NetFrame::Reject { code },
+        ] {
+            let wire = frame.encode();
+            let mut pos = 0usize;
+            let (kind, payload) = split_frame(&wire, &mut pos)
+                .expect("complete frame")
+                .expect("clean frame");
+            prop_assert_eq!(NetFrame::decode(kind, payload).expect("decode"), frame);
+            prop_assert_eq!(pos, wire.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Flipping any single byte of an encoded frame is caught by the
+    // CRC (or, for the rare kind-byte flip onto another valid frame
+    // layout, still never panics).
+    #[test]
+    fn corrupted_frames_never_panic(
+        job in any::<u64>(),
+        flip in 0usize..64,
+        xor in 1u8..=255,
+    ) {
+        let mut wire = NetFrame::Busy { job }.encode();
+        let at = flip % wire.len();
+        wire[at] ^= xor;
+        let mut pos = 0usize;
+        if let Some(Ok((kind, payload))) = split_frame(&wire, &mut pos) {
+            let _ = NetFrame::decode(kind, payload);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Truncating a valid frame at any point yields "incomplete" or a
+    // typed error — never a panic, never a bogus success.
+    #[test]
+    fn truncated_frames_are_incomplete_or_err(
+        job in any::<u64>(),
+        cut in 1usize..64,
+    ) {
+        let wire = NetFrame::Busy { job }.encode();
+        let keep = wire.len() - 1 - (cut % (wire.len() - 1));
+        let mut pos = 0usize;
+        match split_frame(&wire[..keep], &mut pos) {
+            None => {}
+            Some(Err(_)) => {}
+            Some(Ok(_)) => prop_assert!(false, "truncated frame parsed as complete"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Arbitrary MAC tags never verify against a keyed chain, the
+    // verifier never panics on them, and a rejected tag does not
+    // advance the sequence (so the real frame still verifies after an
+    // injection attempt).
+    #[test]
+    fn forged_mac_tags_never_verify(
+        frame in proptest::collection::vec(any::<u8>(), 0..128),
+        forged in proptest::collection::vec(any::<u8>(), 0..MAC_LEN + 4),
+    ) {
+        let key = pilgrim::session_key(
+            &AuthKey::from_bytes(b"proptest-key").expect("key"),
+            &[7u8; 32],
+            1,
+            NET_VERSION,
+        );
+        let mut sender = MacState::new(key, DIR_CLIENT);
+        let mut receiver = MacState::new(key, DIR_CLIENT);
+        let tag = sender.seal(&frame);
+        if forged.as_slice() != tag.as_slice() {
+            prop_assert!(!receiver.verify(&frame, &forged), "forged tag verified");
+        }
+        prop_assert!(receiver.verify(&frame, &tag), "rejections must not advance the chain");
+        // Wrong direction: the same key never cross-verifies.
+        let mut wrong_dir = MacState::new(key, DIR_SERVER);
+        let tag2 = sender.seal(&frame);
+        prop_assert!(!wrong_dir.verify(&frame, &tag2));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    // The shared codec rejects payloads whose CRC does not match, for
+    // arbitrary payload content.
+    #[test]
+    fn crc_guards_arbitrary_payloads(
+        kind in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        xor in 1u8..=255,
+    ) {
+        let mut wire = encode_frame(kind, &payload);
+        let last = wire.len() - 1;
+        wire[last] ^= xor; // corrupt the CRC trailer
+        let mut pos = 0usize;
+        match split_frame(&wire, &mut pos) {
+            Some(Err(_)) | None => {}
+            Some(Ok(_)) => prop_assert!(false, "bad CRC accepted"),
+        }
+    }
+}

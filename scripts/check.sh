@@ -153,6 +153,66 @@ diff target/chaos_net.1 target/chaos_net.2 ||
   { echo "FAIL: chaos_net sweep is not deterministic." >&2; exit 1; }
 cat target/chaos_net.1
 
+echo "== net auth: handshake edges + malformed-frame proptests =="
+# Truncated/oversized hellos, version skew, replayed challenge
+# responses and wrong-key clients must all end in typed rejections with
+# no partial WAL state; arbitrary bytes into the PNT1 decoders must
+# Err, never panic or allocate a declared-but-unsent length.
+cargo test -q -p pilgrim --test net_auth
+cargo test -q -p pilgrim --test net_proptests
+
+echo "== chaos adversary: hostile-peer sweep, twice, bit-identical =="
+# Garbage hellos, oversize length prefixes, CRC-valid-but-semantically-
+# invalid frames, handshake replays, wrong keys, slow-loris writers,
+# held connections and mid-handshake disconnects — against a live
+# collector with honest clients streaming concurrently. Nonzero exit
+# means a panic, a hang, unbounded buffering, or a lost honest job.
+cargo run --release -q -p pilgrim-bench --bin chaos_adversary -- --quick \
+  > target/chaos_adversary.1
+cargo run --release -q -p pilgrim-bench --bin chaos_adversary -- --quick \
+  > target/chaos_adversary.2
+diff target/chaos_adversary.1 target/chaos_adversary.2 ||
+  { echo "FAIL: chaos_adversary sweep is not deterministic." >&2; exit 1; }
+cat target/chaos_adversary.1
+
+echo "== net auth e2e: authed serve/send binaries + graceful shutdown =="
+# An authenticated collector: the right key delivers with exit 0, the
+# wrong key is rejected with a typed error surfaced as an exit-3
+# envelope (jobs land in the local spill), and SIGTERM drains the
+# collector into a final envelope marked graceful.
+rm -rf target/pilgrimd-auth
+mkdir -p target/pilgrimd-auth
+echo "check-sh-wire-key" > target/pilgrimd-auth/key
+echo "not-the-right-key" > target/pilgrimd-auth/wrong-key
+./target/release/pilgrimd serve --listen 127.0.0.1:0 --out target/pilgrimd-auth \
+  --auth-key-file target/pilgrimd-auth/key --io-timeout-ms 500 \
+  > target/pilgrimd-auth/serve.out &
+auth_serve_pid=$!
+auth_addr=""
+for _ in $(seq 1 100); do
+  auth_addr=$(grep -o '"listening":"[^"]*"' target/pilgrimd-auth/serve.out 2>/dev/null |
+    head -1 | cut -d'"' -f4) && [ -n "$auth_addr" ] && break
+  sleep 0.1
+done
+[ -n "$auth_addr" ] || { echo "FAIL: authed pilgrimd serve never reported its port." >&2; exit 1; }
+./target/release/pilgrimd send --addr "$auth_addr" --jobs 2 --ranks 2 --iters 10 \
+  --auth-key-file target/pilgrimd-auth/key --spill target/pilgrimd-auth/client | tail -1 |
+  grep -q '"schema":1,"command":"send".*"exit":0' ||
+  { echo "FAIL: authed pilgrimd send envelope missing or not exit 0." >&2; exit 1; }
+wrong_out=$(./target/release/pilgrimd send --addr "$auth_addr" --jobs 1 --ranks 2 --iters 5 \
+  --client-id 2 --retry-attempts 3 --auth-key-file target/pilgrimd-auth/wrong-key \
+  --spill target/pilgrimd-auth/wrong-client | tail -1) && wrong_code=0 || wrong_code=$?
+[ "$wrong_code" -eq 3 ] ||
+  { echo "FAIL: wrong-key send exited $wrong_code, want 3 (degraded)." >&2; exit 1; }
+echo "$wrong_out" | grep -q '"auth_failed":true' ||
+  { echo "FAIL: wrong-key send envelope does not surface auth_failed." >&2; exit 1; }
+kill -TERM "$auth_serve_pid"
+wait "$auth_serve_pid" ||
+  { echo "FAIL: authed pilgrimd serve exited nonzero after SIGTERM drain." >&2; exit 1; }
+tail -1 target/pilgrimd-auth/serve.out |
+  grep -q '"schema":1,"command":"serve".*"graceful":true.*"exit":0' ||
+  { echo "FAIL: SIGTERM did not produce a graceful exit-0 serve envelope." >&2; exit 1; }
+
 echo "== record/replay: bit-determinism, divergence, minimization =="
 # The rr engine's promises, proven end to end on real binaries:
 #  1. a fresh wildcard-heavy recording strict-replays clean (the PGND
@@ -216,6 +276,9 @@ check_panics crates/core/src/ingest_fault.rs 0
 # traced rank) down with it.
 check_panics crates/core/src/net.rs 0
 check_panics crates/core/src/net_fault.rs 0
+# The auth layer authenticates hostile bytes by definition; every input
+# is attacker-controlled and nothing in it may panic.
+check_panics crates/core/src/auth.rs 0
 # The rr engine replays untrusted recordings and its nondet decoder
 # faces corrupt PGND bytes; both must return typed errors, never panic.
 check_panics crates/core/src/rr.rs 0
