@@ -9,7 +9,8 @@
 //! sweep dispatches peers that never intended to cooperate: the seeded
 //! [`pilgrim::AdversaryPlan`] corpus covers garbage hellos, oversize
 //! length prefixes, CRC-valid-but-semantically-invalid frames,
-//! handshake replays, wrong-key clients, slow-loris writers, held
+//! job opens declaring absurd rank counts, handshake replays,
+//! wrong-key clients, slow-loris writers, held
 //! connections, and mid-handshake disconnects (see
 //! [`pilgrim::AdversaryKind`]). Three cells run the corpus against an
 //! authenticated collector, an unauthenticated one, and an overloaded
@@ -160,6 +161,21 @@ fn run_adversary(addr: &str, plan: &AdversaryPlan, peer: u64, key: Option<&AuthK
             wire.extend_from_slice(&NetFrame::HelloAck { version: NET_VERSION }.encode());
             wire.extend_from_slice(&NetFrame::Busy { job: plan.salt(peer) }.encode());
             let _ = stream.write_all(&wire);
+            let _ = read_peer_frame(&mut stream, false);
+        }
+        AdversaryKind::HugeJobOpen => {
+            // A real handshake, then a CRC-valid JobOpen declaring
+            // ~2^50 ranks. The collector must answer the declared
+            // allocation with a typed Reject, not reserve petabytes of
+            // merger state. (In auth mode the unMAC'd frame fails the
+            // session MAC first — either way, nothing is allocated.)
+            let _ = send_hello(&mut stream, client_id);
+            let open = NetFrame::JobOpen {
+                job: plan.salt(peer),
+                nranks: 1usize << 50,
+                identity_check: false,
+            };
+            let _ = stream.write_all(&open.encode());
             let _ = read_peer_frame(&mut stream, false);
         }
         AdversaryKind::HandshakeReplay => {

@@ -86,6 +86,9 @@ pub const REJECT_VERSION: u8 = 1;
 pub const REJECT_AUTH_REQUIRED: u8 = 2;
 /// The challenge response did not verify (wrong key or a replay).
 pub const REJECT_BAD_MAC: u8 = 3;
+/// A frame declared a resource bound (e.g. `JobOpen.nranks`) beyond
+/// the collector's ceiling.
+pub const REJECT_LIMITS: u8 = 4;
 
 /// Frames the client may keep unacked before it pauses sending.
 const ACK_WINDOW: usize = 1024;
@@ -93,6 +96,12 @@ const ACK_WINDOW: usize = 1024;
 /// Decode-size cap while a connection is still in its hello exchange:
 /// every legitimate handshake frame fits in well under this.
 const HELLO_MAX_FRAME: usize = 4096;
+
+/// Ceiling on the rank count a `JobOpen` may declare. The merger
+/// allocates `nranks`-sized state up front, so an unbounded wire
+/// varint would let one small frame force an arbitrary allocation;
+/// anything above this is refused with [`REJECT_LIMITS`].
+pub const MAX_NRANKS: usize = 1 << 20;
 
 /// One `PNT1` frame. The record-bearing kinds mirror [`WalRecord`]
 /// one-for-one so the server can log exactly what it acks.
@@ -696,16 +705,23 @@ struct ServeShared {
     active_conns: AtomicU64,
     counters: ServerCounters,
     jobs: Mutex<HashMap<u64, Arc<Mutex<NetJobEntry>>>>,
-    conns: Mutex<Vec<TcpStream>>,
+    conns: Mutex<HashMap<u64, TcpStream>>,
     threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
-/// Decrements the live-connection gauge however the worker exits.
-struct ConnGuard(Arc<ServeShared>);
+/// Releases a connection's admission slot and its duped stream however
+/// the worker exits. Dropping the stream clone matters: keeping it
+/// would hold a closed peer's fd in CLOSE_WAIT for the life of the
+/// server, so a reconnect flood would exhaust fds.
+struct ConnGuard {
+    shared: Arc<ServeShared>,
+    id: u64,
+}
 
 impl Drop for ConnGuard {
     fn drop(&mut self) {
-        self.0.active_conns.fetch_sub(1, Ordering::SeqCst);
+        lock(&self.shared.conns).remove(&self.id);
+        self.shared.active_conns.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -764,8 +780,24 @@ impl ServeShared {
     /// abrupt stop, because the kill hook uses the same path.
     fn initiate_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        for conn in lock(&self.conns).iter() {
+        for conn in lock(&self.conns).values() {
             let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Joins worker threads that have already exited, so a long-running
+    /// server's handle list tracks *live* connections instead of
+    /// growing with every reconnect ever made.
+    fn reap_finished_threads(&self) {
+        let mut threads = lock(&self.threads);
+        let mut i = 0;
+        while i < threads.len() {
+            if threads[i].is_finished() {
+                let t = threads.swap_remove(i);
+                let _ = t.join();
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -940,7 +972,7 @@ pub fn serve(
         active_conns: AtomicU64::new(0),
         counters: ServerCounters::default(),
         jobs: Mutex::new(HashMap::new()),
-        conns: Mutex::new(Vec::new()),
+        conns: Mutex::new(HashMap::new()),
         threads: Mutex::new(Vec::new()),
     });
     let accept_shared = shared.clone();
@@ -972,6 +1004,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServeShared>) {
         if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
             return;
         }
+        shared.reap_finished_threads();
         // Admission control: at the connection ceiling, stop accepting.
         // Waiting peers stay in the kernel's FIFO accept backlog, so
         // admission order is fair when slots free up.
@@ -981,15 +1014,17 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServeShared>) {
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
-                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                // The pre-increment counter value doubles as the
+                // connection's id in `conns` (unique per process).
+                let id = shared.counters.connections.fetch_add(1, Ordering::Relaxed);
                 shared.active_conns.fetch_add(1, Ordering::SeqCst);
                 let _ = stream.set_nonblocking(false);
                 let _ = stream.set_nodelay(true);
                 if let Ok(clone) = stream.try_clone() {
-                    lock(&shared.conns).push(clone);
+                    lock(&shared.conns).insert(id, clone);
                 }
                 let conn_shared = shared.clone();
-                let guard = ConnGuard(shared.clone());
+                let guard = ConnGuard { shared: shared.clone(), id };
                 let spawned =
                     std::thread::Builder::new().name("pilgrim-net-conn".into()).spawn(move || {
                         let _guard = guard;
@@ -1095,12 +1130,12 @@ fn conn_worker(shared: Arc<ServeShared>, mut stream: TcpStream) {
                     return;
                 }
                 // Per-connection rate budgets over a rolling second.
+                // Judge the window that just accumulated *before*
+                // rolling it: zeroing first would let the bytes that
+                // landed at the boundary escape the comparison, so a
+                // peer timing bursts across boundaries could sustain
+                // double the budget without ever tripping.
                 window_bytes += n as u64;
-                if window_start.elapsed() >= Duration::from_secs(1) {
-                    window_start = Instant::now();
-                    window_bytes = 0;
-                    window_frames = 0;
-                }
                 let over_bytes =
                     shared.cfg.max_conn_bytes_per_sec.is_some_and(|max| window_bytes > max);
                 let over_frames =
@@ -1108,6 +1143,11 @@ fn conn_worker(shared: Arc<ServeShared>, mut stream: TcpStream) {
                 if over_bytes || over_frames {
                     shared.counters.throttled.fetch_add(1, Ordering::Relaxed);
                     return;
+                }
+                if window_start.elapsed() >= Duration::from_secs(1) {
+                    window_start = Instant::now();
+                    window_bytes = 0;
+                    window_frames = 0;
                 }
             }
             Err(e)
@@ -1311,6 +1351,14 @@ fn dispatch(
             Ok(Dispatch::Quiet)
         }
         NetFrame::JobOpen { job, nranks, identity_check } => {
+            // The declared rank count sizes the merger's allocations,
+            // so it must be judged *before* the job is opened: a
+            // hostile open declaring 2^50 ranks costs the peer one
+            // typed reject, not the collector petabytes.
+            if nranks > MAX_NRANKS {
+                shared.counters.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Ok(Dispatch::ReplyClose(NetFrame::Reject { code: REJECT_LIMITS }.encode()));
+            }
             // Overload shedding applies to *new* jobs only: a retransmit
             // of an accepted job's open must keep succeeding, or a
             // reconnect during overload would orphan the job.
@@ -1397,6 +1445,11 @@ fn dispatch(
                 // previous incarnation's container with an empty trace,
                 // so just settle the client; recovery owns the rebuild.
                 shared.counters.stale_finishes.fetch_add(1, Ordering::Relaxed);
+                // The replayed open counted toward `jobs_opened`, so a
+                // stale finish must settle `jobs_finished` too — or the
+                // open-jobs gauge inflates with every job replayed
+                // across a restart until `max_open_jobs` sheds forever.
+                shared.counters.jobs_finished.fetch_add(1, Ordering::Relaxed);
                 e.finished = Some(false);
                 return Ok(Dispatch::Reply(ack_bytes(job, 0, 0, KIND_FINISHED)));
             }
@@ -2400,6 +2453,7 @@ fn reject_reason(code: u8) -> &'static str {
         REJECT_VERSION => "protocol version skew",
         REJECT_AUTH_REQUIRED => "authentication required",
         REJECT_BAD_MAC => "bad key or replayed response",
+        REJECT_LIMITS => "declared resource bound over the collector's ceiling",
         _ => "unknown reject code",
     }
 }
@@ -2765,6 +2819,113 @@ mod tests {
         assert!(o.pop().expect("pop").is_none());
         // Fully drained: the file was reset for reuse.
         assert_eq!(o.write_pos, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Reads one server frame, stripping the leading `PNT1` magic when
+    /// `expect_magic` (the server prefixes its *first* frame only).
+    fn read_server_frame(stream: &mut TcpStream, expect_magic: bool) -> Option<NetFrame> {
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            let body = if expect_magic {
+                if buf.len() < 4 {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => return None,
+                        Ok(n) => {
+                            buf.extend_from_slice(&chunk[..n]);
+                            continue;
+                        }
+                    }
+                }
+                assert_eq!(&buf[..4], NET_MAGIC, "server reply must lead with the magic");
+                &buf[4..]
+            } else {
+                &buf[..]
+            };
+            let mut pos = 0usize;
+            match crate::wal::split_frame(body, &mut pos) {
+                Some(Ok((kind, payload))) => return NetFrame::decode(kind, payload).ok(),
+                Some(Err(_)) => return None,
+                None => match stream.read(&mut chunk) {
+                    Ok(0) | Err(_) => return None,
+                    Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                },
+            }
+        }
+    }
+
+    fn raw_hello(server: &ServeHandle) -> TcpStream {
+        let mut s = TcpStream::connect(server.addr()).expect("connect");
+        let mut wire = NET_MAGIC.to_vec();
+        wire.extend_from_slice(&NetFrame::Hello { version: NET_VERSION, client_id: 3 }.encode());
+        s.write_all(&wire).expect("write hello");
+        assert_eq!(
+            read_server_frame(&mut s, true),
+            Some(NetFrame::HelloAck { version: NET_VERSION }),
+            "plain hello must be acked"
+        );
+        s
+    }
+
+    #[test]
+    fn huge_job_open_gets_a_typed_reject_without_allocation() {
+        let dir = std::env::temp_dir().join(format!("pilgrim-net-nranks-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let session =
+            IngestSession::new(IngestConfig::new().shards(1).spill_dir(&dir)).expect("session");
+        let server = serve(listener, session, NetServerConfig::new()).expect("serve");
+        let mut s = raw_hello(&server);
+        let open = NetFrame::JobOpen { job: 1, nranks: 1usize << 50, identity_check: false };
+        s.write_all(&open.encode()).expect("write open");
+        assert_eq!(
+            read_server_frame(&mut s, false),
+            Some(NetFrame::Reject { code: REJECT_LIMITS }),
+            "a 2^50-rank open must be refused with a typed reject"
+        );
+        let stats = server.stop();
+        assert_eq!(stats.jobs_opened, 0, "the hostile open must never reach the session");
+        assert_eq!(stats.protocol_errors, 1, "{stats:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_finishes_settle_the_open_jobs_gauge() {
+        let dir = std::env::temp_dir().join(format!("pilgrim-net-stale-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let session =
+            IngestSession::new(IngestConfig::new().shards(1).spill_dir(&dir)).expect("session");
+        let server =
+            serve(listener, session, NetServerConfig::new().max_open_jobs(1)).expect("serve");
+        let mut s = raw_hello(&server);
+        // Open job 1 and finish it with no data: the stale-finish path
+        // (a finish replayed across a restart looks exactly like this).
+        s.write_all(&NetFrame::JobOpen { job: 1, nranks: 1, identity_check: false }.encode())
+            .expect("open 1");
+        assert_eq!(
+            read_server_frame(&mut s, false),
+            Some(NetFrame::Ack { job: 1, a: 0, b: 0, of: KIND_JOB_OPEN })
+        );
+        s.write_all(&NetFrame::Finished { job: 1 }.encode()).expect("finish 1");
+        assert_eq!(
+            read_server_frame(&mut s, false),
+            Some(NetFrame::Ack { job: 1, a: 0, b: 0, of: KIND_FINISHED })
+        );
+        // With max_open_jobs = 1, job 2 only gets in if the stale
+        // finish settled the open-jobs gauge.
+        s.write_all(&NetFrame::JobOpen { job: 2, nranks: 1, identity_check: false }.encode())
+            .expect("open 2");
+        assert_eq!(
+            read_server_frame(&mut s, false),
+            Some(NetFrame::Ack { job: 2, a: 0, b: 0, of: KIND_JOB_OPEN }),
+            "a stale-finished job must not hold its admission slot"
+        );
+        let stats = server.stop();
+        assert_eq!(stats.stale_finishes, 1, "{stats:?}");
+        assert_eq!(stats.sheds, 0, "{stats:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

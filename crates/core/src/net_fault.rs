@@ -146,6 +146,11 @@ pub enum AdversaryKind {
     /// CRC-valid frames that are semantically invalid: unknown kinds,
     /// truncated payloads, server-only frames sent client→server.
     SemanticGarbage,
+    /// A well-formed handshake, then a CRC-valid `JobOpen` declaring an
+    /// absurd rank count (~2^50) — probes the declared-allocation
+    /// ceiling, which must answer with a typed reject, not reserve
+    /// petabytes of merger state.
+    HugeJobOpen,
     /// Replays a challenge response captured from an earlier handshake
     /// on a fresh connection — must fail against the fresh nonce.
     HandshakeReplay,
@@ -163,10 +168,11 @@ pub enum AdversaryKind {
 
 /// Every kind in corpus order; the plan cycles through these so a sweep
 /// of `n >= ADVERSARY_KINDS.len()` peers covers the whole corpus.
-pub const ADVERSARY_KINDS: [AdversaryKind; 8] = [
+pub const ADVERSARY_KINDS: [AdversaryKind; 9] = [
     AdversaryKind::GarbageHello,
     AdversaryKind::OversizeLength,
     AdversaryKind::SemanticGarbage,
+    AdversaryKind::HugeJobOpen,
     AdversaryKind::HandshakeReplay,
     AdversaryKind::WrongKey,
     AdversaryKind::SlowLoris,
